@@ -1,0 +1,91 @@
+// Command fuzzyid-bench regenerates the paper's tables and figures (see
+// DESIGN.md §3 and EXPERIMENTS.md):
+//
+//	fuzzyid-bench -list                 # show available experiments
+//	fuzzyid-bench -exp fig4             # run one experiment
+//	fuzzyid-bench -exp all -quick       # run everything at CI size
+//	fuzzyid-bench -exp all -csv out/    # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fuzzyid/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzyid-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fuzzyid-bench", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment id to run, or 'all'")
+		quick  = fs.Bool("quick", false, "reduced workloads (CI size)")
+		seed   = fs.Int64("seed", 42, "workload seed")
+		csvDir = fs.String("csv", "", "also write per-experiment CSV files into this directory")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	cfg := experiment.Config{Quick: *quick, Seed: *seed}
+	var tables []*experiment.Table
+	if *exp == "all" {
+		var err error
+		tables, err = experiment.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		runner, ok := experiment.Registry()[*exp]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(experiment.IDs(), ", "))
+		}
+		tbl, err := runner(cfg)
+		if err != nil {
+			return err
+		}
+		tables = []*experiment.Table{tbl}
+	}
+	for _, tbl := range tables {
+		if err := tbl.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tbl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeCSV(dir string, tbl *experiment.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, tbl.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tbl.WriteCSV(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.Close()
+}

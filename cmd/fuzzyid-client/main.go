@@ -1,0 +1,207 @@
+// Command fuzzyid-client is the biometric-device (BioD) side of the §V
+// protocols, speaking to a fuzzyid-server over TCP.
+//
+//	fuzzyid-client -addr HOST:PORT newuser -dim 512 -out alice.vec
+//	fuzzyid-client -addr HOST:PORT enroll  -id alice -vec alice.vec
+//	fuzzyid-client -addr HOST:PORT reading -vec alice.vec -out probe.vec
+//	fuzzyid-client -addr HOST:PORT verify  -id alice -vec probe.vec
+//	fuzzyid-client -addr HOST:PORT identify -vec probe.vec [-normal]
+//	fuzzyid-client -addr HOST:PORT revoke  -id alice -vec probe.vec
+//
+// newuser and reading are local conveniences backed by the synthetic
+// biometric source, so a full demo needs no external data.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/vecfile"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzyid-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fuzzyid-client", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:7700", "server address")
+		scheme = fs.String("scheme", "ed25519", "signature scheme (must match the server)")
+		ext    = fs.String("extractor", "hmac-sha256", "strong extractor (must match the server)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("missing subcommand: newuser, reading, enroll, verify or identify")
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+	switch cmd {
+	case "newuser":
+		return cmdNewUser(cmdArgs)
+	case "reading":
+		return cmdReading(cmdArgs)
+	case "enroll", "verify", "identify", "revoke":
+		return cmdProtocol(cmd, cmdArgs, *addr, *scheme, *ext)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// cmdNewUser generates a fresh random template.
+func cmdNewUser(args []string) error {
+	fs := flag.NewFlagSet("newuser", flag.ContinueOnError)
+	var (
+		dim  = fs.Int("dim", 512, "feature dimension")
+		out  = fs.String("out", "", "output vector file (required)")
+		seed = fs.Int64("seed", time.Now().UnixNano(), "template seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return errors.New("newuser: -out is required")
+	}
+	src, err := newSource(*dim, *seed)
+	if err != nil {
+		return err
+	}
+	u := src.NewUser("local")
+	if err := vecfile.WriteFile(*out, u.Template); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d-dimensional template to %s\n", *dim, *out)
+	return nil
+}
+
+// cmdReading derives a noisy genuine reading from a stored template.
+func cmdReading(args []string) error {
+	fs := flag.NewFlagSet("reading", flag.ContinueOnError)
+	var (
+		vec  = fs.String("vec", "", "template vector file (required)")
+		out  = fs.String("out", "", "output probe file (required)")
+		seed = fs.Int64("seed", time.Now().UnixNano(), "noise seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *vec == "" || *out == "" {
+		return errors.New("reading: -vec and -out are required")
+	}
+	template, err := vecfile.ReadFile(*vec)
+	if err != nil {
+		return err
+	}
+	src, err := newSource(len(template), *seed)
+	if err != nil {
+		return err
+	}
+	reading, err := src.GenuineReading(&biometric.User{ID: "local", Template: template})
+	if err != nil {
+		return err
+	}
+	if err := vecfile.WriteFile(*out, reading); err != nil {
+		return err
+	}
+	fmt.Printf("wrote noisy reading to %s\n", *out)
+	return nil
+}
+
+func cmdProtocol(cmd string, args []string, addr, scheme, ext string) error {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		id     = fs.String("id", "", "user identity (enroll/verify)")
+		vec    = fs.String("vec", "", "vector file (required)")
+		normal = fs.Bool("normal", false, "identify: use the O(N) normal approach of Fig. 2")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *vec == "" {
+		return fmt.Errorf("%s: -vec is required", cmd)
+	}
+	bio, err := vecfile.ReadFile(*vec)
+	if err != nil {
+		return err
+	}
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine()}, // dimension taken from the vector
+		fuzzyid.WithSignatureScheme(scheme),
+		fuzzyid.WithExtractor(ext),
+	)
+	if err != nil {
+		return err
+	}
+	client, err := sys.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	start := time.Now()
+	switch cmd {
+	case "enroll":
+		if *id == "" {
+			return errors.New("enroll: -id is required")
+		}
+		if err := client.Enroll(*id, bio); err != nil {
+			return err
+		}
+		fmt.Printf("enrolled %q in %v\n", *id, time.Since(start).Round(time.Microsecond))
+	case "verify":
+		if *id == "" {
+			return errors.New("verify: -id is required")
+		}
+		if err := client.Verify(*id, bio); err != nil {
+			if fuzzyid.IsRejected(err) {
+				return fmt.Errorf("verification REJECTED: %w", err)
+			}
+			return err
+		}
+		fmt.Printf("verified %q in %v\n", *id, time.Since(start).Round(time.Microsecond))
+	case "identify":
+		var gotID string
+		if *normal {
+			gotID, err = client.IdentifyNormal(bio)
+		} else {
+			gotID, err = client.Identify(bio)
+		}
+		if err != nil {
+			if fuzzyid.IsRejected(err) {
+				return fmt.Errorf("identification REJECTED: %w", err)
+			}
+			return err
+		}
+		fmt.Printf("identified as %q in %v\n", gotID, time.Since(start).Round(time.Microsecond))
+	case "revoke":
+		if *id == "" {
+			return errors.New("revoke: -id is required")
+		}
+		if err := client.Revoke(*id, bio); err != nil {
+			if fuzzyid.IsRejected(err) {
+				return fmt.Errorf("revocation REJECTED: %w", err)
+			}
+			return err
+		}
+		fmt.Printf("revoked %q in %v\n", *id, time.Since(start).Round(time.Microsecond))
+	}
+	return nil
+}
+
+func newSource(dim int, seed int64) (*biometric.Source, error) {
+	fe, err := fuzzyid.NewExtractor(fuzzyid.Params{Line: fuzzyid.PaperLine()})
+	if err != nil {
+		return nil, err
+	}
+	return biometric.NewSource(fe.Line(), biometric.Paper(dim), seed)
+}

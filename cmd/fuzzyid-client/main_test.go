@@ -1,0 +1,108 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fuzzyid"
+)
+
+// startServer runs an in-process authentication server and returns its
+// address.
+func startServer(t *testing.T, dim int) string {
+	t.Helper()
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+func TestClientLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addr := startServer(t, 64)
+	template := filepath.Join(dir, "alice.vec")
+	probe := filepath.Join(dir, "probe.vec")
+
+	if err := run([]string{"newuser", "-dim", "64", "-out", template, "-seed", "1"}); err != nil {
+		t.Fatalf("newuser: %v", err)
+	}
+	if err := run([]string{"reading", "-vec", template, "-out", probe, "-seed", "2"}); err != nil {
+		t.Fatalf("reading: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "enroll", "-id", "alice", "-vec", template}); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "verify", "-id", "alice", "-vec", probe}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "identify", "-vec", probe}); err != nil {
+		t.Fatalf("identify: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "identify", "-vec", probe, "-normal"}); err != nil {
+		t.Fatalf("identify -normal: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "revoke", "-id", "alice", "-vec", probe}); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	// Identity gone after revocation.
+	if err := run([]string{"-addr", addr, "verify", "-id", "alice", "-vec", probe}); err == nil {
+		t.Fatal("verify succeeded after revocation")
+	}
+}
+
+func TestClientImpostorRejected(t *testing.T) {
+	dir := t.TempDir()
+	addr := startServer(t, 64)
+	template := filepath.Join(dir, "alice.vec")
+	impostor := filepath.Join(dir, "impostor.vec")
+	if err := run([]string{"newuser", "-dim", "64", "-out", template, "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"newuser", "-dim", "64", "-out", impostor, "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addr, "enroll", "-id", "alice", "-vec", template}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addr, "identify", "-vec", impostor}); err == nil {
+		t.Fatal("impostor identified")
+	}
+}
+
+func TestClientValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := run([]string{"dance"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"newuser"}); err == nil {
+		t.Error("newuser without -out accepted")
+	}
+	if err := run([]string{"reading", "-vec", "x"}); err == nil {
+		t.Error("reading without -out accepted")
+	}
+	if err := run([]string{"enroll", "-vec", "/does/not/exist", "-id", "x"}); err == nil {
+		t.Error("missing vector accepted")
+	}
+	dir := t.TempDir()
+	vec := filepath.Join(dir, "v.vec")
+	if err := run([]string{"newuser", "-dim", "8", "-out", vec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"enroll", "-vec", vec}); err == nil {
+		t.Error("enroll without -id accepted")
+	}
+	if err := run([]string{"verify", "-vec", vec}); err == nil {
+		t.Error("verify without -id accepted")
+	}
+	if err := run([]string{"revoke", "-vec", vec}); err == nil {
+		t.Error("revoke without -id accepted")
+	}
+}

@@ -1,0 +1,72 @@
+// Command fuzzyid-server runs the authentication server (AS) of §V over
+// TCP. It accepts enrollment, verification and identification sessions from
+// fuzzyid-client (or any implementation of the wire protocol).
+//
+//	fuzzyid-server -addr 127.0.0.1:7700 -dim 512 -strategy bucket
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fuzzyid"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzyid-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	srv, err := setup(args)
+	if err != nil {
+		return err
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	<-sigCh
+	fmt.Println("shutting down")
+	return srv.Close()
+}
+
+// setup parses flags, builds the system and starts listening. Split from
+// run so tests can exercise everything except the signal wait.
+func setup(args []string) (*fuzzyid.Server, error) {
+	fs := flag.NewFlagSet("fuzzyid-server", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7700", "listen address")
+		dim      = fs.Int("dim", 512, "feature-vector dimension n (0 = accept any)")
+		strategy = fs.String("strategy", "bucket", "identification store: bucket, scan or sorted")
+		scheme   = fs.String("scheme", "ed25519", "signature scheme: ed25519 or ecdsa-p256")
+		ext      = fs.String("extractor", "hmac-sha256", "strong extractor: sha256, hmac-sha256 or toeplitz")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: *dim},
+		fuzzyid.WithStoreStrategy(*strategy),
+		fuzzyid.WithSignatureScheme(*scheme),
+		fuzzyid.WithExtractor(*ext),
+	)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := sys.Listen(*addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("fuzzyid-server listening on %s (dim=%d, strategy=%s, scheme=%s)\n",
+		srv.Addr(), *dim, *strategy, *scheme)
+	if *dim > 0 {
+		rep := sys.Report(*dim)
+		fmt.Printf("security: m=%.0f bits, m~=%.0f bits, storage=%.0f bits, log2 Pr[false close]=%.0f\n",
+			rep.MinEntropyBits, rep.ResidualEntropyBits, rep.SketchStorageBits, rep.FalseCloseExponent)
+	}
+	return srv, nil
+}

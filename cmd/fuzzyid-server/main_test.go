@@ -1,0 +1,67 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/vecfile"
+)
+
+func TestSetupAndServe(t *testing.T) {
+	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-strategy", "sorted"})
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	defer srv.Close()
+
+	// A real client can complete a full protocol run against it.
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(32), 141)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.NewUser("alice")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.Identify(reading)
+	if err != nil || id != u.ID {
+		t.Fatalf("identify = (%q, %v)", id, err)
+	}
+	// Exercise vecfile interop: dump the template the way the CLI would.
+	if err := vecfile.WriteFile(filepath.Join(t.TempDir(), "a.vec"), u.Template); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	if _, err := setup([]string{"-strategy", "btree"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := setup([]string{"-scheme", "rsa"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := setup([]string{"-extractor", "md5"}); err == nil {
+		t.Error("unknown extractor accepted")
+	}
+	if _, err := setup([]string{"-addr", "256.256.256.256:99999"}); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+	if _, err := setup([]string{"-no-such-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

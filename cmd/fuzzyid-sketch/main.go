@@ -1,0 +1,164 @@
+// Command fuzzyid-sketch exposes the secure-sketch and fuzzy-extractor
+// primitives (§IV) for offline use on vector files:
+//
+//	fuzzyid-sketch gen -vec template.vec -helper helper.bin      # Gen(x): prints R
+//	fuzzyid-sketch rep -vec probe.vec -helper helper.bin         # Rep(y, P): prints R
+//	fuzzyid-sketch report -dim 5000                              # Theorem 3 accounting
+//
+// Helper data is stored in the wire encoding; the extracted string R is
+// printed as hex. Rep fails (non-zero exit) when the probe is beyond the
+// threshold or the helper file was modified — the robust-sketch guarantee.
+package main
+
+import (
+	"encoding/hex"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"fuzzyid"
+	"fuzzyid/internal/vecfile"
+	"fuzzyid/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzyid-sketch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return errors.New("missing subcommand: gen, rep or report")
+	}
+	switch args[0] {
+	case "gen":
+		return cmdGen(args[1:])
+	case "rep":
+		return cmdRep(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	var (
+		vec    = fs.String("vec", "", "input template vector file (required)")
+		helper = fs.String("helper", "", "output helper-data file (required)")
+		ext    = fs.String("extractor", "hmac-sha256", "strong extractor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *vec == "" || *helper == "" {
+		return errors.New("gen: -vec and -helper are required")
+	}
+	fe, err := newExtractor(*ext)
+	if err != nil {
+		return err
+	}
+	x, err := vecfile.ReadFile(*vec)
+	if err != nil {
+		return err
+	}
+	key, h, err := fe.Gen(x)
+	if err != nil {
+		return err
+	}
+	if err := writeHelper(*helper, h); err != nil {
+		return err
+	}
+	fmt.Printf("R  = %s\n", hex.EncodeToString(key))
+	fmt.Printf("P  -> %s (%d coordinates, %d-byte seed)\n", *helper, h.Dimension(), len(h.Seed))
+	return nil
+}
+
+func cmdRep(args []string) error {
+	fs := flag.NewFlagSet("rep", flag.ContinueOnError)
+	var (
+		vec    = fs.String("vec", "", "input probe vector file (required)")
+		helper = fs.String("helper", "", "helper-data file (required)")
+		ext    = fs.String("extractor", "hmac-sha256", "strong extractor")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *vec == "" || *helper == "" {
+		return errors.New("rep: -vec and -helper are required")
+	}
+	fe, err := newExtractor(*ext)
+	if err != nil {
+		return err
+	}
+	y, err := vecfile.ReadFile(*vec)
+	if err != nil {
+		return err
+	}
+	h, err := readHelper(*helper)
+	if err != nil {
+		return err
+	}
+	key, err := fe.Rep(y, h)
+	if err != nil {
+		return fmt.Errorf("reproduction failed (probe too far or helper tampered): %w", err)
+	}
+	fmt.Printf("R  = %s\n", hex.EncodeToString(key))
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	dim := fs.Int("dim", 5000, "feature dimension n")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := fuzzyid.Params{Line: fuzzyid.PaperLine()}
+	rep := p.Report(*dim)
+	fmt.Printf("line: a=%d k=%d v=%d t=%d, n=%d\n",
+		p.Line.A, p.Line.K, p.Line.V, p.Line.T, rep.N)
+	fmt.Printf("min-entropy m           = %.0f bits\n", rep.MinEntropyBits)
+	fmt.Printf("residual entropy m~     = %.0f bits (Theorem 3: n*log2 v)\n", rep.ResidualEntropyBits)
+	fmt.Printf("entropy loss            = %.0f bits (n*log2 ka)\n", rep.EntropyLossBits)
+	fmt.Printf("sketch storage          = %.0f bits (n*log2(ka+1))\n", rep.SketchStorageBits)
+	fmt.Printf("log2 Pr[false close]   <= %.0f\n", rep.FalseCloseExponent)
+	return nil
+}
+
+func newExtractor(extName string) (*fuzzyid.Extractor, error) {
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine()}, fuzzyid.WithExtractor(extName))
+	if err != nil {
+		return nil, err
+	}
+	return sys.Extractor(), nil
+}
+
+// writeHelper stores helper data using the wire encoding of a Challenge
+// message with an empty challenge (a stable, versioned container).
+func writeHelper(path string, h *fuzzyid.HelperData) error {
+	buf, err := wire.Marshal(&wire.Challenge{Helper: h})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+func readHelper(path string) (*fuzzyid.HelperData, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := wire.Unmarshal(buf)
+	if err != nil {
+		return nil, fmt.Errorf("parse helper file: %w", err)
+	}
+	ch, ok := msg.(*wire.Challenge)
+	if !ok || ch.Helper == nil {
+		return nil, errors.New("helper file does not contain helper data")
+	}
+	return ch.Helper, nil
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/vecfile"
+)
+
+// writeTestVectors creates a template and a genuine noisy probe on disk.
+func writeTestVectors(t *testing.T, dir string) (templatePath, probePath string) {
+	t.Helper()
+	fe, err := fuzzyid.NewExtractor(fuzzyid.Params{Line: fuzzyid.PaperLine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(fe.Line(), biometric.Paper(64), 131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.NewUser("u")
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	templatePath = filepath.Join(dir, "template.vec")
+	probePath = filepath.Join(dir, "probe.vec")
+	if err := vecfile.WriteFile(templatePath, u.Template); err != nil {
+		t.Fatal(err)
+	}
+	if err := vecfile.WriteFile(probePath, reading); err != nil {
+		t.Fatal(err)
+	}
+	return templatePath, probePath
+}
+
+func TestGenRepRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	template, probe := writeTestVectors(t, dir)
+	helper := filepath.Join(dir, "helper.bin")
+	if err := run([]string{"gen", "-vec", template, "-helper", helper}); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if err := run([]string{"rep", "-vec", probe, "-helper", helper}); err != nil {
+		t.Fatalf("rep: %v", err)
+	}
+}
+
+func TestRepDetectsTamperedHelperFile(t *testing.T) {
+	dir := t.TempDir()
+	template, probe := writeTestVectors(t, dir)
+	helper := filepath.Join(dir, "helper.bin")
+	if err := run([]string{"gen", "-vec", template, "-helper", helper}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(helper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(helper, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"rep", "-vec", probe, "-helper", helper})
+	if err == nil {
+		t.Fatal("tampered helper file accepted")
+	}
+}
+
+func TestReport(t *testing.T) {
+	if err := run([]string{"report", "-dim", "5000"}); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+}
+
+func TestSubcommandValidation(t *testing.T) {
+	if err := run(nil); err == nil || !strings.Contains(err.Error(), "subcommand") {
+		t.Errorf("missing subcommand err = %v", err)
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"gen"}); err == nil {
+		t.Error("gen without flags accepted")
+	}
+	if err := run([]string{"rep", "-vec", "x"}); err == nil {
+		t.Error("rep without helper accepted")
+	}
+	if err := run([]string{"gen", "-vec", "/does/not/exist", "-helper", "/tmp/h"}); err == nil {
+		t.Error("missing vector file accepted")
+	}
+}

@@ -1,0 +1,137 @@
+// Multimodal: two biometric modalities with different dimensions and noise
+// characteristics run side by side (the paper's §VI-B remark that accuracy
+// issues "can be relieved by using multiple types of biometrics"). Each
+// modality gets its own system; a user is accepted only if both modalities
+// identify them consistently. The example also probes the rejection
+// boundary (near-miss readings at distance t+1) and the robust-sketch
+// tamper defence under each modality.
+//
+//	go run ./examples/multimodal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+)
+
+type modalitySystem struct {
+	name   string
+	sys    *fuzzyid.System
+	client *fuzzyid.Client
+	stop   func()
+	src    *biometric.Source
+	users  []*biometric.User
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const population = 50
+	modalities := []biometric.Modality{biometric.Fingerprint(), biometric.Iris()}
+	systems := make([]*modalitySystem, 0, len(modalities))
+	defer func() {
+		for _, ms := range systems {
+			ms.stop()
+		}
+	}()
+
+	for i, m := range modalities {
+		sys, err := fuzzyid.NewSystem(fuzzyid.Params{
+			Line:      fuzzyid.PaperLine(),
+			Dimension: m.Dimension,
+		})
+		if err != nil {
+			return err
+		}
+		client, stop := sys.LocalClient()
+		src, err := biometric.NewSource(sys.Extractor().Line(), m, int64(100+i))
+		if err != nil {
+			stop()
+			return err
+		}
+		ms := &modalitySystem{name: m.Name, sys: sys, client: client, stop: stop, src: src}
+		ms.users = src.Population(population)
+		for _, u := range ms.users {
+			if err := client.Enroll(u.ID, u.Template); err != nil {
+				return fmt.Errorf("%s enroll: %w", m.Name, err)
+			}
+		}
+		rep := sys.Report(0)
+		fmt.Printf("%-12s: %d users enrolled, n=%d, residual entropy %.0f bits\n",
+			m.Name, sys.Enrolled(), m.Dimension, rep.ResidualEntropyBits)
+		systems = append(systems, ms)
+	}
+
+	// Multimodal decision: both modalities must agree on the identity.
+	subject := 17
+	fmt.Printf("\nmultimodal identification of user-%04d:\n", subject)
+	ids := make([]string, len(systems))
+	for i, ms := range systems {
+		reading, err := ms.src.GenuineReading(ms.users[subject])
+		if err != nil {
+			return err
+		}
+		id, err := ms.client.Identify(reading)
+		if err != nil {
+			return fmt.Errorf("%s identify: %w", ms.name, err)
+		}
+		ids[i] = id
+		fmt.Printf("  %-12s -> %s\n", ms.name, id)
+	}
+	if ids[0] == ids[1] {
+		fmt.Printf("  decision     -> ACCEPT %s (both modalities agree)\n", ids[0])
+	} else {
+		fmt.Println("  decision     -> REJECT (modalities disagree)")
+	}
+
+	// Rejection boundary: a reading exactly one point beyond the threshold
+	// on one coordinate must be rejected.
+	fmt.Println("\nrejection boundary (near-miss at Chebyshev distance t+1):")
+	for _, ms := range systems {
+		nearMiss, err := ms.src.NearMissReading(ms.users[subject], 1)
+		if err != nil {
+			return err
+		}
+		if _, err := ms.client.Identify(nearMiss); fuzzyid.IsRejected(err) {
+			fmt.Printf("  %-12s -> rejected as required\n", ms.name)
+		} else {
+			return fmt.Errorf("%s accepted a near-miss reading: %v", ms.name, err)
+		}
+	}
+
+	// Tamper defence: corrupt the stored helper data of one modality and
+	// watch verification fail while the untouched modality still works.
+	fmt.Println("\ninsider tampers with the fingerprint helper data of user-0017:")
+	fp := systems[0]
+	record, ok := fp.sys.StoreRecord(fp.users[subject].ID)
+	if !ok {
+		return fmt.Errorf("record lookup failed")
+	}
+	record.Helper.Sketch.Digest[7] ^= 0x10
+	reading, err := fp.src.GenuineReading(fp.users[subject])
+	if err != nil {
+		return err
+	}
+	if err := fp.client.Verify(fp.users[subject].ID, reading); err != nil {
+		fmt.Printf("  %-12s -> verification rejected (robust sketch detected the modification)\n", fp.name)
+	} else {
+		return fmt.Errorf("tampered helper data accepted")
+	}
+	iris := systems[1]
+	irisReading, err := iris.src.GenuineReading(iris.users[subject])
+	if err != nil {
+		return err
+	}
+	if err := iris.client.Verify(iris.users[subject].ID, irisReading); err != nil {
+		return fmt.Errorf("untouched iris modality failed: %w", err)
+	}
+	fmt.Printf("  %-12s -> still verifies (independent helper data)\n", iris.name)
+	return nil
+}

@@ -1,0 +1,139 @@
+// Vault: the fuzzy-extractor output R used "directly in cryptographic
+// applications" (§I) — here as an AES-256-GCM key protecting a secret that
+// can only be unlocked by the enrolled biometric. Nothing secret is stored:
+// the vault holds only public helper data and ciphertext, yet a noisy
+// re-reading of the right finger decrypts while impostors and tampered
+// helper data fail.
+//
+//	go run ./examples/vault
+package main
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"log"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+)
+
+// vault is everything written to disk: all public.
+type vault struct {
+	helper     *fuzzyid.HelperData
+	nonce      []byte
+	ciphertext []byte
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fe, err := fuzzyid.NewExtractor(fuzzyid.Params{
+		Line:      fuzzyid.PaperLine(),
+		Dimension: 640,
+	})
+	if err != nil {
+		return err
+	}
+	src, err := biometric.NewSource(fe.Line(), biometric.Fingerprint(), 21)
+	if err != nil {
+		return err
+	}
+	owner := src.NewUser("owner")
+
+	secret := []byte("wallet seed: abandon ability able about above absent ...")
+	v, err := seal(fe, owner.Template, secret)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sealed %d-byte secret; stored artefacts are all public (helper data + %d-byte ciphertext)\n",
+		len(secret), len(v.ciphertext))
+
+	// The owner, with a fresh noisy reading, unlocks the vault.
+	reading, err := src.GenuineReading(owner)
+	if err != nil {
+		return err
+	}
+	plain, err := open(fe, reading, v)
+	if err != nil {
+		return fmt.Errorf("owner could not open the vault: %w", err)
+	}
+	fmt.Printf("owner unlocked: %q\n", plain)
+
+	// A different finger fails at the fuzzy-extractor stage.
+	if _, err := open(fe, src.ImpostorReading(), v); err != nil {
+		fmt.Println("impostor reading: vault stays sealed")
+	} else {
+		return errors.New("impostor opened the vault")
+	}
+
+	// Flipping one ciphertext bit fails GCM authentication.
+	corrupted := *v
+	corrupted.ciphertext = append([]byte(nil), v.ciphertext...)
+	corrupted.ciphertext[0] ^= 1
+	if _, err := open(fe, reading, &corrupted); err != nil {
+		fmt.Println("corrupted ciphertext: AEAD rejects")
+	} else {
+		return errors.New("corrupted ciphertext decrypted")
+	}
+
+	// Tampering with the helper data is caught by the robust sketch before
+	// any decryption is attempted.
+	evil := *v
+	evil.helper = v.helper.Clone()
+	evil.helper.Sketch.Digest[9] ^= 0x02
+	if _, err := open(fe, reading, &evil); err != nil {
+		fmt.Println("tampered helper data: robust sketch rejects")
+	} else {
+		return errors.New("tampered helper accepted")
+	}
+	return nil
+}
+
+// seal derives R from the biometric and encrypts the secret under it.
+func seal(fe *fuzzyid.Extractor, bio fuzzyid.Vector, secret []byte) (*vault, error) {
+	key, helper, err := fe.Gen(bio)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return &vault{
+		helper:     helper,
+		nonce:      nonce,
+		ciphertext: aead.Seal(nil, nonce, secret, nil),
+	}, nil
+}
+
+// open reproduces R from a noisy reading and decrypts.
+func open(fe *fuzzyid.Extractor, bio fuzzyid.Vector, v *vault) ([]byte, error) {
+	key, err := fe.Rep(bio, v.helper)
+	if err != nil {
+		return nil, fmt.Errorf("reproduce key: %w", err)
+	}
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	return aead.Open(nil, v.nonce, v.ciphertext, nil)
+}
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key[:32])
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

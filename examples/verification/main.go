@@ -1,0 +1,89 @@
+// Verification: the 1-to-1 mode of §III over a real TCP connection. The
+// user claims an identity, the server retrieves (ID, pk, P), sends the
+// helper data with a fresh challenge, and the device proves possession of
+// the biometric by re-deriving the signing key via Rep and answering the
+// challenge — the private key is never stored anywhere.
+//
+//	go run ./examples/verification
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 1024},
+		fuzzyid.WithSignatureScheme("ecdsa-p256"), // swap schemes freely
+	)
+	if err != nil {
+		return err
+	}
+
+	// A real TCP server on a loopback port.
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("authentication server on %s (ECDSA P-256)\n", srv.Addr())
+
+	client, err := sys.Dial(srv.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// An iris-like profile sized to the configured 1024 dimensions.
+	src, err := biometric.NewSource(sys.Extractor().Line(),
+		biometric.Modality{Name: "iris-1024", Dimension: 1024, NoiseFraction: 0.5}, 11)
+	if err != nil {
+		return err
+	}
+
+	alice := src.NewUser("alice")
+	bob := src.NewUser("bob")
+	for _, u := range []*biometric.User{alice, bob} {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			return err
+		}
+		fmt.Printf("enrolled %s\n", u.ID)
+	}
+
+	// Genuine verification.
+	reading, err := src.GenuineReading(alice)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := client.Verify("alice", reading); err != nil {
+		return fmt.Errorf("genuine verification failed: %w", err)
+	}
+	fmt.Printf("alice verified with a noisy reading in %v\n", time.Since(start).Round(time.Microsecond))
+
+	// Alice's biometric cannot verify as Bob.
+	if err := client.Verify("bob", reading); fuzzyid.IsRejected(err) {
+		fmt.Println("alice's reading claiming to be bob: rejected")
+	} else {
+		return fmt.Errorf("cross-user verification not rejected: %v", err)
+	}
+
+	// An unknown identity is rejected before any crypto runs.
+	if err := client.Verify("carol", reading); fuzzyid.IsRejected(err) {
+		fmt.Println("unknown identity carol: rejected")
+	} else {
+		return fmt.Errorf("unknown identity not rejected: %v", err)
+	}
+	return nil
+}

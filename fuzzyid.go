@@ -1,0 +1,217 @@
+// Package fuzzyid is the public API of this reproduction of "Fuzzy
+// Extractors for Biometric Identification" (Li, Nepal, Guo, Mu, Susilo —
+// IEEE ICDCS 2017).
+//
+// The paper contributes a succinct fuzzy extractor over the Chebyshev
+// (maximum-norm) metric whose helper data doubles as a database search key,
+// enabling biometric *identification* (1-to-N) with cryptographic cost that
+// is constant in the number of enrolled users, alongside the classical
+// verification (1-to-1) mode.
+//
+// Three layers are exposed:
+//
+//   - The fuzzy extractor itself: NewExtractor, (*Extractor).Gen /
+//     (*Extractor).Rep — key generation from noisy vectors (§IV).
+//   - The protocol system: NewSystem bundles the extractor with a signature
+//     scheme and a record store and exposes the enrollment, verification
+//     and identification protocols of §V over TCP (Listen / Dial) or
+//     in-memory pipes (LocalClient).
+//   - The substrates, importable directly from internal/... by code inside
+//     this module: secure sketches, strong extractors, BCH codes, the
+//     synthetic biometric source and the experiment harness.
+//
+// Quick start:
+//
+//	sys, _ := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 512})
+//	client, stop := sys.LocalClient()
+//	defer stop()
+//	_ = client.Enroll("alice", aliceTemplate)
+//	id, _ := client.Identify(aliceNoisyReading) // "alice", O(1) crypto cost
+package fuzzyid
+
+import (
+	"fmt"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/extract"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/sigscheme"
+	"fuzzyid/internal/store"
+	"fuzzyid/internal/transport"
+)
+
+// Re-exported core types. The aliases make the public API self-contained
+// without duplicating documentation; see the aliased packages for details.
+type (
+	// Vector is an n-dimensional biometric template with every coordinate
+	// on the number line.
+	Vector = numberline.Vector
+	// LineParams are the number-line parameters (a, k, v, t) of
+	// Definition 4.
+	LineParams = numberline.Params
+	// Params configures a fuzzy extractor.
+	Params = core.Params
+	// HelperData is the public value P = (s, r) output by Gen.
+	HelperData = core.HelperData
+	// SecurityReport is the Theorem 3 entropy accounting.
+	SecurityReport = core.SecurityReport
+	// Extractor is the succinct fuzzy extractor (Gen/Rep).
+	Extractor = core.FuzzyExtractor
+	// Client drives the device side of the protocols over a connection.
+	Client = transport.Client
+	// Server is a running TCP authentication server.
+	Server = transport.Server
+	// Record is one enrolled entry (ID, pk, P) in the server store.
+	Record = store.Record
+)
+
+// PaperLine returns the number line of the paper's Table II:
+// a=100, k=4, v=500, t=100, range (-100000, 100000].
+func PaperLine() LineParams { return numberline.PaperParams() }
+
+// PaperParams returns the full Table II extractor configuration (n=5000).
+func PaperParams() Params { return core.PaperParams() }
+
+// NewExtractor constructs the succinct fuzzy extractor.
+func NewExtractor(p Params) (*Extractor, error) { return core.New(p) }
+
+// IsRejected reports whether a protocol error is a rejection (the ⊥
+// outcome) rather than a transport failure.
+func IsRejected(err error) bool { return protocol.IsRejected(err) }
+
+// System bundles everything needed to run the paper's protocols: the fuzzy
+// extractor, the signature scheme, the server-side record store, and the
+// protocol engines for both the authentication server and the biometric
+// device.
+type System struct {
+	extractor *core.FuzzyExtractor
+	scheme    sigscheme.Scheme
+	db        store.Store
+	server    *protocol.Server
+	device    *protocol.Device
+}
+
+// Option configures a System.
+type Option interface {
+	apply(*config) error
+}
+
+type optionFunc func(*config) error
+
+func (f optionFunc) apply(c *config) error { return f(c) }
+
+type config struct {
+	strategy  string
+	scheme    string
+	extractor string
+	indexDims int
+}
+
+// WithStoreStrategy selects the identification lookup strategy: "bucket"
+// (default; inverted index) or "scan" (early-exit linear scan).
+func WithStoreStrategy(name string) Option {
+	return optionFunc(func(c *config) error {
+		c.strategy = name
+		return nil
+	})
+}
+
+// WithSignatureScheme selects the challenge-response signature scheme:
+// "ed25519" (default) or "ecdsa-p256".
+func WithSignatureScheme(name string) Option {
+	return optionFunc(func(c *config) error {
+		c.scheme = name
+		return nil
+	})
+}
+
+// WithExtractor selects the strong extractor: "hmac-sha256" (default),
+// "sha256" (the paper's choice) or "toeplitz".
+func WithExtractor(name string) Option {
+	return optionFunc(func(c *config) error {
+		c.extractor = name
+		return nil
+	})
+}
+
+// WithIndexDims sets the bucket-index depth (ignored for the scan store).
+func WithIndexDims(d int) Option {
+	return optionFunc(func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("fuzzyid: negative index dims %d", d)
+		}
+		c.indexDims = d
+		return nil
+	})
+}
+
+// NewSystem validates p and assembles a complete deployment.
+func NewSystem(p Params, opts ...Option) (*System, error) {
+	cfg := config{strategy: "bucket", scheme: "ed25519", extractor: "hmac-sha256"}
+	for _, o := range opts {
+		if err := o.apply(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	ext, err := extract.ByName(cfg.extractor)
+	if err != nil {
+		return nil, err
+	}
+	fe, err := core.New(p, core.WithExtractor(ext))
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := sigscheme.ByName(cfg.scheme)
+	if err != nil {
+		return nil, err
+	}
+	var db store.Store
+	if cfg.strategy == "bucket" && cfg.indexDims > 0 {
+		db = store.NewBucket(fe.Line(), cfg.indexDims)
+	} else {
+		db, err = store.ByStrategy(cfg.strategy, fe.Line())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		extractor: fe,
+		scheme:    scheme,
+		db:        db,
+		server:    protocol.NewServer(fe, scheme, db),
+		device:    protocol.NewDevice(fe, scheme),
+	}, nil
+}
+
+// Extractor returns the underlying fuzzy extractor.
+func (s *System) Extractor() *Extractor { return s.extractor }
+
+// Enrolled returns the number of enrolled users.
+func (s *System) Enrolled() int { return s.db.Len() }
+
+// StoreRecord returns the stored record for an enrolled identity — the view
+// a database insider has (used by the tamper-resilience examples and
+// tests).
+func (s *System) StoreRecord(id string) (*Record, bool) { return s.db.Get(id) }
+
+// Report returns the Theorem 3 security accounting for dimension n (or the
+// configured dimension when fixed).
+func (s *System) Report(n int) SecurityReport { return s.extractor.Report(n) }
+
+// Listen starts a TCP authentication server for this system.
+func (s *System) Listen(addr string) (*Server, error) {
+	return transport.Listen(addr, s.server)
+}
+
+// LocalClient returns a device client wired to this system's server through
+// an in-memory pipe, plus its teardown function.
+func (s *System) LocalClient() (*Client, func()) {
+	return transport.LocalPair(s.server, s.device)
+}
+
+// Dial connects a device client for this system's parameters to a remote
+// authentication server.
+func (s *System) Dial(addr string) (*Client, error) {
+	return transport.Dial(addr, s.device)
+}

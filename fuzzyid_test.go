@@ -1,0 +1,200 @@
+package fuzzyid
+
+import (
+	"bytes"
+	"testing"
+
+	"fuzzyid/internal/biometric"
+)
+
+func testSystem(t *testing.T, dim int, opts ...Option) (*System, *biometric.Source) {
+	t.Helper()
+	sys, err := NewSystem(Params{Line: PaperLine(), Dimension: dim}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(dim), 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, src
+}
+
+func TestPaperParamsFacade(t *testing.T) {
+	p := PaperParams()
+	if p.Dimension != 5000 {
+		t.Errorf("Dimension = %d", p.Dimension)
+	}
+	if PaperLine().V != 500 {
+		t.Errorf("V = %d", PaperLine().V)
+	}
+}
+
+func TestNewExtractorRoundTrip(t *testing.T) {
+	fe, err := NewExtractor(Params{Line: PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(fe.Line(), biometric.Paper(32), 302)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.NewUser("u")
+	key, helper, err := fe.Gen(u.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fe.Rep(reading, helper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(key, got) {
+		t.Fatal("key mismatch")
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys, src := testSystem(t, 64)
+	client, stop := sys.LocalClient()
+	defer stop()
+	users := src.Population(8)
+	for _, u := range users {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll: %v", err)
+		}
+	}
+	if sys.Enrolled() != 8 {
+		t.Errorf("Enrolled = %d", sys.Enrolled())
+	}
+	reading, err := src.GenuineReading(users[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.Identify(reading)
+	if err != nil {
+		t.Fatalf("identify: %v", err)
+	}
+	if id != users[5].ID {
+		t.Fatalf("identified %q", id)
+	}
+	if err := client.Verify(users[5].ID, reading); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	_, err = client.Identify(src.ImpostorReading())
+	if !IsRejected(err) {
+		t.Fatalf("impostor err = %v", err)
+	}
+}
+
+func TestSystemOverTCP(t *testing.T) {
+	sys, src := testSystem(t, 32)
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := sys.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	u := src.NewUser("tcp-user")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatal(err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.Identify(reading)
+	if err != nil || id != u.ID {
+		t.Fatalf("Identify = (%q, %v)", id, err)
+	}
+}
+
+func TestSystemOptions(t *testing.T) {
+	valid := [][]Option{
+		{WithStoreStrategy("scan")},
+		{WithStoreStrategy("sorted")},
+		{WithSignatureScheme("ecdsa-p256")},
+		{WithExtractor("sha256")},
+		{WithExtractor("toeplitz"), WithStoreStrategy("scan")},
+		{WithIndexDims(2)},
+	}
+	for _, opts := range valid {
+		sys, src := testSystem(t, 16, opts...)
+		client, stop := sys.LocalClient()
+		u := src.NewUser("u")
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll with opts: %v", err)
+		}
+		reading, err := src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, err := client.Identify(reading); err != nil || id != u.ID {
+			t.Fatalf("identify with opts = (%q, %v)", id, err)
+		}
+		stop()
+	}
+}
+
+func TestSystemBadOptions(t *testing.T) {
+	bad := [][]Option{
+		{WithStoreStrategy("btree")},
+		{WithSignatureScheme("rsa")},
+		{WithExtractor("md5")},
+		{WithIndexDims(-1)},
+	}
+	for i, opts := range bad {
+		if _, err := NewSystem(Params{Line: PaperLine()}, opts...); err == nil {
+			t.Errorf("bad option set %d accepted", i)
+		}
+	}
+}
+
+func TestSystemRevocation(t *testing.T) {
+	sys, src := testSystem(t, 48)
+	client, stop := sys.LocalClient()
+	defer stop()
+	u := src.NewUser("revocable")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatal(err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Revoke(u.ID, reading); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	if sys.Enrolled() != 0 {
+		t.Errorf("Enrolled after revoke = %d", sys.Enrolled())
+	}
+	if _, ok := sys.StoreRecord(u.ID); ok {
+		t.Error("record still present after revocation")
+	}
+	// Fresh enrollment issues new helper data; old readings still work
+	// because the template is unchanged.
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("re-enroll: %v", err)
+	}
+	if err := client.Verify(u.ID, reading); err != nil {
+		t.Fatalf("verify after re-enroll: %v", err)
+	}
+}
+
+func TestSystemReport(t *testing.T) {
+	sys, _ := testSystem(t, 5000)
+	rep := sys.Report(0)
+	if rep.N != 5000 {
+		t.Errorf("Report N = %d", rep.N)
+	}
+	if rep.ResidualEntropyBits < 44820 || rep.ResidualEntropyBits > 44840 {
+		t.Errorf("m~ = %v", rep.ResidualEntropyBits)
+	}
+}

@@ -1,0 +1,311 @@
+package bch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// knownCodes lists classical BCH parameter triples (m, t) -> (n, k) from
+// standard tables; the constructor must reproduce the dimension k exactly.
+func TestKnownCodeDimensions(t *testing.T) {
+	tests := []struct {
+		m    uint
+		t    int
+		n, k int
+	}{
+		{4, 1, 15, 11},
+		{4, 2, 15, 7},
+		{4, 3, 15, 5},
+		{5, 1, 31, 26},
+		{5, 2, 31, 21},
+		{5, 3, 31, 16},
+		{6, 1, 63, 57},
+		{6, 2, 63, 51},
+		{6, 3, 63, 45},
+		{7, 4, 127, 99},
+		{8, 2, 255, 239},
+		{8, 5, 255, 215},
+	}
+	for _, tt := range tests {
+		c, err := New(tt.m, tt.t)
+		if err != nil {
+			t.Fatalf("New(%d, %d): %v", tt.m, tt.t, err)
+		}
+		if c.N() != tt.n || c.K() != tt.k {
+			t.Errorf("BCH(m=%d,t=%d): (n,k) = (%d,%d), want (%d,%d)",
+				tt.m, tt.t, c.N(), c.K(), tt.n, tt.k)
+		}
+		if c.T() != tt.t {
+			t.Errorf("T() = %d, want %d", c.T(), tt.t)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(4, 0); !errors.Is(err, ErrBadT) {
+		t.Errorf("t=0: err = %v, want ErrBadT", err)
+	}
+	if _, err := New(1, 1); err == nil {
+		t.Error("bad field degree accepted")
+	}
+	// Very large t degenerates to the k=1 code (g(x) = (x^n-1)/(x+1))
+	// rather than failing: the generator always divides x^n - 1.
+	c, err := New(4, 7)
+	if err != nil {
+		t.Fatalf("New(4, 7): %v", err)
+	}
+	if c.K() != 1 {
+		t.Errorf("New(4, 7) k = %d, want 1", c.K())
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(4, 0) did not panic")
+		}
+	}()
+	MustNew(4, 0)
+}
+
+func TestEncodeIsSystematicAndValid(t *testing.T) {
+	c := MustNew(5, 2) // BCH(31, 21, 2)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		msg := randBits(rng, c.K())
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if len(cw) != c.N() {
+			t.Fatalf("codeword length = %d, want %d", len(cw), c.N())
+		}
+		// Systematic: message appears verbatim in the high positions.
+		for j := 0; j < c.K(); j++ {
+			if cw[c.N()-c.K()+j] != msg[j] {
+				t.Fatalf("codeword not systematic at message bit %d", j)
+			}
+		}
+		ok, err := c.IsCodeword(cw)
+		if err != nil || !ok {
+			t.Fatalf("IsCodeword = (%v, %v), want (true, nil)", ok, err)
+		}
+	}
+}
+
+func TestEncodeWrongLength(t *testing.T) {
+	c := MustNew(4, 1)
+	if _, err := c.Encode(make(Bits, c.K()+1)); !errors.Is(err, ErrLength) {
+		t.Errorf("err = %v, want ErrLength", err)
+	}
+}
+
+func TestDecodeNoErrors(t *testing.T) {
+	c := MustNew(4, 2)
+	rng := rand.New(rand.NewSource(12))
+	msg := randBits(rng, c.K())
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotMsg, n, err := c.Decode(cw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("corrected = %d, want 0", n)
+	}
+	if !bitsEqual(got, cw) || !bitsEqual(gotMsg, msg) {
+		t.Error("clean decode altered the word")
+	}
+}
+
+func TestDecodeCorrectsUpToT(t *testing.T) {
+	for _, params := range []struct {
+		m uint
+		t int
+	}{{4, 1}, {4, 2}, {4, 3}, {5, 2}, {6, 3}, {8, 5}} {
+		c := MustNew(params.m, params.t)
+		rng := rand.New(rand.NewSource(int64(params.m)*100 + int64(params.t)))
+		for trial := 0; trial < 50; trial++ {
+			msg := randBits(rng, c.K())
+			cw, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for nerr := 1; nerr <= c.T(); nerr++ {
+				rx := cw.Clone()
+				flips := distinctPositions(rng, c.N(), nerr)
+				for _, p := range flips {
+					rx[p] ^= 1
+				}
+				corrected, gotMsg, n, err := c.Decode(rx)
+				if err != nil {
+					t.Fatalf("BCH(m=%d,t=%d) failed with %d errors: %v", params.m, params.t, nerr, err)
+				}
+				if n != nerr {
+					t.Fatalf("corrected %d errors, injected %d", n, nerr)
+				}
+				if !bitsEqual(corrected, cw) {
+					t.Fatal("decoded codeword differs from original")
+				}
+				if !bitsEqual(gotMsg, msg) {
+					t.Fatal("decoded message differs from original")
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsBeyondCapacity(t *testing.T) {
+	// With t+1 or more random errors the decoder must either correct to a
+	// *valid* codeword (possible miscorrection to a different codeword) or
+	// report ErrUncorrectable; it must never return an invalid word, and for
+	// a weight-(t+1) burst confined to t+1 *distinct* random positions,
+	// miscorrections land on a codeword at distance >= d - (t+1) > t from
+	// the original, so the decoded message differs whenever decode succeeds.
+	c := MustNew(5, 2) // d >= 5
+	rng := rand.New(rand.NewSource(13))
+	sawReject := false
+	for trial := 0; trial < 200; trial++ {
+		msg := randBits(rng, c.K())
+		cw, _ := c.Encode(msg)
+		rx := cw.Clone()
+		for _, p := range distinctPositions(rng, c.N(), c.T()+1) {
+			rx[p] ^= 1
+		}
+		decoded, gotMsg, _, err := c.Decode(rx)
+		if err != nil {
+			if !errors.Is(err, ErrUncorrectable) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			sawReject = true
+			continue
+		}
+		ok, _ := c.IsCodeword(decoded)
+		if !ok {
+			t.Fatal("decoder returned a non-codeword")
+		}
+		if bitsEqual(gotMsg, msg) {
+			t.Fatal("t+1 errors decoded back to the original message; capacity claim violated")
+		}
+	}
+	if !sawReject {
+		t.Error("expected at least one ErrUncorrectable over 200 trials")
+	}
+}
+
+func TestDecodeWrongLength(t *testing.T) {
+	c := MustNew(4, 1)
+	if _, _, _, err := c.Decode(make(Bits, 3)); !errors.Is(err, ErrLength) {
+		t.Errorf("err = %v, want ErrLength", err)
+	}
+}
+
+func TestGeneratorDividesXnMinus1(t *testing.T) {
+	// g(x) must divide x^n - 1; equivalently every codeword shift stays in
+	// the code (cyclic property). Check by encoding and rotating.
+	c := MustNew(4, 2)
+	rng := rand.New(rand.NewSource(14))
+	msg := randBits(rng, c.K())
+	cw, _ := c.Encode(msg)
+	for shift := 1; shift < c.N(); shift++ {
+		rot := make(Bits, c.N())
+		for i := range cw {
+			rot[(i+shift)%c.N()] = cw[i]
+		}
+		ok, err := c.IsCodeword(rot)
+		if err != nil || !ok {
+			t.Fatalf("cyclic shift %d left the code: (%v, %v)", shift, ok, err)
+		}
+	}
+}
+
+func TestMinimumDistanceSmallCode(t *testing.T) {
+	// Exhaustively verify the designed distance of BCH(15, 5, 3): every
+	// non-zero codeword must have weight >= 2t+1 = 7.
+	c := MustNew(4, 3)
+	if c.K() != 5 {
+		t.Fatalf("unexpected k = %d", c.K())
+	}
+	for m := 1; m < 1<<c.K(); m++ {
+		msg := make(Bits, c.K())
+		for j := 0; j < c.K(); j++ {
+			msg[j] = byte((m >> j) & 1)
+		}
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := cw.Weight(); w < 2*c.T()+1 {
+			t.Fatalf("codeword for message %d has weight %d < %d", m, w, 2*c.T()+1)
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	c := MustNew(5, 2)
+	f := func(seedA, seedB int64) bool {
+		rngA := rand.New(rand.NewSource(seedA))
+		rngB := rand.New(rand.NewSource(seedB))
+		ma := randBits(rngA, c.K())
+		mb := randBits(rngB, c.K())
+		ca, _ := c.Encode(ma)
+		cb, _ := c.Encode(mb)
+		sum, _ := ca.Xor(cb)
+		ok, err := c.IsCodeword(sum)
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	b := Bits{1, 0, 1}
+	if b.Weight() != 2 {
+		t.Errorf("Weight = %d, want 2", b.Weight())
+	}
+	cl := b.Clone()
+	cl[0] = 0
+	if b[0] != 1 {
+		t.Error("Clone aliases original")
+	}
+	if (Bits(nil)).Clone() != nil {
+		t.Error("Clone(nil) != nil")
+	}
+	x, err := b.Xor(Bits{1, 1, 1})
+	if err != nil || !bitsEqual(x, Bits{0, 1, 0}) {
+		t.Errorf("Xor = (%v, %v)", x, err)
+	}
+	if _, err := b.Xor(Bits{1}); !errors.Is(err, ErrLength) {
+		t.Errorf("Xor length mismatch err = %v", err)
+	}
+}
+
+func randBits(rng *rand.Rand, n int) Bits {
+	b := make(Bits, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+func distinctPositions(rng *rand.Rand, n, count int) []int {
+	perm := rng.Perm(n)
+	return perm[:count]
+}
+
+func bitsEqual(a, b Bits) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+package biometric
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"fuzzyid/internal/numberline"
+)
+
+func testLine(t *testing.T) *numberline.Line {
+	t.Helper()
+	l, err := numberline.New(numberline.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestModalityProfiles(t *testing.T) {
+	for _, m := range []Modality{Paper(5000), Fingerprint(), Iris(), Face()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.Dimension <= 0 {
+			t.Errorf("%s: dimension %d", m.Name, m.Dimension)
+		}
+	}
+}
+
+func TestModalityValidate(t *testing.T) {
+	if err := (Modality{Name: "x", Dimension: 0, NoiseFraction: 0.5}).Validate(); !errors.Is(err, ErrBadDimension) {
+		t.Errorf("zero dimension err = %v", err)
+	}
+	if err := (Modality{Name: "x", Dimension: 4, NoiseFraction: 1.5}).Validate(); !errors.Is(err, ErrBadNoise) {
+		t.Errorf("noise > 1 err = %v", err)
+	}
+	if err := (Modality{Name: "x", Dimension: 4, NoiseFraction: -0.1}).Validate(); !errors.Is(err, ErrBadNoise) {
+		t.Errorf("negative noise err = %v", err)
+	}
+}
+
+func TestNewSourceRejectsBadModality(t *testing.T) {
+	if _, err := NewSource(testLine(t), Modality{}, 1); err == nil {
+		t.Error("bad modality accepted")
+	}
+}
+
+func TestMustNewSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustNewSource(testLine(t), Modality{}, 1)
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	l := testLine(t)
+	s1 := MustNewSource(l, Paper(32), 99)
+	s2 := MustNewSource(l, Paper(32), 99)
+	u1 := s1.NewUser("u")
+	u2 := s2.NewUser("u")
+	if !u1.Template.Equal(u2.Template) {
+		t.Error("same seed produced different templates")
+	}
+	s3 := MustNewSource(l, Paper(32), 100)
+	u3 := s3.NewUser("u")
+	if u1.Template.Equal(u3.Template) {
+		t.Error("different seeds produced identical templates")
+	}
+}
+
+func TestTemplatesOnLine(t *testing.T) {
+	l := testLine(t)
+	s := MustNewSource(l, Paper(128), 7)
+	for i := 0; i < 20; i++ {
+		u := s.NewUser("u")
+		if err := l.ValidateVector(u.Template); err != nil {
+			t.Fatalf("template invalid: %v", err)
+		}
+		if len(u.Template) != 128 {
+			t.Fatalf("dimension = %d", len(u.Template))
+		}
+	}
+}
+
+func TestGenuineReadingWithinThreshold(t *testing.T) {
+	l := testLine(t)
+	for _, m := range []Modality{Paper(64), Fingerprint(), Iris(), Face()} {
+		s := MustNewSource(l, m, 8)
+		u := s.NewUser("u")
+		for i := 0; i < 50; i++ {
+			r, err := s.GenuineReading(u)
+			if err != nil {
+				t.Fatalf("%s: GenuineReading: %v", m.Name, err)
+			}
+			d, err := l.ChebyshevDist(u.Template, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > s.NoiseMax() {
+				t.Fatalf("%s: genuine reading at distance %d > noise max %d", m.Name, d, s.NoiseMax())
+			}
+			if d > l.Threshold() {
+				t.Fatalf("%s: genuine reading beyond threshold", m.Name)
+			}
+		}
+	}
+}
+
+func TestGenuineReadingNilUser(t *testing.T) {
+	s := MustNewSource(testLine(t), Paper(8), 9)
+	if _, err := s.GenuineReading(nil); !errors.Is(err, ErrNilUser) {
+		t.Errorf("nil user err = %v", err)
+	}
+}
+
+func TestReadingWithNoise(t *testing.T) {
+	l := testLine(t)
+	s := MustNewSource(l, Paper(64), 15)
+	u := s.NewUser("u")
+	for _, noise := range []int64{0, 1, 50, 500} {
+		for i := 0; i < 20; i++ {
+			r, err := s.ReadingWithNoise(u, noise)
+			if err != nil {
+				t.Fatalf("ReadingWithNoise(%d): %v", noise, err)
+			}
+			d, err := l.ChebyshevDist(u.Template, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d > noise {
+				t.Fatalf("noise bound %d exceeded: dist %d", noise, d)
+			}
+		}
+	}
+	if _, err := s.ReadingWithNoise(u, -1); !errors.Is(err, ErrBadNoise) {
+		t.Errorf("negative noise err = %v", err)
+	}
+	if _, err := s.ReadingWithNoise(nil, 1); !errors.Is(err, ErrNilUser) {
+		t.Errorf("nil user err = %v", err)
+	}
+	// Zero noise reproduces the template exactly.
+	r, err := s.ReadingWithNoise(u, 0)
+	if err != nil || !r.Equal(u.Template) {
+		t.Errorf("zero-noise reading differs from template")
+	}
+}
+
+func TestImpostorReadingFarFromTemplate(t *testing.T) {
+	l := testLine(t)
+	s := MustNewSource(l, Paper(64), 10)
+	u := s.NewUser("victim")
+	for i := 0; i < 50; i++ {
+		imp := s.ImpostorReading()
+		d, err := l.ChebyshevDist(u.Template, imp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= l.Threshold() {
+			t.Fatalf("impostor within threshold (d=%d); probability ~ (201/200000)^64", d)
+		}
+	}
+}
+
+func TestNearMissReading(t *testing.T) {
+	l := testLine(t)
+	s := MustNewSource(l, Paper(32), 11)
+	u := s.NewUser("u")
+	for i := 0; i < 50; i++ {
+		r, err := s.NearMissReading(u, 1)
+		if err != nil {
+			t.Fatalf("NearMissReading: %v", err)
+		}
+		d, err := l.ChebyshevDist(u.Template, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != l.Threshold()+1 {
+			t.Fatalf("near miss at distance %d, want t+1 = %d", d, l.Threshold()+1)
+		}
+	}
+	if _, err := s.NearMissReading(u, 0); !errors.Is(err, ErrBadNoise) {
+		t.Errorf("margin 0 err = %v", err)
+	}
+	if _, err := s.NearMissReading(nil, 1); !errors.Is(err, ErrNilUser) {
+		t.Errorf("nil user err = %v", err)
+	}
+}
+
+func TestPopulationIDsAndCount(t *testing.T) {
+	s := MustNewSource(testLine(t), Paper(16), 12)
+	users := s.Population(5)
+	if len(users) != 5 {
+		t.Fatalf("population size = %d", len(users))
+	}
+	seen := make(map[string]bool)
+	for _, u := range users {
+		if seen[u.ID] {
+			t.Fatalf("duplicate ID %q", u.ID)
+		}
+		seen[u.ID] = true
+	}
+	if users[0].ID != "user-0000" || users[4].ID != "user-0004" {
+		t.Errorf("unexpected IDs: %s, %s", users[0].ID, users[4].ID)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	s := MustNewSource(testLine(t), Paper(32), 13)
+	u := s.NewUser("u")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := s.GenuineReading(u); err != nil {
+					t.Error(err)
+					return
+				}
+				s.ImpostorReading()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAccessors(t *testing.T) {
+	l := testLine(t)
+	m := Iris()
+	s := MustNewSource(l, m, 14)
+	if s.Modality().Name != "iris" {
+		t.Errorf("Modality().Name = %s", s.Modality().Name)
+	}
+	if s.Line() != l {
+		t.Error("Line() mismatch")
+	}
+	want := int64(float64(l.Threshold()) * m.NoiseFraction)
+	if s.NoiseMax() != want {
+		t.Errorf("NoiseMax = %d, want %d", s.NoiseMax(), want)
+	}
+}

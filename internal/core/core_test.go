@@ -1,0 +1,364 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fuzzyid/internal/extract"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sketch"
+)
+
+// testParams is a small but realistic configuration for fast tests.
+func testParams() Params {
+	return Params{Line: numberline.PaperParams(), Dimension: 64}
+}
+
+func newFE(t *testing.T, opts ...Option) *FuzzyExtractor {
+	t.Helper()
+	fe, err := New(testParams(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fe
+}
+
+func randomVec(rng *rand.Rand, l *numberline.Line, n int) numberline.Vector {
+	v := make(numberline.Vector, n)
+	for i := range v {
+		v[i] = l.Normalize(rng.Int63n(l.RingSize()) - l.RingSize()/2)
+	}
+	return v
+}
+
+func perturb(rng *rand.Rand, l *numberline.Line, x numberline.Vector, maxD int64) numberline.Vector {
+	y := make(numberline.Vector, len(x))
+	for i := range x {
+		y[i] = l.Add(x[i], rng.Int63n(2*maxD+1)-maxD)
+	}
+	return y
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Params{Line: numberline.Params{A: -1, K: 4, V: 8, T: 1}}); err == nil {
+		t.Error("invalid line accepted")
+	}
+	if _, err := New(Params{Line: numberline.PaperParams(), KeyLen: -1}); !errors.Is(err, ErrBadKeyLen) {
+		t.Errorf("negative key length err = %v", err)
+	}
+	if _, err := New(Params{Line: numberline.PaperParams(), SeedLen: -1}); !errors.Is(err, ErrBadSeedLen) {
+		t.Errorf("negative seed length err = %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad params did not panic")
+		}
+	}()
+	MustNew(Params{})
+}
+
+func TestDefaults(t *testing.T) {
+	fe := newFE(t)
+	if fe.KeyLen() != DefaultKeyLen {
+		t.Errorf("KeyLen = %d, want %d", fe.KeyLen(), DefaultKeyLen)
+	}
+	if fe.Line() == nil || fe.Sketcher() == nil {
+		t.Error("accessors returned nil")
+	}
+	if fe.Params().Dimension != 64 {
+		t.Errorf("Params().Dimension = %d", fe.Params().Dimension)
+	}
+}
+
+func TestGenRepRoundTrip(t *testing.T) {
+	fe := newFE(t)
+	rng := rand.New(rand.NewSource(61))
+	l := fe.Line()
+	for trial := 0; trial < 25; trial++ {
+		x := randomVec(rng, l, 64)
+		key, helper, err := fe.Gen(x)
+		if err != nil {
+			t.Fatalf("Gen: %v", err)
+		}
+		if len(key) != DefaultKeyLen {
+			t.Fatalf("key length = %d", len(key))
+		}
+		if helper.Dimension() != 64 {
+			t.Fatalf("helper dimension = %d", helper.Dimension())
+		}
+		// Exact probe.
+		got, err := fe.Rep(x, helper)
+		if err != nil {
+			t.Fatalf("Rep(exact): %v", err)
+		}
+		if !bytes.Equal(got, key) {
+			t.Fatal("Rep(exact) produced different key")
+		}
+		// Noisy probe within threshold.
+		y := perturb(rng, l, x, l.Threshold())
+		got, err = fe.Rep(y, helper)
+		if err != nil {
+			t.Fatalf("Rep(noisy): %v", err)
+		}
+		if !bytes.Equal(got, key) {
+			t.Fatal("Rep(noisy) produced different key")
+		}
+	}
+}
+
+func TestRepRejectsFarProbe(t *testing.T) {
+	fe := newFE(t)
+	rng := rand.New(rand.NewSource(62))
+	l := fe.Line()
+	x := randomVec(rng, l, 64)
+	_, helper, err := fe.Gen(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := x.Clone()
+	far[10] = l.Add(far[10], l.Threshold()+1)
+	if _, err := fe.Rep(far, helper); err == nil {
+		t.Fatal("far probe accepted")
+	}
+	// A completely different user must also fail.
+	other := randomVec(rng, l, 64)
+	if _, err := fe.Rep(other, helper); err == nil {
+		t.Fatal("impostor accepted")
+	}
+}
+
+func TestRepDetectsTamperedHelper(t *testing.T) {
+	fe := newFE(t)
+	rng := rand.New(rand.NewSource(63))
+	l := fe.Line()
+	x := randomVec(rng, l, 64)
+	_, helper, err := fe.Gen(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := helper.Clone()
+	evil.Sketch.Digest[5] ^= 0xff
+	if _, err := fe.Rep(x, evil); !errors.Is(err, sketch.ErrTampered) {
+		t.Fatalf("tampered digest err = %v, want ErrTampered", err)
+	}
+	// Tampering with the seed changes the key but is not detectable by the
+	// sketch; the signature layer of the protocol catches it. Here we only
+	// require a different key, not an error.
+	evil2 := helper.Clone()
+	evil2.Seed[0] ^= 0x01
+	key2, err := fe.Rep(x, evil2)
+	if err != nil {
+		t.Fatalf("Rep with modified seed: %v", err)
+	}
+	orig, err := fe.Rep(x, helper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(key2, orig) {
+		t.Fatal("modified seed produced the same key")
+	}
+}
+
+func TestDimensionEnforcement(t *testing.T) {
+	fe := newFE(t)
+	rng := rand.New(rand.NewSource(64))
+	short := randomVec(rng, fe.Line(), 5)
+	if _, _, err := fe.Gen(short); !errors.Is(err, ErrDimension) {
+		t.Errorf("Gen wrong dimension err = %v", err)
+	}
+	x := randomVec(rng, fe.Line(), 64)
+	_, helper, err := fe.Gen(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fe.Rep(short, helper); !errors.Is(err, ErrDimension) {
+		t.Errorf("Rep wrong dimension err = %v", err)
+	}
+	if _, err := fe.SketchOnly(short); !errors.Is(err, ErrDimension) {
+		t.Errorf("SketchOnly wrong dimension err = %v", err)
+	}
+	// Dimension 0 accepts anything.
+	flex, err := New(Params{Line: numberline.PaperParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := flex.Gen(short); err != nil {
+		t.Errorf("flexible-dimension Gen: %v", err)
+	}
+}
+
+func TestRepNilHelper(t *testing.T) {
+	fe := newFE(t)
+	x := randomVec(rand.New(rand.NewSource(65)), fe.Line(), 64)
+	if _, err := fe.Rep(x, nil); !errors.Is(err, ErrNilHelper) {
+		t.Errorf("nil helper err = %v", err)
+	}
+	if _, err := fe.Rep(x, &HelperData{}); !errors.Is(err, ErrNilHelper) {
+		t.Errorf("empty helper err = %v", err)
+	}
+}
+
+func TestFreshSeedsPerGen(t *testing.T) {
+	fe := newFE(t)
+	rng := rand.New(rand.NewSource(66))
+	x := randomVec(rng, fe.Line(), 64)
+	k1, h1, err := fe.Gen(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, h2, err := fe.Gen(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(h1.Seed, h2.Seed) {
+		t.Error("two Gen calls reused the extractor seed")
+	}
+	if bytes.Equal(k1, k2) {
+		t.Error("two Gen calls derived identical keys (seed ignored?)")
+	}
+}
+
+func TestAllExtractorsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for _, e := range extract.All() {
+		t.Run(e.Name(), func(t *testing.T) {
+			fe, err := New(testParams(), WithExtractor(e))
+			if err != nil {
+				t.Fatal(err)
+			}
+			l := fe.Line()
+			x := randomVec(rng, l, 64)
+			key, helper, err := fe.Gen(x)
+			if err != nil {
+				t.Fatalf("Gen: %v", err)
+			}
+			y := perturb(rng, l, x, l.Threshold())
+			got, err := fe.Rep(y, helper)
+			if err != nil {
+				t.Fatalf("Rep: %v", err)
+			}
+			if !bytes.Equal(got, key) {
+				t.Fatal("key mismatch")
+			}
+		})
+	}
+}
+
+func TestHelperDataClone(t *testing.T) {
+	fe := newFE(t)
+	x := randomVec(rand.New(rand.NewSource(68)), fe.Line(), 64)
+	_, helper, err := fe.Gen(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := helper.Clone()
+	cl.Seed[0] ^= 1
+	cl.Sketch.Sketch.Movements[0]++
+	if helper.Seed[0] == cl.Seed[0] {
+		t.Error("Clone aliases seed")
+	}
+	if helper.Sketch.Sketch.Movements[0] == cl.Sketch.Sketch.Movements[0] {
+		t.Error("Clone aliases movements")
+	}
+	var nilH *HelperData
+	if nilH.Clone() != nil || nilH.Dimension() != 0 {
+		t.Error("nil helper helpers misbehave")
+	}
+}
+
+func TestSecurityReportTable2(t *testing.T) {
+	// Table II of the paper: with a=100, k=4, v=500 and n=5000 the residual
+	// entropy is m̃ ≈ 44,829 bits and the storage ≈ 45,000 bits (the paper
+	// rounds up; the exact closed form is n*log2(ka+1) ≈ 43,237).
+	p := PaperParams()
+	rep := p.Report(5000)
+	if got, want := rep.ResidualEntropyBits, 5000*math.Log2(500); math.Abs(got-want) > 1e-6 {
+		t.Errorf("ResidualEntropyBits = %v, want %v", got, want)
+	}
+	if math.Abs(rep.ResidualEntropyBits-44829) > 1 {
+		t.Errorf("m̃ = %.0f bits, paper reports ≈ 44,829", rep.ResidualEntropyBits)
+	}
+	if got, want := rep.MinEntropyBits, 5000*math.Log2(200000); math.Abs(got-want) > 1e-6 {
+		t.Errorf("MinEntropyBits = %v, want %v", got, want)
+	}
+	if got, want := rep.EntropyLossBits, 5000*math.Log2(400); math.Abs(got-want) > 1e-6 {
+		t.Errorf("EntropyLossBits = %v, want %v", got, want)
+	}
+	if got, want := rep.SketchStorageBits, 5000*math.Log2(401); math.Abs(got-want) > 1e-6 {
+		t.Errorf("SketchStorageBits = %v, want %v", got, want)
+	}
+	// m = m̃ + loss must hold exactly.
+	if math.Abs(rep.MinEntropyBits-(rep.ResidualEntropyBits+rep.EntropyLossBits)) > 1e-6 {
+		t.Error("entropy accounting identity violated")
+	}
+	// False-close bound: (2t+1)/ka = 201/400, so the exponent is
+	// n*log2(201/400) ≈ -4967 — overwhelmingly negative.
+	if rep.FalseCloseExponent > -4000 {
+		t.Errorf("FalseCloseExponent = %v, want strongly negative", rep.FalseCloseExponent)
+	}
+}
+
+func TestReportUsesConfiguredDimension(t *testing.T) {
+	fe := newFE(t) // Dimension 64
+	rep := fe.Report(999)
+	if rep.N != 64 {
+		t.Errorf("Report dimension = %d, want configured 64", rep.N)
+	}
+	flex := MustNew(Params{Line: numberline.PaperParams()})
+	if got := flex.Report(7).N; got != 7 {
+		t.Errorf("flexible Report dimension = %d, want 7", got)
+	}
+}
+
+func TestSketchOnlyMatchesEnrolledSketch(t *testing.T) {
+	// The probe sketch of a noisy reading must Match the enrolled robust
+	// sketch — the property the identification protocol relies on.
+	fe := newFE(t)
+	rng := rand.New(rand.NewSource(69))
+	l := fe.Line()
+	x := randomVec(rng, l, 64)
+	_, helper, err := fe.Gen(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := perturb(rng, l, x, l.Threshold())
+	probe, err := fe.SketchOnly(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := fe.Sketcher().Match(helper.Sketch, probe)
+	if err != nil || !ok {
+		t.Fatalf("Match = (%v, %v), want (true, nil)", ok, err)
+	}
+}
+
+func TestWithSeedSourceDeterminism(t *testing.T) {
+	fixed := func(n int) ([]byte, error) {
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = 0xAB
+		}
+		return s, nil
+	}
+	fe, err := New(testParams(), WithSeedSource(fixed), WithCoins(bytes.NewReader(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fe
+	// A failing seed source must surface as a Gen error.
+	failing := func(int) ([]byte, error) { return nil, errors.New("rng broken") }
+	fe2, err := New(testParams(), WithSeedSource(failing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomVec(rand.New(rand.NewSource(70)), fe2.Line(), 64)
+	if _, _, err := fe2.Gen(x); err == nil {
+		t.Error("failing seed source did not error")
+	}
+}

@@ -1,0 +1,233 @@
+// Package entropy implements the information-theoretic quantities of §II-A
+// used by the paper's security analysis: min-entropy, average (conditional)
+// min-entropy, Shannon entropy and statistical distance, both on exact
+// distributions and on empirical samples. The experiment harness uses it to
+// measure Theorem 3 (residual entropy of the sketch, H̃∞(X|S) = n·log₂ v)
+// on small parameter sets and to sanity-check extractor outputs.
+package entropy
+
+import (
+	"errors"
+	"math"
+)
+
+// Errors returned by the estimators.
+var (
+	ErrEmptyDistribution = errors.New("entropy: empty distribution")
+	ErrNotNormalized     = errors.New("entropy: probabilities do not sum to 1")
+	ErrNegativeProb      = errors.New("entropy: negative probability")
+	ErrLengthMismatch    = errors.New("entropy: distributions have different support sizes")
+	ErrNoSamples         = errors.New("entropy: no samples")
+)
+
+const normTolerance = 1e-9
+
+// MinEntropy returns H∞(A) = -log₂ max_a Pr[A = a] for an explicit
+// probability vector.
+func MinEntropy(probs []float64) (float64, error) {
+	if len(probs) == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	var sum, maxP float64
+	for _, p := range probs {
+		if p < 0 {
+			return 0, ErrNegativeProb
+		}
+		sum += p
+		if p > maxP {
+			maxP = p
+		}
+	}
+	if math.Abs(sum-1) > normTolerance {
+		return 0, ErrNotNormalized
+	}
+	return -math.Log2(maxP), nil
+}
+
+// Shannon returns H(A) = -Σ p log₂ p.
+func Shannon(probs []float64) (float64, error) {
+	if len(probs) == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	var sum, h float64
+	for _, p := range probs {
+		if p < 0 {
+			return 0, ErrNegativeProb
+		}
+		sum += p
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	if math.Abs(sum-1) > normTolerance {
+		return 0, ErrNotNormalized
+	}
+	return h, nil
+}
+
+// StatisticalDistance returns SD(A₁, A₂) = ½ Σ_u |Pr[A₁=u] - Pr[A₂=u]| for
+// two probability vectors over the same ordered support.
+func StatisticalDistance(p, q []float64) (float64, error) {
+	if len(p) != len(q) {
+		return 0, ErrLengthMismatch
+	}
+	if len(p) == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	var sp, sq, d float64
+	for i := range p {
+		if p[i] < 0 || q[i] < 0 {
+			return 0, ErrNegativeProb
+		}
+		sp += p[i]
+		sq += q[i]
+		d += math.Abs(p[i] - q[i])
+	}
+	if math.Abs(sp-1) > normTolerance || math.Abs(sq-1) > normTolerance {
+		return 0, ErrNotNormalized
+	}
+	return d / 2, nil
+}
+
+// Joint accumulates a joint distribution P(Cond = c, Val = v) and computes
+// the average min-entropy H̃∞(Val | Cond) of Definition in §II-A.2:
+//
+//	H̃∞(V|C) = -log₂ Σ_c max_v P(c, v).
+//
+// Probability mass may be added incrementally; it must total 1 before
+// AverageMinEntropy is called.
+type Joint struct {
+	mass  map[string]map[string]float64
+	total float64
+}
+
+// NewJoint returns an empty joint distribution.
+func NewJoint() *Joint {
+	return &Joint{mass: make(map[string]map[string]float64)}
+}
+
+// Add accumulates probability mass p on the pair (cond, val).
+func (j *Joint) Add(cond, val string, p float64) {
+	inner, ok := j.mass[cond]
+	if !ok {
+		inner = make(map[string]float64)
+		j.mass[cond] = inner
+	}
+	inner[val] += p
+	j.total += p
+}
+
+// Total returns the accumulated probability mass.
+func (j *Joint) Total() float64 { return j.total }
+
+// ConditionCount returns the number of distinct condition values observed.
+func (j *Joint) ConditionCount() int { return len(j.mass) }
+
+// AverageMinEntropy computes H̃∞(Val | Cond) in bits.
+func (j *Joint) AverageMinEntropy() (float64, error) {
+	if len(j.mass) == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	if math.Abs(j.total-1) > 1e-6 {
+		return 0, ErrNotNormalized
+	}
+	var sum float64
+	for _, inner := range j.mass {
+		var maxP float64
+		for _, p := range inner {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		sum += maxP
+	}
+	return -math.Log2(sum), nil
+}
+
+// MinEntropyOfConditions computes H∞(Cond), the min-entropy of the marginal
+// condition distribution — used to measure how much the sketch itself
+// varies.
+func (j *Joint) MinEntropyOfConditions() (float64, error) {
+	if len(j.mass) == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	probs := make([]float64, 0, len(j.mass))
+	for _, inner := range j.mass {
+		var m float64
+		for _, p := range inner {
+			m += p
+		}
+		probs = append(probs, m)
+	}
+	return MinEntropy(probs)
+}
+
+// Samples estimates distributional quantities from empirical draws.
+type Samples struct {
+	counts map[string]int
+	n      int
+}
+
+// NewSamples returns an empty sample accumulator.
+func NewSamples() *Samples {
+	return &Samples{counts: make(map[string]int)}
+}
+
+// Observe records one draw.
+func (s *Samples) Observe(v string) {
+	s.counts[v]++
+	s.n++
+}
+
+// N returns the number of draws observed.
+func (s *Samples) N() int { return s.n }
+
+// Support returns the number of distinct values observed.
+func (s *Samples) Support() int { return len(s.counts) }
+
+// EstimateMinEntropy returns the plug-in estimate -log₂(max count / n).
+// It is biased low for small samples; the experiment harness reports the
+// sample size alongside.
+func (s *Samples) EstimateMinEntropy() (float64, error) {
+	if s.n == 0 {
+		return 0, ErrNoSamples
+	}
+	maxC := 0
+	for _, c := range s.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return -math.Log2(float64(maxC) / float64(s.n)), nil
+}
+
+// DistanceFromUniform estimates the statistical distance between the
+// empirical distribution and the uniform distribution over a support of the
+// given size. Values never observed contribute 1/size each.
+func (s *Samples) DistanceFromUniform(supportSize int) (float64, error) {
+	if s.n == 0 {
+		return 0, ErrNoSamples
+	}
+	if supportSize <= 0 || supportSize < len(s.counts) {
+		return 0, ErrLengthMismatch
+	}
+	u := 1 / float64(supportSize)
+	var d float64
+	for _, c := range s.counts {
+		d += math.Abs(float64(c)/float64(s.n) - u)
+	}
+	d += float64(supportSize-len(s.counts)) * u
+	return d / 2, nil
+}
+
+// Uniform returns the uniform probability vector over n outcomes.
+func Uniform(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}

@@ -1,0 +1,199 @@
+package entropy
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMinEntropy(t *testing.T) {
+	tests := []struct {
+		name  string
+		probs []float64
+		want  float64
+	}{
+		{name: "uniform 2", probs: []float64{0.5, 0.5}, want: 1},
+		{name: "uniform 8", probs: Uniform(8), want: 3},
+		{name: "point mass", probs: []float64{1, 0}, want: 0},
+		{name: "skewed", probs: []float64{0.25, 0.75}, want: -math.Log2(0.75)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MinEntropy(tt.probs)
+			if err != nil {
+				t.Fatalf("MinEntropy: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("MinEntropy = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinEntropyErrors(t *testing.T) {
+	if _, err := MinEntropy(nil); !errors.Is(err, ErrEmptyDistribution) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := MinEntropy([]float64{0.5, 0.6}); !errors.Is(err, ErrNotNormalized) {
+		t.Errorf("unnormalized err = %v", err)
+	}
+	if _, err := MinEntropy([]float64{1.5, -0.5}); !errors.Is(err, ErrNegativeProb) {
+		t.Errorf("negative err = %v", err)
+	}
+}
+
+func TestShannon(t *testing.T) {
+	got, err := Shannon([]float64{0.5, 0.5})
+	if err != nil || math.Abs(got-1) > 1e-9 {
+		t.Errorf("Shannon(uniform2) = (%v, %v)", got, err)
+	}
+	got, err = Shannon([]float64{1, 0})
+	if err != nil || got != 0 {
+		t.Errorf("Shannon(point) = (%v, %v)", got, err)
+	}
+	// Shannon >= min-entropy always.
+	probs := []float64{0.4, 0.3, 0.2, 0.1}
+	h, _ := Shannon(probs)
+	hm, _ := MinEntropy(probs)
+	if h < hm {
+		t.Errorf("Shannon %v < min-entropy %v", h, hm)
+	}
+}
+
+func TestStatisticalDistance(t *testing.T) {
+	d, err := StatisticalDistance([]float64{0.5, 0.5}, []float64{0.5, 0.5})
+	if err != nil || d != 0 {
+		t.Errorf("SD(identical) = (%v, %v)", d, err)
+	}
+	d, err = StatisticalDistance([]float64{1, 0}, []float64{0, 1})
+	if err != nil || math.Abs(d-1) > 1e-9 {
+		t.Errorf("SD(disjoint) = (%v, %v), want 1", d, err)
+	}
+	d, err = StatisticalDistance([]float64{0.75, 0.25}, []float64{0.5, 0.5})
+	if err != nil || math.Abs(d-0.25) > 1e-9 {
+		t.Errorf("SD = (%v, %v), want 0.25", d, err)
+	}
+	if _, err := StatisticalDistance([]float64{1}, []float64{0.5, 0.5}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+}
+
+func TestJointAverageMinEntropy(t *testing.T) {
+	// Textbook example: X uniform over 4 values; S reveals the top bit.
+	// Then H̃∞(X|S) = -log2( Σ_s max_x P(x,s) ) = -log2(1/4 + 1/4) = 1 bit.
+	j := NewJoint()
+	j.Add("s0", "x0", 0.25)
+	j.Add("s0", "x1", 0.25)
+	j.Add("s1", "x2", 0.25)
+	j.Add("s1", "x3", 0.25)
+	got, err := j.AverageMinEntropy()
+	if err != nil {
+		t.Fatalf("AverageMinEntropy: %v", err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("H̃∞ = %v, want 1", got)
+	}
+	if j.ConditionCount() != 2 {
+		t.Errorf("ConditionCount = %d", j.ConditionCount())
+	}
+	if math.Abs(j.Total()-1) > 1e-9 {
+		t.Errorf("Total = %v", j.Total())
+	}
+}
+
+func TestJointFullyRevealing(t *testing.T) {
+	// S = X: conditional min-entropy is 0.
+	j := NewJoint()
+	for i := 0; i < 4; i++ {
+		j.Add(string(rune('a'+i)), string(rune('a'+i)), 0.25)
+	}
+	got, err := j.AverageMinEntropy()
+	if err != nil || math.Abs(got) > 1e-9 {
+		t.Errorf("fully revealing H̃∞ = (%v, %v), want 0", got, err)
+	}
+}
+
+func TestJointIndependent(t *testing.T) {
+	// S independent of X uniform over 8: H̃∞(X|S) = 3 bits.
+	j := NewJoint()
+	for s := 0; s < 2; s++ {
+		for x := 0; x < 8; x++ {
+			j.Add(string(rune('0'+s)), string(rune('a'+x)), 0.5/8)
+		}
+	}
+	got, err := j.AverageMinEntropy()
+	if err != nil || math.Abs(got-3) > 1e-9 {
+		t.Errorf("independent H̃∞ = (%v, %v), want 3", got, err)
+	}
+	// Marginal min-entropy of the condition: uniform over 2 -> 1 bit.
+	hc, err := j.MinEntropyOfConditions()
+	if err != nil || math.Abs(hc-1) > 1e-9 {
+		t.Errorf("H∞(Cond) = (%v, %v), want 1", hc, err)
+	}
+}
+
+func TestJointErrors(t *testing.T) {
+	j := NewJoint()
+	if _, err := j.AverageMinEntropy(); !errors.Is(err, ErrEmptyDistribution) {
+		t.Errorf("empty err = %v", err)
+	}
+	j.Add("s", "x", 0.4)
+	if _, err := j.AverageMinEntropy(); !errors.Is(err, ErrNotNormalized) {
+		t.Errorf("partial mass err = %v", err)
+	}
+	if _, err := NewJoint().MinEntropyOfConditions(); !errors.Is(err, ErrEmptyDistribution) {
+		t.Errorf("empty marginal err = %v", err)
+	}
+}
+
+func TestSamples(t *testing.T) {
+	s := NewSamples()
+	if _, err := s.EstimateMinEntropy(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("no samples err = %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		s.Observe("a")
+	}
+	s.Observe("b")
+	if s.N() != 4 || s.Support() != 2 {
+		t.Errorf("(N, Support) = (%d, %d)", s.N(), s.Support())
+	}
+	got, err := s.EstimateMinEntropy()
+	if err != nil || math.Abs(got+math.Log2(0.75)) > 1e-9 {
+		t.Errorf("EstimateMinEntropy = (%v, %v)", got, err)
+	}
+}
+
+func TestDistanceFromUniform(t *testing.T) {
+	s := NewSamples()
+	s.Observe("a")
+	s.Observe("b")
+	d, err := s.DistanceFromUniform(2)
+	if err != nil || d != 0 {
+		t.Errorf("balanced DistanceFromUniform = (%v, %v), want 0", d, err)
+	}
+	// All mass on one of four values: SD = 1/2*(|1-1/4| + 3*(1/4)) = 0.75.
+	s2 := NewSamples()
+	s2.Observe("only")
+	d, err = s2.DistanceFromUniform(4)
+	if err != nil || math.Abs(d-0.75) > 1e-9 {
+		t.Errorf("point mass DistanceFromUniform = (%v, %v), want 0.75", d, err)
+	}
+	if _, err := s2.DistanceFromUniform(0); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("bad support err = %v", err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	if Uniform(0) != nil {
+		t.Error("Uniform(0) != nil")
+	}
+	u := Uniform(4)
+	var sum float64
+	for _, p := range u {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Uniform(4) sums to %v", sum)
+	}
+}

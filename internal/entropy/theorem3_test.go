@@ -1,0 +1,59 @@
+package entropy
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"fuzzyid/internal/numberline"
+)
+
+// TestTheorem3ExactSmallLine computes H̃∞(X|S) of the Chebyshev sketch
+// *exactly* on small number lines by enumerating the full joint distribution
+// (X uniform on La; the sketch movement is deterministic for interior points
+// and a fair coin for boundary points) and checks Theorem 3's closed form
+// H̃∞(X|S) = log₂ v per coordinate.
+func TestTheorem3ExactSmallLine(t *testing.T) {
+	configs := []numberline.Params{
+		{A: 1, K: 4, V: 8, T: 1},
+		{A: 1, K: 2, V: 4, T: 0},
+		{A: 2, K: 4, V: 5, T: 3},
+		{A: 3, K: 6, V: 7, T: 8},
+	}
+	for _, p := range configs {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			l, err := numberline.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := NewJoint()
+			px := 1 / float64(l.RingSize())
+			for x := l.Min(); x <= l.Max(); x++ {
+				if l.IsBoundary(x) {
+					// Special case: fair coin between left/right movement.
+					_, mvL := l.NearestIdentifier(x, false)
+					_, mvR := l.NearestIdentifier(x, true)
+					j.Add(strconv.FormatInt(mvL, 10), strconv.FormatInt(x, 10), px/2)
+					j.Add(strconv.FormatInt(mvR, 10), strconv.FormatInt(x, 10), px/2)
+					continue
+				}
+				_, mv := l.NearestIdentifier(x, false)
+				j.Add(strconv.FormatInt(mv, 10), strconv.FormatInt(x, 10), px)
+			}
+			got, err := j.AverageMinEntropy()
+			if err != nil {
+				t.Fatalf("AverageMinEntropy: %v", err)
+			}
+			want := math.Log2(float64(p.V))
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("H̃∞(X|S) = %v bits, Theorem 3 predicts log2(v) = %v", got, want)
+			}
+			// Entropy loss: H∞(X) - H̃∞(X|S) = log2(ka).
+			loss := math.Log2(float64(l.RingSize())) - got
+			if math.Abs(loss-math.Log2(float64(p.K*p.A))) > 1e-9 {
+				t.Errorf("entropy loss = %v, want log2(ka) = %v", loss, math.Log2(float64(p.K*p.A)))
+			}
+		})
+	}
+}

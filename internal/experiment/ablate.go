@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/extract"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sigscheme"
+	"fuzzyid/internal/sketch"
+	"fuzzyid/internal/store"
+)
+
+// Ablate measures the design choices DESIGN.md calls out:
+//
+//   - interval shape k (§VII notes k=2 "cannot achieve constant
+//     identification": the false-close factor (2t+1)/ka rises to ~1, so
+//     sketch search stops discriminating);
+//   - bucket-index depth (lookup work vs index dimensions);
+//   - strong-extractor choice (Gen-side extraction latency);
+//   - signature scheme (sign+verify latency, the constant crypto term of
+//     the proposed protocol).
+func Ablate(cfg Config) (*Table, error) {
+	tbl := &Table{
+		ID:     "ablate",
+		Title:  "Design-choice ablations",
+		Header: []string{"axis", "setting", "metric", "value"},
+	}
+	if err := ablateK(cfg, tbl); err != nil {
+		return nil, err
+	}
+	if err := ablateIndexDims(cfg, tbl); err != nil {
+		return nil, err
+	}
+	if err := ablateStoreStrategies(cfg, tbl); err != nil {
+		return nil, err
+	}
+	if err := ablateExtractors(cfg, tbl); err != nil {
+		return nil, err
+	}
+	if err := ablateSchemes(cfg, tbl); err != nil {
+		return nil, err
+	}
+	tbl.AddNote("k=2 drives the per-coordinate false-close factor to ~1: sketch comparison stops " +
+		"discriminating and identification degenerates to exhaustive search, as §VII warns.")
+	return tbl, nil
+}
+
+// ablateK varies k while holding the interval span ka and threshold t
+// fixed, reporting the per-coordinate false-close factor and the measured
+// false-close rate at n=8.
+func ablateK(cfg Config, tbl *Table) error {
+	samples := 50000
+	if cfg.Quick {
+		samples = 5000
+	}
+	type kcase struct {
+		p numberline.Params
+	}
+	cases := []kcase{
+		{p: numberline.Params{A: 100, K: 2, V: 500, T: 99}}, // t must be < ka/2 = 100
+		{p: numberline.Params{A: 100, K: 4, V: 500, T: 100}},
+		{p: numberline.Params{A: 100, K: 6, V: 500, T: 100}},
+		{p: numberline.Params{A: 100, K: 8, V: 500, T: 100}},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, c := range cases {
+		line, err := numberline.New(c.p)
+		if err != nil {
+			return err
+		}
+		factor := float64(2*c.p.T+1) / float64(line.IntervalSpan())
+		tbl.AddRow("interval shape", c.p.String(), "(2t+1)/ka", factor)
+		matches := 0
+		fe, err := core.New(core.Params{Line: c.p})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < samples; i++ {
+			x := uniformVector(rng, line, 8)
+			y := uniformVector(rng, line, 8)
+			sx, err := fe.SketchOnly(x)
+			if err != nil {
+				return err
+			}
+			sy, err := fe.SketchOnly(y)
+			if err != nil {
+				return err
+			}
+			ok, err := fe.Sketcher().Inner().Match(sx, sy)
+			if err != nil {
+				return err
+			}
+			if ok {
+				matches++
+			}
+		}
+		rate := float64(matches) / float64(samples)
+		tbl.AddRow("interval shape", c.p.String(), "Pr[random sketch match] n=8", rate)
+		expect := math.Pow(factor, 8)
+		if rate > expect*1.2+5/float64(samples) {
+			return fmt.Errorf("k=%d: rate %v above bound %v", c.p.K, rate, expect)
+		}
+	}
+	return nil
+}
+
+// ablateIndexDims measures bucket-store identification lookup latency as a
+// function of the index depth.
+func ablateIndexDims(cfg Config, tbl *Table) error {
+	n := 800
+	dim := 256
+	probes := 50
+	if cfg.Quick {
+		n, dim, probes = 100, 64, 10
+	}
+	fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Build one shared population.
+	type enrollment struct {
+		rec   *store.Record
+		probe numberline.Vector
+	}
+	enrollments := make([]enrollment, n)
+	for i := range enrollments {
+		x := uniformVector(rng, fe.Line(), dim)
+		_, helper, err := fe.Gen(x)
+		if err != nil {
+			return err
+		}
+		probe := make(numberline.Vector, dim)
+		for j := range probe {
+			probe[j] = fe.Line().Add(x[j], rng.Int63n(2*fe.Line().Threshold()+1)-fe.Line().Threshold())
+		}
+		enrollments[i] = enrollment{
+			rec:   &store.Record{ID: fmt.Sprintf("u%04d", i), PublicKey: []byte("pk"), Helper: helper},
+			probe: probe,
+		}
+	}
+	for _, d := range []int{1, 2, 4, 8} {
+		db := store.NewBucket(fe.Line(), d)
+		for i := range enrollments {
+			if err := db.Insert(enrollments[i].rec); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			e := &enrollments[(i*101)%n]
+			probeSketch, err := fe.SketchOnly(e.probe)
+			if err != nil {
+				return err
+			}
+			rec, err := db.Identify(probeSketch)
+			if err != nil {
+				return err
+			}
+			if rec.ID != e.rec.ID {
+				return fmt.Errorf("index dims %d: misidentified %s as %s", d, e.rec.ID, rec.ID)
+			}
+		}
+		us := float64(time.Since(start)) / float64(probes) / float64(time.Microsecond)
+		tbl.AddRow("bucket index depth", fmt.Sprintf("d=%d (N=%d)", d, n), "identify lookup us", us)
+	}
+	return nil
+}
+
+// ablateStoreStrategies compares the three lookup strategies at the store
+// level (no protocol, no crypto): early-exit scan, bucket hash index, and
+// the sorted range index.
+func ablateStoreStrategies(cfg Config, tbl *Table) error {
+	n := 2000
+	dim := 128
+	probes := 200
+	if cfg.Quick {
+		n, dim, probes = 200, 64, 20
+	}
+	fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	type enrollment struct {
+		rec   *store.Record
+		probe *sketch.Sketch
+	}
+	enrollments := make([]enrollment, n)
+	for i := range enrollments {
+		x := uniformVector(rng, fe.Line(), dim)
+		_, helper, err := fe.Gen(x)
+		if err != nil {
+			return err
+		}
+		reading := make(numberline.Vector, dim)
+		for j := range reading {
+			reading[j] = fe.Line().Add(x[j], rng.Int63n(2*fe.Line().Threshold()+1)-fe.Line().Threshold())
+		}
+		probe, err := fe.SketchOnly(reading)
+		if err != nil {
+			return err
+		}
+		enrollments[i] = enrollment{
+			rec:   &store.Record{ID: fmt.Sprintf("s%05d", i), PublicKey: []byte("pk"), Helper: helper},
+			probe: probe,
+		}
+	}
+	for _, strategy := range store.Strategies() {
+		db, err := store.ByStrategy(strategy, fe.Line())
+		if err != nil {
+			return err
+		}
+		for i := range enrollments {
+			if err := db.Insert(enrollments[i].rec); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			e := &enrollments[(i*striding)%n]
+			rec, err := db.Identify(e.probe)
+			if err != nil {
+				return err
+			}
+			if rec.ID != e.rec.ID {
+				return fmt.Errorf("strategy %s misidentified %s as %s", strategy, e.rec.ID, rec.ID)
+			}
+		}
+		us := float64(time.Since(start)) / float64(probes) / float64(time.Microsecond)
+		tbl.AddRow("store strategy", fmt.Sprintf("%s (N=%d)", strategy, n), "identify lookup us", us)
+	}
+	return nil
+}
+
+// striding spreads probe indices across the population.
+const striding = 7919
+
+// ablateExtractors times Gen with each strong extractor.
+func ablateExtractors(cfg Config, tbl *Table) error {
+	dim := 1000
+	runs := 20
+	if cfg.Quick {
+		dim, runs = 128, 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, e := range extract.All() {
+		fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim},
+			core.WithExtractor(e))
+		if err != nil {
+			return err
+		}
+		x := uniformVector(rng, fe.Line(), dim)
+		ms, err := timeIt(runs, func() error {
+			_, _, err := fe.Gen(x)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tbl.AddRow("strong extractor", e.Name(), fmt.Sprintf("Gen ms (n=%d)", dim), ms)
+	}
+	return nil
+}
+
+// ablateSchemes times key derivation + sign + verify for each signature
+// scheme — the constant crypto cost of one identification.
+func ablateSchemes(cfg Config, tbl *Table) error {
+	runs := 50
+	if cfg.Quick {
+		runs = 10
+	}
+	seed := make([]byte, 32)
+	for i := range seed {
+		seed[i] = byte(i*17 + 3)
+	}
+	msg := sigscheme.ChallengeMessage([]byte("challenge"), []byte("nonce"))
+	for _, s := range sigscheme.All() {
+		ms, err := timeIt(runs, func() error {
+			priv, pub, err := s.DeriveKeyPair(seed)
+			if err != nil {
+				return err
+			}
+			sig, err := s.Sign(priv, msg)
+			if err != nil {
+				return err
+			}
+			if !s.Verify(pub, msg, sig) {
+				return fmt.Errorf("%s: verification failed", s.Name())
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		tbl.AddRow("signature scheme", s.Name(), "keygen+sign+verify ms", ms)
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fuzzyid/internal/bch"
+	"fuzzyid/internal/gf"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sketch"
+)
+
+// CodeOffsetCompare runs the comparator study DESIGN.md calls out for the
+// related work (§VIII): the paper's Chebyshev sketch against the two
+// classical constructions it departs from — the Hamming-metric code-offset
+// sketch (Juels–Wattenberg over BCH) and the set-difference PinSketch
+// (Dodis et al.). For workloads of comparable security mass we report
+// helper-data size, sketch latency and recovery latency, illustrating why
+// ordered numeric feature vectors favour the Chebyshev construction and,
+// crucially, which sketch supports *identification lookup* at all.
+func CodeOffsetCompare(cfg Config) (*Table, error) {
+	runs := 200
+	if cfg.Quick {
+		runs = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := &Table{
+		ID:    "codeoffset",
+		Title: "Metric comparators: Chebyshev (paper) vs code-offset (Hamming) vs PinSketch (set difference)",
+		Header: []string{
+			"construction", "workload", "helper bits", "sketch ms", "recover ms", "supports identify-lookup",
+		},
+	}
+
+	// Chebyshev sketch at n = 128 coordinates (paper params).
+	line, err := numberline.New(numberline.PaperParams())
+	if err != nil {
+		return nil, err
+	}
+	cheb := sketch.NewChebyshev(line)
+	const dim = 128
+	x := uniformVector(rng, line, dim)
+	y := make(numberline.Vector, dim)
+	for i := range y {
+		y[i] = line.Add(x[i], rng.Int63n(2*line.Threshold()+1)-line.Threshold())
+	}
+	var chebSketch *sketch.Sketch
+	sketchMS, err := timeIt(runs, func() error {
+		s, err := cheb.Sketch(x)
+		chebSketch = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	recoverMS, err := timeIt(runs, func() error {
+		_, err := cheb.Recover(y, chebSketch)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	chebBits := float64(dim) * 8.65 // n*log2(ka+1), ka=400
+	tbl.AddRow("chebyshev (paper)", fmt.Sprintf("n=%d ints, t=%d", dim, line.Threshold()),
+		chebBits, sketchMS, recoverMS, "yes (residues are lookup keys)")
+
+	// Code-offset over BCH(255, 215, 5): 255-bit strings, 5-bit errors.
+	code, err := bch.New(8, 5)
+	if err != nil {
+		return nil, err
+	}
+	co := sketch.NewCodeOffset(code)
+	w := make(bch.Bits, co.N())
+	for i := range w {
+		w[i] = byte(rng.Intn(2))
+	}
+	w2 := w.Clone()
+	for _, p := range rng.Perm(co.N())[:co.T()] {
+		w2[p] ^= 1
+	}
+	var coSketch bch.Bits
+	sketchMS, err = timeIt(runs, func() error {
+		s, err := co.Sketch(w)
+		coSketch = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	recoverMS, err = timeIt(runs, func() error {
+		_, err := co.Recover(w2, coSketch)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("code-offset BCH(255,215,5)", "255-bit string, 5-bit errors",
+		float64(co.N()), sketchMS, recoverMS, "no (offset is uniformly random)")
+
+	// PinSketch over GF(2^12): 40-element sets, difference up to 8.
+	ps, err := sketch.NewPinSketch(12, 8)
+	if err != nil {
+		return nil, err
+	}
+	set := make([]gf.Elem, 0, 40)
+	seen := make(map[gf.Elem]bool)
+	for len(set) < 40 {
+		e := gf.Elem(rng.Intn(int(ps.Universe())) + 1)
+		if !seen[e] {
+			seen[e] = true
+			set = append(set, e)
+		}
+	}
+	probe := append([]gf.Elem(nil), set[4:]...) // drop 4 elements
+	for added := 0; added < 4; {
+		e := gf.Elem(rng.Intn(int(ps.Universe())) + 1)
+		if !seen[e] {
+			seen[e] = true
+			probe = append(probe, e)
+			added++
+		}
+	}
+	var pinSyn []gf.Elem
+	sketchMS, err = timeIt(runs, func() error {
+		s, err := ps.Sketch(set)
+		pinSyn = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	pinRuns := runs / 10
+	if pinRuns < 1 {
+		pinRuns = 1
+	}
+	for i := 0; i < pinRuns; i++ {
+		if _, err := ps.Recover(probe, pinSyn); err != nil {
+			return nil, err
+		}
+	}
+	recoverMS = float64(time.Since(start)) / float64(pinRuns) / float64(time.Millisecond)
+	tbl.AddRow("pinsketch GF(2^12), t=8", "40-element set, 8-element diff",
+		float64(ps.SketchLen()*12), sketchMS, recoverMS, "no (syndromes hide supports)")
+
+	// Fuzzy vault (Juels–Sudan): degree-8 secret, 200 chaff points, unlock
+	// with 14 of 24 overlapping features.
+	fv, err := sketch.NewFuzzyVault(12, 9, 200)
+	if err != nil {
+		return nil, err
+	}
+	vaultFeatures := set[:24]
+	secret := make([]gf.Elem, fv.SecretLen())
+	for i := range secret {
+		secret[i] = gf.Elem(rng.Intn(1 << 12))
+	}
+	var locked *sketch.Vault
+	sketchMS, err = timeIt(runs/10+1, func() error {
+		v, err := fv.Lock(vaultFeatures, secret)
+		locked = v
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	vaultProbe := append([]gf.Elem(nil), vaultFeatures[:14]...)
+	start = time.Now()
+	for i := 0; i < pinRuns; i++ {
+		if _, err := fv.Unlock(vaultProbe, locked); err != nil {
+			return nil, err
+		}
+	}
+	recoverMS = float64(time.Since(start)) / float64(pinRuns) / float64(time.Millisecond)
+	tbl.AddRow("fuzzy vault GF(2^12), k=9", "24-element set + 200 chaff, 14 overlap",
+		float64(len(locked.Points)*24), sketchMS, recoverMS, "no (chaff hides supports)")
+
+	tbl.AddNote("only the Chebyshev sketch yields helper data whose residues act as a database key " +
+		"(Theorem 2), which is what makes the paper's O(1) identification possible; the classical " +
+		"constructions require the normal approach's exhaustive Rep.")
+	return tbl, nil
+}

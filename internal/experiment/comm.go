@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/wire"
+)
+
+// Comm measures the communication cost of the protocols — the concern §I
+// raises explicitly ("the communication cost (for helper data transmission)
+// is still an issue" for the normal approach). We marshal real protocol
+// messages and report their wire sizes: the proposed identification sends
+// one probe sketch and receives one helper datum regardless of N, while the
+// normal approach ships every enrolled helper datum.
+func Comm(cfg Config) (*Table, error) {
+	dims := []int{1000, 5000, 31000}
+	populations := []int{100, 1000}
+	if cfg.Quick {
+		dims = []int{1000}
+		populations = []int{100}
+	}
+	tbl := &Table{
+		ID:     "comm",
+		Title:  "Wire sizes of protocol messages (§I communication-cost motivation)",
+		Header: []string{"message", "n", "N", "bytes"},
+	}
+	for _, n := range dims {
+		fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: n})
+		if err != nil {
+			return nil, err
+		}
+		x := uniformVector(rand.New(rand.NewSource(cfg.Seed)), fe.Line(), n)
+		_, helper, err := fe.Gen(x)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := fe.SketchOnly(x)
+		if err != nil {
+			return nil, err
+		}
+		enroll, err := wire.Marshal(&wire.EnrollRequest{ID: "user-0001", PublicKey: make([]byte, 32), Helper: helper})
+		if err != nil {
+			return nil, err
+		}
+		identify, err := wire.Marshal(&wire.IdentifyRequest{Probe: probe})
+		if err != nil {
+			return nil, err
+		}
+		challenge, err := wire.Marshal(&wire.Challenge{Helper: helper, Challenge: make([]byte, 32)})
+		if err != nil {
+			return nil, err
+		}
+		sig, err := wire.Marshal(&wire.Signature{Signature: make([]byte, 64), Nonce: make([]byte, 32)})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow("enroll (ID, pk, P)", n, "-", len(enroll))
+		tbl.AddRow("proposed identify: probe s'", n, "any", len(identify))
+		tbl.AddRow("proposed identify: challenge (P, c)", n, "any", len(challenge))
+		tbl.AddRow("signature response", n, "any", len(sig))
+		for _, pop := range populations {
+			batch := &wire.ChallengeBatch{Entries: make([]wire.ChallengeEntry, pop)}
+			for i := range batch.Entries {
+				batch.Entries[i] = wire.ChallengeEntry{Helper: helper, Challenge: make([]byte, 32)}
+			}
+			batchBytes, err := wire.Marshal(batch)
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow("normal identify: challenge batch", n, pop, len(batchBytes))
+		}
+	}
+	tbl.AddNote("proposed identification traffic is ~2 helper-data units independent of N; " +
+		"the normal approach ships N units — at n=5000 and N=1000 that is ~40 MB per probe.")
+	tbl.AddNote("sketch element width is 8 bytes on the wire; an entropy-optimal packing would use " +
+		"log2(ka+1) ≈ 8.65 bits/coordinate (Table II storage row).")
+	return tbl, nil
+}

@@ -1,0 +1,221 @@
+package extract
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewSeed(t *testing.T) {
+	s1, err := NewSeed(16)
+	if err != nil {
+		t.Fatalf("NewSeed: %v", err)
+	}
+	if len(s1) != 16 {
+		t.Fatalf("seed length = %d, want 16", len(s1))
+	}
+	s2, err := NewSeed(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(s1, s2) {
+		t.Error("two fresh seeds are identical")
+	}
+	if _, err := NewSeed(0); !errors.Is(err, ErrOutputLength) {
+		t.Errorf("NewSeed(0) err = %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"sha256", "hmac-sha256", "hmac", "toeplitz"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if e == nil {
+			t.Errorf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("md5"); err == nil {
+		t.Error("unknown extractor accepted")
+	}
+}
+
+func TestAllListsThree(t *testing.T) {
+	if got := len(All()); got != 3 {
+		t.Errorf("All() returned %d extractors, want 3", got)
+	}
+}
+
+func TestDeterminismAndSeedSensitivity(t *testing.T) {
+	seedA := []byte("seed-A-0123456789")
+	seedB := []byte("seed-B-0123456789")
+	x := []byte("biometric template bytes, reasonably long input 0123456789")
+	y := []byte("Biometric template bytes, reasonably long input 0123456789")
+	for _, e := range All() {
+		t.Run(e.Name(), func(t *testing.T) {
+			r1, err := e.Extract(seedA, x, 32)
+			if err != nil {
+				t.Fatalf("Extract: %v", err)
+			}
+			r2, err := e.Extract(seedA, x, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(r1, r2) {
+				t.Error("extractor not deterministic")
+			}
+			r3, err := e.Extract(seedB, x, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(r1, r3) {
+				t.Error("different seeds produced identical output")
+			}
+			r4, err := e.Extract(seedA, y, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(r1, r4) {
+				t.Error("different inputs produced identical output")
+			}
+		})
+	}
+}
+
+func TestOutputLengths(t *testing.T) {
+	x := []byte("input material")
+	seed := []byte("0123456789abcdef")
+	for _, e := range All() {
+		for _, n := range []int{1, 16, 32, 33, 64, 100} {
+			out, err := e.Extract(seed, x, n)
+			if err != nil {
+				t.Fatalf("%s Extract(outLen=%d): %v", e.Name(), n, err)
+			}
+			if len(out) != n {
+				t.Fatalf("%s output length = %d, want %d", e.Name(), len(out), n)
+			}
+		}
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	x := []byte("x")
+	seed := []byte("s")
+	for _, e := range All() {
+		if _, err := e.Extract(seed, x, 0); !errors.Is(err, ErrOutputLength) {
+			t.Errorf("%s outLen=0 err = %v", e.Name(), err)
+		}
+		if _, err := e.Extract(seed, nil, 32); !errors.Is(err, ErrEmptyInput) {
+			t.Errorf("%s empty input err = %v", e.Name(), err)
+		}
+		if _, err := e.Extract(nil, x, 32); !errors.Is(err, ErrEmptySeed) {
+			t.Errorf("%s empty seed err = %v", e.Name(), err)
+		}
+	}
+}
+
+func TestLongOutputPrefixStability(t *testing.T) {
+	// Counter-mode expansion must make longer outputs extensions of shorter
+	// ones for the hash/HMAC extractors (same block sequence).
+	x := []byte("stable input")
+	seed := []byte("stable seed 1234")
+	for _, e := range []Extractor{Hash{}, HMAC{}} {
+		short, err := e.Extract(seed, x, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		long, err := e.Extract(seed, x, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(short, long[:16]) {
+			t.Errorf("%s: short output is not a prefix of long output", e.Name())
+		}
+	}
+}
+
+func TestToeplitzLinearity(t *testing.T) {
+	// The Toeplitz extractor is GF(2)-linear in x for a fixed seed:
+	// Ext(x ^ y) = Ext(x) ^ Ext(y).
+	var tp Toeplitz
+	rng := rand.New(rand.NewSource(21))
+	seedLen := (tp.SeedBits(24, 16) + 7) / 8
+	seed := make([]byte, seedLen)
+	rng.Read(seed)
+	for i := 0; i < 50; i++ {
+		x := make([]byte, 24)
+		y := make([]byte, 24)
+		rng.Read(x)
+		rng.Read(y)
+		xy := make([]byte, 24)
+		nonZero := false
+		for j := range xy {
+			xy[j] = x[j] ^ y[j]
+			if xy[j] != 0 {
+				nonZero = true
+			}
+		}
+		if !nonZero {
+			continue
+		}
+		ex, err := tp.Extract(seed, x, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ey, err := tp.Extract(seed, y, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exy, err := tp.Extract(seed, xy, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range exy {
+			if exy[j] != ex[j]^ey[j] {
+				t.Fatal("Toeplitz extractor is not linear")
+			}
+		}
+	}
+}
+
+func TestToeplitzSeedBits(t *testing.T) {
+	var tp Toeplitz
+	if got := tp.SeedBits(10, 4); got != 10*8+4*8-1 {
+		t.Errorf("SeedBits = %d", got)
+	}
+}
+
+func TestOutputBitBalance(t *testing.T) {
+	// Sanity check of extraction quality: over many random inputs, each
+	// output bit of each extractor should be roughly balanced. This is a
+	// smoke test for gross bias bugs, not a statistical proof.
+	rng := rand.New(rand.NewSource(22))
+	const trials = 2000
+	for _, e := range All() {
+		seed := make([]byte, 64)
+		rng.Read(seed)
+		counts := make([]int, 8) // per-bit of first output byte
+		for i := 0; i < trials; i++ {
+			x := make([]byte, 16)
+			rng.Read(x)
+			out, err := e.Extract(seed, x, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < 8; b++ {
+				if out[0]&(1<<uint(b)) != 0 {
+					counts[b]++
+				}
+			}
+		}
+		for b, c := range counts {
+			frac := float64(c) / trials
+			if math.Abs(frac-0.5) > 0.05 {
+				t.Errorf("%s: output bit %d frequency %.3f deviates from 0.5", e.Name(), b, frac)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package gf
+
+// BerlekampMassey computes the minimal-length LFSR (error-locator
+// polynomial) sigma(x) for the syndrome sequence syn over the field, with
+// sigma[0] = 1. It is shared by the BCH decoder (internal/bch) and the
+// PinSketch set-difference sketch (internal/sketch).
+func (f *Field) BerlekampMassey(syn []Elem) []Elem {
+	sigma := []Elem{1}
+	b := []Elem{1}
+	var l int
+	m := 1
+	var bCoef Elem = 1
+	for i := 0; i < len(syn); i++ {
+		// Discrepancy d = S_i + sum_{j=1..l} sigma_j * S_{i-j}.
+		d := syn[i]
+		for j := 1; j <= l && j < len(sigma); j++ {
+			if i-j >= 0 {
+				d ^= f.Mul(sigma[j], syn[i-j])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		// sigma' = sigma - (d/bCoef) * x^m * b; bCoef is never zero by
+		// construction.
+		scale, _ := f.Div(d, bCoef)
+		next := make([]Elem, maxLen(len(sigma), len(b)+m))
+		copy(next, sigma)
+		for j, bj := range b {
+			next[j+m] ^= f.Mul(scale, bj)
+		}
+		if 2*l <= i {
+			b = sigma
+			bCoef = d
+			l = i + 1 - l
+			m = 1
+		} else {
+			m++
+		}
+		sigma = next
+	}
+	return sigma
+}
+
+// FindRoots returns every non-zero field element r with p(r) = 0, by
+// exhaustive evaluation (Chien-style search). The zero element is never
+// reported even if p(0) = 0, because callers use roots as locator inverses.
+func (f *Field) FindRoots(p []Elem) []Elem {
+	var roots []Elem
+	for i := 0; i < int(f.mask); i++ {
+		x := f.Alpha(i)
+		if f.PolyEval(p, x) == 0 {
+			roots = append(roots, x)
+		}
+	}
+	return roots
+}
+
+func maxLen(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

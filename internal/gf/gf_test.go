@@ -1,0 +1,277 @@
+package gf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidDegrees(t *testing.T) {
+	for m := uint(2); m <= 16; m++ {
+		f, err := New(m)
+		if err != nil {
+			t.Fatalf("New(%d): %v", m, err)
+		}
+		if f.M() != m {
+			t.Errorf("M() = %d, want %d", f.M(), m)
+		}
+		if f.Size() != 1<<m {
+			t.Errorf("Size() = %d, want %d", f.Size(), 1<<m)
+		}
+		if f.N() != (1<<m)-1 {
+			t.Errorf("N() = %d, want %d", f.N(), (1<<m)-1)
+		}
+	}
+}
+
+func TestNewInvalidDegrees(t *testing.T) {
+	for _, m := range []uint{0, 1, 17, 32} {
+		if _, err := New(m); !errors.Is(err, ErrBadExtension) {
+			t.Errorf("New(%d) err = %v, want ErrBadExtension", m, err)
+		}
+	}
+}
+
+func TestNewWithNonPrimitivePolynomial(t *testing.T) {
+	// x^4 + 1 = (x+1)^4 over GF(2) is reducible, hence not primitive.
+	if _, err := NewWithPolynomial(4, 0x11); !errors.Is(err, ErrNotPrimitive) {
+		t.Errorf("err = %v, want ErrNotPrimitive", err)
+	}
+	// Wrong degree bit.
+	if _, err := NewWithPolynomial(4, 0x7); err == nil {
+		t.Error("degree mismatch accepted")
+	}
+	// x^4 + x^3 + x^2 + x + 1 is irreducible but has order 5, not 15:
+	// it must be rejected by the primitivity check.
+	if _, err := NewWithPolynomial(4, 0x1f); !errors.Is(err, ErrNotPrimitive) {
+		t.Errorf("irreducible non-primitive err = %v, want ErrNotPrimitive", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(1) did not panic")
+		}
+	}()
+	MustNew(1)
+}
+
+func TestFieldAxiomsGF16(t *testing.T) {
+	f := MustNew(4)
+	n := f.Size()
+	// Exhaustive checks on the 16-element field.
+	for a := Elem(0); a < n; a++ {
+		if f.Add(a, a) != 0 {
+			t.Fatalf("a + a != 0 for a=%d", a)
+		}
+		if f.Mul(a, 1) != a {
+			t.Fatalf("a * 1 != a for a=%d", a)
+		}
+		if f.Mul(a, 0) != 0 {
+			t.Fatalf("a * 0 != 0 for a=%d", a)
+		}
+		for b := Elem(0); b < n; b++ {
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("commutativity failed: %d * %d", a, b)
+			}
+			if f.Add(a, b) != f.Add(b, a) {
+				t.Fatalf("additive commutativity failed: %d + %d", a, b)
+			}
+			for c := Elem(0); c < n; c++ {
+				if f.Mul(a, f.Mul(b, c)) != f.Mul(f.Mul(a, b), c) {
+					t.Fatalf("associativity failed: %d %d %d", a, b, c)
+				}
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("distributivity failed: %d %d %d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestInverseAndDivision(t *testing.T) {
+	for _, m := range []uint{3, 8, 10} {
+		f := MustNew(m)
+		for a := Elem(1); a < f.Size(); a++ {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatalf("Inv(%d): %v", a, err)
+			}
+			if f.Mul(a, inv) != 1 {
+				t.Fatalf("GF(2^%d): a * a^-1 != 1 for a=%d", m, a)
+			}
+			q, err := f.Div(1, a)
+			if err != nil {
+				t.Fatalf("Div(1, %d): %v", a, err)
+			}
+			if q != inv {
+				t.Fatalf("Div(1, a) != Inv(a) for a=%d", a)
+			}
+		}
+		if _, err := f.Inv(0); !errors.Is(err, ErrInverseOfZero) {
+			t.Errorf("Inv(0) err = %v", err)
+		}
+		if _, err := f.Div(1, 0); !errors.Is(err, ErrDivideByZero) {
+			t.Errorf("Div(1, 0) err = %v", err)
+		}
+		if q, err := f.Div(0, 3); err != nil || q != 0 {
+			t.Errorf("Div(0, 3) = (%d, %v), want (0, nil)", q, err)
+		}
+	}
+}
+
+func TestPowAndAlpha(t *testing.T) {
+	f := MustNew(8)
+	// alpha^i via Pow must match Alpha.
+	for i := -5; i < 600; i++ {
+		if f.Pow(f.Alpha(1), i) != f.Alpha(i) {
+			t.Fatalf("Pow(alpha, %d) != Alpha(%d)", i, i)
+		}
+	}
+	if f.Pow(0, 0) != 1 {
+		t.Error("0^0 != 1")
+	}
+	if f.Pow(0, 5) != 0 {
+		t.Error("0^5 != 0")
+	}
+	// Lagrange: a^(2^m - 1) = 1 for all non-zero a.
+	for a := Elem(1); a < f.Size(); a++ {
+		if f.Pow(a, int(f.N())) != 1 {
+			t.Fatalf("a^(2^m-1) != 1 for a=%d", a)
+		}
+	}
+}
+
+func TestLog(t *testing.T) {
+	f := MustNew(6)
+	for i := 0; i < int(f.N()); i++ {
+		a := f.Alpha(i)
+		got, err := f.Log(a)
+		if err != nil {
+			t.Fatalf("Log(%d): %v", a, err)
+		}
+		if got != i {
+			t.Fatalf("Log(Alpha(%d)) = %d", i, got)
+		}
+	}
+	if _, err := f.Log(0); !errors.Is(err, ErrNoSuchLog) {
+		t.Errorf("Log(0) err = %v", err)
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	f := MustNew(4)
+	// p(x) = 3 + x + 2x^2 over GF(16); evaluate against a direct sum.
+	p := []Elem{3, 1, 2}
+	for x := Elem(0); x < f.Size(); x++ {
+		want := f.Add(f.Add(3, f.Mul(1, x)), f.Mul(2, f.Mul(x, x)))
+		if got := f.PolyEval(p, x); got != want {
+			t.Fatalf("PolyEval at %d = %d, want %d", x, got, want)
+		}
+	}
+	if f.PolyEval(nil, 5) != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+}
+
+func TestPolyMul(t *testing.T) {
+	f := MustNew(4)
+	// (1 + x)(1 + x) = 1 + x^2 in characteristic 2.
+	got := f.PolyMul([]Elem{1, 1}, []Elem{1, 1})
+	want := []Elem{1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("PolyMul len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PolyMul = %v, want %v", got, want)
+		}
+	}
+	if f.PolyMul(nil, []Elem{1}) != nil {
+		t.Error("PolyMul with empty operand should be nil")
+	}
+	// Degree additivity on random polynomials, and evaluation homomorphism.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		a := randPoly(rng, f, 5)
+		b := randPoly(rng, f, 5)
+		prod := f.PolyMul(a, b)
+		for x := Elem(0); x < f.Size(); x++ {
+			if f.PolyEval(prod, x) != f.Mul(f.PolyEval(a, x), f.PolyEval(b, x)) {
+				t.Fatalf("PolyMul eval mismatch at x=%d", x)
+			}
+		}
+		if da, db := PolyDeg(a), PolyDeg(b); da >= 0 && db >= 0 {
+			if PolyDeg(prod) != da+db {
+				t.Fatalf("deg(ab) = %d, want %d", PolyDeg(prod), da+db)
+			}
+		}
+	}
+}
+
+func TestPolyDeg(t *testing.T) {
+	if PolyDeg(nil) != -1 {
+		t.Error("PolyDeg(nil) != -1")
+	}
+	if PolyDeg([]Elem{0, 0}) != -1 {
+		t.Error("PolyDeg(zero poly) != -1")
+	}
+	if PolyDeg([]Elem{5}) != 0 {
+		t.Error("PolyDeg(constant) != 0")
+	}
+	if PolyDeg([]Elem{0, 0, 7, 0}) != 2 {
+		t.Error("PolyDeg with trailing zeros wrong")
+	}
+}
+
+func TestMinPolynomial(t *testing.T) {
+	f := MustNew(4)
+	// Known minimal polynomials for GF(16) with poly x^4+x+1:
+	// alpha^0 -> x + 1 (0b11); alpha^1 -> x^4+x+1 (0x13);
+	// alpha^3 -> x^4+x^3+x^2+x+1 (0x1f); alpha^5 -> x^2+x+1 (0x7).
+	tests := []struct {
+		i    int
+		want uint64
+	}{
+		{0, 0b11},
+		{1, 0x13},
+		{2, 0x13}, // same coset as 1
+		{3, 0x1f},
+		{5, 0x7},
+	}
+	for _, tt := range tests {
+		if got := f.MinPolynomial(tt.i); got != tt.want {
+			t.Errorf("MinPolynomial(%d) = %#x, want %#x", tt.i, got, tt.want)
+		}
+	}
+}
+
+func TestMinPolynomialRootProperty(t *testing.T) {
+	// alpha^i must be a root of its own minimal polynomial, for every i.
+	f := MustNew(8)
+	for i := 0; i < int(f.N()); i++ {
+		packed := f.MinPolynomial(i)
+		// Evaluate the GF(2) polynomial at alpha^i inside GF(2^8).
+		var coeffs []Elem
+		for j := 0; j < 64; j++ {
+			if packed&(1<<uint(j)) != 0 {
+				for len(coeffs) <= j {
+					coeffs = append(coeffs, 0)
+				}
+				coeffs[j] = 1
+			}
+		}
+		if f.PolyEval(coeffs, f.Alpha(i)) != 0 {
+			t.Fatalf("alpha^%d is not a root of its minimal polynomial %#x", i, packed)
+		}
+	}
+}
+
+func randPoly(rng *rand.Rand, f *Field, maxDeg int) []Elem {
+	p := make([]Elem, 1+rng.Intn(maxDeg+1))
+	for i := range p {
+		p[i] = Elem(rng.Intn(int(f.Size())))
+	}
+	return p
+}

@@ -1,0 +1,58 @@
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interpolation errors.
+var (
+	ErrDuplicateX = errors.New("gf: duplicate x coordinate")
+	ErrNoPoints   = errors.New("gf: no points to interpolate")
+)
+
+// Interpolate returns the coefficients (index i = coefficient of x^i) of
+// the unique polynomial of degree < len(xs) passing through the points
+// (xs[i], ys[i]), by Lagrange interpolation over the field. The x
+// coordinates must be distinct. Running time is O(k²) for k points.
+func (f *Field) Interpolate(xs, ys []Elem) ([]Elem, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoPoints
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("gf: %d x values vs %d y values", len(xs), len(ys))
+	}
+	seen := make(map[Elem]struct{}, len(xs))
+	for _, x := range xs {
+		if _, ok := seen[x]; ok {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateX, x)
+		}
+		seen[x] = struct{}{}
+	}
+	k := len(xs)
+	result := make([]Elem, k)
+	// Lagrange basis: L_i(x) = prod_{j != i} (x - x_j) / (x_i - x_j).
+	for i := 0; i < k; i++ {
+		if ys[i] == 0 {
+			continue // contributes nothing
+		}
+		// Numerator polynomial prod_{j != i} (x + x_j) (char 2: minus = plus).
+		basis := []Elem{1}
+		var denom Elem = 1
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			basis = f.PolyMul(basis, []Elem{xs[j], 1})
+			denom = f.Mul(denom, xs[i]^xs[j])
+		}
+		scale, err := f.Div(ys[i], denom)
+		if err != nil {
+			return nil, err // unreachable: denom != 0 for distinct xs
+		}
+		for d, c := range basis {
+			result[d] ^= f.Mul(scale, c)
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,84 @@
+package gf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestInterpolateRecoversPolynomial(t *testing.T) {
+	f := MustNew(8)
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(10)
+		poly := make([]Elem, k)
+		for i := range poly {
+			poly[i] = Elem(rng.Intn(int(f.Size())))
+		}
+		// Evaluate at k distinct points.
+		perm := rng.Perm(int(f.Size()))
+		xs := make([]Elem, k)
+		ys := make([]Elem, k)
+		for i := 0; i < k; i++ {
+			xs[i] = Elem(perm[i])
+			ys[i] = f.PolyEval(poly, xs[i])
+		}
+		got, err := f.Interpolate(xs, ys)
+		if err != nil {
+			t.Fatalf("Interpolate: %v", err)
+		}
+		if len(got) != k {
+			t.Fatalf("got %d coefficients, want %d", len(got), k)
+		}
+		for i := range poly {
+			if got[i] != poly[i] {
+				t.Fatalf("coefficient %d = %d, want %d", i, got[i], poly[i])
+			}
+		}
+	}
+}
+
+func TestInterpolateEvaluationAgreement(t *testing.T) {
+	// Even with more points than the original degree, the interpolant must
+	// agree with the points everywhere it was sampled.
+	f := MustNew(6)
+	rng := rand.New(rand.NewSource(102))
+	xs := []Elem{3, 9, 27, 14, 50}
+	ys := make([]Elem, len(xs))
+	for i := range ys {
+		ys[i] = Elem(rng.Intn(int(f.Size())))
+	}
+	poly, err := f.Interpolate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := f.PolyEval(poly, xs[i]); got != ys[i] {
+			t.Fatalf("interpolant(%d) = %d, want %d", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestInterpolateErrors(t *testing.T) {
+	f := MustNew(4)
+	if _, err := f.Interpolate(nil, nil); !errors.Is(err, ErrNoPoints) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := f.Interpolate([]Elem{1, 1}, []Elem{2, 3}); !errors.Is(err, ErrDuplicateX) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	if _, err := f.Interpolate([]Elem{1, 2}, []Elem{3}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestInterpolateConstant(t *testing.T) {
+	f := MustNew(4)
+	poly, err := f.Interpolate([]Elem{7}, []Elem{11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poly) != 1 || poly[0] != 11 {
+		t.Fatalf("constant interpolation = %v", poly)
+	}
+}

@@ -1,0 +1,236 @@
+// Package metric provides the metric-space substrate surveyed in §II of the
+// paper: Lp norms (including the maximum norm / Chebyshev distance used by
+// the proposed construction), Hamming distance, set difference and edit
+// distance. Fuzzy extractors are parameterised by a metric; the packages
+// building on this one use the Chebyshev metric, while the code-offset
+// comparator uses Hamming.
+package metric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors shared by the distance functions.
+var (
+	ErrDimensionMismatch = errors.New("metric: vectors have different dimensions")
+	ErrInvalidP          = errors.New("metric: p must be >= 1")
+	ErrEmpty             = errors.New("metric: empty input")
+)
+
+// IntVector is a point of an integer vector space.
+type IntVector = []int64
+
+// Lp computes the Lp norm of x for p >= 1:
+//
+//	||x||_p = (sum_i |x_i|^p)^(1/p).
+//
+// Use LInf for the p -> infinity limit (the maximum norm).
+func Lp(x IntVector, p float64) (float64, error) {
+	if p < 1 {
+		return 0, ErrInvalidP
+	}
+	if len(x) == 0 {
+		return 0, ErrEmpty
+	}
+	if p == math.Inf(1) {
+		return float64(LInf(x)), nil
+	}
+	var sum float64
+	for _, xi := range x {
+		sum += math.Pow(math.Abs(float64(xi)), p)
+	}
+	return math.Pow(sum, 1/p), nil
+}
+
+// LpDist computes the Lp distance ||x - y||_p.
+func LpDist(x, y IntVector, p float64) (float64, error) {
+	d, err := diff(x, y)
+	if err != nil {
+		return 0, err
+	}
+	return Lp(d, p)
+}
+
+// L1 computes the Manhattan norm, sum_i |x_i|, exactly in integers.
+func L1(x IntVector) int64 {
+	var sum int64
+	for _, xi := range x {
+		sum += abs(xi)
+	}
+	return sum
+}
+
+// L2 computes the Euclidean norm.
+func L2(x IntVector) float64 {
+	var sum float64
+	for _, xi := range x {
+		f := float64(xi)
+		sum += f * f
+	}
+	return math.Sqrt(sum)
+}
+
+// LInf computes the maximum norm max_i |x_i| (Definition 3's building
+// block). The norm of the empty vector is 0.
+func LInf(x IntVector) int64 {
+	var m int64
+	for _, xi := range x {
+		if a := abs(xi); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Chebyshev computes the Chebyshev distance max_i |x_i - y_i| of
+// Definition 3.
+func Chebyshev(x, y IntVector) (int64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, ErrEmpty
+	}
+	var m int64
+	for i := range x {
+		if d := abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// ChebyshevClose reports whether the Chebyshev distance between x and y is
+// at most t.
+func ChebyshevClose(x, y IntVector, t int64) (bool, error) {
+	d, err := Chebyshev(x, y)
+	if err != nil {
+		return false, err
+	}
+	return d <= t, nil
+}
+
+// Hamming computes the Hamming distance between two equal-length byte
+// strings interpreted as bit strings: the number of differing bits.
+func Hamming(x, y []byte) (int, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d bytes", ErrDimensionMismatch, len(x), len(y))
+	}
+	d := 0
+	for i := range x {
+		d += popcount(x[i] ^ y[i])
+	}
+	return d, nil
+}
+
+// HammingSymbols computes the Hamming distance between two equal-length
+// symbol sequences: the number of differing positions.
+func HammingSymbols(x, y IntVector) (int, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(x), len(y))
+	}
+	d := 0
+	for i := range x {
+		if x[i] != y[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// SetDifference computes the size of the symmetric difference between two
+// sets of int64 elements, the metric used by fuzzy-vault style schemes.
+// Duplicate elements within one input are counted once.
+func SetDifference(x, y []int64) int {
+	sx := make(map[int64]struct{}, len(x))
+	for _, e := range x {
+		sx[e] = struct{}{}
+	}
+	sy := make(map[int64]struct{}, len(y))
+	for _, e := range y {
+		sy[e] = struct{}{}
+	}
+	d := 0
+	for e := range sx {
+		if _, ok := sy[e]; !ok {
+			d++
+		}
+	}
+	for e := range sy {
+		if _, ok := sx[e]; !ok {
+			d++
+		}
+	}
+	return d
+}
+
+// Edit computes the Levenshtein edit distance between two strings using
+// single-character insertions, deletions and substitutions.
+func Edit(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func diff(x, y IntVector) (IntVector, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	d := make(IntVector, len(x))
+	for i := range x {
+		d[i] = x[i] - y[i]
+	}
+	return d, nil
+}
+
+func abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func popcount(b byte) int {
+	c := 0
+	for b != 0 {
+		b &= b - 1
+		c++
+	}
+	return c
+}
+
+func minInt(vals ...int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

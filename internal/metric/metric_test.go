@@ -1,0 +1,251 @@
+package metric
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLpNorms(t *testing.T) {
+	x := IntVector{3, -4}
+	tests := []struct {
+		name string
+		p    float64
+		want float64
+	}{
+		{name: "L1", p: 1, want: 7},
+		{name: "L2", p: 2, want: 5},
+		{name: "L3", p: 3, want: math.Pow(27+64, 1.0/3.0)},
+		{name: "LInf", p: math.Inf(1), want: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Lp(x, tt.p)
+			if err != nil {
+				t.Fatalf("Lp: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("Lp(%v, %v) = %v, want %v", x, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLpErrors(t *testing.T) {
+	if _, err := Lp(IntVector{1}, 0.5); !errors.Is(err, ErrInvalidP) {
+		t.Errorf("p<1: %v, want ErrInvalidP", err)
+	}
+	if _, err := Lp(nil, 2); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: %v, want ErrEmpty", err)
+	}
+	if _, err := LpDist(IntVector{1}, IntVector{1, 2}, 2); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mismatch: %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestSpecializedNormsAgreeWithLp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(16)
+		x := make(IntVector, n)
+		for j := range x {
+			x[j] = rng.Int63n(2001) - 1000
+		}
+		l1, _ := Lp(x, 1)
+		if math.Abs(l1-float64(L1(x))) > 1e-6 {
+			t.Fatalf("L1 disagrees with Lp(1): %v vs %v", L1(x), l1)
+		}
+		l2, _ := Lp(x, 2)
+		if math.Abs(l2-L2(x)) > 1e-6 {
+			t.Fatalf("L2 disagrees with Lp(2): %v vs %v", L2(x), l2)
+		}
+		linf, _ := Lp(x, math.Inf(1))
+		if float64(LInf(x)) != linf {
+			t.Fatalf("LInf disagrees with Lp(inf): %v vs %v", LInf(x), linf)
+		}
+	}
+}
+
+func TestNormOrdering(t *testing.T) {
+	// ||x||_inf <= ||x||_2 <= ||x||_1 for all x.
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make(IntVector, len(raw))
+		for i, r := range raw {
+			x[i] = int64(r)
+		}
+		linf := float64(LInf(x))
+		l2 := L2(x)
+		l1 := float64(L1(x))
+		return linf <= l2+1e-9 && l2 <= l1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChebyshev(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y IntVector
+		want int64
+	}{
+		{name: "identical", x: IntVector{1, 2, 3}, y: IntVector{1, 2, 3}, want: 0},
+		{name: "single large", x: IntVector{0, 0}, y: IntVector{1, -7}, want: 7},
+		{name: "definition example", x: IntVector{5, -3}, y: IntVector{2, 4}, want: 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Chebyshev(tt.x, tt.y)
+			if err != nil {
+				t.Fatalf("Chebyshev: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Chebyshev(%v, %v) = %d, want %d", tt.x, tt.y, got, tt.want)
+			}
+		})
+	}
+	if _, err := Chebyshev(IntVector{1}, IntVector{}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := Chebyshev(IntVector{}, IntVector{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestChebyshevMetricAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vec := func() IntVector {
+		x := make(IntVector, 8)
+		for i := range x {
+			x[i] = rng.Int63n(201) - 100
+		}
+		return x
+	}
+	for i := 0; i < 500; i++ {
+		x, y, z := vec(), vec(), vec()
+		dxy, _ := Chebyshev(x, y)
+		dyx, _ := Chebyshev(y, x)
+		if dxy != dyx {
+			t.Fatal("symmetry violated")
+		}
+		dxz, _ := Chebyshev(x, z)
+		dyz, _ := Chebyshev(y, z)
+		if dxz > dxy+dyz {
+			t.Fatal("triangle inequality violated")
+		}
+		dxx, _ := Chebyshev(x, x)
+		if dxx != 0 {
+			t.Fatal("identity violated")
+		}
+	}
+}
+
+func TestChebyshevClose(t *testing.T) {
+	ok, err := ChebyshevClose(IntVector{0, 0}, IntVector{3, -3}, 3)
+	if err != nil || !ok {
+		t.Errorf("ChebyshevClose at boundary = (%v, %v), want (true, nil)", ok, err)
+	}
+	ok, err = ChebyshevClose(IntVector{0, 0}, IntVector{4, 0}, 3)
+	if err != nil || ok {
+		t.Errorf("ChebyshevClose beyond threshold = (%v, %v), want (false, nil)", ok, err)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []byte
+		want int
+	}{
+		{name: "equal", x: []byte{0xff, 0x00}, y: []byte{0xff, 0x00}, want: 0},
+		{name: "one bit", x: []byte{0x01}, y: []byte{0x00}, want: 1},
+		{name: "full byte", x: []byte{0xff}, y: []byte{0x00}, want: 8},
+		{name: "mixed", x: []byte{0b1010, 0b0001}, y: []byte{0b0101, 0b0001}, want: 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Hamming(tt.x, tt.y)
+			if err != nil {
+				t.Fatalf("Hamming: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("Hamming = %d, want %d", got, tt.want)
+			}
+		})
+	}
+	if _, err := Hamming([]byte{1}, []byte{1, 2}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+}
+
+func TestHammingSymbols(t *testing.T) {
+	got, err := HammingSymbols(IntVector{1, 2, 3}, IntVector{1, 9, 3})
+	if err != nil || got != 1 {
+		t.Errorf("HammingSymbols = (%d, %v), want (1, nil)", got, err)
+	}
+	if _, err := HammingSymbols(IntVector{1}, IntVector{}); err == nil {
+		t.Error("mismatch not rejected")
+	}
+}
+
+func TestSetDifference(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y []int64
+		want int
+	}{
+		{name: "equal sets", x: []int64{1, 2, 3}, y: []int64{3, 2, 1}, want: 0},
+		{name: "disjoint", x: []int64{1, 2}, y: []int64{3, 4}, want: 4},
+		{name: "overlap", x: []int64{1, 2, 3}, y: []int64{2, 3, 4}, want: 2},
+		{name: "duplicates ignored", x: []int64{1, 1, 2}, y: []int64{2}, want: 1},
+		{name: "empty", x: nil, y: []int64{5}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SetDifference(tt.x, tt.y); got != tt.want {
+				t.Errorf("SetDifference = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEdit(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"biometric", "biometrics", 1},
+	}
+	for _, tt := range tests {
+		if got := Edit(tt.a, tt.b); got != tt.want {
+			t.Errorf("Edit(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := Edit(tt.b, tt.a); got != tt.want {
+			t.Errorf("Edit(%q, %q) = %d, want %d (symmetry)", tt.b, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestEditTriangle(t *testing.T) {
+	words := []string{"", "a", "ab", "abc", "axc", "xyz", "fuzzy", "fuzzier"}
+	for _, a := range words {
+		for _, b := range words {
+			for _, c := range words {
+				if Edit(a, c) > Edit(a, b)+Edit(b, c) {
+					t.Fatalf("triangle inequality violated for %q %q %q", a, b, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package protocol implements the three protocols of the paper over any
+// io.ReadWriter (TCP connections in production, net.Pipe in tests and
+// benchmarks):
+//
+//   - UserEnro (Fig. 1): the device extracts (R, P) from the biometric,
+//     derives a signing key pair from R, ships (ID, pk, P) to the server and
+//     erases the biometric and private key.
+//   - Proposed BioIden (Fig. 3): the device sends a *plain* probe sketch s';
+//     the server locates the matching record by sketch comparison
+//     (conditions (1)-(4)), returns (P, c); the device recovers sk via Rep
+//     and answers the challenge with one signature. Cryptographic cost is
+//     constant in the database size.
+//   - Normal-approach identification (Fig. 2): the server ships every
+//     (P_i, c_i); the device attempts Rep against each until one succeeds —
+//     the O(N) baseline the paper compares against.
+//   - Verification mode (§III): like BioIden but the user claims an ID, so
+//     the server retrieves the record by key lookup.
+//
+// Device and Server are pure protocol engines; internal/transport runs them
+// over real connections.
+package protocol
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sigscheme"
+	"fuzzyid/internal/store"
+	"fuzzyid/internal/wire"
+)
+
+// ChallengeLen is the length in bytes of server challenges c and device
+// nonces a.
+const ChallengeLen = 32
+
+// Errors returned by the protocol engines.
+var (
+	// ErrProtocol indicates an out-of-order or malformed message.
+	ErrProtocol = errors.New("protocol: unexpected message")
+	// ErrNoMatch is returned by the device in the normal approach when no
+	// helper datum reproduced a key.
+	ErrNoMatch = errors.New("protocol: no helper data matched the biometric")
+)
+
+// RejectedError is returned when the peer rejects the protocol run (the ⊥
+// output of BioIden).
+type RejectedError struct {
+	// Reason is the peer-supplied reason string.
+	Reason string
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("protocol: rejected: %s", e.Reason)
+}
+
+// IsRejected reports whether err is a rejection (as opposed to a transport
+// or protocol failure).
+func IsRejected(err error) bool {
+	var r *RejectedError
+	return errors.As(err, &r)
+}
+
+// Device is the biometric device (BioD) engine. It is safe for concurrent
+// use; every method call runs one complete protocol session on rw.
+type Device struct {
+	fe     *core.FuzzyExtractor
+	scheme sigscheme.Scheme
+}
+
+// NewDevice constructs a device over the given fuzzy extractor and
+// signature scheme.
+func NewDevice(fe *core.FuzzyExtractor, scheme sigscheme.Scheme) *Device {
+	return &Device{fe: fe, scheme: scheme}
+}
+
+// Enroll runs UserEnro (Fig. 1): Gen(Bio) -> (R, P), KeyGen(R) -> (sk, pk),
+// send (ID, pk, P). The private key and biometric are not retained.
+func (d *Device) Enroll(rw io.ReadWriter, id string, bio numberline.Vector) error {
+	key, helper, err := d.fe.Gen(bio)
+	if err != nil {
+		return fmt.Errorf("protocol: enroll gen: %w", err)
+	}
+	_, pub, err := d.scheme.DeriveKeyPair(key)
+	if err != nil {
+		return fmt.Errorf("protocol: enroll keygen: %w", err)
+	}
+	if err := wire.Send(rw, &wire.EnrollRequest{ID: id, PublicKey: pub, Helper: helper}); err != nil {
+		return err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *wire.EnrollOK:
+		if m.ID != id {
+			return fmt.Errorf("%w: enroll ack for %q", ErrProtocol, m.ID)
+		}
+		return nil
+	case *wire.Reject:
+		return &RejectedError{Reason: m.Reason}
+	default:
+		return fmt.Errorf("%w: %T during enroll", ErrProtocol, msg)
+	}
+}
+
+// Verify runs verification mode: the user claims id and proves possession
+// of the enrolled biometric via challenge-response.
+func (d *Device) Verify(rw io.ReadWriter, id string, bio numberline.Vector) error {
+	if err := wire.Send(rw, &wire.VerifyRequest{ID: id}); err != nil {
+		return err
+	}
+	return d.answerChallenge(rw, bio, id)
+}
+
+// Revoke removes the enrollment for id after proving possession of the
+// enrolled biometric through a challenge-response run. A revoked user can
+// re-enroll with fresh helper data, giving the scheme the revocability that
+// raw biometric storage lacks (§I).
+func (d *Device) Revoke(rw io.ReadWriter, id string, bio numberline.Vector) error {
+	if err := wire.Send(rw, &wire.RevokeRequest{ID: id}); err != nil {
+		return err
+	}
+	return d.answerChallenge(rw, bio, id)
+}
+
+// Identify runs the proposed BioIden (Fig. 3) and returns the identity the
+// server established.
+func (d *Device) Identify(rw io.ReadWriter, bio numberline.Vector) (string, error) {
+	probe, err := d.fe.SketchOnly(bio)
+	if err != nil {
+		return "", fmt.Errorf("protocol: identify sketch: %w", err)
+	}
+	if err := wire.Send(rw, &wire.IdentifyRequest{Probe: probe}); err != nil {
+		return "", err
+	}
+	return d.finishChallenge(rw, bio)
+}
+
+// IdentifyNormal runs the O(N) normal approach (Fig. 2): receive every
+// (P_i, c_i), attempt Rep against each, sign the challenge of the first
+// entry that reproduces a key.
+func (d *Device) IdentifyNormal(rw io.ReadWriter, bio numberline.Vector) (string, error) {
+	if err := wire.Send(rw, &wire.IdentifyRequest{Normal: true}); err != nil {
+		return "", err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return "", err
+	}
+	batch, err := expectBatch(msg)
+	if err != nil {
+		return "", err
+	}
+	for i := range batch.Entries {
+		entry := &batch.Entries[i]
+		key, repErr := d.fe.Rep(bio, entry.Helper)
+		if repErr != nil {
+			continue
+		}
+		priv, _, err := d.scheme.DeriveKeyPair(key)
+		if err != nil {
+			return "", fmt.Errorf("protocol: normal keygen: %w", err)
+		}
+		nonce, err := newChallenge()
+		if err != nil {
+			return "", err
+		}
+		sig, err := d.scheme.Sign(priv, sigscheme.ChallengeMessage(entry.Challenge, nonce))
+		if err != nil {
+			return "", fmt.Errorf("protocol: normal sign: %w", err)
+		}
+		resp := &wire.BatchSignature{Index: uint32(i), Signature: sig, Nonce: nonce}
+		if err := wire.Send(rw, resp); err != nil {
+			return "", err
+		}
+		return awaitAccept(rw)
+	}
+	// Nothing matched; tell the server so it can close the session.
+	if err := wire.Send(rw, &wire.BatchSignature{Index: uint32(len(batch.Entries))}); err != nil {
+		return "", err
+	}
+	if _, err := awaitAccept(rw); err != nil {
+		return "", err
+	}
+	return "", ErrNoMatch
+}
+
+// answerChallenge receives (P, c), recovers the key, signs and awaits the
+// verdict, checking the accepted identity equals wantID when non-empty.
+func (d *Device) answerChallenge(rw io.ReadWriter, bio numberline.Vector, wantID string) error {
+	id, err := d.finishChallenge(rw, bio)
+	if err != nil {
+		return err
+	}
+	if wantID != "" && id != wantID {
+		return fmt.Errorf("%w: accepted as %q, want %q", ErrProtocol, id, wantID)
+	}
+	return nil
+}
+
+func (d *Device) finishChallenge(rw io.ReadWriter, bio numberline.Vector) (string, error) {
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return "", err
+	}
+	var ch *wire.Challenge
+	switch m := msg.(type) {
+	case *wire.Challenge:
+		ch = m
+	case *wire.Reject:
+		return "", &RejectedError{Reason: m.Reason}
+	default:
+		return "", fmt.Errorf("%w: %T awaiting challenge", ErrProtocol, msg)
+	}
+	key, err := d.fe.Rep(bio, ch.Helper)
+	if err != nil {
+		// Cannot reproduce the key; answer with an empty signature so the
+		// server completes the session with a rejection.
+		if sendErr := wire.Send(rw, &wire.Signature{}); sendErr != nil {
+			return "", sendErr
+		}
+		if _, acceptErr := awaitAccept(rw); acceptErr != nil {
+			return "", fmt.Errorf("protocol: rep failed (%v): %w", err, acceptErr)
+		}
+		return "", fmt.Errorf("protocol: rep failed: %w", err)
+	}
+	priv, _, err := d.scheme.DeriveKeyPair(key)
+	if err != nil {
+		return "", fmt.Errorf("protocol: keygen: %w", err)
+	}
+	nonce, err := newChallenge()
+	if err != nil {
+		return "", err
+	}
+	sig, err := d.scheme.Sign(priv, sigscheme.ChallengeMessage(ch.Challenge, nonce))
+	if err != nil {
+		return "", fmt.Errorf("protocol: sign: %w", err)
+	}
+	if err := wire.Send(rw, &wire.Signature{Signature: sig, Nonce: nonce}); err != nil {
+		return "", err
+	}
+	return awaitAccept(rw)
+}
+
+func awaitAccept(rw io.ReadWriter) (string, error) {
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return "", err
+	}
+	switch m := msg.(type) {
+	case *wire.Accept:
+		return m.ID, nil
+	case *wire.Reject:
+		return "", &RejectedError{Reason: m.Reason}
+	default:
+		return "", fmt.Errorf("%w: %T awaiting verdict", ErrProtocol, msg)
+	}
+}
+
+func expectBatch(msg wire.Message) (*wire.ChallengeBatch, error) {
+	switch m := msg.(type) {
+	case *wire.ChallengeBatch:
+		return m, nil
+	case *wire.Reject:
+		return nil, &RejectedError{Reason: m.Reason}
+	default:
+		return nil, fmt.Errorf("%w: %T awaiting challenge batch", ErrProtocol, msg)
+	}
+}
+
+func newChallenge() ([]byte, error) {
+	c := make([]byte, ChallengeLen)
+	if _, err := rand.Read(c); err != nil {
+		return nil, fmt.Errorf("protocol: challenge randomness: %w", err)
+	}
+	return c, nil
+}
+
+// Server is the authentication server (AS) engine.
+type Server struct {
+	fe     *core.FuzzyExtractor
+	scheme sigscheme.Scheme
+	db     store.Store
+}
+
+// NewServer constructs a server over the given store.
+func NewServer(fe *core.FuzzyExtractor, scheme sigscheme.Scheme, db store.Store) *Server {
+	return &Server{fe: fe, scheme: scheme, db: db}
+}
+
+// Store returns the server's record store.
+func (s *Server) Store() store.Store { return s.db }
+
+// HandleSession serves exactly one protocol run (one request message and its
+// follow-ups) on rw. It returns io.EOF when the peer closed the stream
+// before a request, nil after a completed run (including rejections, which
+// are normal protocol outcomes), and an error on malformed traffic.
+func (s *Server) HandleSession(rw io.ReadWriter) error {
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *wire.EnrollRequest:
+		return s.handleEnroll(rw, m)
+	case *wire.VerifyRequest:
+		return s.handleVerify(rw, m)
+	case *wire.IdentifyRequest:
+		if m.Normal {
+			return s.handleIdentifyNormal(rw)
+		}
+		return s.handleIdentify(rw, m)
+	case *wire.RevokeRequest:
+		return s.handleRevoke(rw, m)
+	default:
+		_ = wire.Send(rw, &wire.Reject{Reason: "unexpected message"})
+		return fmt.Errorf("%w: %T as session opener", ErrProtocol, msg)
+	}
+}
+
+func (s *Server) handleEnroll(rw io.ReadWriter, m *wire.EnrollRequest) error {
+	rec := &store.Record{ID: m.ID, PublicKey: m.PublicKey, Helper: m.Helper}
+	if err := s.db.Insert(rec); err != nil {
+		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("enroll: %v", err)})
+	}
+	return wire.Send(rw, &wire.EnrollOK{ID: m.ID})
+}
+
+func (s *Server) handleVerify(rw io.ReadWriter, m *wire.VerifyRequest) error {
+	rec, ok := s.db.Get(m.ID)
+	if !ok {
+		return wire.Send(rw, &wire.Reject{Reason: "unknown identity"})
+	}
+	return s.challengeResponse(rw, rec)
+}
+
+func (s *Server) handleIdentify(rw io.ReadWriter, m *wire.IdentifyRequest) error {
+	if m.Probe == nil {
+		return wire.Send(rw, &wire.Reject{Reason: "missing probe sketch"})
+	}
+	rec, err := s.db.Identify(m.Probe)
+	if err != nil {
+		return wire.Send(rw, &wire.Reject{Reason: "no matching record"})
+	}
+	return s.challengeResponse(rw, rec)
+}
+
+// challengeResponse issues (P, c), awaits (sigma, a), verifies and reports
+// the verdict to the peer.
+func (s *Server) challengeResponse(rw io.ReadWriter, rec *store.Record) error {
+	ok, err := s.runChallenge(rw, rec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return wire.Send(rw, &wire.Reject{Reason: "signature verification failed"})
+	}
+	return wire.Send(rw, &wire.Accept{ID: rec.ID})
+}
+
+// runChallenge performs the challenge-response exchange without sending the
+// verdict, so callers can attach side effects (revocation) to success.
+func (s *Server) runChallenge(rw io.ReadWriter, rec *store.Record) (bool, error) {
+	challenge, err := newChallenge()
+	if err != nil {
+		return false, err
+	}
+	if err := wire.Send(rw, &wire.Challenge{Helper: rec.Helper, Challenge: challenge}); err != nil {
+		return false, err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return false, err
+	}
+	sig, ok := msg.(*wire.Signature)
+	if !ok {
+		_ = wire.Send(rw, &wire.Reject{Reason: "expected signature"})
+		return false, fmt.Errorf("%w: %T awaiting signature", ErrProtocol, msg)
+	}
+	if len(sig.Signature) == 0 ||
+		!s.scheme.Verify(rec.PublicKey, sigscheme.ChallengeMessage(challenge, sig.Nonce), sig.Signature) {
+		return false, nil
+	}
+	return true, nil
+}
+
+// handleRevoke deletes an enrollment after the device proves possession of
+// the enrolled biometric — deletion is as strongly authenticated as
+// verification itself.
+func (s *Server) handleRevoke(rw io.ReadWriter, m *wire.RevokeRequest) error {
+	rec, ok := s.db.Get(m.ID)
+	if !ok {
+		return wire.Send(rw, &wire.Reject{Reason: "unknown identity"})
+	}
+	passed, err := s.runChallenge(rw, rec)
+	if err != nil {
+		return err
+	}
+	if !passed {
+		return wire.Send(rw, &wire.Reject{Reason: "signature verification failed"})
+	}
+	if err := s.db.Delete(m.ID); err != nil {
+		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("revoke: %v", err)})
+	}
+	return wire.Send(rw, &wire.Accept{ID: rec.ID})
+}
+
+// handleIdentifyNormal implements the server side of Fig. 2: ship all
+// (P_i, c_i), then verify the indexed response.
+func (s *Server) handleIdentifyNormal(rw io.ReadWriter) error {
+	records := s.db.All()
+	challenges := make([][]byte, len(records))
+	batch := &wire.ChallengeBatch{Entries: make([]wire.ChallengeEntry, len(records))}
+	for i, rec := range records {
+		c, err := newChallenge()
+		if err != nil {
+			return err
+		}
+		challenges[i] = c
+		batch.Entries[i] = wire.ChallengeEntry{Helper: rec.Helper, Challenge: c}
+	}
+	if err := wire.Send(rw, batch); err != nil {
+		return err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.(*wire.BatchSignature)
+	if !ok {
+		_ = wire.Send(rw, &wire.Reject{Reason: "expected batch signature"})
+		return fmt.Errorf("%w: %T awaiting batch signature", ErrProtocol, msg)
+	}
+	if int(resp.Index) >= len(records) {
+		return wire.Send(rw, &wire.Reject{Reason: "no matching record"})
+	}
+	rec := records[resp.Index]
+	if len(resp.Signature) == 0 ||
+		!s.scheme.Verify(rec.PublicKey, sigscheme.ChallengeMessage(challenges[resp.Index], resp.Nonce), resp.Signature) {
+		return wire.Send(rw, &wire.Reject{Reason: "signature verification failed"})
+	}
+	return wire.Send(rw, &wire.Accept{ID: rec.ID})
+}

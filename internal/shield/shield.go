@@ -1,0 +1,126 @@
+// Package shield implements the quantization-index-modulation (QIM)
+// shielding functions of Linnartz and Tuyls (AVBPA 2003), the
+// continuous-domain line of work the paper's related-work section (§VIII)
+// contrasts with discrete constructions.
+//
+// For each real-valued feature x and key bit b, the helper value w shifts x
+// onto the nearest point of the sublattice encoding b (even multiples of
+// the quantization step q encode 0, odd multiples encode 1). A noisy
+// re-measurement y recovers b as long as |y - x| < q/2: quantizing y + w
+// lands on the original lattice point, whose parity is the bit. The helper
+// value w lies in [-q, q) and, for inputs uniform within a cell, carries no
+// information about b.
+//
+// Combined with a strong extractor this yields a fuzzy extractor for the
+// continuous Euclidean metric; the repository uses it as a comparator
+// substrate and for front ends whose features arrive as floats.
+package shield
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the shielding functions.
+var (
+	ErrBadStep    = errors.New("shield: quantization step must be positive and finite")
+	ErrBadFeature = errors.New("shield: feature must be finite")
+	ErrDimension  = errors.New("shield: dimension mismatch")
+	ErrBadBit     = errors.New("shield: key bits must be 0 or 1")
+)
+
+// QIM is a quantization-index-modulation shielding function with step q.
+// The zero value is not usable; construct with New.
+type QIM struct {
+	step float64
+}
+
+// New validates the step and constructs a QIM shielder. Noise up to
+// (but excluding) step/2 per feature is tolerated on reveal.
+func New(step float64) (*QIM, error) {
+	if !(step > 0) || math.IsInf(step, 0) || math.IsNaN(step) {
+		return nil, ErrBadStep
+	}
+	return &QIM{step: step}, nil
+}
+
+// Step returns the quantization step q.
+func (s *QIM) Step() float64 { return s.step }
+
+// Tolerance returns the per-feature noise bound q/2 (exclusive).
+func (s *QIM) Tolerance() float64 { return s.step / 2 }
+
+// Conceal computes the helper value w for one feature and key bit:
+// x + w is the nearest lattice point of parity b.
+func (s *QIM) Conceal(x float64, bit byte) (float64, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, ErrBadFeature
+	}
+	if bit > 1 {
+		return 0, ErrBadBit
+	}
+	// Lattice points of parity b are (2k + b) * q.
+	q2 := 2 * s.step
+	target := math.Round((x-float64(bit)*s.step)/q2)*q2 + float64(bit)*s.step
+	return target - x, nil
+}
+
+// Reveal recovers the key bit from a noisy measurement y and helper w.
+func (s *QIM) Reveal(y, w float64) (byte, error) {
+	if math.IsNaN(y) || math.IsInf(y, 0) || math.IsNaN(w) || math.IsInf(w, 0) {
+		return 0, ErrBadFeature
+	}
+	idx := int64(math.Round((y + w) / s.step))
+	return byte(((idx % 2) + 2) % 2), nil
+}
+
+// ConcealVector computes helper values for a feature vector and key bits of
+// equal length.
+func (s *QIM) ConcealVector(xs []float64, bits []byte) ([]float64, error) {
+	if len(xs) != len(bits) {
+		return nil, fmt.Errorf("%w: %d features vs %d bits", ErrDimension, len(xs), len(bits))
+	}
+	out := make([]float64, len(xs))
+	for i := range xs {
+		w, err := s.Conceal(xs[i], bits[i])
+		if err != nil {
+			return nil, fmt.Errorf("feature %d: %w", i, err)
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// RevealVector recovers the key bits from noisy measurements and helpers.
+func (s *QIM) RevealVector(ys, ws []float64) ([]byte, error) {
+	if len(ys) != len(ws) {
+		return nil, fmt.Errorf("%w: %d measurements vs %d helpers", ErrDimension, len(ys), len(ws))
+	}
+	out := make([]byte, len(ys))
+	for i := range ys {
+		b, err := s.Reveal(ys[i], ws[i])
+		if err != nil {
+			return nil, fmt.Errorf("feature %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// GenerateBits draws n uniform key bits.
+func GenerateBits(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrDimension, n)
+	}
+	raw := make([]byte, (n+7)/8)
+	if _, err := rand.Read(raw); err != nil {
+		return nil, fmt.Errorf("shield: randomness: %w", err)
+	}
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = (raw[i/8] >> uint(i%8)) & 1
+	}
+	return bits, nil
+}

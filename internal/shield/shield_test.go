@@ -1,0 +1,192 @@
+package shield
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newQIM(t *testing.T, step float64) *QIM {
+	t.Helper()
+	s, err := New(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := New(bad); !errors.Is(err, ErrBadStep) {
+			t.Errorf("New(%v) err = %v", bad, err)
+		}
+	}
+	s := newQIM(t, 0.5)
+	if s.Step() != 0.5 || s.Tolerance() != 0.25 {
+		t.Errorf("(Step, Tolerance) = (%v, %v)", s.Step(), s.Tolerance())
+	}
+}
+
+func TestConcealRevealExact(t *testing.T) {
+	s := newQIM(t, 1.0)
+	rng := rand.New(rand.NewSource(121))
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64() * 100
+		bit := byte(rng.Intn(2))
+		w, err := s.Conceal(x, bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Helper magnitude bounded by the full step (nearest point of one
+		// sublattice is at most q away).
+		if math.Abs(w) > s.Step()+1e-9 {
+			t.Fatalf("helper %v exceeds step bound", w)
+		}
+		got, err := s.Reveal(x, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != bit {
+			t.Fatalf("exact reveal = %d, want %d (x=%v, w=%v)", got, bit, x, w)
+		}
+	}
+}
+
+func TestRevealUnderNoise(t *testing.T) {
+	s := newQIM(t, 2.0)
+	rng := rand.New(rand.NewSource(122))
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*200 - 100
+		bit := byte(rng.Intn(2))
+		w, err := s.Conceal(x, bit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noise := (rng.Float64()*2 - 1) * (s.Tolerance() * 0.99)
+		got, err := s.Reveal(x+noise, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != bit {
+			t.Fatalf("noisy reveal = %d, want %d (noise=%v)", got, bit, noise)
+		}
+	}
+}
+
+func TestRevealBeyondToleranceFlips(t *testing.T) {
+	s := newQIM(t, 1.0)
+	// Noise of exactly one step lands on the neighbouring lattice point of
+	// opposite parity.
+	x := 0.3
+	w, err := s.Conceal(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Reveal(x+s.Step(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("one-step noise revealed %d, want flipped bit 1", got)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	s := newQIM(t, 0.25)
+	rng := rand.New(rand.NewSource(123))
+	n := 256
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 10
+	}
+	bits, err := GenerateBits(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := s.ConcealVector(xs, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = xs[i] + (rng.Float64()*2-1)*s.Tolerance()*0.95
+	}
+	got, err := s.RevealVector(ys, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("bit %d = %d, want %d", i, got[i], bits[i])
+		}
+	}
+}
+
+func TestVectorValidation(t *testing.T) {
+	s := newQIM(t, 1)
+	if _, err := s.ConcealVector([]float64{1}, []byte{0, 1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := s.RevealVector([]float64{1}, nil); !errors.Is(err, ErrDimension) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := s.ConcealVector([]float64{math.NaN()}, []byte{0}); !errors.Is(err, ErrBadFeature) {
+		t.Errorf("NaN err = %v", err)
+	}
+	if _, err := s.ConcealVector([]float64{1}, []byte{7}); !errors.Is(err, ErrBadBit) {
+		t.Errorf("bad bit err = %v", err)
+	}
+	if _, err := s.Reveal(math.Inf(1), 0); !errors.Is(err, ErrBadFeature) {
+		t.Errorf("Inf err = %v", err)
+	}
+}
+
+func TestHelperHidesBit(t *testing.T) {
+	// For inputs uniform within one 2q cell, the helper distribution must
+	// be (nearly) identical for both key bits — the shielding property. We
+	// check that helper values for bit 0 and bit 1 cover the same range
+	// with similar means.
+	s := newQIM(t, 1.0)
+	rng := rand.New(rand.NewSource(124))
+	var sum0, sum1 float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		x := rng.Float64() * 2 // uniform over one 2q cell
+		w0, err := s.Conceal(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w1, err := s.Conceal(x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum0 += w0
+		sum1 += w1
+	}
+	mean0 := sum0 / trials
+	mean1 := sum1 / trials
+	if math.Abs(mean0-mean1) > 0.05 {
+		t.Errorf("helper means differ: %v vs %v (bit leaks)", mean0, mean1)
+	}
+}
+
+func TestGenerateBits(t *testing.T) {
+	bits, err := GenerateBits(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, b := range bits {
+		if b > 1 {
+			t.Fatal("non-binary bit")
+		}
+		ones += int(b)
+	}
+	if ones == 0 || ones == 128 {
+		t.Errorf("degenerate bit distribution: %d ones", ones)
+	}
+	if _, err := GenerateBits(0); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package sigscheme provides the digital-signature substrate of the
+// protocols in §V: KeyGen derives a signing key pair deterministically from
+// the fuzzy-extractor output R, so the private key never needs to be stored
+// — it is re-derived from the biometric on every protocol run and discarded.
+//
+// The paper's implementation uses DSA (Table II). crypto/dsa has been
+// deprecated since Go 1.16 and is unavailable for new code, so this package
+// substitutes Ed25519 (default) and ECDSA P-256; DESIGN.md §5 documents the
+// substitution. Both preserve the protocol structure exactly: one
+// deterministic KeyGen from R, one Sign, one Verify per run.
+package sigscheme
+
+import (
+	"crypto/ecdsa"
+	"crypto/ed25519"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Errors returned by the schemes.
+var (
+	ErrSeedTooShort  = errors.New("sigscheme: seed shorter than required")
+	ErrBadPrivateKey = errors.New("sigscheme: malformed private key")
+	ErrBadPublicKey  = errors.New("sigscheme: malformed public key")
+)
+
+// MinSeedLen is the minimum seed length in bytes accepted by DeriveKeyPair
+// for every scheme.
+const MinSeedLen = 32
+
+// Scheme is a digital-signature scheme with deterministic key derivation.
+// Keys are handled in serialized form so they can be stored and shipped
+// over the wire directly.
+type Scheme interface {
+	// Name identifies the scheme ("ed25519" or "ecdsa-p256").
+	Name() string
+	// DeriveKeyPair deterministically derives a key pair from seed (the
+	// fuzzy-extractor output R). The same seed always yields the same pair.
+	DeriveKeyPair(seed []byte) (priv, pub []byte, err error)
+	// Sign produces a signature over msg.
+	Sign(priv, msg []byte) ([]byte, error)
+	// Verify reports whether sig is a valid signature over msg under pub.
+	Verify(pub, msg, sig []byte) bool
+}
+
+// ByName returns the scheme registered under name.
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "ed25519":
+		return Ed25519{}, nil
+	case "ecdsa-p256", "ecdsa":
+		return ECDSAP256{}, nil
+	default:
+		return nil, fmt.Errorf("sigscheme: unknown scheme %q", name)
+	}
+}
+
+// Default returns the default scheme (Ed25519).
+func Default() Scheme { return Ed25519{} }
+
+// All returns every available scheme, for benchmark sweeps.
+func All() []Scheme { return []Scheme{Ed25519{}, ECDSAP256{}} }
+
+// Ed25519 derives the signing key with ed25519.NewKeyFromSeed, which is the
+// textbook realisation of "sk is the fuzzy-extractor output".
+type Ed25519 struct{}
+
+// Name implements Scheme.
+func (Ed25519) Name() string { return "ed25519" }
+
+// DeriveKeyPair implements Scheme. The first 32 seed bytes are used.
+func (Ed25519) DeriveKeyPair(seed []byte) (priv, pub []byte, err error) {
+	if len(seed) < MinSeedLen {
+		return nil, nil, fmt.Errorf("%w: got %d, need %d", ErrSeedTooShort, len(seed), MinSeedLen)
+	}
+	key := ed25519.NewKeyFromSeed(seed[:ed25519.SeedSize])
+	pubKey, ok := key.Public().(ed25519.PublicKey)
+	if !ok {
+		return nil, nil, ErrBadPublicKey
+	}
+	return key, pubKey, nil
+}
+
+// Sign implements Scheme.
+func (Ed25519) Sign(priv, msg []byte) ([]byte, error) {
+	if len(priv) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrBadPrivateKey, len(priv), ed25519.PrivateKeySize)
+	}
+	return ed25519.Sign(ed25519.PrivateKey(priv), msg), nil
+}
+
+// Verify implements Scheme.
+func (Ed25519) Verify(pub, msg, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), msg, sig)
+}
+
+// ECDSAP256 derives a P-256 scalar from the seed by counter-mode SHA-256
+// expansion reduced modulo the group order (uniform up to negligible bias),
+// then signs with ecdsa.SignASN1. Serialisation: private key is the 32-byte
+// big-endian scalar, public key is the uncompressed SEC1 point.
+type ECDSAP256 struct{}
+
+// Name implements Scheme.
+func (ECDSAP256) Name() string { return "ecdsa-p256" }
+
+// DeriveKeyPair implements Scheme.
+func (ECDSAP256) DeriveKeyPair(seed []byte) (priv, pub []byte, err error) {
+	if len(seed) < MinSeedLen {
+		return nil, nil, fmt.Errorf("%w: got %d, need %d", ErrSeedTooShort, len(seed), MinSeedLen)
+	}
+	curve := elliptic.P256()
+	// Expand to 48 bytes so the modular reduction bias is ~2^-128.
+	var expanded []byte
+	for ctr := uint32(0); len(expanded) < 48; ctr++ {
+		h := sha256.New()
+		h.Write([]byte("fuzzyid-ecdsa-derive"))
+		var c [4]byte
+		binary.BigEndian.PutUint32(c[:], ctr)
+		h.Write(c[:])
+		h.Write(seed)
+		expanded = h.Sum(expanded)
+	}
+	nMinus1 := new(big.Int).Sub(curve.Params().N, big.NewInt(1))
+	d := new(big.Int).SetBytes(expanded[:48])
+	d.Mod(d, nMinus1)
+	d.Add(d, big.NewInt(1)) // d in [1, N-1]
+	x, y := curve.ScalarBaseMult(d.Bytes())
+	priv = make([]byte, 32)
+	d.FillBytes(priv)
+	pub = marshalPoint(curve, x, y)
+	return priv, pub, nil
+}
+
+// Sign implements Scheme.
+func (ECDSAP256) Sign(priv, msg []byte) ([]byte, error) {
+	key, err := ecdsaKeyFromScalar(priv)
+	if err != nil {
+		return nil, err
+	}
+	digest := sha256.Sum256(msg)
+	return ecdsa.SignASN1(rand.Reader, key, digest[:])
+}
+
+// Verify implements Scheme.
+func (ECDSAP256) Verify(pub, msg, sig []byte) bool {
+	curve := elliptic.P256()
+	x, y, ok := unmarshalPoint(curve, pub)
+	if !ok {
+		return false
+	}
+	digest := sha256.Sum256(msg)
+	pubKey := &ecdsa.PublicKey{Curve: curve, X: x, Y: y}
+	return ecdsa.VerifyASN1(pubKey, digest[:], sig)
+}
+
+func ecdsaKeyFromScalar(priv []byte) (*ecdsa.PrivateKey, error) {
+	if len(priv) != 32 {
+		return nil, fmt.Errorf("%w: got %d bytes, want 32", ErrBadPrivateKey, len(priv))
+	}
+	curve := elliptic.P256()
+	d := new(big.Int).SetBytes(priv)
+	if d.Sign() == 0 || d.Cmp(curve.Params().N) >= 0 {
+		return nil, ErrBadPrivateKey
+	}
+	x, y := curve.ScalarBaseMult(d.Bytes())
+	return &ecdsa.PrivateKey{
+		PublicKey: ecdsa.PublicKey{Curve: curve, X: x, Y: y},
+		D:         d,
+	}, nil
+}
+
+// marshalPoint writes the uncompressed SEC1 encoding (0x04 || X || Y).
+func marshalPoint(curve elliptic.Curve, x, y *big.Int) []byte {
+	byteLen := (curve.Params().BitSize + 7) / 8
+	out := make([]byte, 1+2*byteLen)
+	out[0] = 4
+	x.FillBytes(out[1 : 1+byteLen])
+	y.FillBytes(out[1+byteLen:])
+	return out
+}
+
+func unmarshalPoint(curve elliptic.Curve, data []byte) (x, y *big.Int, ok bool) {
+	byteLen := (curve.Params().BitSize + 7) / 8
+	if len(data) != 1+2*byteLen || data[0] != 4 {
+		return nil, nil, false
+	}
+	x = new(big.Int).SetBytes(data[1 : 1+byteLen])
+	y = new(big.Int).SetBytes(data[1+byteLen:])
+	if !curve.IsOnCurve(x, y) {
+		return nil, nil, false
+	}
+	return x, y, true
+}
+
+// ChallengeMessage canonically encodes the challenge–response payload
+// (c, a) of the §V protocols as the byte string signed by the device and
+// verified by the server.
+func ChallengeMessage(challenge, nonce []byte) []byte {
+	msg := make([]byte, 0, 16+len(challenge)+len(nonce))
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(challenge)))
+	msg = append(msg, lenBuf[:]...)
+	msg = append(msg, challenge...)
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(nonce)))
+	msg = append(msg, lenBuf[:]...)
+	msg = append(msg, nonce...)
+	return msg
+}

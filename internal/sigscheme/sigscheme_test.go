@@ -1,0 +1,213 @@
+package sigscheme
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+func randomSeed(t *testing.T) []byte {
+	t.Helper()
+	seed := make([]byte, 32)
+	if _, err := rand.Read(seed); err != nil {
+		t.Fatal(err)
+	}
+	return seed
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ed25519", "ecdsa-p256", "ecdsa"} {
+		s, err := ByName(name)
+		if err != nil || s == nil {
+			t.Errorf("ByName(%q) = (%v, %v)", name, s, err)
+		}
+	}
+	if _, err := ByName("rsa"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if Default().Name() != "ed25519" {
+		t.Errorf("Default() = %s", Default().Name())
+	}
+	if len(All()) != 2 {
+		t.Errorf("All() has %d schemes, want 2", len(All()))
+	}
+}
+
+func TestDeriveKeyPairDeterministic(t *testing.T) {
+	seed := randomSeed(t)
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			p1, pub1, err := s.DeriveKeyPair(seed)
+			if err != nil {
+				t.Fatalf("DeriveKeyPair: %v", err)
+			}
+			p2, pub2, err := s.DeriveKeyPair(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(p1, p2) || !bytes.Equal(pub1, pub2) {
+				t.Error("derivation not deterministic")
+			}
+			other := randomSeed(t)
+			p3, pub3, err := s.DeriveKeyPair(other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(p1, p3) || bytes.Equal(pub1, pub3) {
+				t.Error("distinct seeds derived identical keys")
+			}
+		})
+	}
+}
+
+func TestDeriveKeyPairSeedTooShort(t *testing.T) {
+	for _, s := range All() {
+		if _, _, err := s.DeriveKeyPair(make([]byte, 8)); !errors.Is(err, ErrSeedTooShort) {
+			t.Errorf("%s short seed err = %v", s.Name(), err)
+		}
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	msg := []byte("challenge 42 || nonce 17")
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			priv, pub, err := s.DeriveKeyPair(randomSeed(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sig, err := s.Sign(priv, msg)
+			if err != nil {
+				t.Fatalf("Sign: %v", err)
+			}
+			if !s.Verify(pub, msg, sig) {
+				t.Fatal("valid signature rejected")
+			}
+			// Wrong message.
+			if s.Verify(pub, []byte("other message"), sig) {
+				t.Error("signature verified for different message")
+			}
+			// Corrupted signature.
+			bad := append([]byte(nil), sig...)
+			bad[0] ^= 0x01
+			if s.Verify(pub, msg, bad) {
+				t.Error("corrupted signature verified")
+			}
+			// Wrong key.
+			_, otherPub, err := s.DeriveKeyPair(randomSeed(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Verify(otherPub, msg, sig) {
+				t.Error("signature verified under wrong public key")
+			}
+		})
+	}
+}
+
+func TestSignBadPrivateKey(t *testing.T) {
+	for _, s := range All() {
+		if _, err := s.Sign([]byte{1, 2, 3}, []byte("m")); !errors.Is(err, ErrBadPrivateKey) {
+			t.Errorf("%s bad private key err = %v", s.Name(), err)
+		}
+	}
+	// ECDSA: zero scalar is invalid even at the right length.
+	var e ECDSAP256
+	if _, err := e.Sign(make([]byte, 32), []byte("m")); !errors.Is(err, ErrBadPrivateKey) {
+		t.Errorf("zero scalar err = %v", err)
+	}
+}
+
+func TestVerifyMalformedPublicKey(t *testing.T) {
+	msg := []byte("m")
+	for _, s := range All() {
+		if s.Verify([]byte{1, 2, 3}, msg, []byte("sig")) {
+			t.Errorf("%s verified under malformed public key", s.Name())
+		}
+	}
+	// ECDSA: a point not on the curve must be rejected.
+	var e ECDSAP256
+	notOnCurve := make([]byte, 65)
+	notOnCurve[0] = 4
+	notOnCurve[64] = 7
+	if e.Verify(notOnCurve, msg, []byte("sig")) {
+		t.Error("off-curve point accepted")
+	}
+}
+
+func TestProtocolUseCase(t *testing.T) {
+	// Enrollment derives (sk, pk) from R and stores only pk; identification
+	// re-derives sk from a noisy reading's R and answers a challenge. The
+	// server must accept iff R matched.
+	seed := randomSeed(t)
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			_, pub, err := s.DeriveKeyPair(seed) // enrollment: sk discarded
+			if err != nil {
+				t.Fatal(err)
+			}
+			// identification: re-derive from the same R.
+			priv2, _, err := s.DeriveKeyPair(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			challenge := []byte("c=12345")
+			nonce := []byte("a=67890")
+			msg := ChallengeMessage(challenge, nonce)
+			sig, err := s.Sign(priv2, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !s.Verify(pub, msg, sig) {
+				t.Fatal("re-derived key failed challenge-response")
+			}
+			// An impostor with a different R fails.
+			privBad, _, err := s.DeriveKeyPair(randomSeed(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigBad, err := s.Sign(privBad, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Verify(pub, msg, sigBad) {
+				t.Fatal("impostor signature accepted")
+			}
+		})
+	}
+}
+
+func TestChallengeMessageInjective(t *testing.T) {
+	a := ChallengeMessage([]byte("ab"), []byte("c"))
+	b := ChallengeMessage([]byte("a"), []byte("bc"))
+	if bytes.Equal(a, b) {
+		t.Error("ChallengeMessage collided on boundary shift")
+	}
+	c := ChallengeMessage(nil, nil)
+	if len(c) != 16 {
+		t.Errorf("empty challenge message length = %d, want 16", len(c))
+	}
+}
+
+func TestEd25519KeySizes(t *testing.T) {
+	var e Ed25519
+	priv, pub, err := e.DeriveKeyPair(randomSeed(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(priv) != 64 || len(pub) != 32 {
+		t.Errorf("key sizes = (%d, %d), want (64, 32)", len(priv), len(pub))
+	}
+}
+
+func TestECDSAKeySizes(t *testing.T) {
+	var e ECDSAP256
+	priv, pub, err := e.DeriveKeyPair(randomSeed(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(priv) != 32 || len(pub) != 65 {
+		t.Errorf("key sizes = (%d, %d), want (32, 65)", len(priv), len(pub))
+	}
+}

@@ -1,0 +1,98 @@
+package sketch
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"fuzzyid/internal/bch"
+)
+
+// ErrCodeOffsetInput is returned for malformed code-offset inputs.
+var ErrCodeOffsetInput = errors.New("sketch: code-offset input has wrong length")
+
+// CodeOffset is the Hamming-metric code-offset secure sketch of
+// Juels–Wattenberg (fuzzy commitment), built on a binary BCH code. It is
+// the classical construction the paper's related work (§VIII) departs from,
+// and serves as the comparator baseline in the benchmarks: SS(w) = w XOR c
+// for a random codeword c; Rec(w', s) decodes w' XOR s back to c and returns
+// w = s XOR c. Recovery succeeds iff the Hamming distance between w and w'
+// is at most the code's correction capacity.
+type CodeOffset struct {
+	code  *bch.Code
+	coins io.Reader
+}
+
+// CodeOffsetOption configures a CodeOffset sketcher.
+type CodeOffsetOption interface {
+	apply(*CodeOffset)
+}
+
+type codeOffsetCoins struct{ r io.Reader }
+
+func (o codeOffsetCoins) apply(c *CodeOffset) { c.coins = o.r }
+
+// WithCodeOffsetCoins sets the randomness source for codeword selection
+// (default crypto/rand).
+func WithCodeOffsetCoins(r io.Reader) CodeOffsetOption { return codeOffsetCoins{r: r} }
+
+// NewCodeOffset constructs a code-offset sketcher over the given BCH code.
+func NewCodeOffset(code *bch.Code, opts ...CodeOffsetOption) *CodeOffset {
+	c := &CodeOffset{code: code, coins: rand.Reader}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// Code returns the underlying BCH code.
+func (c *CodeOffset) Code() *bch.Code { return c.code }
+
+// N returns the required input length in bits.
+func (c *CodeOffset) N() int { return c.code.N() }
+
+// T returns the Hamming-distance threshold (the code's correction capacity).
+func (c *CodeOffset) T() int { return c.code.T() }
+
+// Sketch implements SS(w) = w XOR c for a fresh random codeword c. The input
+// must be an n-bit string.
+func (c *CodeOffset) Sketch(w bch.Bits) (bch.Bits, error) {
+	if len(w) != c.code.N() {
+		return nil, fmt.Errorf("%w: got %d bits, want %d", ErrCodeOffsetInput, len(w), c.code.N())
+	}
+	msg := make(bch.Bits, c.code.K())
+	var buf [1]byte
+	for i := range msg {
+		if _, err := io.ReadFull(c.coins, buf[:]); err != nil {
+			return nil, fmt.Errorf("sketch codeword randomness: %w", err)
+		}
+		msg[i] = buf[0] & 1
+	}
+	cw, err := c.code.Encode(msg)
+	if err != nil {
+		return nil, err
+	}
+	return w.Xor(cw)
+}
+
+// Recover implements Rec(w', s): decode w' XOR s to the nearest codeword c
+// and return s XOR c, which equals the originally sketched w whenever
+// Hamming(w, w') <= t. Beyond the capacity it returns ErrNotClose.
+func (c *CodeOffset) Recover(w2, s bch.Bits) (bch.Bits, error) {
+	if len(w2) != c.code.N() || len(s) != c.code.N() {
+		return nil, fmt.Errorf("%w: got %d/%d bits, want %d", ErrCodeOffsetInput, len(w2), len(s), c.code.N())
+	}
+	noisy, err := w2.Xor(s)
+	if err != nil {
+		return nil, err
+	}
+	cw, _, _, err := c.code.Decode(noisy)
+	if err != nil {
+		if errors.Is(err, bch.ErrUncorrectable) {
+			return nil, fmt.Errorf("%w: %v", ErrNotClose, err)
+		}
+		return nil, err
+	}
+	return s.Xor(cw)
+}

@@ -1,0 +1,159 @@
+package sketch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fuzzyid/internal/bch"
+)
+
+func newCodeOffset(t *testing.T) *CodeOffset {
+	t.Helper()
+	code, err := bch.New(8, 5) // BCH(255, 215, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCodeOffset(code)
+}
+
+func randomBits(rng *rand.Rand, n int) bch.Bits {
+	b := make(bch.Bits, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+func TestCodeOffsetRoundTrip(t *testing.T) {
+	co := newCodeOffset(t)
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		w := randomBits(rng, co.N())
+		s, err := co.Sketch(w)
+		if err != nil {
+			t.Fatalf("Sketch: %v", err)
+		}
+		for nerr := 0; nerr <= co.T(); nerr++ {
+			w2 := w.Clone()
+			for _, p := range rng.Perm(co.N())[:nerr] {
+				w2[p] ^= 1
+			}
+			got, err := co.Recover(w2, s)
+			if err != nil {
+				t.Fatalf("Recover with %d errors: %v", nerr, err)
+			}
+			if !bitsEq(got, w) {
+				t.Fatalf("recovered wrong string with %d errors", nerr)
+			}
+		}
+	}
+}
+
+func TestCodeOffsetRejectsFarInput(t *testing.T) {
+	co := newCodeOffset(t)
+	rng := rand.New(rand.NewSource(52))
+	rejectedOrWrong := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		w := randomBits(rng, co.N())
+		s, err := co.Sketch(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Far beyond capacity: flip 4t positions.
+		w2 := w.Clone()
+		for _, p := range rng.Perm(co.N())[:4*co.T()] {
+			w2[p] ^= 1
+		}
+		got, err := co.Recover(w2, s)
+		if err != nil {
+			if !errors.Is(err, ErrNotClose) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			rejectedOrWrong++
+			continue
+		}
+		if !bitsEq(got, w) {
+			rejectedOrWrong++ // miscorrection to another codeword: acceptable
+		}
+	}
+	if rejectedOrWrong != trials {
+		t.Errorf("far input recovered original in %d/%d trials", trials-rejectedOrWrong, trials)
+	}
+}
+
+func TestCodeOffsetSketchHidesInput(t *testing.T) {
+	// Two sketches of the same w under fresh codewords should differ (the
+	// offset is randomised).
+	co := newCodeOffset(t)
+	rng := rand.New(rand.NewSource(53))
+	w := randomBits(rng, co.N())
+	s1, err := co.Sketch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := co.Sketch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bitsEq(s1, s2) {
+		t.Error("two independent sketches identical; randomness not applied")
+	}
+}
+
+func TestCodeOffsetDeterministicWithFixedCoins(t *testing.T) {
+	code, err := bch.New(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCodeOffset(code, WithCodeOffsetCoins(constReader(1)))
+	rng := rand.New(rand.NewSource(54))
+	w := randomBits(rng, co.N())
+	s1, err := co.Sketch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := co.Sketch(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEq(s1, s2) {
+		t.Error("fixed coins did not pin the sketch")
+	}
+}
+
+func TestCodeOffsetLengthValidation(t *testing.T) {
+	co := newCodeOffset(t)
+	if _, err := co.Sketch(make(bch.Bits, 3)); !errors.Is(err, ErrCodeOffsetInput) {
+		t.Errorf("short input err = %v", err)
+	}
+	if _, err := co.Recover(make(bch.Bits, 3), make(bch.Bits, co.N())); !errors.Is(err, ErrCodeOffsetInput) {
+		t.Errorf("short probe err = %v", err)
+	}
+	if _, err := co.Recover(make(bch.Bits, co.N()), make(bch.Bits, 1)); !errors.Is(err, ErrCodeOffsetInput) {
+		t.Errorf("short sketch err = %v", err)
+	}
+}
+
+func TestCodeOffsetAccessors(t *testing.T) {
+	co := newCodeOffset(t)
+	if co.N() != 255 || co.T() != 5 {
+		t.Errorf("(N, T) = (%d, %d), want (255, 5)", co.N(), co.T())
+	}
+	if co.Code() == nil {
+		t.Error("Code() is nil")
+	}
+}
+
+func bitsEq(a, b bch.Bits) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

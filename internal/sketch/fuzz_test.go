@@ -1,0 +1,65 @@
+package sketch
+
+import (
+	"testing"
+
+	"fuzzyid/internal/numberline"
+)
+
+// FuzzRecover feeds adversarial probe vectors and sketch movements to the
+// recovery procedure. Invariants: no panic; any successful recovery returns
+// a vector on the line whose shifted coordinates sit within t of an
+// interval identifier.
+func FuzzRecover(f *testing.F) {
+	line := numberline.MustNew(numberline.Params{A: 3, K: 4, V: 6, T: 2})
+	c := NewChebyshev(line)
+	f.Add(int64(0), int64(0), int64(1), int64(-1))
+	f.Add(int64(35), int64(-35), int64(6), int64(-6))
+	f.Add(int64(999), int64(-999), int64(999), int64(-999))
+	f.Fuzz(func(t *testing.T, y0, y1, m0, m1 int64) {
+		y := numberline.Vector{y0, y1}
+		s := &Sketch{Movements: []int64{m0, m1}}
+		z, err := c.Recover(y, s)
+		if err != nil {
+			return
+		}
+		if err := line.ValidateVector(z); err != nil {
+			t.Fatalf("recovered invalid vector %v: %v", z, err)
+		}
+		for i := range z {
+			shifted := line.Add(z[i], s.Movements[i])
+			if _, dist := line.ContainingIdentifier(shifted); dist != 0 {
+				t.Fatalf("z + s not on an identifier at coordinate %d", i)
+			}
+		}
+	})
+}
+
+// FuzzMatchAgreement checks the circular-distance matcher against the
+// paper-literal four-condition matcher on arbitrary movement pairs.
+func FuzzMatchAgreement(f *testing.F) {
+	line := numberline.MustNew(numberline.PaperParams())
+	c := NewChebyshev(line)
+	f.Add(int64(0), int64(0))
+	f.Add(int64(200), int64(-200))
+	f.Add(int64(-150), int64(51))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		lo, hi := line.MovementRange()
+		if a < lo || a > hi || b < lo || b > hi {
+			return
+		}
+		s := &Sketch{Movements: []int64{a}}
+		p := &Sketch{Movements: []int64{b}}
+		m1, err := c.Match(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := c.MatchConditions(s, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m1 != m2 {
+			t.Fatalf("matchers disagree on (%d, %d): %v vs %v", a, b, m1, m2)
+		}
+	})
+}

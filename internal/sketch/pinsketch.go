@@ -1,0 +1,166 @@
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fuzzyid/internal/gf"
+)
+
+// Set-difference sketch errors.
+var (
+	ErrSetElement   = errors.New("sketch: set element outside universe or duplicated")
+	ErrSetTooLarge  = errors.New("sketch: set difference exceeds capacity")
+	ErrBadSyndromes = errors.New("sketch: malformed syndrome sketch")
+)
+
+// PinSketch is the syndrome-based secure sketch for the *set difference*
+// metric (Dodis–Ostrovsky–Reyzin–Smith §6, "PinSketch"), the third metric
+// §II of the paper surveys. The universe is the non-zero elements of
+// GF(2^m); the sketch of a set w is its 2t BCH syndromes, and recovery
+// succeeds whenever |w Δ w'| <= t. It rounds out the metric-space substrate
+// next to the Chebyshev construction (the paper's contribution) and the
+// Hamming code-offset comparator.
+type PinSketch struct {
+	field *gf.Field
+	t     int
+}
+
+// NewPinSketch builds a set-difference sketch over GF(2^m) tolerating
+// symmetric differences of up to t elements.
+func NewPinSketch(m uint, t int) (*PinSketch, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("%w: t=%d", ErrSetTooLarge, t)
+	}
+	field, err := gf.New(m)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(t) >= field.N() {
+		return nil, fmt.Errorf("%w: t=%d over universe of %d", ErrSetTooLarge, t, field.N())
+	}
+	return &PinSketch{field: field, t: t}, nil
+}
+
+// T returns the tolerated set-difference size.
+func (p *PinSketch) T() int { return p.t }
+
+// Universe returns the number of elements in the universe (2^m - 1).
+func (p *PinSketch) Universe() uint32 { return p.field.N() }
+
+// SketchLen returns the number of syndromes in a sketch (2t).
+func (p *PinSketch) SketchLen() int { return 2 * p.t }
+
+// Sketch computes SS(w): the syndromes s_j = sum_{x in w} x^j for
+// j = 1..2t. The set must consist of distinct non-zero field elements.
+func (p *PinSketch) Sketch(set []gf.Elem) ([]gf.Elem, error) {
+	if err := p.validateSet(set); err != nil {
+		return nil, err
+	}
+	return p.syndromes(set), nil
+}
+
+// Recover computes Rec(w', s): reconstruct the original set w from a probe
+// set w' whenever |w Δ w'| <= t. The returned set is sorted ascending.
+func (p *PinSketch) Recover(probe []gf.Elem, sketch []gf.Elem) ([]gf.Elem, error) {
+	if err := p.validateSet(probe); err != nil {
+		return nil, err
+	}
+	if len(sketch) != p.SketchLen() {
+		return nil, fmt.Errorf("%w: %d syndromes, want %d", ErrBadSyndromes, len(sketch), p.SketchLen())
+	}
+	// Syndromes are linear over GF(2): syn(w Δ w') = syn(w) + syn(w').
+	probeSyn := p.syndromes(probe)
+	diffSyn := make([]gf.Elem, p.SketchLen())
+	allZero := true
+	for i := range diffSyn {
+		diffSyn[i] = sketch[i] ^ probeSyn[i]
+		if diffSyn[i] != 0 {
+			allZero = false
+		}
+	}
+	out := append([]gf.Elem(nil), probe...)
+	if !allZero {
+		locator := p.field.BerlekampMassey(diffSyn)
+		degree := gf.PolyDeg(locator)
+		if degree < 1 || degree > p.t {
+			return nil, ErrNotClose
+		}
+		// The locator's roots are the inverses of the difference elements.
+		roots := p.field.FindRoots(locator)
+		if len(roots) != degree {
+			return nil, ErrNotClose
+		}
+		diff := make([]gf.Elem, len(roots))
+		for i, r := range roots {
+			inv, err := p.field.Inv(r)
+			if err != nil {
+				return nil, ErrNotClose
+			}
+			diff[i] = inv
+		}
+		// Verify: the recovered difference must reproduce the syndrome gap
+		// exactly (guards against miscorrection beyond capacity).
+		check := p.syndromes(diff)
+		for i := range check {
+			if check[i] != diffSyn[i] {
+				return nil, ErrNotClose
+			}
+		}
+		out = symmetricDifference(out, diff)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// syndromes computes s_j = sum_{x in set} x^j for j = 1..2t.
+func (p *PinSketch) syndromes(set []gf.Elem) []gf.Elem {
+	syn := make([]gf.Elem, p.SketchLen())
+	for j := 1; j <= p.SketchLen(); j++ {
+		var s gf.Elem
+		for _, x := range set {
+			s ^= p.field.Pow(x, j)
+		}
+		syn[j-1] = s
+	}
+	return syn
+}
+
+func (p *PinSketch) validateSet(set []gf.Elem) error {
+	seen := make(map[gf.Elem]struct{}, len(set))
+	for _, x := range set {
+		if x == 0 || !p.field.Contains(x) {
+			return fmt.Errorf("%w: element %d", ErrSetElement, x)
+		}
+		if _, ok := seen[x]; ok {
+			return fmt.Errorf("%w: duplicate element %d", ErrSetElement, x)
+		}
+		seen[x] = struct{}{}
+	}
+	return nil
+}
+
+// symmetricDifference returns a Δ b for slices of distinct elements.
+func symmetricDifference(a, b []gf.Elem) []gf.Elem {
+	inB := make(map[gf.Elem]struct{}, len(b))
+	for _, x := range b {
+		inB[x] = struct{}{}
+	}
+	var out []gf.Elem
+	for _, x := range a {
+		if _, ok := inB[x]; !ok {
+			out = append(out, x)
+		}
+	}
+	inA := make(map[gf.Elem]struct{}, len(a))
+	for _, x := range a {
+		inA[x] = struct{}{}
+	}
+	for _, x := range b {
+		if _, ok := inA[x]; !ok {
+			out = append(out, x)
+		}
+	}
+	return out
+}

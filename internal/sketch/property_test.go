@@ -1,0 +1,93 @@
+package sketch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fuzzyid/internal/numberline"
+)
+
+// TestSketchPropertyRandomLines checks Theorem 1 and Theorem 2 on randomly
+// drawn line geometries, not just the paper's parameters: for arbitrary
+// (a, k, v, t) within validity bounds, genuine probes recover exactly and
+// their sketches match, while probes pushed beyond the threshold never
+// silently recover the original.
+func TestSketchPropertyRandomLines(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	property := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		params := numberline.Params{
+			A: 1 + local.Int63n(20),
+			K: 2 * (1 + local.Int63n(4)),
+			V: 2 + local.Int63n(30),
+		}
+		maxT := params.K*params.A/2 - 1
+		params.T = local.Int63n(maxT + 1)
+		line, err := numberline.New(params)
+		if err != nil {
+			t.Logf("params %v rejected: %v", params, err)
+			return false
+		}
+		c := NewChebyshev(line)
+		n := 1 + local.Intn(8)
+		x := make(numberline.Vector, n)
+		for i := range x {
+			x[i] = line.Normalize(local.Int63n(line.RingSize()) - line.RingSize()/2)
+		}
+		s, err := c.Sketch(x)
+		if err != nil {
+			t.Logf("sketch failed: %v", err)
+			return false
+		}
+		// Genuine probe within threshold.
+		y := make(numberline.Vector, n)
+		for i := range y {
+			var d int64
+			if params.T > 0 {
+				d = local.Int63n(2*params.T+1) - params.T
+			}
+			y[i] = line.Add(x[i], d)
+		}
+		z, err := c.Recover(y, s)
+		if err != nil || !z.Equal(x) {
+			t.Logf("params %v: genuine recovery failed: %v", params, err)
+			return false
+		}
+		// Matching sketches for the genuine probe.
+		sy, err := c.Sketch(y)
+		if err != nil {
+			return false
+		}
+		ok, err := c.Match(s, sy)
+		if err != nil || !ok {
+			t.Logf("params %v: genuine match failed", params)
+			return false
+		}
+		// A probe pushed beyond the threshold on one coordinate must not
+		// silently recover x.
+		far := y.Clone()
+		far[local.Intn(n)] = line.Add(x[local.Intn(n)], params.T+1)
+		if zf, err := c.Recover(far, s); err == nil && zf.Equal(x) {
+			// Only a violation if the pushed coordinate is the recovered
+			// one; rebuild deterministically to check precisely.
+			idx := 0
+			far2 := x.Clone()
+			far2[idx] = line.Add(x[idx], params.T+1)
+			if zf2, err2 := c.Recover(far2, s); err2 == nil && zf2.Equal(x) {
+				t.Logf("params %v: beyond-threshold probe recovered x", params)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(rng.Int63())
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

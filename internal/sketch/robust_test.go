@@ -1,0 +1,175 @@
+package sketch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fuzzyid/internal/numberline"
+)
+
+func newRobust(t *testing.T) (*Robust, *numberline.Line) {
+	t.Helper()
+	l := paperLine(t)
+	return NewRobust(NewChebyshev(l)), l
+}
+
+func TestRobustRoundTrip(t *testing.T) {
+	r, l := newRobust(t)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		x := randomVector(rng, l, 32)
+		rs, err := r.Sketch(x)
+		if err != nil {
+			t.Fatalf("Sketch: %v", err)
+		}
+		if rs.Dimension() != 32 {
+			t.Fatalf("Dimension = %d", rs.Dimension())
+		}
+		y := perturb(rng, l, x, l.Threshold())
+		z, err := r.Recover(y, rs)
+		if err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		if !z.Equal(x) {
+			t.Fatal("robust recovery returned wrong vector")
+		}
+	}
+}
+
+func TestRobustDetectsTamperedMovement(t *testing.T) {
+	r, l := newRobust(t)
+	rng := rand.New(rand.NewSource(42))
+	x := randomVector(rng, l, 16)
+	rs, err := r.Sketch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An active adversary shifts one movement by a full interval span: the
+	// inner Rec still "succeeds" (it lands on an identifier) but recovers a
+	// wrong x, which the digest check must catch.
+	evil := rs.Clone()
+	span := l.IntervalSpan()
+	if evil.Sketch.Movements[0] > 0 {
+		evil.Sketch.Movements[0] -= span / 2
+	} else {
+		evil.Sketch.Movements[0] += span / 2
+	}
+	_, err = r.Recover(x, evil)
+	if err == nil {
+		t.Fatal("tampered helper data accepted")
+	}
+	if !errors.Is(err, ErrTampered) && !errors.Is(err, ErrNotClose) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRobustDetectsTamperedDigest(t *testing.T) {
+	r, l := newRobust(t)
+	rng := rand.New(rand.NewSource(43))
+	x := randomVector(rng, l, 16)
+	rs, err := r.Sketch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := rs.Clone()
+	evil.Digest[0] ^= 0x01
+	if _, err := r.Recover(x, evil); !errors.Is(err, ErrTampered) {
+		t.Fatalf("err = %v, want ErrTampered", err)
+	}
+}
+
+func TestRobustDetectsSwappedSketch(t *testing.T) {
+	// Splicing the inner sketch of user B under user A's digest must fail.
+	r, l := newRobust(t)
+	rng := rand.New(rand.NewSource(44))
+	xa := randomVector(rng, l, 16)
+	xb := randomVector(rng, l, 16)
+	rsa, err := r.Sketch(xa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsb, err := r.Sketch(xb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spliced := &RobustSketch{Sketch: rsb.Sketch, Digest: rsa.Digest}
+	_, err = r.Recover(xb, spliced)
+	if err == nil {
+		t.Fatal("spliced helper data accepted")
+	}
+}
+
+func TestRobustRejectsFarProbe(t *testing.T) {
+	r, l := newRobust(t)
+	rng := rand.New(rand.NewSource(45))
+	x := randomVector(rng, l, 16)
+	rs, err := r.Sketch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := x.Clone()
+	far[3] = l.Add(far[3], l.Threshold()+1)
+	if _, err := r.Recover(far, rs); err == nil {
+		t.Fatal("far probe accepted")
+	}
+}
+
+func TestRobustNilHandling(t *testing.T) {
+	r, l := newRobust(t)
+	x := randomVector(rand.New(rand.NewSource(46)), l, 4)
+	if _, err := r.Recover(x, nil); !errors.Is(err, ErrInvalidSketch) {
+		t.Errorf("nil sketch err = %v", err)
+	}
+	if _, err := r.Match(nil, &Sketch{Movements: []int64{0}}); !errors.Is(err, ErrInvalidSketch) {
+		t.Errorf("nil match err = %v", err)
+	}
+	var nilRS *RobustSketch
+	if nilRS.Clone() != nil {
+		t.Error("Clone(nil) != nil")
+	}
+}
+
+func TestRobustMatchDelegates(t *testing.T) {
+	r, l := newRobust(t)
+	rng := rand.New(rand.NewSource(47))
+	x := randomVector(rng, l, 16)
+	rs, err := r.Sketch(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeSketcher := NewChebyshev(l)
+	y := perturb(rng, l, x, l.Threshold())
+	probe, err := probeSketcher.Sketch(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.Match(rs, probe)
+	if err != nil || !ok {
+		t.Fatalf("Match(close) = (%v, %v), want (true, nil)", ok, err)
+	}
+	// A fresh random vector should, with overwhelming probability at n=16,
+	// not match.
+	z := randomVector(rng, l, 16)
+	probeZ, err := probeSketcher.Sketch(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = r.Match(rs, probeZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("random probe matched (false close); astronomically unlikely")
+	}
+}
+
+func TestRobustLineAccessors(t *testing.T) {
+	r, l := newRobust(t)
+	if r.Line() != l {
+		t.Error("Line() does not return the construction line")
+	}
+	if r.Inner() == nil {
+		t.Error("Inner() is nil")
+	}
+}

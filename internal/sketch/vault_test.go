@@ -1,0 +1,184 @@
+package sketch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fuzzyid/internal/gf"
+)
+
+func newVault(t *testing.T) *FuzzyVault {
+	t.Helper()
+	v, err := NewFuzzyVault(12, 9, 200) // degree-8 polynomial, 200 chaff points
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func randomFeatures(rng *rand.Rand, universe uint32, size int) []gf.Elem {
+	perm := rng.Perm(int(universe))
+	out := make([]gf.Elem, size)
+	for i := range out {
+		out[i] = gf.Elem(perm[i] + 1)
+	}
+	return out
+}
+
+func randomSecret(rng *rand.Rand, v *FuzzyVault) []gf.Elem {
+	secret := make([]gf.Elem, v.SecretLen())
+	for i := range secret {
+		secret[i] = gf.Elem(rng.Intn(1 << 12))
+	}
+	return secret
+}
+
+func secretsEqual(a, b []gf.Elem) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVaultConstruction(t *testing.T) {
+	if _, err := NewFuzzyVault(12, 0, 10); !errors.Is(err, ErrVaultParams) {
+		t.Errorf("secretLen 0 err = %v", err)
+	}
+	if _, err := NewFuzzyVault(12, 4, -1); !errors.Is(err, ErrVaultParams) {
+		t.Errorf("negative chaff err = %v", err)
+	}
+	if _, err := NewFuzzyVault(1, 4, 10); err == nil {
+		t.Error("bad field accepted")
+	}
+	v := newVault(t)
+	if v.SecretLen() != 9 || v.MinOverlap() != 9 {
+		t.Errorf("(SecretLen, MinOverlap) = (%d, %d)", v.SecretLen(), v.MinOverlap())
+	}
+}
+
+func TestVaultLockValidation(t *testing.T) {
+	v := newVault(t)
+	rng := rand.New(rand.NewSource(111))
+	secret := randomSecret(rng, v)
+	if _, err := v.Lock(randomFeatures(rng, v.field.N(), 3), secret); !errors.Is(err, ErrVaultSet) {
+		t.Errorf("too-few features err = %v", err)
+	}
+	if _, err := v.Lock([]gf.Elem{0, 1, 2, 3, 4, 5, 6, 7, 8}, secret); !errors.Is(err, ErrVaultSet) {
+		t.Errorf("zero element err = %v", err)
+	}
+	if _, err := v.Lock([]gf.Elem{1, 1, 2, 3, 4, 5, 6, 7, 8}, secret); !errors.Is(err, ErrVaultSet) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	feats := randomFeatures(rng, v.field.N(), 20)
+	if _, err := v.Lock(feats, secret[:3]); !errors.Is(err, ErrVaultParams) {
+		t.Errorf("short secret err = %v", err)
+	}
+}
+
+func TestVaultUnlockWithOverlap(t *testing.T) {
+	v := newVault(t)
+	rng := rand.New(rand.NewSource(112))
+	for trial := 0; trial < 10; trial++ {
+		features := randomFeatures(rng, v.field.N(), 24)
+		secret := randomSecret(rng, v)
+		vault, err := v.Lock(features, secret)
+		if err != nil {
+			t.Fatalf("Lock: %v", err)
+		}
+		if len(vault.Points) != 24+200 {
+			t.Fatalf("vault has %d points", len(vault.Points))
+		}
+		// Probe: drop 10 of 24 features (14 overlap >= 9 required), add
+		// 10 unrelated ones.
+		probe := append([]gf.Elem(nil), features[:14]...)
+		probe = append(probe, randomFeatures(rng, v.field.N(), 10)...)
+		got, err := v.Unlock(probe, vault)
+		if err != nil {
+			t.Fatalf("Unlock: %v", err)
+		}
+		if !secretsEqual(got, secret) {
+			t.Fatal("unlocked wrong secret")
+		}
+	}
+}
+
+func TestVaultUnlockExactProbe(t *testing.T) {
+	v := newVault(t)
+	rng := rand.New(rand.NewSource(113))
+	features := randomFeatures(rng, v.field.N(), 12)
+	secret := randomSecret(rng, v)
+	vault, err := v.Lock(features, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Unlock(features, vault)
+	if err != nil {
+		t.Fatalf("Unlock(exact): %v", err)
+	}
+	if !secretsEqual(got, secret) {
+		t.Fatal("wrong secret")
+	}
+}
+
+func TestVaultRejectsInsufficientOverlap(t *testing.T) {
+	v := newVault(t)
+	rng := rand.New(rand.NewSource(114))
+	features := randomFeatures(rng, v.field.N(), 20)
+	secret := randomSecret(rng, v)
+	vault, err := v.Lock(features, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 5 overlapping features: below MinOverlap = 9 genuine points, and
+	// chaff hits cannot produce a verifying interpolation.
+	probe := append([]gf.Elem(nil), features[:5]...)
+	probe = append(probe, randomFeatures(rng, v.field.N(), 15)...)
+	if _, err := v.Unlock(probe, vault); !errors.Is(err, ErrVaultNoUnlock) {
+		t.Fatalf("insufficient overlap err = %v", err)
+	}
+	// A completely unrelated probe also fails.
+	if _, err := v.Unlock(randomFeatures(rng, v.field.N(), 20), vault); !errors.Is(err, ErrVaultNoUnlock) {
+		t.Fatalf("impostor err = %v", err)
+	}
+}
+
+func TestVaultChaffNeverOnPolynomial(t *testing.T) {
+	v := newVault(t)
+	rng := rand.New(rand.NewSource(115))
+	features := randomFeatures(rng, v.field.N(), 12)
+	secret := randomSecret(rng, v)
+	vault, err := v.Lock(features, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine := make(map[gf.Elem]struct{}, len(features))
+	for _, x := range features {
+		genuine[x] = struct{}{}
+	}
+	for _, pt := range vault.Points {
+		onPoly := v.field.PolyEval(secret, pt.X) == pt.Y
+		_, isGenuine := genuine[pt.X]
+		if isGenuine && !onPoly {
+			t.Fatalf("genuine point (%d, %d) off the polynomial", pt.X, pt.Y)
+		}
+		if !isGenuine && onPoly {
+			t.Fatalf("chaff point (%d, %d) lies on the polynomial", pt.X, pt.Y)
+		}
+	}
+}
+
+func TestVaultUnlockEmptyVault(t *testing.T) {
+	v := newVault(t)
+	if _, err := v.Unlock([]gf.Elem{1}, nil); !errors.Is(err, ErrVaultParams) {
+		t.Errorf("nil vault err = %v", err)
+	}
+	if _, err := v.Unlock([]gf.Elem{1}, &Vault{}); !errors.Is(err, ErrVaultParams) {
+		t.Errorf("empty vault err = %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package stats provides the measurement substrate for the experiment
+// harness: latency accumulation with percentiles, and ordinary least-squares
+// fitting used to certify the complexity claims of Fig. 4 (identification
+// time constant in the database size for the proposed protocol, linear for
+// the normal approach).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"time"
+)
+
+// Errors returned by the estimators.
+var (
+	ErrNoData         = errors.New("stats: no data")
+	ErrBadPercentile  = errors.New("stats: percentile must be in [0, 100]")
+	ErrLengthMismatch = errors.New("stats: x and y have different lengths")
+	ErrTooFewPoints   = errors.New("stats: need at least two points")
+)
+
+// Timing accumulates duration samples. The zero value is ready to use.
+type Timing struct {
+	samples []float64 // milliseconds
+	sorted  bool
+}
+
+// Add records one duration sample.
+func (t *Timing) Add(d time.Duration) {
+	t.samples = append(t.samples, float64(d)/float64(time.Millisecond))
+	t.sorted = false
+}
+
+// N returns the number of samples.
+func (t *Timing) N() int { return len(t.samples) }
+
+// Mean returns the mean latency in milliseconds.
+func (t *Timing) Mean() (float64, error) {
+	if len(t.samples) == 0 {
+		return 0, ErrNoData
+	}
+	var sum float64
+	for _, s := range t.samples {
+		sum += s
+	}
+	return sum / float64(len(t.samples)), nil
+}
+
+// Stddev returns the sample standard deviation in milliseconds.
+func (t *Timing) Stddev() (float64, error) {
+	if len(t.samples) < 2 {
+		return 0, ErrTooFewPoints
+	}
+	mean, err := t.Mean()
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, s := range t.samples {
+		d := s - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(t.samples)-1)), nil
+}
+
+// Percentile returns the p-th percentile latency in milliseconds using
+// nearest-rank interpolation.
+func (t *Timing) Percentile(p float64) (float64, error) {
+	if len(t.samples) == 0 {
+		return 0, ErrNoData
+	}
+	if p < 0 || p > 100 {
+		return 0, ErrBadPercentile
+	}
+	if !t.sorted {
+		sort.Float64s(t.samples)
+		t.sorted = true
+	}
+	if p == 0 {
+		return t.samples[0], nil
+	}
+	rank := int(math.Ceil(p/100*float64(len(t.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(t.samples) {
+		rank = len(t.samples) - 1
+	}
+	return t.samples[rank], nil
+}
+
+// Min returns the smallest sample in milliseconds.
+func (t *Timing) Min() (float64, error) { return t.Percentile(0) }
+
+// Max returns the largest sample in milliseconds.
+func (t *Timing) Max() (float64, error) { return t.Percentile(100) }
+
+// Fit is an ordinary least-squares line fit y = Slope*x + Intercept.
+type Fit struct {
+	// Slope is the fitted slope.
+	Slope float64
+	// Intercept is the fitted intercept.
+	Intercept float64
+	// R2 is the coefficient of determination in [0, 1] (1 = perfect fit).
+	R2 float64
+}
+
+// LinearFit fits a least-squares line through the points (x[i], y[i]).
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, ErrLengthMismatch
+	}
+	if len(x) < 2 {
+		return Fit{}, ErrTooFewPoints
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: x values are all identical")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // y constant and perfectly predicted by slope 0
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit, nil
+}
+
+// GrowthRatio summarises how strongly y grows over the measured x range:
+// predicted y at max(x) divided by predicted y at min(x) under the fit.
+// Values near 1 indicate constant behaviour (the proposed protocol);
+// values tracking max(x)/min(x) indicate linear behaviour (the normal
+// approach).
+func (f Fit) GrowthRatio(xMin, xMax float64) float64 {
+	lo := f.Slope*xMin + f.Intercept
+	hi := f.Slope*xMax + f.Intercept
+	if lo <= 0 {
+		return math.Inf(1)
+	}
+	return hi / lo
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTimingBasics(t *testing.T) {
+	var tm Timing
+	if _, err := tm.Mean(); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty Mean err = %v", err)
+	}
+	for _, ms := range []int{10, 20, 30, 40} {
+		tm.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if tm.N() != 4 {
+		t.Fatalf("N = %d", tm.N())
+	}
+	mean, err := tm.Mean()
+	if err != nil || math.Abs(mean-25) > 1e-9 {
+		t.Errorf("Mean = (%v, %v), want 25", mean, err)
+	}
+	sd, err := tm.Stddev()
+	if err != nil || math.Abs(sd-12.909944487) > 1e-6 {
+		t.Errorf("Stddev = (%v, %v)", sd, err)
+	}
+	mn, err := tm.Min()
+	if err != nil || mn != 10 {
+		t.Errorf("Min = (%v, %v)", mn, err)
+	}
+	mx, err := tm.Max()
+	if err != nil || mx != 40 {
+		t.Errorf("Max = (%v, %v)", mx, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var tm Timing
+	for i := 1; i <= 100; i++ {
+		tm.Add(time.Duration(i) * time.Millisecond)
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 50}, {90, 90}, {99, 99}, {100, 100},
+	}
+	for _, tt := range tests {
+		got, err := tm.Percentile(tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := tm.Percentile(-1); !errors.Is(err, ErrBadPercentile) {
+		t.Errorf("negative percentile err = %v", err)
+	}
+	if _, err := tm.Percentile(101); !errors.Is(err, ErrBadPercentile) {
+		t.Errorf("percentile > 100 err = %v", err)
+	}
+}
+
+func TestPercentileAfterMoreAdds(t *testing.T) {
+	// Adding after a sorted query must keep results correct.
+	var tm Timing
+	tm.Add(30 * time.Millisecond)
+	tm.Add(10 * time.Millisecond)
+	if _, err := tm.Percentile(50); err != nil {
+		t.Fatal(err)
+	}
+	tm.Add(20 * time.Millisecond)
+	got, err := tm.Percentile(100)
+	if err != nil || got != 30 {
+		t.Errorf("Max after re-add = (%v, %v), want 30", got, err)
+	}
+}
+
+func TestLinearFitPerfectLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-9 || math.Abs(fit.Intercept-3) > 1e-9 {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-9 {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitConstant(t *testing.T) {
+	x := []float64{100, 200, 400, 800}
+	y := []float64{5, 5, 5, 5}
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope) > 1e-12 {
+		t.Errorf("slope = %v, want 0", fit.Slope)
+	}
+	if r := fit.GrowthRatio(100, 800); math.Abs(r-1) > 1e-9 {
+		t.Errorf("GrowthRatio = %v, want 1", r)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("too few err = %v", err)
+	}
+	if _, err := LinearFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("identical x accepted")
+	}
+}
+
+func TestGrowthRatioLinearCase(t *testing.T) {
+	// Linear timing: doubling x doubles predicted y when intercept is 0.
+	fit := Fit{Slope: 1, Intercept: 0}
+	if r := fit.GrowthRatio(100, 800); math.Abs(r-8) > 1e-9 {
+		t.Errorf("GrowthRatio = %v, want 8", r)
+	}
+	// Non-positive prediction at xMin -> +Inf sentinel.
+	fit2 := Fit{Slope: 1, Intercept: -200}
+	if r := fit2.GrowthRatio(100, 800); !math.IsInf(r, 1) {
+		t.Errorf("GrowthRatio = %v, want +Inf", r)
+	}
+}
+
+func TestLinearFitNoisyData(t *testing.T) {
+	// A mildly noisy linear relationship should fit with high R2 and a
+	// slope near the truth.
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 3*float64(i) + 10
+		if i%2 == 0 {
+			y[i] += 0.5
+		} else {
+			y[i] -= 0.5
+		}
+	}
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-3) > 0.01 {
+		t.Errorf("slope = %v, want ~3", fit.Slope)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want near 1", fit.R2)
+	}
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sketch"
+)
+
+// Sorted is the range-index store: entries are kept ordered by the residue
+// of their first sketch coordinate. Identification resolves the circular
+// residue range [r'-t, r'+t] with binary search (at most two contiguous
+// segments because the range can wrap) and early-exit-verifies only the
+// entries inside it — on average (2t+1)/ka of the database, independent of
+// any bucket tuning. It complements Scan (no index) and Bucket (hash
+// index): three points on the paper's "pre-computation" spectrum (§V).
+type Sorted struct {
+	line *numberline.Line
+
+	mu      sync.RWMutex
+	byID    map[string]*entry
+	entries []*entry // ordered by res[0]
+	dim     int
+}
+
+var _ Store = (*Sorted)(nil)
+
+// NewSorted constructs a sorted-index store over the given line.
+func NewSorted(line *numberline.Line) *Sorted {
+	return &Sorted{line: line, byID: make(map[string]*entry)}
+}
+
+// Strategy implements Store.
+func (s *Sorted) Strategy() string { return "sorted" }
+
+// Len implements Store.
+func (s *Sorted) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Insert implements Store.
+func (s *Sorted) Insert(rec *Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[rec.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
+	}
+	if s.dim == 0 {
+		s.dim = rec.Helper.Dimension()
+	} else if rec.Helper.Dimension() != s.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), s.dim)
+	}
+	e := &entry{rec: rec, res: residues(s.line, rec.Helper.Sketch.Sketch)}
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].res[0] >= e.res[0] })
+	s.entries = append(s.entries, nil)
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	s.byID[rec.ID] = e
+	return nil
+}
+
+// Get implements Store.
+func (s *Sorted) Get(id string) (*Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.rec, true
+}
+
+// Delete implements Store.
+func (s *Sorted) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	delete(s.byID, id)
+	for i, cand := range s.entries {
+		if cand == e {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// All implements Store.
+func (s *Sorted) All() []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Record, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.rec
+	}
+	return out
+}
+
+// Identify implements Store.
+func (s *Sorted) Identify(probe *sketch.Sketch) (*Record, error) {
+	if probe == nil || len(probe.Movements) == 0 {
+		return nil, ErrBadProbe
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.dim != 0 && len(probe.Movements) != s.dim {
+		return nil, fmt.Errorf("%w: probe dimension %d, store %d", ErrBadProbe, len(probe.Movements), s.dim)
+	}
+	probeRes := residues(s.line, probe)
+	span, t := s.line.IntervalSpan(), s.line.Threshold()
+	lo := probeRes[0] - t
+	hi := probeRes[0] + t
+	// The admissible residue range can wrap around the circle [0, span);
+	// split it into at most two ordinary segments.
+	type segment struct{ lo, hi int64 }
+	var segments []segment
+	switch {
+	case lo < 0:
+		segments = []segment{{0, hi}, {lo + span, span - 1}}
+	case hi >= span:
+		segments = []segment{{lo, span - 1}, {0, hi - span}}
+	default:
+		segments = []segment{{lo, hi}}
+	}
+	for _, seg := range segments {
+		start := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].res[0] >= seg.lo })
+		for i := start; i < len(s.entries) && s.entries[i].res[0] <= seg.hi; i++ {
+			if matchEntry(s.entries[i], probeRes, span, t) {
+				return s.entries[i].rec, nil
+			}
+		}
+	}
+	return nil, ErrNotFound
+}

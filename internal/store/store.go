@@ -1,0 +1,499 @@
+// Package store implements the authentication server's database of §V:
+// records (ID, pk, P) keyed both by identity (verification mode) and by
+// sketch similarity (identification mode).
+//
+// Identification lookup realises the paper's conditions (1)-(4), which
+// reduce to a per-coordinate circular-distance test modulo the interval
+// span ka (Theorem 2; see internal/sketch). Two strategies are provided:
+//
+//   - Scan: an early-exit linear scan over pre-computed residues. Each
+//     non-matching record is rejected after a geometric number of integer
+//     comparisons (expected < 1/(1-q) with q = (2t+1)/ka), so the cost per
+//     enrolled user is a few nanoseconds — negligible next to one signature.
+//   - Bucket: an inverted index over the residue buckets of the first
+//     IndexDims coordinates. A query probes the 3^IndexDims circularly
+//     adjacent buckets and early-exit-verifies only the candidate lists,
+//     cutting the scanned fraction to ~(3/B)^IndexDims of the database.
+//
+// Either way, the *cryptographic* cost of identification is one Rep and one
+// signature regardless of the database size — the paper's constant-cost
+// claim — while the normal approach of Fig. 2 pays one Rep per enrolled
+// user. The experiment harness measures both.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sketch"
+)
+
+// Errors returned by stores.
+var (
+	ErrDuplicateID  = errors.New("store: duplicate user ID")
+	ErrUnknownID    = errors.New("store: unknown user ID")
+	ErrNotFound     = errors.New("store: no record matches")
+	ErrNilRecord    = errors.New("store: nil record or helper data")
+	ErrBadDimension = errors.New("store: record dimension differs from store dimension")
+	ErrBadProbe     = errors.New("store: malformed probe sketch")
+)
+
+// Record is one enrolled user: the tuple (ID, pk, P) the server keeps.
+type Record struct {
+	// ID is the user identity.
+	ID string
+	// PublicKey is the serialized signature-verification key pk.
+	PublicKey []byte
+	// Helper is the public helper data P = (s, r).
+	Helper *core.HelperData
+}
+
+// Store is the server database interface shared by all lookup strategies.
+type Store interface {
+	// Insert adds a record; the ID must be unused.
+	Insert(*Record) error
+	// Get returns the record for a claimed identity (verification mode).
+	Get(id string) (*Record, bool)
+	// Delete removes an enrolled record (revocation / re-enrollment).
+	Delete(id string) error
+	// Identify returns the record whose enrolled sketch matches the probe
+	// under conditions (1)-(4), or ErrNotFound.
+	Identify(probe *sketch.Sketch) (*Record, error)
+	// All returns a snapshot of every enrolled record in insertion-stable
+	// order. The normal-approach protocol of Fig. 2 iterates it.
+	All() []*Record
+	// Len returns the number of enrolled records.
+	Len() int
+	// Strategy names the lookup strategy ("scan" or "bucket").
+	Strategy() string
+}
+
+// residues precomputes the mod-ka residues of a sketch's movements, the
+// quantity the match conditions compare.
+func residues(line *numberline.Line, s *sketch.Sketch) []int64 {
+	span := line.IntervalSpan()
+	out := make([]int64, len(s.Movements))
+	for i, m := range s.Movements {
+		r := m % span
+		if r < 0 {
+			r += span
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// residueClose reports whether two residues are within t on the circle of
+// circumference span.
+func residueClose(a, b, span, t int64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if d > span-d {
+		d = span - d
+	}
+	return d <= t
+}
+
+// entry is a stored record with its precomputed residues.
+type entry struct {
+	rec *Record
+	res []int64
+}
+
+// matchEntry runs the full early-exit condition check of the probe residues
+// against a stored entry.
+func matchEntry(e *entry, probeRes []int64, span, t int64) bool {
+	for i, r := range e.res {
+		if !residueClose(r, probeRes[i], span, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan is the early-exit linear-scan store.
+type Scan struct {
+	line *numberline.Line
+
+	mu      sync.RWMutex
+	byID    map[string]*entry
+	entries []*entry
+	dim     int
+}
+
+var _ Store = (*Scan)(nil)
+
+// NewScan constructs a scan store over the given line.
+func NewScan(line *numberline.Line) *Scan {
+	return &Scan{line: line, byID: make(map[string]*entry)}
+}
+
+// Strategy implements Store.
+func (s *Scan) Strategy() string { return "scan" }
+
+// Len implements Store.
+func (s *Scan) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Insert implements Store.
+func (s *Scan) Insert(rec *Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[rec.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
+	}
+	if s.dim == 0 {
+		s.dim = rec.Helper.Dimension()
+	} else if rec.Helper.Dimension() != s.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), s.dim)
+	}
+	e := &entry{rec: rec, res: residues(s.line, rec.Helper.Sketch.Sketch)}
+	s.byID[rec.ID] = e
+	s.entries = append(s.entries, e)
+	return nil
+}
+
+// Get implements Store.
+func (s *Scan) Get(id string) (*Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.rec, true
+}
+
+// Delete implements Store.
+func (s *Scan) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	delete(s.byID, id)
+	for i, cand := range s.entries {
+		if cand == e {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// All implements Store.
+func (s *Scan) All() []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Record, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.rec
+	}
+	return out
+}
+
+// Identify implements Store.
+func (s *Scan) Identify(probe *sketch.Sketch) (*Record, error) {
+	probeRes, err := s.probeResidues(probe)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	span, t := s.line.IntervalSpan(), s.line.Threshold()
+	for _, e := range s.entries {
+		if matchEntry(e, probeRes, span, t) {
+			return e.rec, nil
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (s *Scan) probeResidues(probe *sketch.Sketch) ([]int64, error) {
+	if probe == nil || len(probe.Movements) == 0 {
+		return nil, ErrBadProbe
+	}
+	s.mu.RLock()
+	dim := s.dim
+	s.mu.RUnlock()
+	if dim != 0 && len(probe.Movements) != dim {
+		return nil, fmt.Errorf("%w: probe dimension %d, store %d", ErrBadProbe, len(probe.Movements), dim)
+	}
+	return residues(s.line, probe), nil
+}
+
+// Bucket is the inverted-index store: residues of the first IndexDims
+// coordinates are quantised into circular buckets of width >= t; the
+// composite bucket key maps to the list of records in that cell. Lookup
+// probes the 3^IndexDims adjacent cells (a matching record's key can differ
+// by at most one bucket per coordinate) and verifies candidates with the
+// early-exit condition check.
+type Bucket struct {
+	line      *numberline.Line
+	indexDims int
+	buckets   int64 // buckets per coordinate
+
+	mu    sync.RWMutex
+	byID  map[string]*entry
+	cells map[string][]*entry
+	order []*entry
+	dim   int
+	count int
+}
+
+var _ Store = (*Bucket)(nil)
+
+// DefaultIndexDims is the default number of indexed coordinates.
+const DefaultIndexDims = 4
+
+// NewBucket constructs a bucket-index store. indexDims <= 0 selects
+// DefaultIndexDims; it is clamped to the record dimension at first insert.
+func NewBucket(line *numberline.Line, indexDims int) *Bucket {
+	if indexDims <= 0 {
+		indexDims = DefaultIndexDims
+	}
+	span := line.IntervalSpan()
+	t := line.Threshold()
+	var buckets int64 = 1
+	if t > 0 {
+		buckets = span / t // bucket width span/buckets >= t
+	} else {
+		buckets = span
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Bucket{
+		line:      line,
+		indexDims: indexDims,
+		buckets:   buckets,
+		byID:      make(map[string]*entry),
+		cells:     make(map[string][]*entry),
+	}
+}
+
+// Strategy implements Store.
+func (b *Bucket) Strategy() string { return "bucket" }
+
+// Buckets returns the number of buckets per indexed coordinate.
+func (b *Bucket) Buckets() int64 { return b.buckets }
+
+// IndexDims returns the number of indexed coordinates (after clamping).
+func (b *Bucket) IndexDims() int { return b.indexDims }
+
+// Len implements Store.
+func (b *Bucket) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.count
+}
+
+// Insert implements Store.
+func (b *Bucket) Insert(rec *Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.byID[rec.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
+	}
+	n := rec.Helper.Dimension()
+	if b.dim == 0 {
+		b.dim = n
+		if b.indexDims > n {
+			b.indexDims = n
+		}
+	} else if n != b.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, n, b.dim)
+	}
+	e := &entry{rec: rec, res: residues(b.line, rec.Helper.Sketch.Sketch)}
+	key := b.cellKey(e.res)
+	b.byID[rec.ID] = e
+	b.cells[key] = append(b.cells[key], e)
+	b.order = append(b.order, e)
+	b.count++
+	return nil
+}
+
+// Delete implements Store.
+func (b *Bucket) Delete(id string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	delete(b.byID, id)
+	key := b.cellKey(e.res)
+	cell := b.cells[key]
+	for i, cand := range cell {
+		if cand == e {
+			b.cells[key] = append(cell[:i], cell[i+1:]...)
+			break
+		}
+	}
+	if len(b.cells[key]) == 0 {
+		delete(b.cells, key)
+	}
+	for i, cand := range b.order {
+		if cand == e {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	b.count--
+	return nil
+}
+
+// All implements Store.
+func (b *Bucket) All() []*Record {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]*Record, len(b.order))
+	for i, e := range b.order {
+		out[i] = e.rec
+	}
+	return out
+}
+
+// Get implements Store.
+func (b *Bucket) Get(id string) (*Record, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	e, ok := b.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return e.rec, true
+}
+
+// Identify implements Store.
+func (b *Bucket) Identify(probe *sketch.Sketch) (*Record, error) {
+	if probe == nil || len(probe.Movements) == 0 {
+		return nil, ErrBadProbe
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.dim != 0 && len(probe.Movements) != b.dim {
+		return nil, fmt.Errorf("%w: probe dimension %d, store %d", ErrBadProbe, len(probe.Movements), b.dim)
+	}
+	probeRes := residues(b.line, probe)
+	span, t := b.line.IntervalSpan(), b.line.Threshold()
+	// Enumerate the 3^indexDims neighbouring cells around the probe's cell.
+	base := make([]int64, b.indexDims)
+	for i := 0; i < b.indexDims; i++ {
+		base[i] = b.bucketOf(probeRes[i])
+	}
+	offsets := make([]int64, b.indexDims)
+	for i := range offsets {
+		offsets[i] = -1
+	}
+	var found *Record
+	for {
+		key := b.offsetKey(base, offsets)
+		for _, e := range b.cells[key] {
+			if matchEntry(e, probeRes, span, t) {
+				found = e.rec
+				break
+			}
+		}
+		if found != nil {
+			return found, nil
+		}
+		// Advance the offset vector through {-1, 0, 1}^indexDims.
+		i := 0
+		for ; i < b.indexDims; i++ {
+			offsets[i]++
+			if offsets[i] <= 1 {
+				break
+			}
+			offsets[i] = -1
+		}
+		if i == b.indexDims {
+			break
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// bucketOf maps a residue in [0, span) to its bucket in [0, buckets).
+func (b *Bucket) bucketOf(res int64) int64 {
+	span := b.line.IntervalSpan()
+	bk := res * b.buckets / span
+	if bk >= b.buckets {
+		bk = b.buckets - 1
+	}
+	return bk
+}
+
+func (b *Bucket) cellKey(res []int64) string {
+	key := make([]byte, 0, b.indexDims*3)
+	for i := 0; i < b.indexDims; i++ {
+		key = appendInt(key, b.bucketOf(res[i]))
+	}
+	return string(key)
+}
+
+func (b *Bucket) offsetKey(base, offsets []int64) string {
+	key := make([]byte, 0, len(base)*3)
+	for i := range base {
+		bk := (base[i] + offsets[i] + b.buckets) % b.buckets
+		key = appendInt(key, bk)
+	}
+	return string(key)
+}
+
+// appendInt appends a compact, unambiguous encoding of v.
+func appendInt(dst []byte, v int64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v), 0xFF)
+}
+
+func validateRecord(rec *Record) error {
+	if rec == nil || rec.Helper == nil || rec.Helper.Sketch == nil || rec.Helper.Sketch.Sketch == nil {
+		return ErrNilRecord
+	}
+	if rec.ID == "" {
+		return fmt.Errorf("%w: empty ID", ErrNilRecord)
+	}
+	if len(rec.PublicKey) == 0 {
+		return fmt.Errorf("%w: empty public key", ErrNilRecord)
+	}
+	if rec.Helper.Dimension() == 0 {
+		return fmt.Errorf("%w: empty sketch", ErrNilRecord)
+	}
+	return nil
+}
+
+// ByStrategy constructs a store by name: "scan", "bucket" or "sorted".
+func ByStrategy(name string, line *numberline.Line) (Store, error) {
+	switch name {
+	case "scan":
+		return NewScan(line), nil
+	case "bucket":
+		return NewBucket(line, 0), nil
+	case "sorted":
+		return NewSorted(line), nil
+	default:
+		return nil, fmt.Errorf("store: unknown strategy %q", name)
+	}
+}
+
+// Strategies lists the available lookup strategies.
+func Strategies() []string { return []string{"scan", "bucket", "sorted"} }

@@ -1,0 +1,530 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sketch"
+)
+
+// fixture bundles a fuzzy extractor, a biometric source and an empty store.
+type fixture struct {
+	fe     *core.FuzzyExtractor
+	src    *biometric.Source
+	stores map[string]Store
+}
+
+func newFixture(t *testing.T, dim int, seed int64) *fixture {
+	t.Helper()
+	fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(fe.Line(), biometric.Paper(dim), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		fe:  fe,
+		src: src,
+		stores: map[string]Store{
+			"scan":   NewScan(fe.Line()),
+			"bucket": NewBucket(fe.Line(), 0),
+			"sorted": NewSorted(fe.Line()),
+		},
+	}
+}
+
+// enroll registers a user in every store and returns the record.
+func (f *fixture) enroll(t *testing.T, u *biometric.User) *Record {
+	t.Helper()
+	_, helper, err := f.fe.Gen(u.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{ID: u.ID, PublicKey: []byte("pk-" + u.ID), Helper: helper}
+	for name, s := range f.stores {
+		if err := s.Insert(rec); err != nil {
+			t.Fatalf("%s Insert: %v", name, err)
+		}
+	}
+	return rec
+}
+
+func (f *fixture) probe(t *testing.T, reading numberline.Vector) *sketch.Sketch {
+	t.Helper()
+	p, err := f.fe.SketchOnly(reading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInsertValidation(t *testing.T) {
+	f := newFixture(t, 16, 1)
+	for name, s := range f.stores {
+		if err := s.Insert(nil); !errors.Is(err, ErrNilRecord) {
+			t.Errorf("%s nil record err = %v", name, err)
+		}
+		if err := s.Insert(&Record{ID: "x", PublicKey: []byte("pk")}); !errors.Is(err, ErrNilRecord) {
+			t.Errorf("%s missing helper err = %v", name, err)
+		}
+	}
+	u := f.src.NewUser("alice")
+	_, helper, err := f.fe.Gen(u.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range f.stores {
+		if err := s.Insert(&Record{ID: "", PublicKey: []byte("pk"), Helper: helper}); !errors.Is(err, ErrNilRecord) {
+			t.Errorf("%s empty ID err = %v", name, err)
+		}
+		if err := s.Insert(&Record{ID: "a", PublicKey: nil, Helper: helper}); !errors.Is(err, ErrNilRecord) {
+			t.Errorf("%s empty pk err = %v", name, err)
+		}
+	}
+}
+
+func TestDuplicateID(t *testing.T) {
+	f := newFixture(t, 16, 2)
+	u := f.src.NewUser("alice")
+	f.enroll(t, u)
+	_, helper, err := f.fe.Gen(u.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := &Record{ID: u.ID, PublicKey: []byte("pk2"), Helper: helper}
+	for name, s := range f.stores {
+		if err := s.Insert(dup); !errors.Is(err, ErrDuplicateID) {
+			t.Errorf("%s duplicate err = %v", name, err)
+		}
+	}
+}
+
+func TestDimensionConsistency(t *testing.T) {
+	f := newFixture(t, 16, 3)
+	u := f.src.NewUser("alice")
+	f.enroll(t, u)
+	// Build a 8-dim record with an unconstrained extractor.
+	flexFE, err := core.New(core.Params{Line: numberline.PaperParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := biometric.NewSource(flexFE.Line(), biometric.Paper(8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := small.NewUser("bob")
+	_, helper, err := flexFE.Gen(u2.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Record{ID: "bob", PublicKey: []byte("pk"), Helper: helper}
+	for name, s := range f.stores {
+		if err := s.Insert(rec); !errors.Is(err, ErrBadDimension) {
+			t.Errorf("%s wrong-dimension err = %v", name, err)
+		}
+	}
+}
+
+func TestGetByID(t *testing.T) {
+	f := newFixture(t, 16, 5)
+	users := f.src.Population(10)
+	for _, u := range users {
+		f.enroll(t, u)
+	}
+	for name, s := range f.stores {
+		rec, ok := s.Get("user-0003")
+		if !ok || rec.ID != "user-0003" {
+			t.Errorf("%s Get = (%v, %v)", name, rec, ok)
+		}
+		if _, ok := s.Get("nobody"); ok {
+			t.Errorf("%s Get(nobody) returned a record", name)
+		}
+		if s.Len() != 10 {
+			t.Errorf("%s Len = %d", name, s.Len())
+		}
+	}
+}
+
+func TestIdentifyGenuineProbe(t *testing.T) {
+	f := newFixture(t, 64, 6)
+	users := f.src.Population(50)
+	for _, u := range users {
+		f.enroll(t, u)
+	}
+	for trial := 0; trial < 20; trial++ {
+		u := users[trial%len(users)]
+		reading, err := f.src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := f.probe(t, reading)
+		for name, s := range f.stores {
+			rec, err := s.Identify(probe)
+			if err != nil {
+				t.Fatalf("%s Identify(%s): %v", name, u.ID, err)
+			}
+			if rec.ID != u.ID {
+				t.Fatalf("%s identified %s as %s", name, u.ID, rec.ID)
+			}
+		}
+	}
+}
+
+func TestIdentifyImpostor(t *testing.T) {
+	f := newFixture(t, 64, 7)
+	for _, u := range f.src.Population(50) {
+		f.enroll(t, u)
+	}
+	for trial := 0; trial < 10; trial++ {
+		probe := f.probe(t, f.src.ImpostorReading())
+		for name, s := range f.stores {
+			if _, err := s.Identify(probe); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("%s impostor err = %v, want ErrNotFound", name, err)
+			}
+		}
+	}
+}
+
+func TestIdentifyNearMissRejected(t *testing.T) {
+	// A reading one point beyond the threshold on one coordinate must not
+	// identify (the sketch residue moves beyond t on that coordinate).
+	f := newFixture(t, 64, 8)
+	users := f.src.Population(10)
+	for _, u := range users {
+		f.enroll(t, u)
+	}
+	rejected := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		u := users[trial%len(users)]
+		reading, err := f.src.NearMissReading(u, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := f.probe(t, reading)
+		scanRec, scanErr := f.stores["scan"].Identify(probe)
+		bucketRec, bucketErr := f.stores["bucket"].Identify(probe)
+		// Both strategies must agree.
+		if (scanErr == nil) != (bucketErr == nil) {
+			t.Fatalf("strategies disagree: scan=%v bucket=%v", scanErr, bucketErr)
+		}
+		if scanErr == nil && scanRec.ID != bucketRec.ID {
+			t.Fatalf("strategies identified different users")
+		}
+		if errors.Is(scanErr, ErrNotFound) {
+			rejected++
+		}
+	}
+	// The residue distance of the pushed coordinate is t+1 except in the
+	// measure-zero-ish case where interval identifiers realign; all trials
+	// must reject.
+	if rejected != trials {
+		t.Errorf("near-miss rejected in %d/%d trials", rejected, trials)
+	}
+}
+
+func TestIdentifyProbeValidation(t *testing.T) {
+	f := newFixture(t, 16, 9)
+	u := f.src.NewUser("alice")
+	f.enroll(t, u)
+	for name, s := range f.stores {
+		if _, err := s.Identify(nil); !errors.Is(err, ErrBadProbe) {
+			t.Errorf("%s nil probe err = %v", name, err)
+		}
+		if _, err := s.Identify(&sketch.Sketch{Movements: []int64{1, 2}}); !errors.Is(err, ErrBadProbe) {
+			t.Errorf("%s wrong-dimension probe err = %v", name, err)
+		}
+	}
+}
+
+func TestIdentifyEmptyStore(t *testing.T) {
+	f := newFixture(t, 16, 10)
+	probe := f.probe(t, f.src.ImpostorReading())
+	for name, s := range f.stores {
+		if _, err := s.Identify(probe); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s empty store err = %v", name, err)
+		}
+	}
+}
+
+// TestStrategiesAgreeOnRandomWorkload cross-validates the bucket index
+// against the plain scan on a mixed workload of genuine and impostor probes.
+func TestStrategiesAgreeOnRandomWorkload(t *testing.T) {
+	f := newFixture(t, 32, 11)
+	users := f.src.Population(100)
+	for _, u := range users {
+		f.enroll(t, u)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 100; trial++ {
+		var reading numberline.Vector
+		var err error
+		if rng.Intn(2) == 0 {
+			reading, err = f.src.GenuineReading(users[rng.Intn(len(users))])
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			reading = f.src.ImpostorReading()
+		}
+		probe := f.probe(t, reading)
+		recScan, errScan := f.stores["scan"].Identify(probe)
+		recBucket, errBucket := f.stores["bucket"].Identify(probe)
+		if (errScan == nil) != (errBucket == nil) {
+			t.Fatalf("trial %d: scan err=%v bucket err=%v", trial, errScan, errBucket)
+		}
+		if errScan == nil && recScan.ID != recBucket.ID {
+			t.Fatalf("trial %d: scan=%s bucket=%s", trial, recScan.ID, recBucket.ID)
+		}
+	}
+}
+
+func TestBucketParameters(t *testing.T) {
+	line, err := numberline.New(numberline.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBucket(line, 0)
+	if b.IndexDims() != DefaultIndexDims {
+		t.Errorf("IndexDims = %d", b.IndexDims())
+	}
+	// span=400, t=100 -> 4 buckets.
+	if b.Buckets() != 4 {
+		t.Errorf("Buckets = %d, want 4", b.Buckets())
+	}
+	// IndexDims clamps to the record dimension.
+	b2 := NewBucket(line, 10)
+	fe := core.MustNew(core.Params{Line: numberline.PaperParams()})
+	src := biometric.MustNewSource(fe.Line(), biometric.Paper(3), 13)
+	u := src.NewUser("u")
+	_, helper, err := fe.Gen(u.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Insert(&Record{ID: "u", PublicKey: []byte("pk"), Helper: helper}); err != nil {
+		t.Fatal(err)
+	}
+	if b2.IndexDims() != 3 {
+		t.Errorf("clamped IndexDims = %d, want 3", b2.IndexDims())
+	}
+	// And identification still works at tiny dimension.
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := fe.SketchOnly(reading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := b2.Identify(probe)
+	if err != nil || rec.ID != "u" {
+		t.Errorf("Identify = (%v, %v)", rec, err)
+	}
+}
+
+func TestByStrategy(t *testing.T) {
+	line, err := numberline.New(numberline.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Strategies() {
+		s, err := ByStrategy(name, line)
+		if err != nil || s.Strategy() != name {
+			t.Errorf("ByStrategy(%q) = (%v, %v)", name, s, err)
+		}
+	}
+	if _, err := ByStrategy("btree", line); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if got := len(Strategies()); got != 3 {
+		t.Errorf("Strategies() has %d entries", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := newFixture(t, 32, 16)
+	users := f.src.Population(10)
+	for _, u := range users {
+		f.enroll(t, u)
+	}
+	victim := users[4]
+	reading, err := f.src.GenuineReading(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := f.probe(t, reading)
+	for name, s := range f.stores {
+		// Identifiable before deletion.
+		if _, err := s.Identify(probe); err != nil {
+			t.Fatalf("%s pre-delete Identify: %v", name, err)
+		}
+		if err := s.Delete(victim.ID); err != nil {
+			t.Fatalf("%s Delete: %v", name, err)
+		}
+		if s.Len() != 9 {
+			t.Errorf("%s Len after delete = %d", name, s.Len())
+		}
+		if _, ok := s.Get(victim.ID); ok {
+			t.Errorf("%s Get found deleted record", name)
+		}
+		if _, err := s.Identify(probe); !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s post-delete Identify err = %v", name, err)
+		}
+		if err := s.Delete(victim.ID); !errors.Is(err, ErrUnknownID) {
+			t.Errorf("%s double delete err = %v", name, err)
+		}
+		// Other users remain identifiable.
+		otherReading, err := f.src.GenuineReading(users[7])
+		if err != nil {
+			t.Fatal(err)
+		}
+		otherProbe := f.probe(t, otherReading)
+		rec, err := s.Identify(otherProbe)
+		if err != nil || rec.ID != users[7].ID {
+			t.Errorf("%s surviving record lookup = (%v, %v)", name, rec, err)
+		}
+		// Re-enrollment after revocation must succeed (fresh helper data).
+		_, helper, err := f.fe.Gen(victim.Template)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(&Record{ID: victim.ID, PublicKey: []byte("pk2"), Helper: helper}); err != nil {
+			t.Errorf("%s re-enroll after delete: %v", name, err)
+		}
+	}
+}
+
+func TestSortedOrderMaintained(t *testing.T) {
+	line, err := numberline.New(numberline.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSorted(line)
+	fe := core.MustNew(core.Params{Line: numberline.PaperParams()})
+	src := biometric.MustNewSource(fe.Line(), biometric.Paper(8), 17)
+	for i := 0; i < 50; i++ {
+		usr := src.NewUser(userID(i))
+		_, helper, err := fe.Gen(usr.Template)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(&Record{ID: usr.ID, PublicKey: []byte("pk"), Helper: helper}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := int64(-1)
+	for _, e := range s.entries {
+		if e.res[0] < prev {
+			t.Fatal("entries not sorted by first residue")
+		}
+		prev = e.res[0]
+	}
+}
+
+func userID(i int) string { return fmt.Sprintf("user-%04d", i) }
+
+func TestConcurrentInsertAndIdentify(t *testing.T) {
+	f := newFixture(t, 32, 14)
+	users := f.src.Population(40)
+	// Pre-enroll half; concurrently enroll the rest while identifying.
+	for _, u := range users[:20] {
+		f.enroll(t, u)
+	}
+	records := make([]*Record, len(users))
+	for i, u := range users {
+		_, helper, err := f.fe.Gen(u.Template)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records[i] = &Record{ID: u.ID + "-c", PublicKey: []byte("pk"), Helper: helper}
+	}
+	for name, s := range f.stores {
+		s := s
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, rec := range records[20:] {
+				if err := s.Insert(rec); err != nil {
+					t.Errorf("%s concurrent Insert: %v", name, err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				u := users[i]
+				reading, err := f.src.GenuineReading(u)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				probe, err := f.fe.SketchOnly(reading)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Identify(probe); err != nil {
+					t.Errorf("%s concurrent Identify: %v", name, err)
+					return
+				}
+			}
+		}()
+		wg.Wait()
+	}
+}
+
+func TestScanStrategyName(t *testing.T) {
+	line, err := numberline.New(numberline.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NewScan(line).Strategy(); got != "scan" {
+		t.Errorf("Strategy = %q", got)
+	}
+	if got := NewBucket(line, 0).Strategy(); got != "bucket" {
+		t.Errorf("Strategy = %q", got)
+	}
+}
+
+func TestLargePopulationIdentifyAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := newFixture(t, 32, 15)
+	users := f.src.Population(300)
+	for _, u := range users {
+		f.enroll(t, u)
+	}
+	for i, u := range users {
+		reading, err := f.src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := f.probe(t, reading)
+		for name, s := range f.stores {
+			rec, err := s.Identify(probe)
+			if err != nil {
+				t.Fatalf("%s user %d: %v", name, i, err)
+			}
+			if rec.ID != u.ID {
+				t.Fatalf("%s user %d misidentified as %s", name, i, rec.ID)
+			}
+		}
+	}
+}
+
+func ExampleScan_strategy() {
+	line, _ := numberline.New(numberline.PaperParams())
+	fmt.Println(NewScan(line).Strategy())
+	// Output: scan
+}

@@ -1,0 +1,278 @@
+// Package transport runs the §V protocol engines over real connections: a
+// concurrent TCP authentication server and a client wrapper for the
+// biometric device, plus an in-memory pair for tests and benchmarks. One
+// connection can carry many sequential protocol sessions (enroll, verify,
+// identify); framing is provided by internal/wire.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/protocol"
+)
+
+// Errors returned by the transport layer.
+var (
+	ErrClosed = errors.New("transport: closed")
+)
+
+// DefaultTimeout bounds a single protocol session on the client side.
+const DefaultTimeout = 30 * time.Second
+
+// Server accepts connections and serves protocol sessions concurrently.
+type Server struct {
+	proto       *protocol.Server
+	ln          net.Listener
+	idleTimeout time.Duration
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption interface {
+	applyServer(*Server)
+}
+
+type serverOptionFunc func(*Server)
+
+func (f serverOptionFunc) applyServer(s *Server) { f(s) }
+
+// WithIdleTimeout sets the per-session read deadline on server connections
+// (default: none).
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.idleTimeout = d })
+}
+
+// Listen starts a TCP server for proto on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, proto *protocol.Server, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &Server{proto: proto, ln: ln, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o.applyServer(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes every live connection and waits for the
+// session goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveConn runs protocol sessions until the peer disconnects or misbehaves.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		if s.idleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
+				return
+			}
+		}
+		if err := s.proto.HandleSession(conn); err != nil {
+			return // EOF, timeout or protocol violation: drop the connection
+		}
+	}
+}
+
+// Client drives the device engine over one connection. Methods are
+// serialised: a connection carries one session at a time.
+type Client struct {
+	device  *protocol.Device
+	timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	applyClient(*Client)
+}
+
+type clientOptionFunc func(*Client)
+
+func (f clientOptionFunc) applyClient(c *Client) { f(c) }
+
+// WithTimeout bounds each protocol session (default DefaultTimeout;
+// 0 disables deadlines, required for net.Pipe which does not support them).
+func WithTimeout(d time.Duration) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.timeout = d })
+}
+
+// Dial connects to a server at addr.
+func Dial(addr string, device *protocol.Device, opts ...ClientOption) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial: %w", err)
+	}
+	return NewClient(conn, device, opts...), nil
+}
+
+// NewClient wraps an existing connection (TCP or net.Pipe).
+func NewClient(conn net.Conn, device *protocol.Device, opts ...ClientOption) *Client {
+	c := &Client{device: device, conn: conn, timeout: DefaultTimeout}
+	for _, o := range opts {
+		o.applyClient(c)
+	}
+	return c
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Enroll runs UserEnro for (id, bio).
+func (c *Client) Enroll(id string, bio numberline.Vector) error {
+	return c.withSession(func(rw io.ReadWriter) error {
+		return c.device.Enroll(rw, id, bio)
+	})
+}
+
+// Verify runs verification mode for the claimed id.
+func (c *Client) Verify(id string, bio numberline.Vector) error {
+	return c.withSession(func(rw io.ReadWriter) error {
+		return c.device.Verify(rw, id, bio)
+	})
+}
+
+// Identify runs the proposed identification protocol and returns the
+// established identity.
+func (c *Client) Identify(bio numberline.Vector) (string, error) {
+	var id string
+	err := c.withSession(func(rw io.ReadWriter) error {
+		var err error
+		id, err = c.device.Identify(rw, bio)
+		return err
+	})
+	return id, err
+}
+
+// Revoke removes the enrollment for id after a successful biometric
+// challenge-response.
+func (c *Client) Revoke(id string, bio numberline.Vector) error {
+	return c.withSession(func(rw io.ReadWriter) error {
+		return c.device.Revoke(rw, id, bio)
+	})
+}
+
+// IdentifyNormal runs the O(N) normal-approach identification.
+func (c *Client) IdentifyNormal(bio numberline.Vector) (string, error) {
+	var id string
+	err := c.withSession(func(rw io.ReadWriter) error {
+		var err error
+		id, err = c.device.IdentifyNormal(rw, bio)
+		return err
+	})
+	return id, err
+}
+
+func (c *Client) withSession(fn func(io.ReadWriter) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return fmt.Errorf("transport: set deadline: %w", err)
+		}
+	}
+	return fn(c.conn)
+}
+
+// LocalPair wires a client directly to a protocol server through an
+// in-memory pipe (no TCP stack). The returned stop function tears both ends
+// down. Benchmarks use it to measure protocol cost without network noise.
+func LocalPair(proto *protocol.Server, device *protocol.Device) (*Client, func()) {
+	devEnd, srvEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if err := proto.HandleSession(srvEnd); err != nil {
+				return
+			}
+		}
+	}()
+	client := NewClient(devEnd, device, WithTimeout(0)) // net.Pipe: no deadlines needed
+	stop := func() {
+		client.Close()
+		srvEnd.Close()
+		<-done
+	}
+	return client, stop
+}

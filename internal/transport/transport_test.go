@@ -1,0 +1,277 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/sigscheme"
+	"fuzzyid/internal/store"
+)
+
+type world struct {
+	fe     *core.FuzzyExtractor
+	src    *biometric.Source
+	proto  *protocol.Server
+	device *protocol.Device
+}
+
+func newWorld(t *testing.T, dim int, seed int64) *world {
+	t.Helper()
+	fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(fe.Line(), biometric.Paper(dim), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := sigscheme.Default()
+	return &world{
+		fe:     fe,
+		src:    src,
+		proto:  protocol.NewServer(fe, scheme, store.NewBucket(fe.Line(), 0)),
+		device: protocol.NewDevice(fe, scheme),
+	}
+}
+
+func TestTCPEndToEnd(t *testing.T) {
+	w := newWorld(t, 64, 201)
+	srv, err := Listen("127.0.0.1:0", w.proto, WithIdleTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(srv.Addr().String(), w.device, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	users := w.src.Population(10)
+	for _, u := range users {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll %s: %v", u.ID, err)
+		}
+	}
+	// Verification.
+	reading, err := w.src.GenuineReading(users[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify(users[3].ID, reading); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Proposed identification.
+	reading, err = w.src.GenuineReading(users[7])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.Identify(reading)
+	if err != nil {
+		t.Fatalf("identify: %v", err)
+	}
+	if id != users[7].ID {
+		t.Fatalf("identified %q, want %q", id, users[7].ID)
+	}
+	// Normal approach over the same connection.
+	reading, err = w.src.GenuineReading(users[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err = client.IdentifyNormal(reading)
+	if err != nil {
+		t.Fatalf("identify normal: %v", err)
+	}
+	if id != users[2].ID {
+		t.Fatalf("normal identified %q, want %q", id, users[2].ID)
+	}
+	// Impostor rejection propagates as RejectedError.
+	if _, err := client.Identify(w.src.ImpostorReading()); !protocol.IsRejected(err) {
+		t.Fatalf("impostor err = %v, want rejection", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	w := newWorld(t, 32, 202)
+	srv, err := Listen("127.0.0.1:0", w.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	users := w.src.Population(16)
+	// Enroll everyone through one connection first.
+	setup, err := Dial(srv.Addr().String(), w.device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range users {
+		if err := setup.Enroll(u.ID, u.Template); err != nil {
+			t.Fatal(err)
+		}
+	}
+	setup.Close()
+
+	readings := make([]numberline.Vector, len(users))
+	for i, u := range users {
+		r, err := w.src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readings[i] = r
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(users))
+	for i := range users {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String(), w.device, WithTimeout(10*time.Second))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			id, err := c.Identify(readings[i])
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			if id != users[i].ID {
+				errs <- fmt.Errorf("client %d: identified %q", i, id)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	w := newWorld(t, 16, 203)
+	srv, err := Listen("127.0.0.1:0", w.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr().String(), w.device, WithTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double Close err = %v", err)
+	}
+	u := w.src.NewUser("late")
+	if err := client.Enroll(u.ID, u.Template); err == nil {
+		t.Error("enroll after server close succeeded")
+	}
+}
+
+func TestClientClosedErrors(t *testing.T) {
+	w := newWorld(t, 16, 204)
+	srv, err := Listen("127.0.0.1:0", w.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr().String(), w.device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close err = %v", err)
+	}
+	u := w.src.NewUser("x")
+	if err := client.Enroll(u.ID, u.Template); !errors.Is(err, ErrClosed) {
+		t.Errorf("enroll on closed client err = %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	w := newWorld(t, 16, 205)
+	if _, err := Dial("127.0.0.1:1", w.device, WithTimeout(time.Second)); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestLocalPair(t *testing.T) {
+	w := newWorld(t, 64, 206)
+	client, stop := LocalPair(w.proto, w.device)
+	defer stop()
+
+	users := w.src.Population(5)
+	for _, u := range users {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll: %v", err)
+		}
+	}
+	reading, err := w.src.GenuineReading(users[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := client.Identify(reading)
+	if err != nil {
+		t.Fatalf("identify: %v", err)
+	}
+	if id != users[4].ID {
+		t.Fatalf("identified %q", id)
+	}
+	reading, err = w.src.GenuineReading(users[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify(users[0].ID, reading); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestLocalPairStopIsIdempotentSafe(t *testing.T) {
+	w := newWorld(t, 16, 207)
+	client, stop := LocalPair(w.proto, w.device)
+	u := w.src.NewUser("u")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if err := client.Enroll("again", u.Template); !errors.Is(err, ErrClosed) {
+		t.Errorf("enroll after stop err = %v", err)
+	}
+}
+
+func TestIdleTimeoutDropsSilentConnection(t *testing.T) {
+	w := newWorld(t, 16, 208)
+	srv, err := Listen("127.0.0.1:0", w.proto, WithIdleTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr().String(), w.device, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Do nothing; after the idle timeout the server drops us, and the next
+	// session fails.
+	time.Sleep(300 * time.Millisecond)
+	u := w.src.NewUser("slow")
+	if err := client.Enroll(u.ID, u.Template); err == nil {
+		t.Error("session on idle-dropped connection succeeded")
+	}
+}

@@ -1,0 +1,88 @@
+// Package vecfile reads and writes biometric feature vectors as plain text:
+// whitespace-separated signed integers (one vector per file). The CLI tools
+// use it so templates and probes can be inspected and edited by hand.
+package vecfile
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"fuzzyid/internal/numberline"
+)
+
+// ErrEmpty is returned when a file contains no values.
+var ErrEmpty = errors.New("vecfile: no values")
+
+// Read parses a vector from r.
+func Read(r io.Reader) (numberline.Vector, error) {
+	sc := bufio.NewScanner(r)
+	sc.Split(bufio.ScanWords)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var v numberline.Vector
+	for sc.Scan() {
+		x, err := strconv.ParseInt(sc.Text(), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("vecfile: token %q: %w", sc.Text(), err)
+		}
+		v = append(v, x)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vecfile: scan: %w", err)
+	}
+	if len(v) == 0 {
+		return nil, ErrEmpty
+	}
+	return v, nil
+}
+
+// ReadFile parses a vector from the named file.
+func ReadFile(path string) (numberline.Vector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write renders v to w, sixteen values per line.
+func Write(w io.Writer, v numberline.Vector) error {
+	bw := bufio.NewWriter(w)
+	for i, x := range v {
+		if i > 0 {
+			if i%16 == 0 {
+				if err := bw.WriteByte('\n'); err != nil {
+					return err
+				}
+			} else if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(strconv.FormatInt(x, 10)); err != nil {
+			return err
+		}
+	}
+	if len(v) > 0 {
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile renders v to the named file.
+func WriteFile(path string, v numberline.Vector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,106 @@
+package vecfile
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fuzzyid/internal/numberline"
+)
+
+func TestRoundTrip(t *testing.T) {
+	v := numberline.Vector{1, -2, 300000, 0, -99999}
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatalf("round trip: %v != %v", got, v)
+	}
+}
+
+func TestReadFormats(t *testing.T) {
+	tests := []struct {
+		name string
+		give string
+		want numberline.Vector
+	}{
+		{name: "spaces", give: "1 2 3", want: numberline.Vector{1, 2, 3}},
+		{name: "newlines", give: "1\n2\n3\n", want: numberline.Vector{1, 2, 3}},
+		{name: "mixed whitespace", give: " 1\t2\n\n3 ", want: numberline.Vector{1, 2, 3}},
+		{name: "negatives", give: "-5 -6", want: numberline.Vector{-5, -6}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Read(strings.NewReader(tt.give))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("Read = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Read(strings.NewReader("1 two 3")); err == nil {
+		t.Error("non-numeric token accepted")
+	}
+	if _, err := Read(strings.NewReader("99999999999999999999")); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vec.txt")
+	v := make(numberline.Vector, 100)
+	for i := range v {
+		v[i] = int64(i*37 - 500)
+	}
+	if err := WriteFile(path, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteLineWrapping(t *testing.T) {
+	v := make(numberline.Vector, 40)
+	var buf bytes.Buffer
+	if err := Write(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 { // 16 + 16 + 8
+		t.Errorf("wrapped into %d lines, want 3", len(lines))
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty vector wrote %q", buf.String())
+	}
+}

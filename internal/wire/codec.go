@@ -1,0 +1,261 @@
+// Package wire defines the binary message codec and framing for the §V
+// protocols. Frames are length-prefixed so messages survive TCP stream
+// segmentation; all integers are big-endian; all variable-length fields are
+// length-prefixed and bounded, so a malicious peer cannot force unbounded
+// allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Limits enforced while decoding.
+const (
+	// MaxVectorLen bounds sketch/vector dimensions (the paper sweeps up to
+	// n = 31,000; we allow two orders of magnitude of headroom).
+	MaxVectorLen = 1 << 22
+	// MaxBytesLen bounds byte-string fields (keys, signatures, seeds, IDs).
+	MaxBytesLen = 1 << 20
+	// MaxFrameLen bounds a whole frame.
+	MaxFrameLen = 1 << 28
+	// MaxBatchLen bounds batch entries (normal-approach challenge lists).
+	MaxBatchLen = 1 << 20
+)
+
+// Errors returned by the codec.
+var (
+	ErrTooLarge  = errors.New("wire: field exceeds size limit")
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrBadFrame  = errors.New("wire: malformed frame")
+)
+
+// Encoder appends primitive values to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uint32 appends a big-endian uint32.
+func (e *Encoder) Uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Uint64 appends a big-endian uint64.
+func (e *Encoder) Uint64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// Int64 appends a big-endian int64 (two's complement).
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Byte appends one byte.
+func (e *Encoder) Byte(v byte) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Bytes32 appends a fixed 32-byte value.
+func (e *Encoder) Bytes32(v [32]byte) { e.buf = append(e.buf, v[:]...) }
+
+// VarBytes appends a length-prefixed byte string.
+func (e *Encoder) VarBytes(v []byte) {
+	e.Uint32(uint32(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(v string) { e.VarBytes([]byte(v)) }
+
+// Int64Slice appends a length-prefixed slice of int64.
+func (e *Encoder) Int64Slice(v []int64) {
+	e.Uint32(uint32(len(v)))
+	for _, x := range v {
+		e.Int64(x)
+	}
+}
+
+// Decoder consumes primitive values from a buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps buf for decoding.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Done returns an error unless the buffer was fully consumed — every message
+// decoder calls it last to reject trailing garbage.
+func (d *Decoder) Done() error {
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, d.Remaining())
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.Remaining() < n {
+		return nil, ErrTruncated
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+// Uint32 reads a big-endian uint32.
+func (d *Decoder) Uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+// Uint64 reads a big-endian uint64.
+func (d *Decoder) Uint64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// Int64 reads a big-endian int64.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Byte reads one byte.
+func (d *Decoder) Byte() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() (bool, error) {
+	b, err := d.Byte()
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, fmt.Errorf("%w: bool byte %d", ErrBadFrame, b)
+	}
+	return b == 1, nil
+}
+
+// Bytes32 reads a fixed 32-byte value.
+func (d *Decoder) Bytes32() ([32]byte, error) {
+	var out [32]byte
+	b, err := d.take(32)
+	if err != nil {
+		return out, err
+	}
+	copy(out[:], b)
+	return out, nil
+}
+
+// VarBytes reads a length-prefixed byte string of at most max bytes. The
+// returned slice is a copy.
+func (d *Decoder) VarBytes(max int) ([]byte, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, max)
+	}
+	b, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+// String reads a length-prefixed string of at most max bytes.
+func (d *Decoder) String(max int) (string, error) {
+	b, err := d.VarBytes(max)
+	return string(b), err
+}
+
+// Int64Slice reads a length-prefixed int64 slice of at most max elements.
+func (d *Decoder) Int64Slice(max int) ([]int64, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooLarge, n, max)
+	}
+	if d.Remaining() < int(n)*8 {
+		return nil, ErrTruncated
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i], _ = d.Int64() // length pre-checked above
+	}
+	return out, nil
+}
+
+// WriteFrame writes a length-prefixed frame containing payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return fmt.Errorf("%w: frame %d bytes", ErrTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("%w: frame %d bytes", ErrTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: frame body: %v", ErrTruncated, err)
+	}
+	return payload, nil
+}

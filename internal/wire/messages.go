@@ -1,0 +1,434 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/sketch"
+)
+
+// MsgType tags every protocol message on the wire.
+type MsgType byte
+
+// Message type tags. The values are part of the wire contract; append only.
+const (
+	// TypeEnrollRequest carries (ID, pk, P) from the device to the server.
+	TypeEnrollRequest MsgType = iota + 1
+	// TypeEnrollOK acknowledges enrollment.
+	TypeEnrollOK
+	// TypeVerifyRequest opens verification mode with a claimed identity.
+	TypeVerifyRequest
+	// TypeIdentifyRequest opens identification mode with a probe sketch s'.
+	TypeIdentifyRequest
+	// TypeChallenge carries (P, c) from the server to the device.
+	TypeChallenge
+	// TypeChallengeBatch carries all (P_i, c_i) for the normal approach.
+	TypeChallengeBatch
+	// TypeSignature carries (sigma, a) from the device to the server.
+	TypeSignature
+	// TypeBatchSignature carries (index, sigma, a) for the normal approach.
+	TypeBatchSignature
+	// TypeAccept reports a successful protocol run and the identified ID.
+	TypeAccept
+	// TypeReject reports a failed protocol run.
+	TypeReject
+	// TypeRevokeRequest asks to revoke an enrollment after proving
+	// possession of the biometric (challenge-response follows).
+	TypeRevokeRequest
+)
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Type returns the wire tag.
+	Type() MsgType
+	// encode appends the message body (without tag).
+	encode(e *Encoder)
+	// decode parses the message body (without tag).
+	decode(d *Decoder) error
+}
+
+// EnrollRequest registers a user: the UserEnro message (ID, pk, P).
+type EnrollRequest struct {
+	ID        string
+	PublicKey []byte
+	Helper    *core.HelperData
+}
+
+// Type implements Message.
+func (*EnrollRequest) Type() MsgType { return TypeEnrollRequest }
+
+func (m *EnrollRequest) encode(e *Encoder) {
+	e.String(m.ID)
+	e.VarBytes(m.PublicKey)
+	encodeHelper(e, m.Helper)
+}
+
+func (m *EnrollRequest) decode(d *Decoder) error {
+	var err error
+	if m.ID, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	if m.PublicKey, err = d.VarBytes(MaxBytesLen); err != nil {
+		return err
+	}
+	m.Helper, err = decodeHelper(d)
+	return err
+}
+
+// EnrollOK acknowledges an enrollment.
+type EnrollOK struct {
+	ID string
+}
+
+// Type implements Message.
+func (*EnrollOK) Type() MsgType { return TypeEnrollOK }
+
+func (m *EnrollOK) encode(e *Encoder) { e.String(m.ID) }
+
+func (m *EnrollOK) decode(d *Decoder) error {
+	var err error
+	m.ID, err = d.String(MaxBytesLen)
+	return err
+}
+
+// VerifyRequest opens a verification-mode run with a claimed identity.
+type VerifyRequest struct {
+	ID string
+}
+
+// Type implements Message.
+func (*VerifyRequest) Type() MsgType { return TypeVerifyRequest }
+
+func (m *VerifyRequest) encode(e *Encoder) { e.String(m.ID) }
+
+func (m *VerifyRequest) decode(d *Decoder) error {
+	var err error
+	m.ID, err = d.String(MaxBytesLen)
+	return err
+}
+
+// IdentifyRequest opens an identification-mode run: the probe sketch s'.
+// Normal is true when the client asks for the O(N) normal approach of
+// Fig. 2 instead of the proposed sketch-search protocol (used by the
+// comparison experiments; Fig. 2's request carries no sketch).
+type IdentifyRequest struct {
+	Probe  *sketch.Sketch
+	Normal bool
+}
+
+// Type implements Message.
+func (*IdentifyRequest) Type() MsgType { return TypeIdentifyRequest }
+
+func (m *IdentifyRequest) encode(e *Encoder) {
+	e.Bool(m.Normal)
+	if m.Probe == nil {
+		e.Int64Slice(nil)
+		return
+	}
+	e.Int64Slice(m.Probe.Movements)
+}
+
+func (m *IdentifyRequest) decode(d *Decoder) error {
+	var err error
+	if m.Normal, err = d.Bool(); err != nil {
+		return err
+	}
+	movements, err := d.Int64Slice(MaxVectorLen)
+	if err != nil {
+		return err
+	}
+	if len(movements) == 0 {
+		m.Probe = nil
+	} else {
+		m.Probe = &sketch.Sketch{Movements: movements}
+	}
+	return nil
+}
+
+// Challenge carries the helper data and a fresh challenge (P, c) to the
+// device.
+type Challenge struct {
+	Helper    *core.HelperData
+	Challenge []byte
+}
+
+// Type implements Message.
+func (*Challenge) Type() MsgType { return TypeChallenge }
+
+func (m *Challenge) encode(e *Encoder) {
+	encodeHelper(e, m.Helper)
+	e.VarBytes(m.Challenge)
+}
+
+func (m *Challenge) decode(d *Decoder) error {
+	var err error
+	if m.Helper, err = decodeHelper(d); err != nil {
+		return err
+	}
+	m.Challenge, err = d.VarBytes(MaxBytesLen)
+	return err
+}
+
+// ChallengeEntry is one (P_i, c_i) pair of the normal approach.
+type ChallengeEntry struct {
+	Helper    *core.HelperData
+	Challenge []byte
+}
+
+// ChallengeBatch carries every enrolled helper datum with its challenge —
+// the server side of Fig. 2, where the device must try Rep against each.
+type ChallengeBatch struct {
+	Entries []ChallengeEntry
+}
+
+// Type implements Message.
+func (*ChallengeBatch) Type() MsgType { return TypeChallengeBatch }
+
+func (m *ChallengeBatch) encode(e *Encoder) {
+	e.Uint32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		encodeHelper(e, m.Entries[i].Helper)
+		e.VarBytes(m.Entries[i].Challenge)
+	}
+}
+
+func (m *ChallengeBatch) decode(d *Decoder) error {
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxBatchLen {
+		return fmt.Errorf("%w: batch %d", ErrTooLarge, n)
+	}
+	m.Entries = make([]ChallengeEntry, n)
+	for i := range m.Entries {
+		if m.Entries[i].Helper, err = decodeHelper(d); err != nil {
+			return err
+		}
+		if m.Entries[i].Challenge, err = d.VarBytes(MaxBytesLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Signature carries the device response (sigma, a).
+type Signature struct {
+	Signature []byte
+	Nonce     []byte
+}
+
+// Type implements Message.
+func (*Signature) Type() MsgType { return TypeSignature }
+
+func (m *Signature) encode(e *Encoder) {
+	e.VarBytes(m.Signature)
+	e.VarBytes(m.Nonce)
+}
+
+func (m *Signature) decode(d *Decoder) error {
+	var err error
+	if m.Signature, err = d.VarBytes(MaxBytesLen); err != nil {
+		return err
+	}
+	m.Nonce, err = d.VarBytes(MaxBytesLen)
+	return err
+}
+
+// BatchSignature is the device response in the normal approach: which batch
+// entry succeeded, plus (sigma, a) for that entry's challenge.
+type BatchSignature struct {
+	Index     uint32
+	Signature []byte
+	Nonce     []byte
+}
+
+// Type implements Message.
+func (*BatchSignature) Type() MsgType { return TypeBatchSignature }
+
+func (m *BatchSignature) encode(e *Encoder) {
+	e.Uint32(m.Index)
+	e.VarBytes(m.Signature)
+	e.VarBytes(m.Nonce)
+}
+
+func (m *BatchSignature) decode(d *Decoder) error {
+	var err error
+	if m.Index, err = d.Uint32(); err != nil {
+		return err
+	}
+	if m.Signature, err = d.VarBytes(MaxBytesLen); err != nil {
+		return err
+	}
+	m.Nonce, err = d.VarBytes(MaxBytesLen)
+	return err
+}
+
+// Accept reports protocol success with the identified/verified identity.
+type Accept struct {
+	ID string
+}
+
+// Type implements Message.
+func (*Accept) Type() MsgType { return TypeAccept }
+
+func (m *Accept) encode(e *Encoder) { e.String(m.ID) }
+
+func (m *Accept) decode(d *Decoder) error {
+	var err error
+	m.ID, err = d.String(MaxBytesLen)
+	return err
+}
+
+// RevokeRequest opens a revocation run for a claimed identity. The server
+// answers with a Challenge; only a device that can reproduce the enrolled
+// key may complete the revocation (biometric-authenticated deletion).
+type RevokeRequest struct {
+	ID string
+}
+
+// Type implements Message.
+func (*RevokeRequest) Type() MsgType { return TypeRevokeRequest }
+
+func (m *RevokeRequest) encode(e *Encoder) { e.String(m.ID) }
+
+func (m *RevokeRequest) decode(d *Decoder) error {
+	var err error
+	m.ID, err = d.String(MaxBytesLen)
+	return err
+}
+
+// Reject reports protocol failure (the ⊥ output).
+type Reject struct {
+	Reason string
+}
+
+// Type implements Message.
+func (*Reject) Type() MsgType { return TypeReject }
+
+func (m *Reject) encode(e *Encoder) { e.String(m.Reason) }
+
+func (m *Reject) decode(d *Decoder) error {
+	var err error
+	m.Reason, err = d.String(MaxBytesLen)
+	return err
+}
+
+// Marshal encodes a message with its type tag.
+func Marshal(m Message) ([]byte, error) {
+	if m == nil {
+		return nil, errors.New("wire: marshal nil message")
+	}
+	e := NewEncoder(256)
+	e.Byte(byte(m.Type()))
+	m.encode(e)
+	return e.Bytes(), nil
+}
+
+// Unmarshal decodes a tagged message.
+func Unmarshal(buf []byte) (Message, error) {
+	d := NewDecoder(buf)
+	tag, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMessage(MsgType(tag))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.decode(d); err != nil {
+		return nil, fmt.Errorf("wire: decode %T: %w", m, err)
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Send marshals m and writes it as one frame.
+func Send(w io.Writer, m Message) error {
+	buf, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(w, buf)
+}
+
+// Receive reads one frame and unmarshals the message.
+func Receive(r io.Reader) (Message, error) {
+	buf, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeEnrollRequest:
+		return &EnrollRequest{}, nil
+	case TypeEnrollOK:
+		return &EnrollOK{}, nil
+	case TypeVerifyRequest:
+		return &VerifyRequest{}, nil
+	case TypeIdentifyRequest:
+		return &IdentifyRequest{}, nil
+	case TypeChallenge:
+		return &Challenge{}, nil
+	case TypeChallengeBatch:
+		return &ChallengeBatch{}, nil
+	case TypeSignature:
+		return &Signature{}, nil
+	case TypeBatchSignature:
+		return &BatchSignature{}, nil
+	case TypeAccept:
+		return &Accept{}, nil
+	case TypeReject:
+		return &Reject{}, nil
+	case TypeRevokeRequest:
+		return &RevokeRequest{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
+	}
+}
+
+// encodeHelper writes a HelperData: movements, digest, seed. A nil helper is
+// encoded as an empty movement vector with zero digest and seed.
+func encodeHelper(e *Encoder, h *core.HelperData) {
+	if h == nil || h.Sketch == nil || h.Sketch.Sketch == nil {
+		e.Int64Slice(nil)
+		e.Bytes32([32]byte{})
+		e.VarBytes(nil)
+		return
+	}
+	e.Int64Slice(h.Sketch.Sketch.Movements)
+	e.Bytes32(h.Sketch.Digest)
+	e.VarBytes(h.Seed)
+}
+
+func decodeHelper(d *Decoder) (*core.HelperData, error) {
+	movements, err := d.Int64Slice(MaxVectorLen)
+	if err != nil {
+		return nil, err
+	}
+	digest, err := d.Bytes32()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := d.VarBytes(MaxBytesLen)
+	if err != nil {
+		return nil, err
+	}
+	if len(movements) == 0 && len(seed) == 0 {
+		return nil, nil
+	}
+	return &core.HelperData{
+		Sketch: &sketch.RobustSketch{
+			Sketch: &sketch.Sketch{Movements: movements},
+			Digest: digest,
+		},
+		Seed: seed,
+	}, nil
+}
