@@ -8,6 +8,7 @@ package fuzzyid
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"fuzzyid/internal/bch"
@@ -249,6 +250,7 @@ func BenchmarkStoreIdentify(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				rec, err := db.Identify(probe)
@@ -257,6 +259,221 @@ func BenchmarkStoreIdentify(b *testing.B) {
 				}
 				if rec.ID != users[2500].ID {
 					b.Fatal("misidentified")
+				}
+			}
+		})
+	}
+}
+
+// --- sharded store vs the seed's single-mutex store -----------------------
+
+// seedScanStore reimplements the original single-mutex scan store (one
+// global RWMutex, one heap-allocated residue slice per entry, a fresh probe
+// residue slice per lookup) as the baseline the sharded stores are measured
+// against.
+type seedScanStore struct {
+	line    *numberline.Line
+	mu      sync.RWMutex
+	entries []*seedEntry
+}
+
+type seedEntry struct {
+	rec *store.Record
+	res []int64
+}
+
+func seedResidues(line *numberline.Line, movements []int64) []int64 {
+	span := line.IntervalSpan()
+	out := make([]int64, len(movements))
+	for i, m := range movements {
+		r := m % span
+		if r < 0 {
+			r += span
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func (s *seedScanStore) insert(rec *store.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = append(s.entries, &seedEntry{
+		rec: rec,
+		res: seedResidues(s.line, rec.Helper.Sketch.Sketch.Movements),
+	})
+}
+
+func (s *seedScanStore) identify(probe *sketch.Sketch) (*store.Record, error) {
+	probeRes := seedResidues(s.line, probe.Movements)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	span, t := s.line.IntervalSpan(), s.line.Threshold()
+scan:
+	for _, e := range s.entries {
+		for i, r := range e.res {
+			d := r - probeRes[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > span-d {
+				d = span - d
+			}
+			if d > t {
+				continue scan
+			}
+		}
+		return e.rec, nil
+	}
+	return nil, store.ErrNotFound
+}
+
+// storePopulation builds N enrolled records plus a genuine probe for the
+// record in the middle of the enrollment order.
+func storePopulation(b *testing.B, dim, n int) ([]*store.Record, *sketch.Sketch, string, *numberline.Line) {
+	b.Helper()
+	fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := biometric.NewSource(fe.Line(), biometric.Paper(dim), 4711)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := src.Population(n)
+	records := make([]*store.Record, len(users))
+	for i, u := range users {
+		_, helper, err := fe.Gen(u.Template)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records[i] = &store.Record{ID: u.ID, PublicKey: []byte("pk"), Helper: helper}
+	}
+	reading, err := src.GenuineReading(users[n/2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	probe, err := fe.SketchOnly(reading)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return records, probe, users[n/2].ID, fe.Line()
+}
+
+// BenchmarkIdentifyParallel drives concurrent Identify traffic (b.RunParallel)
+// against the seed-style single-mutex store and the sharded stores, at
+// database sizes up to 100k. This is the workload the sharding targets:
+// many simultaneous lookups that should scale with cores instead of
+// serialising on one lock and allocating per probe.
+func BenchmarkIdentifyParallel(b *testing.B) {
+	const dim = 64
+	for _, n := range []int{5000, 20000, 100000} {
+		records, probe, wantID, line := storePopulation(b, dim, n)
+		b.Run(fmt.Sprintf("seed-scan/N=%d", n), func(b *testing.B) {
+			db := &seedScanStore{line: line}
+			for _, rec := range records {
+				db.insert(rec)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					rec, err := db.identify(probe)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rec.ID != wantID {
+						b.Fatal("misidentified")
+					}
+				}
+			})
+		})
+		for _, strategy := range []string{"scan", "bucket"} {
+			b.Run(fmt.Sprintf("%s/N=%d", strategy, n), func(b *testing.B) {
+				db, err := store.ByStrategy(strategy, line)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rec := range records {
+					if err := db.Insert(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						rec, err := db.Identify(probe)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if rec.ID != wantID {
+							b.Fatal("misidentified")
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkStoreIdentifyBatch measures the amortised per-probe cost of the
+// batch lookup path against resolving the same probes one by one.
+func BenchmarkStoreIdentifyBatch(b *testing.B) {
+	const (
+		dim       = 64
+		n         = 5000
+		batchSize = 16
+	)
+	records, _, _, line := storePopulation(b, dim, n)
+	fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := biometric.NewSource(fe.Line(), biometric.Paper(dim), 4711)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := src.Population(n)
+	probes := make([]*sketch.Sketch, batchSize)
+	for i := range probes {
+		reading, err := src.GenuineReading(users[(i*311)%n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if probes[i], err = fe.SketchOnly(reading); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, strategy := range []string{"scan", "bucket"} {
+		db, err := store.ByStrategy(strategy, line)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rec := range records {
+			if err := db.Insert(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(strategy+"/batch", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				recs, err := db.IdentifyBatch(probes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if recs[0] == nil {
+					b.Fatal("probe 0 not identified")
+				}
+			}
+		})
+		b.Run(strategy+"/single", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, p := range probes {
+					if _, err := db.Identify(p); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

@@ -1,10 +1,11 @@
 // Command fuzzyid-bench regenerates the paper's tables and figures (see
 // DESIGN.md §3 and EXPERIMENTS.md):
 //
-//	fuzzyid-bench -list                 # show available experiments
-//	fuzzyid-bench -exp fig4             # run one experiment
-//	fuzzyid-bench -exp all -quick       # run everything at CI size
-//	fuzzyid-bench -exp all -csv out/    # also write CSV files
+//	fuzzyid-bench -list                   # show available experiments
+//	fuzzyid-bench -exp fig4               # run one experiment
+//	fuzzyid-bench -exp all -quick         # run everything at CI size
+//	fuzzyid-bench -exp all -csv out/      # also write CSV files
+//	fuzzyid-bench -exp fig4 -format json  # machine-readable output
 package main
 
 import (
@@ -31,6 +32,7 @@ func run(args []string) error {
 		quick  = fs.Bool("quick", false, "reduced workloads (CI size)")
 		seed   = fs.Int64("seed", 42, "workload seed")
 		csvDir = fs.String("csv", "", "also write per-experiment CSV files into this directory")
+		format = fs.String("format", "text", "stdout format: text or json")
 		list   = fs.Bool("list", false, "list experiment ids and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,11 +63,22 @@ func run(args []string) error {
 		}
 		tables = []*experiment.Table{tbl}
 	}
-	for _, tbl := range tables {
-		if err := tbl.WriteText(os.Stdout); err != nil {
+	switch *format {
+	case "text":
+		for _, tbl := range tables {
+			if err := tbl.WriteText(os.Stdout); err != nil {
+				return err
+			}
+		}
+	case "json":
+		if err := experiment.WriteJSONTables(os.Stdout, tables); err != nil {
 			return err
 		}
-		if *csvDir != "" {
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	if *csvDir != "" {
+		for _, tbl := range tables {
 			if err := writeCSV(*csvDir, tbl); err != nil {
 				return err
 			}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -23,6 +25,43 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Fatal("empty csv")
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	// Capture stdout to check the JSON contract.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-exp", "comm", "-quick", "-format", "json"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("json run: %v", runErr)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID     string     `json:"id"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, data)
+	}
+	if len(tables) != 1 || tables[0].ID != "comm" || len(tables[0].Rows) == 0 {
+		t.Fatalf("unexpected JSON tables: %+v", tables)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if err := run([]string{"-exp", "comm", "-quick", "-format", "yaml"}); err == nil {
+		t.Fatal("bad format accepted")
 	}
 }
 

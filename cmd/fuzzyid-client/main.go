@@ -6,6 +6,7 @@
 //	fuzzyid-client -addr HOST:PORT reading -vec alice.vec -out probe.vec
 //	fuzzyid-client -addr HOST:PORT verify  -id alice -vec probe.vec
 //	fuzzyid-client -addr HOST:PORT identify -vec probe.vec [-normal]
+//	fuzzyid-client -addr HOST:PORT identify-batch probe1.vec probe2.vec ...
 //	fuzzyid-client -addr HOST:PORT revoke  -id alice -vec probe.vec
 //
 // newuser and reading are local conveniences backed by the synthetic
@@ -53,9 +54,57 @@ func run(args []string) error {
 		return cmdReading(cmdArgs)
 	case "enroll", "verify", "identify", "revoke":
 		return cmdProtocol(cmd, cmdArgs, *addr, *scheme, *ext)
+	case "identify-batch":
+		return cmdIdentifyBatch(cmdArgs, *addr, *scheme, *ext)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// cmdIdentifyBatch resolves several probe files in one batched session.
+func cmdIdentifyBatch(args []string, addr, scheme, ext string) error {
+	if len(args) == 0 {
+		return errors.New("identify-batch: at least one vector file is required")
+	}
+	readings := make([]fuzzyid.Vector, len(args))
+	for i, path := range args {
+		bio, err := vecfile.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		readings[i] = bio
+	}
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine()}, // dimension taken from the vectors
+		fuzzyid.WithSignatureScheme(scheme),
+		fuzzyid.WithExtractor(ext),
+	)
+	if err != nil {
+		return err
+	}
+	client, err := sys.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	start := time.Now()
+	ids, err := client.IdentifyBatch(readings)
+	if err != nil {
+		if fuzzyid.IsRejected(err) {
+			return fmt.Errorf("identification REJECTED: %w", err)
+		}
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Microsecond)
+	for i, id := range ids {
+		if id == "" {
+			fmt.Printf("%s: NOT IDENTIFIED\n", args[i])
+		} else {
+			fmt.Printf("%s: identified as %q\n", args[i], id)
+		}
+	}
+	fmt.Printf("%d probes in %v (one session)\n", len(readings), elapsed)
+	return nil
 }
 
 // cmdNewUser generates a fresh random template.

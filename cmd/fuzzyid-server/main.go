@@ -44,6 +44,7 @@ func setup(args []string) (*fuzzyid.Server, error) {
 		strategy = fs.String("strategy", "bucket", "identification store: bucket, scan or sorted")
 		scheme   = fs.String("scheme", "ed25519", "signature scheme: ed25519 or ecdsa-p256")
 		ext      = fs.String("extractor", "hmac-sha256", "strong extractor: sha256, hmac-sha256 or toeplitz")
+		shards   = fs.Int("shards", 0, "store shard count (0 = scheduler parallelism)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -53,6 +54,7 @@ func setup(args []string) (*fuzzyid.Server, error) {
 		fuzzyid.WithStoreStrategy(*strategy),
 		fuzzyid.WithSignatureScheme(*scheme),
 		fuzzyid.WithExtractor(*ext),
+		fuzzyid.WithShards(*shards),
 	)
 	if err != nil {
 		return nil, err

@@ -106,6 +106,7 @@ type config struct {
 	scheme    string
 	extractor string
 	indexDims int
+	shards    int
 }
 
 // WithStoreStrategy selects the identification lookup strategy: "bucket"
@@ -146,6 +147,20 @@ func WithIndexDims(d int) Option {
 	})
 }
 
+// WithShards sets the store shard count: the number of independently locked
+// partitions (and the bound on per-lookup scan workers) the record database
+// is split into. Zero selects the default, the scheduler's parallelism.
+// The sorted strategy is unsharded and ignores it.
+func WithShards(p int) Option {
+	return optionFunc(func(c *config) error {
+		if p < 0 {
+			return fmt.Errorf("fuzzyid: negative shard count %d", p)
+		}
+		c.shards = p
+		return nil
+	})
+}
+
 // NewSystem validates p and assembles a complete deployment.
 func NewSystem(p Params, opts ...Option) (*System, error) {
 	cfg := config{strategy: "bucket", scheme: "ed25519", extractor: "hmac-sha256"}
@@ -168,9 +183,9 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 	}
 	var db store.Store
 	if cfg.strategy == "bucket" && cfg.indexDims > 0 {
-		db = store.NewBucket(fe.Line(), cfg.indexDims)
+		db = store.NewBucketShards(fe.Line(), cfg.indexDims, cfg.shards)
 	} else {
-		db, err = store.ByStrategy(cfg.strategy, fe.Line())
+		db, err = store.ByStrategyShards(cfg.strategy, fe.Line(), cfg.shards)
 		if err != nil {
 			return nil, err
 		}

@@ -90,6 +90,43 @@ func TestSystemEndToEnd(t *testing.T) {
 	}
 }
 
+func TestSystemIdentifyBatch(t *testing.T) {
+	for _, strategy := range []string{"scan", "bucket", "sorted"} {
+		sys, src := testSystem(t, 64, WithStoreStrategy(strategy), WithShards(4))
+		client, stop := sys.LocalClient()
+		users := src.Population(10)
+		for _, u := range users {
+			if err := client.Enroll(u.ID, u.Template); err != nil {
+				stop()
+				t.Fatalf("%s enroll: %v", strategy, err)
+			}
+		}
+		readings := make([]Vector, 0, 3)
+		want := make([]string, 0, 3)
+		for _, i := range []int{1, 8} {
+			r, err := src.GenuineReading(users[i])
+			if err != nil {
+				stop()
+				t.Fatal(err)
+			}
+			readings = append(readings, r)
+			want = append(want, users[i].ID)
+		}
+		readings = append(readings, src.ImpostorReading())
+		want = append(want, "")
+		ids, err := client.IdentifyBatch(readings)
+		stop()
+		if err != nil {
+			t.Fatalf("%s IdentifyBatch: %v", strategy, err)
+		}
+		for i := range want {
+			if ids[i] != want[i] {
+				t.Errorf("%s slot %d = %q, want %q", strategy, i, ids[i], want[i])
+			}
+		}
+	}
+}
+
 func TestSystemOverTCP(t *testing.T) {
 	sys, src := testSystem(t, 32)
 	srv, err := sys.Listen("127.0.0.1:0")
@@ -124,6 +161,9 @@ func TestSystemOptions(t *testing.T) {
 		{WithExtractor("sha256")},
 		{WithExtractor("toeplitz"), WithStoreStrategy("scan")},
 		{WithIndexDims(2)},
+		{WithShards(8)},
+		{WithShards(2), WithStoreStrategy("scan")},
+		{WithShards(3), WithIndexDims(2)},
 	}
 	for _, opts := range valid {
 		sys, src := testSystem(t, 16, opts...)
@@ -149,6 +189,7 @@ func TestSystemBadOptions(t *testing.T) {
 		{WithSignatureScheme("rsa")},
 		{WithExtractor("md5")},
 		{WithIndexDims(-1)},
+		{WithShards(-1)},
 	}
 	for i, opts := range bad {
 		if _, err := NewSystem(Params{Line: PaperLine()}, opts...); err == nil {

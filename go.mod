@@ -1,0 +1,3 @@
+module fuzzyid
+
+go 1.24

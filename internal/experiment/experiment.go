@@ -21,6 +21,7 @@ package experiment
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -128,6 +129,35 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// tableJSON is the machine-readable form of a Table. Field names are part
+// of the output contract of fuzzyid-bench -format json; append only, so the
+// perf trajectory stays comparable across versions.
+type tableJSON struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// WriteJSON renders the table as one JSON object, for machine consumption
+// (perf tracking across runs and versions).
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tableJSON{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes})
+}
+
+// WriteJSONTables renders several tables as one JSON array.
+func WriteJSONTables(w io.Writer, tables []*Table) error {
+	out := make([]tableJSON, len(tables))
+	for i, t := range tables {
+		out[i] = tableJSON{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // Runner is an experiment entry point.

@@ -43,15 +43,52 @@ func (f *Field) BerlekampMassey(syn []Elem) []Elem {
 	return sigma
 }
 
-// FindRoots returns every non-zero field element r with p(r) = 0, by
-// exhaustive evaluation (Chien-style search). The zero element is never
-// reported even if p(0) = 0, because callers use roots as locator inverses.
+// FindRoots returns every non-zero field element r with p(r) = 0, using an
+// incremental Chien search. The zero element is never reported even if
+// p(0) = 0, because callers use roots as locator inverses.
+//
+// Instead of re-evaluating p at every alpha^i with Horner's rule (deg
+// multiplications, each costing two table lookups and a reduction), the
+// search keeps the logarithm of each term p_j * alpha^(i*j) and advances it
+// by j per step: evaluating at the next point is one integer add, one
+// conditional subtract and one antilog lookup per non-zero coefficient.
 func (f *Field) FindRoots(p []Elem) []Elem {
+	deg := PolyDeg(p)
+	if deg <= 0 {
+		// Constant polynomials have no roots: p == 0 would make every
+		// element a root, but callers never pass it (B-M returns sigma
+		// with sigma[0] = 1).
+		return nil
+	}
+	n := int(f.mask)
+	// term logs: logs[k] tracks log(p_j * alpha^(i*j)) for the k-th
+	// non-zero coefficient with j >= 1; steps[k] is its per-point
+	// increment j.
+	logs := make([]int, 0, deg)
+	steps := make([]int, 0, deg)
+	for j := 1; j <= deg; j++ {
+		if p[j] != 0 {
+			logs = append(logs, f.log[p[j]])
+			steps = append(steps, j)
+		}
+	}
+	c0 := p[0]
 	var roots []Elem
-	for i := 0; i < int(f.mask); i++ {
-		x := f.Alpha(i)
-		if f.PolyEval(p, x) == 0 {
-			roots = append(roots, x)
+	for i := 0; i < n; i++ {
+		sum := c0
+		for k := range logs {
+			sum ^= f.exp[logs[k]]
+			l := logs[k] + steps[k]
+			if l >= n {
+				l -= n
+			}
+			logs[k] = l
+		}
+		if sum == 0 {
+			roots = append(roots, f.exp[i])
+			if len(roots) == deg {
+				break // a degree-deg polynomial has at most deg roots
+			}
 		}
 	}
 	return roots

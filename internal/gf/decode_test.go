@@ -1,0 +1,100 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteRoots is the reference implementation the Chien stepping must match:
+// exhaustive Horner evaluation at every non-zero element.
+func bruteRoots(f *Field, p []Elem) []Elem {
+	var roots []Elem
+	for i := 0; i < int(f.mask); i++ {
+		x := f.Alpha(i)
+		if f.PolyEval(p, x) == 0 {
+			roots = append(roots, x)
+		}
+	}
+	return roots
+}
+
+func TestFindRootsMatchesExhaustiveEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []uint{3, 4, 8, 10} {
+		f := MustNew(m)
+		for trial := 0; trial < 50; trial++ {
+			deg := 1 + rng.Intn(8)
+			p := make([]Elem, deg+1)
+			for i := range p {
+				p[i] = Elem(rng.Intn(int(f.Size())))
+			}
+			p[deg] = Elem(1 + rng.Intn(int(f.mask))) // keep the degree exact
+			got := f.FindRoots(p)
+			want := bruteRoots(f, p)
+			if len(got) != len(want) {
+				t.Fatalf("m=%d trial %d: %d roots, want %d", m, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d trial %d: root[%d] = %d, want %d", m, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFindRootsConstructedLocator(t *testing.T) {
+	// Build sigma(x) = prod (1 - alpha^e x) for known exponents e; its roots
+	// must be exactly the inverses alpha^{-e}.
+	f := MustNew(8)
+	exps := []int{3, 57, 200}
+	sigma := []Elem{1}
+	for _, e := range exps {
+		sigma = f.PolyMul(sigma, []Elem{1, f.Alpha(e)})
+	}
+	roots := f.FindRoots(sigma)
+	if len(roots) != len(exps) {
+		t.Fatalf("%d roots, want %d", len(roots), len(exps))
+	}
+	want := map[Elem]bool{}
+	for _, e := range exps {
+		want[f.Alpha(-e)] = true
+	}
+	for _, r := range roots {
+		if !want[r] {
+			t.Errorf("unexpected root %d", r)
+		}
+	}
+}
+
+func TestFindRootsDegenerate(t *testing.T) {
+	f := MustNew(4)
+	if got := f.FindRoots(nil); got != nil {
+		t.Errorf("FindRoots(nil) = %v", got)
+	}
+	if got := f.FindRoots([]Elem{5}); got != nil {
+		t.Errorf("FindRoots(const) = %v", got)
+	}
+	// Zero coefficients inside the polynomial must be handled (skipped).
+	got := f.FindRoots([]Elem{1, 0, 1}) // 1 + x^2 = (1+x)^2 over GF(2^m)
+	want := bruteRoots(f, []Elem{1, 0, 1})
+	if len(got) != len(want) || (len(got) > 0 && got[0] != want[0]) {
+		t.Errorf("sparse poly roots = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkFindRoots(b *testing.B) {
+	f := MustNew(10)
+	rng := rand.New(rand.NewSource(2))
+	// A typical error-locator: degree t = 12 with random roots.
+	sigma := []Elem{1}
+	for i := 0; i < 12; i++ {
+		sigma = f.PolyMul(sigma, []Elem{1, f.Alpha(rng.Intn(int(f.mask)))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := f.FindRoots(sigma); len(got) != 12 {
+			b.Fatalf("%d roots", len(got))
+		}
+	}
+}

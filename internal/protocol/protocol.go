@@ -29,6 +29,7 @@ import (
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/sigscheme"
+	"fuzzyid/internal/sketch"
 	"fuzzyid/internal/store"
 	"fuzzyid/internal/wire"
 )
@@ -140,6 +141,82 @@ func (d *Device) Identify(rw io.ReadWriter, bio numberline.Vector) (string, erro
 		return "", err
 	}
 	return d.finishChallenge(rw, bio)
+}
+
+// IdentifyBatch runs the proposed BioIden for several readings in one
+// session: the probes are shipped together, the server resolves them with
+// one batched database pass, and the challenge-responses are exchanged in
+// two round trips instead of 2*len(bios). The result is aligned with bios;
+// "" marks readings that were not identified.
+func (d *Device) IdentifyBatch(rw io.ReadWriter, bios []numberline.Vector) ([]string, error) {
+	probes := make([]*sketch.Sketch, len(bios))
+	for i, bio := range bios {
+		p, err := d.fe.SketchOnly(bio)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: identify batch sketch %d: %w", i, err)
+		}
+		probes[i] = p
+	}
+	if err := wire.Send(rw, &wire.IdentifyBatchRequest{Probes: probes}); err != nil {
+		return nil, err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return nil, err
+	}
+	var ch *wire.IdentifyBatchChallenge
+	switch m := msg.(type) {
+	case *wire.IdentifyBatchChallenge:
+		ch = m
+	case *wire.Reject:
+		return nil, &RejectedError{Reason: m.Reason}
+	default:
+		return nil, fmt.Errorf("%w: %T awaiting batch challenge", ErrProtocol, msg)
+	}
+	resp := &wire.IdentifyBatchSignature{}
+	for i := range ch.Entries {
+		entry := &ch.Entries[i]
+		// Compare in uint64: int(entry.Probe) can go negative on 32-bit
+		// platforms and would dodge the bounds check.
+		if uint64(entry.Probe) >= uint64(len(bios)) {
+			return nil, fmt.Errorf("%w: challenge for probe %d of %d", ErrProtocol, entry.Probe, len(bios))
+		}
+		key, repErr := d.fe.Rep(bios[entry.Probe], entry.Helper)
+		if repErr != nil {
+			continue // server will report this probe as unidentified
+		}
+		priv, _, err := d.scheme.DeriveKeyPair(key)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: batch keygen: %w", err)
+		}
+		nonce, err := newChallenge()
+		if err != nil {
+			return nil, err
+		}
+		sig, err := d.scheme.Sign(priv, sigscheme.ChallengeMessage(entry.Challenge, nonce))
+		if err != nil {
+			return nil, fmt.Errorf("protocol: batch sign: %w", err)
+		}
+		resp.Entries = append(resp.Entries, wire.IndexedSignature{Probe: entry.Probe, Signature: sig, Nonce: nonce})
+	}
+	if err := wire.Send(rw, resp); err != nil {
+		return nil, err
+	}
+	msg, err = wire.Receive(rw)
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.IdentifyBatchResult:
+		if len(m.IDs) != len(bios) {
+			return nil, fmt.Errorf("%w: %d verdicts for %d probes", ErrProtocol, len(m.IDs), len(bios))
+		}
+		return m.IDs, nil
+	case *wire.Reject:
+		return nil, &RejectedError{Reason: m.Reason}
+	default:
+		return nil, fmt.Errorf("%w: %T awaiting batch verdict", ErrProtocol, msg)
+	}
 }
 
 // IdentifyNormal runs the O(N) normal approach (Fig. 2): receive every
@@ -318,6 +395,8 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 		return s.handleIdentify(rw, m)
 	case *wire.RevokeRequest:
 		return s.handleRevoke(rw, m)
+	case *wire.IdentifyBatchRequest:
+		return s.handleIdentifyBatch(rw, m)
 	default:
 		_ = wire.Send(rw, &wire.Reject{Reason: "unexpected message"})
 		return fmt.Errorf("%w: %T as session opener", ErrProtocol, msg)
@@ -411,6 +490,70 @@ func (s *Server) handleRevoke(rw io.ReadWriter, m *wire.RevokeRequest) error {
 	return wire.Send(rw, &wire.Accept{ID: rec.ID})
 }
 
+// handleIdentifyBatch serves a batched identification run: one
+// Store.IdentifyBatch pass resolves every probe, then a single challenge
+// round covers all matched probes and a single result message reports every
+// verdict.
+func (s *Server) handleIdentifyBatch(rw io.ReadWriter, m *wire.IdentifyBatchRequest) error {
+	if len(m.Probes) == 0 {
+		return wire.Send(rw, &wire.Reject{Reason: "empty probe batch"})
+	}
+	for _, p := range m.Probes {
+		if p == nil {
+			return wire.Send(rw, &wire.Reject{Reason: "missing probe sketch"})
+		}
+	}
+	recs, err := s.db.IdentifyBatch(m.Probes)
+	if err != nil {
+		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("identify batch: %v", err)})
+	}
+	challenges := make([][]byte, len(recs))
+	ch := &wire.IdentifyBatchChallenge{}
+	for i, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		c, err := newChallenge()
+		if err != nil {
+			return err
+		}
+		challenges[i] = c
+		ch.Entries = append(ch.Entries, wire.IndexedChallenge{Probe: uint32(i), Helper: rec.Helper, Challenge: c})
+	}
+	if err := wire.Send(rw, ch); err != nil {
+		return err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return err
+	}
+	resp, ok := msg.(*wire.IdentifyBatchSignature)
+	if !ok {
+		_ = wire.Send(rw, &wire.Reject{Reason: "expected batch signature"})
+		return fmt.Errorf("%w: %T awaiting batch signature", ErrProtocol, msg)
+	}
+	result := &wire.IdentifyBatchResult{IDs: make([]string, len(recs))}
+	for i := range resp.Entries {
+		e := &resp.Entries[i]
+		// Compare in uint64: int(e.Probe) can go negative on 32-bit
+		// platforms and would dodge the bounds check.
+		if uint64(e.Probe) >= uint64(len(recs)) {
+			continue
+		}
+		idx := int(e.Probe)
+		if recs[idx] == nil || challenges[idx] == nil {
+			continue
+		}
+		if len(e.Signature) == 0 ||
+			!s.scheme.Verify(recs[idx].PublicKey, sigscheme.ChallengeMessage(challenges[idx], e.Nonce), e.Signature) {
+			continue
+		}
+		result.IDs[idx] = recs[idx].ID
+		challenges[idx] = nil // a challenge may be answered once
+	}
+	return wire.Send(rw, result)
+}
+
 // handleIdentifyNormal implements the server side of Fig. 2: ship all
 // (P_i, c_i), then verify the indexed response.
 func (s *Server) handleIdentifyNormal(rw io.ReadWriter) error {
@@ -437,7 +580,9 @@ func (s *Server) handleIdentifyNormal(rw io.ReadWriter) error {
 		_ = wire.Send(rw, &wire.Reject{Reason: "expected batch signature"})
 		return fmt.Errorf("%w: %T awaiting batch signature", ErrProtocol, msg)
 	}
-	if int(resp.Index) >= len(records) {
+	// Compare in uint64: int(resp.Index) can go negative on 32-bit
+	// platforms and would dodge the bounds check.
+	if uint64(resp.Index) >= uint64(len(records)) {
 		return wire.Send(rw, &wire.Reject{Reason: "no matching record"})
 	}
 	rec := records[resp.Index]

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +24,7 @@ type Sorted struct {
 	mu      sync.RWMutex
 	byID    map[string]*entry
 	entries []*entry // ordered by res[0]
+	order   []*entry // insertion order, for All()
 	dim     int
 }
 
@@ -62,6 +65,7 @@ func (s *Sorted) Insert(rec *Record) error {
 	s.entries = append(s.entries, nil)
 	copy(s.entries[i+1:], s.entries[i:])
 	s.entries[i] = e
+	s.order = append(s.order, e)
 	s.byID[rec.ID] = e
 	return nil
 }
@@ -92,6 +96,12 @@ func (s *Sorted) Delete(id string) error {
 			break
 		}
 	}
+	for i, cand := range s.order {
+		if cand == e {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
 	return nil
 }
 
@@ -99,8 +109,8 @@ func (s *Sorted) Delete(id string) error {
 func (s *Sorted) All() []*Record {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]*Record, len(s.entries))
-	for i, e := range s.entries {
+	out := make([]*Record, len(s.order))
+	for i, e := range s.order {
 		out[i] = e.rec
 	}
 	return out
@@ -108,6 +118,12 @@ func (s *Sorted) All() []*Record {
 
 // Identify implements Store.
 func (s *Sorted) Identify(probe *sketch.Sketch) (*Record, error) {
+	return s.IdentifyCtx(context.Background(), probe)
+}
+
+// IdentifyCtx implements Store. The sorted walk visits at most two short
+// segments, so cancellation is checked between them only.
+func (s *Sorted) IdentifyCtx(ctx context.Context, probe *sketch.Sketch) (*Record, error) {
 	if probe == nil || len(probe.Movements) == 0 {
 		return nil, ErrBadProbe
 	}
@@ -133,6 +149,9 @@ func (s *Sorted) Identify(probe *sketch.Sketch) (*Record, error) {
 		segments = []segment{{lo, hi}}
 	}
 	for _, seg := range segments {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].res[0] >= seg.lo })
 		for i := start; i < len(s.entries) && s.entries[i].res[0] <= seg.hi; i++ {
 			if matchEntry(s.entries[i], probeRes, span, t) {
@@ -141,4 +160,30 @@ func (s *Sorted) Identify(probe *sketch.Sketch) (*Record, error) {
 		}
 	}
 	return nil, ErrNotFound
+}
+
+// IdentifyBatch implements Store by resolving each probe with the range
+// index in turn (the per-probe work is already logarithmic, so there is
+// little to amortise beyond validation).
+func (s *Sorted) IdentifyBatch(probes []*sketch.Sketch) ([]*Record, error) {
+	s.mu.RLock()
+	dim := s.dim
+	s.mu.RUnlock()
+	for i, p := range probes {
+		if err := validateProbe(p, dim); err != nil {
+			return nil, fmt.Errorf("probe %d: %w", i, err)
+		}
+	}
+	out := make([]*Record, len(probes))
+	for i, p := range probes {
+		rec, err := s.Identify(p)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			return nil, err
+		}
+		out[i] = rec
+	}
+	return out, nil
 }

@@ -4,7 +4,7 @@
 //
 // Identification lookup realises the paper's conditions (1)-(4), which
 // reduce to a per-coordinate circular-distance test modulo the interval
-// span ka (Theorem 2; see internal/sketch). Two strategies are provided:
+// span ka (Theorem 2; see internal/sketch). Three strategies are provided:
 //
 //   - Scan: an early-exit linear scan over pre-computed residues. Each
 //     non-matching record is rejected after a geometric number of integer
@@ -14,17 +14,32 @@
 //     IndexDims coordinates. A query probes the 3^IndexDims circularly
 //     adjacent buckets and early-exit-verifies only the candidate lists,
 //     cutting the scanned fraction to ~(3/B)^IndexDims of the database.
+//   - Sorted: a range index over the first residue coordinate (sorted.go).
 //
 // Either way, the *cryptographic* cost of identification is one Rep and one
 // signature regardless of the database size — the paper's constant-cost
 // claim — while the normal approach of Fig. 2 pays one Rep per enrolled
 // user. The experiment harness measures both.
+//
+// Concurrency and layout. Scan and Bucket partition their records into P
+// independent shards (see table.go): readers of different shards never share
+// a lock cache line, and an insert or delete contends with one shard only.
+// Residues live in a flat row-major matrix per shard, so the early-exit scan
+// walks contiguous memory, and probe residue buffers are pooled — a
+// steady-state Identify performs zero heap allocations. Large scans fan out
+// across the shards with first-match cancellation (IdentifyCtx), and
+// IdentifyBatch amortises residue computation and lock acquisition across a
+// whole batch of probes.
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/numberline"
@@ -59,31 +74,34 @@ type Store interface {
 	Get(id string) (*Record, bool)
 	// Delete removes an enrolled record (revocation / re-enrollment).
 	Delete(id string) error
-	// Identify returns the record whose enrolled sketch matches the probe
-	// under conditions (1)-(4), or ErrNotFound.
+	// Identify returns a record whose enrolled sketch matches the probe
+	// under conditions (1)-(4), or ErrNotFound. When several records match
+	// (a false-close collision, bounded by the paper's FAR analysis), any
+	// of them may be returned; which one is strategy- and
+	// scheduling-dependent.
 	Identify(probe *sketch.Sketch) (*Record, error)
+	// IdentifyCtx is Identify with cancellation: the lookup aborts with
+	// ctx.Err() once ctx is done.
+	IdentifyCtx(ctx context.Context, probe *sketch.Sketch) (*Record, error)
+	// IdentifyBatch resolves many probes in one call, amortising probe
+	// validation and residue computation — and, where the strategy allows
+	// (Scan), lock acquisition — across the batch. The result is aligned
+	// with probes; a nil element means no record matched that probe. An
+	// error is returned only for malformed probes.
+	IdentifyBatch(probes []*sketch.Sketch) ([]*Record, error)
 	// All returns a snapshot of every enrolled record in insertion-stable
 	// order. The normal-approach protocol of Fig. 2 iterates it.
 	All() []*Record
 	// Len returns the number of enrolled records.
 	Len() int
-	// Strategy names the lookup strategy ("scan" or "bucket").
+	// Strategy names the lookup strategy ("scan", "bucket" or "sorted").
 	Strategy() string
 }
 
 // residues precomputes the mod-ka residues of a sketch's movements, the
 // quantity the match conditions compare.
 func residues(line *numberline.Line, s *sketch.Sketch) []int64 {
-	span := line.IntervalSpan()
-	out := make([]int64, len(s.Movements))
-	for i, m := range s.Movements {
-		r := m % span
-		if r < 0 {
-			r += span
-		}
-		out[i] = r
-	}
-	return out
+	return residuesInto(make([]int64, 0, len(s.Movements)), line, s)
 }
 
 // residueClose reports whether two residues are within t on the circle of
@@ -99,7 +117,8 @@ func residueClose(a, b, span, t int64) bool {
 	return d <= t
 }
 
-// entry is a stored record with its precomputed residues.
+// entry is a stored record with its precomputed residues (used by the Sorted
+// strategy, which keeps per-entry slices to preserve its range ordering).
 type entry struct {
 	rec *Record
 	res []int64
@@ -108,149 +127,266 @@ type entry struct {
 // matchEntry runs the full early-exit condition check of the probe residues
 // against a stored entry.
 func matchEntry(e *entry, probeRes []int64, span, t int64) bool {
-	for i, r := range e.res {
-		if !residueClose(r, probeRes[i], span, t) {
-			return false
-		}
-	}
-	return true
+	return matchRow(e.res, probeRes, span, t)
 }
 
-// Scan is the early-exit linear-scan store.
+// validateProbe rejects nil, empty and wrong-dimension probes. dim is the
+// store's adopted dimension (0 while the store is empty).
+func validateProbe(probe *sketch.Sketch, dim int) error {
+	if probe == nil || len(probe.Movements) == 0 {
+		return ErrBadProbe
+	}
+	if dim != 0 && len(probe.Movements) != dim {
+		return fmt.Errorf("%w: probe dimension %d, store %d", ErrBadProbe, len(probe.Movements), dim)
+	}
+	return nil
+}
+
+// scanBlock is the number of rows scanned between cancellation checks.
+const scanBlock = 256
+
+// scanParallelRows is the table size from which a single Identify fans out
+// across the shards instead of walking them sequentially; below it the
+// goroutine handoff costs more than the scan.
+const scanParallelRows = 1 << 14
+
+// Scan is the early-exit linear-scan store, sharded for concurrent use.
 type Scan struct {
 	line *numberline.Line
-
-	mu      sync.RWMutex
-	byID    map[string]*entry
-	entries []*entry
-	dim     int
+	tab  *resTable
 }
 
 var _ Store = (*Scan)(nil)
 
-// NewScan constructs a scan store over the given line.
-func NewScan(line *numberline.Line) *Scan {
-	return &Scan{line: line, byID: make(map[string]*entry)}
+// NewScan constructs a scan store over the given line with the default
+// shard count (the scheduler's parallelism).
+func NewScan(line *numberline.Line) *Scan { return NewScanShards(line, 0) }
+
+// NewScanShards constructs a scan store with an explicit shard count;
+// shards < 1 selects the default.
+func NewScanShards(line *numberline.Line, shards int) *Scan {
+	return &Scan{line: line, tab: newResTable(line, shards)}
 }
 
 // Strategy implements Store.
 func (s *Scan) Strategy() string { return "scan" }
 
+// Shards returns the number of shards the store was built with.
+func (s *Scan) Shards() int { return s.tab.numShards() }
+
 // Len implements Store.
-func (s *Scan) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.entries)
-}
+func (s *Scan) Len() int { return s.tab.size() }
 
 // Insert implements Store.
 func (s *Scan) Insert(rec *Record) error {
 	if err := validateRecord(rec); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.byID[rec.ID]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
-	}
-	if s.dim == 0 {
-		s.dim = rec.Helper.Dimension()
-	} else if rec.Helper.Dimension() != s.dim {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), s.dim)
-	}
-	e := &entry{rec: rec, res: residues(s.line, rec.Helper.Sketch.Sketch)}
-	s.byID[rec.ID] = e
-	s.entries = append(s.entries, e)
-	return nil
+	bufp := getResBuf()
+	res := residuesInto(*bufp, s.line, rec.Helper.Sketch.Sketch)
+	*bufp = res
+	_, err := s.tab.insert(rec, res)
+	putResBuf(bufp)
+	return err
 }
 
 // Get implements Store.
-func (s *Scan) Get(id string) (*Record, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.byID[id]
-	if !ok {
-		return nil, false
-	}
-	return e.rec, true
-}
+func (s *Scan) Get(id string) (*Record, bool) { return s.tab.get(id) }
 
 // Delete implements Store.
 func (s *Scan) Delete(id string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.byID[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownID, id)
-	}
-	delete(s.byID, id)
-	for i, cand := range s.entries {
-		if cand == e {
-			s.entries = append(s.entries[:i], s.entries[i+1:]...)
-			break
-		}
-	}
-	return nil
+	_, _, err := s.tab.delete(id)
+	return err
 }
 
 // All implements Store.
-func (s *Scan) All() []*Record {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Record, len(s.entries))
-	for i, e := range s.entries {
-		out[i] = e.rec
-	}
-	return out
-}
+func (s *Scan) All() []*Record { return s.tab.all() }
 
 // Identify implements Store.
 func (s *Scan) Identify(probe *sketch.Sketch) (*Record, error) {
-	probeRes, err := s.probeResidues(probe)
-	if err != nil {
+	return s.IdentifyCtx(context.Background(), probe)
+}
+
+// IdentifyCtx implements Store.
+func (s *Scan) IdentifyCtx(ctx context.Context, probe *sketch.Sketch) (*Record, error) {
+	if err := validateProbe(probe, s.tab.dimension()); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	bufp := getResBuf()
+	defer putResBuf(bufp)
+	res := residuesInto(*bufp, s.line, probe)
+	*bufp = res
 	span, t := s.line.IntervalSpan(), s.line.Threshold()
-	for _, e := range s.entries {
-		if matchEntry(e, probeRes, span, t) {
-			return e.rec, nil
+	if s.tab.size() >= scanParallelRows && s.tab.numShards() > 1 && runtime.GOMAXPROCS(0) > 1 {
+		return s.identifyParallel(ctx, res, span, t)
+	}
+	for si := range s.tab.shards {
+		sh := &s.tab.shards[si]
+		sh.mu.RLock()
+		rec, err := scanShardSeq(ctx, sh, res, span, t)
+		sh.mu.RUnlock()
+		if rec != nil || err != nil {
+			return rec, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return nil, ErrNotFound
 }
 
-func (s *Scan) probeResidues(probe *sketch.Sketch) ([]int64, error) {
-	if probe == nil || len(probe.Movements) == 0 {
-		return nil, ErrBadProbe
+// scanShardSeq walks one shard's flat matrix with early exit, checking for
+// cancellation between blocks. The caller holds the shard read lock.
+func scanShardSeq(ctx context.Context, sh *tableShard, probe []int64, span, t int64) (*Record, error) {
+	dim := len(probe)
+	n := len(sh.recs)
+	for base := 0; base < n; base += scanBlock {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		end := base + scanBlock
+		if end > n {
+			end = n
+		}
+		for i := base; i < end; i++ {
+			off := i * dim
+			if matchRow(sh.res[off:off+dim], probe, span, t) {
+				return sh.recs[i], nil
+			}
+		}
 	}
-	s.mu.RLock()
-	dim := s.dim
-	s.mu.RUnlock()
-	if dim != 0 && len(probe.Movements) != dim {
-		return nil, fmt.Errorf("%w: probe dimension %d, store %d", ErrBadProbe, len(probe.Movements), dim)
+	return nil, nil
+}
+
+// scanJob carries one fanned-out Identify across the shard workers. Jobs are
+// pooled so the parallel path stays allocation-free in steady state.
+type scanJob struct {
+	tab     *resTable
+	probe   []int64
+	span, t int64
+	ctx     context.Context
+	stop    atomic.Bool
+	found   atomic.Pointer[Record]
+	wg      sync.WaitGroup
+}
+
+var scanJobPool = sync.Pool{New: func() any { return new(scanJob) }}
+
+// identifyParallel fans the scan out with one worker per shard — a pool
+// bounded by the shard count — and cancels the stragglers on first match.
+func (s *Scan) identifyParallel(ctx context.Context, probe []int64, span, t int64) (*Record, error) {
+	job := scanJobPool.Get().(*scanJob)
+	job.tab, job.probe, job.span, job.t, job.ctx = s.tab, probe, span, t, ctx
+	job.stop.Store(false)
+	job.found.Store(nil)
+	for si := range s.tab.shards {
+		job.wg.Add(1)
+		go job.scanShard(si)
 	}
-	return residues(s.line, probe), nil
+	job.wg.Wait()
+	rec := job.found.Load()
+	job.tab, job.probe, job.ctx = nil, nil, nil
+	scanJobPool.Put(job)
+	if rec != nil {
+		return rec, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nil, ErrNotFound
+}
+
+func (j *scanJob) scanShard(si int) {
+	defer j.wg.Done()
+	sh := &j.tab.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	dim := len(j.probe)
+	n := len(sh.recs)
+	for base := 0; base < n; base += scanBlock {
+		if j.stop.Load() || j.ctx.Err() != nil {
+			return
+		}
+		end := base + scanBlock
+		if end > n {
+			end = n
+		}
+		for i := base; i < end; i++ {
+			off := i * dim
+			if matchRow(sh.res[off:off+dim], j.probe, j.span, j.t) {
+				j.found.CompareAndSwap(nil, sh.recs[i])
+				j.stop.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// IdentifyBatch implements Store. Residues are computed once per probe and
+// every shard lock is taken once for the whole batch.
+func (s *Scan) IdentifyBatch(probes []*sketch.Sketch) ([]*Record, error) {
+	dim := s.tab.dimension()
+	for i, p := range probes {
+		if err := validateProbe(p, dim); err != nil {
+			return nil, fmt.Errorf("probe %d: %w", i, err)
+		}
+	}
+	out := make([]*Record, len(probes))
+	if len(probes) == 0 || s.tab.size() == 0 {
+		return out, nil
+	}
+	span, t := s.line.IntervalSpan(), s.line.Threshold()
+	pdim := len(probes[0].Movements)
+	resAll := make([]int64, len(probes)*pdim)
+	for i, p := range probes {
+		residuesInto(resAll[i*pdim:i*pdim:(i+1)*pdim], s.line, p)
+	}
+	remaining := len(probes)
+	for si := range s.tab.shards {
+		sh := &s.tab.shards[si]
+		sh.mu.RLock()
+		for pi := range probes {
+			if out[pi] != nil {
+				continue
+			}
+			probeRes := resAll[pi*pdim : (pi+1)*pdim]
+			rec, _ := scanShardSeq(context.Background(), sh, probeRes, span, t)
+			if rec != nil {
+				out[pi] = rec
+				remaining--
+			}
+		}
+		sh.mu.RUnlock()
+		if remaining == 0 {
+			break
+		}
+	}
+	return out, nil
 }
 
 // Bucket is the inverted-index store: residues of the first IndexDims
-// coordinates are quantised into circular buckets of width >= t; the
-// composite bucket key maps to the list of records in that cell. Lookup
-// probes the 3^IndexDims adjacent cells (a matching record's key can differ
-// by at most one bucket per coordinate) and verifies candidates with the
-// early-exit condition check.
+// coordinates are quantised into circular buckets of width >= t; the packed
+// composite bucket key maps to the list of rows in that cell. Lookup probes
+// the 3^IndexDims circularly adjacent cells (a matching record's key can
+// differ by at most one bucket per coordinate) and verifies candidates with
+// the early-exit condition check against the sharded flat residue table.
+// The cell index itself is sharded by key hash, so concurrent lookups and
+// inserts spread across independent locks.
 type Bucket struct {
-	line      *numberline.Line
-	indexDims int
-	buckets   int64 // buckets per coordinate
+	line    *numberline.Line
+	reqDims int    // requested index depth, before clamping
+	buckets int64  // buckets per coordinate
+	bits    uint   // bits per coordinate in the packed cell key
+	effDims atomic.Int32
 
+	tab   *resTable
+	cells []cellShard
+}
+
+// cellShard is one shard of the inverted index, keyed by packed bucket key.
+type cellShard struct {
 	mu    sync.RWMutex
-	byID  map[string]*entry
-	cells map[string][]*entry
-	order []*entry
-	dim   int
-	count int
+	cells map[uint64][]*rowRef
 }
 
 var _ Store = (*Bucket)(nil)
@@ -258,175 +394,273 @@ var _ Store = (*Bucket)(nil)
 // DefaultIndexDims is the default number of indexed coordinates.
 const DefaultIndexDims = 4
 
-// NewBucket constructs a bucket-index store. indexDims <= 0 selects
-// DefaultIndexDims; it is clamped to the record dimension at first insert.
+// maxIndexDims bounds the index depth so cell keys pack into 64 bits and
+// probe state fits on the stack.
+const maxIndexDims = 16
+
+// NewBucket constructs a bucket-index store with the default shard count.
+// indexDims <= 0 selects DefaultIndexDims; it is clamped to the record
+// dimension at first insert.
 func NewBucket(line *numberline.Line, indexDims int) *Bucket {
+	return NewBucketShards(line, indexDims, 0)
+}
+
+// NewBucketShards constructs a bucket-index store with an explicit shard
+// count; shards < 1 selects the default.
+func NewBucketShards(line *numberline.Line, indexDims, shards int) *Bucket {
 	if indexDims <= 0 {
 		indexDims = DefaultIndexDims
 	}
 	span := line.IntervalSpan()
 	t := line.Threshold()
-	var buckets int64 = 1
+	var nbuckets int64 = 1
 	if t > 0 {
-		buckets = span / t // bucket width span/buckets >= t
+		nbuckets = span / t // bucket width span/buckets >= t
 	} else {
-		buckets = span
+		nbuckets = span
 	}
-	if buckets < 1 {
-		buckets = 1
+	if nbuckets < 1 {
+		nbuckets = 1
 	}
-	return &Bucket{
-		line:      line,
-		indexDims: indexDims,
-		buckets:   buckets,
-		byID:      make(map[string]*entry),
-		cells:     make(map[string][]*entry),
+	kb := uint(bits.Len64(uint64(nbuckets - 1)))
+	if nbuckets == 1 {
+		// Every record lands in the single cell; one indexed coordinate
+		// keeps the neighbour enumeration from revisiting it 3^d times.
+		indexDims = 1
 	}
+	for indexDims > maxIndexDims || (kb > 0 && uint(indexDims)*kb > 64) {
+		indexDims--
+	}
+	tab := newResTable(line, shards)
+	b := &Bucket{
+		line:    line,
+		reqDims: indexDims,
+		buckets: nbuckets,
+		bits:    kb,
+		tab:     tab,
+		cells:   make([]cellShard, tab.numShards()),
+	}
+	for i := range b.cells {
+		b.cells[i].cells = make(map[uint64][]*rowRef)
+	}
+	return b
 }
 
 // Strategy implements Store.
 func (b *Bucket) Strategy() string { return "bucket" }
 
+// Shards returns the number of shards the store was built with.
+func (b *Bucket) Shards() int { return b.tab.numShards() }
+
 // Buckets returns the number of buckets per indexed coordinate.
 func (b *Bucket) Buckets() int64 { return b.buckets }
 
 // IndexDims returns the number of indexed coordinates (after clamping).
-func (b *Bucket) IndexDims() int { return b.indexDims }
+func (b *Bucket) IndexDims() int {
+	if d := b.effDims.Load(); d != 0 {
+		return int(d)
+	}
+	return b.reqDims
+}
+
+// clampDims fixes the effective index depth once the record dimension is
+// known.
+func (b *Bucket) clampDims(dim int) {
+	if b.effDims.Load() != 0 {
+		return
+	}
+	d := b.reqDims
+	if d > dim {
+		d = dim
+	}
+	b.effDims.CompareAndSwap(0, int32(d))
+}
 
 // Len implements Store.
-func (b *Bucket) Len() int {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return b.count
-}
+func (b *Bucket) Len() int { return b.tab.size() }
 
 // Insert implements Store.
 func (b *Bucket) Insert(rec *Record) error {
 	if err := validateRecord(rec); err != nil {
 		return err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.byID[rec.ID]; ok {
-		return fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
+	bufp := getResBuf()
+	defer putResBuf(bufp)
+	res := residuesInto(*bufp, b.line, rec.Helper.Sketch.Sketch)
+	*bufp = res
+	ref, err := b.tab.insert(rec, res)
+	if err != nil {
+		return err
 	}
-	n := rec.Helper.Dimension()
-	if b.dim == 0 {
-		b.dim = n
-		if b.indexDims > n {
-			b.indexDims = n
-		}
-	} else if n != b.dim {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, n, b.dim)
-	}
-	e := &entry{rec: rec, res: residues(b.line, rec.Helper.Sketch.Sketch)}
-	key := b.cellKey(e.res)
-	b.byID[rec.ID] = e
-	b.cells[key] = append(b.cells[key], e)
-	b.order = append(b.order, e)
-	b.count++
+	b.clampDims(len(res))
+	key := b.cellKey(res, int(b.effDims.Load()))
+	cs := b.cellShardFor(key)
+	cs.mu.Lock()
+	cs.cells[key] = append(cs.cells[key], ref)
+	cs.mu.Unlock()
 	return nil
 }
 
 // Delete implements Store.
 func (b *Bucket) Delete(id string) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	e, ok := b.byID[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownID, id)
+	ref, res, err := b.tab.delete(id)
+	if err != nil {
+		return err
 	}
-	delete(b.byID, id)
-	key := b.cellKey(e.res)
-	cell := b.cells[key]
+	key := b.cellKey(res, int(b.effDims.Load()))
+	cs := b.cellShardFor(key)
+	cs.mu.Lock()
+	cell := cs.cells[key]
 	for i, cand := range cell {
-		if cand == e {
-			b.cells[key] = append(cell[:i], cell[i+1:]...)
+		if cand == ref {
+			cell[i] = cell[len(cell)-1]
+			cell[len(cell)-1] = nil
+			cs.cells[key] = cell[:len(cell)-1]
 			break
 		}
 	}
-	if len(b.cells[key]) == 0 {
-		delete(b.cells, key)
+	if len(cs.cells[key]) == 0 {
+		delete(cs.cells, key)
 	}
-	for i, cand := range b.order {
-		if cand == e {
-			b.order = append(b.order[:i], b.order[i+1:]...)
-			break
-		}
-	}
-	b.count--
+	cs.mu.Unlock()
 	return nil
 }
 
 // All implements Store.
-func (b *Bucket) All() []*Record {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	out := make([]*Record, len(b.order))
-	for i, e := range b.order {
-		out[i] = e.rec
-	}
-	return out
-}
+func (b *Bucket) All() []*Record { return b.tab.all() }
 
 // Get implements Store.
-func (b *Bucket) Get(id string) (*Record, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	e, ok := b.byID[id]
-	if !ok {
-		return nil, false
-	}
-	return e.rec, true
-}
+func (b *Bucket) Get(id string) (*Record, bool) { return b.tab.get(id) }
 
 // Identify implements Store.
 func (b *Bucket) Identify(probe *sketch.Sketch) (*Record, error) {
-	if probe == nil || len(probe.Movements) == 0 {
-		return nil, ErrBadProbe
+	return b.IdentifyCtx(context.Background(), probe)
+}
+
+// IdentifyCtx implements Store.
+func (b *Bucket) IdentifyCtx(ctx context.Context, probe *sketch.Sketch) (*Record, error) {
+	if err := validateProbe(probe, b.tab.dimension()); err != nil {
+		return nil, err
 	}
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	if b.dim != 0 && len(probe.Movements) != b.dim {
-		return nil, fmt.Errorf("%w: probe dimension %d, store %d", ErrBadProbe, len(probe.Movements), b.dim)
+	bufp := getResBuf()
+	defer putResBuf(bufp)
+	res := residuesInto(*bufp, b.line, probe)
+	*bufp = res
+	return b.identifyRes(ctx, res)
+}
+
+// identifyRes runs the neighbour-cell walk for one probe's residues. It
+// probes the probe's own cell before the neighbours, since a genuine
+// probe's record lands there except when boundary coordinates shifted
+// bucket.
+func (b *Bucket) identifyRes(ctx context.Context, res []int64) (*Record, error) {
+	d := int(b.effDims.Load())
+	if d == 0 {
+		return nil, ErrNotFound // empty store
 	}
-	probeRes := residues(b.line, probe)
 	span, t := b.line.IntervalSpan(), b.line.Threshold()
-	// Enumerate the 3^indexDims neighbouring cells around the probe's cell.
-	base := make([]int64, b.indexDims)
-	for i := 0; i < b.indexDims; i++ {
-		base[i] = b.bucketOf(probeRes[i])
+	var base, offs [maxIndexDims]int64
+	var center uint64
+	for i := 0; i < d; i++ {
+		base[i] = b.bucketOf(res[i])
+		offs[i] = -1
+		center |= uint64(base[i]) << (uint(i) * b.bits)
 	}
-	offsets := make([]int64, b.indexDims)
-	for i := range offsets {
-		offsets[i] = -1
+	if rec := b.probeCell(center, res, span, t); rec != nil {
+		return rec, nil
 	}
-	var found *Record
 	for {
-		key := b.offsetKey(base, offsets)
-		for _, e := range b.cells[key] {
-			if matchEntry(e, probeRes, span, t) {
-				found = e.rec
-				break
+		var key uint64
+		allZero := true
+		for i := 0; i < d; i++ {
+			if offs[i] != 0 {
+				allZero = false
+			}
+			bk := (base[i] + offs[i] + b.buckets) % b.buckets
+			key |= uint64(bk) << (uint(i) * b.bits)
+		}
+		if !allZero { // the centre cell was probed first
+			if rec := b.probeCell(key, res, span, t); rec != nil {
+				return rec, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 		}
-		if found != nil {
-			return found, nil
-		}
-		// Advance the offset vector through {-1, 0, 1}^indexDims.
+		// Advance the offset vector through {-1, 0, 1}^d.
 		i := 0
-		for ; i < b.indexDims; i++ {
-			offsets[i]++
-			if offsets[i] <= 1 {
+		for ; i < d; i++ {
+			offs[i]++
+			if offs[i] <= 1 {
 				break
 			}
-			offsets[i] = -1
+			offs[i] = -1
 		}
-		if i == b.indexDims {
+		if i == d {
 			break
 		}
 	}
 	return nil, ErrNotFound
+}
+
+// probeCell early-exit-verifies every candidate row of one cell, taking the
+// candidate's own table-shard read lock around each row check — lookups
+// touch only the shards their candidates live in, so concurrent readers of
+// different shards never share a lock cache line. A handle that went stale
+// between cell read and row lock (swap-delete) is kept harmless by the
+// bounds check plus the full residue comparison: a relocated row either
+// fails the match or names a record that genuinely matches.
+func (b *Bucket) probeCell(key uint64, probe []int64, span, t int64) *Record {
+	cs := b.cellShardFor(key)
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	dim := len(probe)
+	cell := cs.cells[key]
+	for i := 0; i < len(cell); {
+		sh := &b.tab.shards[cell[i].shard]
+		// One lock round trip covers the run of consecutive candidates
+		// living in the same shard.
+		sh.mu.RLock()
+		for ; i < len(cell) && &b.tab.shards[cell[i].shard] == sh; i++ {
+			row := int(cell[i].row.Load())
+			if row >= 0 && row < len(sh.recs) {
+				off := row * dim
+				if matchRow(sh.res[off:off+dim], probe, span, t) {
+					rec := sh.recs[row]
+					sh.mu.RUnlock()
+					return rec
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return nil
+}
+
+// IdentifyBatch implements Store.
+func (b *Bucket) IdentifyBatch(probes []*sketch.Sketch) ([]*Record, error) {
+	dim := b.tab.dimension()
+	for i, p := range probes {
+		if err := validateProbe(p, dim); err != nil {
+			return nil, fmt.Errorf("probe %d: %w", i, err)
+		}
+	}
+	out := make([]*Record, len(probes))
+	if len(probes) == 0 || b.tab.size() == 0 {
+		return out, nil
+	}
+	bufp := getResBuf()
+	defer putResBuf(bufp)
+	for i, p := range probes {
+		res := residuesInto(*bufp, b.line, p)
+		*bufp = res
+		rec, err := b.identifyRes(context.Background(), res)
+		if err != nil && !errors.Is(err, ErrNotFound) {
+			return nil, err
+		}
+		out[i] = rec
+	}
+	return out, nil
 }
 
 // bucketOf maps a residue in [0, span) to its bucket in [0, buckets).
@@ -439,30 +673,20 @@ func (b *Bucket) bucketOf(res int64) int64 {
 	return bk
 }
 
-func (b *Bucket) cellKey(res []int64) string {
-	key := make([]byte, 0, b.indexDims*3)
-	for i := 0; i < b.indexDims; i++ {
-		key = appendInt(key, b.bucketOf(res[i]))
+// cellKey packs the bucket indices of the first dims coordinates into one
+// uint64 — the map key of the inverted index.
+func (b *Bucket) cellKey(res []int64, dims int) uint64 {
+	var key uint64
+	for i := 0; i < dims; i++ {
+		key |= uint64(b.bucketOf(res[i])) << (uint(i) * b.bits)
 	}
-	return string(key)
+	return key
 }
 
-func (b *Bucket) offsetKey(base, offsets []int64) string {
-	key := make([]byte, 0, len(base)*3)
-	for i := range base {
-		bk := (base[i] + offsets[i] + b.buckets) % b.buckets
-		key = appendInt(key, bk)
-	}
-	return string(key)
-}
-
-// appendInt appends a compact, unambiguous encoding of v.
-func appendInt(dst []byte, v int64) []byte {
-	for v >= 0x80 {
-		dst = append(dst, byte(v)|0x80)
-		v >>= 7
-	}
-	return append(dst, byte(v), 0xFF)
+// cellShardFor spreads packed keys across the cell shards.
+func (b *Bucket) cellShardFor(key uint64) *cellShard {
+	h := (key + 1) * 0x9E3779B97F4A7C15 // Fibonacci hashing; +1 mixes key 0
+	return &b.cells[(h>>33)%uint64(len(b.cells))]
 }
 
 func validateRecord(rec *Record) error {
@@ -481,13 +705,21 @@ func validateRecord(rec *Record) error {
 	return nil
 }
 
-// ByStrategy constructs a store by name: "scan", "bucket" or "sorted".
+// ByStrategy constructs a store by name with the default shard count:
+// "scan", "bucket" or "sorted".
 func ByStrategy(name string, line *numberline.Line) (Store, error) {
+	return ByStrategyShards(name, line, 0)
+}
+
+// ByStrategyShards constructs a store by name with an explicit shard count
+// (shards < 1 selects the default; the sorted strategy is unsharded and
+// ignores it).
+func ByStrategyShards(name string, line *numberline.Line, shards int) (Store, error) {
 	switch name {
 	case "scan":
-		return NewScan(line), nil
+		return NewScanShards(line, shards), nil
 	case "bucket":
-		return NewBucket(line, 0), nil
+		return NewBucketShards(line, 0, shards), nil
 	case "sorted":
 		return NewSorted(line), nil
 	default:

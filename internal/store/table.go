@@ -1,0 +1,270 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/sketch"
+)
+
+// This file implements the sharded flat residue table shared by the Scan and
+// Bucket stores. Records are partitioned into P independent shards by a hash
+// of their ID; each shard guards its state with its own RWMutex, so
+// concurrent reads never touch the same lock cache line and an insert or
+// delete contends only with operations on the same shard.
+//
+// Within a shard the precomputed mod-ka residues live in one flat row-major
+// matrix (res[row*dim : (row+1)*dim]) with a parallel record slice, so the
+// early-exit scan of conditions (1)-(4) walks contiguous memory instead of
+// chasing a pointer per record. Deletion swap-removes the row; every row is
+// tracked by a stable *rowRef handle whose position is updated atomically
+// under the shard write lock, which is what lets the Bucket store keep
+// references to rows in its cell index without a second lock order.
+
+// defaultShards picks the shard count for stores built without an explicit
+// one: the scheduler's parallelism, but at least 4 so sharding stays
+// exercised (and effective under later GOMAXPROCS raises) on small hosts.
+func defaultShards() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 4 {
+		p = 4
+	}
+	if p > maxShards {
+		p = maxShards
+	}
+	return p
+}
+
+// maxShards bounds the shard count; past the core count extra shards only
+// cost constant per-shard overhead on every Identify.
+const maxShards = 64
+
+// rowRef is a stable handle to one stored row. shard never changes; row is
+// updated (under the owning shard's write lock) when a swap-delete relocates
+// the row, and set to -1 when the row is removed.
+type rowRef struct {
+	shard int32
+	row   atomic.Int32
+}
+
+// tableShard is one shard of the residue table.
+type tableShard struct {
+	mu   sync.RWMutex
+	res  []int64 // flat row-major residue matrix, len == len(recs)*dim
+	recs []*Record
+	refs []*rowRef // parallel handles; refs[i].row == i under mu
+	seqs []uint64  // insertion sequence numbers, for stable All()
+	byID map[string]*rowRef
+}
+
+// resTable is the sharded flat residue store.
+type resTable struct {
+	line   *numberline.Line
+	shards []tableShard
+
+	dimMu sync.Mutex   // serialises first-insert dimension adoption
+	dim   atomic.Int64 // record dimension; 0 until the first insert
+	seq   atomic.Uint64
+	count atomic.Int64
+}
+
+func newResTable(line *numberline.Line, shards int) *resTable {
+	if shards < 1 {
+		shards = defaultShards()
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	t := &resTable{line: line, shards: make([]tableShard, shards)}
+	for i := range t.shards {
+		t.shards[i].byID = make(map[string]*rowRef)
+	}
+	return t
+}
+
+// shardFor maps an ID to its owning shard (FNV-1a).
+func (t *resTable) shardFor(id string) int32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int32(h % uint64(len(t.shards)))
+}
+
+func (t *resTable) numShards() int { return len(t.shards) }
+
+func (t *resTable) size() int { return int(t.count.Load()) }
+
+// dimension returns the adopted record dimension (0 while empty). The value
+// is monotone: once set it never changes, so a lock-free read is safe.
+func (t *resTable) dimension() int { return int(t.dim.Load()) }
+
+// adoptDimension fixes the table dimension at first insert and rejects
+// mismatching records afterwards.
+func (t *resTable) adoptDimension(n int) error {
+	if d := t.dim.Load(); d != 0 {
+		if int(d) != n {
+			return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, n, d)
+		}
+		return nil
+	}
+	t.dimMu.Lock()
+	defer t.dimMu.Unlock()
+	if d := t.dim.Load(); d != 0 {
+		if int(d) != n {
+			return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, n, d)
+		}
+		return nil
+	}
+	t.dim.Store(int64(n))
+	return nil
+}
+
+// insert stores rec with its precomputed residues and returns the stable row
+// handle. res is copied; the caller may reuse its buffer.
+func (t *resTable) insert(rec *Record, res []int64) (*rowRef, error) {
+	if err := t.adoptDimension(len(res)); err != nil {
+		return nil, err
+	}
+	si := t.shardFor(rec.ID)
+	sh := &t.shards[si]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.byID[rec.ID]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
+	}
+	ref := &rowRef{shard: si}
+	ref.row.Store(int32(len(sh.recs)))
+	sh.res = append(sh.res, res...)
+	sh.recs = append(sh.recs, rec)
+	sh.refs = append(sh.refs, ref)
+	sh.seqs = append(sh.seqs, t.seq.Add(1))
+	sh.byID[rec.ID] = ref
+	t.count.Add(1)
+	return ref, nil
+}
+
+func (t *resTable) get(id string) (*Record, bool) {
+	sh := &t.shards[t.shardFor(id)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ref, ok := sh.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return sh.recs[ref.row.Load()], true
+}
+
+// delete removes id, swap-filling the hole with the shard's last row. It
+// returns the removed row's handle and a copy of its residues so an index
+// layered on top (Bucket) can clean up its references.
+func (t *resTable) delete(id string) (*rowRef, []int64, error) {
+	sh := &t.shards[t.shardFor(id)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ref, ok := sh.byID[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	dim := int(t.dim.Load())
+	row := int(ref.row.Load())
+	res := make([]int64, dim)
+	copy(res, sh.res[row*dim:(row+1)*dim])
+	last := len(sh.recs) - 1
+	if row != last {
+		copy(sh.res[row*dim:(row+1)*dim], sh.res[last*dim:(last+1)*dim])
+		sh.recs[row] = sh.recs[last]
+		sh.refs[row] = sh.refs[last]
+		sh.seqs[row] = sh.seqs[last]
+		sh.refs[row].row.Store(int32(row))
+	}
+	sh.res = sh.res[:last*dim]
+	sh.recs[last] = nil
+	sh.recs = sh.recs[:last]
+	sh.refs[last] = nil
+	sh.refs = sh.refs[:last]
+	sh.seqs = sh.seqs[:last]
+	delete(sh.byID, id)
+	ref.row.Store(-1)
+	t.count.Add(-1)
+	return ref, res, nil
+}
+
+// all snapshots every record in insertion order (by sequence number).
+func (t *resTable) all() []*Record {
+	type seqRec struct {
+		seq uint64
+		rec *Record
+	}
+	var rows []seqRec
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for j, rec := range sh.recs {
+			rows = append(rows, seqRec{seq: sh.seqs[j], rec: rec})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	out := make([]*Record, len(rows))
+	for i, r := range rows {
+		out[i] = r.rec
+	}
+	return out
+}
+
+// matchRow runs the early-exit condition check of the probe residues against
+// one row of the flat matrix. The expected number of comparisons per
+// non-matching row is geometric (< 1/(1-q) with q = (2t+1)/ka), so the loop
+// almost always exits on the first coordinate.
+func matchRow(row, probe []int64, span, t int64) bool {
+	for i, r := range row {
+		d := r - probe[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > span-d {
+			d = span - d
+		}
+		if d > t {
+			return false
+		}
+	}
+	return true
+}
+
+// resBufPool recycles probe-residue buffers so a steady-state Identify does
+// not allocate.
+var resBufPool = sync.Pool{
+	New: func() any {
+		b := make([]int64, 0, 256)
+		return &b
+	},
+}
+
+func getResBuf() *[]int64  { return resBufPool.Get().(*[]int64) }
+func putResBuf(b *[]int64) { resBufPool.Put(b) }
+
+// residuesInto appends the mod-ka residues of the sketch movements to
+// buf[:0] and returns the (possibly grown) slice.
+func residuesInto(buf []int64, line *numberline.Line, s *sketch.Sketch) []int64 {
+	span := line.IntervalSpan()
+	buf = buf[:0]
+	for _, m := range s.Movements {
+		r := m % span
+		if r < 0 {
+			r += span
+		}
+		buf = append(buf, r)
+	}
+	return buf
+}

@@ -229,6 +229,19 @@ func (c *Client) Revoke(id string, bio numberline.Vector) error {
 	})
 }
 
+// IdentifyBatch runs the batched identification protocol for several
+// readings in one session. The result is aligned with readings; "" marks
+// readings that were not identified.
+func (c *Client) IdentifyBatch(readings []numberline.Vector) ([]string, error) {
+	var ids []string
+	err := c.withSession(func(rw io.ReadWriter) error {
+		var err error
+		ids, err = c.device.IdentifyBatch(rw, readings)
+		return err
+	})
+	return ids, err
+}
+
 // IdentifyNormal runs the O(N) normal-approach identification.
 func (c *Client) IdentifyNormal(bio numberline.Vector) (string, error) {
 	var id string

@@ -22,6 +22,10 @@ func FuzzUnmarshal(f *testing.F) {
 		&Accept{ID: "z"},
 		&Reject{Reason: "r"},
 		&RevokeRequest{ID: "w"},
+		&IdentifyBatchRequest{},
+		&IdentifyBatchChallenge{Entries: []IndexedChallenge{{Probe: 1, Challenge: []byte("c")}}},
+		&IdentifyBatchSignature{Entries: []IndexedSignature{{Probe: 1, Signature: []byte("s"), Nonce: []byte("n")}}},
+		&IdentifyBatchResult{IDs: []string{"a", ""}},
 	}
 	for _, m := range seeds {
 		buf, err := Marshal(m)

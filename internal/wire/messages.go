@@ -37,7 +37,22 @@ const (
 	// TypeRevokeRequest asks to revoke an enrollment after proving
 	// possession of the biometric (challenge-response follows).
 	TypeRevokeRequest
+	// TypeIdentifyBatchRequest opens a batched identification run with
+	// several probe sketches at once.
+	TypeIdentifyBatchRequest
+	// TypeIdentifyBatchChallenge carries (index, P, c) for every probe the
+	// server matched.
+	TypeIdentifyBatchChallenge
+	// TypeIdentifyBatchSignature carries (index, sigma, a) for every
+	// challenge the device could answer.
+	TypeIdentifyBatchSignature
+	// TypeIdentifyBatchResult reports the per-probe verdicts (the
+	// identified ID, or "" for probes that failed).
+	TypeIdentifyBatchResult
 )
+
+// MaxIdentifyBatch bounds the probes of one batched identification run.
+const MaxIdentifyBatch = 1 << 10
 
 // Message is implemented by every protocol message.
 type Message interface {
@@ -300,6 +315,179 @@ func (m *RevokeRequest) decode(d *Decoder) error {
 	return err
 }
 
+// IdentifyBatchRequest opens the batched identification protocol: the
+// device ships several probe sketches in one session, amortising framing,
+// database locks and residue computation across them.
+type IdentifyBatchRequest struct {
+	Probes []*sketch.Sketch
+}
+
+// Type implements Message.
+func (*IdentifyBatchRequest) Type() MsgType { return TypeIdentifyBatchRequest }
+
+func (m *IdentifyBatchRequest) encode(e *Encoder) {
+	e.Uint32(uint32(len(m.Probes)))
+	for _, p := range m.Probes {
+		if p == nil {
+			e.Int64Slice(nil)
+			continue
+		}
+		e.Int64Slice(p.Movements)
+	}
+}
+
+func (m *IdentifyBatchRequest) decode(d *Decoder) error {
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxIdentifyBatch {
+		return fmt.Errorf("%w: identify batch %d", ErrTooLarge, n)
+	}
+	m.Probes = make([]*sketch.Sketch, n)
+	for i := range m.Probes {
+		movements, err := d.Int64Slice(MaxVectorLen)
+		if err != nil {
+			return err
+		}
+		if len(movements) > 0 {
+			m.Probes[i] = &sketch.Sketch{Movements: movements}
+		}
+	}
+	return nil
+}
+
+// IndexedChallenge is one (probe index, P, c) tuple of a batched
+// identification run.
+type IndexedChallenge struct {
+	Probe     uint32
+	Helper    *core.HelperData
+	Challenge []byte
+}
+
+// IdentifyBatchChallenge carries a challenge for every matched probe of a
+// batched identification request; unmatched probes have no entry.
+type IdentifyBatchChallenge struct {
+	Entries []IndexedChallenge
+}
+
+// Type implements Message.
+func (*IdentifyBatchChallenge) Type() MsgType { return TypeIdentifyBatchChallenge }
+
+func (m *IdentifyBatchChallenge) encode(e *Encoder) {
+	e.Uint32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e.Uint32(m.Entries[i].Probe)
+		encodeHelper(e, m.Entries[i].Helper)
+		e.VarBytes(m.Entries[i].Challenge)
+	}
+}
+
+func (m *IdentifyBatchChallenge) decode(d *Decoder) error {
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxIdentifyBatch {
+		return fmt.Errorf("%w: identify batch %d", ErrTooLarge, n)
+	}
+	m.Entries = make([]IndexedChallenge, n)
+	for i := range m.Entries {
+		if m.Entries[i].Probe, err = d.Uint32(); err != nil {
+			return err
+		}
+		if m.Entries[i].Helper, err = decodeHelper(d); err != nil {
+			return err
+		}
+		if m.Entries[i].Challenge, err = d.VarBytes(MaxBytesLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexedSignature is one (probe index, sigma, a) tuple of a batched
+// identification run.
+type IndexedSignature struct {
+	Probe     uint32
+	Signature []byte
+	Nonce     []byte
+}
+
+// IdentifyBatchSignature carries the device's answers to a batched
+// challenge; challenges whose key could not be reproduced have no entry.
+type IdentifyBatchSignature struct {
+	Entries []IndexedSignature
+}
+
+// Type implements Message.
+func (*IdentifyBatchSignature) Type() MsgType { return TypeIdentifyBatchSignature }
+
+func (m *IdentifyBatchSignature) encode(e *Encoder) {
+	e.Uint32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e.Uint32(m.Entries[i].Probe)
+		e.VarBytes(m.Entries[i].Signature)
+		e.VarBytes(m.Entries[i].Nonce)
+	}
+}
+
+func (m *IdentifyBatchSignature) decode(d *Decoder) error {
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxIdentifyBatch {
+		return fmt.Errorf("%w: identify batch %d", ErrTooLarge, n)
+	}
+	m.Entries = make([]IndexedSignature, n)
+	for i := range m.Entries {
+		if m.Entries[i].Probe, err = d.Uint32(); err != nil {
+			return err
+		}
+		if m.Entries[i].Signature, err = d.VarBytes(MaxBytesLen); err != nil {
+			return err
+		}
+		if m.Entries[i].Nonce, err = d.VarBytes(MaxBytesLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IdentifyBatchResult closes a batched identification run: IDs is aligned
+// with the request probes, with "" for probes that were not identified.
+type IdentifyBatchResult struct {
+	IDs []string
+}
+
+// Type implements Message.
+func (*IdentifyBatchResult) Type() MsgType { return TypeIdentifyBatchResult }
+
+func (m *IdentifyBatchResult) encode(e *Encoder) {
+	e.Uint32(uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		e.String(id)
+	}
+}
+
+func (m *IdentifyBatchResult) decode(d *Decoder) error {
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxIdentifyBatch {
+		return fmt.Errorf("%w: identify batch %d", ErrTooLarge, n)
+	}
+	m.IDs = make([]string, n)
+	for i := range m.IDs {
+		if m.IDs[i], err = d.String(MaxBytesLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Reject reports protocol failure (the ⊥ output).
 type Reject struct {
 	Reason string
@@ -389,6 +577,14 @@ func newMessage(t MsgType) (Message, error) {
 		return &Reject{}, nil
 	case TypeRevokeRequest:
 		return &RevokeRequest{}, nil
+	case TypeIdentifyBatchRequest:
+		return &IdentifyBatchRequest{}, nil
+	case TypeIdentifyBatchChallenge:
+		return &IdentifyBatchChallenge{}, nil
+	case TypeIdentifyBatchSignature:
+		return &IdentifyBatchSignature{}, nil
+	case TypeIdentifyBatchResult:
+		return &IdentifyBatchResult{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
 	}

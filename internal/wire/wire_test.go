@@ -64,6 +64,15 @@ func TestMessageRoundTrips(t *testing.T) {
 		&Accept{ID: "alice"},
 		&Reject{Reason: "no matching record"},
 		&RevokeRequest{ID: "alice"},
+		&IdentifyBatchRequest{Probes: []*sketch.Sketch{probe, probe}},
+		&IdentifyBatchChallenge{Entries: []IndexedChallenge{
+			{Probe: 0, Helper: helper, Challenge: []byte("c0")},
+			{Probe: 3, Helper: helper, Challenge: []byte("c3")},
+		}},
+		&IdentifyBatchSignature{Entries: []IndexedSignature{
+			{Probe: 3, Signature: []byte("sig"), Nonce: []byte("nonce")},
+		}},
+		&IdentifyBatchResult{IDs: []string{"alice", "", "carol"}},
 	}
 	for _, m := range msgs {
 		t.Run(reflect.TypeOf(m).Elem().Name(), func(t *testing.T) {
