@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+)
+
+// TestSIGKILLMidEnrollmentRecovery is the acceptance scenario for the
+// persistence layer, against the real binary: a fuzzyid-server process with
+// -data is killed with SIGKILL while a client is enrolling, then restarted —
+// and every enrollment the client saw acknowledged must identify.
+func TestSIGKILLMidEnrollmentRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess test")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "fuzzyid-server")
+	if out, err := exec.Command(goTool, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	const dim = 32
+	dir := t.TempDir()
+	start := func() (*exec.Cmd, string) {
+		t.Helper()
+		proc := exec.Command(bin, "-addr", "127.0.0.1:0", "-dim", "32", "-data", dir)
+		stdout, err := proc.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := proc.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// The first stdout line names the bound address.
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			proc.Process.Kill()
+			t.Fatalf("no startup line: %v", sc.Err())
+		}
+		line := sc.Text()
+		fields := strings.Fields(line)
+		var addr string
+		for i, f := range fields {
+			if f == "on" && i+1 < len(fields) {
+				addr = fields[i+1]
+			}
+		}
+		if addr == "" {
+			proc.Process.Kill()
+			t.Fatalf("no address in startup line %q", line)
+		}
+		go func() { // drain so the child never blocks on a full pipe
+			for sc.Scan() {
+			}
+		}()
+		return proc, addr
+	}
+
+	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(dialer.Extractor().Line(), biometric.Paper(dim), 191)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := src.Population(200)
+
+	proc, addr := start()
+	client, err := dialer.Dial(addr)
+	if err != nil {
+		proc.Process.Kill()
+		t.Fatal(err)
+	}
+
+	// Enroll continuously; SIGKILL the server once a prefix is acknowledged,
+	// so the kill lands mid-stream with an enrollment likely in flight.
+	var mu sync.Mutex
+	var acked []*biometric.User
+	enrollDone := make(chan struct{})
+	go func() {
+		defer close(enrollDone)
+		for _, u := range users {
+			if err := client.Enroll(u.ID, u.Template); err != nil {
+				return // the kill severed the connection
+			}
+			mu.Lock()
+			acked = append(acked, u)
+			mu.Unlock()
+		}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			proc.Process.Kill()
+			t.Fatalf("only %d enrollments acknowledged before deadline", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := proc.Process.Kill(); err != nil { // SIGKILL: no flush, no goodbye
+		t.Fatal(err)
+	}
+	<-enrollDone
+	proc.Wait()
+	client.Close()
+
+	// Restart from the same directory; every acknowledged user identifies.
+	proc2, addr2 := start()
+	defer func() {
+		proc2.Process.Kill()
+		proc2.Wait()
+	}()
+	client2, err := dialer.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	mu.Lock()
+	final := append([]*biometric.User(nil), acked...)
+	mu.Unlock()
+	t.Logf("killed after %d acknowledged enrollments", len(final))
+	for _, u := range final {
+		reading, err := src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := client2.Identify(reading)
+		if err != nil || id != u.ID {
+			t.Fatalf("durably-acknowledged user %s lost after SIGKILL: identify = (%q, %v)", u.ID, id, err)
+		}
+	}
+}

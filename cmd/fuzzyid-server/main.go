@@ -3,6 +3,13 @@
 // fuzzyid-client (or any implementation of the wire protocol).
 //
 //	fuzzyid-server -addr 127.0.0.1:7700 -dim 512 -strategy bucket
+//
+// With -data the enrollment database is durable: mutations are written to a
+// WAL under the directory before they are acknowledged, the database is
+// recovered from the newest snapshot plus the WAL tail on boot, and the log
+// is compacted every -snapshot-interval and on graceful shutdown.
+//
+//	fuzzyid-server -addr 127.0.0.1:7700 -data /var/lib/fuzzyid
 package main
 
 import (
@@ -11,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"fuzzyid"
 )
@@ -23,20 +31,52 @@ func main() {
 }
 
 func run(args []string) error {
-	srv, err := setup(args)
+	srv, sys, snapInterval, err := setup(args)
 	if err != nil {
 		return err
+	}
+	stopSnap := make(chan struct{})
+	snapDone := make(chan struct{})
+	close(snapDone)
+	if sys.Persistent() && snapInterval > 0 {
+		snapDone = make(chan struct{})
+		go snapshotLoop(sys, snapInterval, stopSnap, snapDone)
 	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	<-sigCh
 	fmt.Println("shutting down")
+	// Stop the snapshot loop and wait for an in-flight compaction to
+	// finish before Close: a snapshot racing the shutdown flush would
+	// trip over the closed journal.
+	close(stopSnap)
+	<-snapDone
+	// Server.Close drains the live sessions and then flushes the
+	// persistence layer (the system is attached as the server's closer).
 	return srv.Close()
+}
+
+// snapshotLoop compacts the persistence log periodically until stop closes,
+// then closes done.
+func snapshotLoop(sys *fuzzyid.System, interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			if err := sys.Snapshot(); err != nil {
+				fmt.Fprintln(os.Stderr, "fuzzyid-server: snapshot:", err)
+			}
+		}
+	}
 }
 
 // setup parses flags, builds the system and starts listening. Split from
 // run so tests can exercise everything except the signal wait.
-func setup(args []string) (*fuzzyid.Server, error) {
+func setup(args []string) (*fuzzyid.Server, *fuzzyid.System, time.Duration, error) {
 	fs := flag.NewFlagSet("fuzzyid-server", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:7700", "listen address")
@@ -45,30 +85,44 @@ func setup(args []string) (*fuzzyid.Server, error) {
 		scheme   = fs.String("scheme", "ed25519", "signature scheme: ed25519 or ecdsa-p256")
 		ext      = fs.String("extractor", "hmac-sha256", "strong extractor: sha256, hmac-sha256 or toeplitz")
 		shards   = fs.Int("shards", 0, "store shard count (0 = scheduler parallelism)")
+		data     = fs.String("data", "", "persistence directory (empty = in-memory only)")
+		snapIvl  = fs.Duration("snapshot-interval", 5*time.Minute, "WAL compaction interval with -data (0 = only on shutdown)")
+		maxConns = fs.Int("maxconns", 0, "refuse connections past this concurrent cap (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, err
+		return nil, nil, 0, err
 	}
-	sys, err := fuzzyid.NewSystem(
-		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: *dim},
+	opts := []fuzzyid.Option{
 		fuzzyid.WithStoreStrategy(*strategy),
 		fuzzyid.WithSignatureScheme(*scheme),
 		fuzzyid.WithExtractor(*ext),
 		fuzzyid.WithShards(*shards),
-	)
-	if err != nil {
-		return nil, err
 	}
-	srv, err := sys.Listen(*addr)
+	if *data != "" {
+		opts = append(opts, fuzzyid.WithPersistence(*data))
+	}
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: *dim}, opts...)
 	if err != nil {
-		return nil, err
+		return nil, nil, 0, err
+	}
+	var srvOpts []fuzzyid.ServerOption
+	if *maxConns > 0 {
+		srvOpts = append(srvOpts, fuzzyid.WithMaxConns(*maxConns))
+	}
+	srv, err := sys.Listen(*addr, srvOpts...)
+	if err != nil {
+		sys.Close()
+		return nil, nil, 0, err
 	}
 	fmt.Printf("fuzzyid-server listening on %s (dim=%d, strategy=%s, scheme=%s)\n",
 		srv.Addr(), *dim, *strategy, *scheme)
+	if *data != "" {
+		fmt.Printf("persistence: %s (%d records recovered)\n", *data, sys.Enrolled())
+	}
 	if *dim > 0 {
 		rep := sys.Report(*dim)
 		fmt.Printf("security: m=%.0f bits, m~=%.0f bits, storage=%.0f bits, log2 Pr[false close]=%.0f\n",
 			rep.MinEntropyBits, rep.ResidualEntropyBits, rep.SketchStorageBits, rep.FalseCloseExponent)
 	}
-	return srv, nil
+	return srv, sys, *snapIvl, nil
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestSetupAndServe(t *testing.T) {
-	srv, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-strategy", "sorted"})
+	srv, _, _, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-strategy", "sorted"})
 	if err != nil {
 		t.Fatalf("setup: %v", err)
 	}
@@ -49,19 +49,82 @@ func TestSetupAndServe(t *testing.T) {
 }
 
 func TestSetupValidation(t *testing.T) {
-	if _, err := setup([]string{"-strategy", "btree"}); err == nil {
+	if _, _, _, err := setup([]string{"-strategy", "btree"}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if _, err := setup([]string{"-scheme", "rsa"}); err == nil {
+	if _, _, _, err := setup([]string{"-scheme", "rsa"}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, err := setup([]string{"-extractor", "md5"}); err == nil {
+	if _, _, _, err := setup([]string{"-extractor", "md5"}); err == nil {
 		t.Error("unknown extractor accepted")
 	}
-	if _, err := setup([]string{"-addr", "256.256.256.256:99999"}); err == nil {
+	if _, _, _, err := setup([]string{"-addr", "256.256.256.256:99999"}); err == nil {
 		t.Error("unlistenable address accepted")
 	}
-	if _, err := setup([]string{"-no-such-flag"}); err == nil {
+	if _, _, _, err := setup([]string{"-no-such-flag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestDataFlagRecovery checks the -data flag end to end in-process: enroll
+// over TCP, shut the server down gracefully (which flushes the journal
+// through the server's Close), then boot a second server from the same
+// directory and identify.
+func TestDataFlagRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv, sys, snapIvl, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-data", dir})
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if !sys.Persistent() {
+		t.Fatal("system not persistent with -data")
+	}
+	if snapIvl <= 0 {
+		t.Fatalf("default snapshot interval = %v", snapIvl)
+	}
+	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(dialer.Extractor().Line(), biometric.Paper(32), 171)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dialer.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := src.Population(3)
+	for _, u := range users {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll %s: %v", u.ID, err)
+		}
+	}
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+
+	srv2, sys2, _, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-data", dir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv2.Close()
+	if got := sys2.Enrolled(); got != len(users) {
+		t.Fatalf("recovered %d enrollments, want %d", got, len(users))
+	}
+	client2, err := dialer.Dial(srv2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	for _, u := range users {
+		reading, err := src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, err := client2.Identify(reading); err != nil || id != u.ID {
+			t.Fatalf("identify %s after restart = (%q, %v)", u.ID, id, err)
+		}
 	}
 }

@@ -30,11 +30,13 @@
 package fuzzyid
 
 import (
+	"errors"
 	"fmt"
 
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/extract"
 	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/persist"
 	"fuzzyid/internal/protocol"
 	"fuzzyid/internal/sigscheme"
 	"fuzzyid/internal/store"
@@ -64,7 +66,15 @@ type (
 	Server = transport.Server
 	// Record is one enrolled entry (ID, pk, P) in the server store.
 	Record = store.Record
+	// ServerOption configures a Server started with Listen (connection
+	// caps, idle timeouts; see WithMaxConns).
+	ServerOption = transport.ServerOption
 )
+
+// WithMaxConns bounds the number of concurrently served connections on a
+// Server; connections past the cap are refused at accept time. Zero means
+// unbounded.
+func WithMaxConns(n int) ServerOption { return transport.WithMaxConns(n) }
 
 // PaperLine returns the number line of the paper's Table II:
 // a=100, k=4, v=500, t=100, range (-100000, 100000].
@@ -90,6 +100,10 @@ type System struct {
 	db        store.Store
 	server    *protocol.Server
 	device    *protocol.Device
+
+	// Persistence state; nil unless WithPersistence was configured.
+	journal *persist.Log
+	jdb     *store.Journaled
 }
 
 // Option configures a System.
@@ -107,6 +121,8 @@ type config struct {
 	extractor string
 	indexDims int
 	shards    int
+	dataDir   string
+	syncOS    bool
 }
 
 // WithStoreStrategy selects the identification lookup strategy: "bucket"
@@ -161,6 +177,33 @@ func WithShards(p int) Option {
 	})
 }
 
+// WithPersistence makes the enrollment database durable: every committed
+// enrollment and revocation is appended to a write-ahead log under dir
+// before it is acknowledged, and NewSystem recovers the database from the
+// newest snapshot plus the WAL tail on boot. Call (*System).Snapshot
+// periodically to compact the log and (*System).Close to flush on
+// shutdown (a Server started with Listen does the latter automatically).
+func WithPersistence(dir string) Option {
+	return optionFunc(func(c *config) error {
+		if dir == "" {
+			return errors.New("fuzzyid: empty persistence dir")
+		}
+		c.dataDir = dir
+		return nil
+	})
+}
+
+// WithRelaxedSync makes the persistence layer fsync on snapshot and close
+// only, instead of on every enrollment: acknowledged mutations then survive
+// process death but not an OS or power failure. Ignored without
+// WithPersistence.
+func WithRelaxedSync() Option {
+	return optionFunc(func(c *config) error {
+		c.syncOS = true
+		return nil
+	})
+}
+
 // NewSystem validates p and assembles a complete deployment.
 func NewSystem(p Params, opts ...Option) (*System, error) {
 	cfg := config{strategy: "bucket", scheme: "ed25519", extractor: "hmac-sha256"}
@@ -190,13 +233,64 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
-	return &System{
-		extractor: fe,
-		scheme:    scheme,
-		db:        db,
-		server:    protocol.NewServer(fe, scheme, db),
-		device:    protocol.NewDevice(fe, scheme),
-	}, nil
+	sys := &System{extractor: fe, scheme: scheme}
+	if cfg.dataDir != "" {
+		var popts []persist.Option
+		if cfg.syncOS {
+			popts = append(popts, persist.WithSyncPolicy(persist.SyncOS))
+		}
+		journal, err := persist.Open(cfg.dataDir, popts...)
+		if err != nil {
+			return nil, err
+		}
+		// Recovery replays the snapshot and WAL tail through the store's
+		// normal mutation path, then live mutations flow through the
+		// journal before being acknowledged.
+		if err := store.Replay(db, journal.Replay); err != nil {
+			journal.Close()
+			return nil, err
+		}
+		sys.journal = journal
+		sys.jdb = store.NewJournaled(db, journal)
+		db = sys.jdb
+	}
+	sys.db = db
+	sys.server = protocol.NewServer(fe, scheme, db)
+	sys.device = protocol.NewDevice(fe, scheme)
+	return sys, nil
+}
+
+// Persistent reports whether the system was built with WithPersistence.
+func (s *System) Persistent() bool { return s.journal != nil }
+
+// Snapshot compacts the persistence log: the full record set is written as
+// one snapshot and the WAL segments it subsumes are deleted, bounding both
+// disk usage and the next boot's recovery time. Snapshot is cheap to call
+// when nothing changed (it returns immediately) and a no-op without
+// persistence.
+func (s *System) Snapshot() error {
+	if s.jdb == nil {
+		return nil
+	}
+	if s.journal.AppendsSinceRotate() == 0 {
+		return nil // nothing new since the last snapshot
+	}
+	return s.jdb.Snapshot(s.journal)
+}
+
+// Close flushes and closes the persistence layer, taking a final snapshot
+// when mutations were appended since the last one so the next boot recovers
+// from a compact state. Close is idempotent and a no-op without
+// persistence; after it, mutations fail.
+func (s *System) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	snapErr := s.Snapshot()
+	if err := s.journal.Close(); err != nil {
+		return errors.Join(snapErr, err)
+	}
+	return snapErr
 }
 
 // Extractor returns the underlying fuzzy extractor.
@@ -214,9 +308,15 @@ func (s *System) StoreRecord(id string) (*Record, bool) { return s.db.Get(id) }
 // configured dimension when fixed).
 func (s *System) Report(n int) SecurityReport { return s.extractor.Report(n) }
 
-// Listen starts a TCP authentication server for this system.
-func (s *System) Listen(addr string) (*Server, error) {
-	return transport.Listen(addr, s.server)
+// Listen starts a TCP authentication server for this system. When the
+// system is persistent, the server owns the flush lifecycle: Server.Close
+// drains the live sessions and then closes the system, so a graceful
+// shutdown never loses an acknowledged enrollment.
+func (s *System) Listen(addr string, opts ...ServerOption) (*Server, error) {
+	if s.Persistent() {
+		opts = append(opts, transport.WithCloser(s))
+	}
+	return transport.Listen(addr, s.server, opts...)
 }
 
 // LocalClient returns a device client wired to this system's server through

@@ -239,3 +239,145 @@ func TestSystemReport(t *testing.T) {
 		t.Errorf("m~ = %v", rep.ResidualEntropyBits)
 	}
 }
+
+// TestPersistenceAcrossRestart exercises the WithPersistence lifecycle:
+// enrollments and revocations survive a close-and-reopen of the system,
+// including a snapshot compaction in the middle.
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	const dim = 32
+	sys, src := testSystem(t, dim, WithPersistence(dir), WithStoreStrategy("scan"))
+	if !sys.Persistent() {
+		t.Fatal("Persistent() = false with WithPersistence")
+	}
+	users := src.Population(5)
+	client, stop := sys.LocalClient()
+	for _, u := range users {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll %s: %v", u.ID, err)
+		}
+	}
+	reading, err := src.GenuineReading(users[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Revoke(users[2].ID, reading); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	stop()
+	if err := sys.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Restart: the database comes back from snapshot + WAL.
+	sys2, err := NewSystem(Params{Line: PaperLine(), Dimension: dim},
+		WithPersistence(dir), WithStoreStrategy("scan"))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := sys2.Enrolled(); got != 4 {
+		t.Fatalf("recovered %d enrollments, want 4", got)
+	}
+	if _, ok := sys2.StoreRecord(users[2].ID); ok {
+		t.Fatal("revoked user resurrected by recovery")
+	}
+	client2, stop2 := sys2.LocalClient()
+	reading0, err := src.GenuineReading(users[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := client2.Identify(reading0); err != nil || id != users[0].ID {
+		t.Fatalf("post-recovery identify = (%q, %v)", id, err)
+	}
+	// Re-enroll the revoked user, compact, and mutate after the snapshot.
+	if err := client2.Enroll(users[2].ID, users[2].Template); err != nil {
+		t.Fatalf("re-enroll: %v", err)
+	}
+	if err := sys2.Snapshot(); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := sys2.Snapshot(); err != nil { // idle snapshot is a cheap no-op
+		t.Fatalf("idle snapshot: %v", err)
+	}
+	late := src.NewUser("late-user")
+	if err := client2.Enroll(late.ID, late.Template); err != nil {
+		t.Fatalf("post-snapshot enroll: %v", err)
+	}
+	stop2()
+	if err := sys2.Close(); err != nil {
+		t.Fatalf("close 2: %v", err)
+	}
+
+	// Second restart: snapshot plus post-snapshot WAL tail.
+	sys3, err := NewSystem(Params{Line: PaperLine(), Dimension: dim},
+		WithPersistence(dir), WithStoreStrategy("scan"))
+	if err != nil {
+		t.Fatalf("second reopen: %v", err)
+	}
+	defer sys3.Close()
+	if got := sys3.Enrolled(); got != 6 {
+		t.Fatalf("second recovery has %d enrollments, want 6", got)
+	}
+	if _, ok := sys3.StoreRecord("late-user"); !ok {
+		t.Fatal("post-snapshot enrollment lost")
+	}
+	reading2, err := src.GenuineReading(users[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	client3, stop3 := sys3.LocalClient()
+	defer stop3()
+	if id, err := client3.Identify(reading2); err != nil || id != users[2].ID {
+		t.Fatalf("identify re-enrolled user = (%q, %v)", id, err)
+	}
+}
+
+// TestPersistentListenFlushesOnServerClose checks the graceful-shutdown
+// path: closing the TCP server drains sessions and flushes the persistence
+// layer without an explicit System.Close.
+func TestPersistentListenFlushesOnServerClose(t *testing.T) {
+	dir := t.TempDir()
+	const dim = 32
+	sys, src := testSystem(t, dim, WithPersistence(dir))
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.NewUser("durable")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	// The journal is now closed: further mutations must fail loudly
+	// rather than silently losing durability.
+	c2, stop := sys.LocalClient()
+	if err := c2.Enroll("after-shutdown", src.NewUser("x").Template); err == nil {
+		t.Fatal("mutation accepted after the journal was closed")
+	}
+	stop()
+
+	sys2, err := NewSystem(Params{Line: PaperLine(), Dimension: dim}, WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if got := sys2.Enrolled(); got != 1 {
+		t.Fatalf("recovered %d enrollments, want 1", got)
+	}
+	if _, ok := sys2.StoreRecord(u.ID); !ok {
+		t.Fatal("enrollment lost across server shutdown")
+	}
+}
+
+func TestWithPersistenceValidation(t *testing.T) {
+	if _, err := NewSystem(Params{Line: PaperLine(), Dimension: 32}, WithPersistence("")); err == nil {
+		t.Fatal("empty persistence dir accepted")
+	}
+}

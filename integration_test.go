@@ -122,3 +122,78 @@ func TestSystemSoakPaperDimension(t *testing.T) {
 		t.Fatalf("survivor identify = (%q, %v)", id, err)
 	}
 }
+
+// TestLifecycleOverTCP covers the full account lifecycle over a real TCP
+// connection: enroll → identify → revoke → re-enroll with fresh helper data
+// → identify again. Revocation was previously exercised only via net.Pipe.
+func TestLifecycleOverTCP(t *testing.T) {
+	const dim = 64
+	sys, err := NewSystem(Params{Line: PaperLine(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(dim), 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	u := src.NewUser("alice")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	first, ok := sys.StoreRecord(u.ID)
+	if !ok {
+		t.Fatal("record missing after enroll")
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := client.Identify(reading); err != nil || id != u.ID {
+		t.Fatalf("identify = (%q, %v)", id, err)
+	}
+
+	reading2, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Revoke(u.ID, reading2); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	if sys.Enrolled() != 0 {
+		t.Fatalf("enrolled = %d after revoke", sys.Enrolled())
+	}
+	if _, err := client.Identify(reading); !IsRejected(err) {
+		t.Fatalf("identify after revoke err = %v, want rejection", err)
+	}
+
+	// Re-enrollment issues fresh helper data for the same biometric — the
+	// revocability the paper claims over raw-template storage (§I).
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("re-enroll: %v", err)
+	}
+	second, ok := sys.StoreRecord(u.ID)
+	if !ok {
+		t.Fatal("record missing after re-enroll")
+	}
+	if string(first.Helper.Seed) == string(second.Helper.Seed) {
+		t.Fatal("re-enrollment reused the old extractor seed")
+	}
+	reading3, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := client.Identify(reading3); err != nil || id != u.ID {
+		t.Fatalf("identify after re-enroll = (%q, %v)", id, err)
+	}
+}

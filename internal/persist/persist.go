@@ -1,0 +1,496 @@
+// Package persist makes the authentication server's enrollment database
+// durable: an append-only write-ahead log of enroll/revoke mutations plus
+// periodic full snapshots with log compaction.
+//
+// The paper's server (§V) owns the database of (ID, pk, P) records; the
+// in-memory strategies of internal/store make lookups fast, and this package
+// makes them survive restarts and crashes. It plugs into the store layer
+// through the mutation-journal seam (store.Journal / store.Snapshotter):
+// every committed Insert/Delete is appended as one CRC-framed record to the
+// active WAL segment, and a snapshot captures the full record set so the
+// segments it subsumes can be deleted.
+//
+// Recovery (Open + Replay) is: newest snapshot, then the WAL segments at or
+// after it, in order. A frame cut short by a crash mid-write — a torn final
+// record — is tolerated at the tail of the newest segment: replay stops
+// there and the segment is truncated to the last intact frame, exactly the
+// prefix of mutations that were ever acknowledged. Corruption anywhere else
+// is reported as ErrCorrupt rather than silently skipped.
+//
+// Durability is governed by the sync policy: SyncAlways (default) fsyncs
+// after every append, so an acknowledged enrollment survives power loss;
+// SyncOS flushes to the kernel per append — surviving process death
+// (SIGKILL) but not a machine crash — and fsyncs on rotation and close.
+package persist
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fuzzyid/internal/store"
+)
+
+// Errors returned by the persistence layer.
+var (
+	// ErrCorrupt reports on-disk data that is neither intact nor a
+	// tolerable torn tail.
+	ErrCorrupt = errors.New("persist: corrupt data")
+	// ErrNotRecovered reports use of a Log before Replay has run.
+	ErrNotRecovered = errors.New("persist: log not recovered (call Replay first)")
+	// ErrClosed reports use of a closed Log.
+	ErrClosed = errors.New("persist: log closed")
+)
+
+// SyncPolicy selects when appends are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged mutation
+	// survives power loss. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncOS flushes appends to the kernel immediately but fsyncs only on
+	// rotation and close: acknowledged mutations survive process death
+	// (crash, SIGKILL) but not an OS or power failure.
+	SyncOS
+)
+
+// Option configures a Log.
+type Option interface {
+	apply(*Log)
+}
+
+type optionFunc func(*Log)
+
+func (f optionFunc) apply(l *Log) { f(l) }
+
+// WithSyncPolicy selects the fsync policy (default SyncAlways).
+func WithSyncPolicy(p SyncPolicy) Option {
+	return optionFunc(func(l *Log) { l.sync = p })
+}
+
+// Log is a durable mutation journal over one directory. It implements
+// store.Journal and store.Snapshotter. The lifecycle is Open -> Replay ->
+// (Append | Rotate/WriteSnapshot)* -> Close; Append and Rotate are safe for
+// concurrent use, WriteSnapshot runs concurrently with appends but not with
+// itself.
+type Log struct {
+	dir  string
+	sync SyncPolicy
+
+	mu       sync.Mutex
+	replayed bool
+	closed   bool
+	failed   error         // sticky first I/O failure; poisons the log
+	f        *os.File      // active WAL segment
+	w        *bufio.Writer // buffers appendFrame output into f
+	size     int64         // bytes of durable content in the active segment
+	seq      uint64        // active segment sequence number
+	appends  uint64        // appends since the segment was opened
+	scratch  []byte        // reusable frame buffer
+	lay      layout        // recovery plan captured at Open
+}
+
+var (
+	_ store.Journal     = (*Log)(nil)
+	_ store.Snapshotter = (*Log)(nil)
+)
+
+// Open prepares the persistence directory (creating it if needed) and scans
+// it for snapshots and WAL segments. No data is read yet: call Replay to
+// recover the state and arm the log for appends.
+func Open(dir string, opts ...Option) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: create dir: %w", err)
+	}
+	lay, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, sync: SyncAlways, lay: lay}
+	for _, o := range opts {
+		o.apply(l)
+	}
+	return l, nil
+}
+
+// Dir returns the persistence directory.
+func (l *Log) Dir() string { return l.dir }
+
+// AppendsSinceRotate returns the number of mutations appended to the active
+// segment — zero right after a snapshot, so callers can skip redundant
+// compactions.
+func (l *Log) AppendsSinceRotate() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends
+}
+
+// Replay streams the recovered mutation sequence — newest snapshot (as
+// inserts), then the WAL tail — into apply, then arms the log for appends.
+// It is a store.ReplayFunc: pass it to store.Open or store.Replay. A nil
+// apply discards the mutations (recovery of an empty or throwaway state).
+// Replay may run once per Log.
+func (l *Log) Replay(apply func(store.Mutation) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.replayed {
+		return errors.New("persist: Replay already ran")
+	}
+	if apply == nil {
+		apply = func(store.Mutation) error { return nil }
+	}
+	// Segments are created with strictly consecutive sequence numbers
+	// starting at the newest snapshot (or 0), so any gap means a segment
+	// vanished — replaying around it would silently drop its mutations.
+	for i, seq := range l.lay.walSeqs {
+		want := seq
+		switch {
+		case i > 0:
+			want = l.lay.walSeqs[i-1] + 1
+		case l.lay.hasSnap:
+			want = l.lay.snapSeq
+		default:
+			want = 0
+		}
+		if seq != want {
+			return fmt.Errorf("%w: missing segment %s", ErrCorrupt, walName(want))
+		}
+	}
+	if l.lay.hasSnap {
+		if err := replaySnapshotFile(l.dir, l.lay.snapSeq, apply); err != nil {
+			return err
+		}
+	}
+	tailFrames := 0
+	for i, seq := range l.lay.walSeqs {
+		last := i == len(l.lay.walSeqs)-1
+		frames, err := l.replayWAL(seq, last, apply)
+		if err != nil {
+			return err
+		}
+		if last {
+			tailFrames = frames
+		}
+	}
+	// Only now that the newest snapshot and the WAL chain replayed cleanly
+	// is it safe to drop the superseded fallback files (tmp litter, and
+	// snapshots/segments subsumed by the newest snapshot after a crash
+	// between snapshot rename and purge).
+	for _, name := range l.lay.stale {
+		_ = os.Remove(filepath.Join(l.dir, name))
+	}
+	// The active segment is the newest one on disk; a fresh directory (or
+	// one holding only a snapshot) starts a new segment at the snapshot's
+	// sequence.
+	seq := uint64(0)
+	create := true
+	switch {
+	case len(l.lay.walSeqs) > 0:
+		seq = l.lay.walSeqs[len(l.lay.walSeqs)-1]
+		create = false
+	case l.lay.hasSnap:
+		seq = l.lay.snapSeq
+	}
+	if err := l.openSegment(seq, create); err != nil {
+		return err
+	}
+	// Frames recovered from the reopened active segment have not been
+	// snapshot yet: count them so Snapshot/Close compact an inherited tail
+	// instead of treating the fresh boot as having nothing to do.
+	if !create {
+		l.appends = uint64(tailFrames)
+	}
+	l.replayed = true
+	return nil
+}
+
+// replayWAL streams one WAL segment into apply and reports how many frames
+// it applied. For the last (newest) segment a torn or corrupt frame that is
+// the file's final frame — the signature of a crash mid-write — ends the
+// replay and the file is truncated to its last intact frame. A defect
+// anywhere else (older segments, or a bad frame with further data after it)
+// is fatal: intact acknowledged frames must never be silently discarded.
+func (l *Log) replayWAL(seq uint64, last bool, apply func(store.Mutation) error) (int, error) {
+	path := filepath.Join(l.dir, walName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, fmt.Errorf("persist: open segment: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("persist: stat segment: %w", err)
+	}
+	size := fi.Size()
+	r := newReader(f)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil || string(hdr[:]) != walMagic {
+		if last && size <= headerLen {
+			// A segment created moments before the crash, cut short in
+			// the header itself: rewrite it. A bad header with frames
+			// after it is disk corruption, not a crash artefact
+			// (openSegment fsyncs the header before any append).
+			return 0, rewriteHeader(f)
+		}
+		return 0, fmt.Errorf("%w: segment %s: bad header", ErrCorrupt, walName(seq))
+	}
+	good := int64(headerLen)
+	for i := 0; ; i++ {
+		payload, claimed, err := readFrame(r)
+		if errors.Is(err, io.EOF) {
+			return i, nil
+		}
+		if err != nil {
+			// Tail test: a torn frame ends at EOF by construction; a
+			// CRC-failed frame is the tail only when its claimed extent
+			// reaches (or overruns) the end of the file.
+			atTail := errors.Is(err, errTorn) ||
+				(errors.Is(err, ErrCorrupt) && claimed >= 0 && good+claimed >= size)
+			if last && atTail {
+				// Drop the unacknowledged suffix.
+				if terr := f.Truncate(good); terr != nil {
+					return i, fmt.Errorf("persist: truncate torn tail: %w", terr)
+				}
+				if serr := f.Sync(); serr != nil {
+					return i, fmt.Errorf("persist: sync truncated segment: %w", serr)
+				}
+				return i, nil
+			}
+			return i, fmt.Errorf("%w: segment %s frame %d: %v", ErrCorrupt, walName(seq), i, err)
+		}
+		m, err := decodeMutation(payload)
+		if err != nil {
+			return i, fmt.Errorf("%w: segment %s frame %d: %v", ErrCorrupt, walName(seq), i, err)
+		}
+		if err := apply(m); err != nil {
+			return i, err
+		}
+		good += frameOverhead + int64(len(payload))
+	}
+}
+
+// rewriteHeader resets a (torn) segment file to an empty segment.
+func rewriteHeader(f *os.File) error {
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: reset segment: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+		return fmt.Errorf("persist: reset segment header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("persist: sync segment header: %w", err)
+	}
+	return nil
+}
+
+// openSegment opens (or creates) wal-<seq> for appending and makes it the
+// active segment. Caller holds l.mu.
+func (l *Log) openSegment(seq uint64, create bool) error {
+	path := filepath.Join(l.dir, walName(seq))
+	flags := os.O_WRONLY | os.O_APPEND
+	if create {
+		flags |= os.O_CREATE | os.O_EXCL
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: open active segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	if create {
+		// On any failure past the create, remove the file again: leaving a
+		// half-born segment behind would make every Rotate retry fail on
+		// O_EXCL until restart.
+		abort := func(err error) error {
+			f.Close()
+			_ = os.Remove(path)
+			return err
+		}
+		if _, err := w.WriteString(walMagic); err != nil {
+			return abort(fmt.Errorf("persist: write segment header: %w", err))
+		}
+		if err := w.Flush(); err != nil {
+			return abort(fmt.Errorf("persist: flush segment header: %w", err))
+		}
+		if err := f.Sync(); err != nil {
+			return abort(fmt.Errorf("persist: sync segment header: %w", err))
+		}
+		if err := syncDir(l.dir); err != nil {
+			return abort(err)
+		}
+	}
+	size := int64(headerLen)
+	if !create {
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("persist: stat active segment: %w", err)
+		}
+		size = fi.Size()
+	}
+	l.f, l.w, l.seq, l.appends, l.size = f, w, seq, 0, size
+	return nil
+}
+
+// poison marks the log permanently failed after an I/O error mid-append: a
+// frame may have partially (or, worse, fully) reached the file even though
+// the caller will be told the mutation failed, so the half-born frame is
+// cut back off best-effort and every later mutation is refused — after a
+// failed write or fsync the device cannot be trusted with acknowledgements.
+func (l *Log) poison(err error) error {
+	if l.f != nil {
+		_ = l.f.Truncate(l.size)
+	}
+	l.failed = fmt.Errorf("persist: log failed: %w", err)
+	return err
+}
+
+// Append implements store.Journal: one mutation becomes one CRC-framed
+// record in the active segment, durable per the sync policy before Append
+// returns.
+func (l *Log) Append(m store.Mutation) error {
+	payload, err := encodeMutation(m)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.replayed {
+		return ErrNotRecovered
+	}
+	if l.failed != nil {
+		return l.failed
+	}
+	l.scratch = appendFrame(l.scratch[:0], payload)
+	if _, err := l.w.Write(l.scratch); err != nil {
+		return l.poison(fmt.Errorf("persist: append: %w", err))
+	}
+	if err := l.w.Flush(); err != nil {
+		return l.poison(fmt.Errorf("persist: append flush: %w", err))
+	}
+	if l.sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return l.poison(fmt.Errorf("persist: append sync: %w", err))
+		}
+	}
+	l.size += int64(len(l.scratch))
+	l.appends++
+	return nil
+}
+
+// Rotate implements store.Snapshotter: it seals the active segment and
+// redirects subsequent appends to a fresh one, returning the new sequence
+// number. The new segment exists on disk before any append can land in it,
+// so a crash at any point leaves a replayable chain.
+func (l *Log) Rotate() (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if !l.replayed {
+		return 0, ErrNotRecovered
+	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("persist: rotate flush: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("persist: rotate sync: %w", err)
+	}
+	old := l.f
+	if err := l.openSegment(l.seq+1, true); err != nil {
+		// The old segment stays active; the rotation simply failed.
+		l.f = old
+		l.w = bufio.NewWriterSize(old, 1<<16)
+		return 0, err
+	}
+	old.Close()
+	return l.seq, nil
+}
+
+// WriteSnapshot implements store.Snapshotter: it persists recs as the state
+// preceding segment seq and deletes the snapshots and segments that the new
+// snapshot subsumes, bounding the directory to one snapshot plus the WAL
+// tail written since it.
+func (l *Log) WriteSnapshot(seq uint64, recs []*store.Record) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !l.replayed {
+		l.mu.Unlock()
+		return ErrNotRecovered
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	// File work happens without the lock so appends keep flowing into the
+	// already-rotated active segment while the snapshot is written.
+	if err := writeSnapshotFile(l.dir, seq, recs); err != nil {
+		return err
+	}
+	return l.purge(seq)
+}
+
+// purge removes snapshots and WAL segments strictly older than seq.
+func (l *Log) purge(seq uint64) error {
+	lay, err := scanDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range lay.walSeqs {
+		if s < seq {
+			_ = os.Remove(filepath.Join(l.dir, walName(s)))
+		}
+	}
+	if lay.hasSnap && lay.snapSeq == seq {
+		for _, name := range lay.stale {
+			_ = os.Remove(filepath.Join(l.dir, name))
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close flushes and fsyncs the active segment and releases it. Close is
+// idempotent; after it, Append, Rotate and WriteSnapshot fail with
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	var errs []error
+	if err := l.w.Flush(); err != nil {
+		errs = append(errs, fmt.Errorf("persist: close flush: %w", err))
+	}
+	if err := l.f.Sync(); err != nil {
+		errs = append(errs, fmt.Errorf("persist: close sync: %w", err))
+	}
+	if err := l.f.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("persist: close: %w", err))
+	}
+	l.f, l.w = nil, nil
+	return errors.Join(errs...)
+}

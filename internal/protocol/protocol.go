@@ -258,11 +258,14 @@ func (d *Device) IdentifyNormal(rw io.ReadWriter, bio numberline.Vector) (string
 		}
 		return awaitAccept(rw)
 	}
-	// Nothing matched; tell the server so it can close the session.
+	// Nothing matched; tell the server so it can close the session. The
+	// server answers that terminal report with a Reject — the expected
+	// close of a no-match run, not a failure of its own — so it maps to
+	// the ErrNoMatch sentinel rather than surfacing as a RejectedError.
 	if err := wire.Send(rw, &wire.BatchSignature{Index: uint32(len(batch.Entries))}); err != nil {
 		return "", err
 	}
-	if _, err := awaitAccept(rw); err != nil {
+	if _, err := awaitAccept(rw); err != nil && !IsRejected(err) {
 		return "", err
 	}
 	return "", ErrNoMatch

@@ -248,7 +248,7 @@ func TestIdentifyBatchForgedResponseIgnored(t *testing.T) {
 			t.Fatalf("%d challenge entries, want 1", len(ch.Entries))
 		}
 		forged := &wire.IdentifyBatchSignature{Entries: []wire.IndexedSignature{
-			{Probe: 99, Signature: []byte("sig"), Nonce: []byte("n")}, // out of range
+			{Probe: 99, Signature: []byte("sig"), Nonce: []byte("n")},    // out of range
 			{Probe: 0, Signature: []byte("garbage"), Nonce: []byte("n")}, // bad signature
 		}}
 		if err := wire.Send(rw, forged); err != nil {
@@ -739,5 +739,35 @@ func TestRejectedErrorHelpers(t *testing.T) {
 	}
 	if err.Error() == "" {
 		t.Error("empty error string")
+	}
+}
+
+// TestIdentifyNormalNoMatchSentinel is the regression test for the no-match
+// path of the normal approach: the server's terminal Reject that closes a
+// fruitless run must surface as the documented ErrNoMatch sentinel, not as
+// a RejectedError.
+func TestIdentifyNormalNoMatchSentinel(t *testing.T) {
+	e := newEnv(t, 64, 151)
+	// Empty database: the challenge batch is empty, nothing can match.
+	err := e.session(t, func(rw io.ReadWriter) error {
+		_, err := e.device.IdentifyNormal(rw, e.src.NewUser("ghost").Template)
+		return err
+	})
+	if !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("empty-db normal identify err = %v, want ErrNoMatch", err)
+	}
+	if IsRejected(err) {
+		t.Fatalf("terminal reject leaked through as a rejection: %v", err)
+	}
+	// Non-empty database, impostor reading: Rep fails on every entry.
+	for _, u := range e.src.Population(5) {
+		e.enroll(t, u)
+	}
+	err = e.session(t, func(rw io.ReadWriter) error {
+		_, err := e.device.IdentifyNormal(rw, e.src.ImpostorReading())
+		return err
+	})
+	if !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("impostor normal identify err = %v, want ErrNoMatch", err)
 	}
 }

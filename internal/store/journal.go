@@ -1,0 +1,200 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"fuzzyid/internal/numberline"
+)
+
+// This file defines the mutation-journal seam between the in-memory store
+// strategies and any durability backend (internal/persist today; a remote KV
+// or replication stream tomorrow). All state changes are expressed as
+// Mutation values; the Journaled wrapper is the single interception point
+// through which every Insert and Delete flows, and Open/Replay rebuild any
+// strategy from a recovered mutation stream through the very same path the
+// live system uses.
+
+// Op tags a journal mutation.
+type Op byte
+
+// Mutation operations. The values are part of the on-disk contract of
+// internal/persist; append only.
+const (
+	// OpInsert records an enrollment.
+	OpInsert Op = 1
+	// OpDelete records a revocation.
+	OpDelete Op = 2
+)
+
+// Mutation is one committed store mutation — the unit a Journal records and
+// recovery replays. Exactly one of Record (OpInsert) and ID (OpDelete) is
+// meaningful; ID is also set for inserts as a convenience.
+type Mutation struct {
+	Op     Op
+	Record *Record // the enrolled record, for OpInsert
+	ID     string  // the revoked identity, for OpDelete
+}
+
+// InsertMutation builds the journal entry for an enrollment.
+func InsertMutation(rec *Record) Mutation {
+	m := Mutation{Op: OpInsert, Record: rec}
+	if rec != nil {
+		m.ID = rec.ID
+	}
+	return m
+}
+
+// DeleteMutation builds the journal entry for a revocation.
+func DeleteMutation(id string) Mutation { return Mutation{Op: OpDelete, ID: id} }
+
+// Journal persists committed mutations. Append must make the mutation
+// durable (to the backend's configured guarantee) before returning; the
+// Journaled wrapper acknowledges a mutation to its caller only after Append
+// succeeds.
+type Journal interface {
+	Append(Mutation) error
+}
+
+// Snapshotter is a Journal backend that supports log compaction. Rotate
+// atomically redirects subsequent appends to a fresh log segment and returns
+// its sequence number; WriteSnapshot persists the full record set as the
+// state preceding that segment and drops the segments it subsumes.
+type Snapshotter interface {
+	Rotate() (seq uint64, err error)
+	WriteSnapshot(seq uint64, recs []*Record) error
+}
+
+// ReplayFunc streams a recovered mutation sequence into apply, stopping at
+// the first apply error. internal/persist.(*Log).Replay is the canonical
+// implementation.
+type ReplayFunc func(apply func(Mutation) error) error
+
+// Apply routes one mutation through the store's normal mutation path.
+func Apply(s Store, m Mutation) error {
+	switch m.Op {
+	case OpInsert:
+		return s.Insert(m.Record)
+	case OpDelete:
+		return s.Delete(m.ID)
+	default:
+		return fmt.Errorf("store: unknown mutation op %d", m.Op)
+	}
+}
+
+// Replay rebuilds s from a mutation stream. The stream must be clean — a
+// duplicate insert or unknown delete aborts the replay, surfacing journal
+// corruption instead of papering over it. The caller must not access s
+// concurrently until Replay returns. A nil replay is a no-op (fresh store).
+func Replay(s Store, replay ReplayFunc) error {
+	if replay == nil {
+		return nil
+	}
+	n := 0
+	return replay(func(m Mutation) error {
+		if err := Apply(s, m); err != nil {
+			return fmt.Errorf("store: replay mutation %d (%q): %w", n, m.ID, err)
+		}
+		n++
+		return nil
+	})
+}
+
+// Open constructs the named strategy and rebuilds it from a recovered
+// mutation stream before any concurrent access is possible — the
+// persistence-aware counterpart of ByStrategyShards.
+func Open(name string, line *numberline.Line, shards int, replay ReplayFunc) (Store, error) {
+	s, err := ByStrategyShards(name, line, shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := Replay(s, replay); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Journaled wraps a Store so that every mutation flows through one
+// interception point and is recorded in a Journal before it is applied —
+// proper write-ahead ordering. Reads delegate to the wrapped store
+// unchanged and stay as concurrent as the underlying strategy allows;
+// mutations are serialised by one mutex so the journal order always equals
+// the apply order. A mutation is validated up front (so the journal only
+// ever records mutations that apply cleanly), made durable, and only then
+// applied: concurrent readers never observe state that is not durable, and
+// a journal failure leaves the in-memory store untouched.
+type Journaled struct {
+	Store
+	j  Journal
+	mu sync.Mutex
+}
+
+var _ Store = (*Journaled)(nil)
+
+// NewJournaled wraps inner so its mutations are recorded in j.
+func NewJournaled(inner Store, j Journal) *Journaled {
+	return &Journaled{Store: inner, j: j}
+}
+
+// Unwrap returns the wrapped in-memory store.
+func (s *Journaled) Unwrap() Store { return s.Store }
+
+// Insert implements Store: validate, journal, then apply.
+func (s *Journaled) Insert(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	if _, ok := s.Store.Get(rec.ID); ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
+	}
+	if d := s.Store.Dimension(); d != 0 && rec.Helper.Dimension() != d {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), d)
+	}
+	if err := s.j.Append(InsertMutation(rec)); err != nil {
+		return fmt.Errorf("store: journal insert: %w", err)
+	}
+	if err := s.Store.Insert(rec); err != nil {
+		// Unreachable after the pre-checks under s.mu; if it happens the
+		// journal and memory have diverged — fail loudly, do not ack.
+		return fmt.Errorf("store: insert diverged from journal: %w", err)
+	}
+	return nil
+}
+
+// Delete implements Store: validate, journal, then apply.
+func (s *Journaled) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.Store.Get(id); !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownID, id)
+	}
+	if err := s.j.Append(DeleteMutation(id)); err != nil {
+		return fmt.Errorf("store: journal delete: %w", err)
+	}
+	if err := s.Store.Delete(id); err != nil {
+		return fmt.Errorf("store: delete diverged from journal: %w", err)
+	}
+	return nil
+}
+
+// Snapshot captures a compaction point: while mutations are briefly blocked
+// it snapshots the full record set and rotates the journal to a fresh
+// segment, then — with mutations flowing again — persists the snapshot and
+// lets the backend drop the subsumed segments. Mutations appended after the
+// rotation land in the new segment and replay on top of the snapshot, so
+// the pair is always consistent.
+func (s *Journaled) Snapshot(snap Snapshotter) error {
+	s.mu.Lock()
+	recs := s.Store.All()
+	seq, err := snap.Rotate()
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("store: snapshot rotate: %w", err)
+	}
+	if err := snap.WriteSnapshot(seq, recs); err != nil {
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	return nil
+}

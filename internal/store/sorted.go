@@ -45,6 +45,13 @@ func (s *Sorted) Len() int {
 	return len(s.entries)
 }
 
+// Dimension implements Store.
+func (s *Sorted) Dimension() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dim
+}
+
 // Insert implements Store.
 func (s *Sorted) Insert(rec *Record) error {
 	if err := validateRecord(rec); err != nil {

@@ -30,6 +30,12 @@
 // across the shards with first-match cancellation (IdentifyCtx), and
 // IdentifyBatch amortises residue computation and lock acquisition across a
 // whole batch of probes.
+//
+// Durability. Mutations are expressed as Mutation values behind the
+// journal seam of journal.go: the Journaled wrapper funnels every
+// Insert/Delete through one interception point into a Journal backend
+// (internal/persist), and Open/Replay rebuild any strategy from a recovered
+// mutation stream through the same path.
 package store
 
 import (
@@ -94,6 +100,9 @@ type Store interface {
 	All() []*Record
 	// Len returns the number of enrolled records.
 	Len() int
+	// Dimension returns the record dimension the store adopted at first
+	// insert, or 0 while it is empty.
+	Dimension() int
 	// Strategy names the lookup strategy ("scan", "bucket" or "sorted").
 	Strategy() string
 }
@@ -176,6 +185,9 @@ func (s *Scan) Shards() int { return s.tab.numShards() }
 
 // Len implements Store.
 func (s *Scan) Len() int { return s.tab.size() }
+
+// Dimension implements Store.
+func (s *Scan) Dimension() int { return s.tab.dimension() }
 
 // Insert implements Store.
 func (s *Scan) Insert(rec *Record) error {
@@ -374,9 +386,9 @@ func (s *Scan) IdentifyBatch(probes []*sketch.Sketch) ([]*Record, error) {
 // inserts spread across independent locks.
 type Bucket struct {
 	line    *numberline.Line
-	reqDims int    // requested index depth, before clamping
-	buckets int64  // buckets per coordinate
-	bits    uint   // bits per coordinate in the packed cell key
+	reqDims int   // requested index depth, before clamping
+	buckets int64 // buckets per coordinate
+	bits    uint  // bits per coordinate in the packed cell key
 	effDims atomic.Int32
 
 	tab   *resTable
@@ -478,6 +490,9 @@ func (b *Bucket) clampDims(dim int) {
 
 // Len implements Store.
 func (b *Bucket) Len() int { return b.tab.size() }
+
+// Dimension implements Store.
+func (b *Bucket) Dimension() int { return b.tab.dimension() }
 
 // Insert implements Store.
 func (b *Bucket) Insert(rec *Record) error {

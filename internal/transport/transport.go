@@ -30,6 +30,8 @@ type Server struct {
 	proto       *protocol.Server
 	ln          net.Listener
 	idleTimeout time.Duration
+	maxConns    int
+	closer      io.Closer
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -51,6 +53,23 @@ func (f serverOptionFunc) applyServer(s *Server) { f(s) }
 // (default: none).
 func WithIdleTimeout(d time.Duration) ServerOption {
 	return serverOptionFunc(func(s *Server) { s.idleTimeout = d })
+}
+
+// WithMaxConns bounds the number of concurrently served connections, so a
+// flood of clients cannot exhaust goroutines or file descriptors: a
+// connection past the cap is closed immediately at accept time (the client
+// sees EOF) instead of being queued behind the cap. n <= 0 means unbounded
+// (the default).
+func WithMaxConns(n int) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.maxConns = n })
+}
+
+// WithCloser attaches a resource to the server's shutdown path: Close first
+// drains the live sessions, then closes c. The persistence layer uses it so
+// a graceful shutdown flushes the enrollment database after the last
+// session finished mutating it.
+func WithCloser(c io.Closer) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.closer = c })
 }
 
 // Listen starts a TCP server for proto on addr (e.g. "127.0.0.1:0").
@@ -86,6 +105,11 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	if s.closer != nil {
+		if cerr := s.closer.Close(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
+	}
 	return err
 }
 
@@ -96,9 +120,13 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		if !s.track(conn) {
+		switch s.track(conn) {
+		case trackClosed:
 			conn.Close()
 			return
+		case trackFull:
+			conn.Close() // past the connection cap: refuse, keep accepting
+			continue
 		}
 		s.wg.Add(1)
 		go func() {
@@ -109,14 +137,26 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) track(conn net.Conn) bool {
+// track outcomes.
+type trackResult int
+
+const (
+	trackOK     trackResult = iota
+	trackClosed             // server shut down
+	trackFull               // connection cap reached
+)
+
+func (s *Server) track(conn net.Conn) trackResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return false
+		return trackClosed
+	}
+	if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+		return trackFull
 	}
 	s.conns[conn] = struct{}{}
-	return true
+	return trackOK
 }
 
 func (s *Server) untrack(conn net.Conn) {

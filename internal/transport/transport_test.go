@@ -319,3 +319,106 @@ func TestIdleTimeoutDropsSilentConnection(t *testing.T) {
 		t.Error("session on idle-dropped connection succeeded")
 	}
 }
+
+// TestMaxConnsRefusesPastCap checks that WithMaxConns(1) refuses a second
+// concurrent connection at accept time and frees the slot when the first
+// client disconnects.
+func TestMaxConnsRefusesPastCap(t *testing.T) {
+	w := newWorld(t, 32, 210)
+	srv, err := Listen("127.0.0.1:0", w.proto, WithMaxConns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c1, err := Dial(srv.Addr().String(), w.device, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.src.NewUser("alice")
+	if err := c1.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("first connection enroll: %v", err)
+	}
+	// The first connection holds the only slot for its whole lifetime, so
+	// a second client is refused: its session dies on a closed connection
+	// instead of being served.
+	c2, err := Dial(srv.Addr().String(), w.device, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2 := w.src.NewUser("bob")
+	if err := c2.Enroll(u2.ID, u2.Template); err == nil {
+		t.Fatal("connection past the cap was served")
+	}
+	c2.Close()
+
+	// Releasing the first connection frees the slot (untrack is async
+	// after Close, so retry briefly).
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c3, err := Dial(srv.Addr().String(), w.device, WithTimeout(5*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c3.Enroll(u2.ID, u2.Template)
+		c3.Close()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed after disconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := w.proto.Store().Len(); got != 2 {
+		t.Fatalf("store has %d records, want 2", got)
+	}
+}
+
+// closeRecorder verifies the WithCloser shutdown ordering.
+type closeRecorder struct {
+	mu     sync.Mutex
+	closed int
+}
+
+func (c *closeRecorder) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed++
+	return nil
+}
+
+func TestWithCloserRunsAfterDrain(t *testing.T) {
+	w := newWorld(t, 32, 211)
+	rec := &closeRecorder{}
+	srv, err := Listen("127.0.0.1:0", w.proto, WithCloser(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr().String(), w.device, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := w.src.NewUser("carol")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if rec.closed != 0 {
+		t.Fatal("closer ran before server shutdown")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.closed != 1 {
+		t.Fatalf("closer ran %d times, want once", rec.closed)
+	}
+	// Double server close reports ErrClosed without re-running the closer.
+	if err := srv.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close err = %v", err)
+	}
+	if rec.closed != 1 {
+		t.Fatalf("closer ran %d times after double close", rec.closed)
+	}
+}

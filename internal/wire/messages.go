@@ -590,19 +590,9 @@ func newMessage(t MsgType) (Message, error) {
 	}
 }
 
-// encodeHelper writes a HelperData: movements, digest, seed. A nil helper is
-// encoded as an empty movement vector with zero digest and seed.
-func encodeHelper(e *Encoder, h *core.HelperData) {
-	if h == nil || h.Sketch == nil || h.Sketch.Sketch == nil {
-		e.Int64Slice(nil)
-		e.Bytes32([32]byte{})
-		e.VarBytes(nil)
-		return
-	}
-	e.Int64Slice(h.Sketch.Sketch.Movements)
-	e.Bytes32(h.Sketch.Digest)
-	e.VarBytes(h.Seed)
-}
+// encodeHelper writes a HelperData; see EncodeHelper (record.go), which is
+// the exported form shared with the on-disk record codec.
+func encodeHelper(e *Encoder, h *core.HelperData) { EncodeHelper(e, h) }
 
 func decodeHelper(d *Decoder) (*core.HelperData, error) {
 	movements, err := d.Int64Slice(MaxVectorLen)

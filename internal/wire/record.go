@@ -1,0 +1,71 @@
+package wire
+
+// This file is the on-disk codec for store records. internal/persist frames
+// these encodings into its WAL and snapshot files; keeping them here means
+// the repo has one serialization layer for both the network protocol and the
+// durable store.
+
+import (
+	"fmt"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/store"
+)
+
+// RecordVersion is the version byte leading every encoded store record.
+// Bump it when the record layout changes; decoders reject versions they do
+// not know rather than guessing.
+const RecordVersion = 1
+
+// EncodeHelper appends a HelperData: movements, digest, seed. A nil helper
+// is encoded as an empty movement vector with zero digest and seed.
+func EncodeHelper(e *Encoder, h *core.HelperData) {
+	if h == nil || h.Sketch == nil || h.Sketch.Sketch == nil {
+		e.Int64Slice(nil)
+		e.Bytes32([32]byte{})
+		e.VarBytes(nil)
+		return
+	}
+	e.Int64Slice(h.Sketch.Sketch.Movements)
+	e.Bytes32(h.Sketch.Digest)
+	e.VarBytes(h.Seed)
+}
+
+// DecodeHelper reads a HelperData encoded by EncodeHelper; the all-empty
+// encoding decodes back to nil.
+func DecodeHelper(d *Decoder) (*core.HelperData, error) {
+	return decodeHelper(d)
+}
+
+// EncodeRecord appends one store record: version, ID, public key, helper.
+func EncodeRecord(e *Encoder, rec *store.Record) {
+	e.Byte(RecordVersion)
+	e.String(rec.ID)
+	e.VarBytes(rec.PublicKey)
+	EncodeHelper(e, rec.Helper)
+}
+
+// DecodeRecord reads one store record encoded by EncodeRecord.
+func DecodeRecord(d *Decoder) (*store.Record, error) {
+	v, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	if v != RecordVersion {
+		return nil, fmt.Errorf("%w: record version %d, want %d", ErrBadFrame, v, RecordVersion)
+	}
+	rec := &store.Record{}
+	if rec.ID, err = d.String(MaxBytesLen); err != nil {
+		return nil, err
+	}
+	if rec.PublicKey, err = d.VarBytes(MaxBytesLen); err != nil {
+		return nil, err
+	}
+	if rec.Helper, err = DecodeHelper(d); err != nil {
+		return nil, err
+	}
+	if rec.Helper == nil {
+		return nil, fmt.Errorf("%w: record %q without helper data", ErrBadFrame, rec.ID)
+	}
+	return rec, nil
+}

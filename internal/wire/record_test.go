@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/sketch"
+	"fuzzyid/internal/store"
+)
+
+func testHelper(movements []int64) *core.HelperData {
+	return &core.HelperData{
+		Sketch: &sketch.RobustSketch{
+			Sketch: &sketch.Sketch{Movements: movements},
+			Digest: [32]byte{1, 2, 3},
+		},
+		Seed: []byte("seed-bytes"),
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := &store.Record{
+		ID:        "alice",
+		PublicKey: []byte("public-key-material"),
+		Helper:    testHelper([]int64{-3, 0, 7, 12345}),
+	}
+	e := NewEncoder(64)
+	EncodeRecord(e, rec)
+	d := NewDecoder(e.Bytes())
+	got, err := DecodeRecord(d)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	if got.ID != rec.ID || string(got.PublicKey) != string(rec.PublicKey) {
+		t.Fatalf("decoded (%q, %q), want (%q, %q)", got.ID, got.PublicKey, rec.ID, rec.PublicKey)
+	}
+	if len(got.Helper.Sketch.Sketch.Movements) != 4 || got.Helper.Sketch.Sketch.Movements[3] != 12345 {
+		t.Fatalf("movements = %v", got.Helper.Sketch.Sketch.Movements)
+	}
+	if got.Helper.Sketch.Digest != rec.Helper.Sketch.Digest {
+		t.Fatal("digest did not round-trip")
+	}
+	if string(got.Helper.Seed) != string(rec.Helper.Seed) {
+		t.Fatal("seed did not round-trip")
+	}
+}
+
+func TestRecordVersionMismatch(t *testing.T) {
+	rec := &store.Record{ID: "x", PublicKey: []byte("pk"), Helper: testHelper([]int64{1})}
+	e := NewEncoder(64)
+	EncodeRecord(e, rec)
+	buf := e.Bytes()
+	buf[0] = RecordVersion + 1
+	if _, err := DecodeRecord(NewDecoder(buf)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("future version err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestRecordDecodeTruncated(t *testing.T) {
+	rec := &store.Record{ID: "trunc", PublicKey: []byte("pk"), Helper: testHelper([]int64{1, 2, 3})}
+	e := NewEncoder(64)
+	EncodeRecord(e, rec)
+	full := e.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeRecord(NewDecoder(full[:n])); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", n, len(full))
+		}
+	}
+}
+
+func TestRecordRejectsMissingHelper(t *testing.T) {
+	// The all-empty helper encoding decodes to nil, which is not a valid
+	// stored record.
+	e := NewEncoder(64)
+	e.Byte(RecordVersion)
+	e.String("no-helper")
+	e.VarBytes([]byte("pk"))
+	EncodeHelper(e, nil)
+	if _, err := DecodeRecord(NewDecoder(e.Bytes())); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("nil-helper record err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestHelperExportedRoundTrip(t *testing.T) {
+	h := testHelper([]int64{9, -9})
+	e := NewEncoder(64)
+	EncodeHelper(e, h)
+	got, err := DecodeHelper(NewDecoder(e.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Sketch.Sketch.Movements[1] != -9 {
+		t.Fatalf("helper round trip = %+v", got)
+	}
+	// Nil encodes to the canonical empty form and decodes back to nil.
+	e2 := NewEncoder(64)
+	EncodeHelper(e2, nil)
+	got2, err := DecodeHelper(NewDecoder(e2.Bytes()))
+	if err != nil || got2 != nil {
+		t.Fatalf("nil helper round trip = (%v, %v)", got2, err)
+	}
+}
