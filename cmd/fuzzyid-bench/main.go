@@ -6,9 +6,17 @@
 //	fuzzyid-bench -exp all -quick         # run everything at CI size
 //	fuzzyid-bench -exp all -csv out/      # also write CSV files
 //	fuzzyid-bench -exp fig4 -format json  # machine-readable output
+//
+// It is also the perf-regression gate: -compare joins a committed baseline
+// against a fresh candidate run (both -format json documents) and exits
+// non-zero when any latency or wire-size cell regressed past -threshold:
+//
+//	fuzzyid-bench -exp all -quick -format json > new.json
+//	fuzzyid-bench -compare bench/baseline.json -candidate new.json -threshold 0.30
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,12 +36,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fuzzyid-bench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id to run, or 'all'")
-		quick  = fs.Bool("quick", false, "reduced workloads (CI size)")
-		seed   = fs.Int64("seed", 42, "workload seed")
-		csvDir = fs.String("csv", "", "also write per-experiment CSV files into this directory")
-		format = fs.String("format", "text", "stdout format: text or json")
-		list   = fs.Bool("list", false, "list experiment ids and exit")
+		exp       = fs.String("exp", "all", "experiment id to run, or 'all'")
+		quick     = fs.Bool("quick", false, "reduced workloads (CI size)")
+		seed      = fs.Int64("seed", 42, "workload seed")
+		csvDir    = fs.String("csv", "", "also write per-experiment CSV files into this directory")
+		format    = fs.String("format", "text", "stdout format: text or json")
+		list      = fs.Bool("list", false, "list experiment ids and exit")
+		compare   = fs.String("compare", "", "perf gate: baseline JSON file (use with -candidate; skips running experiments)")
+		candidate = fs.String("candidate", "", "perf gate: candidate JSON file to compare against -compare")
+		threshold = fs.Float64("threshold", 0.30, "perf gate: allowed relative slowdown (0.30 = +30%)")
+		minMS     = fs.Float64("min-ms", 0.05, "perf gate: ignore latency cells with a baseline under this many ms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +55,9 @@ func run(args []string) error {
 			fmt.Println(id)
 		}
 		return nil
+	}
+	if *compare != "" || *candidate != "" {
+		return runCompare(*compare, *candidate, *threshold, *minMS)
 	}
 	cfg := experiment.Config{Quick: *quick, Seed: *seed}
 	var tables []*experiment.Table
@@ -84,6 +99,50 @@ func run(args []string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// runCompare is the CI perf gate: load both table sets, compare every
+// latency/size cell, report and fail on regressions past the threshold.
+func runCompare(basePath, candPath string, threshold, minMS float64) error {
+	if basePath == "" || candPath == "" {
+		return errors.New("perf gate needs both -compare BASELINE.json and -candidate NEW.json")
+	}
+	readTables := func(path string) ([]*experiment.Table, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tables, err := experiment.ReadJSONTables(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return tables, nil
+	}
+	base, err := readTables(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := readTables(candPath)
+	if err != nil {
+		return err
+	}
+	regs, compared, err := experiment.ComparePerf(base, cand, threshold, minMS)
+	if err != nil {
+		return err
+	}
+	if compared == 0 {
+		return fmt.Errorf("perf gate compared 0 cells: baseline %s does not overlap candidate %s (stale baseline?)", basePath, candPath)
+	}
+	if len(regs) > 0 {
+		fmt.Printf("PERF REGRESSION: %d of %d cells past +%.0f%%\n", len(regs), compared, threshold*100)
+		for _, r := range regs {
+			fmt.Println("  " + r.String())
+		}
+		return fmt.Errorf("perf gate failed: %d regression(s)", len(regs))
+	}
+	fmt.Printf("perf gate OK: %d cells within +%.0f%% of baseline\n", compared, threshold*100)
 	return nil
 }
 

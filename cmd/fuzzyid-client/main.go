@@ -8,6 +8,7 @@
 //	fuzzyid-client -addr HOST:PORT identify -vec probe.vec [-normal]
 //	fuzzyid-client -addr HOST:PORT identify-batch probe1.vec probe2.vec ...
 //	fuzzyid-client -addr HOST:PORT revoke  -id alice -vec probe.vec
+//	fuzzyid-client -addr HOST:PORT stats
 //
 // newuser and reading are local conveniences backed by the synthetic
 // biometric source, so a full demo needs no external data.
@@ -44,7 +45,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing subcommand: newuser, reading, enroll, verify or identify")
+		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke or stats")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	switch cmd {
@@ -56,9 +57,38 @@ func run(args []string) error {
 		return cmdProtocol(cmd, cmdArgs, *addr, *scheme, *ext)
 	case "identify-batch":
 		return cmdIdentifyBatch(cmdArgs, *addr, *scheme, *ext)
+	case "stats":
+		return cmdStats(*addr, *scheme, *ext)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// cmdStats fetches the server's telemetry snapshot over the native protocol
+// and prints the JSON document.
+func cmdStats(addr, scheme, ext string) error {
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine()},
+		fuzzyid.WithSignatureScheme(scheme),
+		fuzzyid.WithExtractor(ext),
+	)
+	if err != nil {
+		return err
+	}
+	client, err := sys.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	buf, err := client.Stats()
+	if err != nil {
+		if fuzzyid.IsRejected(err) {
+			return fmt.Errorf("stats unavailable: %w", err)
+		}
+		return err
+	}
+	_, err = os.Stdout.Write(append(buf, '\n'))
+	return err
 }
 
 // cmdIdentifyBatch resolves several probe files in one batched session.

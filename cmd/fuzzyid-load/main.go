@@ -1,0 +1,462 @@
+// Command fuzzyid-load drives sustained traffic against a live
+// fuzzyid-server and reports throughput and latency percentiles per
+// scenario — the repeatable load suite behind every scaling claim this
+// repo makes (see DESIGN.md §7).
+//
+//	fuzzyid-server -addr 127.0.0.1:7700 -dim 128 &
+//	fuzzyid-load   -addr 127.0.0.1:7700 -dim 128 -workers 8 -duration 10s
+//
+// Each worker is a closed loop over its own TCP connection: it issues one
+// operation, waits for the verdict, records the latency, and immediately
+// issues the next, so concurrency is exactly -workers and the measured
+// latency includes the full protocol round trips. Latencies are accumulated
+// in the same fixed-bucket histograms the server's own telemetry uses
+// (internal/telemetry), so client-side and server-side percentiles are
+// directly comparable.
+//
+// Scenarios (-scenario, comma-separated or "all", run in the order given):
+//
+//	enroll    — enrollment-heavy write traffic: every op enrolls a fresh user
+//	identify  — read traffic: identify a genuine reading of an enrolled user
+//	mixed     — 80% identify / 10% verify / 10% enroll
+//	batch     — batched identification: -batch readings per session
+//	churn     — revoke/re-enroll cycles over a worker-owned user slice
+//	noise     — impostor probes that should miss (server-side reject path)
+//
+// With -format json the report is machine-readable (CI diffs it across
+// runs); -server-stats additionally embeds the server's own telemetry
+// snapshot fetched over the native stats session, so request counts can be
+// cross-checked against what the server observed.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzyid-load:", err)
+		os.Exit(1)
+	}
+}
+
+// scenarioOrder is the "all" sequence. Write-heavy scenarios run first so
+// the read scenarios see a database grown by them — the realistic ordering
+// for a system whose store only grows.
+var scenarioOrder = []string{"enroll", "identify", "mixed", "batch", "churn", "noise"}
+
+type config struct {
+	addr     string
+	dim      int
+	workers  int
+	duration time.Duration
+	users    int
+	batch    int
+	seed     int64
+	scheme   string
+	ext      string
+}
+
+// report is the machine-readable output contract (-format json); append
+// only, so CI diffs stay comparable across versions.
+type report struct {
+	Addr        string                 `json:"addr"`
+	Dim         int                    `json:"dim"`
+	Workers     int                    `json:"workers"`
+	DurationS   float64                `json:"duration_s"`
+	Users       int                    `json:"users"`
+	Seed        int64                  `json:"seed"`
+	Scenarios   []scenarioResult       `json:"scenarios"`
+	ServerStats *fuzzyid.StatsSnapshot `json:"server_stats,omitempty"`
+}
+
+// scenarioResult summarises one scenario run.
+type scenarioResult struct {
+	Scenario string  `json:"scenario"`
+	Ops      uint64  `json:"ops"`
+	Errors   uint64  `json:"errors"`
+	Misses   uint64  `json:"misses"`
+	Seconds  float64 `json:"seconds"`
+	// ThroughputOpsS counts completed operations per second across all
+	// workers (a batch session is one operation).
+	ThroughputOpsS float64                     `json:"throughput_ops_s"`
+	Latency        telemetry.HistogramSnapshot `json:"latency"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fuzzyid-load", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7700", "server address")
+		scenario    = fs.String("scenario", "all", "comma-separated scenario list: "+strings.Join(scenarioOrder, ", ")+", or 'all'")
+		workers     = fs.Int("workers", 8, "concurrent closed-loop workers (one connection each)")
+		duration    = fs.Duration("duration", 5*time.Second, "wall-clock budget per scenario")
+		users       = fs.Int("users", 50, "pre-enrolled population size")
+		dim         = fs.Int("dim", 512, "feature-vector dimension (must match the server)")
+		batch       = fs.Int("batch", 16, "readings per batch-scenario session")
+		seed        = fs.Int64("seed", 1, "workload seed (templates and noise)")
+		scheme      = fs.String("scheme", "ed25519", "signature scheme (must match the server)")
+		ext         = fs.String("extractor", "hmac-sha256", "strong extractor (must match the server)")
+		format      = fs.String("format", "text", "output format: text or json")
+		serverStats = fs.Bool("server-stats", false, "embed the server's telemetry snapshot (native stats session) in the report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workers <= 0 || *users <= 0 || *batch <= 0 || *duration <= 0 {
+		return errors.New("-workers, -users, -batch and -duration must be positive")
+	}
+	scenarios, err := parseScenarios(*scenario)
+	if err != nil {
+		return err
+	}
+	for _, name := range scenarios {
+		// Churn stripes the population across the workers; every worker
+		// needs at least one user to own.
+		if name == "churn" && *users < *workers {
+			return fmt.Errorf("churn needs -users >= -workers (got %d users for %d workers)", *users, *workers)
+		}
+	}
+	cfg := config{
+		addr: *addr, dim: *dim, workers: *workers, duration: *duration,
+		users: *users, batch: *batch, seed: *seed, scheme: *scheme, ext: *ext,
+	}
+	rep, err := drive(cfg, scenarios, *serverStats)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		return writeText(stdout, rep)
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+}
+
+func parseScenarios(s string) ([]string, error) {
+	if s == "all" {
+		return scenarioOrder, nil
+	}
+	known := map[string]bool{}
+	for _, name := range scenarioOrder {
+		known[name] = true
+	}
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown scenario %q (known: %s)", name, strings.Join(scenarioOrder, ", "))
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty scenario list")
+	}
+	return out, nil
+}
+
+// worker is one closed loop: its own connection, its own noise source and
+// RNG (so scenarios are reproducible per seed without cross-worker locking),
+// and a worker-owned churn slice so revoke/re-enroll cycles never race
+// between workers.
+type worker struct {
+	id     int
+	client *fuzzyid.Client
+	src    *biometric.Source
+	rng    *rand.Rand
+	pop    []*biometric.User // shared, read-only after the enroll phase
+	churn  []*biometric.User // disjoint per worker
+	nonce  int64             // uniquifies enroll-scenario IDs across runs
+	batch  int
+	seq    int // counter for fresh enroll IDs
+}
+
+// op runs one operation of the named scenario. It reports errMiss when the
+// server (correctly or not) did not identify the probe — an expected
+// outcome for noise traffic, a quality signal elsewhere.
+var errMiss = errors.New("load: probe not identified")
+
+func (w *worker) op(scenario string) error {
+	switch scenario {
+	case "enroll":
+		w.seq++
+		u := w.src.NewUser(fmt.Sprintf("load-%x-w%d-%d", w.nonce, w.id, w.seq))
+		return w.client.Enroll(u.ID, u.Template)
+	case "identify":
+		u := w.pop[w.rng.Intn(len(w.pop))]
+		return w.identify(u)
+	case "mixed":
+		switch r := w.rng.Intn(10); {
+		case r < 8:
+			return w.op("identify")
+		case r == 8:
+			u := w.pop[w.rng.Intn(len(w.pop))]
+			reading, err := w.src.GenuineReading(u)
+			if err != nil {
+				return err
+			}
+			return w.client.Verify(u.ID, reading)
+		default:
+			return w.op("enroll")
+		}
+	case "batch":
+		readings := make([]fuzzyid.Vector, w.batch)
+		picked := make([]*biometric.User, w.batch)
+		for i := range readings {
+			picked[i] = w.pop[w.rng.Intn(len(w.pop))]
+			r, err := w.src.GenuineReading(picked[i])
+			if err != nil {
+				return err
+			}
+			readings[i] = r
+		}
+		ids, err := w.client.IdentifyBatch(readings)
+		if err != nil {
+			return err
+		}
+		for i, id := range ids {
+			if id != picked[i].ID {
+				return errMiss
+			}
+		}
+		return nil
+	case "churn":
+		if len(w.churn) == 0 {
+			return fmt.Errorf("load: worker %d owns no churn users (need users >= workers)", w.id)
+		}
+		u := w.churn[w.rng.Intn(len(w.churn))]
+		reading, err := w.src.GenuineReading(u)
+		if err != nil {
+			return err
+		}
+		if err := w.client.Revoke(u.ID, reading); err != nil {
+			return err
+		}
+		return w.client.Enroll(u.ID, u.Template)
+	case "noise":
+		// An impostor probe: a fresh random vector, almost surely far from
+		// every enrolled template, so the expected outcome is a miss.
+		_, err := w.client.Identify(w.src.ImpostorReading())
+		if err == nil {
+			return nil // a false accept; counted as an op, visible server-side
+		}
+		if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
+			return errMiss
+		}
+		return err
+	default:
+		return fmt.Errorf("load: unknown scenario %q", scenario)
+	}
+}
+
+func (w *worker) identify(u *biometric.User) error {
+	reading, err := w.src.GenuineReading(u)
+	if err != nil {
+		return err
+	}
+	id, err := w.client.Identify(reading)
+	if err != nil {
+		if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
+			return errMiss
+		}
+		return err
+	}
+	if id != u.ID {
+		return errMiss
+	}
+	return nil
+}
+
+// drive connects the workers, enrolls the shared population, runs every
+// scenario and assembles the report.
+func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error) {
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: cfg.dim},
+		fuzzyid.WithSignatureScheme(cfg.scheme),
+		fuzzyid.WithExtractor(cfg.ext),
+	)
+	if err != nil {
+		return nil, err
+	}
+	nonce := time.Now().UnixNano()
+	workers := make([]*worker, cfg.workers)
+	for i := range workers {
+		client, err := sys.Dial(cfg.addr)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		defer client.Close()
+		src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(cfg.dim), cfg.seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = &worker{
+			id: i, client: client, src: src,
+			rng:   rand.New(rand.NewSource(cfg.seed ^ int64(i)<<32)),
+			nonce: nonce, batch: cfg.batch,
+		}
+	}
+	pop, err := enrollPopulation(workers, cfg.users, nonce)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range workers {
+		w.pop = pop
+		// Stripe the population so each worker churns a disjoint slice.
+		for j := i; j < len(pop); j += len(workers) {
+			w.churn = append(w.churn, pop[j])
+		}
+	}
+	rep := &report{
+		Addr: cfg.addr, Dim: cfg.dim, Workers: cfg.workers,
+		DurationS: cfg.duration.Seconds(), Users: cfg.users, Seed: cfg.seed,
+	}
+	for _, name := range scenarios {
+		res, err := runScenario(name, workers, cfg.duration)
+		if err != nil {
+			return nil, err
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	if wantServerStats {
+		buf, err := workers[0].client.Stats()
+		if err != nil {
+			return nil, fmt.Errorf("server stats: %w (is the server running with telemetry?)", err)
+		}
+		snap, err := fuzzyid.ParseStats(buf)
+		if err != nil {
+			return nil, fmt.Errorf("server stats: %w", err)
+		}
+		rep.ServerStats = snap
+	}
+	return rep, nil
+}
+
+// enrollPopulation enrolls the shared user set, fanned out over the workers.
+func enrollPopulation(workers []*worker, n int, nonce int64) ([]*biometric.User, error) {
+	pop := make([]*biometric.User, n)
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for wi, w := range workers {
+		wg.Add(1)
+		go func(wi int, w *worker) {
+			defer wg.Done()
+			for i := wi; i < n; i += len(workers) {
+				u := w.src.NewUser(fmt.Sprintf("pop-%x-%04d", nonce, i))
+				if err := w.client.Enroll(u.ID, u.Template); err != nil {
+					errs[wi] = fmt.Errorf("enroll population %s: %w", u.ID, err)
+					return
+				}
+				pop[i] = u
+			}
+		}(wi, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pop, nil
+}
+
+// runScenario runs one scenario closed-loop on every worker for the
+// wall-clock budget and folds the measurements into one result. Latencies
+// go through the same histogram code the server exports, so the two sides
+// are comparable bucket for bucket.
+func runScenario(name string, workers []*worker, d time.Duration) (scenarioResult, error) {
+	var (
+		hist     telemetry.Histogram
+		ops      atomic.Uint64
+		misses   atomic.Uint64
+		fails    atomic.Uint64
+		errMu    sync.Mutex
+		firstErr error // first hard error, for the report
+	)
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				opStart := time.Now()
+				err := w.op(name)
+				hist.Observe(time.Since(opStart))
+				ops.Add(1)
+				switch {
+				case err == nil:
+				case errors.Is(err, errMiss):
+					misses.Add(1)
+				default:
+					fails.Add(1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return // a broken connection would only spin; stop this worker
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := scenarioResult{
+		Scenario: name,
+		Ops:      ops.Load(),
+		Errors:   fails.Load(),
+		Misses:   misses.Load(),
+		Seconds:  elapsed.Seconds(),
+		Latency:  hist.Snapshot(),
+	}
+	if res.Seconds > 0 {
+		res.ThroughputOpsS = float64(res.Ops) / res.Seconds
+	}
+	if firstErr != nil && res.Ops == res.Errors {
+		// Every op failed: surface the cause instead of reporting zeros.
+		return res, fmt.Errorf("scenario %s: all ops failed: %w", name, firstErr)
+	}
+	return res, nil
+}
+
+func writeText(w io.Writer, rep *report) error {
+	fmt.Fprintf(w, "fuzzyid-load: %s (dim=%d, %d workers, %d users, %.1fs per scenario)\n",
+		rep.Addr, rep.Dim, rep.Workers, rep.Users, rep.DurationS)
+	fmt.Fprintf(w, "%-10s %10s %8s %8s %12s %10s %10s %10s\n",
+		"scenario", "ops", "errors", "misses", "ops/s", "p50 ms", "p95 ms", "p99 ms")
+	for _, s := range rep.Scenarios {
+		fmt.Fprintf(w, "%-10s %10d %8d %8d %12.1f %10.3f %10.3f %10.3f\n",
+			s.Scenario, s.Ops, s.Errors, s.Misses, s.ThroughputOpsS,
+			s.Latency.P50MS, s.Latency.P95MS, s.Latency.P99MS)
+	}
+	if rep.ServerStats != nil {
+		fmt.Fprintf(w, "server: %d conns accepted, %d bytes in, %d bytes out\n",
+			rep.ServerStats.Counter("transport.conns.accepted"),
+			rep.ServerStats.Counter("transport.bytes.in"),
+			rep.ServerStats.Counter("transport.bytes.out"))
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fuzzyid"
+)
+
+// startServer boots an in-process telemetry-enabled server for the harness
+// to drive over real TCP.
+func startServer(t *testing.T, dim int) (*fuzzyid.System, string, func()) {
+	t.Helper()
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim},
+		fuzzyid.WithTelemetry(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, srv.Addr().String(), func() { srv.Close() }
+}
+
+// TestLoadAgainstLiveServer is the acceptance contract of the harness: a
+// run emits JSON with per-scenario throughput and percentiles, and the
+// server-side stats embedded in the same report account for every request
+// the harness issued.
+func TestLoadAgainstLiveServer(t *testing.T) {
+	const dim = 32
+	const users = 6
+	sys, addr, stop := startServer(t, dim)
+	defer stop()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-dim", "32",
+		"-workers", "3",
+		"-users", "6",
+		"-duration", "250ms",
+		"-batch", "4",
+		"-scenario", "identify,batch,noise",
+		"-format", "json",
+		"-server-stats",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Scenarios) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(rep.Scenarios))
+	}
+	byName := map[string]scenarioResult{}
+	for _, s := range rep.Scenarios {
+		byName[s.Scenario] = s
+		if s.Ops == 0 {
+			t.Errorf("scenario %s: 0 ops in %v", s.Scenario, s.Seconds)
+		}
+		if s.Errors != 0 {
+			t.Errorf("scenario %s: %d hard errors", s.Scenario, s.Errors)
+		}
+		if s.ThroughputOpsS <= 0 {
+			t.Errorf("scenario %s: throughput %v", s.Scenario, s.ThroughputOpsS)
+		}
+		lat := s.Latency
+		if lat.Count != s.Ops {
+			t.Errorf("scenario %s: latency count %d != ops %d", s.Scenario, lat.Count, s.Ops)
+		}
+		if !(lat.P50MS <= lat.P95MS && lat.P95MS <= lat.P99MS) {
+			t.Errorf("scenario %s: percentiles not monotone: %+v", s.Scenario, lat)
+		}
+		if lat.P50MS <= 0 {
+			t.Errorf("scenario %s: p50 = %v, want > 0", s.Scenario, lat.P50MS)
+		}
+	}
+	if got := byName["identify"].Misses; got != 0 {
+		t.Errorf("identify misses = %d, want 0 (genuine readings)", got)
+	}
+	if noise := byName["noise"]; noise.Misses != noise.Ops {
+		t.Errorf("noise misses = %d of %d ops, want all (impostor probes)", noise.Misses, noise.Ops)
+	}
+
+	// Cross-check: the server's own counters, embedded from the same run,
+	// must account for exactly the requests the harness issued.
+	if rep.ServerStats == nil {
+		t.Fatal("report missing server_stats")
+	}
+	ss := rep.ServerStats
+	// identify scenario ops + noise probes open identify sessions.
+	wantIdentify := byName["identify"].Ops + byName["noise"].Ops
+	if got := ss.Counter("protocol.identify.requests"); got != wantIdentify {
+		t.Errorf("server identify requests = %d, want %d", got, wantIdentify)
+	}
+	if got := ss.Counter("protocol.identify_batch.requests"); got != byName["batch"].Ops {
+		t.Errorf("server identify_batch requests = %d, want %d", got, byName["batch"].Ops)
+	}
+	if got := ss.Counter("protocol.enroll.requests"); got != users {
+		t.Errorf("server enroll requests = %d, want %d (population)", got, users)
+	}
+	if got := ss.Counter("transport.conns.accepted"); got != 3 {
+		t.Errorf("server conns accepted = %d, want 3 (one per worker)", got)
+	}
+	// The facade sees the same numbers the wire snapshot reported.
+	if got := sys.Stats().Counter("protocol.identify.requests"); got != wantIdentify {
+		t.Errorf("facade identify requests = %d, want %d", got, wantIdentify)
+	}
+}
+
+// TestLoadChurnAndMixed exercises the write-path scenarios end to end: the
+// enrolled population must survive churn (revoke + re-enroll keeps Len
+// constant) and mixed/enroll must grow the store.
+func TestLoadChurnAndMixed(t *testing.T) {
+	sys, addr, stop := startServer(t, 32)
+	defer stop()
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr, "-dim", "32", "-workers", "2", "-users", "4",
+		"-duration", "200ms", "-scenario", "churn,enroll,mixed", "-format", "json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	var extra uint64
+	for _, s := range rep.Scenarios {
+		if s.Errors != 0 {
+			t.Errorf("scenario %s: %d errors", s.Scenario, s.Errors)
+		}
+		if s.Scenario == "enroll" {
+			extra = s.Ops
+		}
+	}
+	// Population + enroll-scenario users + the mixed scenario's enroll share
+	// are all still enrolled; churn is net zero.
+	if got := sys.Enrolled(); uint64(got) < 4+extra {
+		t.Errorf("enrolled = %d, want >= %d", got, 4+extra)
+	}
+}
+
+func TestLoadFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "nosuch"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("bad scenario accepted: %v", err)
+	}
+	if err := run([]string{"-workers", "0"}, &out); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if err := run([]string{"-scenario", "churn", "-workers", "4", "-users", "2"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "churn needs") {
+		t.Errorf("churn with users < workers accepted: %v", err)
+	}
+	if err := run([]string{"-format", "xml", "-duration", "1ms", "-addr", "127.0.0.1:1"}, &out); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+// TestLoadTextFormat smoke-tests the human-readable report.
+func TestLoadTextFormat(t *testing.T) {
+	_, addr, stop := startServer(t, 32)
+	defer stop()
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr, "-dim", "32", "-workers", "1", "-users", "2",
+		"-duration", "100ms", "-scenario", "identify",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"scenario", "identify", "p95 ms"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -10,11 +10,25 @@
 // is compacted every -snapshot-interval and on graceful shutdown.
 //
 //	fuzzyid-server -addr 127.0.0.1:7700 -data /var/lib/fuzzyid
+//
+// Telemetry is on by default (lock-free counters and histograms; see
+// DESIGN.md §7). -stats-addr additionally serves the JSON snapshot over
+// HTTP for scrapers and the load harness:
+//
+//	fuzzyid-server -addr 127.0.0.1:7700 -stats-addr 127.0.0.1:7701
+//	curl http://127.0.0.1:7701/stats
+//
+// The same snapshot is available over the native protocol via
+// "fuzzyid-client stats".
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,16 +45,16 @@ func main() {
 }
 
 func run(args []string) error {
-	srv, sys, snapInterval, err := setup(args)
+	p, err := setup(args)
 	if err != nil {
 		return err
 	}
 	stopSnap := make(chan struct{})
 	snapDone := make(chan struct{})
 	close(snapDone)
-	if sys.Persistent() && snapInterval > 0 {
+	if p.sys.Persistent() && p.snapIvl > 0 {
 		snapDone = make(chan struct{})
-		go snapshotLoop(sys, snapInterval, stopSnap, snapDone)
+		go snapshotLoop(p.sys, p.snapIvl, stopSnap, snapDone)
 	}
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -51,9 +65,7 @@ func run(args []string) error {
 	// trip over the closed journal.
 	close(stopSnap)
 	<-snapDone
-	// Server.Close drains the live sessions and then flushes the
-	// persistence layer (the system is attached as the server's closer).
-	return srv.Close()
+	return p.Close()
 }
 
 // snapshotLoop compacts the persistence log periodically until stop closes,
@@ -74,23 +86,63 @@ func snapshotLoop(sys *fuzzyid.System, interval time.Duration, stop <-chan struc
 	}
 }
 
+// proc is a fully started server process: the protocol listener, the system
+// behind it, and (optionally) the HTTP stats endpoint.
+type proc struct {
+	srv     *fuzzyid.Server
+	sys     *fuzzyid.System
+	snapIvl time.Duration
+	stats   *http.Server
+	statsLn net.Listener
+}
+
+// StatsAddr returns the HTTP stats endpoint address ("" without -stats-addr).
+func (p *proc) StatsAddr() string {
+	if p.statsLn == nil {
+		return ""
+	}
+	return p.statsLn.Addr().String()
+}
+
+// Close shuts the stats endpoint, then the protocol server (which drains
+// sessions and flushes persistence through its attached closer).
+func (p *proc) Close() error {
+	var errs []error
+	if p.stats != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := p.stats.Shutdown(ctx); err != nil {
+			errs = append(errs, err)
+		}
+		cancel()
+	}
+	if err := p.srv.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
 // setup parses flags, builds the system and starts listening. Split from
 // run so tests can exercise everything except the signal wait.
-func setup(args []string) (*fuzzyid.Server, *fuzzyid.System, time.Duration, error) {
+func setup(args []string) (*proc, error) {
 	fs := flag.NewFlagSet("fuzzyid-server", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7700", "listen address")
-		dim      = fs.Int("dim", 512, "feature-vector dimension n (0 = accept any)")
-		strategy = fs.String("strategy", "bucket", "identification store: bucket, scan or sorted")
-		scheme   = fs.String("scheme", "ed25519", "signature scheme: ed25519 or ecdsa-p256")
-		ext      = fs.String("extractor", "hmac-sha256", "strong extractor: sha256, hmac-sha256 or toeplitz")
-		shards   = fs.Int("shards", 0, "store shard count (0 = scheduler parallelism)")
-		data     = fs.String("data", "", "persistence directory (empty = in-memory only)")
-		snapIvl  = fs.Duration("snapshot-interval", 5*time.Minute, "WAL compaction interval with -data (0 = only on shutdown)")
-		maxConns = fs.Int("maxconns", 0, "refuse connections past this concurrent cap (0 = unbounded)")
+		addr      = fs.String("addr", "127.0.0.1:7700", "listen address")
+		dim       = fs.Int("dim", 512, "feature-vector dimension n (0 = accept any)")
+		strategy  = fs.String("strategy", "bucket", "identification store: bucket, scan or sorted")
+		scheme    = fs.String("scheme", "ed25519", "signature scheme: ed25519 or ecdsa-p256")
+		ext       = fs.String("extractor", "hmac-sha256", "strong extractor: sha256, hmac-sha256 or toeplitz")
+		shards    = fs.Int("shards", 0, "store shard count (0 = scheduler parallelism)")
+		data      = fs.String("data", "", "persistence directory (empty = in-memory only)")
+		snapIvl   = fs.Duration("snapshot-interval", 5*time.Minute, "WAL compaction interval with -data (0 = only on shutdown)")
+		maxConns  = fs.Int("maxconns", 0, "refuse connections past this concurrent cap (0 = unbounded)")
+		telemetry = fs.Bool("telemetry", true, "collect operation counters and latency histograms")
+		statsAddr = fs.String("stats-addr", "", "serve the telemetry JSON snapshot over HTTP on this address (requires -telemetry)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return nil, nil, 0, err
+		return nil, err
+	}
+	if *statsAddr != "" && !*telemetry {
+		return nil, errors.New("-stats-addr requires -telemetry=true")
 	}
 	opts := []fuzzyid.Option{
 		fuzzyid.WithStoreStrategy(*strategy),
@@ -98,12 +150,15 @@ func setup(args []string) (*fuzzyid.Server, *fuzzyid.System, time.Duration, erro
 		fuzzyid.WithExtractor(*ext),
 		fuzzyid.WithShards(*shards),
 	}
+	if *telemetry {
+		opts = append(opts, fuzzyid.WithTelemetry())
+	}
 	if *data != "" {
 		opts = append(opts, fuzzyid.WithPersistence(*data))
 	}
 	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: *dim}, opts...)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
 	var srvOpts []fuzzyid.ServerOption
 	if *maxConns > 0 {
@@ -112,17 +167,56 @@ func setup(args []string) (*fuzzyid.Server, *fuzzyid.System, time.Duration, erro
 	srv, err := sys.Listen(*addr, srvOpts...)
 	if err != nil {
 		sys.Close()
-		return nil, nil, 0, err
+		return nil, err
+	}
+	p := &proc{srv: srv, sys: sys, snapIvl: *snapIvl}
+	if *statsAddr != "" {
+		if err := p.serveStats(*statsAddr); err != nil {
+			srv.Close()
+			return nil, err
+		}
 	}
 	fmt.Printf("fuzzyid-server listening on %s (dim=%d, strategy=%s, scheme=%s)\n",
 		srv.Addr(), *dim, *strategy, *scheme)
 	if *data != "" {
 		fmt.Printf("persistence: %s (%d records recovered)\n", *data, sys.Enrolled())
 	}
+	if a := p.StatsAddr(); a != "" {
+		fmt.Printf("stats: http://%s/stats\n", a)
+	}
 	if *dim > 0 {
 		rep := sys.Report(*dim)
 		fmt.Printf("security: m=%.0f bits, m~=%.0f bits, storage=%.0f bits, log2 Pr[false close]=%.0f\n",
 			rep.MinEntropyBits, rep.ResidualEntropyBits, rep.SketchStorageBits, rep.FalseCloseExponent)
 	}
-	return srv, sys, *snapIvl, nil
+	return p, nil
+}
+
+// serveStats starts the HTTP stats endpoint: GET /stats (and /metrics, for
+// scrapers that expect that path) returns the telemetry snapshot as JSON.
+func (p *proc) serveStats(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("stats listen: %w", err)
+	}
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		buf, err := p.sys.StatsJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", handler)
+	mux.HandleFunc("/metrics", handler)
+	p.statsLn = ln
+	p.stats = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := p.stats.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "fuzzyid-server: stats endpoint:", err)
+		}
+	}()
+	return nil
 }

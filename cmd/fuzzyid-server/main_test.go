@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"path/filepath"
 	"testing"
 
@@ -10,18 +12,18 @@ import (
 )
 
 func TestSetupAndServe(t *testing.T) {
-	srv, _, _, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-strategy", "sorted"})
+	p, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-strategy", "sorted"})
 	if err != nil {
 		t.Fatalf("setup: %v", err)
 	}
-	defer srv.Close()
+	defer p.Close()
 
 	// A real client can complete a full protocol run against it.
 	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := sys.Dial(srv.Addr().String())
+	client, err := sys.Dial(p.srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,20 +50,83 @@ func TestSetupAndServe(t *testing.T) {
 	}
 }
 
+// TestStatsEndpoint boots the server with -stats-addr, runs one enroll and
+// one identify over TCP, and checks both HTTP paths serve a snapshot whose
+// counters reflect the traffic.
+func TestStatsEndpoint(t *testing.T) {
+	p, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-stats-addr", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	defer p.Close()
+	if p.StatsAddr() == "" {
+		t.Fatal("stats endpoint not started")
+	}
+	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dialer.Dial(p.srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	src, err := biometric.NewSource(dialer.Extractor().Line(), biometric.Paper(32), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.NewUser("alice")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := client.Identify(reading); err != nil || id != u.ID {
+		t.Fatalf("identify = (%q, %v)", id, err)
+	}
+	for _, path := range []string{"/stats", "/metrics"} {
+		resp, err := http.Get("http://" + p.StatsAddr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		snap, err := fuzzyid.ParseStats(body)
+		if err != nil {
+			t.Fatalf("parse %s: %v\n%s", path, err, body)
+		}
+		if got := snap.Counter("protocol.enroll.requests"); got != 1 {
+			t.Errorf("%s: enroll requests = %d, want 1", path, got)
+		}
+		if got := snap.Counter("protocol.identify.requests"); got != 1 {
+			t.Errorf("%s: identify requests = %d, want 1", path, got)
+		}
+	}
+	// -stats-addr without telemetry is a configuration error.
+	if _, err := setup([]string{"-telemetry=false", "-stats-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("-stats-addr without -telemetry accepted")
+	}
+}
+
 func TestSetupValidation(t *testing.T) {
-	if _, _, _, err := setup([]string{"-strategy", "btree"}); err == nil {
+	if _, err := setup([]string{"-strategy", "btree"}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if _, _, _, err := setup([]string{"-scheme", "rsa"}); err == nil {
+	if _, err := setup([]string{"-scheme", "rsa"}); err == nil {
 		t.Error("unknown scheme accepted")
 	}
-	if _, _, _, err := setup([]string{"-extractor", "md5"}); err == nil {
+	if _, err := setup([]string{"-extractor", "md5"}); err == nil {
 		t.Error("unknown extractor accepted")
 	}
-	if _, _, _, err := setup([]string{"-addr", "256.256.256.256:99999"}); err == nil {
+	if _, err := setup([]string{"-addr", "256.256.256.256:99999"}); err == nil {
 		t.Error("unlistenable address accepted")
 	}
-	if _, _, _, err := setup([]string{"-no-such-flag"}); err == nil {
+	if _, err := setup([]string{"-no-such-flag"}); err == nil {
 		t.Error("bad flag accepted")
 	}
 }
@@ -72,15 +137,15 @@ func TestSetupValidation(t *testing.T) {
 // directory and identify.
 func TestDataFlagRecovery(t *testing.T) {
 	dir := t.TempDir()
-	srv, sys, snapIvl, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-data", dir})
+	p, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-data", dir})
 	if err != nil {
 		t.Fatalf("setup: %v", err)
 	}
-	if !sys.Persistent() {
+	if !p.sys.Persistent() {
 		t.Fatal("system not persistent with -data")
 	}
-	if snapIvl <= 0 {
-		t.Fatalf("default snapshot interval = %v", snapIvl)
+	if p.snapIvl <= 0 {
+		t.Fatalf("default snapshot interval = %v", p.snapIvl)
 	}
 	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
 	if err != nil {
@@ -90,7 +155,7 @@ func TestDataFlagRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, err := dialer.Dial(srv.Addr().String())
+	client, err := dialer.Dial(p.srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,19 +166,19 @@ func TestDataFlagRecovery(t *testing.T) {
 		}
 	}
 	client.Close()
-	if err := srv.Close(); err != nil {
+	if err := p.Close(); err != nil {
 		t.Fatalf("server close: %v", err)
 	}
 
-	srv2, sys2, _, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-data", dir})
+	p2, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-data", dir})
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
-	defer srv2.Close()
-	if got := sys2.Enrolled(); got != len(users) {
+	defer p2.Close()
+	if got := p2.sys.Enrolled(); got != len(users) {
 		t.Fatalf("recovered %d enrollments, want %d", got, len(users))
 	}
-	client2, err := dialer.Dial(srv2.Addr().String())
+	client2, err := dialer.Dial(p2.srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,7 @@ import (
 	"fuzzyid/internal/protocol"
 	"fuzzyid/internal/sigscheme"
 	"fuzzyid/internal/store"
+	"fuzzyid/internal/telemetry"
 	"fuzzyid/internal/transport"
 )
 
@@ -69,7 +70,17 @@ type (
 	// ServerOption configures a Server started with Listen (connection
 	// caps, idle timeouts; see WithMaxConns).
 	ServerOption = transport.ServerOption
+	// Metrics is the telemetry registry of a system built WithTelemetry:
+	// counters, gauges and latency histograms for the transport, protocol
+	// and persistence layers, exportable as one JSON snapshot.
+	Metrics = telemetry.Registry
+	// StatsSnapshot is one exported view of a Metrics registry.
+	StatsSnapshot = telemetry.Snapshot
 )
+
+// ParseStats decodes a stats JSON document (from Client.Stats or the
+// -stats-addr endpoint) into a typed snapshot.
+func ParseStats(buf []byte) (*StatsSnapshot, error) { return telemetry.ParseSnapshot(buf) }
 
 // WithMaxConns bounds the number of concurrently served connections on a
 // Server; connections past the cap are refused at accept time. Zero means
@@ -101,6 +112,9 @@ type System struct {
 	server    *protocol.Server
 	device    *protocol.Device
 
+	// Telemetry registry; nil unless WithTelemetry was configured.
+	metrics *telemetry.Registry
+
 	// Persistence state; nil unless WithPersistence was configured.
 	journal *persist.Log
 	jdb     *store.Journaled
@@ -123,6 +137,7 @@ type config struct {
 	shards    int
 	dataDir   string
 	syncOS    bool
+	telemetry bool
 }
 
 // WithStoreStrategy selects the identification lookup strategy: "bucket"
@@ -204,6 +219,21 @@ func WithRelaxedSync() Option {
 	})
 }
 
+// WithTelemetry turns on operational telemetry: the protocol engine counts
+// and times every operation (enroll, verify, identify, identify-batch,
+// revoke), the persistence layer counts WAL appends, fsyncs and snapshot
+// durations, and a Server started with Listen additionally tracks
+// connections and bytes moved. Observations are lock-free atomic updates
+// with zero allocations, cheap enough to leave on in production. Read the
+// numbers via (*System).Stats / StatsJSON, the stats session of a connected
+// Client, or the fuzzyid-server -stats-addr HTTP endpoint.
+func WithTelemetry() Option {
+	return optionFunc(func(c *config) error {
+		c.telemetry = true
+		return nil
+	})
+}
+
 // NewSystem validates p and assembles a complete deployment.
 func NewSystem(p Params, opts ...Option) (*System, error) {
 	cfg := config{strategy: "bucket", scheme: "ed25519", extractor: "hmac-sha256"}
@@ -234,8 +264,11 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 		}
 	}
 	sys := &System{extractor: fe, scheme: scheme}
+	if cfg.telemetry {
+		sys.metrics = telemetry.NewRegistry()
+	}
 	if cfg.dataDir != "" {
-		var popts []persist.Option
+		popts := []persist.Option{persist.WithTelemetry(sys.metrics)}
 		if cfg.syncOS {
 			popts = append(popts, persist.WithSyncPolicy(persist.SyncOS))
 		}
@@ -256,8 +289,28 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 	}
 	sys.db = db
 	sys.server = protocol.NewServer(fe, scheme, db)
+	if sys.metrics != nil {
+		sys.server.Instrument(sys.metrics)
+	}
 	sys.device = protocol.NewDevice(fe, scheme)
 	return sys, nil
+}
+
+// Metrics returns the system's telemetry registry, or nil when the system
+// was built without WithTelemetry.
+func (s *System) Metrics() *Metrics { return s.metrics }
+
+// Stats returns one exported snapshot of every instrument (empty without
+// WithTelemetry).
+func (s *System) Stats() StatsSnapshot { return s.metrics.Snapshot() }
+
+// StatsJSON returns the stats snapshot as indented JSON — the same document
+// the -stats-addr endpoint and the client stats session serve.
+func (s *System) StatsJSON() ([]byte, error) {
+	if s.metrics == nil {
+		return nil, errors.New("fuzzyid: telemetry disabled (build the system WithTelemetry)")
+	}
+	return s.metrics.MarshalJSON()
 }
 
 // Persistent reports whether the system was built with WithPersistence.
@@ -315,6 +368,9 @@ func (s *System) Report(n int) SecurityReport { return s.extractor.Report(n) }
 func (s *System) Listen(addr string, opts ...ServerOption) (*Server, error) {
 	if s.Persistent() {
 		opts = append(opts, transport.WithCloser(s))
+	}
+	if s.metrics != nil {
+		opts = append(opts, transport.WithTelemetry(s.metrics))
 	}
 	return transport.Listen(addr, s.server, opts...)
 }

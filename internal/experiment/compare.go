@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements the perf-regression gate behind
+// fuzzyid-bench -compare: two JSON table sets (a committed baseline and a
+// fresh candidate run) are joined row by row and every performance cell —
+// a column whose header names a latency ("... ms") or a size ("bytes") —
+// is checked for a relative slowdown beyond a threshold. Non-perf columns
+// (entropy bits, FRR rates, detection counts) are identity, not speed, and
+// are deliberately out of scope here; the correctness tests own those.
+
+// ReadJSONTables parses the output of WriteJSONTables (fuzzyid-bench
+// -format json).
+func ReadJSONTables(r io.Reader) ([]*Table, error) {
+	var raw []tableJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("experiment: parse tables: %w", err)
+	}
+	tables := make([]*Table, len(raw))
+	for i, t := range raw {
+		tables[i] = &Table{ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes}
+	}
+	return tables, nil
+}
+
+// Regression is one performance cell that got worse than the gate allows.
+type Regression struct {
+	// Table is the experiment ID, Row the joined key of the row's non-perf
+	// cells, Column the perf column header.
+	Table, Row, Column string
+	// Baseline and Candidate are the compared values; Ratio is
+	// Candidate/Baseline.
+	Baseline, Candidate, Ratio float64
+}
+
+// String renders the regression for the gate's failure report.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s[%s] %q: %.4g -> %.4g (%.2fx)",
+		r.Table, r.Row, r.Column, r.Baseline, r.Candidate, r.Ratio)
+}
+
+// IsPerfColumn reports whether a column header names a performance metric:
+// a latency column (a whole word "ms") or a wire/storage size ("bytes").
+func IsPerfColumn(header string) bool {
+	for _, tok := range strings.FieldsFunc(strings.ToLower(header), func(r rune) bool {
+		return !unicode.IsLetter(r)
+	}) {
+		if tok == "ms" || tok == "bytes" {
+			return true
+		}
+	}
+	return false
+}
+
+// isLatencyColumn distinguishes ms columns (which get the minMS noise
+// floor) from size columns (deterministic, compared as-is).
+func isLatencyColumn(header string) bool {
+	return IsPerfColumn(header) && !strings.Contains(strings.ToLower(header), "bytes")
+}
+
+// rowKey joins a row's non-perf cells — the workload coordinates (N, n,
+// construction, message, ...) that identify the measurement across runs.
+func rowKey(header []string, row []string) string {
+	var parts []string
+	for i, cell := range row {
+		if i < len(header) && IsPerfColumn(header[i]) {
+			continue
+		}
+		parts = append(parts, cell)
+	}
+	return strings.Join(parts, "|")
+}
+
+// rowsByKey indexes a table's rows; duplicate keys get an ordinal suffix so
+// repeated workloads still join positionally.
+func rowsByKey(t *Table) map[string][]string {
+	out := make(map[string][]string, len(t.Rows))
+	seen := map[string]int{}
+	for _, row := range t.Rows {
+		key := rowKey(t.Header, row)
+		if n := seen[key]; n > 0 {
+			key = fmt.Sprintf("%s#%d", key, n)
+		}
+		seen[rowKey(t.Header, row)]++
+		out[key] = make([]string, len(row))
+		copy(out[key], row)
+	}
+	return out
+}
+
+// ComparePerf joins baseline and candidate tables and returns every perf
+// cell whose candidate value exceeds baseline*(1+threshold). Latency cells
+// with a baseline under minMS milliseconds are skipped — at that scale a
+// 30% delta is scheduler noise, not a regression. The returned count is the
+// number of cells actually compared, so a caller can reject a vacuous gate
+// (zero overlap means the baseline is stale, not that everything is fine).
+func ComparePerf(baseline, candidate []*Table, threshold, minMS float64) (regs []Regression, compared int, err error) {
+	if threshold <= 0 {
+		return nil, 0, fmt.Errorf("experiment: threshold must be positive, got %g", threshold)
+	}
+	cand := make(map[string]*Table, len(candidate))
+	for _, t := range candidate {
+		cand[t.ID] = t
+	}
+	for _, bt := range baseline {
+		ct, ok := cand[bt.ID]
+		if !ok {
+			continue // experiment removed or renamed; not a perf signal
+		}
+		// Map candidate columns by header so column reordering cannot
+		// silently compare the wrong cells.
+		ccol := map[string]int{}
+		for i, h := range ct.Header {
+			ccol[h] = i
+		}
+		crows := rowsByKey(ct)
+		for bkey, brow := range rowsByKey(bt) {
+			crow, ok := crows[bkey]
+			if !ok {
+				continue // workload point changed; nothing to compare against
+			}
+			for i, h := range bt.Header {
+				if !IsPerfColumn(h) || i >= len(brow) {
+					continue
+				}
+				j, ok := ccol[h]
+				if !ok || j >= len(crow) {
+					continue
+				}
+				b, errB := strconv.ParseFloat(brow[i], 64)
+				c, errC := strconv.ParseFloat(crow[j], 64)
+				if errB != nil || errC != nil || b <= 0 {
+					continue
+				}
+				if isLatencyColumn(h) && b < minMS {
+					continue
+				}
+				compared++
+				if c > b*(1+threshold) {
+					regs = append(regs, Regression{
+						Table: bt.ID, Row: bkey, Column: h,
+						Baseline: b, Candidate: c, Ratio: c / b,
+					})
+				}
+			}
+		}
+	}
+	return regs, compared, nil
+}

@@ -31,8 +31,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"fuzzyid/internal/store"
+	"fuzzyid/internal/telemetry"
 )
 
 // Errors returned by the persistence layer.
@@ -73,6 +75,31 @@ func WithSyncPolicy(p SyncPolicy) Option {
 	return optionFunc(func(l *Log) { l.sync = p })
 }
 
+// WithTelemetry binds the log's instruments (WAL appends and bytes, fsyncs
+// on the append/rotate/close path, snapshot count and duration) to reg. A
+// nil reg leaves the log uninstrumented.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return optionFunc(func(l *Log) { l.m.bind(reg) })
+}
+
+// logMetrics are the persistence instruments. The zero value (nil
+// instruments) is the uninstrumented state.
+type logMetrics struct {
+	appends     *telemetry.Counter   // mutations appended to the WAL
+	appendBytes *telemetry.Counter   // framed bytes appended
+	fsyncs      *telemetry.Counter   // fsyncs on the active segment
+	snapshots   *telemetry.Counter   // snapshots written
+	snapDur     *telemetry.Histogram // snapshot write+purge duration
+}
+
+func (m *logMetrics) bind(reg *telemetry.Registry) {
+	m.appends = reg.Counter("persist.wal.appends")
+	m.appendBytes = reg.Counter("persist.wal.append_bytes")
+	m.fsyncs = reg.Counter("persist.wal.fsyncs")
+	m.snapshots = reg.Counter("persist.snapshots")
+	m.snapDur = reg.Histogram("persist.snapshot.duration")
+}
+
 // Log is a durable mutation journal over one directory. It implements
 // store.Journal and store.Snapshotter. The lifecycle is Open -> Replay ->
 // (Append | Rotate/WriteSnapshot)* -> Close; Append and Rotate are safe for
@@ -81,6 +108,7 @@ func WithSyncPolicy(p SyncPolicy) Option {
 type Log struct {
 	dir  string
 	sync SyncPolicy
+	m    logMetrics
 
 	mu       sync.Mutex
 	replayed bool
@@ -379,13 +407,22 @@ func (l *Log) Append(m store.Mutation) error {
 		return l.poison(fmt.Errorf("persist: append flush: %w", err))
 	}
 	if l.sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
+		if err := l.fsync(); err != nil {
 			return l.poison(fmt.Errorf("persist: append sync: %w", err))
 		}
 	}
 	l.size += int64(len(l.scratch))
 	l.appends++
+	l.m.appends.Inc()
+	l.m.appendBytes.Add(uint64(len(l.scratch)))
 	return nil
+}
+
+// fsync syncs the active segment and counts it. Caller holds l.mu.
+func (l *Log) fsync() error {
+	err := l.f.Sync()
+	l.m.fsyncs.Inc()
+	return err
 }
 
 // Rotate implements store.Snapshotter: it seals the active segment and
@@ -407,7 +444,7 @@ func (l *Log) Rotate() (uint64, error) {
 	if err := l.w.Flush(); err != nil {
 		return 0, fmt.Errorf("persist: rotate flush: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		return 0, fmt.Errorf("persist: rotate sync: %w", err)
 	}
 	old := l.f
@@ -443,10 +480,16 @@ func (l *Log) WriteSnapshot(seq uint64, recs []*store.Record) error {
 	l.mu.Unlock()
 	// File work happens without the lock so appends keep flowing into the
 	// already-rotated active segment while the snapshot is written.
+	start := time.Now()
 	if err := writeSnapshotFile(l.dir, seq, recs); err != nil {
 		return err
 	}
-	return l.purge(seq)
+	if err := l.purge(seq); err != nil {
+		return err
+	}
+	l.m.snapshots.Inc()
+	l.m.snapDur.Observe(time.Since(start))
+	return nil
 }
 
 // purge removes snapshots and WAL segments strictly older than seq.
@@ -485,7 +528,7 @@ func (l *Log) Close() error {
 	if err := l.w.Flush(); err != nil {
 		errs = append(errs, fmt.Errorf("persist: close flush: %w", err))
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.fsync(); err != nil {
 		errs = append(errs, fmt.Errorf("persist: close sync: %w", err))
 	}
 	if err := l.f.Close(); err != nil {

@@ -25,12 +25,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/sigscheme"
 	"fuzzyid/internal/sketch"
 	"fuzzyid/internal/store"
+	"fuzzyid/internal/telemetry"
 	"fuzzyid/internal/wire"
 )
 
@@ -271,6 +273,27 @@ func (d *Device) IdentifyNormal(rw io.ReadWriter, bio numberline.Vector) (string
 	return "", ErrNoMatch
 }
 
+// Stats runs a stats session: it asks the server for its telemetry snapshot
+// and returns the raw JSON document (see internal/telemetry.ParseSnapshot
+// for the typed view). Servers without telemetry reject the request.
+func (d *Device) Stats(rw io.ReadWriter) ([]byte, error) {
+	if err := wire.Send(rw, &wire.StatsRequest{}); err != nil {
+		return nil, err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.StatsResponse:
+		return m.JSON, nil
+	case *wire.Reject:
+		return nil, &RejectedError{Reason: m.Reason}
+	default:
+		return nil, fmt.Errorf("%w: %T awaiting stats", ErrProtocol, msg)
+	}
+}
+
 // answerChallenge receives (P, c), recovers the key, signs and awaits the
 // verdict, checking the accepted identity equals wantID when non-empty.
 func (d *Device) answerChallenge(rw io.ReadWriter, bio numberline.Vector, wantID string) error {
@@ -367,6 +390,7 @@ type Server struct {
 	fe     *core.FuzzyExtractor
 	scheme sigscheme.Scheme
 	db     store.Store
+	m      serverMetrics
 }
 
 // NewServer constructs a server over the given store.
@@ -377,6 +401,47 @@ func NewServer(fe *core.FuzzyExtractor, scheme sigscheme.Scheme, db store.Store)
 // Store returns the server's record store.
 func (s *Server) Store() store.Store { return s.db }
 
+// opStats groups the instruments of one protocol operation: sessions opened,
+// sessions that failed with a transport/protocol error, and the server-side
+// handling latency (from the opening request being parsed to the final
+// verdict being written, so it includes the challenge round trips).
+type opStats struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func (o *opStats) bind(reg *telemetry.Registry, op string) {
+	o.requests = reg.Counter("protocol." + op + ".requests")
+	o.errors = reg.Counter("protocol." + op + ".errors")
+	o.latency = reg.Histogram("protocol." + op + ".latency")
+}
+
+// serverMetrics holds one opStats per operation. The zero value (all nil
+// instruments) is the uninstrumented state and costs one branch per update.
+type serverMetrics struct {
+	reg                                                                     *telemetry.Registry
+	enroll, verify, identify, identifyNormal, identifyBatch, revoke, statsQ opStats
+}
+
+// Instrument binds the server's per-operation metrics to reg and makes reg
+// the snapshot the stats session reports. Call before serving traffic;
+// Instrument(nil) leaves the server uninstrumented.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	s.m.reg = reg
+	s.m.enroll.bind(reg, "enroll")
+	s.m.verify.bind(reg, "verify")
+	s.m.identify.bind(reg, "identify")
+	s.m.identifyNormal.bind(reg, "identify_normal")
+	s.m.identifyBatch.bind(reg, "identify_batch")
+	s.m.revoke.bind(reg, "revoke")
+	s.m.statsQ.bind(reg, "stats")
+}
+
+// Telemetry returns the registry bound by Instrument (nil when
+// uninstrumented).
+func (s *Server) Telemetry() *telemetry.Registry { return s.m.reg }
+
 // HandleSession serves exactly one protocol run (one request message and its
 // follow-ups) on rw. It returns io.EOF when the peer closed the stream
 // before a request, nil after a completed run (including rejections, which
@@ -386,24 +451,51 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 	if err != nil {
 		return err
 	}
+	var om *opStats
+	var run func() error
 	switch m := msg.(type) {
 	case *wire.EnrollRequest:
-		return s.handleEnroll(rw, m)
+		om, run = &s.m.enroll, func() error { return s.handleEnroll(rw, m) }
 	case *wire.VerifyRequest:
-		return s.handleVerify(rw, m)
+		om, run = &s.m.verify, func() error { return s.handleVerify(rw, m) }
 	case *wire.IdentifyRequest:
 		if m.Normal {
-			return s.handleIdentifyNormal(rw)
+			om, run = &s.m.identifyNormal, func() error { return s.handleIdentifyNormal(rw) }
+		} else {
+			om, run = &s.m.identify, func() error { return s.handleIdentify(rw, m) }
 		}
-		return s.handleIdentify(rw, m)
 	case *wire.RevokeRequest:
-		return s.handleRevoke(rw, m)
+		om, run = &s.m.revoke, func() error { return s.handleRevoke(rw, m) }
 	case *wire.IdentifyBatchRequest:
-		return s.handleIdentifyBatch(rw, m)
+		om, run = &s.m.identifyBatch, func() error { return s.handleIdentifyBatch(rw, m) }
+	case *wire.StatsRequest:
+		om, run = &s.m.statsQ, func() error { return s.handleStats(rw) }
 	default:
 		_ = wire.Send(rw, &wire.Reject{Reason: "unexpected message"})
 		return fmt.Errorf("%w: %T as session opener", ErrProtocol, msg)
 	}
+	om.requests.Inc()
+	start := time.Now()
+	err = run()
+	om.latency.Observe(time.Since(start))
+	if err != nil {
+		om.errors.Inc()
+	}
+	return err
+}
+
+// handleStats serves the operational stats session: the registry snapshot as
+// JSON — the same document the HTTP stats endpoint serves. An
+// uninstrumented server rejects the request.
+func (s *Server) handleStats(rw io.ReadWriter) error {
+	if s.m.reg == nil {
+		return wire.Send(rw, &wire.Reject{Reason: "telemetry disabled"})
+	}
+	buf, err := s.m.reg.MarshalJSON()
+	if err != nil {
+		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("stats: %v", err)})
+	}
+	return wire.Send(rw, &wire.StatsResponse{JSON: buf})
 }
 
 func (s *Server) handleEnroll(rw io.ReadWriter, m *wire.EnrollRequest) error {

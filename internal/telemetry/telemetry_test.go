@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0}, // negative durations are clamped, not a panic
+		{0, 0},
+		{500 * time.Nanosecond, 0},         // sub-microsecond
+		{999 * time.Nanosecond, 0},         // just under the first bound
+		{time.Microsecond, 1},              // exactly 1µs opens bucket 1
+		{time.Microsecond + 999, 1},        // 1.999µs still bucket 1
+		{2 * time.Microsecond, 2},          // exactly 2µs opens bucket 2
+		{3 * time.Microsecond, 2},          // [2µs, 4µs)
+		{4 * time.Microsecond, 3},          // boundary again
+		{1023 * time.Microsecond, 10},      // just under 1.024ms
+		{1024 * time.Microsecond, 11},      // 2^10 µs boundary
+		{time.Second, 20},                  // 1e6 µs: 2^19 < 1e6 < 2^20
+		{100 * time.Hour, NumBuckets - 1},  // absurd outlier: top bucket
+		{time.Duration(math.MaxInt64), 39}, // no overflow at the extreme
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	if got := BucketUpperBound(0); got != time.Microsecond {
+		t.Fatalf("bucket 0 upper bound = %v, want 1µs", got)
+	}
+	if got := BucketUpperBound(11); got != 2048*time.Microsecond {
+		t.Fatalf("bucket 11 upper bound = %v, want 2.048ms", got)
+	}
+	// Every observation lands strictly below its bucket's upper bound and at
+	// or above the previous bucket's.
+	for _, d := range []time.Duration{0, time.Microsecond, 999 * time.Microsecond, 17 * time.Millisecond, 3 * time.Second} {
+		i := bucketIndex(d)
+		if d >= BucketUpperBound(i) && i != NumBuckets-1 {
+			t.Errorf("%v landed in bucket %d but >= its upper bound %v", d, i, BucketUpperBound(i))
+		}
+		if i > 0 && d < BucketUpperBound(i-1) {
+			t.Errorf("%v landed in bucket %d but < lower bound %v", d, i, BucketUpperBound(i-1))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations at ~1ms, 10 slow at ~100ms: p50 must sit in the
+	// 1ms bucket, p99 in the 100ms bucket.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 512*time.Microsecond || p50 > 2048*time.Microsecond {
+		t.Errorf("p50 = %v, want within the ~1ms bucket", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 64*time.Millisecond || p99 > 140*time.Millisecond {
+		t.Errorf("p99 = %v, want within the ~100ms bucket", p99)
+	}
+	if h.Quantile(0) > h.Quantile(1) {
+		t.Errorf("quantiles not monotone: q0=%v q1=%v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99MS != 0 || len(s.Bucket) != 0 {
+		t.Fatalf("empty snapshot not zero: %+v", s)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(7)
+	g.Inc()
+	g.Dec()
+	g.Set(3)
+	h.Observe(time.Second)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram quantile must be 0")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("transport.conns.accepted")
+	b := r.Counter("transport.conns.accepted")
+	if a != b {
+		t.Fatal("same name must resolve to the same counter")
+	}
+	a.Add(3)
+	if got := r.Snapshot().Counter("transport.conns.accepted"); got != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", got)
+	}
+}
+
+// TestConcurrentObservation hammers one histogram and one counter from many
+// goroutines; run under -race this certifies the lock-free hot path, and the
+// final totals certify that no observation was lost.
+func TestConcurrentObservation(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	r := NewRegistry()
+	h := r.Histogram("protocol.identify.latency")
+	c := r.Counter("protocol.identify.requests")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(time.Duration(w*i%5000) * time.Microsecond)
+				if i%1000 == 0 {
+					_ = r.Snapshot() // snapshots race observations by design
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var sum uint64
+	for _, b := range h.Snapshot().Bucket {
+		sum += b.Count
+	}
+	if sum != workers*perWorker {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*perWorker)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("persist.wal.appends").Add(42)
+	r.Gauge("transport.conns.active").Set(5)
+	for i := 0; i < 10; i++ {
+		r.Histogram("protocol.enroll.latency").Observe(3 * time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ParseSnapshot: %v\n%s", err, buf.String())
+	}
+	if s.Counter("persist.wal.appends") != 42 {
+		t.Fatalf("round-tripped counter = %d, want 42", s.Counter("persist.wal.appends"))
+	}
+	if s.Gauges["transport.conns.active"] != 5 {
+		t.Fatalf("round-tripped gauge = %d, want 5", s.Gauges["transport.conns.active"])
+	}
+	hs := s.Histograms["protocol.enroll.latency"]
+	if hs.Count != 10 || hs.P50MS <= 0 {
+		t.Fatalf("round-tripped histogram: %+v", hs)
+	}
+	// The export is plain JSON an external scraper can parse too.
+	var generic map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := generic["histograms"]; !ok {
+		t.Fatal("JSON export missing histograms key")
+	}
+}

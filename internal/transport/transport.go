@@ -15,6 +15,7 @@ import (
 
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/telemetry"
 )
 
 // Errors returned by the transport layer.
@@ -32,12 +33,56 @@ type Server struct {
 	idleTimeout time.Duration
 	maxConns    int
 	closer      io.Closer
+	m           connMetrics
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 
 	wg sync.WaitGroup
+}
+
+// connMetrics are the transport-layer instruments: connection lifecycle
+// counts and raw bytes moved. The zero value (nil instruments) is the
+// uninstrumented state.
+type connMetrics struct {
+	accepted *telemetry.Counter // connections admitted into serving
+	rejected *telemetry.Counter // connections refused at the maxConns cap
+	active   *telemetry.Gauge   // connections currently being served
+	bytesIn  *telemetry.Counter // bytes read from peers
+	bytesOut *telemetry.Counter // bytes written to peers
+}
+
+func (m *connMetrics) bind(reg *telemetry.Registry) {
+	m.accepted = reg.Counter("transport.conns.accepted")
+	m.rejected = reg.Counter("transport.conns.rejected")
+	m.active = reg.Gauge("transport.conns.active")
+	m.bytesIn = reg.Counter("transport.bytes.in")
+	m.bytesOut = reg.Counter("transport.bytes.out")
+}
+
+// measuredRW counts the bytes a session moves over the connection. It wraps
+// only the stream handed to the protocol engine; deadline control stays on
+// the underlying net.Conn.
+type measuredRW struct {
+	rw      io.ReadWriter
+	in, out *telemetry.Counter
+}
+
+func (c *measuredRW) Read(p []byte) (int, error) {
+	n, err := c.rw.Read(p)
+	if n > 0 {
+		c.in.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *measuredRW) Write(p []byte) (int, error) {
+	n, err := c.rw.Write(p)
+	if n > 0 {
+		c.out.Add(uint64(n))
+	}
+	return n, err
 }
 
 // ServerOption configures a Server.
@@ -70,6 +115,17 @@ func WithMaxConns(n int) ServerOption {
 // session finished mutating it.
 func WithCloser(c io.Closer) ServerOption {
 	return serverOptionFunc(func(s *Server) { s.closer = c })
+}
+
+// WithTelemetry binds the server's transport-layer instruments (connections
+// accepted/active/rejected, bytes in/out) to reg and instruments the
+// protocol engine against the same registry, so one snapshot covers both
+// layers. A nil reg leaves the server uninstrumented.
+func WithTelemetry(reg *telemetry.Registry) ServerOption {
+	return serverOptionFunc(func(s *Server) {
+		s.m.bind(reg)
+		s.proto.Instrument(reg)
+	})
 }
 
 // Listen starts a TCP server for proto on addr (e.g. "127.0.0.1:0").
@@ -125,12 +181,16 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			return
 		case trackFull:
+			s.m.rejected.Inc()
 			conn.Close() // past the connection cap: refuse, keep accepting
 			continue
 		}
+		s.m.accepted.Inc()
+		s.m.active.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.m.active.Dec()
 			defer s.untrack(conn)
 			s.serveConn(conn)
 		}()
@@ -168,13 +228,17 @@ func (s *Server) untrack(conn net.Conn) {
 
 // serveConn runs protocol sessions until the peer disconnects or misbehaves.
 func (s *Server) serveConn(conn net.Conn) {
+	var rw io.ReadWriter = conn
+	if s.m.bytesIn != nil || s.m.bytesOut != nil {
+		rw = &measuredRW{rw: conn, in: s.m.bytesIn, out: s.m.bytesOut}
+	}
 	for {
 		if s.idleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.idleTimeout)); err != nil {
 				return
 			}
 		}
-		if err := s.proto.HandleSession(conn); err != nil {
+		if err := s.proto.HandleSession(rw); err != nil {
 			return // EOF, timeout or protocol violation: drop the connection
 		}
 	}
@@ -280,6 +344,19 @@ func (c *Client) IdentifyBatch(readings []numberline.Vector) ([]string, error) {
 		return err
 	})
 	return ids, err
+}
+
+// Stats asks the server for its telemetry snapshot over the native protocol
+// and returns the raw JSON document. Servers without telemetry reject the
+// request (protocol.IsRejected on the error).
+func (c *Client) Stats() ([]byte, error) {
+	var buf []byte
+	err := c.withSession(func(rw io.ReadWriter) error {
+		var err error
+		buf, err = c.device.Stats(rw)
+		return err
+	})
+	return buf, err
 }
 
 // IdentifyNormal runs the O(N) normal-approach identification.

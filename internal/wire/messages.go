@@ -49,6 +49,10 @@ const (
 	// TypeIdentifyBatchResult reports the per-probe verdicts (the
 	// identified ID, or "" for probes that failed).
 	TypeIdentifyBatchResult
+	// TypeStatsRequest asks the server for its telemetry snapshot.
+	TypeStatsRequest
+	// TypeStatsResponse carries the telemetry snapshot as JSON.
+	TypeStatsResponse
 )
 
 // MaxIdentifyBatch bounds the probes of one batched identification run.
@@ -488,6 +492,38 @@ func (m *IdentifyBatchResult) decode(d *Decoder) error {
 	return nil
 }
 
+// StatsRequest opens a stats session: the client asks the server for its
+// current telemetry snapshot (operational monitoring, not part of the
+// paper's protocols). Servers without telemetry answer with a Reject.
+type StatsRequest struct{}
+
+// Type implements Message.
+func (*StatsRequest) Type() MsgType { return TypeStatsRequest }
+
+func (m *StatsRequest) encode(e *Encoder) {}
+
+func (m *StatsRequest) decode(d *Decoder) error { return nil }
+
+// StatsResponse carries the server's telemetry snapshot. The payload is the
+// JSON document of internal/telemetry.(*Registry).MarshalJSON — the same
+// bytes the -stats-addr HTTP endpoint serves — so the wire stays stable as
+// metrics are added (JSON is self-describing; new keys are ignored by old
+// clients).
+type StatsResponse struct {
+	JSON []byte
+}
+
+// Type implements Message.
+func (*StatsResponse) Type() MsgType { return TypeStatsResponse }
+
+func (m *StatsResponse) encode(e *Encoder) { e.VarBytes(m.JSON) }
+
+func (m *StatsResponse) decode(d *Decoder) error {
+	var err error
+	m.JSON, err = d.VarBytes(MaxBytesLen)
+	return err
+}
+
 // Reject reports protocol failure (the ⊥ output).
 type Reject struct {
 	Reason string
@@ -585,6 +621,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &IdentifyBatchSignature{}, nil
 	case TypeIdentifyBatchResult:
 		return &IdentifyBatchResult{}, nil
+	case TypeStatsRequest:
+		return &StatsRequest{}, nil
+	case TypeStatsResponse:
+		return &StatsResponse{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
 	}

@@ -1,0 +1,151 @@
+package fuzzyid_test
+
+import (
+	"testing"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/protocol"
+)
+
+// TestTelemetryEndToEnd drives a real TCP enroll→verify→identify→batch→
+// revoke sequence against a WithTelemetry system and asserts that every
+// layer's counters moved: per-op protocol counts and latencies, transport
+// connection/byte accounting, and WAL appends for the persistent store.
+func TestTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32},
+		fuzzyid.WithTelemetry(),
+		fuzzyid.WithPersistence(dir),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dialer.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(32), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := src.Population(3)
+	for _, u := range users {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll %s: %v", u.ID, err)
+		}
+	}
+	reading := func(i int) fuzzyid.Vector {
+		r, err := src.GenuineReading(users[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if err := client.Verify(users[0].ID, reading(0)); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if id, err := client.Identify(reading(1)); err != nil || id != users[1].ID {
+		t.Fatalf("identify = (%q, %v)", id, err)
+	}
+	if ids, err := client.IdentifyBatch([]fuzzyid.Vector{reading(0), reading(2)}); err != nil ||
+		ids[0] != users[0].ID || ids[1] != users[2].ID {
+		t.Fatalf("identify batch = (%v, %v)", ids, err)
+	}
+	if err := client.Revoke(users[2].ID, reading(2)); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+
+	// Native-protocol stats session: the same JSON document the HTTP
+	// endpoint serves, fetched over the wire.
+	buf, err := client.Stats()
+	if err != nil {
+		t.Fatalf("stats over the wire: %v", err)
+	}
+	snap, err := fuzzyid.ParseStats(buf)
+	if err != nil {
+		t.Fatalf("parse stats: %v\n%s", err, buf)
+	}
+
+	wantCounters := map[string]uint64{
+		"protocol.enroll.requests":         3,
+		"protocol.verify.requests":         1,
+		"protocol.identify.requests":       1,
+		"protocol.identify_batch.requests": 1,
+		"protocol.revoke.requests":         1,
+		"protocol.stats.requests":          1,
+		"transport.conns.accepted":         1,
+		"persist.wal.appends":              4, // 3 enrollments + 1 revocation
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	for _, name := range []string{
+		"protocol.enroll.errors", "protocol.verify.errors", "protocol.identify.errors",
+	} {
+		if got := snap.Counter(name); got != 0 {
+			t.Errorf("%s = %d, want 0", name, got)
+		}
+	}
+	if sys.Persistent() { // SyncAlways: at least one fsync per append
+		if got := snap.Counter("persist.wal.fsyncs"); got < 4 {
+			t.Errorf("persist.wal.fsyncs = %d, want >= 4", got)
+		}
+	}
+	for _, name := range []string{"transport.bytes.in", "transport.bytes.out"} {
+		if got := snap.Counter(name); got == 0 {
+			t.Errorf("%s = 0, want > 0", name)
+		}
+	}
+	if got := snap.Gauges["transport.conns.active"]; got != 1 {
+		t.Errorf("transport.conns.active = %d, want 1 (this client)", got)
+	}
+	hist := snap.Histograms["protocol.enroll.latency"]
+	if hist.Count != 3 {
+		t.Errorf("enroll latency count = %d, want 3", hist.Count)
+	}
+	if hist.Count > 0 && hist.P95MS <= 0 {
+		t.Errorf("enroll latency p95 = %v, want > 0", hist.P95MS)
+	}
+
+	// The facade snapshot agrees with the wire snapshot on settled counters
+	// (the stats op itself races; compare a quiesced one).
+	local := sys.Stats()
+	if got := local.Counter("protocol.enroll.requests"); got != 3 {
+		t.Errorf("facade enroll requests = %d, want 3", got)
+	}
+}
+
+// TestStatsRejectedWithoutTelemetry pins the contract that a server built
+// without WithTelemetry answers a stats session with a rejection, not a
+// protocol error.
+func TestStatsRejectedWithoutTelemetry(t *testing.T) {
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, stop := sys.LocalClient()
+	defer stop()
+	_, err = client.Stats()
+	if err == nil {
+		t.Fatal("stats succeeded on an uninstrumented server")
+	}
+	if !protocol.IsRejected(err) {
+		t.Fatalf("stats error = %v, want a rejection", err)
+	}
+}
