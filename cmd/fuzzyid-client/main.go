@@ -9,6 +9,7 @@
 //	fuzzyid-client -addr HOST:PORT identify-batch probe1.vec probe2.vec ...
 //	fuzzyid-client -addr HOST:PORT revoke  -id alice -vec probe.vec
 //	fuzzyid-client -addr HOST:PORT stats
+//	fuzzyid-client -addr HOST:PORT repl-status
 //
 // newuser and reading are local conveniences backed by the synthetic
 // biometric source, so a full demo needs no external data.
@@ -45,7 +46,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke or stats")
+		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke, stats or repl-status")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	switch cmd {
@@ -59,6 +60,8 @@ func run(args []string) error {
 		return cmdIdentifyBatch(cmdArgs, *addr, *scheme, *ext)
 	case "stats":
 		return cmdStats(*addr, *scheme, *ext)
+	case "repl-status":
+		return cmdReplStatus(*addr, *scheme, *ext)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -89,6 +92,36 @@ func cmdStats(addr, scheme, ext string) error {
 	}
 	_, err = os.Stdout.Write(append(buf, '\n'))
 	return err
+}
+
+// cmdReplStatus probes the server's replication role and progress — the
+// quickest way to see whether a follower is connected and how far behind
+// the primary it is.
+func cmdReplStatus(addr, scheme, ext string) error {
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine()},
+		fuzzyid.WithSignatureScheme(scheme),
+		fuzzyid.WithExtractor(ext),
+	)
+	if err != nil {
+		return err
+	}
+	client, err := sys.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	st, err := client.ReplStatus()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("role: %s\n", st.Role)
+	if st.Primary != "" {
+		fmt.Printf("primary: %s\n", st.Primary)
+	}
+	fmt.Printf("epoch: %x\napplied: %d\nlatest: %d\nlag: %d\nconnected: %v\n",
+		st.Epoch, st.Applied, st.Latest, st.Lag, st.Connected)
+	return nil
 }
 
 // cmdIdentifyBatch resolves several probe files in one batched session.

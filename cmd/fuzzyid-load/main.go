@@ -16,12 +16,22 @@
 //
 // Scenarios (-scenario, comma-separated or "all", run in the order given):
 //
-//	enroll    — enrollment-heavy write traffic: every op enrolls a fresh user
-//	identify  — read traffic: identify a genuine reading of an enrolled user
-//	mixed     — 80% identify / 10% verify / 10% enroll
-//	batch     — batched identification: -batch readings per session
-//	churn     — revoke/re-enroll cycles over a worker-owned user slice
-//	noise     — impostor probes that should miss (server-side reject path)
+//	enroll     — enrollment-heavy write traffic: every op enrolls a fresh user
+//	identify   — read traffic: identify a genuine reading of an enrolled user
+//	mixed      — 80% identify / 10% verify / 10% enroll
+//	batch      — batched identification: -batch readings per session
+//	churn      — revoke/re-enroll cycles over a worker-owned user slice
+//	noise      — impostor probes that should miss (server-side reject path)
+//	replicated — identify traffic fanned out across -replicas followers
+//	             (requires -replicas; not part of "all")
+//
+// With -replicas addr1,addr2 every worker's reads fan out round-robin
+// across those follower servers (mutations stay pinned to -addr, which must
+// be the primary); before the first scenario the harness waits for every
+// replica to report zero lag, so the measured traffic runs against
+// caught-up followers. The replicated scenario is identify traffic under
+// that fan-out — compare its ops/s against a plain identify run on the
+// same hardware to measure read scaling (see OPERATIONS.md).
 //
 // With -format json the report is machine-readable (CI diffs it across
 // runs); -server-stats additionally embeds the server's own telemetry
@@ -62,6 +72,7 @@ var scenarioOrder = []string{"enroll", "identify", "mixed", "batch", "churn", "n
 
 type config struct {
 	addr     string
+	replicas []string
 	dim      int
 	workers  int
 	duration time.Duration
@@ -76,6 +87,7 @@ type config struct {
 // only, so CI diffs stay comparable across versions.
 type report struct {
 	Addr        string                 `json:"addr"`
+	Replicas    []string               `json:"replicas,omitempty"`
 	Dim         int                    `json:"dim"`
 	Workers     int                    `json:"workers"`
 	DurationS   float64                `json:"duration_s"`
@@ -101,14 +113,15 @@ type scenarioResult struct {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fuzzyid-load", flag.ContinueOnError)
 	var (
-		addr        = fs.String("addr", "127.0.0.1:7700", "server address")
-		scenario    = fs.String("scenario", "all", "comma-separated scenario list: "+strings.Join(scenarioOrder, ", ")+", or 'all'")
+		addr        = fs.String("addr", "127.0.0.1:7700", "server address (the primary when -replicas is set)")
+		replicas    = fs.String("replicas", "", "comma-separated follower addresses for read fan-out")
+		scenario    = fs.String("scenario", "all", "comma-separated scenario list: "+strings.Join(scenarioOrder, ", ")+", 'replicated', or 'all'")
 		workers     = fs.Int("workers", 8, "concurrent closed-loop workers (one connection each)")
 		duration    = fs.Duration("duration", 5*time.Second, "wall-clock budget per scenario")
 		users       = fs.Int("users", 50, "pre-enrolled population size")
 		dim         = fs.Int("dim", 512, "feature-vector dimension (must match the server)")
 		batch       = fs.Int("batch", 16, "readings per batch-scenario session")
-		seed        = fs.Int64("seed", 1, "workload seed (templates and noise)")
+		seed        = fs.Int64("seed", 1, "workload seed (templates and noise); use a distinct seed per run against a live server, or re-enrolled twin templates make identify ambiguous")
 		scheme      = fs.String("scheme", "ed25519", "signature scheme (must match the server)")
 		ext         = fs.String("extractor", "hmac-sha256", "strong extractor (must match the server)")
 		format      = fs.String("format", "text", "output format: text or json")
@@ -124,16 +137,26 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var replicaAddrs []string
+	for _, a := range strings.Split(*replicas, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			replicaAddrs = append(replicaAddrs, a)
+		}
+	}
 	for _, name := range scenarios {
 		// Churn stripes the population across the workers; every worker
 		// needs at least one user to own.
 		if name == "churn" && *users < *workers {
 			return fmt.Errorf("churn needs -users >= -workers (got %d users for %d workers)", *users, *workers)
 		}
+		if name == "replicated" && len(replicaAddrs) == 0 {
+			return errors.New("the replicated scenario needs -replicas (follower addresses)")
+		}
 	}
 	cfg := config{
-		addr: *addr, dim: *dim, workers: *workers, duration: *duration,
-		users: *users, batch: *batch, seed: *seed, scheme: *scheme, ext: *ext,
+		addr: *addr, replicas: replicaAddrs, dim: *dim, workers: *workers,
+		duration: *duration, users: *users, batch: *batch, seed: *seed,
+		scheme: *scheme, ext: *ext,
 	}
 	rep, err := drive(cfg, scenarios, *serverStats)
 	if err != nil {
@@ -155,7 +178,9 @@ func parseScenarios(s string) ([]string, error) {
 	if s == "all" {
 		return scenarioOrder, nil
 	}
-	known := map[string]bool{}
+	// "replicated" is requested explicitly, never part of "all": it only
+	// makes sense with -replicas pointing at live followers.
+	known := map[string]bool{"replicated": true}
 	for _, name := range scenarioOrder {
 		known[name] = true
 	}
@@ -203,7 +228,9 @@ func (w *worker) op(scenario string) error {
 		w.seq++
 		u := w.src.NewUser(fmt.Sprintf("load-%x-w%d-%d", w.nonce, w.id, w.seq))
 		return w.client.Enroll(u.ID, u.Template)
-	case "identify":
+	case "identify", "replicated":
+		// replicated is identify traffic under the -replicas read fan-out;
+		// the separate name keeps reports and CI comparisons explicit.
 		u := w.pop[w.rng.Intn(len(w.pop))]
 		return w.identify(u)
 	case "mixed":
@@ -299,15 +326,24 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 	if err != nil {
 		return nil, err
 	}
+	var clientOpts []fuzzyid.ClientOption
+	if len(cfg.replicas) > 0 {
+		clientOpts = append(clientOpts, fuzzyid.WithReplicas(cfg.replicas...))
+	}
 	nonce := time.Now().UnixNano()
 	workers := make([]*worker, cfg.workers)
 	for i := range workers {
-		client, err := sys.Dial(cfg.addr)
+		client, err := sys.Dial(cfg.addr, clientOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("worker %d: %w", i, err)
 		}
 		defer client.Close()
-		src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(cfg.dim), cfg.seed+int64(i))
+		// Worker seeds are spaced by 2^16 per -seed so two runs with
+		// different seeds against the same server can never regenerate the
+		// same template streams: a duplicate template enrolled under a new
+		// ID would make identification legitimately ambiguous (the store
+		// may return either twin) and read as a spurious miss.
+		src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(cfg.dim), cfg.seed<<16+int64(i))
 		if err != nil {
 			return nil, err
 		}
@@ -321,6 +357,13 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 	if err != nil {
 		return nil, err
 	}
+	if len(cfg.replicas) > 0 {
+		// Measured traffic must run against caught-up followers, or misses
+		// would reflect bootstrap timing rather than matching quality.
+		if err := waitReplicasSynced(sys, cfg.replicas, 30*time.Second); err != nil {
+			return nil, err
+		}
+	}
 	for i, w := range workers {
 		w.pop = pop
 		// Stripe the population so each worker churns a disjoint slice.
@@ -329,7 +372,7 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 		}
 	}
 	rep := &report{
-		Addr: cfg.addr, Dim: cfg.dim, Workers: cfg.workers,
+		Addr: cfg.addr, Replicas: cfg.replicas, Dim: cfg.dim, Workers: cfg.workers,
 		DurationS: cfg.duration.Seconds(), Users: cfg.users, Seed: cfg.seed,
 	}
 	for _, name := range scenarios {
@@ -342,7 +385,12 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 	if wantServerStats {
 		buf, err := workers[0].client.Stats()
 		if err != nil {
-			return nil, fmt.Errorf("server stats: %w (is the server running with telemetry?)", err)
+			if protocol.IsRejected(err) {
+				// The server answered but has no registry: say so plainly
+				// instead of surfacing the raw rejection.
+				return nil, fmt.Errorf("server stats: telemetry disabled on server %s — restart fuzzyid-server with -telemetry=true (or drop -server-stats)", cfg.addr)
+			}
+			return nil, fmt.Errorf("server stats: %w", err)
 		}
 		snap, err := fuzzyid.ParseStats(buf)
 		if err != nil {
@@ -351,6 +399,39 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 		rep.ServerStats = snap
 	}
 	return rep, nil
+}
+
+// waitReplicasSynced polls every replica's replication status until it
+// reports a live stream with zero lag, so the scenarios run against
+// caught-up followers.
+func waitReplicasSynced(sys *fuzzyid.System, replicas []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, addr := range replicas {
+		probe, err := sys.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("replica %s: %w", addr, err)
+		}
+		for {
+			st, err := probe.ReplStatus()
+			if err == nil && st.Role == "replica" && st.Connected && st.Lag == 0 && st.Applied > 0 {
+				break
+			}
+			if err == nil && st.Role != "replica" {
+				probe.Close()
+				return fmt.Errorf("replica %s reports role %q (is -replicas pointing at a follower?)", addr, st.Role)
+			}
+			if time.Now().After(deadline) {
+				probe.Close()
+				if err != nil {
+					return fmt.Errorf("replica %s did not sync: %w", addr, err)
+				}
+				return fmt.Errorf("replica %s did not sync: lag %d, connected %v", addr, st.Lag, st.Connected)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		probe.Close()
+	}
+	return nil
 }
 
 // enrollPopulation enrolls the shared user set, fanned out over the workers.
@@ -445,6 +526,9 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 func writeText(w io.Writer, rep *report) error {
 	fmt.Fprintf(w, "fuzzyid-load: %s (dim=%d, %d workers, %d users, %.1fs per scenario)\n",
 		rep.Addr, rep.Dim, rep.Workers, rep.Users, rep.DurationS)
+	if len(rep.Replicas) > 0 {
+		fmt.Fprintf(w, "read fan-out: %s\n", strings.Join(rep.Replicas, ", "))
+	}
 	fmt.Fprintf(w, "%-10s %10s %8s %8s %12s %10s %10s %10s\n",
 		"scenario", "ops", "errors", "misses", "ops/s", "p50 ms", "p95 ms", "p99 ms")
 	for _, s := range rep.Scenarios {

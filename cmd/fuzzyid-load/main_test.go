@@ -185,3 +185,112 @@ func TestLoadTextFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestServerStatsTelemetryDisabledMessage pins the error the harness
+// reports when -server-stats is asked of a server running without
+// telemetry: a clear statement of the cause and the fix, not the raw wire
+// rejection.
+func TestServerStatsTelemetryDisabledMessage(t *testing.T) {
+	// A server without WithTelemetry rejects the stats session.
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", srv.Addr().String(), "-dim", "32", "-workers", "1",
+		"-users", "2", "-duration", "50ms", "-scenario", "identify",
+		"-server-stats",
+	}, &out)
+	if err == nil {
+		t.Fatal("run succeeded, want a telemetry-disabled error")
+	}
+	for _, want := range []string{"telemetry disabled on server", "-telemetry=true"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestLoadReplicatedScenario runs the replicated scenario against one
+// primary and two followers: reads fan out, zero misses, and the followers
+// serve a share of the traffic.
+func TestLoadReplicatedScenario(t *testing.T) {
+	pri, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32},
+		fuzzyid.WithTelemetry(), fuzzyid.WithReplication(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	priSrv, err := pri.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer priSrv.Close()
+	var followers []*fuzzyid.System
+	var folAddrs []string
+	for i := 0; i < 2; i++ {
+		f, err := fuzzyid.NewSystem(
+			fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32},
+			fuzzyid.WithTelemetry(), fuzzyid.WithReplicaOf(priSrv.Addr().String()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := f.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		followers = append(followers, f)
+		folAddrs = append(folAddrs, srv.Addr().String())
+	}
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", priSrv.Addr().String(),
+		"-replicas", strings.Join(folAddrs, ","),
+		"-dim", "32", "-workers", "3", "-users", "6",
+		"-duration", "300ms", "-scenario", "replicated", "-format", "json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Replicas) != 2 {
+		t.Fatalf("report replicas = %v", rep.Replicas)
+	}
+	res := rep.Scenarios[0]
+	if res.Scenario != "replicated" || res.Ops == 0 {
+		t.Fatalf("scenario result = %+v", res)
+	}
+	if res.Errors != 0 || res.Misses != 0 {
+		t.Fatalf("replicated run had %d errors, %d misses (stale reads?)", res.Errors, res.Misses)
+	}
+	var served uint64
+	for _, f := range followers {
+		served += f.Stats().Counter("protocol.identify.requests")
+	}
+	if served == 0 {
+		t.Fatal("no identify traffic reached the followers")
+	}
+}
+
+// TestLoadReplicatedNeedsReplicas pins the flag validation.
+func TestLoadReplicatedNeedsReplicas(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "replicated"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-replicas") {
+		t.Errorf("replicated without -replicas accepted: %v", err)
+	}
+}

@@ -20,6 +20,15 @@
 //
 // The same snapshot is available over the native protocol via
 // "fuzzyid-client stats".
+//
+// Read scaling (DESIGN.md §8, OPERATIONS.md): -serve-replication makes the
+// server a primary that streams its mutation log to followers, and
+// -replica-of starts a read-only follower that bootstraps from the
+// primary's snapshot and then tails the stream. Followers serve identify,
+// verify and stats locally and redirect enroll/revoke to the primary.
+//
+//	fuzzyid-server -addr 127.0.0.1:7700 -data /var/lib/fuzzyid -serve-replication
+//	fuzzyid-server -addr 127.0.0.1:7710 -replica-of 127.0.0.1:7700
 package main
 
 import (
@@ -137,12 +146,20 @@ func setup(args []string) (*proc, error) {
 		maxConns  = fs.Int("maxconns", 0, "refuse connections past this concurrent cap (0 = unbounded)")
 		telemetry = fs.Bool("telemetry", true, "collect operation counters and latency histograms")
 		statsAddr = fs.String("stats-addr", "", "serve the telemetry JSON snapshot over HTTP on this address (requires -telemetry)")
+		serveRepl = fs.Bool("serve-replication", false, "act as a replication primary: stream the mutation log to followers")
+		replicaOf = fs.String("replica-of", "", "act as a read-only follower of the primary at this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if *statsAddr != "" && !*telemetry {
 		return nil, errors.New("-stats-addr requires -telemetry=true")
+	}
+	if *replicaOf != "" && *data != "" {
+		return nil, errors.New("-replica-of is incompatible with -data (followers bootstrap from the primary's snapshot)")
+	}
+	if *replicaOf != "" && *serveRepl {
+		return nil, errors.New("-replica-of is incompatible with -serve-replication (chained replication is not supported)")
 	}
 	opts := []fuzzyid.Option{
 		fuzzyid.WithStoreStrategy(*strategy),
@@ -155,6 +172,12 @@ func setup(args []string) (*proc, error) {
 	}
 	if *data != "" {
 		opts = append(opts, fuzzyid.WithPersistence(*data))
+	}
+	if *serveRepl {
+		opts = append(opts, fuzzyid.WithReplication())
+	}
+	if *replicaOf != "" {
+		opts = append(opts, fuzzyid.WithReplicaOf(*replicaOf))
 	}
 	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: *dim}, opts...)
 	if err != nil {
@@ -180,6 +203,12 @@ func setup(args []string) (*proc, error) {
 		srv.Addr(), *dim, *strategy, *scheme)
 	if *data != "" {
 		fmt.Printf("persistence: %s (%d records recovered)\n", *data, sys.Enrolled())
+	}
+	if sys.Replicating() {
+		fmt.Println("replication: primary (streaming the mutation log to followers)")
+	}
+	if primary, ok := sys.Replica(); ok {
+		fmt.Printf("replication: read-only follower of %s (enroll/revoke redirect there)\n", primary)
 	}
 	if a := p.StatsAddr(); a != "" {
 		fmt.Printf("stats: http://%s/stats\n", a)

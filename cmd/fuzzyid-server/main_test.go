@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"fuzzyid"
 	"fuzzyid/internal/biometric"
@@ -191,5 +192,81 @@ func TestDataFlagRecovery(t *testing.T) {
 		if id, err := client2.Identify(reading); err != nil || id != u.ID {
 			t.Fatalf("identify %s after restart = (%q, %v)", u.ID, id, err)
 		}
+	}
+}
+
+// TestReplicationFlags boots a primary with -serve-replication and a
+// follower with -replica-of through the real flag path, replicates an
+// enrollment across, and checks the follower redirects mutations.
+func TestReplicationFlags(t *testing.T) {
+	pri, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32", "-serve-replication"})
+	if err != nil {
+		t.Fatalf("primary setup: %v", err)
+	}
+	defer pri.Close()
+	fol, err := setup([]string{"-addr", "127.0.0.1:0", "-dim", "32",
+		"-replica-of", pri.srv.Addr().String()})
+	if err != nil {
+		t.Fatalf("follower setup: %v", err)
+	}
+	defer fol.Close()
+
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.Dial(pri.srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(32), 151)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := src.NewUser("replicated-alice")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+
+	folClient, err := sys.Dial(fol.srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer folClient.Close()
+	// Wait for the enrollment to replicate, then identify on the follower.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := folClient.ReplStatus()
+		if err == nil && st.Role == "replica" && st.Connected && st.Lag == 0 && st.Applied > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never synced (status %+v, err %v)", st, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := folClient.Identify(reading)
+	if err != nil || id != u.ID {
+		t.Fatalf("identify on follower = (%q, %v)", id, err)
+	}
+	if err := folClient.Enroll(u.ID, u.Template); err == nil {
+		t.Fatal("follower accepted an enrollment")
+	} else if primary, ok := fuzzyid.IsNotPrimary(err); !ok || primary != pri.srv.Addr().String() {
+		t.Fatalf("follower enroll error = %v (primary %q), want NotPrimary redirect", err, primary)
+	}
+}
+
+// TestReplicationFlagValidation pins the unsupported flag combinations.
+func TestReplicationFlagValidation(t *testing.T) {
+	if _, err := setup([]string{"-replica-of", "127.0.0.1:1", "-data", t.TempDir()}); err == nil {
+		t.Error("-replica-of with -data accepted")
+	}
+	if _, err := setup([]string{"-replica-of", "127.0.0.1:1", "-serve-replication"}); err == nil {
+		t.Error("-replica-of with -serve-replication accepted")
 	}
 }

@@ -1,0 +1,106 @@
+package fuzzyid
+
+// This lint test enforces the public-API documentation contract promised in
+// OPERATIONS.md: every exported symbol of the facade (fuzzyid.go), the wire
+// codec (internal/wire) and the persistence layer (internal/persist)
+// carries a doc comment stating its contract. It runs under plain `go
+// test`, so the check gates CI and local work identically — no external
+// linter needed (CI additionally runs staticcheck's ST1000/ST1020/ST1022
+// over the same packages, which this mirrors).
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lintedDirs are the packages whose exported API must be fully documented.
+var lintedDirs = []string{".", "internal/wire", "internal/persist", "internal/replica"}
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	for _, dir := range lintedDirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			sawPkgDoc := false
+			for path, f := range pkg.Files {
+				if f.Doc != nil {
+					sawPkgDoc = true
+				}
+				lintFile(t, fset, filepath.Base(path), f)
+			}
+			if !sawPkgDoc {
+				t.Errorf("%s: package %s has no package comment", dir, pkg.Name)
+			}
+		}
+	}
+}
+
+func lintFile(t *testing.T, fset *token.FileSet, name string, f *ast.File) {
+	t.Helper()
+	report := func(pos token.Pos, what string) {
+		t.Errorf("%s:%d: %s is exported but undocumented", name, fset.Position(pos).Line, what)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				report(d.Pos(), "func "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+					if s.Name.IsExported() {
+						lintFields(t, fset, name, s)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+							report(n.Pos(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// lintFields checks exported struct fields and interface methods of an
+// exported type: each needs a doc or trailing line comment.
+func lintFields(t *testing.T, fset *token.FileSet, name string, s *ast.TypeSpec) {
+	t.Helper()
+	var fields *ast.FieldList
+	switch tt := s.Type.(type) {
+	case *ast.StructType:
+		fields = tt.Fields
+	case *ast.InterfaceType:
+		fields = tt.Methods
+	default:
+		return
+	}
+	for _, field := range fields.List {
+		if field.Doc != nil || field.Comment != nil {
+			continue
+		}
+		for _, n := range field.Names {
+			if n.IsExported() {
+				t.Errorf("%s:%d: %s.%s is exported but undocumented",
+					name, fset.Position(n.Pos()).Line, s.Name.Name, n.Name)
+			}
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/persist"
 	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/replica"
 	"fuzzyid/internal/sigscheme"
 	"fuzzyid/internal/store"
 	"fuzzyid/internal/telemetry"
@@ -70,6 +71,12 @@ type (
 	// ServerOption configures a Server started with Listen (connection
 	// caps, idle timeouts; see WithMaxConns).
 	ServerOption = transport.ServerOption
+	// ClientOption configures a Client returned by Dial (timeouts, replica
+	// fan-out; see WithReplicas).
+	ClientOption = transport.ClientOption
+	// ReplStatus is a server's replication role and progress, as answered
+	// by Client.ReplStatus.
+	ReplStatus = transport.ReplStatus
 	// Metrics is the telemetry registry of a system built WithTelemetry:
 	// counters, gauges and latency histograms for the transport, protocol
 	// and persistence layers, exportable as one JSON snapshot.
@@ -82,10 +89,37 @@ type (
 // -stats-addr endpoint) into a typed snapshot.
 func ParseStats(buf []byte) (*StatsSnapshot, error) { return telemetry.ParseSnapshot(buf) }
 
+// NewMetrics returns an empty telemetry registry — the receptacle for
+// client-side instruments (see WithClientTelemetry); server-side systems
+// get theirs implicitly via WithTelemetry.
+func NewMetrics() *Metrics { return telemetry.NewRegistry() }
+
 // WithMaxConns bounds the number of concurrently served connections on a
 // Server; connections past the cap are refused at accept time. Zero means
 // unbounded.
 func WithMaxConns(n int) ServerOption { return transport.WithMaxConns(n) }
+
+// WithReplicas gives a dialed Client follower addresses to fan read traffic
+// out to: identification and verification rotate round-robin across healthy
+// replicas while enrollments, revocations and stats stay pinned to the
+// primary. A replica lagging beyond WithMaxReplicaLag or failing at the
+// transport level is skipped, and reads fall back to the primary when no
+// replica is usable.
+func WithReplicas(addrs ...string) ClientOption { return transport.WithReplicas(addrs...) }
+
+// WithMaxReplicaLag bounds how many mutations behind the primary a replica
+// may be and still serve reads for this client (default
+// transport.DefaultMaxReplicaLag; 0 disables the check).
+func WithMaxReplicaLag(n uint64) ClientOption { return transport.WithMaxReplicaLag(n) }
+
+// WithClientTelemetry binds a dialed Client's replica fan-out instruments
+// (per-replica lag/health gauges, failover counter) to reg.
+func WithClientTelemetry(reg *Metrics) ClientOption { return transport.WithClientTelemetry(reg) }
+
+// IsNotPrimary reports whether err is a read-only replica's refusal of a
+// mutation (enroll or revoke); if so it also returns the primary's address,
+// so the caller can redirect.
+func IsNotPrimary(err error) (primary string, ok bool) { return protocol.IsNotPrimary(err) }
 
 // PaperLine returns the number line of the paper's Table II:
 // a=100, k=4, v=500, t=100, range (-100000, 100000].
@@ -117,7 +151,15 @@ type System struct {
 
 	// Persistence state; nil unless WithPersistence was configured.
 	journal *persist.Log
-	jdb     *store.Journaled
+	// jdb is the journaled store wrapper; set when persistence or
+	// replication serving is configured (both route mutations through the
+	// journal seam).
+	jdb *store.Journaled
+
+	// Replication state: hub is non-nil on a primary built
+	// WithReplication, follower on a replica built WithReplicaOf.
+	hub      *replica.Hub
+	follower *replica.Follower
 }
 
 // Option configures a System.
@@ -138,6 +180,8 @@ type config struct {
 	dataDir   string
 	syncOS    bool
 	telemetry bool
+	serveRepl bool
+	replicaOf string
 }
 
 // WithStoreStrategy selects the identification lookup strategy: "bucket"
@@ -234,6 +278,39 @@ func WithTelemetry() Option {
 	})
 }
 
+// WithReplication makes the system a replicating primary: every committed
+// mutation is stamped with a log offset and streamed to subscribed follower
+// servers (snapshot bootstrap for new or out-of-date followers, then frame
+// tailing with heartbeats). Composes with WithPersistence — the WAL accepts
+// each mutation before it is shipped — and works without it for in-memory
+// primaries. Start followers with WithReplicaOf pointing at this server's
+// protocol address.
+func WithReplication() Option {
+	return optionFunc(func(c *config) error {
+		c.serveRepl = true
+		return nil
+	})
+}
+
+// WithReplicaOf makes the system a read-only follower of the primary at
+// addr: it subscribes to the primary's mutation stream and serves
+// identification, verification and stats from the continuously updated
+// local store, while enroll and revoke sessions are refused with a
+// redirect naming the primary. A follower may serve a view that trails the
+// primary by its current replication lag (see Client.ReplStatus and the
+// repl.follower.* telemetry). Incompatible with WithPersistence (followers
+// re-bootstrap from the primary's snapshot) and WithReplication (chained
+// replication is not supported).
+func WithReplicaOf(addr string) Option {
+	return optionFunc(func(c *config) error {
+		if addr == "" {
+			return errors.New("fuzzyid: empty primary address")
+		}
+		c.replicaOf = addr
+		return nil
+	})
+}
+
 // NewSystem validates p and assembles a complete deployment.
 func NewSystem(p Params, opts ...Option) (*System, error) {
 	cfg := config{strategy: "bucket", scheme: "ed25519", extractor: "hmac-sha256"}
@@ -263,10 +340,19 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
+	if cfg.replicaOf != "" {
+		if cfg.dataDir != "" {
+			return nil, errors.New("fuzzyid: a replica cannot combine WithReplicaOf and WithPersistence (it bootstraps from the primary's snapshot)")
+		}
+		if cfg.serveRepl {
+			return nil, errors.New("fuzzyid: chained replication (WithReplicaOf + WithReplication) is not supported")
+		}
+	}
 	sys := &System{extractor: fe, scheme: scheme}
 	if cfg.telemetry {
 		sys.metrics = telemetry.NewRegistry()
 	}
+	var journals store.MultiJournal
 	if cfg.dataDir != "" {
 		popts := []persist.Option{persist.WithTelemetry(sys.metrics)}
 		if cfg.syncOS {
@@ -284,13 +370,35 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 			return nil, err
 		}
 		sys.journal = journal
-		sys.jdb = store.NewJournaled(db, journal)
+		journals = append(journals, journal)
+	}
+	if cfg.serveRepl {
+		// The hub rides the same journal seam as the WAL, after it: a
+		// mutation is shipped to replicas only once it is locally durable.
+		sys.hub = replica.NewHub(replica.WithHubTelemetry(sys.metrics))
+		journals = append(journals, sys.hub)
+	}
+	if len(journals) > 0 {
+		sys.jdb = store.NewJournaled(db, journals)
 		db = sys.jdb
+	}
+	if sys.hub != nil {
+		sys.hub.BindStore(sys.jdb)
 	}
 	sys.db = db
 	sys.server = protocol.NewServer(fe, scheme, db)
 	if sys.metrics != nil {
 		sys.server.Instrument(sys.metrics)
+	}
+	if sys.hub != nil {
+		sys.server.SetReplication(sys.hub)
+		sys.server.SetStatus(sys.hub.Status)
+	}
+	if cfg.replicaOf != "" {
+		sys.follower = replica.StartFollower(cfg.replicaOf, db,
+			replica.WithFollowerTelemetry(sys.metrics))
+		sys.server.SetReadOnly(cfg.replicaOf)
+		sys.server.SetStatus(sys.follower.Status)
 	}
 	sys.device = protocol.NewDevice(fe, scheme)
 	return sys, nil
@@ -316,13 +424,36 @@ func (s *System) StatsJSON() ([]byte, error) {
 // Persistent reports whether the system was built with WithPersistence.
 func (s *System) Persistent() bool { return s.journal != nil }
 
+// Replicating reports whether the system serves a replication stream to
+// followers (built WithReplication).
+func (s *System) Replicating() bool { return s.hub != nil }
+
+// Replica reports whether the system is a read-only follower (built
+// WithReplicaOf) and, if so, its primary's address.
+func (s *System) Replica() (primary string, ok bool) {
+	if s.follower == nil {
+		return "", false
+	}
+	return s.follower.Primary(), true
+}
+
+// ReplicaStatus returns a follower's replication progress: the highest
+// mutation offset applied locally, the current lag behind the primary, and
+// whether the stream is live. Zero values on a non-replica system.
+func (s *System) ReplicaStatus() (applied, lag uint64, connected bool) {
+	if s.follower == nil {
+		return 0, 0, false
+	}
+	return s.follower.Applied(), s.follower.Lag(), s.follower.Connected()
+}
+
 // Snapshot compacts the persistence log: the full record set is written as
 // one snapshot and the WAL segments it subsumes are deleted, bounding both
 // disk usage and the next boot's recovery time. Snapshot is cheap to call
 // when nothing changed (it returns immediately) and a no-op without
 // persistence.
 func (s *System) Snapshot() error {
-	if s.jdb == nil {
+	if s.jdb == nil || s.journal == nil {
 		return nil
 	}
 	if s.journal.AppendsSinceRotate() == 0 {
@@ -331,19 +462,29 @@ func (s *System) Snapshot() error {
 	return s.jdb.Snapshot(s.journal)
 }
 
-// Close flushes and closes the persistence layer, taking a final snapshot
-// when mutations were appended since the last one so the next boot recovers
-// from a compact state. Close is idempotent and a no-op without
-// persistence; after it, mutations fail.
+// Close releases the system's background resources: a follower's
+// replication stream is stopped (the store keeps its replicated state), and
+// the persistence layer is flushed and closed, taking a final snapshot when
+// mutations were appended since the last one so the next boot recovers from
+// a compact state. Close is idempotent for the persistence layer and a
+// no-op for systems with neither persistence nor a replication stream;
+// after it, mutations fail.
 func (s *System) Close() error {
-	if s.journal == nil {
-		return nil
+	var errs []error
+	if s.follower != nil {
+		if err := s.follower.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	snapErr := s.Snapshot()
-	if err := s.journal.Close(); err != nil {
-		return errors.Join(snapErr, err)
+	if s.journal != nil {
+		if err := s.Snapshot(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := s.journal.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
-	return snapErr
+	return errors.Join(errs...)
 }
 
 // Extractor returns the underlying fuzzy extractor.
@@ -362,11 +503,12 @@ func (s *System) StoreRecord(id string) (*Record, bool) { return s.db.Get(id) }
 func (s *System) Report(n int) SecurityReport { return s.extractor.Report(n) }
 
 // Listen starts a TCP authentication server for this system. When the
-// system is persistent, the server owns the flush lifecycle: Server.Close
-// drains the live sessions and then closes the system, so a graceful
-// shutdown never loses an acknowledged enrollment.
+// system is persistent or a replication follower, the server owns the
+// teardown lifecycle: Server.Close drains the live sessions and then closes
+// the system, so a graceful shutdown never loses an acknowledged enrollment
+// (and a follower's stream goroutine never outlives its server).
 func (s *System) Listen(addr string, opts ...ServerOption) (*Server, error) {
-	if s.Persistent() {
+	if s.Persistent() || s.follower != nil {
 		opts = append(opts, transport.WithCloser(s))
 	}
 	if s.metrics != nil {
@@ -382,7 +524,8 @@ func (s *System) LocalClient() (*Client, func()) {
 }
 
 // Dial connects a device client for this system's parameters to a remote
-// authentication server.
-func (s *System) Dial(addr string) (*Client, error) {
-	return transport.Dial(addr, s.device)
+// authentication server. Options configure timeouts and the replica read
+// fan-out (WithReplicas, WithMaxReplicaLag, WithClientTelemetry).
+func (s *System) Dial(addr string, opts ...ClientOption) (*Client, error) {
+	return transport.Dial(addr, s.device, opts...)
 }

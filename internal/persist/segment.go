@@ -113,20 +113,13 @@ func readFrame(r io.Reader) (payload []byte, claimed int64, err error) {
 	return payload, claimed, nil
 }
 
-// encodeMutation serialises one mutation into a frame payload.
+// encodeMutation serialises one mutation into a frame payload, using the
+// shared codec of internal/wire (the replication stream ships the very same
+// bytes).
 func encodeMutation(m store.Mutation) ([]byte, error) {
 	e := wire.NewEncoder(256)
-	e.Byte(byte(m.Op))
-	switch m.Op {
-	case store.OpInsert:
-		if m.Record == nil {
-			return nil, errors.New("persist: insert mutation without record")
-		}
-		wire.EncodeRecord(e, m.Record)
-	case store.OpDelete:
-		e.String(m.ID)
-	default:
-		return nil, fmt.Errorf("persist: unknown mutation op %d", m.Op)
+	if err := wire.EncodeMutation(e, m); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
 	}
 	return e.Bytes(), nil
 }
@@ -134,26 +127,9 @@ func encodeMutation(m store.Mutation) ([]byte, error) {
 // decodeMutation parses a frame payload back into a mutation.
 func decodeMutation(payload []byte) (store.Mutation, error) {
 	d := wire.NewDecoder(payload)
-	op, err := d.Byte()
+	m, err := wire.DecodeMutation(d)
 	if err != nil {
 		return store.Mutation{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	var m store.Mutation
-	switch store.Op(op) {
-	case store.OpInsert:
-		rec, err := wire.DecodeRecord(d)
-		if err != nil {
-			return store.Mutation{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		m = store.InsertMutation(rec)
-	case store.OpDelete:
-		id, err := d.String(wire.MaxBytesLen)
-		if err != nil {
-			return store.Mutation{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
-		}
-		m = store.DeleteMutation(id)
-	default:
-		return store.Mutation{}, fmt.Errorf("%w: unknown mutation op %d", ErrCorrupt, op)
 	}
 	if err := d.Done(); err != nil {
 		return store.Mutation{}, fmt.Errorf("%w: %v", ErrCorrupt, err)

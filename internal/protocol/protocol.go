@@ -68,6 +68,29 @@ func IsRejected(err error) bool {
 	return errors.As(err, &r)
 }
 
+// NotPrimaryError is returned when a mutation (enroll, revoke) is attempted
+// against a read-only replica. Primary names the server that accepts
+// mutations, so callers can redirect instead of failing.
+type NotPrimaryError struct {
+	// Primary is the address of the primary server.
+	Primary string
+}
+
+// Error implements error.
+func (e *NotPrimaryError) Error() string {
+	return fmt.Sprintf("protocol: read-only replica: mutations go to primary %s", e.Primary)
+}
+
+// IsNotPrimary reports whether err is a replica's refusal of a mutation; if
+// so it also returns the primary's address.
+func IsNotPrimary(err error) (string, bool) {
+	var r *NotPrimaryError
+	if errors.As(err, &r) {
+		return r.Primary, true
+	}
+	return "", false
+}
+
 // Device is the biometric device (BioD) engine. It is safe for concurrent
 // use; every method call runs one complete protocol session on rw.
 type Device struct {
@@ -107,6 +130,8 @@ func (d *Device) Enroll(rw io.ReadWriter, id string, bio numberline.Vector) erro
 		return nil
 	case *wire.Reject:
 		return &RejectedError{Reason: m.Reason}
+	case *wire.NotPrimary:
+		return &NotPrimaryError{Primary: m.Primary}
 	default:
 		return fmt.Errorf("%w: %T during enroll", ErrProtocol, msg)
 	}
@@ -294,6 +319,27 @@ func (d *Device) Stats(rw io.ReadWriter) ([]byte, error) {
 	}
 }
 
+// ReplStatus runs a replication-status probe: any server answers with its
+// role (primary / replica / standalone) and log progress. The client's
+// replica fan-out uses it as a cheap health and lag check.
+func (d *Device) ReplStatus(rw io.ReadWriter) (*wire.ReplStatusInfo, error) {
+	if err := wire.Send(rw, &wire.ReplStatus{}); err != nil {
+		return nil, err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.ReplStatusInfo:
+		return m, nil
+	case *wire.Reject:
+		return nil, &RejectedError{Reason: m.Reason}
+	default:
+		return nil, fmt.Errorf("%w: %T awaiting replication status", ErrProtocol, msg)
+	}
+}
+
 // answerChallenge receives (P, c), recovers the key, signs and awaits the
 // verdict, checking the accepted identity equals wantID when non-empty.
 func (d *Device) answerChallenge(rw io.ReadWriter, bio numberline.Vector, wantID string) error {
@@ -318,6 +364,8 @@ func (d *Device) finishChallenge(rw io.ReadWriter, bio numberline.Vector) (strin
 		ch = m
 	case *wire.Reject:
 		return "", &RejectedError{Reason: m.Reason}
+	case *wire.NotPrimary:
+		return "", &NotPrimaryError{Primary: m.Primary}
 	default:
 		return "", fmt.Errorf("%w: %T awaiting challenge", ErrProtocol, msg)
 	}
@@ -391,6 +439,26 @@ type Server struct {
 	scheme sigscheme.Scheme
 	db     store.Store
 	m      serverMetrics
+
+	// primary, when non-empty, puts the server in read-only replica mode:
+	// enroll and revoke sessions are refused with a NotPrimary message
+	// naming it, while every read path serves locally.
+	primary string
+	// repl serves replication subscriptions (nil unless this server is a
+	// replicating primary).
+	repl ReplicationHandler
+	// statusFn answers ReplStatus probes; nil means standalone.
+	statusFn func() wire.ReplStatusInfo
+}
+
+// ReplicationHandler serves replication subscriptions on a primary: the
+// session stays open for the life of the connection, streaming snapshot
+// chunks, mutation frames and heartbeats (internal/replica.Hub is the
+// implementation).
+type ReplicationHandler interface {
+	// HandleSubscribe serves one replication stream on rw until the peer
+	// disconnects or the stream fails.
+	HandleSubscribe(rw io.ReadWriter, m *wire.ReplSubscribe) error
 }
 
 // NewServer constructs a server over the given store.
@@ -400,6 +468,20 @@ func NewServer(fe *core.FuzzyExtractor, scheme sigscheme.Scheme, db store.Store)
 
 // Store returns the server's record store.
 func (s *Server) Store() store.Store { return s.db }
+
+// SetReadOnly puts the server in replica mode: enroll and revoke sessions
+// are refused with a NotPrimary message naming primary, so clients can
+// redirect their mutations; identification, verification and stats keep
+// serving from the local store.
+func (s *Server) SetReadOnly(primary string) { s.primary = primary }
+
+// SetReplication makes the server answer ReplSubscribe sessions through h
+// (a primary serving its followers). A nil h refuses subscriptions.
+func (s *Server) SetReplication(h ReplicationHandler) { s.repl = h }
+
+// SetStatus sets the answer to ReplStatus probes. A nil fn reports the
+// standalone role with zero offsets.
+func (s *Server) SetStatus(fn func() wire.ReplStatusInfo) { s.statusFn = fn }
 
 // opStats groups the instruments of one protocol operation: sessions opened,
 // sessions that failed with a transport/protocol error, and the server-side
@@ -422,6 +504,7 @@ func (o *opStats) bind(reg *telemetry.Registry, op string) {
 type serverMetrics struct {
 	reg                                                                     *telemetry.Registry
 	enroll, verify, identify, identifyNormal, identifyBatch, revoke, statsQ opStats
+	replSub, replStatus                                                     opStats
 }
 
 // Instrument binds the server's per-operation metrics to reg and makes reg
@@ -436,6 +519,8 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.m.identifyBatch.bind(reg, "identify_batch")
 	s.m.revoke.bind(reg, "revoke")
 	s.m.statsQ.bind(reg, "stats")
+	s.m.replSub.bind(reg, "repl_subscribe")
+	s.m.replStatus.bind(reg, "repl_status")
 }
 
 // Telemetry returns the registry bound by Instrument (nil when
@@ -470,6 +555,10 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 		om, run = &s.m.identifyBatch, func() error { return s.handleIdentifyBatch(rw, m) }
 	case *wire.StatsRequest:
 		om, run = &s.m.statsQ, func() error { return s.handleStats(rw) }
+	case *wire.ReplSubscribe:
+		om, run = &s.m.replSub, func() error { return s.handleSubscribe(rw, m) }
+	case *wire.ReplStatus:
+		om, run = &s.m.replStatus, func() error { return s.handleReplStatus(rw) }
 	default:
 		_ = wire.Send(rw, &wire.Reject{Reason: "unexpected message"})
 		return fmt.Errorf("%w: %T as session opener", ErrProtocol, msg)
@@ -498,7 +587,37 @@ func (s *Server) handleStats(rw io.ReadWriter) error {
 	return wire.Send(rw, &wire.StatsResponse{JSON: buf})
 }
 
+// handleSubscribe serves a replication stream; the session stays open for
+// the life of the connection. Servers not acting as a replicating primary
+// refuse it.
+func (s *Server) handleSubscribe(rw io.ReadWriter, m *wire.ReplSubscribe) error {
+	if s.repl == nil {
+		return wire.Send(rw, &wire.Reject{Reason: "replication disabled"})
+	}
+	// The transport arms a per-session read deadline (WithIdleTimeout)
+	// before every session; a replication stream lives for the whole
+	// connection and paces itself with heartbeats and write deadlines, so
+	// the one-shot idle deadline must not sever it mid-stream.
+	if d, ok := rw.(interface{ SetReadDeadline(time.Time) error }); ok {
+		_ = d.SetReadDeadline(time.Time{})
+	}
+	return s.repl.HandleSubscribe(rw, m)
+}
+
+// handleReplStatus answers the replication health probe; a server with no
+// replication role reports itself standalone.
+func (s *Server) handleReplStatus(rw io.ReadWriter) error {
+	info := wire.ReplStatusInfo{Role: "standalone", Connected: true}
+	if s.statusFn != nil {
+		info = s.statusFn()
+	}
+	return wire.Send(rw, &info)
+}
+
 func (s *Server) handleEnroll(rw io.ReadWriter, m *wire.EnrollRequest) error {
+	if s.primary != "" {
+		return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
+	}
 	rec := &store.Record{ID: m.ID, PublicKey: m.PublicKey, Helper: m.Helper}
 	if err := s.db.Insert(rec); err != nil {
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("enroll: %v", err)})
@@ -568,6 +687,9 @@ func (s *Server) runChallenge(rw io.ReadWriter, rec *store.Record) (bool, error)
 // the enrolled biometric — deletion is as strongly authenticated as
 // verification itself.
 func (s *Server) handleRevoke(rw io.ReadWriter, m *wire.RevokeRequest) error {
+	if s.primary != "" {
+		return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
+	}
 	rec, ok := s.db.Get(m.ID)
 	if !ok {
 		return wire.Send(rw, &wire.Reject{Reason: "unknown identity"})

@@ -56,6 +56,25 @@ type Journal interface {
 	Append(Mutation) error
 }
 
+// MultiJournal fans one mutation out to several journals in order — e.g.
+// the durable WAL first, then the replication hub — failing fast on the
+// first error. Durability therefore precedes shipping: a mutation is never
+// offered to a later journal (and so never reaches a replica) unless every
+// earlier journal accepted it.
+type MultiJournal []Journal
+
+var _ Journal = (MultiJournal)(nil)
+
+// Append implements Journal.
+func (j MultiJournal) Append(m Mutation) error {
+	for _, inner := range j {
+		if err := inner.Append(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Snapshotter is a Journal backend that supports log compaction. Rotate
 // atomically redirects subsequent appends to a fresh log segment and returns
 // its sequence number; WriteSnapshot persists the full record set as the
@@ -177,6 +196,17 @@ func (s *Journaled) Delete(id string) error {
 		return fmt.Errorf("store: delete diverged from journal: %w", err)
 	}
 	return nil
+}
+
+// View runs fn on the full record set with mutations blocked, so fn sees a
+// cut of the store that is exactly consistent with everything the journal
+// has recorded so far — no mutation is in flight while fn runs. The
+// replication hub uses it to pair a snapshot with its log offset. fn must
+// not mutate the store (it would deadlock).
+func (s *Journaled) View(fn func(recs []*Record)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.Store.All())
 }
 
 // Snapshot captures a compaction point: while mutations are briefly blocked

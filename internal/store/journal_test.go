@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/sketch"
@@ -243,5 +244,77 @@ func TestJournaledSnapshotCapturesConsistentState(t *testing.T) {
 	}
 	if got := len(j.snapped[0]); got != 5 {
 		t.Fatalf("snapshot carries %d records, want 5", got)
+	}
+}
+
+// TestMultiJournalOrderAndFailFast pins the fan-out contract replication
+// relies on: journals accept the mutation in order (durability before
+// shipping), and a failure in an earlier journal keeps the mutation from
+// every later one.
+func TestMultiJournalOrderAndFailFast(t *testing.T) {
+	f := newFixture(t, 16, 63)
+	first, second := &memJournal{}, &memJournal{}
+	db := NewJournaled(NewScan(f.fe.Line()), MultiJournal{first, second})
+	u := f.src.NewUser("alice")
+	_, helper, err := f.fe.Gen(u.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(&Record{ID: u.ID, PublicKey: []byte("pk"), Helper: helper}); err != nil {
+		t.Fatal(err)
+	}
+	if len(first.log) != 1 || len(second.log) != 1 {
+		t.Fatalf("journal logs = %d, %d entries, want 1 each", len(first.log), len(second.log))
+	}
+	first.failNext = errors.New("disk gone")
+	if err := db.Delete(u.ID); err == nil {
+		t.Fatal("delete succeeded past a failed first journal")
+	}
+	if len(second.log) != 1 {
+		t.Fatalf("mutation reached the second journal after the first failed: %+v", second.log)
+	}
+	if _, ok := db.Get(u.ID); !ok {
+		t.Fatal("failed delete mutated the store")
+	}
+}
+
+// TestJournaledViewConsistentCut checks View blocks mutations while fn
+// runs: the record set fn sees cannot change under it.
+func TestJournaledViewConsistentCut(t *testing.T) {
+	f := newFixture(t, 16, 64)
+	db := NewJournaled(NewScan(f.fe.Line()), &memJournal{})
+	u := f.src.NewUser("alice")
+	_, helper, err := f.fe.Gen(u.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(&Record{ID: u.ID, PublicKey: []byte("pk"), Helper: helper}); err != nil {
+		t.Fatal(err)
+	}
+	u2 := f.src.NewUser("bob")
+	_, helper2, err := f.fe.Gen(u2.Template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserted := make(chan error, 1)
+	db.View(func(recs []*Record) {
+		if len(recs) != 1 {
+			t.Fatalf("view saw %d records, want 1", len(recs))
+		}
+		go func() {
+			inserted <- db.Insert(&Record{ID: u2.ID, PublicKey: []byte("pk"), Helper: helper2})
+		}()
+		select {
+		case err := <-inserted:
+			t.Fatalf("insert completed during View (err=%v)", err)
+		case <-time.After(50 * time.Millisecond):
+			// Blocked, as required.
+		}
+	})
+	if err := <-inserted; err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("Len = %d after View released", db.Len())
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fuzzyid/internal/numberline"
@@ -83,6 +84,25 @@ func (c *measuredRW) Write(p []byte) (int, error) {
 		c.out.Add(uint64(n))
 	}
 	return n, err
+}
+
+// SetReadDeadline forwards to the wrapped connection, so life-of-connection
+// sessions (replication subscriptions) can clear the per-session idle
+// deadline the accept loop armed.
+func (c *measuredRW) SetReadDeadline(t time.Time) error {
+	if d, ok := c.rw.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// SetWriteDeadline forwards to the wrapped connection, so the replication
+// hub can bound its sends against a stalled follower.
+func (c *measuredRW) SetWriteDeadline(t time.Time) error {
+	if d, ok := c.rw.(interface{ SetWriteDeadline(time.Time) error }); ok {
+		return d.SetWriteDeadline(t)
+	}
+	return nil
 }
 
 // ServerOption configures a Server.
@@ -244,15 +264,71 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Client drives the device engine over one connection. Methods are
-// serialised: a connection carries one session at a time.
+// Replica fan-out defaults; see WithReplicas.
+const (
+	// DefaultMaxReplicaLag is the staleness bound above which a replica is
+	// skipped by the read fan-out.
+	DefaultMaxReplicaLag = 1024
+	// DefaultReplicaProbe is how often a replica's lag is re-checked.
+	DefaultReplicaProbe = time.Second
+	// DefaultReplicaCooldown is how long a failed replica is benched
+	// before the fan-out retries it.
+	DefaultReplicaCooldown = time.Second
+)
+
+// Client drives the device engine over one connection to the primary and,
+// when configured with WithReplicas, fans read sessions (identify, verify,
+// batch, normal-approach) out across follower connections round-robin.
+// Mutating sessions (enroll, revoke) and stats stay pinned to the primary.
+// Methods are serialised per connection: each connection carries one
+// session at a time.
 type Client struct {
 	device  *protocol.Device
 	timeout time.Duration
 
+	// Read fan-out state (empty without WithReplicas).
+	replicas []*replicaConn
+	rr       atomic.Uint32
+	maxLag   uint64
+	probeIvl time.Duration
+	cooldown time.Duration
+	reg      *telemetry.Registry
+	m        clientMetrics
+
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
+}
+
+// clientMetrics are the fan-out instruments. The zero value (nil
+// instruments) is the uninstrumented state.
+type clientMetrics struct {
+	healthy   *telemetry.Gauge   // replicas currently considered usable
+	failovers *telemetry.Counter // read sessions that fell back past a replica
+}
+
+// replicaConn is one follower connection of the read fan-out. Its mutex
+// serialises sessions on the connection; health bookkeeping rides under the
+// same lock, except downUntil, which is atomic so the healthy-count gauge
+// can be recomputed across all replicas without taking their locks.
+type replicaConn struct {
+	addr string
+
+	// downUntil is the bench deadline in Unix nanoseconds (atomic; 0 =
+	// in rotation).
+	downUntil atomic.Int64
+
+	mu        sync.Mutex
+	conn      net.Conn // nil until dialed (and after a failure)
+	lastProbe time.Time
+	lag       uint64
+	lagGauge  *telemetry.Gauge // client.replica.<i>.lag
+	upGauge   *telemetry.Gauge // client.replica.<i>.healthy
+}
+
+// benched reports whether the replica is out of rotation at time now.
+func (rc *replicaConn) benched(now time.Time) bool {
+	return now.UnixNano() < rc.downUntil.Load()
 }
 
 // ClientOption configures a Client.
@@ -270,6 +346,43 @@ func WithTimeout(d time.Duration) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.timeout = d })
 }
 
+// WithReplicas gives the client follower addresses to fan read sessions out
+// to: identification and verification rotate round-robin across the
+// replicas, while enrollments, revocations and stats stay pinned to the
+// primary connection. A replica is skipped while its replication lag
+// exceeds the WithMaxReplicaLag bound (checked with a cheap status probe
+// every DefaultReplicaProbe) and benched for DefaultReplicaCooldown after a
+// connection failure; a read that finds no usable replica falls back to the
+// primary, so correctness never depends on replica availability.
+func WithReplicas(addrs ...string) ClientOption {
+	return clientOptionFunc(func(c *Client) {
+		for _, addr := range addrs {
+			c.replicas = append(c.replicas, &replicaConn{addr: addr})
+		}
+	})
+}
+
+// WithMaxReplicaLag sets the staleness bound (in mutations behind the
+// primary) above which a replica is skipped by the read fan-out (default
+// DefaultMaxReplicaLag; 0 disables the lag check entirely).
+func WithMaxReplicaLag(n uint64) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.maxLag = n })
+}
+
+// WithReplicaProbe sets how often each replica's status is re-probed for
+// the lag check (default DefaultReplicaProbe).
+func WithReplicaProbe(d time.Duration) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.probeIvl = d })
+}
+
+// WithClientTelemetry binds the client's fan-out instruments — per-replica
+// lag and health gauges plus a failover counter — to reg; nil leaves the
+// client uninstrumented. Binding happens after all options are applied, so
+// the order of WithReplicas and WithClientTelemetry does not matter.
+func WithClientTelemetry(reg *telemetry.Registry) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.reg = reg })
+}
+
 // Dial connects to a server at addr.
 func Dial(addr string, device *protocol.Device, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
@@ -281,22 +394,47 @@ func Dial(addr string, device *protocol.Device, opts ...ClientOption) (*Client, 
 
 // NewClient wraps an existing connection (TCP or net.Pipe).
 func NewClient(conn net.Conn, device *protocol.Device, opts ...ClientOption) *Client {
-	c := &Client{device: device, conn: conn, timeout: DefaultTimeout}
+	c := &Client{
+		device: device, conn: conn, timeout: DefaultTimeout,
+		maxLag: DefaultMaxReplicaLag, probeIvl: DefaultReplicaProbe,
+		cooldown: DefaultReplicaCooldown,
+	}
 	for _, o := range opts {
 		o.applyClient(c)
 	}
+	if c.reg != nil {
+		c.m.healthy = c.reg.Gauge("client.replicas.healthy")
+		c.m.failovers = c.reg.Counter("client.replicas.failovers")
+		for i, rc := range c.replicas {
+			rc.lagGauge = c.reg.Gauge(fmt.Sprintf("client.replica.%d.lag", i))
+			rc.upGauge = c.reg.Gauge(fmt.Sprintf("client.replica.%d.healthy", i))
+		}
+	}
+	c.m.healthy.Set(int64(len(c.replicas)))
 	return c
 }
 
-// Close closes the underlying connection.
+// Close closes the primary connection and every replica connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClosed
 	}
 	c.closed = true
-	return c.conn.Close()
+	conn := c.conn
+	// Replica locks are taken after c.mu is released: tryReplica holds
+	// rc.mu while checking c.closed, so holding both here would deadlock.
+	c.mu.Unlock()
+	for _, rc := range c.replicas {
+		rc.mu.Lock()
+		if rc.conn != nil {
+			rc.conn.Close()
+			rc.conn = nil
+		}
+		rc.mu.Unlock()
+	}
+	return conn.Close()
 }
 
 // Enroll runs UserEnro for (id, bio).
@@ -306,18 +444,21 @@ func (c *Client) Enroll(id string, bio numberline.Vector) error {
 	})
 }
 
-// Verify runs verification mode for the claimed id.
+// Verify runs verification mode for the claimed id. With WithReplicas the
+// session may be served by a follower (verification only reads the record).
 func (c *Client) Verify(id string, bio numberline.Vector) error {
-	return c.withSession(func(rw io.ReadWriter) error {
+	return c.readSession(func(rw io.ReadWriter) error {
 		return c.device.Verify(rw, id, bio)
 	})
 }
 
 // Identify runs the proposed identification protocol and returns the
-// established identity.
+// established identity. With WithReplicas the lookup fans out round-robin
+// across healthy followers; a follower may serve a stale view bounded by
+// WithMaxReplicaLag.
 func (c *Client) Identify(bio numberline.Vector) (string, error) {
 	var id string
-	err := c.withSession(func(rw io.ReadWriter) error {
+	err := c.readSession(func(rw io.ReadWriter) error {
 		var err error
 		id, err = c.device.Identify(rw, bio)
 		return err
@@ -338,7 +479,7 @@ func (c *Client) Revoke(id string, bio numberline.Vector) error {
 // readings that were not identified.
 func (c *Client) IdentifyBatch(readings []numberline.Vector) ([]string, error) {
 	var ids []string
-	err := c.withSession(func(rw io.ReadWriter) error {
+	err := c.readSession(func(rw io.ReadWriter) error {
 		var err error
 		ids, err = c.device.IdentifyBatch(rw, readings)
 		return err
@@ -362,7 +503,7 @@ func (c *Client) Stats() ([]byte, error) {
 // IdentifyNormal runs the O(N) normal-approach identification.
 func (c *Client) IdentifyNormal(bio numberline.Vector) (string, error) {
 	var id string
-	err := c.withSession(func(rw io.ReadWriter) error {
+	err := c.readSession(func(rw io.ReadWriter) error {
 		var err error
 		id, err = c.device.IdentifyNormal(rw, bio)
 		return err
@@ -382,6 +523,175 @@ func (c *Client) withSession(fn func(io.ReadWriter) error) error {
 		}
 	}
 	return fn(c.conn)
+}
+
+// readSession runs a read-only protocol session, preferring a healthy
+// replica (round-robin) and falling back to the primary when none is
+// usable. Read sessions are idempotent, so a replica whose connection fails
+// mid-session is benched and the session retried elsewhere.
+func (c *Client) readSession(fn func(io.ReadWriter) error) error {
+	n := len(c.replicas)
+	if n == 0 {
+		return c.withSession(fn)
+	}
+	// Reduce modulo n in uint32 before converting: a plain int conversion
+	// would go negative once the counter wraps past 2^31 on 32-bit
+	// platforms and index out of range.
+	start := int((c.rr.Add(1) - 1) % uint32(n))
+	for i := 0; i < n; i++ {
+		rc := c.replicas[(start+i)%n]
+		done, err := c.tryReplica(rc, fn)
+		if done {
+			return err
+		}
+	}
+	c.m.failovers.Inc()
+	return c.withSession(fn)
+}
+
+// tryReplica attempts one read session on rc. done is false when the
+// replica was skipped or failed at the transport level — the caller moves
+// on — and true when the session ran to a protocol outcome (success,
+// rejection or no-match), which is returned as-is.
+func (c *Client) tryReplica(rc *replicaConn, fn func(io.ReadWriter) error) (done bool, err error) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	// Re-check closed under rc.mu (Close releases c.mu before taking the
+	// replica locks): a session racing Close must not redial a connection
+	// nothing would ever close.
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return true, ErrClosed
+	}
+	now := time.Now()
+	if rc.benched(now) {
+		return false, nil
+	}
+	if rc.conn == nil {
+		conn, err := net.DialTimeout("tcp", rc.addr, c.cooldown)
+		if err != nil {
+			c.benchLocked(rc, now)
+			return false, nil
+		}
+		rc.conn = conn
+		rc.lastProbe = time.Time{} // force a fresh status probe
+	}
+	if now.Sub(rc.lastProbe) >= c.probeIvl {
+		if err := c.deadline(rc.conn); err != nil {
+			c.benchLocked(rc, now)
+			return false, nil
+		}
+		info, err := c.device.ReplStatus(rc.conn)
+		if err != nil {
+			c.benchLocked(rc, now)
+			return false, nil
+		}
+		rc.lastProbe = now
+		rc.lag = info.Lag()
+		rc.lagGauge.Set(int64(rc.lag))
+		// The connectivity check always applies; the lag bound only when
+		// configured (WithMaxReplicaLag(0) disables staleness policing,
+		// not the dead-stream check).
+		if info.Role == "replica" && (!info.Connected || (c.maxLag > 0 && rc.lag > c.maxLag)) {
+			// Alive but too stale (or cut off from its primary): bench it
+			// until the next probe can show the lag drained. The
+			// connection stays open — only the routing changes.
+			rc.upGauge.Set(0)
+			rc.downUntil.Store(now.Add(c.probeIvl).UnixNano())
+			c.publishHealthy()
+			return false, nil
+		}
+	}
+	if err := c.deadline(rc.conn); err != nil {
+		c.benchLocked(rc, now)
+		return false, nil
+	}
+	err = fn(rc.conn)
+	if err != nil && !protocol.IsRejected(err) && !errors.Is(err, protocol.ErrNoMatch) {
+		if _, notPrimary := protocol.IsNotPrimary(err); !notPrimary {
+			// Transport-level failure: bench the replica and let the
+			// caller retry the (idempotent) read elsewhere.
+			c.benchLocked(rc, now)
+			return false, nil
+		}
+	}
+	rc.upGauge.Set(1)
+	return true, err
+}
+
+// benchLocked takes rc out of rotation for the cooldown; caller holds
+// rc.mu.
+func (c *Client) benchLocked(rc *replicaConn, now time.Time) {
+	if rc.conn != nil {
+		rc.conn.Close()
+		rc.conn = nil
+	}
+	rc.downUntil.Store(now.Add(c.cooldown).UnixNano())
+	rc.upGauge.Set(0)
+	c.publishHealthy()
+}
+
+// publishHealthy refreshes the healthy-replica count gauge. downUntil is
+// atomic, so other replicas' bench state is read without their locks.
+func (c *Client) publishHealthy() {
+	if c.m.healthy == nil {
+		return
+	}
+	now := time.Now()
+	var up int64
+	for _, rc := range c.replicas {
+		if !rc.benched(now) {
+			up++
+		}
+	}
+	c.m.healthy.Set(up)
+}
+
+// deadline arms the per-session deadline on conn.
+func (c *Client) deadline(conn net.Conn) error {
+	if c.timeout <= 0 {
+		return nil
+	}
+	return conn.SetDeadline(time.Now().Add(c.timeout))
+}
+
+// ReplStatus is the decoded answer of a replication health probe.
+type ReplStatus struct {
+	// Role is "primary", "replica" or "standalone".
+	Role string
+	// Primary is the primary's address (replicas only).
+	Primary string
+	// Epoch is the replication log incarnation.
+	Epoch uint64
+	// Applied is the highest mutation offset applied by the probed server.
+	Applied uint64
+	// Latest is the highest offset the probed server knows to exist.
+	Latest uint64
+	// Lag is Latest - Applied.
+	Lag uint64
+	// Connected reports a replica's stream to its primary being live.
+	Connected bool
+}
+
+// ReplStatus probes the server on the client's primary connection for its
+// replication role and progress.
+func (c *Client) ReplStatus() (*ReplStatus, error) {
+	var out *ReplStatus
+	err := c.withSession(func(rw io.ReadWriter) error {
+		info, err := c.device.ReplStatus(rw)
+		if err != nil {
+			return err
+		}
+		out = &ReplStatus{
+			Role: info.Role, Primary: info.Primary, Epoch: info.Epoch,
+			Applied: info.Applied, Latest: info.Latest, Lag: info.Lag(),
+			Connected: info.Connected,
+		}
+		return nil
+	})
+	return out, err
 }
 
 // LocalPair wires a client directly to a protocol server through an

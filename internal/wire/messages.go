@@ -53,6 +53,24 @@ const (
 	TypeStatsRequest
 	// TypeStatsResponse carries the telemetry snapshot as JSON.
 	TypeStatsResponse
+	// TypeNotPrimary rejects a mutation on a read-only replica, naming the
+	// primary the client should redirect to.
+	TypeNotPrimary
+	// TypeReplSubscribe opens a replication stream from a given offset.
+	TypeReplSubscribe
+	// TypeReplSnapshot carries one chunk of a snapshot bootstrap.
+	TypeReplSnapshot
+	// TypeReplFrame ships one committed mutation at its log offset.
+	TypeReplFrame
+	// TypeReplAck reports the follower's applied offset back to the primary.
+	TypeReplAck
+	// TypeReplHeartbeat keeps an idle replication stream alive and carries
+	// the primary's latest offset.
+	TypeReplHeartbeat
+	// TypeReplStatus asks a server for its replication role and progress.
+	TypeReplStatus
+	// TypeReplStatusInfo answers a ReplStatus probe.
+	TypeReplStatusInfo
 )
 
 // MaxIdentifyBatch bounds the probes of one batched identification run.
@@ -70,9 +88,12 @@ type Message interface {
 
 // EnrollRequest registers a user: the UserEnro message (ID, pk, P).
 type EnrollRequest struct {
-	ID        string
+	// ID is the identity being enrolled.
+	ID string
+	// PublicKey is the serialized signature-verification key pk.
 	PublicKey []byte
-	Helper    *core.HelperData
+	// Helper is the public helper data P = (s, r).
+	Helper *core.HelperData
 }
 
 // Type implements Message.
@@ -98,6 +119,7 @@ func (m *EnrollRequest) decode(d *Decoder) error {
 
 // EnrollOK acknowledges an enrollment.
 type EnrollOK struct {
+	// ID echoes the enrolled identity.
 	ID string
 }
 
@@ -114,6 +136,7 @@ func (m *EnrollOK) decode(d *Decoder) error {
 
 // VerifyRequest opens a verification-mode run with a claimed identity.
 type VerifyRequest struct {
+	// ID is the claimed identity to verify against.
 	ID string
 }
 
@@ -133,7 +156,9 @@ func (m *VerifyRequest) decode(d *Decoder) error {
 // Fig. 2 instead of the proposed sketch-search protocol (used by the
 // comparison experiments; Fig. 2's request carries no sketch).
 type IdentifyRequest struct {
-	Probe  *sketch.Sketch
+	// Probe is the plain probe sketch s' (nil in a normal-approach run).
+	Probe *sketch.Sketch
+	// Normal selects the O(N) normal approach of Fig. 2.
 	Normal bool
 }
 
@@ -169,7 +194,9 @@ func (m *IdentifyRequest) decode(d *Decoder) error {
 // Challenge carries the helper data and a fresh challenge (P, c) to the
 // device.
 type Challenge struct {
-	Helper    *core.HelperData
+	// Helper is the matched record's helper data P.
+	Helper *core.HelperData
+	// Challenge is the fresh random challenge c.
 	Challenge []byte
 }
 
@@ -192,13 +219,16 @@ func (m *Challenge) decode(d *Decoder) error {
 
 // ChallengeEntry is one (P_i, c_i) pair of the normal approach.
 type ChallengeEntry struct {
-	Helper    *core.HelperData
+	// Helper is one enrolled helper datum P_i.
+	Helper *core.HelperData
+	// Challenge is the challenge c_i paired with it.
 	Challenge []byte
 }
 
 // ChallengeBatch carries every enrolled helper datum with its challenge —
 // the server side of Fig. 2, where the device must try Rep against each.
 type ChallengeBatch struct {
+	// Entries holds one (P_i, c_i) pair per enrolled record.
 	Entries []ChallengeEntry
 }
 
@@ -235,8 +265,10 @@ func (m *ChallengeBatch) decode(d *Decoder) error {
 
 // Signature carries the device response (sigma, a).
 type Signature struct {
+	// Signature is sigma, the signature over (c, a).
 	Signature []byte
-	Nonce     []byte
+	// Nonce is the device-chosen nonce a.
+	Nonce []byte
 }
 
 // Type implements Message.
@@ -259,9 +291,12 @@ func (m *Signature) decode(d *Decoder) error {
 // BatchSignature is the device response in the normal approach: which batch
 // entry succeeded, plus (sigma, a) for that entry's challenge.
 type BatchSignature struct {
-	Index     uint32
+	// Index is the batch entry whose challenge was answered.
+	Index uint32
+	// Signature is sigma for that entry's challenge.
 	Signature []byte
-	Nonce     []byte
+	// Nonce is the device-chosen nonce a.
+	Nonce []byte
 }
 
 // Type implements Message.
@@ -287,6 +322,7 @@ func (m *BatchSignature) decode(d *Decoder) error {
 
 // Accept reports protocol success with the identified/verified identity.
 type Accept struct {
+	// ID is the identified or verified identity.
 	ID string
 }
 
@@ -305,6 +341,7 @@ func (m *Accept) decode(d *Decoder) error {
 // answers with a Challenge; only a device that can reproduce the enrolled
 // key may complete the revocation (biometric-authenticated deletion).
 type RevokeRequest struct {
+	// ID is the identity whose enrollment should be revoked.
 	ID string
 }
 
@@ -323,6 +360,7 @@ func (m *RevokeRequest) decode(d *Decoder) error {
 // device ships several probe sketches in one session, amortising framing,
 // database locks and residue computation across them.
 type IdentifyBatchRequest struct {
+	// Probes are the probe sketches, one per reading.
 	Probes []*sketch.Sketch
 }
 
@@ -364,14 +402,18 @@ func (m *IdentifyBatchRequest) decode(d *Decoder) error {
 // IndexedChallenge is one (probe index, P, c) tuple of a batched
 // identification run.
 type IndexedChallenge struct {
-	Probe     uint32
-	Helper    *core.HelperData
+	// Probe indexes the request probe this challenge answers.
+	Probe uint32
+	// Helper is the matched record's helper data.
+	Helper *core.HelperData
+	// Challenge is the fresh challenge for that record.
 	Challenge []byte
 }
 
 // IdentifyBatchChallenge carries a challenge for every matched probe of a
 // batched identification request; unmatched probes have no entry.
 type IdentifyBatchChallenge struct {
+	// Entries holds one challenge per matched probe.
 	Entries []IndexedChallenge
 }
 
@@ -413,14 +455,18 @@ func (m *IdentifyBatchChallenge) decode(d *Decoder) error {
 // IndexedSignature is one (probe index, sigma, a) tuple of a batched
 // identification run.
 type IndexedSignature struct {
-	Probe     uint32
+	// Probe indexes the request probe this answer belongs to.
+	Probe uint32
+	// Signature is sigma for that probe's challenge.
 	Signature []byte
-	Nonce     []byte
+	// Nonce is the device-chosen nonce a.
+	Nonce []byte
 }
 
 // IdentifyBatchSignature carries the device's answers to a batched
 // challenge; challenges whose key could not be reproduced have no entry.
 type IdentifyBatchSignature struct {
+	// Entries holds one answer per challenge the device could satisfy.
 	Entries []IndexedSignature
 }
 
@@ -462,6 +508,7 @@ func (m *IdentifyBatchSignature) decode(d *Decoder) error {
 // IdentifyBatchResult closes a batched identification run: IDs is aligned
 // with the request probes, with "" for probes that were not identified.
 type IdentifyBatchResult struct {
+	// IDs is aligned with the request probes; "" marks unidentified ones.
 	IDs []string
 }
 
@@ -510,6 +557,7 @@ func (m *StatsRequest) decode(d *Decoder) error { return nil }
 // metrics are added (JSON is self-describing; new keys are ignored by old
 // clients).
 type StatsResponse struct {
+	// JSON is the telemetry snapshot document.
 	JSON []byte
 }
 
@@ -526,6 +574,7 @@ func (m *StatsResponse) decode(d *Decoder) error {
 
 // Reject reports protocol failure (the ⊥ output).
 type Reject struct {
+	// Reason is a human-readable explanation of the rejection.
 	Reason string
 }
 
@@ -625,6 +674,22 @@ func newMessage(t MsgType) (Message, error) {
 		return &StatsRequest{}, nil
 	case TypeStatsResponse:
 		return &StatsResponse{}, nil
+	case TypeNotPrimary:
+		return &NotPrimary{}, nil
+	case TypeReplSubscribe:
+		return &ReplSubscribe{}, nil
+	case TypeReplSnapshot:
+		return &ReplSnapshot{}, nil
+	case TypeReplFrame:
+		return &ReplFrame{}, nil
+	case TypeReplAck:
+		return &ReplAck{}, nil
+	case TypeReplHeartbeat:
+		return &ReplHeartbeat{}, nil
+	case TypeReplStatus:
+		return &ReplStatus{}, nil
+	case TypeReplStatusInfo:
+		return &ReplStatusInfo{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
 	}

@@ -1,0 +1,337 @@
+package wire
+
+// This file defines the replication sub-protocol: the messages a follower
+// exchanges with a primary to subscribe to its mutation stream, and the
+// mutation codec shared with the on-disk WAL (internal/persist frames the
+// very same payloads). A replication session is opened like any other
+// protocol session — the follower sends ReplSubscribe — but stays open
+// indefinitely: the primary streams ReplSnapshot chunks (bootstrap), then
+// ReplFrame per committed mutation and ReplHeartbeat while idle; the
+// follower answers with ReplAck. See DESIGN.md §8 for the full protocol.
+
+import (
+	"fmt"
+
+	"fuzzyid/internal/store"
+)
+
+// MaxReplChunk bounds the records of one ReplSnapshot chunk.
+const MaxReplChunk = 1 << 10
+
+// EncodeMutation appends one store mutation: the op byte, then the record
+// (OpInsert) or the length-prefixed ID (OpDelete). This is the payload
+// format of both the on-disk WAL (internal/persist) and the replication
+// stream (ReplFrame), so a WAL frame and a shipped frame are byte-identical.
+func EncodeMutation(e *Encoder, m store.Mutation) error {
+	e.Byte(byte(m.Op))
+	switch m.Op {
+	case store.OpInsert:
+		if m.Record == nil {
+			return fmt.Errorf("%w: insert mutation without record", ErrBadFrame)
+		}
+		EncodeRecord(e, m.Record)
+	case store.OpDelete:
+		e.String(m.ID)
+	default:
+		return fmt.Errorf("%w: unknown mutation op %d", ErrBadFrame, m.Op)
+	}
+	return nil
+}
+
+// DecodeMutation reads one store mutation encoded by EncodeMutation.
+func DecodeMutation(d *Decoder) (store.Mutation, error) {
+	op, err := d.Byte()
+	if err != nil {
+		return store.Mutation{}, err
+	}
+	switch store.Op(op) {
+	case store.OpInsert:
+		rec, err := DecodeRecord(d)
+		if err != nil {
+			return store.Mutation{}, err
+		}
+		return store.InsertMutation(rec), nil
+	case store.OpDelete:
+		id, err := d.String(MaxBytesLen)
+		if err != nil {
+			return store.Mutation{}, err
+		}
+		return store.DeleteMutation(id), nil
+	default:
+		return store.Mutation{}, fmt.Errorf("%w: unknown mutation op %d", ErrBadFrame, op)
+	}
+}
+
+// NotPrimary rejects a mutating session on a read-only replica. It carries
+// the primary's address so the client can redirect the enrollment or
+// revocation instead of treating the rejection as terminal.
+type NotPrimary struct {
+	// Primary is the address of the server that accepts mutations.
+	Primary string
+}
+
+// Type implements Message.
+func (*NotPrimary) Type() MsgType { return TypeNotPrimary }
+
+func (m *NotPrimary) encode(e *Encoder) { e.String(m.Primary) }
+
+func (m *NotPrimary) decode(d *Decoder) error {
+	var err error
+	m.Primary, err = d.String(MaxBytesLen)
+	return err
+}
+
+// ReplSubscribe opens a replication session: the follower asks the primary
+// to stream every mutation from offset From on. Epoch identifies the
+// primary's log incarnation the follower last spoke to; on a mismatch (a
+// restarted primary, or a brand-new follower with epoch 0) the primary falls
+// back to a snapshot bootstrap regardless of From.
+type ReplSubscribe struct {
+	// Epoch is the primary log incarnation the follower last applied from
+	// (0 for a fresh follower).
+	Epoch uint64
+	// From is the first mutation offset the follower still needs
+	// (its last applied offset + 1; offsets start at 1).
+	From uint64
+}
+
+// Type implements Message.
+func (*ReplSubscribe) Type() MsgType { return TypeReplSubscribe }
+
+func (m *ReplSubscribe) encode(e *Encoder) {
+	e.Uint64(m.Epoch)
+	e.Uint64(m.From)
+}
+
+func (m *ReplSubscribe) decode(d *Decoder) error {
+	var err error
+	if m.Epoch, err = d.Uint64(); err != nil {
+		return err
+	}
+	m.From, err = d.Uint64()
+	return err
+}
+
+// ReplSnapshot is one chunk of a snapshot bootstrap: the primary ships its
+// full record set (at most MaxReplChunk records per chunk) as the state
+// preceding offset Next. The first chunk (First) tells the follower to
+// discard its local state; after the chunk with Done set, ReplFrame
+// streaming resumes at offset Next.
+type ReplSnapshot struct {
+	// Epoch is the primary's current log incarnation.
+	Epoch uint64
+	// Next is the offset of the first mutation not contained in the
+	// snapshot — the offset streaming resumes at.
+	Next uint64
+	// First marks the first chunk: the follower clears its store before
+	// applying it.
+	First bool
+	// Done marks the last chunk: the snapshot is complete.
+	Done bool
+	// Records is this chunk's slice of the record set.
+	Records []*store.Record
+}
+
+// Type implements Message.
+func (*ReplSnapshot) Type() MsgType { return TypeReplSnapshot }
+
+func (m *ReplSnapshot) encode(e *Encoder) {
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Next)
+	e.Bool(m.First)
+	e.Bool(m.Done)
+	e.Uint32(uint32(len(m.Records)))
+	for _, rec := range m.Records {
+		EncodeRecord(e, rec)
+	}
+}
+
+func (m *ReplSnapshot) decode(d *Decoder) error {
+	var err error
+	if m.Epoch, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.Next, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.First, err = d.Bool(); err != nil {
+		return err
+	}
+	if m.Done, err = d.Bool(); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxReplChunk {
+		return fmt.Errorf("%w: snapshot chunk %d", ErrTooLarge, n)
+	}
+	m.Records = make([]*store.Record, n)
+	for i := range m.Records {
+		if m.Records[i], err = DecodeRecord(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplFrame ships one committed mutation at its log offset. Frames arrive
+// in strictly ascending offset order; a gap tells the follower it must
+// resynchronise.
+type ReplFrame struct {
+	// Epoch is the primary's current log incarnation.
+	Epoch uint64
+	// Offset is the mutation's position in the primary's log (1-based).
+	Offset uint64
+	// Latest is the highest offset committed on the primary when the
+	// frame was sent, so a catching-up follower can see its real lag
+	// without waiting for an idle heartbeat.
+	Latest uint64
+	// Mut is the mutation itself.
+	Mut store.Mutation
+}
+
+// Type implements Message.
+func (*ReplFrame) Type() MsgType { return TypeReplFrame }
+
+func (m *ReplFrame) encode(e *Encoder) {
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Offset)
+	e.Uint64(m.Latest)
+	// A frame is only ever built from a mutation that already passed
+	// EncodeMutation's validation on the append path; an invalid op here
+	// would be a programming error, surfaced as a decode failure peer-side.
+	_ = EncodeMutation(e, m.Mut)
+}
+
+func (m *ReplFrame) decode(d *Decoder) error {
+	var err error
+	if m.Epoch, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.Offset, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.Latest, err = d.Uint64(); err != nil {
+		return err
+	}
+	m.Mut, err = DecodeMutation(d)
+	return err
+}
+
+// ReplAck reports the follower's progress: every mutation at or below
+// Offset has been applied. The primary uses it to compute replica lag.
+type ReplAck struct {
+	// Offset is the highest offset the follower has applied.
+	Offset uint64
+}
+
+// Type implements Message.
+func (*ReplAck) Type() MsgType { return TypeReplAck }
+
+func (m *ReplAck) encode(e *Encoder) { e.Uint64(m.Offset) }
+
+func (m *ReplAck) decode(d *Decoder) error {
+	var err error
+	m.Offset, err = d.Uint64()
+	return err
+}
+
+// ReplHeartbeat keeps an idle replication stream alive and tells the
+// follower the primary's latest offset, so lag is observable even when no
+// mutations flow. The follower answers with a ReplAck.
+type ReplHeartbeat struct {
+	// Epoch is the primary's current log incarnation.
+	Epoch uint64
+	// Latest is the highest offset the primary has committed.
+	Latest uint64
+}
+
+// Type implements Message.
+func (*ReplHeartbeat) Type() MsgType { return TypeReplHeartbeat }
+
+func (m *ReplHeartbeat) encode(e *Encoder) {
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Latest)
+}
+
+func (m *ReplHeartbeat) decode(d *Decoder) error {
+	var err error
+	if m.Epoch, err = d.Uint64(); err != nil {
+		return err
+	}
+	m.Latest, err = d.Uint64()
+	return err
+}
+
+// ReplStatus asks any server for its replication role and progress — the
+// cheap health probe behind the client's replica fan-out policy.
+type ReplStatus struct{}
+
+// Type implements Message.
+func (*ReplStatus) Type() MsgType { return TypeReplStatus }
+
+func (m *ReplStatus) encode(e *Encoder) {}
+
+func (m *ReplStatus) decode(d *Decoder) error { return nil }
+
+// ReplStatusInfo answers a ReplStatus probe.
+type ReplStatusInfo struct {
+	// Role is "primary" (serving replication), "replica", or "standalone".
+	Role string
+	// Primary is the primary's address (replicas only).
+	Primary string
+	// Epoch is the log incarnation this server is at (0 when unknown).
+	Epoch uint64
+	// Applied is the highest offset applied locally.
+	Applied uint64
+	// Latest is the highest offset known to exist (equals Applied on a
+	// primary; on a replica it trails the primary by the current lag).
+	Latest uint64
+	// Connected reports whether a replica's stream to its primary is live
+	// (always true on a primary).
+	Connected bool
+}
+
+// Type implements Message.
+func (*ReplStatusInfo) Type() MsgType { return TypeReplStatusInfo }
+
+// Lag returns the number of committed mutations this server has not applied
+// yet.
+func (m *ReplStatusInfo) Lag() uint64 {
+	if m.Latest <= m.Applied {
+		return 0
+	}
+	return m.Latest - m.Applied
+}
+
+func (m *ReplStatusInfo) encode(e *Encoder) {
+	e.String(m.Role)
+	e.String(m.Primary)
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Applied)
+	e.Uint64(m.Latest)
+	e.Bool(m.Connected)
+}
+
+func (m *ReplStatusInfo) decode(d *Decoder) error {
+	var err error
+	if m.Role, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	if m.Primary, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	if m.Epoch, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.Applied, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.Latest, err = d.Uint64(); err != nil {
+		return err
+	}
+	m.Connected, err = d.Bool()
+	return err
+}

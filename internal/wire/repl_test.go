@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"fuzzyid/internal/store"
+)
+
+func TestMutationCodecRoundTrip(t *testing.T) {
+	cases := []store.Mutation{
+		store.InsertMutation(&store.Record{
+			ID: "alice", PublicKey: []byte("pk"), Helper: testHelper([]int64{1, -2, 3}),
+		}),
+		store.DeleteMutation("bob"),
+	}
+	for _, m := range cases {
+		e := NewEncoder(64)
+		if err := EncodeMutation(e, m); err != nil {
+			t.Fatalf("encode op %d: %v", m.Op, err)
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := DecodeMutation(d)
+		if err != nil {
+			t.Fatalf("decode op %d: %v", m.Op, err)
+		}
+		if err := d.Done(); err != nil {
+			t.Fatalf("trailing bytes: %v", err)
+		}
+		if got.Op != m.Op || got.ID != m.ID {
+			t.Fatalf("decoded (%d, %q), want (%d, %q)", got.Op, got.ID, m.Op, m.ID)
+		}
+		if m.Op == store.OpInsert && got.Record.ID != m.Record.ID {
+			t.Fatalf("decoded record %q, want %q", got.Record.ID, m.Record.ID)
+		}
+	}
+}
+
+func TestMutationCodecRejectsBadOp(t *testing.T) {
+	if err := EncodeMutation(NewEncoder(8), store.Mutation{Op: 99}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("encode bad op: %v", err)
+	}
+	if err := EncodeMutation(NewEncoder(8), store.Mutation{Op: store.OpInsert}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("encode insert without record: %v", err)
+	}
+	d := NewDecoder([]byte{99})
+	if _, err := DecodeMutation(d); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("decode bad op: %v", err)
+	}
+}
+
+func TestReplMessagesRoundTrip(t *testing.T) {
+	rec := &store.Record{ID: "carol", PublicKey: []byte("pk"), Helper: testHelper([]int64{5})}
+	msgs := []Message{
+		&NotPrimary{Primary: "10.0.0.1:7700"},
+		&ReplSubscribe{Epoch: 0xdead, From: 42},
+		&ReplSnapshot{Epoch: 1, Next: 10, First: true, Done: true, Records: []*store.Record{rec}},
+		&ReplFrame{Epoch: 2, Offset: 7, Mut: store.InsertMutation(rec)},
+		&ReplFrame{Epoch: 2, Offset: 8, Mut: store.DeleteMutation("carol")},
+		&ReplAck{Offset: 8},
+		&ReplHeartbeat{Epoch: 2, Latest: 9},
+		&ReplStatus{},
+		&ReplStatusInfo{Role: "replica", Primary: "10.0.0.1:7700", Epoch: 2, Applied: 8, Latest: 9, Connected: true},
+	}
+	for _, m := range msgs {
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", m, err)
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("unmarshal %T: %v", m, err)
+		}
+		if got.Type() != m.Type() {
+			t.Fatalf("round-tripped %T into %T", m, got)
+		}
+	}
+}
+
+func TestReplStatusInfoLag(t *testing.T) {
+	if lag := (&ReplStatusInfo{Applied: 5, Latest: 9}).Lag(); lag != 4 {
+		t.Fatalf("lag = %d, want 4", lag)
+	}
+	// A replica can briefly know a higher applied than latest (frame seen
+	// before any heartbeat); lag never underflows.
+	if lag := (&ReplStatusInfo{Applied: 9, Latest: 5}).Lag(); lag != 0 {
+		t.Fatalf("lag = %d, want 0", lag)
+	}
+}
+
+func TestReplSnapshotChunkBound(t *testing.T) {
+	e := NewEncoder(64)
+	e.Byte(byte(TypeReplSnapshot))
+	e.Uint64(1)
+	e.Uint64(1)
+	e.Bool(true)
+	e.Bool(true)
+	e.Uint32(MaxReplChunk + 1)
+	if _, err := Unmarshal(e.Bytes()); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized snapshot chunk: %v", err)
+	}
+}
