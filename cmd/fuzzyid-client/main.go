@@ -10,6 +10,13 @@
 //	fuzzyid-client -addr HOST:PORT revoke  -id alice -vec probe.vec
 //	fuzzyid-client -addr HOST:PORT stats
 //	fuzzyid-client -addr HOST:PORT repl-status
+//	fuzzyid-client -addr HOST:PORT tenant list
+//	fuzzyid-client -addr HOST:PORT tenant create -name myapp
+//	fuzzyid-client -addr HOST:PORT tenant drop -name myapp
+//
+// Protocol subcommands accept -tenant NAME to address a tenant namespace
+// other than the default (enroll/verify/identify/identify-batch/revoke);
+// the tenant subcommand manages the namespaces themselves.
 //
 // newuser and reading are local conveniences backed by the synthetic
 // biometric source, so a full demo needs no external data.
@@ -46,7 +53,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke, stats or repl-status")
+		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke, stats, repl-status or tenant")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	switch cmd {
@@ -62,8 +69,71 @@ func run(args []string) error {
 		return cmdStats(*addr, *scheme, *ext)
 	case "repl-status":
 		return cmdReplStatus(*addr, *scheme, *ext)
+	case "tenant":
+		return cmdTenant(cmdArgs, *addr, *scheme, *ext)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// cmdTenant manages tenant namespaces: list the hosted ones, create a new
+// one, or drop one (irreversibly, with every record in it).
+func cmdTenant(args []string, addr, scheme, ext string) error {
+	if len(args) == 0 {
+		return errors.New("tenant: missing action (list, create or drop)")
+	}
+	action, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("tenant "+action, flag.ContinueOnError)
+	name := fs.String("name", "", "tenant name (create/drop)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine()},
+		fuzzyid.WithSignatureScheme(scheme),
+		fuzzyid.WithExtractor(ext),
+	)
+	if err != nil {
+		return err
+	}
+	client, err := sys.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	switch action {
+	case "list":
+		names, err := client.Tenants()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	case "create":
+		if *name == "" {
+			return errors.New("tenant create: -name is required")
+		}
+		if err := client.CreateTenant(*name); err != nil {
+			return err
+		}
+		fmt.Printf("created tenant %q\n", *name)
+		return nil
+	case "drop":
+		if *name == "" {
+			return errors.New("tenant drop: -name is required")
+		}
+		if err := client.DropTenant(*name); err != nil {
+			if tenant, ok := fuzzyid.IsUnknownTenant(err); ok {
+				return fmt.Errorf("tenant %q does not exist", tenant)
+			}
+			return err
+		}
+		fmt.Printf("dropped tenant %q\n", *name)
+		return nil
+	default:
+		return fmt.Errorf("tenant: unknown action %q (want list, create or drop)", action)
 	}
 }
 
@@ -126,6 +196,12 @@ func cmdReplStatus(addr, scheme, ext string) error {
 
 // cmdIdentifyBatch resolves several probe files in one batched session.
 func cmdIdentifyBatch(args []string, addr, scheme, ext string) error {
+	fs := flag.NewFlagSet("identify-batch", flag.ContinueOnError)
+	tenant := fs.String("tenant", "", "tenant namespace (empty = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
 	if len(args) == 0 {
 		return errors.New("identify-batch: at least one vector file is required")
 	}
@@ -145,7 +221,7 @@ func cmdIdentifyBatch(args []string, addr, scheme, ext string) error {
 	if err != nil {
 		return err
 	}
-	client, err := sys.Dial(addr)
+	client, err := sys.Dial(addr, fuzzyid.WithTenant(*tenant))
 	if err != nil {
 		return err
 	}
@@ -235,6 +311,7 @@ func cmdProtocol(cmd string, args []string, addr, scheme, ext string) error {
 		id     = fs.String("id", "", "user identity (enroll/verify)")
 		vec    = fs.String("vec", "", "vector file (required)")
 		normal = fs.Bool("normal", false, "identify: use the O(N) normal approach of Fig. 2")
+		tenant = fs.String("tenant", "", "tenant namespace (empty = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -254,7 +331,7 @@ func cmdProtocol(cmd string, args []string, addr, scheme, ext string) error {
 	if err != nil {
 		return err
 	}
-	client, err := sys.Dial(addr)
+	client, err := sys.Dial(addr, fuzzyid.WithTenant(*tenant))
 	if err != nil {
 		return err
 	}
@@ -267,6 +344,9 @@ func cmdProtocol(cmd string, args []string, addr, scheme, ext string) error {
 			return errors.New("enroll: -id is required")
 		}
 		if err := client.Enroll(*id, bio); err != nil {
+			if name, ok := fuzzyid.IsUnknownTenant(err); ok {
+				return fmt.Errorf("tenant %q does not exist — create it with: fuzzyid-client tenant create -name %s", name, name)
+			}
 			return err
 		}
 		fmt.Printf("enrolled %q in %v\n", *id, time.Since(start).Round(time.Microsecond))

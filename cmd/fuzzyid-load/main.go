@@ -24,6 +24,12 @@
 //	noise      — impostor probes that should miss (server-side reject path)
 //	replicated — identify traffic fanned out across -replicas followers
 //	             (requires -replicas; not part of "all")
+//	multitenant — skewed 90/10 identify/enroll traffic spread across
+//	             -tenants freshly created, run-scoped namespaces (harmonic
+//	             skew: tenant i gets weight 1/(i+1)); the report breaks
+//	             throughput down per tenant, and the namespaces are dropped
+//	             again when the run ends (requires -tenants >= 2; not part
+//	             of "all")
 //
 // With -replicas addr1,addr2 every worker's reads fan out round-robin
 // across those follower servers (mutations stay pinned to -addr, which must
@@ -78,6 +84,7 @@ type config struct {
 	duration time.Duration
 	users    int
 	batch    int
+	tenants  int
 	seed     int64
 	scheme   string
 	ext      string
@@ -108,6 +115,16 @@ type scenarioResult struct {
 	// workers (a batch session is one operation).
 	ThroughputOpsS float64                     `json:"throughput_ops_s"`
 	Latency        telemetry.HistogramSnapshot `json:"latency"`
+	// Tenants breaks the multitenant scenario's throughput down per
+	// namespace (absent for single-tenant scenarios).
+	Tenants []tenantResult `json:"tenants,omitempty"`
+}
+
+// tenantResult is one namespace's share of a multitenant scenario.
+type tenantResult struct {
+	Tenant         string  `json:"tenant"`
+	Ops            uint64  `json:"ops"`
+	ThroughputOpsS float64 `json:"throughput_ops_s"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -118,7 +135,8 @@ func run(args []string, stdout io.Writer) error {
 		scenario    = fs.String("scenario", "all", "comma-separated scenario list: "+strings.Join(scenarioOrder, ", ")+", 'replicated', or 'all'")
 		workers     = fs.Int("workers", 8, "concurrent closed-loop workers (one connection each)")
 		duration    = fs.Duration("duration", 5*time.Second, "wall-clock budget per scenario")
-		users       = fs.Int("users", 50, "pre-enrolled population size")
+		users       = fs.Int("users", 50, "pre-enrolled population size (per tenant, for multitenant)")
+		tenants     = fs.Int("tenants", 1, "tenant namespaces for the multitenant scenario")
 		dim         = fs.Int("dim", 512, "feature-vector dimension (must match the server)")
 		batch       = fs.Int("batch", 16, "readings per batch-scenario session")
 		seed        = fs.Int64("seed", 1, "workload seed (templates and noise); use a distinct seed per run against a live server, or re-enrolled twin templates make identify ambiguous")
@@ -152,11 +170,14 @@ func run(args []string, stdout io.Writer) error {
 		if name == "replicated" && len(replicaAddrs) == 0 {
 			return errors.New("the replicated scenario needs -replicas (follower addresses)")
 		}
+		if name == "multitenant" && *tenants < 2 {
+			return errors.New("the multitenant scenario needs -tenants >= 2")
+		}
 	}
 	cfg := config{
 		addr: *addr, replicas: replicaAddrs, dim: *dim, workers: *workers,
-		duration: *duration, users: *users, batch: *batch, seed: *seed,
-		scheme: *scheme, ext: *ext,
+		duration: *duration, users: *users, batch: *batch, tenants: *tenants,
+		seed: *seed, scheme: *scheme, ext: *ext,
 	}
 	rep, err := drive(cfg, scenarios, *serverStats)
 	if err != nil {
@@ -178,9 +199,9 @@ func parseScenarios(s string) ([]string, error) {
 	if s == "all" {
 		return scenarioOrder, nil
 	}
-	// "replicated" is requested explicitly, never part of "all": it only
-	// makes sense with -replicas pointing at live followers.
-	known := map[string]bool{"replicated": true}
+	// "replicated" and "multitenant" are requested explicitly, never part
+	// of "all": they only make sense with -replicas / -tenants configured.
+	known := map[string]bool{"replicated": true, "multitenant": true}
 	for _, name := range scenarioOrder {
 		known[name] = true
 	}
@@ -215,6 +236,53 @@ type worker struct {
 	nonce  int64             // uniquifies enroll-scenario IDs across runs
 	batch  int
 	seq    int // counter for fresh enroll IDs
+
+	// Multitenant scenario state: one tenant-bound client per namespace,
+	// plus the shared skew table and counters (nil outside multitenant).
+	mt        *mtState
+	mtClients []*fuzzyid.Client
+}
+
+// mtState is the multitenant scenario's shared state: the created
+// namespaces, their populations, the harmonic skew table and the
+// per-tenant op counters the per-tenant throughput report is built from.
+type mtState struct {
+	names []string
+	pops  [][]*biometric.User // read-only after setup
+	cum   []float64           // cumulative skew weights, normalised to 1
+	ops   []atomic.Uint64
+}
+
+// newMTState builds the skew table: tenant i is picked with weight
+// 1/(i+1), so the first namespace dominates — the realistic shape of a
+// consolidated service hosting one big app and a tail of small ones.
+func newMTState(names []string) *mtState {
+	mt := &mtState{
+		names: names,
+		pops:  make([][]*biometric.User, len(names)),
+		cum:   make([]float64, len(names)),
+		ops:   make([]atomic.Uint64, len(names)),
+	}
+	total := 0.0
+	for i := range names {
+		total += 1 / float64(i+1)
+	}
+	acc := 0.0
+	for i := range names {
+		acc += 1 / float64(i+1) / total
+		mt.cum[i] = acc
+	}
+	return mt
+}
+
+// pick maps a uniform [0,1) draw to a tenant index via the skew table.
+func (mt *mtState) pick(r float64) int {
+	for i, c := range mt.cum {
+		if r < c {
+			return i
+		}
+	}
+	return len(mt.cum) - 1
 }
 
 // op runs one operation of the named scenario. It reports errMiss when the
@@ -281,6 +349,17 @@ func (w *worker) op(scenario string) error {
 			return err
 		}
 		return w.client.Enroll(u.ID, u.Template)
+	case "multitenant":
+		ti := mtPick(w)
+		w.mt.ops[ti].Add(1)
+		client := w.mtClients[ti]
+		if w.rng.Intn(10) == 0 { // 10% enrolls keep every namespace growing
+			w.seq++
+			u := w.src.NewUser(fmt.Sprintf("mt-%x-w%d-%d", w.nonce, w.id, w.seq))
+			return client.Enroll(u.ID, u.Template)
+		}
+		pop := w.mt.pops[ti]
+		return w.identifyWith(client, pop[w.rng.Intn(len(pop))])
 	case "noise":
 		// An impostor probe: a fresh random vector, almost surely far from
 		// every enrolled template, so the expected outcome is a miss.
@@ -297,12 +376,21 @@ func (w *worker) op(scenario string) error {
 	}
 }
 
+// mtPick draws the next tenant index from the worker's RNG.
+func mtPick(w *worker) int { return w.mt.pick(w.rng.Float64()) }
+
 func (w *worker) identify(u *biometric.User) error {
+	return w.identifyWith(w.client, u)
+}
+
+// identifyWith runs one genuine-reading identification on the given client
+// (the worker's primary client, or a tenant-bound one).
+func (w *worker) identifyWith(client *fuzzyid.Client, u *biometric.User) error {
 	reading, err := w.src.GenuineReading(u)
 	if err != nil {
 		return err
 	}
-	id, err := w.client.Identify(reading)
+	id, err := client.Identify(reading)
 	if err != nil {
 		if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
 			return errMiss
@@ -357,6 +445,16 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 	if err != nil {
 		return nil, err
 	}
+	var mt *mtState
+	for _, name := range scenarios {
+		if name == "multitenant" {
+			// setupMultitenant binds the shared state onto every worker.
+			if mt, err = setupMultitenant(sys, cfg, workers, clientOpts, nonce); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
 	if len(cfg.replicas) > 0 {
 		// Measured traffic must run against caught-up followers, or misses
 		// would reflect bootstrap timing rather than matching quality.
@@ -382,6 +480,22 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
+	for _, w := range workers {
+		for _, c := range w.mtClients {
+			c.Close()
+		}
+	}
+	if mt != nil {
+		// The scenario's namespaces are run-scoped: drop them so repeated
+		// runs against a live server do not accumulate tenants (and, with
+		// -data, WAL partitions). Best-effort — a severed connection at
+		// this point must not fail an otherwise-complete report.
+		for _, name := range mt.names {
+			if err := workers[0].client.DropTenant(name); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzzyid-load: drop tenant %s: %v\n", name, err)
+			}
+		}
+	}
 	if wantServerStats {
 		buf, err := workers[0].client.Stats()
 		if err != nil {
@@ -399,6 +513,63 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 		rep.ServerStats = snap
 	}
 	return rep, nil
+}
+
+// setupMultitenant creates cfg.tenants fresh namespaces (run-unique names,
+// so repeated runs against a live server never collide), binds one
+// tenant-scoped client per worker per namespace, and enrolls an
+// independent cfg.users population into each.
+func setupMultitenant(sys *fuzzyid.System, cfg config, workers []*worker, clientOpts []fuzzyid.ClientOption, nonce int64) (*mtState, error) {
+	names := make([]string, cfg.tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("lt%x-%d", nonce, i)
+		if err := workers[0].client.CreateTenant(names[i]); err != nil {
+			return nil, fmt.Errorf("create tenant %s: %w", names[i], err)
+		}
+	}
+	mt := newMTState(names)
+	for _, w := range workers {
+		w.mt = mt
+		w.mtClients = make([]*fuzzyid.Client, len(names))
+		for ti, name := range names {
+			opts := append(append([]fuzzyid.ClientOption{}, clientOpts...), fuzzyid.WithTenant(name))
+			client, err := sys.Dial(cfg.addr, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("worker %d tenant %s: %w", w.id, name, err)
+			}
+			w.mtClients[ti] = client
+		}
+	}
+	// Each namespace gets its own population: the same user index enrolls
+	// different templates in different tenants, which is exactly what the
+	// isolation tests assert the server keeps apart.
+	for ti := range names {
+		pop := make([]*biometric.User, cfg.users)
+		var wg sync.WaitGroup
+		errs := make([]error, len(workers))
+		for wi, w := range workers {
+			wg.Add(1)
+			go func(wi int, w *worker) {
+				defer wg.Done()
+				for i := wi; i < cfg.users; i += len(workers) {
+					u := w.src.NewUser(fmt.Sprintf("mtpop-%x-t%d-%04d", nonce, ti, i))
+					if err := w.mtClients[ti].Enroll(u.ID, u.Template); err != nil {
+						errs[wi] = fmt.Errorf("enroll tenant %s population %s: %w", names[ti], u.ID, err)
+						return
+					}
+					pop[i] = u
+				}
+			}(wi, w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		mt.pops[ti] = pop
+	}
+	return mt, nil
 }
 
 // waitReplicasSynced polls every replica's replication status until it
@@ -516,6 +687,16 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 	if res.Seconds > 0 {
 		res.ThroughputOpsS = float64(res.Ops) / res.Seconds
 	}
+	if name == "multitenant" && len(workers) > 0 && workers[0].mt != nil {
+		mt := workers[0].mt
+		for ti, tname := range mt.names {
+			tr := tenantResult{Tenant: tname, Ops: mt.ops[ti].Load()}
+			if res.Seconds > 0 {
+				tr.ThroughputOpsS = float64(tr.Ops) / res.Seconds
+			}
+			res.Tenants = append(res.Tenants, tr)
+		}
+	}
 	if firstErr != nil && res.Ops == res.Errors {
 		// Every op failed: surface the cause instead of reporting zeros.
 		return res, fmt.Errorf("scenario %s: all ops failed: %w", name, firstErr)
@@ -535,6 +716,10 @@ func writeText(w io.Writer, rep *report) error {
 		fmt.Fprintf(w, "%-10s %10d %8d %8d %12.1f %10.3f %10.3f %10.3f\n",
 			s.Scenario, s.Ops, s.Errors, s.Misses, s.ThroughputOpsS,
 			s.Latency.P50MS, s.Latency.P95MS, s.Latency.P99MS)
+		for _, tr := range s.Tenants {
+			fmt.Fprintf(w, "  tenant %-20s %10d ops %12.1f ops/s\n",
+				tr.Tenant, tr.Ops, tr.ThroughputOpsS)
+		}
 	}
 	if rep.ServerStats != nil {
 		fmt.Fprintf(w, "server: %d conns accepted, %d bytes in, %d bytes out\n",

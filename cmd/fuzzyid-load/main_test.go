@@ -294,3 +294,75 @@ func TestLoadReplicatedNeedsReplicas(t *testing.T) {
 		t.Errorf("replicated without -replicas accepted: %v", err)
 	}
 }
+
+// TestLoadMultitenantScenario is the acceptance check for -tenants: the
+// multitenant scenario must create its namespaces, drive skewed traffic
+// across them with zero hard errors and misses, and report per-tenant
+// throughput that accounts for every op.
+func TestLoadMultitenantScenario(t *testing.T) {
+	sys, addr, stop := startServer(t, 32)
+	defer stop()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-dim", "32",
+		"-workers", "3",
+		"-users", "5",
+		"-tenants", "3",
+		"-duration", "300ms",
+		"-scenario", "multitenant",
+		"-format", "json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(rep.Scenarios))
+	}
+	s := rep.Scenarios[0]
+	if s.Errors != 0 {
+		t.Fatalf("multitenant: %d hard errors", s.Errors)
+	}
+	if s.Misses != 0 {
+		t.Fatalf("multitenant: %d misses (cross-tenant bleed or lost enrollments)", s.Misses)
+	}
+	if len(s.Tenants) != 3 {
+		t.Fatalf("per-tenant results = %d, want 3", len(s.Tenants))
+	}
+	var sum uint64
+	for _, tr := range s.Tenants {
+		if tr.Ops == 0 {
+			t.Errorf("tenant %s: 0 ops", tr.Tenant)
+		}
+		if tr.ThroughputOpsS <= 0 {
+			t.Errorf("tenant %s: throughput %v", tr.Tenant, tr.ThroughputOpsS)
+		}
+		sum += tr.Ops
+	}
+	if sum != s.Ops {
+		t.Errorf("per-tenant ops sum to %d, scenario counted %d", sum, s.Ops)
+	}
+	// The harmonic skew makes the first namespace the busiest.
+	if s.Tenants[0].Ops < s.Tenants[2].Ops {
+		t.Errorf("skew inverted: tenant0 %d ops < tenant2 %d ops", s.Tenants[0].Ops, s.Tenants[2].Ops)
+	}
+	// The run-scoped namespaces are dropped on teardown: only the default
+	// tenant remains on the server.
+	if got := sys.Tenants(); len(got) != 1 || got[0] != fuzzyid.DefaultTenant {
+		t.Errorf("server hosts %v after the run, want [default]", got)
+	}
+}
+
+// TestLoadMultitenantNeedsTenants pins the flag validation.
+func TestLoadMultitenantNeedsTenants(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "multitenant"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-tenants") {
+		t.Fatalf("run = %v, want -tenants guidance", err)
+	}
+}

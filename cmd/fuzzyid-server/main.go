@@ -29,6 +29,14 @@
 //
 //	fuzzyid-server -addr 127.0.0.1:7700 -data /var/lib/fuzzyid -serve-replication
 //	fuzzyid-server -addr 127.0.0.1:7710 -replica-of 127.0.0.1:7700
+//
+// Multi-tenancy (DESIGN.md §9): the server always hosts the "default"
+// tenant; named tenants — independent identification populations sharing
+// the process — are created at runtime ("fuzzyid-client tenant create
+// -name myapp") and, with -data, recovered from their per-tenant
+// partitions under <data>/tenants/ on boot. Clients select a namespace per
+// connection (-tenant on fuzzyid-client), and a replicating primary
+// streams every tenant to its followers.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -203,6 +212,9 @@ func setup(args []string) (*proc, error) {
 		srv.Addr(), *dim, *strategy, *scheme)
 	if *data != "" {
 		fmt.Printf("persistence: %s (%d records recovered)\n", *data, sys.Enrolled())
+	}
+	if tenants := sys.Tenants(); len(tenants) > 1 {
+		fmt.Printf("tenants: %d (%s)\n", len(tenants), strings.Join(tenants, ", "))
 	}
 	if sys.Replicating() {
 		fmt.Println("replication: primary (streaming the mutation log to followers)")

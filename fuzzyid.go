@@ -32,6 +32,7 @@ package fuzzyid
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/extract"
@@ -121,6 +122,22 @@ func WithClientTelemetry(reg *Metrics) ClientOption { return transport.WithClien
 // so the caller can redirect.
 func IsNotPrimary(err error) (primary string, ok bool) { return protocol.IsNotPrimary(err) }
 
+// WithTenant binds every protocol session of a dialed Client (or a
+// LocalClient) to the named tenant namespace; the empty name selects the
+// default tenant. Operations against a namespace the server does not host
+// fail with a typed error (IsUnknownTenant).
+func WithTenant(name string) ClientOption { return transport.WithTenant(name) }
+
+// IsUnknownTenant reports whether err is a server's refusal of an operation
+// that named a tenant namespace it does not host; if so it also returns the
+// tenant name, so callers can create the tenant or fix the name instead of
+// treating the failure as opaque.
+func IsUnknownTenant(err error) (tenant string, ok bool) { return protocol.IsUnknownTenant(err) }
+
+// DefaultTenant is the namespace every system hosts and that untenanted
+// clients (and pre-tenant data directories) map onto.
+const DefaultTenant = store.DefaultTenant
+
 // PaperLine returns the number line of the paper's Table II:
 // a=100, k=4, v=500, t=100, range (-100000, 100000].
 func PaperLine() LineParams { return numberline.PaperParams() }
@@ -136,25 +153,27 @@ func NewExtractor(p Params) (*Extractor, error) { return core.New(p) }
 func IsRejected(err error) bool { return protocol.IsRejected(err) }
 
 // System bundles everything needed to run the paper's protocols: the fuzzy
-// extractor, the signature scheme, the server-side record store, and the
-// protocol engines for both the authentication server and the biometric
-// device.
+// extractor, the signature scheme, the server-side record stores (one per
+// tenant namespace), and the protocol engines for both the authentication
+// server and the biometric device.
 type System struct {
 	extractor *core.FuzzyExtractor
 	scheme    sigscheme.Scheme
-	db        store.Store
 	server    *protocol.Server
 	device    *protocol.Device
+
+	// tenants routes every namespace to its store; always non-nil after
+	// NewSystem (the default tenant always exists).
+	tenants *store.Registry
 
 	// Telemetry registry; nil unless WithTelemetry was configured.
 	metrics *telemetry.Registry
 
-	// Persistence state; nil unless WithPersistence was configured.
-	journal *persist.Log
-	// jdb is the journaled store wrapper; set when persistence or
-	// replication serving is configured (both route mutations through the
-	// journal seam).
-	jdb *store.Journaled
+	// Persistence state: the data dir and one WAL per tenant; empty unless
+	// WithPersistence was configured.
+	dataDir string
+	logMu   sync.Mutex
+	logs    map[string]*persist.Log
 
 	// Replication state: hub is non-nil on a primary built
 	// WithReplication, follower on a replica built WithReplicaOf.
@@ -311,7 +330,11 @@ func WithReplicaOf(addr string) Option {
 	})
 }
 
-// NewSystem validates p and assembles a complete deployment.
+// NewSystem validates p and assembles a complete deployment. The system
+// always hosts the "default" tenant; named tenants are recovered from the
+// persistence directory's per-tenant partitions and managed at runtime via
+// CreateTenant/DropTenant (or the tenant admin protocol of a connected
+// client).
 func NewSystem(p Params, opts ...Option) (*System, error) {
 	cfg := config{strategy: "bucket", scheme: "ed25519", extractor: "hmac-sha256"}
 	for _, o := range opts {
@@ -331,15 +354,6 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	var db store.Store
-	if cfg.strategy == "bucket" && cfg.indexDims > 0 {
-		db = store.NewBucketShards(fe.Line(), cfg.indexDims, cfg.shards)
-	} else {
-		db, err = store.ByStrategyShards(cfg.strategy, fe.Line(), cfg.shards)
-		if err != nil {
-			return nil, err
-		}
-	}
 	if cfg.replicaOf != "" {
 		if cfg.dataDir != "" {
 			return nil, errors.New("fuzzyid: a replica cannot combine WithReplicaOf and WithPersistence (it bootstraps from the primary's snapshot)")
@@ -348,60 +362,135 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 			return nil, errors.New("fuzzyid: chained replication (WithReplicaOf + WithReplication) is not supported")
 		}
 	}
-	sys := &System{extractor: fe, scheme: scheme}
+	sys := &System{
+		extractor: fe, scheme: scheme,
+		dataDir: cfg.dataDir,
+		logs:    make(map[string]*persist.Log),
+	}
 	if cfg.telemetry {
 		sys.metrics = telemetry.NewRegistry()
 	}
-	var journals store.MultiJournal
-	if cfg.dataDir != "" {
-		popts := []persist.Option{persist.WithTelemetry(sys.metrics)}
-		if cfg.syncOS {
-			popts = append(popts, persist.WithSyncPolicy(persist.SyncOS))
-		}
-		journal, err := persist.Open(cfg.dataDir, popts...)
-		if err != nil {
-			return nil, err
-		}
-		// Recovery replays the snapshot and WAL tail through the store's
-		// normal mutation path, then live mutations flow through the
-		// journal before being acknowledged.
-		if err := store.Replay(db, journal.Replay); err != nil {
-			journal.Close()
-			return nil, err
-		}
-		sys.journal = journal
-		journals = append(journals, journal)
-	}
 	if cfg.serveRepl {
-		// The hub rides the same journal seam as the WAL, after it: a
-		// mutation is shipped to replicas only once it is locally durable.
+		// The hub rides the same journal seam as each tenant's WAL, after
+		// it: a mutation is shipped to replicas only once locally durable.
 		sys.hub = replica.NewHub(replica.WithHubTelemetry(sys.metrics))
-		journals = append(journals, sys.hub)
 	}
-	if len(journals) > 0 {
-		sys.jdb = store.NewJournaled(db, journals)
-		db = sys.jdb
+	popts := []persist.Option{persist.WithTelemetry(sys.metrics)}
+	if cfg.syncOS {
+		popts = append(popts, persist.WithSyncPolicy(persist.SyncOS))
 	}
-	if sys.hub != nil {
-		sys.hub.BindStore(sys.jdb)
+	// The factory builds one tenant's full backing: the in-memory lookup
+	// strategy, recovered from and journaled into its own WAL partition
+	// (sharing the data dir and fsync policy), with the replication hub
+	// appended after the WAL so durability precedes shipping.
+	factory := func(name string) (store.Store, func() error, error) {
+		var db store.Store
+		var err error
+		if cfg.strategy == "bucket" && cfg.indexDims > 0 {
+			db = store.NewBucketShards(fe.Line(), cfg.indexDims, cfg.shards)
+		} else {
+			db, err = store.ByStrategyShards(cfg.strategy, fe.Line(), cfg.shards)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		var journals store.MultiJournal
+		var closer func() error
+		if cfg.dataDir != "" {
+			log, err := persist.Open(persist.TenantDir(cfg.dataDir, name), popts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Recovery replays the snapshot and WAL tail through the
+			// store's normal mutation path, then live mutations flow
+			// through the journal before being acknowledged.
+			if err := store.Replay(db, log.Replay); err != nil {
+				log.Close()
+				return nil, nil, err
+			}
+			sys.trackLog(name, log)
+			journals = append(journals, log)
+			closer = func() error {
+				sys.untrackLog(name)
+				return log.Close()
+			}
+		}
+		if sys.hub != nil {
+			journals = append(journals, sys.hub)
+		}
+		if len(journals) > 0 {
+			return store.NewJournaledTenant(db, journals, name), closer, nil
+		}
+		return db, closer, nil
 	}
-	sys.db = db
-	sys.server = protocol.NewServer(fe, scheme, db)
+	reg, err := store.NewTenantRegistry(factory)
+	if err != nil {
+		return nil, err
+	}
+	sys.tenants = reg
+	if cfg.dataDir != "" {
+		// Recover every named tenant partitioned under the data dir; the
+		// default tenant (the dir's root — the pre-tenant layout) was
+		// recovered by the registry constructor.
+		names, err := persist.Tenants(cfg.dataDir)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		for _, name := range names {
+			if _, err := reg.Ensure(name); err != nil {
+				sys.Close()
+				return nil, err
+			}
+		}
+		reg.OnDrop(func(name string) error {
+			return persist.RemoveTenant(cfg.dataDir, name)
+		})
+	}
+	sys.server = protocol.NewServer(fe, scheme, reg.Default())
+	sys.server.SetTenants(reg)
 	if sys.metrics != nil {
 		sys.server.Instrument(sys.metrics)
 	}
 	if sys.hub != nil {
+		reg.ShipAdminOps(sys.hub)
+		sys.hub.BindStore(reg)
 		sys.server.SetReplication(sys.hub)
 		sys.server.SetStatus(sys.hub.Status)
 	}
 	if cfg.replicaOf != "" {
-		sys.follower = replica.StartFollower(cfg.replicaOf, db,
+		sys.follower = replica.StartFollower(cfg.replicaOf, reg,
 			replica.WithFollowerTelemetry(sys.metrics))
 		sys.server.SetReadOnly(cfg.replicaOf)
 		sys.server.SetStatus(sys.follower.Status)
 	}
 	sys.device = protocol.NewDevice(fe, scheme)
 	return sys, nil
+}
+
+// trackLog records a tenant's WAL for the snapshot and shutdown paths.
+func (s *System) trackLog(name string, log *persist.Log) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	s.logs[store.CanonicalTenant(name)] = log
+}
+
+// untrackLog forgets a dropped tenant's WAL.
+func (s *System) untrackLog(name string) {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	delete(s.logs, store.CanonicalTenant(name))
+}
+
+// snapshotLogs returns a stable view of the per-tenant WALs.
+func (s *System) snapshotLogs() map[string]*persist.Log {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	out := make(map[string]*persist.Log, len(s.logs))
+	for name, log := range s.logs {
+		out[name] = log
+	}
+	return out
 }
 
 // Metrics returns the system's telemetry registry, or nil when the system
@@ -422,7 +511,24 @@ func (s *System) StatsJSON() ([]byte, error) {
 }
 
 // Persistent reports whether the system was built with WithPersistence.
-func (s *System) Persistent() bool { return s.journal != nil }
+func (s *System) Persistent() bool { return s.dataDir != "" }
+
+// Tenants returns the hosted tenant namespace names, sorted; the "default"
+// tenant is always present.
+func (s *System) Tenants() []string { return s.tenants.Names() }
+
+// CreateTenant adds a new tenant namespace: an independent identification
+// population with its own store and — on a persistent system — its own WAL
+// partition under the data dir. On a replicating primary the creation is
+// shipped to followers. Fails if the tenant already exists or the name is
+// invalid (letters, digits, '.', '_', '-'; max 64 characters; must start
+// with a letter or digit).
+func (s *System) CreateTenant(name string) error { return s.tenants.Create(name) }
+
+// DropTenant removes a tenant namespace and every record in it, deleting
+// its persistence partition and shipping the drop to followers.
+// Irreversible; the default tenant cannot be dropped.
+func (s *System) DropTenant(name string) error { return s.tenants.Drop(name) }
 
 // Replicating reports whether the system serves a replication stream to
 // followers (built WithReplication).
@@ -447,28 +553,51 @@ func (s *System) ReplicaStatus() (applied, lag uint64, connected bool) {
 	return s.follower.Applied(), s.follower.Lag(), s.follower.Connected()
 }
 
-// Snapshot compacts the persistence log: the full record set is written as
-// one snapshot and the WAL segments it subsumes are deleted, bounding both
-// disk usage and the next boot's recovery time. Snapshot is cheap to call
-// when nothing changed (it returns immediately) and a no-op without
-// persistence.
+// Snapshot compacts every tenant's persistence log: each namespace's full
+// record set is written as one snapshot and the WAL segments it subsumes
+// are deleted, bounding both disk usage and the next boot's recovery time.
+// Snapshot is cheap to call when nothing changed (tenants with no appends
+// since their last compaction are skipped) and a no-op without persistence.
 func (s *System) Snapshot() error {
-	if s.jdb == nil || s.journal == nil {
+	var errs []error
+	for name, log := range s.snapshotLogs() {
+		if log.AppendsSinceRotate() == 0 {
+			continue // nothing new since the last snapshot
+		}
+		if err := s.snapshotTenant(name, log); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// snapshotTenant compacts one tenant's log; a tenant dropped concurrently
+// (its store gone or its log closed) is skipped, not an error.
+func (s *System) snapshotTenant(name string, log *persist.Log) error {
+	st, err := s.tenants.Tenant(name)
+	if err != nil {
+		return nil // dropped while iterating
+	}
+	jdb, ok := st.(*store.Journaled)
+	if !ok {
 		return nil
 	}
-	if s.journal.AppendsSinceRotate() == 0 {
-		return nil // nothing new since the last snapshot
+	if err := jdb.Snapshot(log); err != nil {
+		if errors.Is(err, persist.ErrClosed) {
+			return nil // dropped while iterating
+		}
+		return fmt.Errorf("fuzzyid: snapshot tenant %q: %w", name, err)
 	}
-	return s.jdb.Snapshot(s.journal)
+	return nil
 }
 
 // Close releases the system's background resources: a follower's
-// replication stream is stopped (the store keeps its replicated state), and
-// the persistence layer is flushed and closed, taking a final snapshot when
-// mutations were appended since the last one so the next boot recovers from
-// a compact state. Close is idempotent for the persistence layer and a
-// no-op for systems with neither persistence nor a replication stream;
-// after it, mutations fail.
+// replication stream is stopped (the stores keep their replicated state),
+// and every tenant's persistence log is flushed and closed, taking a final
+// snapshot when mutations were appended since the last one so the next boot
+// recovers from a compact state. Close is idempotent for the persistence
+// layer and a no-op for systems with neither persistence nor a replication
+// stream; after it, mutations fail.
 func (s *System) Close() error {
 	var errs []error
 	if s.follower != nil {
@@ -476,11 +605,13 @@ func (s *System) Close() error {
 			errs = append(errs, err)
 		}
 	}
-	if s.journal != nil {
-		if err := s.Snapshot(); err != nil {
-			errs = append(errs, err)
+	for name, log := range s.snapshotLogs() {
+		if log.AppendsSinceRotate() > 0 {
+			if err := s.snapshotTenant(name, log); err != nil {
+				errs = append(errs, err)
+			}
 		}
-		if err := s.journal.Close(); err != nil {
+		if err := log.Close(); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -490,13 +621,15 @@ func (s *System) Close() error {
 // Extractor returns the underlying fuzzy extractor.
 func (s *System) Extractor() *Extractor { return s.extractor }
 
-// Enrolled returns the number of enrolled users.
-func (s *System) Enrolled() int { return s.db.Len() }
+// Enrolled returns the number of enrolled users across every tenant.
+func (s *System) Enrolled() int { return s.tenants.Enrolled() }
 
-// StoreRecord returns the stored record for an enrolled identity — the view
-// a database insider has (used by the tamper-resilience examples and
-// tests).
-func (s *System) StoreRecord(id string) (*Record, bool) { return s.db.Get(id) }
+// StoreRecord returns the stored record for an enrolled identity in the
+// default tenant — the view a database insider has (used by the
+// tamper-resilience examples and tests). The store is resolved through the
+// tenant registry on every call, so the view stays correct across a
+// follower's snapshot re-bootstraps (which rebuild the stores).
+func (s *System) StoreRecord(id string) (*Record, bool) { return s.tenants.Default().Get(id) }
 
 // Report returns the Theorem 3 security accounting for dimension n (or the
 // configured dimension when fixed).
@@ -518,9 +651,10 @@ func (s *System) Listen(addr string, opts ...ServerOption) (*Server, error) {
 }
 
 // LocalClient returns a device client wired to this system's server through
-// an in-memory pipe, plus its teardown function.
-func (s *System) LocalClient() (*Client, func()) {
-	return transport.LocalPair(s.server, s.device)
+// an in-memory pipe, plus its teardown function. Options (e.g. WithTenant)
+// configure the client.
+func (s *System) LocalClient(opts ...ClientOption) (*Client, func()) {
+	return transport.LocalPair(s.server, s.device, opts...)
 }
 
 // Dial connects a device client for this system's parameters to a remote

@@ -21,6 +21,13 @@
 // after every append, so an acknowledged enrollment survives power loss;
 // SyncOS flushes to the kernel per append — surviving process death
 // (SIGKILL) but not a machine crash — and fsyncs on rotation and close.
+//
+// Multi-tenant deployments partition one data dir per tenant: the default
+// tenant owns the root (the exact layout pre-tenant deployments wrote, so
+// old directories open unchanged) and each named tenant owns an
+// independent Log under tenants/<name>/ (TenantDir), created on tenant
+// creation and destroyed on drop (RemoveTenant). All partitions share one
+// fsync policy.
 package persist
 
 import (
@@ -127,6 +134,59 @@ var (
 	_ store.Journal     = (*Log)(nil)
 	_ store.Snapshotter = (*Log)(nil)
 )
+
+// TenantsSubdir is the directory under a data dir that holds the named
+// tenants' partitions; the default tenant lives at the data dir's root —
+// exactly the layout pre-tenant deployments wrote, so their directories
+// open unchanged as the default tenant.
+const TenantsSubdir = "tenants"
+
+// TenantDir returns the partition directory for the named tenant under
+// root: root itself for the default tenant (or ""), root/tenants/<name>
+// otherwise.
+func TenantDir(root, name string) string {
+	if name == "" || name == store.DefaultTenant {
+		return root
+	}
+	return filepath.Join(root, TenantsSubdir, name)
+}
+
+// Tenants lists the named tenants partitioned under root, excluding the
+// default tenant (which is the root itself). A root without a tenants
+// subdirectory — any pre-tenant data dir — yields none.
+func Tenants(root string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, TenantsSubdir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("persist: scan tenants: %w", err)
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			names = append(names, ent.Name())
+		}
+	}
+	return names, nil
+}
+
+// RemoveTenant destroys the named tenant's partition under root — WAL,
+// snapshots and the directory itself. It refuses the default tenant (whose
+// partition is the whole data dir) and names that are not plain directory
+// entries. The caller must have closed the tenant's Log first.
+func RemoveTenant(root, name string) error {
+	if name == "" || name == store.DefaultTenant {
+		return fmt.Errorf("persist: refusing to remove the default tenant's partition")
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." {
+		return fmt.Errorf("persist: invalid tenant partition name %q", name)
+	}
+	if err := os.RemoveAll(TenantDir(root, name)); err != nil {
+		return fmt.Errorf("persist: remove tenant %q: %w", name, err)
+	}
+	return syncDir(filepath.Join(root, TenantsSubdir))
+}
 
 // Open prepares the persistence directory (creating it if needed) and scans
 // it for snapshots and WAL segments. No data is read yet: call Replay to

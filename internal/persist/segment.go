@@ -155,6 +155,9 @@ func scanDir(dir string) (layout, error) {
 	var snapSeqs []uint64
 	for _, ent := range entries {
 		name := ent.Name()
+		if ent.IsDir() {
+			continue // e.g. the tenants/ partition subdir
+		}
 		if strings.HasSuffix(name, ".tmp") {
 			l.stale = append(l.stale, name)
 			continue

@@ -1,0 +1,279 @@
+package persist
+
+// Backward-compatibility tests for the tenant-extended formats: a WAL
+// written with the pre-tenant mutation encoding (hand-built here, byte by
+// byte, against the frozen legacy layout) must replay into the default
+// tenant, and the default tenant's live encoding must still be that exact
+// legacy byte stream. Plus coverage for the per-tenant partition helpers.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fuzzyid/internal/core"
+	"fuzzyid/internal/sketch"
+	"fuzzyid/internal/store"
+	"fuzzyid/internal/wire"
+)
+
+// legacyRecordBytes encodes a record exactly as every pre-tenant release
+// did: version byte, ID, public key, helper — no tenant anywhere.
+func legacyRecordBytes(rec *store.Record) []byte {
+	e := wire.NewEncoder(256)
+	e.Byte(1) // wire.RecordVersion, frozen
+	e.String(rec.ID)
+	e.VarBytes(rec.PublicKey)
+	e.Int64Slice(rec.Helper.Sketch.Sketch.Movements)
+	e.Bytes32(rec.Helper.Sketch.Digest)
+	e.VarBytes(rec.Helper.Seed)
+	return e.Bytes()
+}
+
+// legacyFrame frames a payload with the WAL's length+CRC header.
+func legacyFrame(payload []byte) []byte {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	return append(hdr[:], payload...)
+}
+
+func compatRecord(id string) *store.Record {
+	return &store.Record{
+		ID:        id,
+		PublicKey: []byte("pk-" + id),
+		Helper: &core.HelperData{
+			Sketch: &sketch.RobustSketch{
+				Sketch: &sketch.Sketch{Movements: []int64{3, 1, 4, 1, 5}},
+				Digest: [32]byte{2},
+			},
+			Seed: []byte("seed-" + id),
+		},
+	}
+}
+
+// TestLegacyWALReplaysIntoDefaultTenant writes a WAL segment with hand-built
+// pre-tenant frames (insert, insert, delete) and replays it through the
+// current code: every mutation must decode with the default tenant.
+func TestLegacyWALReplaysIntoDefaultTenant(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	buf.WriteString("FZWAL001")
+	// Legacy insert: tag byte 1, then the record.
+	for _, id := range []string{"old-a", "old-b"} {
+		payload := append([]byte{1}, legacyRecordBytes(compatRecord(id))...)
+		buf.Write(legacyFrame(payload))
+	}
+	// Legacy delete: tag byte 2, then the length-prefixed ID.
+	e := wire.NewEncoder(16)
+	e.String("old-b")
+	buf.Write(legacyFrame(append([]byte{2}, e.Bytes()...)))
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000000.log"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var muts []store.Mutation
+	if err := l.Replay(func(m store.Mutation) error {
+		muts = append(muts, m)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 3 {
+		t.Fatalf("replayed %d mutations, want 3", len(muts))
+	}
+	for i, m := range muts {
+		if m.Tenant != "" {
+			t.Errorf("legacy mutation %d decoded with tenant %q, want default", i, m.Tenant)
+		}
+	}
+	if muts[0].Op != store.OpInsert || muts[0].ID != "old-a" ||
+		muts[1].Op != store.OpInsert || muts[1].ID != "old-b" ||
+		muts[2].Op != store.OpDelete || muts[2].ID != "old-b" {
+		t.Fatalf("replayed mutations = %+v", muts)
+	}
+}
+
+// TestDefaultTenantEncodingIsLegacyBytes pins the other direction of the
+// compat contract: what the current code writes for a default-tenant
+// mutation is byte-identical to the frozen pre-tenant encoding, so a
+// rollback to an older binary can still read a new WAL that never touched
+// named tenants.
+func TestDefaultTenantEncodingIsLegacyBytes(t *testing.T) {
+	rec := compatRecord("pin")
+	e := wire.NewEncoder(256)
+	if err := wire.EncodeMutation(e, store.InsertMutation(rec)); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte{1}, legacyRecordBytes(rec)...)
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatal("default-tenant insert encoding diverged from the legacy byte layout")
+	}
+	e = wire.NewEncoder(64)
+	if err := wire.EncodeMutation(e, store.DeleteMutation("pin")); err != nil {
+		t.Fatal(err)
+	}
+	le := wire.NewEncoder(16)
+	le.String("pin")
+	if !bytes.Equal(e.Bytes(), append([]byte{2}, le.Bytes()...)) {
+		t.Fatal("default-tenant delete encoding diverged from the legacy byte layout")
+	}
+	// A tenant-qualified mutation must NOT use the legacy tags.
+	m := store.InsertMutation(rec)
+	m.Tenant = "acme"
+	e = wire.NewEncoder(256)
+	if err := wire.EncodeMutation(e, m); err != nil {
+		t.Fatal(err)
+	}
+	if e.Bytes()[0] == 1 || e.Bytes()[0] == 2 {
+		t.Fatalf("tenant-qualified mutation encoded with legacy tag %d", e.Bytes()[0])
+	}
+}
+
+// TestTenantDirHelpers covers the partition layout helpers: default maps to
+// the root, named tenants under tenants/<name>, listing and removal.
+func TestTenantDirHelpers(t *testing.T) {
+	root := t.TempDir()
+	if got := TenantDir(root, ""); got != root {
+		t.Errorf("TenantDir(root, \"\") = %q", got)
+	}
+	if got := TenantDir(root, store.DefaultTenant); got != root {
+		t.Errorf("TenantDir(root, default) = %q", got)
+	}
+	want := filepath.Join(root, TenantsSubdir, "acme")
+	if got := TenantDir(root, "acme"); got != want {
+		t.Errorf("TenantDir(root, acme) = %q, want %q", got, want)
+	}
+
+	// A pre-tenant root lists no tenants.
+	names, err := Tenants(root)
+	if err != nil || len(names) != 0 {
+		t.Fatalf("Tenants(pre-tenant root) = %v, %v", names, err)
+	}
+	for _, name := range []string{"acme", "globex"} {
+		l, err := Open(TenantDir(root, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Replay(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err = Tenants(root)
+	if err != nil || len(names) != 2 {
+		t.Fatalf("Tenants = %v, %v", names, err)
+	}
+
+	if err := RemoveTenant(root, "acme"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(TenantDir(root, "acme")); !os.IsNotExist(err) {
+		t.Fatal("removed tenant partition still exists")
+	}
+	if err := RemoveTenant(root, store.DefaultTenant); err == nil {
+		t.Fatal("RemoveTenant accepted the default tenant")
+	}
+	if err := RemoveTenant(root, "../escape"); err == nil {
+		t.Fatal("RemoveTenant accepted a path-traversal name")
+	}
+
+	// The root's scan ignores the tenants/ subdir entirely.
+	l, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantWALFramesCarryTenant checks a named tenant's own WAL replays
+// its tenant-qualified frames (belt and braces with the directory
+// partitioning).
+func TestTenantWALFramesCarryTenant(t *testing.T) {
+	root := t.TempDir()
+	dir := TenantDir(root, "acme")
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	m := store.InsertMutation(compatRecord("in-acme"))
+	m.Tenant = "acme"
+	if err := l.Append(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []store.Mutation
+	if err := l2.Replay(func(m store.Mutation) error { got = append(got, m); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Tenant != "acme" || got[0].ID != "in-acme" {
+		t.Fatalf("replayed = %+v", got)
+	}
+}
+
+// TestCorruptTenantFrameRejected flips a byte inside a tenant-qualified
+// frame that is not the final frame and checks replay reports corruption
+// instead of guessing.
+func TestCorruptTenantFrameRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"c1", "c2"} {
+		m := store.InsertMutation(compatRecord(id))
+		m.Tenant = "t"
+		if err := l.Append(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal-0000000000000000.log")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[20] ^= 0xFF // inside the first frame's payload
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.Replay(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay of corrupt tenant frame = %v, want ErrCorrupt", err)
+	}
+}

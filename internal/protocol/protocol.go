@@ -91,17 +91,52 @@ func IsNotPrimary(err error) (string, bool) {
 	return "", false
 }
 
+// UnknownTenantError is returned when an operation names a tenant namespace
+// the server does not host — never created, or already dropped. It is a
+// typed, actionable outcome (create the tenant, or fix the name), distinct
+// from both transport failures and biometric rejections.
+type UnknownTenantError struct {
+	// Tenant is the canonical name of the namespace that does not exist.
+	Tenant string
+}
+
+// Error implements error.
+func (e *UnknownTenantError) Error() string {
+	return fmt.Sprintf("protocol: unknown tenant %q (create it first, or check the name)", e.Tenant)
+}
+
+// IsUnknownTenant reports whether err is a server's refusal of an operation
+// against a nonexistent tenant; if so it also returns the tenant name.
+func IsUnknownTenant(err error) (string, bool) {
+	var u *UnknownTenantError
+	if errors.As(err, &u) {
+		return u.Tenant, true
+	}
+	return "", false
+}
+
 // Device is the biometric device (BioD) engine. It is safe for concurrent
-// use; every method call runs one complete protocol session on rw.
+// use; every method call runs one complete protocol session on rw. A device
+// addresses the default tenant unless rebound with ForTenant.
 type Device struct {
 	fe     *core.FuzzyExtractor
 	scheme sigscheme.Scheme
+	tenant string // namespace stamped onto every request; "" = default
 }
 
 // NewDevice constructs a device over the given fuzzy extractor and
 // signature scheme.
 func NewDevice(fe *core.FuzzyExtractor, scheme sigscheme.Scheme) *Device {
 	return &Device{fe: fe, scheme: scheme}
+}
+
+// ForTenant returns a device that addresses every protocol session at the
+// named tenant namespace ("" for the default tenant). The receiver is not
+// modified, so one engine can serve clients bound to different tenants.
+func (d *Device) ForTenant(name string) *Device {
+	c := *d
+	c.tenant = name
+	return &c
 }
 
 // Enroll runs UserEnro (Fig. 1): Gen(Bio) -> (R, P), KeyGen(R) -> (sk, pk),
@@ -115,7 +150,7 @@ func (d *Device) Enroll(rw io.ReadWriter, id string, bio numberline.Vector) erro
 	if err != nil {
 		return fmt.Errorf("protocol: enroll keygen: %w", err)
 	}
-	if err := wire.Send(rw, &wire.EnrollRequest{ID: id, PublicKey: pub, Helper: helper}); err != nil {
+	if err := wire.Send(rw, &wire.EnrollRequest{ID: id, PublicKey: pub, Helper: helper, Tenant: d.tenant}); err != nil {
 		return err
 	}
 	msg, err := wire.Receive(rw)
@@ -132,6 +167,8 @@ func (d *Device) Enroll(rw io.ReadWriter, id string, bio numberline.Vector) erro
 		return &RejectedError{Reason: m.Reason}
 	case *wire.NotPrimary:
 		return &NotPrimaryError{Primary: m.Primary}
+	case *wire.UnknownTenant:
+		return &UnknownTenantError{Tenant: m.Tenant}
 	default:
 		return fmt.Errorf("%w: %T during enroll", ErrProtocol, msg)
 	}
@@ -140,7 +177,7 @@ func (d *Device) Enroll(rw io.ReadWriter, id string, bio numberline.Vector) erro
 // Verify runs verification mode: the user claims id and proves possession
 // of the enrolled biometric via challenge-response.
 func (d *Device) Verify(rw io.ReadWriter, id string, bio numberline.Vector) error {
-	if err := wire.Send(rw, &wire.VerifyRequest{ID: id}); err != nil {
+	if err := wire.Send(rw, &wire.VerifyRequest{ID: id, Tenant: d.tenant}); err != nil {
 		return err
 	}
 	return d.answerChallenge(rw, bio, id)
@@ -151,7 +188,7 @@ func (d *Device) Verify(rw io.ReadWriter, id string, bio numberline.Vector) erro
 // re-enroll with fresh helper data, giving the scheme the revocability that
 // raw biometric storage lacks (§I).
 func (d *Device) Revoke(rw io.ReadWriter, id string, bio numberline.Vector) error {
-	if err := wire.Send(rw, &wire.RevokeRequest{ID: id}); err != nil {
+	if err := wire.Send(rw, &wire.RevokeRequest{ID: id, Tenant: d.tenant}); err != nil {
 		return err
 	}
 	return d.answerChallenge(rw, bio, id)
@@ -164,7 +201,7 @@ func (d *Device) Identify(rw io.ReadWriter, bio numberline.Vector) (string, erro
 	if err != nil {
 		return "", fmt.Errorf("protocol: identify sketch: %w", err)
 	}
-	if err := wire.Send(rw, &wire.IdentifyRequest{Probe: probe}); err != nil {
+	if err := wire.Send(rw, &wire.IdentifyRequest{Probe: probe, Tenant: d.tenant}); err != nil {
 		return "", err
 	}
 	return d.finishChallenge(rw, bio)
@@ -184,7 +221,7 @@ func (d *Device) IdentifyBatch(rw io.ReadWriter, bios []numberline.Vector) ([]st
 		}
 		probes[i] = p
 	}
-	if err := wire.Send(rw, &wire.IdentifyBatchRequest{Probes: probes}); err != nil {
+	if err := wire.Send(rw, &wire.IdentifyBatchRequest{Probes: probes, Tenant: d.tenant}); err != nil {
 		return nil, err
 	}
 	msg, err := wire.Receive(rw)
@@ -197,6 +234,8 @@ func (d *Device) IdentifyBatch(rw io.ReadWriter, bios []numberline.Vector) ([]st
 		ch = m
 	case *wire.Reject:
 		return nil, &RejectedError{Reason: m.Reason}
+	case *wire.UnknownTenant:
+		return nil, &UnknownTenantError{Tenant: m.Tenant}
 	default:
 		return nil, fmt.Errorf("%w: %T awaiting batch challenge", ErrProtocol, msg)
 	}
@@ -250,7 +289,7 @@ func (d *Device) IdentifyBatch(rw io.ReadWriter, bios []numberline.Vector) ([]st
 // (P_i, c_i), attempt Rep against each, sign the challenge of the first
 // entry that reproduces a key.
 func (d *Device) IdentifyNormal(rw io.ReadWriter, bio numberline.Vector) (string, error) {
-	if err := wire.Send(rw, &wire.IdentifyRequest{Normal: true}); err != nil {
+	if err := wire.Send(rw, &wire.IdentifyRequest{Normal: true, Tenant: d.tenant}); err != nil {
 		return "", err
 	}
 	msg, err := wire.Receive(rw)
@@ -319,6 +358,48 @@ func (d *Device) Stats(rw io.ReadWriter) ([]byte, error) {
 	}
 }
 
+// Tenants runs a tenant administration session asking for the hosted
+// namespace names.
+func (d *Device) Tenants(rw io.ReadWriter) ([]string, error) {
+	if err := wire.Send(rw, &wire.TenantAdmin{Action: wire.TenantActionList}); err != nil {
+		return nil, err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.TenantInfo:
+		return m.Tenants, nil
+	case *wire.Reject:
+		return nil, &RejectedError{Reason: m.Reason}
+	default:
+		return nil, fmt.Errorf("%w: %T awaiting tenant list", ErrProtocol, msg)
+	}
+}
+
+// CreateTenant runs a tenant administration session creating the named
+// namespace.
+func (d *Device) CreateTenant(rw io.ReadWriter, name string) error {
+	return d.tenantAdmin(rw, wire.TenantActionCreate, name)
+}
+
+// DropTenant runs a tenant administration session removing the named
+// namespace and every record in it. Irreversible.
+func (d *Device) DropTenant(rw io.ReadWriter, name string) error {
+	return d.tenantAdmin(rw, wire.TenantActionDrop, name)
+}
+
+// tenantAdmin runs one mutating tenant admin session and interprets the
+// verdict.
+func (d *Device) tenantAdmin(rw io.ReadWriter, action wire.TenantAction, name string) error {
+	if err := wire.Send(rw, &wire.TenantAdmin{Action: action, Tenant: name}); err != nil {
+		return err
+	}
+	_, err := awaitAccept(rw)
+	return err
+}
+
 // ReplStatus runs a replication-status probe: any server answers with its
 // role (primary / replica / standalone) and log progress. The client's
 // replica fan-out uses it as a cheap health and lag check.
@@ -366,6 +447,8 @@ func (d *Device) finishChallenge(rw io.ReadWriter, bio numberline.Vector) (strin
 		return "", &RejectedError{Reason: m.Reason}
 	case *wire.NotPrimary:
 		return "", &NotPrimaryError{Primary: m.Primary}
+	case *wire.UnknownTenant:
+		return "", &UnknownTenantError{Tenant: m.Tenant}
 	default:
 		return "", fmt.Errorf("%w: %T awaiting challenge", ErrProtocol, msg)
 	}
@@ -409,6 +492,10 @@ func awaitAccept(rw io.ReadWriter) (string, error) {
 		return m.ID, nil
 	case *wire.Reject:
 		return "", &RejectedError{Reason: m.Reason}
+	case *wire.NotPrimary:
+		return "", &NotPrimaryError{Primary: m.Primary}
+	case *wire.UnknownTenant:
+		return "", &UnknownTenantError{Tenant: m.Tenant}
 	default:
 		return "", fmt.Errorf("%w: %T awaiting verdict", ErrProtocol, msg)
 	}
@@ -420,6 +507,8 @@ func expectBatch(msg wire.Message) (*wire.ChallengeBatch, error) {
 		return m, nil
 	case *wire.Reject:
 		return nil, &RejectedError{Reason: m.Reason}
+	case *wire.UnknownTenant:
+		return nil, &UnknownTenantError{Tenant: m.Tenant}
 	default:
 		return nil, fmt.Errorf("%w: %T awaiting challenge batch", ErrProtocol, msg)
 	}
@@ -439,6 +528,11 @@ type Server struct {
 	scheme sigscheme.Scheme
 	db     store.Store
 	m      serverMetrics
+
+	// tenants routes sessions to per-namespace stores; nil leaves the
+	// server in single-tenant mode, where db serves the default tenant and
+	// every other tenant name is unknown.
+	tenants *store.Registry
 
 	// primary, when non-empty, puts the server in read-only replica mode:
 	// enroll and revoke sessions are refused with a NotPrimary message
@@ -466,8 +560,43 @@ func NewServer(fe *core.FuzzyExtractor, scheme sigscheme.Scheme, db store.Store)
 	return &Server{fe: fe, scheme: scheme, db: db}
 }
 
-// Store returns the server's record store.
-func (s *Server) Store() store.Store { return s.db }
+// Store returns the server's record store (the default tenant's, when the
+// server is multi-tenant). Resolved through the registry on each call, so
+// the view survives a follower's snapshot re-bootstraps.
+func (s *Server) Store() store.Store {
+	if s.tenants != nil {
+		return s.tenants.Default()
+	}
+	return s.db
+}
+
+// SetTenants makes the server multi-tenant: sessions carrying a tenant name
+// are routed to that namespace's store in reg, and tenant administration
+// sessions (list, create, drop) are served from it. Call before serving
+// traffic.
+func (s *Server) SetTenants(reg *store.Registry) { s.tenants = reg }
+
+// resolve maps a session's tenant name to its store and canonical name. An
+// unknown tenant yields store.ErrUnknownTenant, which handlers answer with
+// the typed UnknownTenant message.
+func (s *Server) resolve(tenant string) (store.Store, string, error) {
+	name := store.CanonicalTenant(tenant)
+	if s.tenants == nil {
+		if name == store.DefaultTenant {
+			return s.db, name, nil
+		}
+		return nil, name, fmt.Errorf("%w: %q", store.ErrUnknownTenant, name)
+	}
+	db, err := s.tenants.Tenant(name)
+	return db, name, err
+}
+
+// refuseTenant answers a session that named a nonexistent tenant with the
+// typed UnknownTenant message — a completed protocol outcome, not a
+// transport failure.
+func (s *Server) refuseTenant(rw io.ReadWriter, name string) error {
+	return wire.Send(rw, &wire.UnknownTenant{Tenant: name})
+}
 
 // SetReadOnly puts the server in replica mode: enroll and revoke sessions
 // are refused with a NotPrimary message naming primary, so clients can
@@ -499,12 +628,14 @@ func (o *opStats) bind(reg *telemetry.Registry, op string) {
 	o.latency = reg.Histogram("protocol." + op + ".latency")
 }
 
-// serverMetrics holds one opStats per operation. The zero value (all nil
-// instruments) is the uninstrumented state and costs one branch per update.
+// serverMetrics holds one opStats per operation, plus the per-tenant
+// request/error counter families. The zero value (all nil instruments) is
+// the uninstrumented state and costs one branch per update.
 type serverMetrics struct {
 	reg                                                                     *telemetry.Registry
 	enroll, verify, identify, identifyNormal, identifyBatch, revoke, statsQ opStats
-	replSub, replStatus                                                     opStats
+	replSub, replStatus, tenantAdmin                                        opStats
+	tenantReqs, tenantErrs                                                  *telemetry.LabelledCounters
 }
 
 // Instrument binds the server's per-operation metrics to reg and makes reg
@@ -521,6 +652,19 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.m.statsQ.bind(reg, "stats")
 	s.m.replSub.bind(reg, "repl_subscribe")
 	s.m.replStatus.bind(reg, "repl_status")
+	s.m.tenantAdmin.bind(reg, "tenant_admin")
+	s.m.tenantReqs = reg.LabelledCounters("tenant", "requests")
+	s.m.tenantErrs = reg.LabelledCounters("tenant", "errors")
+}
+
+// countTenant records one protocol session against the tenant it resolved
+// to, so the stats snapshot breaks traffic down per namespace
+// ("tenant.<name>.requests" / "tenant.<name>.errors").
+func (s *Server) countTenant(name string, failed bool) {
+	s.m.tenantReqs.Get(name).Inc()
+	if failed {
+		s.m.tenantErrs.Get(name).Inc()
+	}
 }
 
 // Telemetry returns the registry bound by Instrument (nil when
@@ -540,25 +684,27 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 	var run func() error
 	switch m := msg.(type) {
 	case *wire.EnrollRequest:
-		om, run = &s.m.enroll, func() error { return s.handleEnroll(rw, m) }
+		om, run = &s.m.enroll, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store) error { return s.handleEnroll(rw, db, m) })
 	case *wire.VerifyRequest:
-		om, run = &s.m.verify, func() error { return s.handleVerify(rw, m) }
+		om, run = &s.m.verify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleVerify(rw, db, m) })
 	case *wire.IdentifyRequest:
 		if m.Normal {
-			om, run = &s.m.identifyNormal, func() error { return s.handleIdentifyNormal(rw) }
+			om, run = &s.m.identifyNormal, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleIdentifyNormal(rw, db) })
 		} else {
-			om, run = &s.m.identify, func() error { return s.handleIdentify(rw, m) }
+			om, run = &s.m.identify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleIdentify(rw, db, m) })
 		}
 	case *wire.RevokeRequest:
-		om, run = &s.m.revoke, func() error { return s.handleRevoke(rw, m) }
+		om, run = &s.m.revoke, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store) error { return s.handleRevoke(rw, db, m) })
 	case *wire.IdentifyBatchRequest:
-		om, run = &s.m.identifyBatch, func() error { return s.handleIdentifyBatch(rw, m) }
+		om, run = &s.m.identifyBatch, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleIdentifyBatch(rw, db, m) })
 	case *wire.StatsRequest:
 		om, run = &s.m.statsQ, func() error { return s.handleStats(rw) }
 	case *wire.ReplSubscribe:
 		om, run = &s.m.replSub, func() error { return s.handleSubscribe(rw, m) }
 	case *wire.ReplStatus:
 		om, run = &s.m.replStatus, func() error { return s.handleReplStatus(rw) }
+	case *wire.TenantAdmin:
+		om, run = &s.m.tenantAdmin, func() error { return s.handleTenantAdmin(rw, m) }
 	default:
 		_ = wire.Send(rw, &wire.Reject{Reason: "unexpected message"})
 		return fmt.Errorf("%w: %T as session opener", ErrProtocol, msg)
@@ -571,6 +717,36 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 		om.errors.Inc()
 	}
 	return err
+}
+
+// Op mutability classes for tenantRun.
+const (
+	readOp     = false
+	mutatingOp = true
+)
+
+// tenantRun wraps a tenant-scoped handler: mutating sessions on a
+// read-only replica are redirected before the tenant is even resolved (a
+// lagging follower may not know a freshly created tenant yet, and the
+// right answer is still "go to the primary", not "no such tenant"); then
+// the session's tenant is resolved once, unknown tenants are answered with
+// the typed UnknownTenant message (a completed run), and the session is
+// counted against its namespace. Unknown names are deliberately not
+// counted — the label set must stay bounded by the hosted tenants, not by
+// what peers send.
+func (s *Server) tenantRun(rw io.ReadWriter, tenant string, mutating bool, fn func(store.Store) error) func() error {
+	return func() error {
+		if mutating && s.primary != "" {
+			return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
+		}
+		db, name, err := s.resolve(tenant)
+		if err != nil {
+			return s.refuseTenant(rw, name)
+		}
+		err = fn(db)
+		s.countTenant(name, err != nil)
+		return err
+	}
 }
 
 // handleStats serves the operational stats session: the registry snapshot as
@@ -614,30 +790,68 @@ func (s *Server) handleReplStatus(rw io.ReadWriter) error {
 	return wire.Send(rw, &info)
 }
 
-func (s *Server) handleEnroll(rw io.ReadWriter, m *wire.EnrollRequest) error {
+// handleTenantAdmin serves the tenant administration session: list answers
+// with the hosted namespace names; create and drop mutate the registry (and
+// so are refused with a redirect on a read-only replica) and acknowledge
+// with an Accept echoing the canonical name.
+func (s *Server) handleTenantAdmin(rw io.ReadWriter, m *wire.TenantAdmin) error {
+	if m.Action == wire.TenantActionList {
+		names := []string{store.DefaultTenant}
+		if s.tenants != nil {
+			names = s.tenants.Names()
+		}
+		return wire.Send(rw, &wire.TenantInfo{Tenants: names})
+	}
 	if s.primary != "" {
 		return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
 	}
+	if s.tenants == nil {
+		return wire.Send(rw, &wire.Reject{Reason: "multi-tenancy disabled"})
+	}
+	name := store.CanonicalTenant(m.Tenant)
+	switch m.Action {
+	case wire.TenantActionCreate:
+		if err := s.tenants.Create(name); err != nil {
+			return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("create tenant: %v", err)})
+		}
+	case wire.TenantActionDrop:
+		if err := s.tenants.Drop(name); err != nil {
+			if errors.Is(err, store.ErrUnknownTenant) {
+				return s.refuseTenant(rw, name)
+			}
+			return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("drop tenant: %v", err)})
+		}
+	default:
+		return wire.Send(rw, &wire.Reject{Reason: "unknown tenant action"})
+	}
+	return wire.Send(rw, &wire.Accept{ID: name})
+}
+
+func (s *Server) handleEnroll(rw io.ReadWriter, db store.Store, m *wire.EnrollRequest) error {
 	rec := &store.Record{ID: m.ID, PublicKey: m.PublicKey, Helper: m.Helper}
-	if err := s.db.Insert(rec); err != nil {
+	if err := db.Insert(rec); err != nil {
+		if errors.Is(err, store.ErrUnknownTenant) {
+			// The tenant was dropped between resolution and the insert.
+			return s.refuseTenant(rw, store.CanonicalTenant(m.Tenant))
+		}
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("enroll: %v", err)})
 	}
 	return wire.Send(rw, &wire.EnrollOK{ID: m.ID})
 }
 
-func (s *Server) handleVerify(rw io.ReadWriter, m *wire.VerifyRequest) error {
-	rec, ok := s.db.Get(m.ID)
+func (s *Server) handleVerify(rw io.ReadWriter, db store.Store, m *wire.VerifyRequest) error {
+	rec, ok := db.Get(m.ID)
 	if !ok {
 		return wire.Send(rw, &wire.Reject{Reason: "unknown identity"})
 	}
 	return s.challengeResponse(rw, rec)
 }
 
-func (s *Server) handleIdentify(rw io.ReadWriter, m *wire.IdentifyRequest) error {
+func (s *Server) handleIdentify(rw io.ReadWriter, db store.Store, m *wire.IdentifyRequest) error {
 	if m.Probe == nil {
 		return wire.Send(rw, &wire.Reject{Reason: "missing probe sketch"})
 	}
-	rec, err := s.db.Identify(m.Probe)
+	rec, err := db.Identify(m.Probe)
 	if err != nil {
 		return wire.Send(rw, &wire.Reject{Reason: "no matching record"})
 	}
@@ -686,11 +900,8 @@ func (s *Server) runChallenge(rw io.ReadWriter, rec *store.Record) (bool, error)
 // handleRevoke deletes an enrollment after the device proves possession of
 // the enrolled biometric — deletion is as strongly authenticated as
 // verification itself.
-func (s *Server) handleRevoke(rw io.ReadWriter, m *wire.RevokeRequest) error {
-	if s.primary != "" {
-		return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
-	}
-	rec, ok := s.db.Get(m.ID)
+func (s *Server) handleRevoke(rw io.ReadWriter, db store.Store, m *wire.RevokeRequest) error {
+	rec, ok := db.Get(m.ID)
 	if !ok {
 		return wire.Send(rw, &wire.Reject{Reason: "unknown identity"})
 	}
@@ -701,7 +912,10 @@ func (s *Server) handleRevoke(rw io.ReadWriter, m *wire.RevokeRequest) error {
 	if !passed {
 		return wire.Send(rw, &wire.Reject{Reason: "signature verification failed"})
 	}
-	if err := s.db.Delete(m.ID); err != nil {
+	if err := db.Delete(m.ID); err != nil {
+		if errors.Is(err, store.ErrUnknownTenant) {
+			return s.refuseTenant(rw, store.CanonicalTenant(m.Tenant))
+		}
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("revoke: %v", err)})
 	}
 	return wire.Send(rw, &wire.Accept{ID: rec.ID})
@@ -711,7 +925,7 @@ func (s *Server) handleRevoke(rw io.ReadWriter, m *wire.RevokeRequest) error {
 // Store.IdentifyBatch pass resolves every probe, then a single challenge
 // round covers all matched probes and a single result message reports every
 // verdict.
-func (s *Server) handleIdentifyBatch(rw io.ReadWriter, m *wire.IdentifyBatchRequest) error {
+func (s *Server) handleIdentifyBatch(rw io.ReadWriter, db store.Store, m *wire.IdentifyBatchRequest) error {
 	if len(m.Probes) == 0 {
 		return wire.Send(rw, &wire.Reject{Reason: "empty probe batch"})
 	}
@@ -720,7 +934,7 @@ func (s *Server) handleIdentifyBatch(rw io.ReadWriter, m *wire.IdentifyBatchRequ
 			return wire.Send(rw, &wire.Reject{Reason: "missing probe sketch"})
 		}
 	}
-	recs, err := s.db.IdentifyBatch(m.Probes)
+	recs, err := db.IdentifyBatch(m.Probes)
 	if err != nil {
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("identify batch: %v", err)})
 	}
@@ -773,8 +987,8 @@ func (s *Server) handleIdentifyBatch(rw io.ReadWriter, m *wire.IdentifyBatchRequ
 
 // handleIdentifyNormal implements the server side of Fig. 2: ship all
 // (P_i, c_i), then verify the indexed response.
-func (s *Server) handleIdentifyNormal(rw io.ReadWriter) error {
-	records := s.db.All()
+func (s *Server) handleIdentifyNormal(rw io.ReadWriter, db store.Store) error {
+	records := db.All()
 	challenges := make([][]byte, len(records))
 	batch := &wire.ChallengeBatch{Entries: make([]wire.ChallengeEntry, len(records))}
 	for i, rec := range records {

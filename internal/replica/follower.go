@@ -12,23 +12,25 @@ import (
 	"fuzzyid/internal/wire"
 )
 
-// Follower tails a primary's replication stream into a live local store. It
-// owns one background goroutine that dials the primary, bootstraps from a
-// snapshot when needed (fresh follower, restarted primary, or an offset
-// that left the primary's retention ring), applies mutation frames through
-// the store's normal mutation path, and acknowledges progress. Connection
+// Follower tails a primary's replication stream into a live local tenant
+// registry. It owns one background goroutine that dials the primary,
+// bootstraps from a snapshot when needed (fresh follower, restarted
+// primary, or an offset that left the primary's retention ring), applies
+// mutation frames through each tenant's normal mutation path — creating and
+// dropping tenants as the stream dictates, so the follower mirrors the
+// primary's full namespace set — and acknowledges progress. Connection
 // loss triggers reconnection with exponential backoff, resuming from the
 // last applied offset; any inconsistency (offset gap, epoch change,
 // mutation that fails to apply) resets the follower so the next connection
 // re-bootstraps from a snapshot instead of guessing.
 //
-// The store passed to StartFollower is shared with the serving protocol
-// engine: reads stay as concurrent as the strategy allows, and applied
+// The registry passed to StartFollower is shared with the serving protocol
+// engine: reads stay as concurrent as the strategies allow, and applied
 // mutations become visible to identify/verify exactly as local enrollments
 // would.
 type Follower struct {
 	primary     string
-	db          store.Store
+	tenants     *store.Registry
 	dialTimeout time.Duration
 	readTimeout time.Duration
 	maxBackoff  time.Duration
@@ -96,14 +98,15 @@ func WithMaxBackoff(d time.Duration) FollowerOption {
 	return followerOptionFunc(func(f *Follower) { f.maxBackoff = d })
 }
 
-// StartFollower begins replicating primary into db and returns immediately;
-// the stream (re)connects in the background until Close. db must not be
-// mutated by anyone else — the follower owns its write path, exactly like a
-// journal recovery owns the store during replay.
-func StartFollower(primary string, db store.Store, opts ...FollowerOption) *Follower {
+// StartFollower begins replicating primary into the tenant registry and
+// returns immediately; the stream (re)connects in the background until
+// Close. The registry must not be mutated by anyone else — the follower
+// owns its write path, exactly like a journal recovery owns the store
+// during replay.
+func StartFollower(primary string, tenants *store.Registry, opts ...FollowerOption) *Follower {
 	f := &Follower{
 		primary:     primary,
-		db:          db,
+		tenants:     tenants,
 		dialTimeout: DefaultDialTimeout,
 		readTimeout: DefaultReadTimeout,
 		maxBackoff:  2 * time.Second,
@@ -261,7 +264,7 @@ func (f *Follower) stream() error {
 				f.reset()
 				return fmt.Errorf("replica: stream out of sync (frame %d epoch %x)", m.Offset, m.Epoch)
 			}
-			if err := store.Apply(f.db, m.Mut); err != nil {
+			if err := f.tenants.Apply(m.Mut); err != nil {
 				f.reset()
 				return fmt.Errorf("replica: apply offset %d: %w", m.Offset, err)
 			}
@@ -301,21 +304,25 @@ func (f *Follower) stream() error {
 // applySnapshot folds one bootstrap chunk into the local store.
 func (f *Follower) applySnapshot(m *wire.ReplSnapshot, inSnapshot *bool) error {
 	if m.First {
-		// Drop local state; progress markers stay zero until the snapshot
-		// completes, so a stream cut mid-bootstrap re-bootstraps cleanly.
+		// Drop local state — every tenant's — so the bootstrap rebuilds the
+		// primary's exact namespace set; progress markers stay zero until
+		// the snapshot completes, so a stream cut mid-bootstrap
+		// re-bootstraps cleanly.
 		f.reset()
-		for _, rec := range f.db.All() {
-			if err := f.db.Delete(rec.ID); err != nil {
-				return fmt.Errorf("replica: clear store: %w", err)
-			}
+		if err := f.tenants.Reset(); err != nil {
+			return fmt.Errorf("replica: clear store: %w", err)
 		}
 		f.m.resyncs.Inc()
 		*inSnapshot = true
 	} else if !*inSnapshot {
 		return fmt.Errorf("replica: snapshot chunk without start")
 	}
+	db, err := f.tenants.Ensure(m.Tenant)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot tenant %q: %w", m.Tenant, err)
+	}
 	for _, rec := range m.Records {
-		if err := f.db.Insert(rec); err != nil {
+		if err := db.Insert(rec); err != nil {
 			return fmt.Errorf("replica: snapshot insert %q: %w", rec.ID, err)
 		}
 	}

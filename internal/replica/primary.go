@@ -12,12 +12,13 @@ import (
 	"fuzzyid/internal/wire"
 )
 
-// Viewer yields a consistent cut of the record set: no mutation is in
-// flight (and so none is being offered to the hub) while fn runs.
-// store.(*Journaled).View is the implementation.
+// Viewer yields a consistent cut of every tenant's record set: no mutation
+// of any namespace is in flight (and so none is being offered to the hub)
+// while fn runs. store.(*Registry).View is the implementation.
 type Viewer interface {
-	// View calls fn with the full record set while mutations are blocked.
-	View(fn func(recs []*store.Record))
+	// View calls fn with the full per-tenant record sets while mutations
+	// are blocked across all tenants.
+	View(fn func(cut []store.TenantView))
 }
 
 // Hub is the primary side of replication: a store.Journal that stamps every
@@ -138,9 +139,11 @@ func (h *Hub) Latest() uint64 {
 }
 
 // Append implements store.Journal: the mutation gets the next log offset,
-// enters the retention ring and wakes every subscriber. Append is called
-// with the journaled store's mutation lock held, so offsets are assigned in
-// exactly the order mutations commit.
+// enters the retention ring and wakes every subscriber. Each tenant's
+// journaled store holds its mutation lock across Append, so offsets are
+// assigned in exactly the order mutations commit within a tenant; across
+// tenants the hub's own lock makes the interleaving a single total order
+// every follower applies identically.
 func (h *Hub) Append(m store.Mutation) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -289,43 +292,66 @@ func (h *Hub) streamFrom(rw io.ReadWriter, cursor *uint64) (behind bool, err err
 	}
 }
 
-// sendSnapshot bootstraps the peer: a consistent cut of the full record set
-// is streamed in chunks, and the offset the stream resumes at is returned.
+// sendSnapshot bootstraps the peer: a consistent cut of every tenant's
+// record set is streamed in chunks — tenant by tenant, an empty tenant
+// contributing one zero-record chunk so the follower mirrors the namespace
+// set exactly — and the offset the stream resumes at is returned.
 func (h *Hub) sendSnapshot(rw io.ReadWriter) (next uint64, err error) {
-	var recs []*store.Record
+	var cut []store.TenantView
 	h.mu.Lock()
 	viewer := h.viewer
 	h.mu.Unlock()
-	viewer.View(func(all []*store.Record) {
-		recs = all
+	viewer.View(func(all []store.TenantView) {
+		cut = all
 		h.mu.Lock()
 		next = h.next
 		h.mu.Unlock()
 	})
 	h.m.snapshots.Inc()
-	h.m.snapRecords.Add(uint64(len(recs)))
+	for _, tv := range cut {
+		h.m.snapRecords.Add(uint64(len(tv.Records)))
+	}
+	if len(cut) == 0 {
+		// A viewer with no tenants still yields a complete (empty) snapshot.
+		cut = []store.TenantView{{Tenant: store.DefaultTenant}}
+	}
 	first := true
-	for {
-		n := len(recs)
-		if n > wire.MaxReplChunk {
-			n = wire.MaxReplChunk
-		}
-		chunk := &wire.ReplSnapshot{
-			Epoch:   h.epoch,
-			Next:    next,
-			First:   first,
-			Done:    n == len(recs),
-			Records: recs[:n],
-		}
-		if err := h.send(rw, chunk); err != nil {
-			return 0, err
-		}
-		recs = recs[n:]
-		first = false
-		if chunk.Done {
-			return next, nil
+	for ti, tv := range cut {
+		recs := tv.Records
+		lastTenant := ti == len(cut)-1
+		for {
+			n := len(recs)
+			if n > wire.MaxReplChunk {
+				n = wire.MaxReplChunk
+			}
+			chunk := &wire.ReplSnapshot{
+				Epoch:   h.epoch,
+				Next:    next,
+				First:   first,
+				Done:    lastTenant && n == len(recs),
+				Tenant:  tenantWire(tv.Tenant),
+				Records: recs[:n],
+			}
+			if err := h.send(rw, chunk); err != nil {
+				return 0, err
+			}
+			recs = recs[n:]
+			first = false
+			if len(recs) == 0 {
+				break
+			}
 		}
 	}
+	return next, nil
+}
+
+// tenantWire maps the default tenant to its wire spelling "" so snapshot
+// chunks stay compact and canonical.
+func tenantWire(name string) string {
+	if name == store.DefaultTenant {
+		return ""
+	}
+	return name
 }
 
 // send writes one stream message under a write deadline (when the stream

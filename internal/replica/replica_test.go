@@ -28,9 +28,16 @@ func testRecord(id string) *store.Record {
 }
 
 // viewerFunc adapts a function to the Viewer interface.
-type viewerFunc func(fn func([]*store.Record))
+type viewerFunc func(fn func([]store.TenantView))
 
-func (v viewerFunc) View(fn func([]*store.Record)) { v(fn) }
+func (v viewerFunc) View(fn func([]store.TenantView)) { v(fn) }
+
+// defaultView wraps a flat record set as a single-default-tenant viewer.
+func defaultView(recs func() []*store.Record) viewerFunc {
+	return func(fn func([]store.TenantView)) {
+		fn([]store.TenantView{{Tenant: store.DefaultTenant, Records: recs()}})
+	}
+}
 
 // subscribe runs HandleSubscribe on one end of a pipe and returns the other
 // end plus a cleanup.
@@ -64,7 +71,7 @@ func receiveTyped[T wire.Message](t *testing.T, conn net.Conn) T {
 func TestHubSnapshotBootstrapThenTail(t *testing.T) {
 	h := NewHub()
 	recs := []*store.Record{testRecord("a"), testRecord("b")}
-	h.BindStore(viewerFunc(func(fn func([]*store.Record)) { fn(recs) }))
+	h.BindStore(defaultView(func() []*store.Record { return recs }))
 
 	// Pre-existing mutations the subscriber is too late for conceptually
 	// live inside the snapshot; the hub starts empty here.
@@ -93,7 +100,7 @@ func TestHubSnapshotBootstrapThenTail(t *testing.T) {
 
 func TestHubTailsWithoutSnapshotWhenCurrent(t *testing.T) {
 	h := NewHub()
-	h.BindStore(viewerFunc(func(fn func([]*store.Record)) { fn(nil) }))
+	h.BindStore(defaultView(func() []*store.Record { return nil }))
 	for i := 0; i < 3; i++ {
 		if err := h.Append(store.InsertMutation(testRecord(fmt.Sprintf("u%d", i)))); err != nil {
 			t.Fatal(err)
@@ -110,7 +117,7 @@ func TestHubTailsWithoutSnapshotWhenCurrent(t *testing.T) {
 func TestHubResnapshotsWhenRetentionPassed(t *testing.T) {
 	h := NewHub(WithRetain(2))
 	var current []*store.Record
-	h.BindStore(viewerFunc(func(fn func([]*store.Record)) { fn(current) }))
+	h.BindStore(defaultView(func() []*store.Record { return current }))
 	for i := 0; i < 10; i++ {
 		current = append(current, testRecord(fmt.Sprintf("u%d", i)))
 		if err := h.Append(store.InsertMutation(current[i])); err != nil {
@@ -133,7 +140,7 @@ func TestHubChunksLargeSnapshots(t *testing.T) {
 	for i := range recs {
 		recs[i] = testRecord(fmt.Sprintf("u%d", i))
 	}
-	h.BindStore(viewerFunc(func(fn func([]*store.Record)) { fn(recs) }))
+	h.BindStore(defaultView(func() []*store.Record { return recs }))
 	conn, cleanup := subscribe(t, h, &wire.ReplSubscribe{})
 	defer cleanup()
 	first := receiveTyped[*wire.ReplSnapshot](t, conn)
@@ -148,7 +155,7 @@ func TestHubChunksLargeSnapshots(t *testing.T) {
 
 func TestHubHeartbeatsWhenIdle(t *testing.T) {
 	h := NewHub(WithHeartbeat(20 * time.Millisecond))
-	h.BindStore(viewerFunc(func(fn func([]*store.Record)) { fn(nil) }))
+	h.BindStore(defaultView(func() []*store.Record { return nil }))
 	conn, cleanup := subscribe(t, h, &wire.ReplSubscribe{})
 	defer cleanup()
 	receiveTyped[*wire.ReplSnapshot](t, conn)

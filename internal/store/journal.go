@@ -19,21 +19,35 @@ import (
 type Op byte
 
 // Mutation operations. The values are part of the on-disk contract of
-// internal/persist; append only.
+// internal/persist (they double as the mutation codec's wire tags for the
+// untenanted encodings); append only. Values 3 and 4 are reserved: the wire
+// codec uses them for the tenant-qualified forms of insert and delete.
 const (
 	// OpInsert records an enrollment.
 	OpInsert Op = 1
 	// OpDelete records a revocation.
 	OpDelete Op = 2
+	// OpTenantCreate records the creation of a tenant namespace. It is a
+	// registry-level mutation: it ships over the replication stream so
+	// followers mirror empty tenants, and never appears in a tenant's WAL
+	// (the tenant's partition directory is its durable existence).
+	OpTenantCreate Op = 5
+	// OpTenantDrop records the removal of a tenant namespace and all its
+	// records. Registry-level, like OpTenantCreate.
+	OpTenantDrop Op = 6
 )
 
 // Mutation is one committed store mutation — the unit a Journal records and
 // recovery replays. Exactly one of Record (OpInsert) and ID (OpDelete) is
-// meaningful; ID is also set for inserts as a convenience.
+// meaningful; ID is also set for inserts as a convenience. Tenant names the
+// namespace the mutation belongs to, with "" meaning the default tenant —
+// the encoding mutations had before namespaces existed, so legacy journals
+// replay unchanged into the default tenant.
 type Mutation struct {
 	Op     Op
 	Record *Record // the enrolled record, for OpInsert
 	ID     string  // the revoked identity, for OpDelete
+	Tenant string  // the namespace; "" is the default tenant
 }
 
 // InsertMutation builds the journal entry for an enrollment.
@@ -89,13 +103,18 @@ type Snapshotter interface {
 // implementation.
 type ReplayFunc func(apply func(Mutation) error) error
 
-// Apply routes one mutation through the store's normal mutation path.
+// Apply routes one mutation through the store's normal mutation path. The
+// mutation's Tenant field is ignored: s is already the right tenant's store.
+// Registry-level ops (tenant create/drop) cannot apply to a single store;
+// route those through (*Registry).Apply instead.
 func Apply(s Store, m Mutation) error {
 	switch m.Op {
 	case OpInsert:
 		return s.Insert(m.Record)
 	case OpDelete:
 		return s.Delete(m.ID)
+	case OpTenantCreate, OpTenantDrop:
+		return fmt.Errorf("store: tenant op %d outside a registry", m.Op)
 	default:
 		return fmt.Errorf("store: unknown mutation op %d", m.Op)
 	}
@@ -144,15 +163,33 @@ func Open(name string, line *numberline.Line, shards int, replay ReplayFunc) (St
 // a journal failure leaves the in-memory store untouched.
 type Journaled struct {
 	Store
-	j  Journal
-	mu sync.Mutex
+	j      Journal
+	tenant string // stamped onto every mutation; "" is the default tenant
+	mu     sync.Mutex
+	// dropped marks a store detached by Registry.Drop: further mutations
+	// are refused, so a session that resolved the store before the drop
+	// can never journal a mutation after the drop op shipped (which would
+	// resurrect the tenant on followers).
+	dropped bool
 }
 
 var _ Store = (*Journaled)(nil)
 
-// NewJournaled wraps inner so its mutations are recorded in j.
+// NewJournaled wraps inner so its mutations are recorded in j. The store
+// journals as the default tenant; use NewJournaledTenant for a namespace.
 func NewJournaled(inner Store, j Journal) *Journaled {
 	return &Journaled{Store: inner, j: j}
+}
+
+// NewJournaledTenant wraps inner so its mutations are recorded in j stamped
+// with the given tenant name. The default tenant (by either spelling) is
+// stamped as "" so its journal frames stay byte-identical to the pre-tenant
+// encoding.
+func NewJournaledTenant(inner Store, j Journal, tenant string) *Journaled {
+	if CanonicalTenant(tenant) == DefaultTenant {
+		tenant = ""
+	}
+	return &Journaled{Store: inner, j: j, tenant: tenant}
 }
 
 // Unwrap returns the wrapped in-memory store.
@@ -162,6 +199,9 @@ func (s *Journaled) Unwrap() Store { return s.Store }
 func (s *Journaled) Insert(rec *Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dropped {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
+	}
 	if err := validateRecord(rec); err != nil {
 		return err
 	}
@@ -171,7 +211,9 @@ func (s *Journaled) Insert(rec *Record) error {
 	if d := s.Store.Dimension(); d != 0 && rec.Helper.Dimension() != d {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), d)
 	}
-	if err := s.j.Append(InsertMutation(rec)); err != nil {
+	m := InsertMutation(rec)
+	m.Tenant = s.tenant
+	if err := s.j.Append(m); err != nil {
 		return fmt.Errorf("store: journal insert: %w", err)
 	}
 	if err := s.Store.Insert(rec); err != nil {
@@ -186,10 +228,15 @@ func (s *Journaled) Insert(rec *Record) error {
 func (s *Journaled) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dropped {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
+	}
 	if _, ok := s.Store.Get(id); !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownID, id)
 	}
-	if err := s.j.Append(DeleteMutation(id)); err != nil {
+	m := DeleteMutation(id)
+	m.Tenant = s.tenant
+	if err := s.j.Append(m); err != nil {
 		return fmt.Errorf("store: journal delete: %w", err)
 	}
 	if err := s.Store.Delete(id); err != nil {

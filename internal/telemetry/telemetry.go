@@ -342,6 +342,55 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// LabelledCounters resolves counters of one dotted family —
+// "<prefix>.<label>.<suffix>" — on demand and caches them per label, so a
+// hot path that discovers its label at runtime (e.g. the tenant a request
+// names) pays a read-locked map hit instead of the registry mutex plus a
+// string concatenation per event. The labelled counters appear in the
+// registry snapshot like any other counter.
+type LabelledCounters struct {
+	reg            *Registry
+	prefix, suffix string
+
+	mu      sync.RWMutex
+	byLabel map[string]*Counter
+}
+
+// LabelledCounters returns a labelled counter family rooted at prefix with
+// the given suffix. Returns nil when r is nil; a nil family hands out nil
+// (no-op) counters.
+func (r *Registry) LabelledCounters(prefix, suffix string) *LabelledCounters {
+	if r == nil {
+		return nil
+	}
+	return &LabelledCounters{
+		reg: r, prefix: prefix, suffix: suffix,
+		byLabel: make(map[string]*Counter),
+	}
+}
+
+// Get returns the counter for label, creating "<prefix>.<label>.<suffix>"
+// in the registry on first use. Safe for concurrent use; nil-safe.
+func (l *LabelledCounters) Get(label string) *Counter {
+	if l == nil {
+		return nil
+	}
+	l.mu.RLock()
+	c, ok := l.byLabel[label]
+	l.mu.RUnlock()
+	if ok {
+		return c
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c, ok = l.byLabel[label]; ok {
+		return c
+	}
+	c = l.reg.Counter(l.prefix + "." + label + "." + l.suffix)
+	l.byLabel[label] = c
+	return c
+}
+
 // Snapshot is the exported state of a whole registry. Map keys are the
 // instrument names; the JSON field names are part of the output contract of
 // the -stats-addr endpoint and the stats wire message — append only.

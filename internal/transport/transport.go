@@ -285,6 +285,7 @@ const (
 type Client struct {
 	device  *protocol.Device
 	timeout time.Duration
+	tenant  string // namespace every session addresses; "" = default
 
 	// Read fan-out state (empty without WithReplicas).
 	replicas []*replicaConn
@@ -346,6 +347,14 @@ func WithTimeout(d time.Duration) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.timeout = d })
 }
 
+// WithTenant binds every protocol session of the client to the named tenant
+// namespace ("" selects the default tenant). The namespace must exist on
+// the server, or operations fail with a typed unknown-tenant error (see
+// protocol.IsUnknownTenant). Tenant administration sessions are unaffected.
+func WithTenant(name string) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.tenant = name })
+}
+
 // WithReplicas gives the client follower addresses to fan read sessions out
 // to: identification and verification rotate round-robin across the
 // replicas, while enrollments, revocations and stats stay pinned to the
@@ -401,6 +410,9 @@ func NewClient(conn net.Conn, device *protocol.Device, opts ...ClientOption) *Cl
 	}
 	for _, o := range opts {
 		o.applyClient(c)
+	}
+	if c.tenant != "" {
+		c.device = c.device.ForTenant(c.tenant)
 	}
 	if c.reg != nil {
 		c.m.healthy = c.reg.Gauge("client.replicas.healthy")
@@ -498,6 +510,34 @@ func (c *Client) Stats() ([]byte, error) {
 		return err
 	})
 	return buf, err
+}
+
+// Tenants asks the server for the hosted tenant namespace names. Pinned to
+// the primary connection.
+func (c *Client) Tenants() ([]string, error) {
+	var names []string
+	err := c.withSession(func(rw io.ReadWriter) error {
+		var err error
+		names, err = c.device.Tenants(rw)
+		return err
+	})
+	return names, err
+}
+
+// CreateTenant creates a new tenant namespace on the server. Pinned to the
+// primary connection (replicas redirect with a not-primary error).
+func (c *Client) CreateTenant(name string) error {
+	return c.withSession(func(rw io.ReadWriter) error {
+		return c.device.CreateTenant(rw, name)
+	})
+}
+
+// DropTenant removes a tenant namespace and every record in it —
+// irreversible. Pinned to the primary connection.
+func (c *Client) DropTenant(name string) error {
+	return c.withSession(func(rw io.ReadWriter) error {
+		return c.device.DropTenant(rw, name)
+	})
 }
 
 // IdentifyNormal runs the O(N) normal-approach identification.
@@ -610,6 +650,14 @@ func (c *Client) tryReplica(rc *replicaConn, fn func(io.ReadWriter) error) (done
 	}
 	err = fn(rc.conn)
 	if err != nil && !protocol.IsRejected(err) && !errors.Is(err, protocol.ErrNoMatch) {
+		if _, unknown := protocol.IsUnknownTenant(err); unknown {
+			// A lagging follower may not have learned a freshly created
+			// tenant yet. The replica is healthy — leave it in rotation and
+			// let the read fall through to the next replica or the primary,
+			// which is authoritative for the tenant set.
+			rc.upGauge.Set(1)
+			return false, nil
+		}
 		if _, notPrimary := protocol.IsNotPrimary(err); !notPrimary {
 			// Transport-level failure: bench the replica and let the
 			// caller retry the (idempotent) read elsewhere.
@@ -697,7 +745,9 @@ func (c *Client) ReplStatus() (*ReplStatus, error) {
 // LocalPair wires a client directly to a protocol server through an
 // in-memory pipe (no TCP stack). The returned stop function tears both ends
 // down. Benchmarks use it to measure protocol cost without network noise.
-func LocalPair(proto *protocol.Server, device *protocol.Device) (*Client, func()) {
+// Options (e.g. WithTenant) configure the client; deadlines stay disabled,
+// as net.Pipe does not support them.
+func LocalPair(proto *protocol.Server, device *protocol.Device, opts ...ClientOption) (*Client, func()) {
 	devEnd, srvEnd := net.Pipe()
 	done := make(chan struct{})
 	go func() {
@@ -708,7 +758,8 @@ func LocalPair(proto *protocol.Server, device *protocol.Device) (*Client, func()
 			}
 		}
 	}()
-	client := NewClient(devEnd, device, WithTimeout(0)) // net.Pipe: no deadlines needed
+	opts = append(opts, WithTimeout(0)) // net.Pipe: no deadlines needed
+	client := NewClient(devEnd, device, opts...)
 	stop := func() {
 		client.Close()
 		srvEnd.Close()

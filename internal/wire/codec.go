@@ -23,6 +23,11 @@ const (
 	MaxFrameLen = 1 << 28
 	// MaxBatchLen bounds batch entries (normal-approach challenge lists).
 	MaxBatchLen = 1 << 20
+	// MaxTenantLen bounds tenant names on the wire and in the mutation
+	// codec; it matches store.MaxTenantNameLen.
+	MaxTenantLen = 64
+	// MaxTenantList bounds the names of one TenantInfo answer.
+	MaxTenantList = 1 << 16
 )
 
 // Errors returned by the codec.

@@ -71,6 +71,15 @@ const (
 	TypeReplStatus
 	// TypeReplStatusInfo answers a ReplStatus probe.
 	TypeReplStatusInfo
+	// TypeUnknownTenant rejects an operation naming a tenant namespace the
+	// server does not host (see tenant.go).
+	TypeUnknownTenant
+	// TypeTenantAdmin opens a tenant administration session: list, create
+	// or drop a namespace (see tenant.go).
+	TypeTenantAdmin
+	// TypeTenantInfo answers a tenant list request with the hosted
+	// namespace names (see tenant.go).
+	TypeTenantInfo
 )
 
 // MaxIdentifyBatch bounds the probes of one batched identification run.
@@ -86,6 +95,15 @@ type Message interface {
 	decode(d *Decoder) error
 }
 
+// decodeTenantTail reads a request's trailing tenant field ("" selects the
+// default tenant). The field is mandatory on the live wire — truncated
+// frames must stay rejected — while *stored* mutation streams get their
+// version tolerance from the mutation codec's tag space (repl.go), which is
+// where pre-tenant bytes actually survive.
+func decodeTenantTail(d *Decoder) (string, error) {
+	return d.String(MaxTenantLen)
+}
+
 // EnrollRequest registers a user: the UserEnro message (ID, pk, P).
 type EnrollRequest struct {
 	// ID is the identity being enrolled.
@@ -94,6 +112,8 @@ type EnrollRequest struct {
 	PublicKey []byte
 	// Helper is the public helper data P = (s, r).
 	Helper *core.HelperData
+	// Tenant is the namespace to enroll into ("" = default tenant).
+	Tenant string
 }
 
 // Type implements Message.
@@ -103,6 +123,7 @@ func (m *EnrollRequest) encode(e *Encoder) {
 	e.String(m.ID)
 	e.VarBytes(m.PublicKey)
 	encodeHelper(e, m.Helper)
+	e.String(m.Tenant)
 }
 
 func (m *EnrollRequest) decode(d *Decoder) error {
@@ -113,7 +134,10 @@ func (m *EnrollRequest) decode(d *Decoder) error {
 	if m.PublicKey, err = d.VarBytes(MaxBytesLen); err != nil {
 		return err
 	}
-	m.Helper, err = decodeHelper(d)
+	if m.Helper, err = decodeHelper(d); err != nil {
+		return err
+	}
+	m.Tenant, err = decodeTenantTail(d)
 	return err
 }
 
@@ -138,16 +162,24 @@ func (m *EnrollOK) decode(d *Decoder) error {
 type VerifyRequest struct {
 	// ID is the claimed identity to verify against.
 	ID string
+	// Tenant is the namespace the identity lives in ("" = default tenant).
+	Tenant string
 }
 
 // Type implements Message.
 func (*VerifyRequest) Type() MsgType { return TypeVerifyRequest }
 
-func (m *VerifyRequest) encode(e *Encoder) { e.String(m.ID) }
+func (m *VerifyRequest) encode(e *Encoder) {
+	e.String(m.ID)
+	e.String(m.Tenant)
+}
 
 func (m *VerifyRequest) decode(d *Decoder) error {
 	var err error
-	m.ID, err = d.String(MaxBytesLen)
+	if m.ID, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	m.Tenant, err = decodeTenantTail(d)
 	return err
 }
 
@@ -160,6 +192,8 @@ type IdentifyRequest struct {
 	Probe *sketch.Sketch
 	// Normal selects the O(N) normal approach of Fig. 2.
 	Normal bool
+	// Tenant is the namespace to search ("" = default tenant).
+	Tenant string
 }
 
 // Type implements Message.
@@ -169,9 +203,10 @@ func (m *IdentifyRequest) encode(e *Encoder) {
 	e.Bool(m.Normal)
 	if m.Probe == nil {
 		e.Int64Slice(nil)
-		return
+	} else {
+		e.Int64Slice(m.Probe.Movements)
 	}
-	e.Int64Slice(m.Probe.Movements)
+	e.String(m.Tenant)
 }
 
 func (m *IdentifyRequest) decode(d *Decoder) error {
@@ -188,7 +223,8 @@ func (m *IdentifyRequest) decode(d *Decoder) error {
 	} else {
 		m.Probe = &sketch.Sketch{Movements: movements}
 	}
-	return nil
+	m.Tenant, err = decodeTenantTail(d)
+	return err
 }
 
 // Challenge carries the helper data and a fresh challenge (P, c) to the
@@ -343,16 +379,24 @@ func (m *Accept) decode(d *Decoder) error {
 type RevokeRequest struct {
 	// ID is the identity whose enrollment should be revoked.
 	ID string
+	// Tenant is the namespace the identity lives in ("" = default tenant).
+	Tenant string
 }
 
 // Type implements Message.
 func (*RevokeRequest) Type() MsgType { return TypeRevokeRequest }
 
-func (m *RevokeRequest) encode(e *Encoder) { e.String(m.ID) }
+func (m *RevokeRequest) encode(e *Encoder) {
+	e.String(m.ID)
+	e.String(m.Tenant)
+}
 
 func (m *RevokeRequest) decode(d *Decoder) error {
 	var err error
-	m.ID, err = d.String(MaxBytesLen)
+	if m.ID, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	m.Tenant, err = decodeTenantTail(d)
 	return err
 }
 
@@ -362,6 +406,8 @@ func (m *RevokeRequest) decode(d *Decoder) error {
 type IdentifyBatchRequest struct {
 	// Probes are the probe sketches, one per reading.
 	Probes []*sketch.Sketch
+	// Tenant is the namespace to search ("" = default tenant).
+	Tenant string
 }
 
 // Type implements Message.
@@ -376,6 +422,7 @@ func (m *IdentifyBatchRequest) encode(e *Encoder) {
 		}
 		e.Int64Slice(p.Movements)
 	}
+	e.String(m.Tenant)
 }
 
 func (m *IdentifyBatchRequest) decode(d *Decoder) error {
@@ -396,7 +443,8 @@ func (m *IdentifyBatchRequest) decode(d *Decoder) error {
 			m.Probes[i] = &sketch.Sketch{Movements: movements}
 		}
 	}
-	return nil
+	m.Tenant, err = decodeTenantTail(d)
+	return err
 }
 
 // IndexedChallenge is one (probe index, P, c) tuple of a batched
@@ -690,6 +738,12 @@ func newMessage(t MsgType) (Message, error) {
 		return &ReplStatus{}, nil
 	case TypeReplStatusInfo:
 		return &ReplStatusInfo{}, nil
+	case TypeUnknownTenant:
+		return &UnknownTenant{}, nil
+	case TypeTenantAdmin:
+		return &TenantAdmin{}, nil
+	case TypeTenantInfo:
+		return &TenantInfo{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
 	}

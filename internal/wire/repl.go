@@ -18,47 +18,104 @@ import (
 // MaxReplChunk bounds the records of one ReplSnapshot chunk.
 const MaxReplChunk = 1 << 10
 
-// EncodeMutation appends one store mutation: the op byte, then the record
-// (OpInsert) or the length-prefixed ID (OpDelete). This is the payload
-// format of both the on-disk WAL (internal/persist) and the replication
-// stream (ReplFrame), so a WAL frame and a shipped frame are byte-identical.
+// Mutation codec tags. Tags 1 and 2 are the pre-tenant encodings of insert
+// and delete; they keep their exact byte layout so every WAL written before
+// namespaces existed replays unchanged (into the default tenant), and so
+// default-tenant frames stay byte-identical to what PR 2-4 deployments
+// wrote. Tags 3-6 are the tenant-qualified forms; 5 and 6 double as the
+// store.Op values of the registry-level ops. Append only.
+const (
+	mutInsert       = byte(store.OpInsert)
+	mutDelete       = byte(store.OpDelete)
+	mutTenantInsert = 3
+	mutTenantDelete = 4
+	mutTenantCreate = byte(store.OpTenantCreate)
+	mutTenantDrop   = byte(store.OpTenantDrop)
+)
+
+// EncodeMutation appends one store mutation: a tag byte, then the tenant
+// name for tenant-qualified tags, then the record (insert) or the
+// length-prefixed ID (delete). Default-tenant mutations (Tenant == "") use
+// the legacy untenanted tags, so their encoding is byte-for-byte the
+// pre-tenant one. This is the payload format of both the on-disk WAL
+// (internal/persist) and the replication stream (ReplFrame), so a WAL frame
+// and a shipped frame are byte-identical.
 func EncodeMutation(e *Encoder, m store.Mutation) error {
-	e.Byte(byte(m.Op))
 	switch m.Op {
 	case store.OpInsert:
 		if m.Record == nil {
 			return fmt.Errorf("%w: insert mutation without record", ErrBadFrame)
 		}
+		if m.Tenant == "" {
+			e.Byte(mutInsert)
+		} else {
+			e.Byte(mutTenantInsert)
+			e.String(m.Tenant)
+		}
 		EncodeRecord(e, m.Record)
 	case store.OpDelete:
+		if m.Tenant == "" {
+			e.Byte(mutDelete)
+		} else {
+			e.Byte(mutTenantDelete)
+			e.String(m.Tenant)
+		}
 		e.String(m.ID)
+	case store.OpTenantCreate, store.OpTenantDrop:
+		if m.Tenant == "" {
+			return fmt.Errorf("%w: tenant op %d without tenant", ErrBadFrame, m.Op)
+		}
+		e.Byte(byte(m.Op))
+		e.String(m.Tenant)
 	default:
 		return fmt.Errorf("%w: unknown mutation op %d", ErrBadFrame, m.Op)
 	}
 	return nil
 }
 
-// DecodeMutation reads one store mutation encoded by EncodeMutation.
+// DecodeMutation reads one store mutation encoded by EncodeMutation —
+// either the legacy untenanted tags (decoded with Tenant "", the default
+// tenant) or the tenant-qualified forms.
 func DecodeMutation(d *Decoder) (store.Mutation, error) {
-	op, err := d.Byte()
+	tag, err := d.Byte()
 	if err != nil {
 		return store.Mutation{}, err
 	}
-	switch store.Op(op) {
-	case store.OpInsert:
+	tenant := ""
+	switch tag {
+	case mutTenantInsert, mutTenantDelete, mutTenantCreate, mutTenantDrop:
+		if tenant, err = d.String(MaxTenantLen); err != nil {
+			return store.Mutation{}, err
+		}
+		if tenant == "" {
+			// The canonical encoding of the default tenant is the legacy
+			// tag; an empty tenant here is a malformed frame, not a choice.
+			return store.Mutation{}, fmt.Errorf("%w: empty tenant in mutation tag %d", ErrBadFrame, tag)
+		}
+	}
+	switch tag {
+	case mutInsert, mutTenantInsert:
 		rec, err := DecodeRecord(d)
 		if err != nil {
 			return store.Mutation{}, err
 		}
-		return store.InsertMutation(rec), nil
-	case store.OpDelete:
+		m := store.InsertMutation(rec)
+		m.Tenant = tenant
+		return m, nil
+	case mutDelete, mutTenantDelete:
 		id, err := d.String(MaxBytesLen)
 		if err != nil {
 			return store.Mutation{}, err
 		}
-		return store.DeleteMutation(id), nil
+		m := store.DeleteMutation(id)
+		m.Tenant = tenant
+		return m, nil
+	case mutTenantCreate:
+		return store.Mutation{Op: store.OpTenantCreate, Tenant: tenant}, nil
+	case mutTenantDrop:
+		return store.Mutation{Op: store.OpTenantDrop, Tenant: tenant}, nil
 	default:
-		return store.Mutation{}, fmt.Errorf("%w: unknown mutation op %d", ErrBadFrame, op)
+		return store.Mutation{}, fmt.Errorf("%w: unknown mutation op %d", ErrBadFrame, tag)
 	}
 }
 
@@ -113,10 +170,12 @@ func (m *ReplSubscribe) decode(d *Decoder) error {
 }
 
 // ReplSnapshot is one chunk of a snapshot bootstrap: the primary ships its
-// full record set (at most MaxReplChunk records per chunk) as the state
-// preceding offset Next. The first chunk (First) tells the follower to
-// discard its local state; after the chunk with Done set, ReplFrame
-// streaming resumes at offset Next.
+// full record set — every tenant's, tenant by tenant, at most MaxReplChunk
+// records per chunk — as the state preceding offset Next. The first chunk
+// (First) tells the follower to discard its local state; after the chunk
+// with Done set, ReplFrame streaming resumes at offset Next. An empty
+// tenant still contributes one zero-record chunk, so followers mirror the
+// tenant set exactly.
 type ReplSnapshot struct {
 	// Epoch is the primary's current log incarnation.
 	Epoch uint64
@@ -128,7 +187,10 @@ type ReplSnapshot struct {
 	First bool
 	// Done marks the last chunk: the snapshot is complete.
 	Done bool
-	// Records is this chunk's slice of the record set.
+	// Tenant is the namespace this chunk's records belong to ("" is the
+	// default tenant).
+	Tenant string
+	// Records is this chunk's slice of the tenant's record set.
 	Records []*store.Record
 }
 
@@ -140,6 +202,7 @@ func (m *ReplSnapshot) encode(e *Encoder) {
 	e.Uint64(m.Next)
 	e.Bool(m.First)
 	e.Bool(m.Done)
+	e.String(m.Tenant)
 	e.Uint32(uint32(len(m.Records)))
 	for _, rec := range m.Records {
 		EncodeRecord(e, rec)
@@ -158,6 +221,9 @@ func (m *ReplSnapshot) decode(d *Decoder) error {
 		return err
 	}
 	if m.Done, err = d.Bool(); err != nil {
+		return err
+	}
+	if m.Tenant, err = d.String(MaxTenantLen); err != nil {
 		return err
 	}
 	n, err := d.Uint32()

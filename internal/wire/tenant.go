@@ -1,0 +1,113 @@
+package wire
+
+// This file defines the tenant administration sub-protocol: listing,
+// creating and dropping tenant namespaces over the same connection the
+// authentication protocols run on, plus the typed rejection a server sends
+// when an operation names a namespace it does not host. The tenant carried
+// by the regular request messages (EnrollRequest.Tenant etc.) selects the
+// namespace of an individual protocol run; these messages manage the
+// namespaces themselves.
+
+import "fmt"
+
+// TenantAction selects the operation of a TenantAdmin session. The values
+// are part of the wire contract; append only.
+type TenantAction byte
+
+// Tenant administration actions.
+const (
+	// TenantActionList asks for the hosted namespace names.
+	TenantActionList TenantAction = 1
+	// TenantActionCreate creates a new namespace.
+	TenantActionCreate TenantAction = 2
+	// TenantActionDrop removes a namespace and every record in it.
+	TenantActionDrop TenantAction = 3
+)
+
+// TenantAdmin opens a tenant administration session. List is answered with
+// a TenantInfo; create and drop are answered with an Accept echoing the
+// canonical tenant name, an UnknownTenant (drop of an absent namespace), a
+// NotPrimary (mutating admin ops on a read-only replica), or a Reject.
+type TenantAdmin struct {
+	// Action is the operation to perform.
+	Action TenantAction
+	// Tenant is the namespace to create or drop (ignored for list).
+	Tenant string
+}
+
+// Type implements Message.
+func (*TenantAdmin) Type() MsgType { return TypeTenantAdmin }
+
+func (m *TenantAdmin) encode(e *Encoder) {
+	e.Byte(byte(m.Action))
+	e.String(m.Tenant)
+}
+
+func (m *TenantAdmin) decode(d *Decoder) error {
+	b, err := d.Byte()
+	if err != nil {
+		return err
+	}
+	switch TenantAction(b) {
+	case TenantActionList, TenantActionCreate, TenantActionDrop:
+		m.Action = TenantAction(b)
+	default:
+		return fmt.Errorf("%w: tenant action %d", ErrBadFrame, b)
+	}
+	m.Tenant, err = d.String(MaxTenantLen)
+	return err
+}
+
+// TenantInfo answers a tenant list request.
+type TenantInfo struct {
+	// Tenants are the hosted namespace names, sorted; the default tenant
+	// is always present.
+	Tenants []string
+}
+
+// Type implements Message.
+func (*TenantInfo) Type() MsgType { return TypeTenantInfo }
+
+func (m *TenantInfo) encode(e *Encoder) {
+	e.Uint32(uint32(len(m.Tenants)))
+	for _, name := range m.Tenants {
+		e.String(name)
+	}
+}
+
+func (m *TenantInfo) decode(d *Decoder) error {
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if int(n) > MaxTenantList {
+		return fmt.Errorf("%w: tenant list %d", ErrTooLarge, n)
+	}
+	m.Tenants = make([]string, n)
+	for i := range m.Tenants {
+		if m.Tenants[i], err = d.String(MaxTenantLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UnknownTenant rejects an operation naming a tenant namespace the server
+// does not host — distinct from a generic Reject so clients can surface an
+// actionable error (create the tenant, or fix the name) instead of a bare
+// protocol failure.
+type UnknownTenant struct {
+	// Tenant is the canonical name of the namespace that does not exist.
+	Tenant string
+}
+
+// Type implements Message.
+func (*UnknownTenant) Type() MsgType { return TypeUnknownTenant }
+
+func (m *UnknownTenant) encode(e *Encoder) { e.String(m.Tenant) }
+
+func (m *UnknownTenant) decode(d *Decoder) error {
+	var err error
+	m.Tenant, err = d.String(MaxTenantLen)
+	return err
+}

@@ -1,0 +1,171 @@
+package fuzzyid
+
+// Multi-tenant replication tests: followers must mirror the primary's full
+// namespace set — bootstrap snapshots carry every tenant, the stream ships
+// tenant-qualified mutations and tenant create/drop ops, and a follower
+// that reconnects mid-stream converges without losing any namespace.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"fuzzyid/internal/protocol"
+)
+
+// TestTenantReplicationEndToEnd enrolls the same user ID into two tenants
+// (different templates) on the primary and identifies both through a
+// follower — the multi-tenant read-scaling contract — then drops a tenant
+// and watches the follower drop it too.
+func TestTenantReplicationEndToEnd(t *testing.T) {
+	c := newReplCluster(t, 1)
+	follower := c.followers[0]
+	addr := c.priSrv.Addr().String()
+	folAddr := c.folSrvs[0].Addr().String()
+
+	for _, name := range []string{"r-a", "r-b"} {
+		if err := c.primary.CreateTenant(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcA := tenantSource(t, c.primary, 701)
+	srcB := tenantSource(t, c.primary, 702)
+	uA, uB := srcA.NewUser("dave"), srcB.NewUser("dave")
+	if err := dialTenant(t, c.primary, addr, "r-a").Enroll("dave", uA.Template); err != nil {
+		t.Fatal(err)
+	}
+	if err := dialTenant(t, c.primary, addr, "r-b").Enroll("dave", uB.Template); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, c.primary, follower)
+
+	// The follower mirrors the tenant set, including namespaces that were
+	// created before it had anything to apply.
+	waitFor(t, 5*time.Second, "follower tenant set", func() bool {
+		return len(follower.Tenants()) == 3
+	})
+
+	readA, err := srcA.GenuineReading(uA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readB, err := srcB.GenuineReading(uB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folA := dialTenant(t, c.primary, folAddr, "r-a")
+	folB := dialTenant(t, c.primary, folAddr, "r-b")
+	if id, err := folA.Identify(readA); err != nil || id != "dave" {
+		t.Fatalf("follower r-a identify = %q, %v", id, err)
+	}
+	if id, err := folB.Identify(readB); err != nil || id != "dave" {
+		t.Fatalf("follower r-b identify = %q, %v", id, err)
+	}
+	// Zero cross-tenant leakage on the follower.
+	if id, err := folB.Identify(readA); err == nil {
+		t.Fatalf("follower r-b identified r-a's reading as %q", id)
+	} else if !IsRejected(err) && !errors.Is(err, protocol.ErrNoMatch) {
+		t.Fatalf("follower cross-tenant identify: unexpected error %v", err)
+	}
+	// Mutations on a follower redirect to the primary, tenants included.
+	if err := folA.Enroll("eve", srcA.NewUser("eve").Template); err == nil {
+		t.Fatal("follower accepted a tenant enrollment")
+	} else if _, ok := IsNotPrimary(err); !ok {
+		t.Fatalf("follower tenant enroll: got %v, want not-primary redirect", err)
+	}
+	// Even for a tenant the follower has not learned yet, a mutation is
+	// answered with the redirect — "go to the primary" is the actionable
+	// truth; "no such tenant" on a lagging follower would be wrong advice.
+	folGhost := dialTenant(t, c.primary, folAddr, "only-on-primary-yet")
+	if err := folGhost.Enroll("eve", srcA.NewUser("eve2").Template); err == nil {
+		t.Fatal("follower accepted an enrollment for an unknown tenant")
+	} else if _, ok := IsNotPrimary(err); !ok {
+		t.Fatalf("follower unknown-tenant enroll: got %v, want not-primary redirect", err)
+	}
+
+	// A tenant created while the stream is live materialises on the
+	// follower via the shipped create op (no new enrollments needed).
+	if err := c.primary.CreateTenant("r-late"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "late tenant on follower", func() bool {
+		return len(follower.Tenants()) == 4
+	})
+
+	// Dropping a tenant propagates: the follower forgets the namespace and
+	// serves the typed unknown-tenant error for it.
+	if err := c.primary.DropTenant("r-b"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "tenant drop on follower", func() bool {
+		return len(follower.Tenants()) == 3
+	})
+	if _, err := folB.Identify(readB); err == nil {
+		t.Fatal("follower still identifies in a dropped tenant")
+	} else if name, ok := IsUnknownTenant(err); !ok || name != "r-b" {
+		t.Fatalf("follower dropped-tenant identify: got %v, want typed unknown-tenant error", err)
+	}
+}
+
+// TestTenantFollowerResumesMidStream cuts a follower's stream (listener
+// bounce, same epoch) while multi-tenant enrollments continue and checks
+// the follower resumes by offset — no snapshot re-bootstrap — with every
+// tenant's records intact.
+func TestTenantFollowerResumesMidStream(t *testing.T) {
+	c := newReplCluster(t, 1)
+	follower := c.followers[0]
+	addr := c.priSrv.Addr().String()
+
+	if err := c.primary.CreateTenant("s-a"); err != nil {
+		t.Fatal(err)
+	}
+	src := tenantSource(t, c.primary, 711)
+	client := dialTenant(t, c.primary, addr, "s-a")
+	users := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		u := src.NewUser(streamID("pre", i))
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatal(err)
+		}
+		users[u.ID] = true
+	}
+	waitCaughtUp(t, c.primary, follower)
+	resyncsBefore := follower.Stats().Counters["repl.follower.resyncs"]
+
+	// Sever every connection by bouncing the primary's listener on the
+	// same port (same system, same epoch), then keep enrolling.
+	if err := c.priSrv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := c.primary.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+	client2 := dialTenant(t, c.primary, addr, "s-a")
+	var last string
+	for i := 0; i < 8; i++ {
+		u := src.NewUser(streamID("post", i))
+		if err := client2.Enroll(u.ID, u.Template); err != nil {
+			t.Fatal(err)
+		}
+		last = u.ID
+	}
+	waitCaughtUp(t, c.primary, follower)
+
+	st, err := follower.tenants.Tenant("s-a")
+	if err != nil {
+		t.Fatalf("follower lost tenant s-a across the reconnect: %v", err)
+	}
+	if _, ok := st.Get(last); !ok {
+		t.Fatal("follower missing a tenant enrollment from after the reconnect")
+	}
+	if after := follower.Stats().Counters["repl.follower.resyncs"]; after != resyncsBefore {
+		t.Fatalf("follower re-bootstrapped (resyncs %d -> %d), want offset resume", resyncsBefore, after)
+	}
+}
+
+// streamID builds distinct user IDs for the resume test's two phases.
+func streamID(phase string, i int) string {
+	return "stream-" + phase + "-" + string(rune('a'+i))
+}
