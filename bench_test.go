@@ -417,6 +417,72 @@ func BenchmarkIdentifyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkIdentifyNoMatch measures the open-set reject path: a
+// genuine-quality probe of a user who was never enrolled, so the scan must
+// consider every row before refusing. This is the worst case the packed
+// layout and the coarse pre-filter target; the "int64-nofilter" variant is
+// the pre-packing layout (64-bit residues, no coarse filter) kept as the
+// in-tree baseline for the comparison.
+func BenchmarkIdentifyNoMatch(b *testing.B) {
+	const dim = 64
+	for _, n := range []int{20000, 100000} {
+		fe, err := core.New(core.Params{Line: numberline.PaperParams(), Dimension: dim})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, err := biometric.NewSource(fe.Line(), biometric.Paper(dim), 4711)
+		if err != nil {
+			b.Fatal(err)
+		}
+		users := src.Population(n)
+		records := make([]*store.Record, len(users))
+		for i, u := range users {
+			_, helper, err := fe.Gen(u.Template)
+			if err != nil {
+				b.Fatal(err)
+			}
+			records[i] = &store.Record{ID: u.ID, PublicKey: []byte("pk"), Helper: helper}
+		}
+		ghost := src.NewUser("ghost-never-enrolled")
+		reading, err := src.GenuineReading(ghost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probe, err := fe.SketchOnly(reading)
+		if err != nil {
+			b.Fatal(err)
+		}
+		variants := []struct {
+			name string
+			tun  store.Tuning
+		}{
+			{"packed+coarse", store.Tuning{}},
+			{"packed-nocoarse", store.Tuning{NoCoarseFilter: true}},
+			{"int64-nofilter", store.Tuning{ResidueWidth: 64, NoCoarseFilter: true}},
+		}
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%s/N=%d", v.name, n), func(b *testing.B) {
+				db, err := store.NewScanTuned(fe.Line(), 0, v.tun)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rec := range records {
+					if err := db.Insert(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Identify(probe); err != store.ErrNotFound {
+						b.Fatalf("ghost probe matched: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkStoreIdentifyBatch measures the amortised per-probe cost of the
 // batch lookup path against resolving the same probes one by one.
 func BenchmarkStoreIdentifyBatch(b *testing.B) {

@@ -13,6 +13,12 @@
 //
 //	fuzzyid-bench -exp all -quick -format json > new.json
 //	fuzzyid-bench -compare bench/baseline.json -candidate new.json -threshold 0.30
+//
+// To re-baseline (see OPERATIONS.md), take several independent runs and fold
+// them into one conservative document — each perf cell keeps the worst value
+// observed, so one scheduler-quiet run cannot tighten the gate by luck:
+//
+//	fuzzyid-bench -merge run1.json,run2.json,run3.json > bench/baseline.json
 package main
 
 import (
@@ -46,6 +52,7 @@ func run(args []string) error {
 		candidate = fs.String("candidate", "", "perf gate: candidate JSON file to compare against -compare")
 		threshold = fs.Float64("threshold", 0.30, "perf gate: allowed relative slowdown (0.30 = +30%)")
 		minMS     = fs.Float64("min-ms", 0.05, "perf gate: ignore latency cells with a baseline under this many ms")
+		merge     = fs.String("merge", "", "re-baselining: comma-separated run JSON files; prints the per-cell max merge as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +65,9 @@ func run(args []string) error {
 	}
 	if *compare != "" || *candidate != "" {
 		return runCompare(*compare, *candidate, *threshold, *minMS)
+	}
+	if *merge != "" {
+		return runMerge(strings.Split(*merge, ","))
 	}
 	cfg := experiment.Config{Quick: *quick, Seed: *seed}
 	var tables []*experiment.Table
@@ -144,6 +154,32 @@ func runCompare(basePath, candPath string, threshold, minMS float64) error {
 	}
 	fmt.Printf("perf gate OK: %d cells within +%.0f%% of baseline\n", compared, threshold*100)
 	return nil
+}
+
+// runMerge folds several -format json run documents into one max-of-N
+// baseline on stdout.
+func runMerge(paths []string) error {
+	var runs [][]*experiment.Table
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tables, err := experiment.ReadJSONTables(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		runs = append(runs, tables)
+	}
+	if len(runs) < 2 {
+		return errors.New("-merge needs at least two run files")
+	}
+	return experiment.WriteJSONTables(os.Stdout, experiment.MergeMaxTables(runs...))
 }
 
 func writeCSV(dir string, tbl *experiment.Table) error {

@@ -22,6 +22,10 @@
 //	batch      — batched identification: -batch readings per session
 //	churn      — revoke/re-enroll cycles over a worker-owned user slice
 //	noise      — impostor probes that should miss (server-side reject path)
+//	nomatch    — open-set worst case: genuine-looking readings of users who
+//	             were never enrolled, so every probe forces a full scan and a
+//	             reject — the path the packed residue matrix and coarse
+//	             pre-filter exist for (see DESIGN.md §10)
 //	replicated — identify traffic fanned out across -replicas followers
 //	             (requires -replicas; not part of "all")
 //	multitenant — skewed 90/10 identify/enroll traffic spread across
@@ -43,6 +47,22 @@
 // runs); -server-stats additionally embeds the server's own telemetry
 // snapshot fetched over the native stats session, so request counts can be
 // cross-checked against what the server observed.
+//
+// With -spawn-server the harness becomes a sweet-style macro-benchmark rig:
+// it launches the named fuzzyid-server binary as a subprocess (appending
+// -addr and -stats-addr), samples its RSS from /proc while the scenarios
+// run, scrapes its GC pause totals from the stats endpoint, and embeds the
+// resource account as the report's "macro" section — throughput,
+// latency percentiles, peak RSS and GC pause in one JSON document:
+//
+//	fuzzyid-load -spawn-server ./fuzzyid-server -spawn-args "-dim 64 -strategy scan" \
+//	             -dim 64 -scenario identify,nomatch -format json > report.json
+//
+// With -compare/-candidate the harness gates one such report against a
+// baseline instead of generating load: per-scenario p99 latency and peak
+// RSS may regress by at most -threshold (scenarios under -min-ms are
+// noise and skipped), mirroring the fuzzyid-bench perf gate. CI runs this
+// against bench/macro-baseline.json.
 package main
 
 import (
@@ -60,6 +80,7 @@ import (
 
 	"fuzzyid"
 	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/macrobench"
 	"fuzzyid/internal/protocol"
 	"fuzzyid/internal/telemetry"
 )
@@ -74,7 +95,7 @@ func main() {
 // scenarioOrder is the "all" sequence. Write-heavy scenarios run first so
 // the read scenarios see a database grown by them — the realistic ordering
 // for a system whose store only grows.
-var scenarioOrder = []string{"enroll", "identify", "mixed", "batch", "churn", "noise"}
+var scenarioOrder = []string{"enroll", "identify", "mixed", "batch", "churn", "noise", "nomatch"}
 
 type config struct {
 	addr     string
@@ -102,6 +123,9 @@ type report struct {
 	Seed        int64                  `json:"seed"`
 	Scenarios   []scenarioResult       `json:"scenarios"`
 	ServerStats *fuzzyid.StatsSnapshot `json:"server_stats,omitempty"`
+	// Macro is the spawned server's resource account (peak RSS, GC pause);
+	// present only with -spawn-server.
+	Macro *macrobench.Usage `json:"macro,omitempty"`
 }
 
 // scenarioResult summarises one scenario run.
@@ -144,9 +168,23 @@ func run(args []string, stdout io.Writer) error {
 		ext         = fs.String("extractor", "hmac-sha256", "strong extractor (must match the server)")
 		format      = fs.String("format", "text", "output format: text or json")
 		serverStats = fs.Bool("server-stats", false, "embed the server's telemetry snapshot (native stats session) in the report")
+		spawnServer = fs.String("spawn-server", "", "launch this fuzzyid-server binary as a measured subprocess (macro-bench mode)")
+		spawnArgs   = fs.String("spawn-args", "", "extra arguments for the spawned server (space-separated; -addr and -stats-addr are appended)")
+		spawnStats  = fs.String("spawn-stats", "127.0.0.1:7701", "stats endpoint address for the spawned server")
+		rssInterval = fs.Duration("rss-interval", 100*time.Millisecond, "RSS sampling interval for the spawned server")
+		compareWith = fs.String("compare", "", "gate mode: baseline report JSON (use with -candidate)")
+		candidate   = fs.String("candidate", "", "gate mode: candidate report JSON to check against -compare")
+		threshold   = fs.Float64("threshold", 0.5, "gate mode: allowed fractional regression of p99 latency and peak RSS")
+		minMS       = fs.Float64("min-ms", 0.2, "gate mode: ignore scenarios whose p99 is below this on both sides (noise floor)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*compareWith == "") != (*candidate == "") {
+		return errors.New("-compare and -candidate must be used together")
+	}
+	if *compareWith != "" {
+		return runCompare(stdout, *compareWith, *candidate, *threshold, *minMS)
 	}
 	if *workers <= 0 || *users <= 0 || *batch <= 0 || *duration <= 0 {
 		return errors.New("-workers, -users, -batch and -duration must be positive")
@@ -179,7 +217,24 @@ func run(args []string, stdout io.Writer) error {
 		duration: *duration, users: *users, batch: *batch, tenants: *tenants,
 		seed: *seed, scheme: *scheme, ext: *ext,
 	}
+	var proc *macrobench.Proc
+	if *spawnServer != "" {
+		proc, err = macrobench.Start(*spawnServer, strings.Fields(*spawnArgs), *addr, *spawnStats, *rssInterval)
+		if err != nil {
+			return err
+		}
+	}
 	rep, err := drive(cfg, scenarios, *serverStats)
+	if proc != nil {
+		// Stop (and account) the spawned server even when the run failed.
+		usage, uerr := proc.Stop()
+		if err == nil && uerr != nil {
+			err = fmt.Errorf("macro usage: %w", uerr)
+		}
+		if rep != nil {
+			rep.Macro = &usage
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -364,6 +419,27 @@ func (w *worker) op(scenario string) error {
 		// An impostor probe: a fresh random vector, almost surely far from
 		// every enrolled template, so the expected outcome is a miss.
 		_, err := w.client.Identify(w.src.ImpostorReading())
+		if err == nil {
+			return nil // a false accept; counted as an op, visible server-side
+		}
+		if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
+			return errMiss
+		}
+		return err
+	case "nomatch":
+		// The open-set worst case by name: a genuine-quality reading of a
+		// user who was never enrolled. Unlike noise's raw random vectors,
+		// the probe is drawn from the same template distribution as the
+		// population, so the server runs its full reject path against
+		// realistic in-distribution data — every row must be scanned (or
+		// coarse-filtered away) before the probe can be refused.
+		w.seq++
+		ghost := w.src.NewUser(fmt.Sprintf("ghost-%x-w%d-%d", w.nonce, w.id, w.seq))
+		reading, err := w.src.GenuineReading(ghost)
+		if err != nil {
+			return err
+		}
+		_, err = w.client.Identify(reading)
 		if err == nil {
 			return nil // a false accept; counted as an op, visible server-side
 		}
@@ -727,5 +803,34 @@ func writeText(w io.Writer, rep *report) error {
 			rep.ServerStats.Counter("transport.bytes.in"),
 			rep.ServerStats.Counter("transport.bytes.out"))
 	}
+	if rep.Macro != nil {
+		fmt.Fprintf(w, "macro: peak RSS %.1f MiB, GC pause %.2f ms over %d cycles, heap %.1f MiB live\n",
+			float64(rep.Macro.PeakRSSBytes)/(1<<20), rep.Macro.GCPauseTotalMS,
+			rep.Macro.GCCycles, float64(rep.Macro.HeapAllocBytes)/(1<<20))
+	}
+	return nil
+}
+
+// runCompare is the gate mode: fail (with one line per violation) when the
+// candidate report's p99 latencies or peak RSS regress past the threshold
+// against the baseline.
+func runCompare(stdout io.Writer, basePath, candPath string, threshold, minMS float64) error {
+	base, err := macrobench.ReadReport(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := macrobench.ReadReport(candPath)
+	if err != nil {
+		return err
+	}
+	violations := macrobench.Compare(base, cand, threshold, minMS)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stdout, "REGRESSION:", v)
+		}
+		return fmt.Errorf("%d macro-bench regression(s) beyond %.0f%%", len(violations), threshold*100)
+	}
+	fmt.Fprintf(stdout, "macro-bench gate passed: %d scenario(s) within %.0f%% of baseline\n",
+		len(cand.Scenarios), threshold*100)
 	return nil
 }

@@ -150,6 +150,8 @@ func setup(args []string) (*proc, error) {
 		scheme    = fs.String("scheme", "ed25519", "signature scheme: ed25519 or ecdsa-p256")
 		ext       = fs.String("extractor", "hmac-sha256", "strong extractor: sha256, hmac-sha256 or toeplitz")
 		shards    = fs.Int("shards", 0, "store shard count (0 = scheduler parallelism)")
+		resWidth  = fs.Int("residue-width", 0, "packed residue storage width: 0 (auto from ka), 16, 32 or 64 (debug/measurement override)")
+		coarse    = fs.Bool("coarse-filter", true, "consult the per-row coarse pre-filter during scans")
 		data      = fs.String("data", "", "persistence directory (empty = in-memory only)")
 		snapIvl   = fs.Duration("snapshot-interval", 5*time.Minute, "WAL compaction interval with -data (0 = only on shutdown)")
 		maxConns  = fs.Int("maxconns", 0, "refuse connections past this concurrent cap (0 = unbounded)")
@@ -175,6 +177,12 @@ func setup(args []string) (*proc, error) {
 		fuzzyid.WithSignatureScheme(*scheme),
 		fuzzyid.WithExtractor(*ext),
 		fuzzyid.WithShards(*shards),
+	}
+	if *resWidth != 0 {
+		opts = append(opts, fuzzyid.WithResidueWidth(*resWidth))
+	}
+	if !*coarse {
+		opts = append(opts, fuzzyid.WithoutCoarseFilter())
 	}
 	if *telemetry {
 		opts = append(opts, fuzzyid.WithTelemetry())

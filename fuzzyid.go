@@ -191,16 +191,18 @@ type optionFunc func(*config) error
 func (f optionFunc) apply(c *config) error { return f(c) }
 
 type config struct {
-	strategy  string
-	scheme    string
-	extractor string
-	indexDims int
-	shards    int
-	dataDir   string
-	syncOS    bool
-	telemetry bool
-	serveRepl bool
-	replicaOf string
+	strategy     string
+	scheme       string
+	extractor    string
+	indexDims    int
+	shards       int
+	residueWidth int
+	noCoarse     bool
+	dataDir      string
+	syncOS       bool
+	telemetry    bool
+	serveRepl    bool
+	replicaOf    string
 }
 
 // WithStoreStrategy selects the identification lookup strategy: "bucket"
@@ -251,6 +253,36 @@ func WithShards(p int) Option {
 			return fmt.Errorf("fuzzyid: negative shard count %d", p)
 		}
 		c.shards = p
+		return nil
+	})
+}
+
+// WithResidueWidth forces the packed residue storage width of the scan and
+// bucket stores: 16, 32 or 64 bits, or 0 for the default (the narrowest
+// width that holds the interval span ka, chosen automatically). An explicit
+// width may only widen the automatic choice — it exists for debugging and
+// A/B measurement (64 reproduces the pre-packing memory layout); a width too
+// narrow for the system's parameters fails at NewSystem. The sorted strategy
+// keeps unpacked residues and ignores it.
+func WithResidueWidth(bits int) Option {
+	return optionFunc(func(c *config) error {
+		switch bits {
+		case 0, 16, 32, 64:
+			c.residueWidth = bits
+			return nil
+		default:
+			return fmt.Errorf("fuzzyid: invalid residue width %d (want 0, 16, 32 or 64)", bits)
+		}
+	})
+}
+
+// WithoutCoarseFilter disables the per-row coarse pre-filter of the scan and
+// bucket stores' residue table. The filter only ever skips rows that
+// provably cannot match, so results are identical either way; the switch
+// exists for debugging and A/B measurement of the open-set scan path.
+func WithoutCoarseFilter() Option {
+	return optionFunc(func(c *config) error {
+		c.noCoarse = true
 		return nil
 	})
 }
@@ -386,13 +418,14 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 	factory := func(name string) (store.Store, func() error, error) {
 		var db store.Store
 		var err error
+		tun := store.Tuning{ResidueWidth: cfg.residueWidth, NoCoarseFilter: cfg.noCoarse}
 		if cfg.strategy == "bucket" && cfg.indexDims > 0 {
-			db = store.NewBucketShards(fe.Line(), cfg.indexDims, cfg.shards)
+			db, err = store.NewBucketTuned(fe.Line(), cfg.indexDims, cfg.shards, tun)
 		} else {
-			db, err = store.ByStrategyShards(cfg.strategy, fe.Line(), cfg.shards)
-			if err != nil {
-				return nil, nil, err
-			}
+			db, err = store.ByStrategyTuned(cfg.strategy, fe.Line(), cfg.shards, tun)
+		}
+		if err != nil {
+			return nil, nil, err
 		}
 		var journals store.MultiJournal
 		var closer func() error

@@ -96,6 +96,71 @@ func rowsByKey(t *Table) map[string][]string {
 	return out
 }
 
+// MergeMaxTables folds repeated benchmark runs into one conservative table
+// set for committing as a baseline: the first run provides the structure
+// (tables, rows, non-perf cells, formatting), and every perf cell is
+// replaced by the worst (largest) value observed for it across all runs,
+// keeping the original cell string of whichever run produced it. A max-of-N
+// baseline keeps one lucky scheduler-quiet run from baking an unrepeatable
+// number into the gate. Tables, rows, or columns absent from the first run
+// are ignored — the merge never invents structure.
+func MergeMaxTables(runs ...[]*Table) []*Table {
+	if len(runs) == 0 {
+		return nil
+	}
+	out := make([]*Table, len(runs[0]))
+	for i, t := range runs[0] {
+		c := &Table{ID: t.ID, Title: t.Title, Notes: t.Notes,
+			Header: append([]string{}, t.Header...)}
+		c.Rows = make([][]string, len(t.Rows))
+		for r, row := range t.Rows {
+			c.Rows[r] = append([]string{}, row...)
+		}
+		out[i] = c
+	}
+	for _, run := range runs[1:] {
+		byID := make(map[string]*Table, len(run))
+		for _, t := range run {
+			byID[t.ID] = t
+		}
+		for _, bt := range out {
+			rt, ok := byID[bt.ID]
+			if !ok {
+				continue
+			}
+			rcol := map[string]int{}
+			for i, h := range rt.Header {
+				rcol[h] = i
+			}
+			rrows := rowsByKey(rt)
+			for _, brow := range bt.Rows {
+				rrow, ok := rrows[rowKey(bt.Header, brow)]
+				if !ok {
+					continue
+				}
+				for i, h := range bt.Header {
+					if !IsPerfColumn(h) || i >= len(brow) {
+						continue
+					}
+					j, ok := rcol[h]
+					if !ok || j >= len(rrow) {
+						continue
+					}
+					b, errB := strconv.ParseFloat(brow[i], 64)
+					r, errR := strconv.ParseFloat(rrow[j], 64)
+					if errB != nil || errR != nil {
+						continue
+					}
+					if r > b {
+						brow[i] = rrow[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
 // ComparePerf joins baseline and candidate tables and returns every perf
 // cell whose candidate value exceeds baseline*(1+threshold). Latency cells
 // with a baseline under minMS milliseconds are skipped — at that scale a

@@ -146,3 +146,40 @@ func TestReadJSONTablesRoundTrip(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestMergeMaxTables(t *testing.T) {
+	a := perfTables("2.0", "132")
+	b := perfTables("3.5", "130")
+	c := perfTables("1.5", "132")
+	m := MergeMaxTables(a, b, c)
+	if len(m) != len(a) {
+		t.Fatalf("merged %d tables, want %d", len(m), len(a))
+	}
+	if got := m[0].Rows[0][1]; got != "3.5" {
+		t.Errorf("merged latency cell = %q, want worst run's 3.5", got)
+	}
+	if got := m[1].Rows[0][3]; got != "132" {
+		t.Errorf("merged bytes cell = %q, want worst run's 132", got)
+	}
+	// Non-perf cells come from the first run, untouched.
+	if got := m[2].Rows[0][1]; got != "8.9" {
+		t.Errorf("non-perf cell = %q, want first run's 8.9", got)
+	}
+	// The inputs must not be mutated by the merge.
+	if a[0].Rows[0][1] != "2.0" {
+		t.Errorf("merge mutated its input: %q", a[0].Rows[0][1])
+	}
+	// A merged baseline gates exactly like a handwritten one.
+	regs, compared, err := ComparePerf(m, perfTables("3.6", "132"), 0.30, 0.05)
+	if err != nil || compared == 0 || len(regs) != 0 {
+		t.Fatalf("merged baseline vs near candidate: regs=%v compared=%d err=%v", regs, compared, err)
+	}
+	// Degenerate calls.
+	if MergeMaxTables() != nil {
+		t.Error("zero-run merge should be nil")
+	}
+	one := MergeMaxTables(a)
+	if len(one) != len(a) || one[0].Rows[0][1] != "2.0" {
+		t.Errorf("single-run merge should copy the run: %+v", one[0].Rows)
+	}
+}

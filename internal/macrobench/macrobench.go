@@ -1,0 +1,338 @@
+// Package macrobench runs a server binary as a subprocess and measures what
+// micro-benchmarks structurally cannot: the process-level cost of a
+// workload — peak resident set size sampled from /proc while the run is in
+// flight, and the Go runtime's cumulative GC pause time scraped from the
+// server's own stats endpoint. The methodology follows the sweet-style
+// macro-benchmark shape: server under test in its own process, client load
+// in this one, resource accounting attributed to the server alone.
+//
+// The package has two halves: Proc (spawn, readiness, RSS sampling, stats
+// scrape, orderly shutdown) used by cmd/fuzzyid-load's -spawn-server mode,
+// and Compare (per-scenario p99 + peak-RSS regression gating over two load
+// reports) used by its -compare mode and the CI macro-bench job.
+package macrobench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fuzzyid/internal/telemetry"
+)
+
+// Usage is the resource account of one server run — the macro half of a
+// load report. Field names are part of the report's append-only JSON
+// contract.
+type Usage struct {
+	// PeakRSSBytes is the highest resident set observed: the kernel's
+	// VmHWM high-water mark, which also covers spikes between samples.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+	// LastRSSBytes is the resident set at the final sample.
+	LastRSSBytes uint64 `json:"last_rss_bytes"`
+	// RSSSamples is the number of /proc samples taken.
+	RSSSamples int `json:"rss_samples"`
+	// GCPauseTotalMS is the server's cumulative stop-the-world pause time
+	// over the run (final stats scrape minus the post-readiness scrape).
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	// GCCycles is the number of GC cycles the run triggered.
+	GCCycles uint32 `json:"gc_cycles"`
+	// HeapAllocBytes is the server's live heap at the final scrape.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapSysBytes is the heap address space held from the OS at the final
+	// scrape.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+}
+
+// Proc is a server subprocess under measurement.
+type Proc struct {
+	cmd       *exec.Cmd
+	statsAddr string
+
+	mu      sync.Mutex
+	peak    uint64
+	last    uint64
+	samples int
+
+	stopSampler chan struct{}
+	samplerDone chan struct{}
+
+	// waitCh delivers the child's Wait result exactly once; exited flips as
+	// soon as the child is gone so the readiness poll can fail fast instead
+	// of burning its whole deadline on a binary that died at startup.
+	waitCh chan error
+	exited atomic.Bool
+
+	// base is the runtime view right after readiness, so Usage reports the
+	// run's own GC cost rather than the enrollment of the binary's start-up.
+	base *telemetry.RuntimeStats
+}
+
+// Start launches the server binary with the given args plus the -addr and
+// -stats-addr flags, waits until both endpoints accept connections, records
+// the baseline runtime stats, and begins RSS sampling at the given interval
+// (0 selects 100ms). The child's stderr is forwarded to this process's.
+func Start(bin string, args []string, addr, statsAddr string, interval time.Duration) (*Proc, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	full := append(append([]string{}, args...), "-addr", addr, "-stats-addr", statsAddr)
+	cmd := exec.Command(bin, full...)
+	cmd.Stderr = os.Stderr
+	cmd.Stdout = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("macrobench: start %s: %w", bin, err)
+	}
+	p := &Proc{
+		cmd:         cmd,
+		statsAddr:   statsAddr,
+		stopSampler: make(chan struct{}),
+		samplerDone: make(chan struct{}),
+		waitCh:      make(chan error, 1),
+	}
+	go func() {
+		err := cmd.Wait()
+		p.exited.Store(true)
+		p.waitCh <- err
+	}()
+	if err := p.waitListening(addr, statsAddr); err != nil {
+		p.kill()
+		<-p.waitCh
+		return nil, err
+	}
+	if snap, err := p.scrapeStats(); err == nil {
+		p.base = snap.Runtime
+	}
+	go p.sample(interval)
+	return p, nil
+}
+
+// Pid returns the subprocess ID.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// waitListening polls the server's endpoints until both accept a TCP
+// connection or the child exits or 30 seconds pass.
+func (p *Proc) waitListening(addrs ...string) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for _, a := range addrs {
+		for {
+			c, err := net.DialTimeout("tcp", a, 250*time.Millisecond)
+			if err == nil {
+				c.Close()
+				break
+			}
+			if p.exited.Load() {
+				return fmt.Errorf("macrobench: server exited before listening on %s", a)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("macrobench: server not listening on %s after 30s: %w", a, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// sample reads the resident set until stopped.
+func (p *Proc) sample(interval time.Duration) {
+	defer close(p.samplerDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		p.readRSS()
+		select {
+		case <-p.stopSampler:
+			p.readRSS()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// readRSS parses VmRSS and VmHWM from /proc/<pid>/status. VmHWM is the
+// kernel's own high-water mark, so the reported peak is exact even if a
+// spike falls between two samples.
+func (p *Proc) readRSS() {
+	buf, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", p.cmd.Process.Pid))
+	if err != nil {
+		return
+	}
+	rss, hwm := procStatusKB(buf, "VmRSS:"), procStatusKB(buf, "VmHWM:")
+	p.mu.Lock()
+	p.samples++
+	if rss > 0 {
+		p.last = rss * 1024
+	}
+	if hwm*1024 > p.peak {
+		p.peak = hwm * 1024
+	}
+	if p.last > p.peak { // VmHWM absent (non-Linux /proc emulations)
+		p.peak = p.last
+	}
+	p.mu.Unlock()
+}
+
+// procStatusKB extracts one "Key:  N kB" line from a /proc status document.
+func procStatusKB(buf []byte, key string) uint64 {
+	s := string(buf)
+	i := strings.Index(s, key)
+	if i < 0 {
+		return 0
+	}
+	fields := strings.Fields(s[i+len(key):])
+	if len(fields) == 0 {
+		return 0
+	}
+	n, err := strconv.ParseUint(fields[0], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// scrapeStats fetches the server's telemetry snapshot over the HTTP stats
+// endpoint.
+func (p *Proc) scrapeStats() (*telemetry.Snapshot, error) {
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + p.statsAddr + "/stats")
+	if err != nil {
+		return nil, fmt.Errorf("macrobench: stats scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("macrobench: stats scrape: %w", err)
+	}
+	return telemetry.ParseSnapshot(buf)
+}
+
+// Stop scrapes the final runtime stats, stops the sampler, terminates the
+// server (SIGTERM, then SIGKILL after 10s) and returns the run's resource
+// account.
+func (p *Proc) Stop() (Usage, error) {
+	var u Usage
+	snap, scrapeErr := p.scrapeStats()
+	close(p.stopSampler)
+	<-p.samplerDone
+	p.mu.Lock()
+	u.PeakRSSBytes, u.LastRSSBytes, u.RSSSamples = p.peak, p.last, p.samples
+	p.mu.Unlock()
+	if scrapeErr == nil && snap.Runtime != nil {
+		rt := snap.Runtime
+		u.GCPauseTotalMS = rt.GCPauseTotalMS
+		u.GCCycles = rt.GCCycles
+		u.HeapAllocBytes = rt.HeapAllocBytes
+		u.HeapSysBytes = rt.HeapSysBytes
+		if p.base != nil {
+			u.GCPauseTotalMS -= p.base.GCPauseTotalMS
+			u.GCCycles -= p.base.GCCycles
+		}
+	}
+	if err := p.shutdown(); err != nil {
+		return u, err
+	}
+	return u, scrapeErr
+}
+
+// shutdown terminates the child: SIGTERM for a drained close, SIGKILL if it
+// lingers.
+func (p *Proc) shutdown() error {
+	if p.cmd.Process == nil {
+		return nil
+	}
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-p.waitCh:
+		// A SIGTERM-induced non-zero exit is an orderly outcome here.
+		var exit *exec.ExitError
+		if err != nil && !errors.As(err, &exit) {
+			return fmt.Errorf("macrobench: wait: %w", err)
+		}
+		return nil
+	case <-time.After(10 * time.Second):
+		p.kill()
+		<-p.waitCh
+		return fmt.Errorf("macrobench: server ignored SIGTERM, killed")
+	}
+}
+
+func (p *Proc) kill() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+	}
+}
+
+// LoadScenario mirrors one scenario entry of a fuzzyid-load JSON report —
+// the fields the gate reads, named by the report's append-only contract.
+type LoadScenario struct {
+	Scenario       string                      `json:"scenario"`
+	Ops            uint64                      `json:"ops"`
+	ThroughputOpsS float64                     `json:"throughput_ops_s"`
+	Latency        telemetry.HistogramSnapshot `json:"latency"`
+}
+
+// LoadReport mirrors the load-report envelope the gate reads.
+type LoadReport struct {
+	Scenarios []LoadScenario `json:"scenarios"`
+	Macro     *Usage         `json:"macro,omitempty"`
+}
+
+// ReadReport parses a fuzzyid-load JSON report file.
+func ReadReport(path string) (*LoadReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r LoadReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("macrobench: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare gates a candidate load report against a baseline: per common
+// scenario the candidate p99 latency may exceed the baseline by at most the
+// threshold fraction (scenarios where both sides are under minMS are noise
+// and skipped), and the candidate peak RSS may exceed the baseline peak by
+// at most the same fraction. It returns one message per violation; empty
+// means the gate passes. Scenarios present on only one side are ignored, so
+// reports stay comparable across harness growth.
+func Compare(base, cand *LoadReport, threshold, minMS float64) []string {
+	var violations []string
+	byName := make(map[string]LoadScenario, len(base.Scenarios))
+	for _, s := range base.Scenarios {
+		byName[s.Scenario] = s
+	}
+	for _, c := range cand.Scenarios {
+		b, ok := byName[c.Scenario]
+		if !ok {
+			continue
+		}
+		if b.Latency.P99MS < minMS && c.Latency.P99MS < minMS {
+			continue
+		}
+		if limit := b.Latency.P99MS * (1 + threshold); c.Latency.P99MS > limit {
+			violations = append(violations, fmt.Sprintf(
+				"scenario %s: p99 %.3fms exceeds baseline %.3fms by more than %.0f%%",
+				c.Scenario, c.Latency.P99MS, b.Latency.P99MS, threshold*100))
+		}
+	}
+	if base.Macro != nil && cand.Macro != nil && base.Macro.PeakRSSBytes > 0 {
+		if limit := float64(base.Macro.PeakRSSBytes) * (1 + threshold); float64(cand.Macro.PeakRSSBytes) > limit {
+			violations = append(violations, fmt.Sprintf(
+				"peak RSS %d bytes exceeds baseline %d by more than %.0f%%",
+				cand.Macro.PeakRSSBytes, base.Macro.PeakRSSBytes, threshold*100))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,118 @@
+package macrobench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fuzzyid/internal/telemetry"
+)
+
+func TestProcStatusKB(t *testing.T) {
+	doc := []byte("Name:\tfuzzyid-server\nVmPeak:\t  123456 kB\nVmRSS:\t   20480 kB\nVmHWM:\t   30720 kB\n")
+	if got := procStatusKB(doc, "VmRSS:"); got != 20480 {
+		t.Errorf("VmRSS = %d, want 20480", got)
+	}
+	if got := procStatusKB(doc, "VmHWM:"); got != 30720 {
+		t.Errorf("VmHWM = %d, want 30720", got)
+	}
+	if got := procStatusKB(doc, "VmSwap:"); got != 0 {
+		t.Errorf("absent key = %d, want 0", got)
+	}
+	if got := procStatusKB([]byte("VmRSS:\tgarbage kB\n"), "VmRSS:"); got != 0 {
+		t.Errorf("garbage value = %d, want 0", got)
+	}
+}
+
+func TestReadRSSAgainstSelf(t *testing.T) {
+	if _, err := os.Stat("/proc/self/status"); err != nil {
+		t.Skip("no /proc on this platform")
+	}
+	buf, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rss := procStatusKB(buf, "VmRSS:"); rss == 0 {
+		t.Fatalf("own VmRSS parsed as 0:\n%s", buf)
+	}
+}
+
+func scen(name string, p99 float64) LoadScenario {
+	return LoadScenario{Scenario: name, Ops: 100, Latency: telemetry.HistogramSnapshot{P99MS: p99}}
+}
+
+func TestCompareGatesP99(t *testing.T) {
+	base := &LoadReport{Scenarios: []LoadScenario{scen("identify", 2.0), scen("nomatch", 4.0)}}
+	ok := &LoadReport{Scenarios: []LoadScenario{scen("identify", 2.2), scen("nomatch", 4.1)}}
+	if v := Compare(base, ok, 0.5, 0.1); len(v) != 0 {
+		t.Fatalf("within-threshold candidate flagged: %v", v)
+	}
+	bad := &LoadReport{Scenarios: []LoadScenario{scen("identify", 2.0), scen("nomatch", 7.0)}}
+	v := Compare(base, bad, 0.5, 0.1)
+	if len(v) != 1 || !strings.Contains(v[0], "nomatch") {
+		t.Fatalf("regressed p99 not flagged correctly: %v", v)
+	}
+}
+
+func TestCompareNoiseFloorAndUnmatched(t *testing.T) {
+	base := &LoadReport{Scenarios: []LoadScenario{scen("identify", 0.01)}}
+	cand := &LoadReport{Scenarios: []LoadScenario{scen("identify", 0.05), scen("brand-new", 99)}}
+	// Both sides under the noise floor, and a scenario the baseline lacks:
+	// neither may fail the gate.
+	if v := Compare(base, cand, 0.1, 0.2); len(v) != 0 {
+		t.Fatalf("noise-floor or unmatched scenario flagged: %v", v)
+	}
+}
+
+func TestCompareGatesPeakRSS(t *testing.T) {
+	base := &LoadReport{Macro: &Usage{PeakRSSBytes: 100 << 20}}
+	ok := &LoadReport{Macro: &Usage{PeakRSSBytes: 110 << 20}}
+	if v := Compare(base, ok, 0.25, 0.1); len(v) != 0 {
+		t.Fatalf("within-threshold RSS flagged: %v", v)
+	}
+	bad := &LoadReport{Macro: &Usage{PeakRSSBytes: 200 << 20}}
+	v := Compare(base, bad, 0.25, 0.1)
+	if len(v) != 1 || !strings.Contains(v[0], "RSS") {
+		t.Fatalf("regressed RSS not flagged correctly: %v", v)
+	}
+	// A baseline without macro data cannot gate RSS.
+	if v := Compare(&LoadReport{}, bad, 0.25, 0.1); len(v) != 0 {
+		t.Fatalf("macro-less baseline flagged RSS: %v", v)
+	}
+}
+
+func TestReadReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	doc := `{
+	  "addr": "127.0.0.1:7700",
+	  "scenarios": [
+	    {"scenario": "nomatch", "ops": 42, "throughput_ops_s": 8.4,
+	     "latency": {"count": 42, "p50_ms": 1, "p95_ms": 2, "p99_ms": 3, "max_ms": 4}}
+	  ],
+	  "macro": {"peak_rss_bytes": 1048576, "gc_pause_total_ms": 1.5, "gc_cycles": 3}
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scenarios) != 1 || r.Scenarios[0].Scenario != "nomatch" || r.Scenarios[0].Latency.P99MS != 3 {
+		t.Fatalf("parsed report: %+v", r)
+	}
+	if r.Macro == nil || r.Macro.PeakRSSBytes != 1<<20 || r.Macro.GCCycles != 3 {
+		t.Fatalf("parsed macro: %+v", r.Macro)
+	}
+	if _, err := ReadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file read without error")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("truncated JSON read without error")
+	}
+}

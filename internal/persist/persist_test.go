@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -706,5 +707,100 @@ func TestStaleFallbacksSurviveFailedReplay(t *testing.T) {
 	}
 	if got := s4.Len(); got != 4 {
 		t.Fatalf("fallback recovered %d records, want 4", got)
+	}
+}
+
+// TestPersistedBytesWidthIndependent pins the on-disk contract of the packed
+// residue layout: the residue width and the coarse filter are in-memory scan
+// acceleration only, so the exact same mutation history must produce
+// byte-identical WAL segments and snapshots whatever the store's tuning.
+// Residues are recomputed from helper data on replay; nothing width-shaped
+// may ever reach a frame.
+func TestPersistedBytesWidthIndependent(t *testing.T) {
+	f := newFixture(t, 16, 42)
+
+	// One shared record set: the two stacks must see identical mutations.
+	recs := make([]*store.Record, 12)
+	for i := range recs {
+		recs[i] = f.record(t, fmt.Sprintf("user-%02d", i))
+	}
+	late := []*store.Record{f.record(t, "late-a"), f.record(t, "late-b")}
+
+	run := func(tun store.Tuning) string {
+		dir := t.TempDir()
+		l, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := store.NewScanTuned(f.line(), 0, tun)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Replay(s, l.Replay); err != nil {
+			t.Fatal(err)
+		}
+		db := store.NewJournaled(s, l)
+		for _, rec := range recs {
+			clone := *rec
+			clone.Helper = rec.Helper.Clone()
+			if err := db.Insert(&clone); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Deletes exercise the swap-delete path in both layouts.
+		for _, id := range []string{"user-03", "user-00", "user-11"} {
+			if err := db.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Snapshot(l); err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range late {
+			clone := *rec
+			clone.Helper = rec.Helper.Clone()
+			if err := db.Insert(&clone); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	narrow := run(store.Tuning{}) // paper line: auto-selects 16-bit + coarse
+	wide := run(store.Tuning{ResidueWidth: 64, NoCoarseFilter: true})
+
+	readDir := func(dir string) map[string][]byte {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]byte, len(ents))
+		for _, e := range ents {
+			buf, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = buf
+		}
+		return out
+	}
+	a, b := readDir(narrow), readDir(wide)
+	if len(a) == 0 {
+		t.Fatal("no persisted files produced")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("file sets differ: %d vs %d files", len(a), len(b))
+	}
+	for name, buf := range a {
+		other, ok := b[name]
+		if !ok {
+			t.Fatalf("file %s missing from the wide store's directory", name)
+		}
+		if !bytes.Equal(buf, other) {
+			t.Errorf("file %s differs between widths (%d vs %d bytes)", name, len(buf), len(other))
+		}
 	}
 }

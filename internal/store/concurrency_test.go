@@ -241,18 +241,18 @@ func TestScanParallelPath(t *testing.T) {
 			t.Fatal(err)
 		}
 		res := residues(line, f.probe(t, reading))
-		rec, err := s.identifyParallel(context.Background(), res, span, tt)
+		rec, err := s.identifyParallel(context.Background(), res, span, tt, s.tab.probeFilter(res))
 		if err != nil || rec.ID != u.ID {
 			t.Fatalf("parallel Identify(%s) = (%v, %v)", u.ID, rec, err)
 		}
 	}
 	impRes := residues(line, f.probe(t, f.src.ImpostorReading()))
-	if _, err := s.identifyParallel(context.Background(), impRes, span, tt); !errors.Is(err, ErrNotFound) {
+	if _, err := s.identifyParallel(context.Background(), impRes, span, tt, s.tab.probeFilter(impRes)); !errors.Is(err, ErrNotFound) {
 		t.Errorf("parallel impostor err = %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.identifyParallel(ctx, impRes, span, tt); !errors.Is(err, context.Canceled) {
+	if _, err := s.identifyParallel(ctx, impRes, span, tt, s.tab.probeFilter(impRes)); !errors.Is(err, context.Canceled) {
 		t.Errorf("parallel cancelled err = %v", err)
 	}
 }

@@ -24,8 +24,12 @@
 // Concurrency and layout. Scan and Bucket partition their records into P
 // independent shards (see table.go): readers of different shards never share
 // a lock cache line, and an insert or delete contends with one shard only.
-// Residues live in a flat row-major matrix per shard, so the early-exit scan
-// walks contiguous memory, and probe residue buffers are pooled — a
+// Residues live in a flat row-major matrix per shard, packed to the
+// narrowest integer width that holds the interval span ka (see packed.go),
+// so the early-exit scan streams a quarter of the bytes the naive int64
+// layout would; a per-row coarse summary of the bucketed leading residues is
+// checked before each row so an open-set (no-match) probe rejects almost
+// every row after reading 8 bytes. Probe residue buffers are pooled — a
 // steady-state Identify performs zero heap allocations. Large scans fan out
 // across the shards with first-match cancellation (IdentifyCtx), and
 // IdentifyBatch amortises residue computation and lock acquisition across a
@@ -174,7 +178,22 @@ func NewScan(line *numberline.Line) *Scan { return NewScanShards(line, 0) }
 // NewScanShards constructs a scan store with an explicit shard count;
 // shards < 1 selects the default.
 func NewScanShards(line *numberline.Line, shards int) *Scan {
-	return &Scan{line: line, tab: newResTable(line, shards)}
+	s, err := NewScanTuned(line, shards, Tuning{})
+	if err != nil {
+		// Unreachable: the zero Tuning always resolves.
+		panic(err)
+	}
+	return s
+}
+
+// NewScanTuned constructs a scan store with explicit scan-path tuning; see
+// Tuning. It fails only on an invalid or too-narrow ResidueWidth.
+func NewScanTuned(line *numberline.Line, shards int, tun Tuning) (*Scan, error) {
+	tab, err := newResTableTuned(line, shards, tun)
+	if err != nil {
+		return nil, err
+	}
+	return &Scan{line: line, tab: tab}, nil
 }
 
 // Strategy implements Store.
@@ -182,6 +201,14 @@ func (s *Scan) Strategy() string { return "scan" }
 
 // Shards returns the number of shards the store was built with.
 func (s *Scan) Shards() int { return s.tab.numShards() }
+
+// ResidueWidth returns the packed residue storage width in bits.
+func (s *Scan) ResidueWidth() int { return s.tab.residueWidth() }
+
+// CoarseFilter reports whether scans consult the coarse pre-filter. It is
+// false until the first insert sizes the filter, and stays false when the
+// line's parameters make it vacuous or tuning disabled it.
+func (s *Scan) CoarseFilter() bool { return s.tab.coarseEnabled() }
 
 // Len implements Store.
 func (s *Scan) Len() int { return s.tab.size() }
@@ -229,13 +256,14 @@ func (s *Scan) IdentifyCtx(ctx context.Context, probe *sketch.Sketch) (*Record, 
 	res := residuesInto(*bufp, s.line, probe)
 	*bufp = res
 	span, t := s.line.IntervalSpan(), s.line.Threshold()
+	cp := s.tab.probeFilter(res)
 	if s.tab.size() >= scanParallelRows && s.tab.numShards() > 1 && runtime.GOMAXPROCS(0) > 1 {
-		return s.identifyParallel(ctx, res, span, t)
+		return s.identifyParallel(ctx, res, span, t, cp)
 	}
 	for si := range s.tab.shards {
 		sh := &s.tab.shards[si]
 		sh.mu.RLock()
-		rec, err := scanShardSeq(ctx, sh, res, span, t)
+		rec, err := scanShardSeq(ctx, sh, res, span, t, cp)
 		sh.mu.RUnlock()
 		if rec != nil || err != nil {
 			return rec, err
@@ -247,9 +275,22 @@ func (s *Scan) IdentifyCtx(ctx context.Context, probe *sketch.Sketch) (*Record, 
 	return nil, ErrNotFound
 }
 
-// scanShardSeq walks one shard's flat matrix with early exit, checking for
-// cancellation between blocks. The caller holds the shard read lock.
-func scanShardSeq(ctx context.Context, sh *tableShard, probe []int64, span, t int64) (*Record, error) {
+// probeFilter builds the coarse admission masks for one probe. The filter
+// parameters are published by the dim store in adoptDimension, so they may
+// be read only after observing a non-zero dimension (the atomic load pairs
+// with that release store); while the table is empty the zero (disabled)
+// probe is returned, which admits every row.
+func (t *resTable) probeFilter(res []int64) coarseProbe {
+	if t.dim.Load() == 0 {
+		return coarseProbe{}
+	}
+	return t.coarse.probe(res)
+}
+
+// scanShardSeq walks one shard's packed matrix with per-block early exit,
+// checking for cancellation between blocks. The caller holds the shard read
+// lock.
+func scanShardSeq(ctx context.Context, sh *tableShard, probe []int64, span, t int64, cp coarseProbe) (*Record, error) {
 	dim := len(probe)
 	n := len(sh.recs)
 	for base := 0; base < n; base += scanBlock {
@@ -260,11 +301,8 @@ func scanShardSeq(ctx context.Context, sh *tableShard, probe []int64, span, t in
 		if end > n {
 			end = n
 		}
-		for i := base; i < end; i++ {
-			off := i * dim
-			if matchRow(sh.res[off:off+dim], probe, span, t) {
-				return sh.recs[i], nil
-			}
+		if i := sh.mat.scanRange(base, end, dim, probe, span, t, sh.coarse, cp); i >= 0 {
+			return sh.recs[i], nil
 		}
 	}
 	return nil, nil
@@ -276,6 +314,7 @@ type scanJob struct {
 	tab     *resTable
 	probe   []int64
 	span, t int64
+	cp      coarseProbe
 	ctx     context.Context
 	stop    atomic.Bool
 	found   atomic.Pointer[Record]
@@ -286,9 +325,10 @@ var scanJobPool = sync.Pool{New: func() any { return new(scanJob) }}
 
 // identifyParallel fans the scan out with one worker per shard — a pool
 // bounded by the shard count — and cancels the stragglers on first match.
-func (s *Scan) identifyParallel(ctx context.Context, probe []int64, span, t int64) (*Record, error) {
+func (s *Scan) identifyParallel(ctx context.Context, probe []int64, span, t int64, cp coarseProbe) (*Record, error) {
 	job := scanJobPool.Get().(*scanJob)
 	job.tab, job.probe, job.span, job.t, job.ctx = s.tab, probe, span, t, ctx
+	job.cp = cp
 	job.stop.Store(false)
 	job.found.Store(nil)
 	for si := range s.tab.shards {
@@ -323,13 +363,10 @@ func (j *scanJob) scanShard(si int) {
 		if end > n {
 			end = n
 		}
-		for i := base; i < end; i++ {
-			off := i * dim
-			if matchRow(sh.res[off:off+dim], j.probe, j.span, j.t) {
-				j.found.CompareAndSwap(nil, sh.recs[i])
-				j.stop.Store(true)
-				return
-			}
+		if i := sh.mat.scanRange(base, end, dim, j.probe, j.span, j.t, sh.coarse, j.cp); i >= 0 {
+			j.found.CompareAndSwap(nil, sh.recs[i])
+			j.stop.Store(true)
+			return
 		}
 	}
 }
@@ -350,8 +387,10 @@ func (s *Scan) IdentifyBatch(probes []*sketch.Sketch) ([]*Record, error) {
 	span, t := s.line.IntervalSpan(), s.line.Threshold()
 	pdim := len(probes[0].Movements)
 	resAll := make([]int64, len(probes)*pdim)
+	cps := make([]coarseProbe, len(probes))
 	for i, p := range probes {
 		residuesInto(resAll[i*pdim:i*pdim:(i+1)*pdim], s.line, p)
+		cps[i] = s.tab.probeFilter(resAll[i*pdim : (i+1)*pdim])
 	}
 	remaining := len(probes)
 	for si := range s.tab.shards {
@@ -362,7 +401,7 @@ func (s *Scan) IdentifyBatch(probes []*sketch.Sketch) ([]*Record, error) {
 				continue
 			}
 			probeRes := resAll[pi*pdim : (pi+1)*pdim]
-			rec, _ := scanShardSeq(context.Background(), sh, probeRes, span, t)
+			rec, _ := scanShardSeq(context.Background(), sh, probeRes, span, t, cps[pi])
 			if rec != nil {
 				out[pi] = rec
 				remaining--
@@ -420,6 +459,18 @@ func NewBucket(line *numberline.Line, indexDims int) *Bucket {
 // NewBucketShards constructs a bucket-index store with an explicit shard
 // count; shards < 1 selects the default.
 func NewBucketShards(line *numberline.Line, indexDims, shards int) *Bucket {
+	b, err := NewBucketTuned(line, indexDims, shards, Tuning{})
+	if err != nil {
+		// Unreachable: the zero Tuning always resolves.
+		panic(err)
+	}
+	return b
+}
+
+// NewBucketTuned constructs a bucket-index store with explicit scan-path
+// tuning; see Tuning. It fails only on an invalid or too-narrow
+// ResidueWidth.
+func NewBucketTuned(line *numberline.Line, indexDims, shards int, tun Tuning) (*Bucket, error) {
 	if indexDims <= 0 {
 		indexDims = DefaultIndexDims
 	}
@@ -443,7 +494,10 @@ func NewBucketShards(line *numberline.Line, indexDims, shards int) *Bucket {
 	for indexDims > maxIndexDims || (kb > 0 && uint(indexDims)*kb > 64) {
 		indexDims--
 	}
-	tab := newResTable(line, shards)
+	tab, err := newResTableTuned(line, shards, tun)
+	if err != nil {
+		return nil, err
+	}
 	b := &Bucket{
 		line:    line,
 		reqDims: indexDims,
@@ -455,7 +509,7 @@ func NewBucketShards(line *numberline.Line, indexDims, shards int) *Bucket {
 	for i := range b.cells {
 		b.cells[i].cells = make(map[uint64][]*rowRef)
 	}
-	return b
+	return b, nil
 }
 
 // Strategy implements Store.
@@ -463,6 +517,9 @@ func (b *Bucket) Strategy() string { return "bucket" }
 
 // Shards returns the number of shards the store was built with.
 func (b *Bucket) Shards() int { return b.tab.numShards() }
+
+// ResidueWidth returns the packed residue storage width in bits.
+func (b *Bucket) ResidueWidth() int { return b.tab.residueWidth() }
 
 // Buckets returns the number of buckets per indexed coordinate.
 func (b *Bucket) Buckets() int64 { return b.buckets }
@@ -639,8 +696,7 @@ func (b *Bucket) probeCell(key uint64, probe []int64, span, t int64) *Record {
 		for ; i < len(cell) && &b.tab.shards[cell[i].shard] == sh; i++ {
 			row := int(cell[i].row.Load())
 			if row >= 0 && row < len(sh.recs) {
-				off := row * dim
-				if matchRow(sh.res[off:off+dim], probe, span, t) {
+				if sh.mat.matchOne(row, dim, probe, span, t) {
 					rec := sh.recs[row]
 					sh.mu.RUnlock()
 					return rec
@@ -730,11 +786,18 @@ func ByStrategy(name string, line *numberline.Line) (Store, error) {
 // (shards < 1 selects the default; the sorted strategy is unsharded and
 // ignores it).
 func ByStrategyShards(name string, line *numberline.Line, shards int) (Store, error) {
+	return ByStrategyTuned(name, line, shards, Tuning{})
+}
+
+// ByStrategyTuned constructs a store by name with explicit scan-path tuning
+// (see Tuning). The sorted strategy keeps unpacked per-entry residues and
+// ignores the tuning.
+func ByStrategyTuned(name string, line *numberline.Line, shards int, tun Tuning) (Store, error) {
 	switch name {
 	case "scan":
-		return NewScanShards(line, shards), nil
+		return NewScanTuned(line, shards, tun)
 	case "bucket":
-		return NewBucketShards(line, 0, shards), nil
+		return NewBucketTuned(line, 0, shards, tun)
 	case "sorted":
 		return NewSorted(line), nil
 	default:

@@ -18,12 +18,13 @@ import (
 // delete contends only with operations on the same shard.
 //
 // Within a shard the precomputed mod-ka residues live in one flat row-major
-// matrix (res[row*dim : (row+1)*dim]) with a parallel record slice, so the
-// early-exit scan of conditions (1)-(4) walks contiguous memory instead of
-// chasing a pointer per record. Deletion swap-removes the row; every row is
-// tracked by a stable *rowRef handle whose position is updated atomically
-// under the shard write lock, which is what lets the Bucket store keep
-// references to rows in its cell index without a second lock order.
+// matrix packed to the narrowest width that holds the span (see packed.go),
+// with a parallel record slice and a parallel per-row coarse summary word,
+// so the early-exit scan of conditions (1)-(4) walks contiguous memory
+// instead of chasing a pointer per record. Deletion swap-removes the row;
+// every row is tracked by a stable *rowRef handle whose position is updated
+// atomically under the shard write lock, which is what lets the Bucket store
+// keep references to rows in its cell index without a second lock order.
 
 // defaultShards picks the shard count for stores built without an explicit
 // one: the scheduler's parallelism, but at least 4 so sharding stays
@@ -43,6 +44,19 @@ func defaultShards() int {
 // cost constant per-shard overhead on every Identify.
 const maxShards = 64
 
+// Tuning carries the debug/measurement overrides for the scan path. The
+// zero value selects production behaviour: automatic (narrowest safe)
+// residue width and the coarse pre-filter on.
+type Tuning struct {
+	// ResidueWidth forces the packed matrix storage width: 0 (automatic
+	// from the line span), or one of Width16/Width32/Width64. An explicit
+	// width may only widen the automatic choice — Width64 reproduces the
+	// pre-packing layout for A/B measurement.
+	ResidueWidth int
+	// NoCoarseFilter disables the per-row coarse pre-filter.
+	NoCoarseFilter bool
+}
+
 // rowRef is a stable handle to one stored row. shard never changes; row is
 // updated (under the owning shard's write lock) when a swap-delete relocates
 // the row, and set to -1 when the row is removed.
@@ -53,37 +67,59 @@ type rowRef struct {
 
 // tableShard is one shard of the residue table.
 type tableShard struct {
-	mu   sync.RWMutex
-	res  []int64 // flat row-major residue matrix, len == len(recs)*dim
-	recs []*Record
-	refs []*rowRef // parallel handles; refs[i].row == i under mu
-	seqs []uint64  // insertion sequence numbers, for stable All()
-	byID map[string]*rowRef
+	mu     sync.RWMutex
+	mat    resMatrix // packed flat row-major residue matrix; nil until first insert
+	coarse []uint64  // per-row coarse summary keys, parallel to recs
+	recs   []*Record
+	refs   []*rowRef // parallel handles; refs[i].row == i under mu
+	seqs   []uint64  // insertion sequence numbers, for stable All()
+	byID   map[string]*rowRef
 }
 
 // resTable is the sharded flat residue store.
 type resTable struct {
-	line   *numberline.Line
-	shards []tableShard
+	line     *numberline.Line
+	shards   []tableShard
+	width    int  // resolved packed storage width (bits)
+	noCoarse bool // tuning: coarse pre-filter disabled
 
-	dimMu sync.Mutex   // serialises first-insert dimension adoption
-	dim   atomic.Int64 // record dimension; 0 until the first insert
-	seq   atomic.Uint64
-	count atomic.Int64
+	dimMu  sync.Mutex   // serialises first-insert dimension adoption
+	dim    atomic.Int64 // record dimension; 0 until the first insert
+	coarse coarseParams // sized at dimension adoption; valid once dim != 0
+	seq    atomic.Uint64
+	count  atomic.Int64
 }
 
 func newResTable(line *numberline.Line, shards int) *resTable {
+	t, err := newResTableTuned(line, shards, Tuning{})
+	if err != nil {
+		// Unreachable: the zero Tuning always resolves.
+		panic(err)
+	}
+	return t
+}
+
+func newResTableTuned(line *numberline.Line, shards int, tun Tuning) (*resTable, error) {
 	if shards < 1 {
 		shards = defaultShards()
 	}
 	if shards > maxShards {
 		shards = maxShards
 	}
-	t := &resTable{line: line, shards: make([]tableShard, shards)}
+	width, err := resolveWidth(tun.ResidueWidth, line.IntervalSpan())
+	if err != nil {
+		return nil, err
+	}
+	t := &resTable{
+		line:     line,
+		shards:   make([]tableShard, shards),
+		width:    width,
+		noCoarse: tun.NoCoarseFilter,
+	}
 	for i := range t.shards {
 		t.shards[i].byID = make(map[string]*rowRef)
 	}
-	return t
+	return t, nil
 }
 
 // shardFor maps an ID to its owning shard (FNV-1a).
@@ -104,12 +140,21 @@ func (t *resTable) numShards() int { return len(t.shards) }
 
 func (t *resTable) size() int { return int(t.count.Load()) }
 
+// residueWidth returns the resolved packed storage width in bits.
+func (t *resTable) residueWidth() int { return t.width }
+
+// coarseEnabled reports whether scans consult the coarse pre-filter.
+func (t *resTable) coarseEnabled() bool { return t.coarse.enabled }
+
 // dimension returns the adopted record dimension (0 while empty). The value
 // is monotone: once set it never changes, so a lock-free read is safe.
 func (t *resTable) dimension() int { return int(t.dim.Load()) }
 
 // adoptDimension fixes the table dimension at first insert and rejects
-// mismatching records afterwards.
+// mismatching records afterwards. It also sizes the coarse pre-filter and
+// raises the pooled probe-buffer hint, both of which need the dimension;
+// publishing dim last (an atomic release) makes them visible to every
+// reader that observed a non-zero dimension.
 func (t *resTable) adoptDimension(n int) error {
 	if d := t.dim.Load(); d != 0 {
 		if int(d) != n {
@@ -125,6 +170,8 @@ func (t *resTable) adoptDimension(n int) error {
 		}
 		return nil
 	}
+	t.coarse = coarseParamsFor(t.line, n, t.noCoarse)
+	raiseResBufHint(n)
 	t.dim.Store(int64(n))
 	return nil
 }
@@ -135,6 +182,7 @@ func (t *resTable) insert(rec *Record, res []int64) (*rowRef, error) {
 	if err := t.adoptDimension(len(res)); err != nil {
 		return nil, err
 	}
+	key := t.coarse.keyOf(res)
 	si := t.shardFor(rec.ID)
 	sh := &t.shards[si]
 	sh.mu.Lock()
@@ -142,9 +190,13 @@ func (t *resTable) insert(rec *Record, res []int64) (*rowRef, error) {
 	if _, ok := sh.byID[rec.ID]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
 	}
+	if sh.mat == nil {
+		sh.mat = newMatrix(t.width)
+	}
 	ref := &rowRef{shard: si}
 	ref.row.Store(int32(len(sh.recs)))
-	sh.res = append(sh.res, res...)
+	sh.mat.appendRow(res)
+	sh.coarse = append(sh.coarse, key)
 	sh.recs = append(sh.recs, rec)
 	sh.refs = append(sh.refs, ref)
 	sh.seqs = append(sh.seqs, t.seq.Add(1))
@@ -178,16 +230,18 @@ func (t *resTable) delete(id string) (*rowRef, []int64, error) {
 	dim := int(t.dim.Load())
 	row := int(ref.row.Load())
 	res := make([]int64, dim)
-	copy(res, sh.res[row*dim:(row+1)*dim])
+	sh.mat.copyRow(res, row, dim)
 	last := len(sh.recs) - 1
 	if row != last {
-		copy(sh.res[row*dim:(row+1)*dim], sh.res[last*dim:(last+1)*dim])
+		sh.mat.moveRow(row, last, dim)
+		sh.coarse[row] = sh.coarse[last]
 		sh.recs[row] = sh.recs[last]
 		sh.refs[row] = sh.refs[last]
 		sh.seqs[row] = sh.seqs[last]
 		sh.refs[row].row.Store(int32(row))
 	}
-	sh.res = sh.res[:last*dim]
+	sh.mat.truncate(last, dim)
+	sh.coarse = sh.coarse[:last]
 	sh.recs[last] = nil
 	sh.recs = sh.recs[:last]
 	sh.refs[last] = nil
@@ -223,9 +277,11 @@ func (t *resTable) all() []*Record {
 }
 
 // matchRow runs the early-exit condition check of the probe residues against
-// one row of the flat matrix. The expected number of comparisons per
-// non-matching row is geometric (< 1/(1-q) with q = (2t+1)/ka), so the loop
-// almost always exits on the first coordinate.
+// one unpacked (int64) row. It is the reference implementation the packed
+// block-vectorized matchPacked is property-tested against, and the live path
+// for the Sorted strategy's per-entry slices. The expected number of
+// comparisons per non-matching row is geometric (< 1/(1-q) with
+// q = (2t+1)/ka), so the loop almost always exits on the first coordinate.
 func matchRow(row, probe []int64, span, t int64) bool {
 	for i, r := range row {
 		d := r - probe[i]
@@ -243,15 +299,47 @@ func matchRow(row, probe []int64, span, t int64) bool {
 }
 
 // resBufPool recycles probe-residue buffers so a steady-state Identify does
-// not allocate.
-var resBufPool = sync.Pool{
-	New: func() any {
-		b := make([]int64, 0, 256)
-		return &b
-	},
+// not allocate. resBufHint tracks the largest dimension any live table has
+// adopted, so buffers are sized to the workload instead of a fixed cap —
+// large-dimension templates would otherwise regrow the buffer on every
+// Identify.
+var (
+	resBufPool = sync.Pool{
+		New: func() any {
+			n := resBufHint.Load()
+			if n < 256 {
+				n = 256
+			}
+			b := make([]int64, 0, n)
+			return &b
+		},
+	}
+	resBufHint atomic.Int64
+)
+
+// raiseResBufHint lifts the pooled-buffer capacity hint to at least n
+// (monotone CAS max).
+func raiseResBufHint(n int) {
+	for {
+		cur := resBufHint.Load()
+		if cur >= int64(n) {
+			return
+		}
+		if resBufHint.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
 }
 
-func getResBuf() *[]int64  { return resBufPool.Get().(*[]int64) }
+func getResBuf() *[]int64 {
+	b := resBufPool.Get().(*[]int64)
+	if hint := resBufHint.Load(); int64(cap(*b)) < hint {
+		nb := make([]int64, 0, hint)
+		*b = nb
+	}
+	return b
+}
+
 func putResBuf(b *[]int64) { resBufPool.Put(b) }
 
 // residuesInto appends the mod-ka residues of the sketch movements to

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"io"
 	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -403,6 +404,30 @@ type Snapshot struct {
 	Gauges map[string]int64 `json:"gauges"`
 	// Histograms maps histogram names to their exported state.
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	// Runtime carries the Go runtime's memory and GC state at snapshot
+	// time. Omitted (nil) in snapshots produced before the field existed,
+	// so older documents still parse.
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
+}
+
+// RuntimeStats is the process-level memory and GC view exported with every
+// snapshot: what an external macro-benchmark needs to attribute latency to
+// collector pauses and RSS to the heap, without scraping pprof. All values
+// come from runtime.ReadMemStats.
+type RuntimeStats struct {
+	// HeapAllocBytes is the live heap (runtime.MemStats.HeapAlloc).
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapSysBytes is the heap address space held from the OS.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+	// TotalAllocBytes is the cumulative bytes allocated since start.
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	// GCPauseTotalMS is the cumulative stop-the-world pause time in
+	// (fractional) milliseconds.
+	GCPauseTotalMS float64 `json:"gc_pause_total_ms"`
+	// GCCycles is the number of completed GC cycles.
+	GCCycles uint32 `json:"gc_cycles"`
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
 }
 
 // Counter returns the named counter total (0 when absent), a convenience
@@ -443,6 +468,16 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.Snapshot()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.Runtime = &RuntimeStats{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		TotalAllocBytes: ms.TotalAlloc,
+		GCPauseTotalMS:  float64(ms.PauseTotalNs) / 1e6,
+		GCCycles:        ms.NumGC,
+		Goroutines:      runtime.NumGoroutine(),
 	}
 	return s
 }

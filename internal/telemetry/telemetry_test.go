@@ -204,3 +204,30 @@ func TestJSONRoundTrip(t *testing.T) {
 		t.Fatal("JSON export missing histograms key")
 	}
 }
+
+// TestSnapshotRuntimeStats pins the runtime view a macro-benchmark scrapes:
+// present in every fresh snapshot, sane values, and absent-but-parseable in
+// documents produced before the field existed.
+func TestSnapshotRuntimeStats(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	if s.Runtime == nil {
+		t.Fatal("Snapshot.Runtime is nil")
+	}
+	if s.Runtime.HeapAllocBytes == 0 || s.Runtime.HeapSysBytes == 0 {
+		t.Fatalf("implausible heap stats: %+v", *s.Runtime)
+	}
+	if s.Runtime.Goroutines < 1 {
+		t.Fatalf("goroutines = %d", s.Runtime.Goroutines)
+	}
+	if s.Runtime.GCPauseTotalMS < 0 {
+		t.Fatalf("negative GC pause total: %v", s.Runtime.GCPauseTotalMS)
+	}
+	// Pre-Runtime documents must still parse, with the field simply nil.
+	old, err := ParseSnapshot([]byte(`{"taken_at_ms":1,"counters":{},"gauges":{},"histograms":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Runtime != nil {
+		t.Fatalf("legacy document grew a runtime view: %+v", old.Runtime)
+	}
+}
