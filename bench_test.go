@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"fuzzyid/internal/bch"
@@ -826,6 +827,88 @@ func BenchmarkWireHelperRoundTrip(b *testing.B) {
 		}
 		if _, err := wire.Unmarshal(out); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Durable enroll: the group-commit WAL under concurrent writers -------
+
+// BenchmarkDurableEnroll measures the full durable enrollment path — client
+// pipe, protocol, store insert, WAL append, fsync — under SyncAlways, across
+// writer counts and with group commit on vs off. ns/op is wall time per
+// enrollment aggregated over all writers; the on/off gap at 8 and 64 writers
+// is the fsync amortization (DESIGN.md §11). Committed numbers live in
+// bench/baseline.json via the "durable" experiment table.
+func BenchmarkDurableEnroll(b *testing.B) {
+	const dim = 64
+	for _, writers := range []int{1, 8, 64} {
+		for _, group := range []bool{true, false} {
+			mode := "on"
+			if !group {
+				mode = "off"
+			}
+			b.Run(fmt.Sprintf("writers=%d/group=%s", writers, mode), func(b *testing.B) {
+				opts := []Option{WithPersistence(b.TempDir())}
+				if !group {
+					opts = append(opts, WithoutGroupCommit())
+				}
+				sys, err := NewSystem(Params{Line: PaperLine(), Dimension: dim}, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sys.Close()
+				clients := make([]*Client, writers)
+				for w := range clients {
+					client, stop := sys.LocalClient()
+					defer stop()
+					clients[w] = client
+				}
+				// Pre-generate every enrollment outside the timer: template
+				// generation (Gen) is the crypto cost other benchmarks own.
+				type enrollment struct {
+					id       string
+					template Vector
+				}
+				work := make([][]enrollment, writers)
+				for w := range work {
+					src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(dim), 9000+int64(w))
+					if err != nil {
+						b.Fatal(err)
+					}
+					per := b.N/writers + 1
+					work[w] = make([]enrollment, per)
+					for i := range work[w] {
+						u := src.NewUser(fmt.Sprintf("du-w%d-%d", w, i))
+						work[w][i] = enrollment{id: u.ID, template: u.Template}
+					}
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				errs := make([]error, writers)
+				var counter atomic.Int64
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := range work[w] {
+							if counter.Add(1) > int64(b.N) {
+								return
+							}
+							if err := clients[w].Enroll(work[w][i].id, work[w][i].template); err != nil {
+								errs[w] = err
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				b.StopTimer()
+				for w, err := range errs {
+					if err != nil {
+						b.Fatalf("writer %d: %v", w, err)
+					}
+				}
+			})
 		}
 	}
 }

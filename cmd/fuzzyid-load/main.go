@@ -26,6 +26,15 @@
 //	             were never enrolled, so every probe forces a full scan and a
 //	             reject — the path the packed residue matrix and coarse
 //	             pre-filter exist for (see DESIGN.md §10)
+//	mass-enroll — write-only durable-ingest storm: every worker enrolls
+//	             fresh users flat out, nothing is read back. The report adds
+//	             per-worker throughput and — when the server runs with
+//	             telemetry — the fsync-amortization ratio (WAL appends per
+//	             fsync over the scenario window), the direct measure of how
+//	             well group commit batches concurrent writers. Pair with
+//	             -sync / -group-window on the server (or -sync here in
+//	             -spawn-server mode) to A/B durability policies. Not part
+//	             of "all": it grows the database without bound.
 //	replicated — identify traffic fanned out across -replicas followers
 //	             (requires -replicas; not part of "all")
 //	multitenant — skewed 90/10 identify/enroll traffic spread across
@@ -71,6 +80,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"strings"
@@ -114,13 +124,16 @@ type config struct {
 // report is the machine-readable output contract (-format json); append
 // only, so CI diffs stay comparable across versions.
 type report struct {
-	Addr        string                 `json:"addr"`
-	Replicas    []string               `json:"replicas,omitempty"`
-	Dim         int                    `json:"dim"`
-	Workers     int                    `json:"workers"`
-	DurationS   float64                `json:"duration_s"`
-	Users       int                    `json:"users"`
-	Seed        int64                  `json:"seed"`
+	Addr      string   `json:"addr"`
+	Replicas  []string `json:"replicas,omitempty"`
+	Dim       int      `json:"dim"`
+	Workers   int      `json:"workers"`
+	DurationS float64  `json:"duration_s"`
+	Users     int      `json:"users"`
+	Seed      int64    `json:"seed"`
+	// Sync is the WAL durability policy passed to a spawned server via
+	// -sync (absent otherwise).
+	Sync        string                 `json:"sync,omitempty"`
 	Scenarios   []scenarioResult       `json:"scenarios"`
 	ServerStats *fuzzyid.StatsSnapshot `json:"server_stats,omitempty"`
 	// Macro is the spawned server's resource account (peak RSS, GC pause);
@@ -139,6 +152,15 @@ type scenarioResult struct {
 	// workers (a batch session is one operation).
 	ThroughputOpsS float64                     `json:"throughput_ops_s"`
 	Latency        telemetry.HistogramSnapshot `json:"latency"`
+	// PerWorkerOpsS is each worker's completed ops per second — the
+	// per-writer durable throughput view (mass-enroll only).
+	PerWorkerOpsS []float64 `json:"per_worker_ops_s,omitempty"`
+	// FsyncAmortization is the mean number of WAL appends acknowledged per
+	// fsync over the scenario window, computed from the server's telemetry
+	// counters (mass-enroll only; absent when the server runs without
+	// -telemetry). 1.0 means every write paid a private fsync; higher means
+	// group commit batched concurrent writers.
+	FsyncAmortization float64 `json:"fsync_amortization,omitempty"`
 	// Tenants breaks the multitenant scenario's throughput down per
 	// namespace (absent for single-tenant scenarios).
 	Tenants []tenantResult `json:"tenants,omitempty"`
@@ -156,7 +178,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:7700", "server address (the primary when -replicas is set)")
 		replicas    = fs.String("replicas", "", "comma-separated follower addresses for read fan-out")
-		scenario    = fs.String("scenario", "all", "comma-separated scenario list: "+strings.Join(scenarioOrder, ", ")+", 'replicated', or 'all'")
+		scenario    = fs.String("scenario", "all", "comma-separated scenario list: "+strings.Join(scenarioOrder, ", ")+", 'replicated', 'multitenant', 'mass-enroll', or 'all'")
 		workers     = fs.Int("workers", 8, "concurrent closed-loop workers (one connection each)")
 		duration    = fs.Duration("duration", 5*time.Second, "wall-clock budget per scenario")
 		users       = fs.Int("users", 50, "pre-enrolled population size (per tenant, for multitenant)")
@@ -171,6 +193,7 @@ func run(args []string, stdout io.Writer) error {
 		spawnServer = fs.String("spawn-server", "", "launch this fuzzyid-server binary as a measured subprocess (macro-bench mode)")
 		spawnArgs   = fs.String("spawn-args", "", "extra arguments for the spawned server (space-separated; -addr and -stats-addr are appended)")
 		spawnStats  = fs.String("spawn-stats", "127.0.0.1:7701", "stats endpoint address for the spawned server")
+		syncPol     = fs.String("sync", "", "with -spawn-server: WAL durability policy for the spawned server (always or os; empty = server default)")
 		rssInterval = fs.Duration("rss-interval", 100*time.Millisecond, "RSS sampling interval for the spawned server")
 		compareWith = fs.String("compare", "", "gate mode: baseline report JSON (use with -candidate)")
 		candidate   = fs.String("candidate", "", "gate mode: candidate report JSON to check against -compare")
@@ -217,14 +240,29 @@ func run(args []string, stdout io.Writer) error {
 		duration: *duration, users: *users, batch: *batch, tenants: *tenants,
 		seed: *seed, scheme: *scheme, ext: *ext,
 	}
+	switch *syncPol {
+	case "", "always", "os":
+	default:
+		return fmt.Errorf("-sync=%s: want always or os", *syncPol)
+	}
+	if *syncPol != "" && *spawnServer == "" {
+		return errors.New("-sync only applies with -spawn-server (set the policy on your own server directly)")
+	}
 	var proc *macrobench.Proc
 	if *spawnServer != "" {
-		proc, err = macrobench.Start(*spawnServer, strings.Fields(*spawnArgs), *addr, *spawnStats, *rssInterval)
+		sargs := strings.Fields(*spawnArgs)
+		if *syncPol != "" {
+			sargs = append(sargs, "-sync", *syncPol)
+		}
+		proc, err = macrobench.Start(*spawnServer, sargs, *addr, *spawnStats, *rssInterval)
 		if err != nil {
 			return err
 		}
 	}
 	rep, err := drive(cfg, scenarios, *serverStats)
+	if rep != nil {
+		rep.Sync = *syncPol
+	}
 	if proc != nil {
 		// Stop (and account) the spawned server even when the run failed.
 		usage, uerr := proc.Stop()
@@ -254,9 +292,11 @@ func parseScenarios(s string) ([]string, error) {
 	if s == "all" {
 		return scenarioOrder, nil
 	}
-	// "replicated" and "multitenant" are requested explicitly, never part
-	// of "all": they only make sense with -replicas / -tenants configured.
-	known := map[string]bool{"replicated": true, "multitenant": true}
+	// "replicated", "multitenant" and "mass-enroll" are requested
+	// explicitly, never part of "all": the first two only make sense with
+	// -replicas / -tenants configured, and mass-enroll grows the database
+	// without bound (and would skew the read scenarios behind it).
+	known := map[string]bool{"replicated": true, "multitenant": true, "mass-enroll": true}
 	for _, name := range scenarioOrder {
 		known[name] = true
 	}
@@ -350,6 +390,14 @@ func (w *worker) op(scenario string) error {
 	case "enroll":
 		w.seq++
 		u := w.src.NewUser(fmt.Sprintf("load-%x-w%d-%d", w.nonce, w.id, w.seq))
+		return w.client.Enroll(u.ID, u.Template)
+	case "mass-enroll":
+		// Write-only durable ingest: identical wire traffic to enroll, under
+		// its own ID prefix so mixed runs never collide. The distinct name
+		// keeps its report rows (per-worker throughput, fsync amortization)
+		// and CI baselines separate from the read-mixed enroll scenario.
+		w.seq++
+		u := w.src.NewUser(fmt.Sprintf("mass-%x-w%d-%d", w.nonce, w.id, w.seq))
 		return w.client.Enroll(u.ID, u.Template)
 	case "identify", "replicated":
 		// replicated is identify traffic under the -replicas read fan-out;
@@ -719,21 +767,31 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 		ops      atomic.Uint64
 		misses   atomic.Uint64
 		fails    atomic.Uint64
+		perOps   = make([]atomic.Uint64, len(workers))
 		errMu    sync.Mutex
 		firstErr error // first hard error, for the report
 	)
+	// mass-enroll reports how well the server amortized fsyncs over the
+	// scenario window, from the WAL counter deltas. Best-effort: servers
+	// without -telemetry (or without -data) simply omit the field.
+	var preAppends, preFsyncs uint64
+	statsOK := false
+	if name == "mass-enroll" && len(workers) > 0 {
+		preAppends, preFsyncs, statsOK = walStats(workers[0].client)
+	}
 	start := time.Now()
 	deadline := start.Add(d)
 	var wg sync.WaitGroup
-	for _, w := range workers {
+	for wi, w := range workers {
 		wg.Add(1)
-		go func(w *worker) {
+		go func(wi int, w *worker) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
 				opStart := time.Now()
 				err := w.op(name)
 				hist.Observe(time.Since(opStart))
 				ops.Add(1)
+				perOps[wi].Add(1)
 				switch {
 				case err == nil:
 				case errors.Is(err, errMiss):
@@ -748,7 +806,7 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 					return // a broken connection would only spin; stop this worker
 				}
 			}
-		}(w)
+		}(wi, w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -762,6 +820,19 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 	}
 	if res.Seconds > 0 {
 		res.ThroughputOpsS = float64(res.Ops) / res.Seconds
+	}
+	if name == "mass-enroll" {
+		res.PerWorkerOpsS = make([]float64, len(workers))
+		if res.Seconds > 0 {
+			for wi := range perOps {
+				res.PerWorkerOpsS[wi] = float64(perOps[wi].Load()) / res.Seconds
+			}
+		}
+		if statsOK {
+			if appends, fsyncs, ok := walStats(workers[0].client); ok && fsyncs > preFsyncs {
+				res.FsyncAmortization = float64(appends-preAppends) / float64(fsyncs-preFsyncs)
+			}
+		}
 	}
 	if name == "multitenant" && len(workers) > 0 && workers[0].mt != nil {
 		mt := workers[0].mt
@@ -780,6 +851,21 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 	return res, nil
 }
 
+// walStats fetches the server's WAL append and fsync counters via a native
+// stats session. ok is false when the server runs without telemetry or the
+// session fails — callers treat that as "no amortization data", not an error.
+func walStats(c *fuzzyid.Client) (appends, fsyncs uint64, ok bool) {
+	buf, err := c.Stats()
+	if err != nil {
+		return 0, 0, false
+	}
+	snap, err := fuzzyid.ParseStats(buf)
+	if err != nil {
+		return 0, 0, false
+	}
+	return snap.Counter("persist.wal.appends"), snap.Counter("persist.wal.fsyncs"), true
+}
+
 func writeText(w io.Writer, rep *report) error {
 	fmt.Fprintf(w, "fuzzyid-load: %s (dim=%d, %d workers, %d users, %.1fs per scenario)\n",
 		rep.Addr, rep.Dim, rep.Workers, rep.Users, rep.DurationS)
@@ -795,6 +881,16 @@ func writeText(w io.Writer, rep *report) error {
 		for _, tr := range s.Tenants {
 			fmt.Fprintf(w, "  tenant %-20s %10d ops %12.1f ops/s\n",
 				tr.Tenant, tr.Ops, tr.ThroughputOpsS)
+		}
+		if len(s.PerWorkerOpsS) > 0 {
+			lo, hi := s.PerWorkerOpsS[0], s.PerWorkerOpsS[0]
+			for _, v := range s.PerWorkerOpsS[1:] {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			fmt.Fprintf(w, "  per-worker durable enrolls/s: min %.1f, max %.1f\n", lo, hi)
+		}
+		if s.FsyncAmortization > 0 {
+			fmt.Fprintf(w, "  fsync amortization: %.1f appends/fsync\n", s.FsyncAmortization)
 		}
 	}
 	if rep.ServerStats != nil {

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+)
+
+// buildServerBinary compiles the server once into a temp dir.
+func buildServerBinary(t *testing.T) string {
+	t.Helper()
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "fuzzyid-server")
+	if out, err := exec.Command(goTool, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSIGKILLMidGroupCommitStorm is the group-commit crash acceptance
+// scenario: many clients enroll concurrently against the real binary under
+// SyncAlways — so the WAL is continuously mid-group-commit, with frames
+// written but awaiting their batch fsync — and the server is SIGKILLed in
+// full flight. Every enrollment any client saw acknowledged must identify
+// after restart (an ack is only released once its group's fsync landed),
+// the torn unacknowledged group at the WAL tail must not poison replay, and
+// the recovered log must accept new enrollments.
+func TestSIGKILLMidGroupCommitStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess test")
+	}
+	bin := buildServerBinary(t)
+
+	const (
+		dim     = 32
+		workers = 8
+		perW    = 60
+	)
+	dir := t.TempDir()
+	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(dialer.Extractor().Line(), biometric.Paper(dim), 293)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := src.Population(workers * perW)
+
+	proc, addr := startServerProc(t, bin, "-data", dir)
+	var (
+		mu    sync.Mutex
+		acked []*biometric.User
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		client, err := dialer.Dial(addr)
+		if err != nil {
+			proc.Process.Kill()
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, client *fuzzyid.Client) {
+			defer wg.Done()
+			defer client.Close()
+			for _, u := range users[w*perW : (w+1)*perW] {
+				if err := client.Enroll(u.ID, u.Template); err != nil {
+					return // the kill severed the connection
+				}
+				mu.Lock()
+				acked = append(acked, u)
+				mu.Unlock()
+			}
+		}(w, client)
+	}
+	// Kill once the storm is in full flight: enough acknowledged that commit
+	// groups have been forming, with all workers still writing.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= workers*perW/4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			proc.Process.Kill()
+			t.Fatalf("only %d enrollments acknowledged before deadline", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := proc.Process.Kill(); err != nil { // SIGKILL: no flush, no goodbye
+		t.Fatal(err)
+	}
+	wg.Wait()
+	proc.Wait()
+
+	// Restart from the same directory: replay must tolerate the torn group
+	// at the WAL tail and recover every acknowledged enrollment.
+	proc2, addr2 := startServerProc(t, bin, "-data", dir)
+	defer func() {
+		proc2.Process.Kill()
+		proc2.Wait()
+	}()
+	client2, err := dialer.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+	mu.Lock()
+	final := append([]*biometric.User(nil), acked...)
+	mu.Unlock()
+	t.Logf("killed after %d acknowledged enrollments across %d workers", len(final), workers)
+	for _, u := range final {
+		reading, err := src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := client2.Identify(reading)
+		if err != nil || id != u.ID {
+			t.Fatalf("durably-acknowledged user %s lost after SIGKILL: identify = (%q, %v)", u.ID, id, err)
+		}
+	}
+	// The recovered log keeps accepting durable writes.
+	fresh := src.NewUser(fmt.Sprintf("post-crash-%d", len(final)))
+	if err := client2.Enroll(fresh.ID, fresh.Template); err != nil {
+		t.Fatalf("post-recovery enroll: %v", err)
+	}
+}

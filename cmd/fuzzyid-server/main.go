@@ -153,6 +153,9 @@ func setup(args []string) (*proc, error) {
 		resWidth  = fs.Int("residue-width", 0, "packed residue storage width: 0 (auto from ka), 16, 32 or 64 (debug/measurement override)")
 		coarse    = fs.Bool("coarse-filter", true, "consult the per-row coarse pre-filter during scans")
 		data      = fs.String("data", "", "persistence directory (empty = in-memory only)")
+		syncPol   = fs.String("sync", "always", "WAL durability with -data: always (fsync before ack; survives power loss) or os (kernel flush per append; survives SIGKILL only)")
+		groupWin  = fs.Duration("group-window", -1, "group-commit leader linger with -data -sync=always: how long one fsync waits to absorb concurrent enrolls (negative = default 2ms, 0 = sync immediately but still batch)")
+		noGroup   = fs.Bool("no-group-commit", false, "fsync every append privately with -data -sync=always (pre-group-commit behaviour, for A/B measurement)")
 		snapIvl   = fs.Duration("snapshot-interval", 5*time.Minute, "WAL compaction interval with -data (0 = only on shutdown)")
 		maxConns  = fs.Int("maxconns", 0, "refuse connections past this concurrent cap (0 = unbounded)")
 		telemetry = fs.Bool("telemetry", true, "collect operation counters and latency histograms")
@@ -190,6 +193,19 @@ func setup(args []string) (*proc, error) {
 	if *data != "" {
 		opts = append(opts, fuzzyid.WithPersistence(*data))
 	}
+	switch *syncPol {
+	case "always":
+	case "os":
+		opts = append(opts, fuzzyid.WithRelaxedSync())
+	default:
+		return nil, fmt.Errorf("-sync=%s: want always or os", *syncPol)
+	}
+	if *groupWin >= 0 {
+		opts = append(opts, fuzzyid.WithGroupWindow(*groupWin))
+	}
+	if *noGroup {
+		opts = append(opts, fuzzyid.WithoutGroupCommit())
+	}
 	if *serveRepl {
 		opts = append(opts, fuzzyid.WithReplication())
 	}
@@ -219,7 +235,7 @@ func setup(args []string) (*proc, error) {
 	fmt.Printf("fuzzyid-server listening on %s (dim=%d, strategy=%s, scheme=%s)\n",
 		srv.Addr(), *dim, *strategy, *scheme)
 	if *data != "" {
-		fmt.Printf("persistence: %s (%d records recovered)\n", *data, sys.Enrolled())
+		fmt.Printf("persistence: %s (%d records recovered, sync=%s)\n", *data, sys.Enrolled(), *syncPol)
 	}
 	if tenants := sys.Tenants(); len(tenants) > 1 {
 		fmt.Printf("tenants: %d (%s)\n", len(tenants), strings.Join(tenants, ", "))

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/extract"
@@ -200,6 +201,9 @@ type config struct {
 	noCoarse     bool
 	dataDir      string
 	syncOS       bool
+	groupWindow  time.Duration
+	hasGroupWin  bool
+	noGroup      bool
 	telemetry    bool
 	serveRepl    bool
 	replicaOf    string
@@ -314,6 +318,34 @@ func WithRelaxedSync() Option {
 	})
 }
 
+// WithGroupWindow bounds how long a group-commit leader waits for concurrent
+// enrollments to join one fsync batch (default persist.DefaultGroupWindow,
+// 2ms). Smaller windows favour single-writer latency, larger ones favour
+// batch size under heavy concurrent write load; zero syncs as soon as a
+// leader is elected while still batching everything already written. Only
+// meaningful with WithPersistence under the default (always-fsync) policy.
+func WithGroupWindow(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("fuzzyid: negative group window %v", d)
+		}
+		c.groupWindow = d
+		c.hasGroupWin = true
+		return nil
+	})
+}
+
+// WithoutGroupCommit disables fsync batching: every enrollment pays a
+// private fsync before it is acknowledged — the pre-group-commit behaviour,
+// kept for debugging and A/B measurement. Durability is identical either
+// way; only throughput under concurrent writers differs.
+func WithoutGroupCommit() Option {
+	return optionFunc(func(c *config) error {
+		c.noGroup = true
+		return nil
+	})
+}
+
 // WithTelemetry turns on operational telemetry: the protocol engine counts
 // and times every operation (enroll, verify, identify, identify-batch,
 // revoke), the persistence layer counts WAL appends, fsyncs and snapshot
@@ -411,6 +443,12 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 	if cfg.syncOS {
 		popts = append(popts, persist.WithSyncPolicy(persist.SyncOS))
 	}
+	if cfg.hasGroupWin {
+		popts = append(popts, persist.WithGroupWindow(cfg.groupWindow))
+	}
+	if cfg.noGroup {
+		popts = append(popts, persist.WithGroupCommit(false))
+	}
 	// The factory builds one tenant's full backing: the in-memory lookup
 	// strategy, recovered from and journaled into its own WAL partition
 	// (sharing the data dir and fsync policy), with the replication hub
@@ -429,12 +467,13 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 		}
 		var journals store.MultiJournal
 		var closer func() error
+		var log *persist.Log
 		if cfg.dataDir != "" {
-			log, err := persist.Open(persist.TenantDir(cfg.dataDir, name), popts...)
+			log, err = persist.Open(persist.TenantDir(cfg.dataDir, name), popts...)
 			if err != nil {
 				return nil, nil, err
 			}
-			// Recovery replays the snapshot and WAL tail through the
+			// Recovery replays the snapshot chain and WAL tail through the
 			// store's normal mutation path, then live mutations flow
 			// through the journal before being acknowledged.
 			if err := store.Replay(db, log.Replay); err != nil {
@@ -452,7 +491,14 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 			journals = append(journals, sys.hub)
 		}
 		if len(journals) > 0 {
-			return store.NewJournaledTenant(db, journals, name), closer, nil
+			jdb := store.NewJournaledTenant(db, journals, name)
+			if log != nil {
+				// The WAL-tail mutations are the distance between the store
+				// and its snapshot chain: seeding their buckets arms
+				// incremental compaction from the first post-boot cut.
+				jdb.SeedDirty(log.TailDirty())
+			}
+			return jdb, closer, nil
 		}
 		return db, closer, nil
 	}
@@ -586,21 +632,35 @@ func (s *System) ReplicaStatus() (applied, lag uint64, connected bool) {
 	return s.follower.Applied(), s.follower.Lag(), s.follower.Connected()
 }
 
-// Snapshot compacts every tenant's persistence log: each namespace's full
-// record set is written as one snapshot and the WAL segments it subsumes
-// are deleted, bounding both disk usage and the next boot's recovery time.
+// Snapshot compacts every tenant's persistence log concurrently: each
+// namespace's dirtied record buckets (or, when no incremental base exists
+// yet, its full record set) are written as a snapshot cut and the WAL
+// segments the cut subsumes are deleted, bounding both disk usage and the
+// next boot's recovery time. Tenants compact in parallel — each partition is
+// an independent Log, so one huge tenant does not serialize the rest.
 // Snapshot is cheap to call when nothing changed (tenants with no appends
 // since their last compaction are skipped) and a no-op without persistence.
 func (s *System) Snapshot() error {
-	var errs []error
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		errs  []error
+	)
 	for name, log := range s.snapshotLogs() {
 		if log.AppendsSinceRotate() == 0 {
 			continue // nothing new since the last snapshot
 		}
-		if err := s.snapshotTenant(name, log); err != nil {
-			errs = append(errs, err)
-		}
+		wg.Add(1)
+		go func(name string, log *persist.Log) {
+			defer wg.Done()
+			if err := s.snapshotTenant(name, log); err != nil {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
+		}(name, log)
 	}
+	wg.Wait()
 	return errors.Join(errs...)
 }
 

@@ -14,6 +14,8 @@
 //	             set-difference PinSketch) vs the Chebyshev construction
 //	accuracy   — extension: FRR/FAR across the noise threshold (§III/§VI-B)
 //	comm       — extension: wire sizes per protocol message (§I motivation)
+//	durable    — extension: durable enroll latency vs concurrent writers,
+//	             group-commit WAL on vs off (DESIGN.md §11)
 //
 // Each experiment returns a Table that renders as aligned text or CSV; the
 // cmd/fuzzyid-bench binary is a thin wrapper around this package.
@@ -177,6 +179,7 @@ func Registry() map[string]Runner {
 		"codeoffset": CodeOffsetCompare,
 		"accuracy":   Accuracy,
 		"comm":       Comm,
+		"durable":    DurableEnroll,
 	}
 }
 

@@ -1,0 +1,258 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fuzzyid/internal/store"
+	"fuzzyid/internal/telemetry"
+)
+
+// TestGroupCommitConcurrentDurable drives many concurrent journalled writers
+// through one log and pins the core contract: every acknowledged mutation is
+// on disk after reopen, exactly once.
+func TestGroupCommitConcurrentDurable(t *testing.T) {
+	f := newFixture(t, 16, 71)
+	dir := t.TempDir()
+	l, s := openStore(t, f, dir)
+	db := store.NewJournaled(s, l)
+
+	const writers, perWriter = 16, 8
+	recs := make([]*store.Record, writers*perWriter)
+	for i := range recs {
+		recs[i] = f.record(t, fmt.Sprintf("w%02d-%02d", i/perWriter, i%perWriter))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := db.Insert(recs[w*perWriter+i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, s2 := openStore(t, f, dir)
+	defer l2.Close()
+	if got := s2.Len(); got != writers*perWriter {
+		t.Fatalf("recovered %d records, want %d", got, writers*perWriter)
+	}
+	for _, rec := range recs {
+		if _, ok := s2.Get(rec.ID); !ok {
+			t.Fatalf("acknowledged record %s lost", rec.ID)
+		}
+	}
+}
+
+// TestGroupCommitAmortizesFsyncs stages a batch of appends via Begin before
+// any Wait runs, then releases all the waiters at once: the elected leader's
+// single fsync must cover the entire batch — the amortization the whole
+// design exists for — and the group-size histogram must record it.
+func TestGroupCommitAmortizesFsyncs(t *testing.T) {
+	f := newFixture(t, 16, 72)
+	reg := telemetry.NewRegistry()
+	l, s := openStore(t, f, t.TempDir(), WithTelemetry(reg))
+	defer l.Close()
+	_ = s
+
+	const batch = 64
+	commits := make([]store.Commit, batch)
+	for i := range commits {
+		c, err := l.Begin(store.InsertMutation(f.record(t, fmt.Sprintf("b-%02d", i))))
+		if err != nil {
+			t.Fatalf("begin %d: %v", i, err)
+		}
+		if c == nil {
+			t.Fatalf("begin %d: nil commit under SyncAlways group commit", i)
+		}
+		commits[i] = c
+	}
+	before := reg.Counter("persist.wal.fsyncs").Load()
+	var wg sync.WaitGroup
+	errs := make([]error, batch)
+	for i, c := range commits {
+		wg.Add(1)
+		go func(i int, c store.Commit) {
+			defer wg.Done()
+			errs[i] = c.Wait()
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	delta := reg.Counter("persist.wal.fsyncs").Load() - before
+	if delta > 2 {
+		t.Fatalf("%d staged appends took %d fsyncs, want the group leader to amortize (<= 2)", batch, delta)
+	}
+	snap := reg.Snapshot()
+	gs, ok := snap.Histograms["persist.wal.group_size"]
+	if !ok {
+		t.Fatal("persist.wal.group_size histogram missing from snapshot")
+	}
+	if gs.MaxMS < batch/2 {
+		t.Fatalf("max group size = %.0f, want >= %d (batching)", gs.MaxMS, batch/2)
+	}
+	if _, ok := snap.Histograms["persist.wal.fsync_latency"]; !ok {
+		t.Fatal("persist.wal.fsync_latency histogram missing from snapshot")
+	}
+}
+
+// TestGroupCommitSoloWriterSyncsImmediately pins the latency floor: a lone
+// sequential writer never waits out the group window — each append returns
+// with nothing left pending a sync.
+func TestGroupCommitSoloWriterSyncsImmediately(t *testing.T) {
+	f := newFixture(t, 16, 73)
+	l, s := openStore(t, f, t.TempDir())
+	defer l.Close()
+	db := store.NewJournaled(s, l)
+	for i := 0; i < 8; i++ {
+		if err := db.Insert(f.record(t, fmt.Sprintf("solo-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		l.mu.Lock()
+		pending := l.appendSeq - l.durableSeq
+		l.mu.Unlock()
+		if pending != 0 {
+			t.Fatalf("insert %d acknowledged with %d appends still pending a sync", i, pending)
+		}
+	}
+}
+
+// TestGroupCommitBytesMatchPrivateFsyncs pins WAL byte-compatibility: the
+// same single-writer mutation sequence produces byte-identical segments
+// whether group commit is on (default) or off — batching changes when the
+// fsync happens, never what is written.
+func TestGroupCommitBytesMatchPrivateFsyncs(t *testing.T) {
+	f := newFixture(t, 16, 74)
+	recs := make([]*store.Record, 6)
+	for i := range recs {
+		recs[i] = f.record(t, fmt.Sprintf("ab-%d", i))
+	}
+	run := func(opts ...Option) []byte {
+		dir := t.TempDir()
+		l, s := openStore(t, f, dir, opts...)
+		db := store.NewJournaled(s, l)
+		for _, rec := range recs {
+			if err := db.Insert(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Delete(recs[2].ID); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, walName(0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	grouped := run()
+	private := run(WithGroupCommit(false))
+	if !bytes.Equal(grouped, private) {
+		t.Fatalf("WAL bytes diverge between group commit on (%d bytes) and off (%d bytes)", len(grouped), len(private))
+	}
+}
+
+// TestGroupCommitCloseReleasesWriters races Close against a storm of
+// journalled writers: every Insert must resolve — success before the final
+// fsync, or ErrClosed after — and never hang on an abandoned commit group.
+func TestGroupCommitCloseReleasesWriters(t *testing.T) {
+	f := newFixture(t, 16, 75)
+	l, s := openStore(t, f, t.TempDir())
+	db := store.NewJournaled(s, l)
+
+	const writers = 8
+	recs := make([][]*store.Record, writers)
+	for w := range recs {
+		recs[w] = make([]*store.Record, 16)
+		for i := range recs[w] {
+			recs[w][i] = f.record(t, fmt.Sprintf("c%d-%02d", w, i))
+		}
+	}
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	bad := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for _, rec := range recs[w] {
+				if err := db.Insert(rec); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						bad[w] = err
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait() // must not hang
+	for w, err := range bad {
+		if err != nil {
+			t.Fatalf("writer %d: unexpected error %v (want success or ErrClosed)", w, err)
+		}
+	}
+}
+
+// TestGroupWindowZeroStillDurable pins that a zero window (sync as soon as a
+// leader is elected) remains fully durable and correct under concurrency.
+func TestGroupWindowZeroStillDurable(t *testing.T) {
+	f := newFixture(t, 16, 76)
+	dir := t.TempDir()
+	l, s := openStore(t, f, dir, WithGroupWindow(0))
+	db := store.NewJournaled(s, l)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = db.Insert(f.record(t, fmt.Sprintf("z-%02d", i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, s2 := openStore(t, f, dir)
+	defer l2.Close()
+	if got := s2.Len(); got != n {
+		t.Fatalf("recovered %d records, want %d", got, n)
+	}
+}

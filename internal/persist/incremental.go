@@ -1,0 +1,391 @@
+package persist
+
+// Incremental snapshots: the manifest chain and the incr file format.
+//
+// A full snapshot rewrites every record no matter how few changed since the
+// last cut. Incremental snapshots write only the records of buckets dirtied
+// since the previous cut (store.SnapshotBucket partitions the ID space into
+// store.SnapshotBuckets buckets; the Journaled store tracks which ones its
+// mutations touched). The directory then holds a chain — one base snapshot
+// plus up to maxChainIncrs increments — described by a MANIFEST file:
+//
+//	MANIFEST    JSON {"version":1,"base":<seq>,"incrs":[<seq>,...]}
+//	Increment   incr-<seq:016x>.snap
+//	            "FZINC001" header, uint64 nBuckets, uint64 nRecs,
+//	            one frame of nBuckets 4-byte big-endian bucket IDs,
+//	            then nRecs record frames (same frame + codec as snapshots)
+//
+// An increment's bucket list is the complete claim "these buckets now hold
+// exactly these records": a listed bucket with no records in the file was
+// emptied. Replay therefore resolves each bucket to the newest chain member
+// listing it (the base implicitly lists every bucket) and streams only that
+// member's records for it — deletes need no tombstones.
+//
+// The MANIFEST commits a cut: files are written and fsynced first, then the
+// manifest is atomically replaced (tmp + rename + dir fsync), then subsumed
+// files are purged. A crash between those steps leaves either the old chain
+// (plus orphan files that the next boot removes as stale) or the new chain —
+// never a half-cut. Directories without a MANIFEST are pre-incremental:
+// they replay through the legacy newest-snapshot path unchanged, and their
+// first full snapshot creates the manifest. A MANIFEST that exists but does
+// not parse is ErrCorrupt — it is the chain's root of trust, so recovery
+// fails loudly rather than guessing.
+//
+// The chain is collapsed back into a full base once it reaches maxChainIncrs
+// (IncrementOK returns false, so the store falls back to a full snapshot):
+// recovery cost and dead-record accumulation stay bounded.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fuzzyid/internal/store"
+	"fuzzyid/internal/wire"
+)
+
+const (
+	incrMagic    = "FZINC001"
+	manifestName = "MANIFEST"
+	// manifestVersion is the manifest schema version; bump on layout change.
+	manifestVersion = 1
+	// maxChainIncrs bounds the snapshot chain: once reached, the next cut is
+	// a full snapshot that collapses the chain into a fresh base.
+	maxChainIncrs = 8
+)
+
+func incrName(seq uint64) string { return fmt.Sprintf("incr-%016x.snap", seq) }
+
+// manifest describes the snapshot chain: the base full snapshot and the
+// increments layered on it, in cut order. WAL replay starts at cut().
+type manifest struct {
+	Version int      `json:"version"`
+	Base    uint64   `json:"base"`
+	Incrs   []uint64 `json:"incrs,omitempty"`
+}
+
+// cut returns the chain's newest cut sequence: WAL segments at or after it
+// hold everything the chain does not.
+func (m manifest) cut() uint64 {
+	if n := len(m.Incrs); n > 0 {
+		return m.Incrs[n-1]
+	}
+	return m.Base
+}
+
+// readManifest loads dir's MANIFEST. ok is false when none exists (a legacy
+// or fresh directory); a manifest that cannot be parsed is ErrCorrupt.
+func readManifest(dir string) (man manifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return manifest{}, false, nil
+		}
+		return manifest{}, false, fmt.Errorf("persist: read manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return manifest{}, false, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if man.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("%w: manifest version %d", ErrCorrupt, man.Version)
+	}
+	for i, seq := range man.Incrs {
+		prev := man.Base
+		if i > 0 {
+			prev = man.Incrs[i-1]
+		}
+		if seq <= prev {
+			return manifest{}, false, fmt.Errorf("%w: manifest chain not ascending", ErrCorrupt)
+		}
+	}
+	return man, true, nil
+}
+
+// writeManifest atomically replaces dir's MANIFEST: tmp file, fsync, rename,
+// directory fsync. The JSON is deterministic (fixed field order, no
+// timestamps), so identical chains produce identical bytes.
+func writeManifest(dir string, man manifest) error {
+	man.Version = manifestVersion
+	data, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("persist: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: manifest tmp: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: manifest write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: manifest sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: manifest close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("persist: manifest rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// writeIncrFile writes increment seq (the records of the dirtied buckets)
+// atomically, with the same tmp + fsync + rename discipline as full
+// snapshots.
+func writeIncrFile(dir string, seq uint64, buckets []uint32, recs []*store.Record) error {
+	tmp := filepath.Join(dir, incrName(seq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: increment tmp: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	var hdr [headerLen + 16]byte
+	copy(hdr[:headerLen], incrMagic)
+	binary.BigEndian.PutUint64(hdr[headerLen:], uint64(len(buckets)))
+	binary.BigEndian.PutUint64(hdr[headerLen+8:], uint64(len(recs)))
+	bucketBytes := make([]byte, 4*len(buckets))
+	for i, b := range buckets {
+		binary.BigEndian.PutUint32(bucketBytes[4*i:], b)
+	}
+	buf := append(make([]byte, 0, 1<<16), hdr[:]...)
+	buf = appendFrame(buf, bucketBytes)
+	for _, rec := range recs {
+		e := wire.NewEncoder(256)
+		wire.EncodeRecord(e, rec)
+		buf = appendFrame(buf, e.Bytes())
+		if len(buf) >= 1<<20 {
+			if _, err := f.Write(buf); err != nil {
+				f.Close()
+				return fmt.Errorf("persist: increment write: %w", err)
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: increment write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: increment sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: increment close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, incrName(seq))); err != nil {
+		return fmt.Errorf("persist: increment rename: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// openIncr opens increment seq and reads its header, returning the reader
+// positioned at the bucket frame plus the declared counts.
+func openIncr(dir string, seq uint64) (f *os.File, r io.Reader, nBuckets, nRecs uint64, err error) {
+	f, err = os.Open(filepath.Join(dir, incrName(seq)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, 0, 0, fmt.Errorf("%w: manifest references missing %s", ErrCorrupt, incrName(seq))
+		}
+		return nil, nil, 0, 0, fmt.Errorf("persist: open increment: %w", err)
+	}
+	br := newReader(f)
+	var hdr [headerLen + 16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		f.Close()
+		return nil, nil, 0, 0, fmt.Errorf("%w: increment %s header: %v", ErrCorrupt, incrName(seq), err)
+	}
+	if string(hdr[:headerLen]) != incrMagic {
+		f.Close()
+		return nil, nil, 0, 0, fmt.Errorf("%w: increment %s: bad magic", ErrCorrupt, incrName(seq))
+	}
+	nBuckets = binary.BigEndian.Uint64(hdr[headerLen:])
+	nRecs = binary.BigEndian.Uint64(hdr[headerLen+8:])
+	return f, br, nBuckets, nRecs, nil
+}
+
+// readIncrBuckets returns the bucket list that increment seq claims.
+func readIncrBuckets(dir string, seq uint64) ([]uint32, error) {
+	f, r, nBuckets, _, err := openIncr(dir, seq)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readBucketFrame(r, seq, nBuckets)
+}
+
+func readBucketFrame(r io.Reader, seq, nBuckets uint64) ([]uint32, error) {
+	payload, _, err := readFrame(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: increment %s buckets: %v", ErrCorrupt, incrName(seq), err)
+	}
+	if uint64(len(payload)) != 4*nBuckets {
+		return nil, fmt.Errorf("%w: increment %s: bucket frame size", ErrCorrupt, incrName(seq))
+	}
+	buckets := make([]uint32, nBuckets)
+	for i := range buckets {
+		buckets[i] = binary.BigEndian.Uint32(payload[4*i:])
+	}
+	return buckets, nil
+}
+
+// replayIncrFile streams increment seq's records whose ID passes keep into
+// apply as insert mutations. Like full snapshots, an increment is complete
+// by construction, so any defect is corruption.
+func replayIncrFile(dir string, seq uint64, keep func(id string) bool, apply func(store.Mutation) error) error {
+	f, r, nBuckets, nRecs, err := openIncr(dir, seq)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := readBucketFrame(r, seq, nBuckets); err != nil {
+		return err
+	}
+	for i := uint64(0); i < nRecs; i++ {
+		payload, _, err := readFrame(r)
+		if err != nil {
+			return fmt.Errorf("%w: increment %s record %d: %v", ErrCorrupt, incrName(seq), i, err)
+		}
+		d := wire.NewDecoder(payload)
+		rec, err := wire.DecodeRecord(d)
+		if err == nil {
+			err = d.Done()
+		}
+		if err != nil {
+			return fmt.Errorf("%w: increment %s record %d: %v", ErrCorrupt, incrName(seq), i, err)
+		}
+		if keep != nil && !keep(rec.ID) {
+			continue
+		}
+		if err := apply(store.InsertMutation(rec)); err != nil {
+			return err
+		}
+	}
+	if _, _, err := readFrame(r); err != io.EOF {
+		return fmt.Errorf("%w: increment %s: trailing data", ErrCorrupt, incrName(seq))
+	}
+	return nil
+}
+
+// replayChain streams the manifest's base + increments into apply with
+// exactly one winner per bucket: each bucket's records come from the newest
+// chain member claiming it (increments claim their listed buckets, the base
+// implicitly claims the rest), so superseded and deleted records never reach
+// the store.
+func replayChain(dir string, man manifest, apply func(store.Mutation) error) error {
+	// winner[bucket] = 1-based index into man.Incrs of the newest increment
+	// claiming the bucket. Buckets absent from the map belong to the base.
+	winner := make(map[uint32]int)
+	for i, seq := range man.Incrs {
+		buckets, err := readIncrBuckets(dir, seq)
+		if err != nil {
+			return err
+		}
+		for _, b := range buckets {
+			winner[b] = i + 1
+		}
+	}
+	keepBase := func(id string) bool {
+		_, claimed := winner[store.SnapshotBucket(id)]
+		return !claimed
+	}
+	if len(winner) == 0 {
+		keepBase = nil // the whole base wins; skip the per-record lookup
+	}
+	if err := replaySnapshotFiltered(dir, man.Base, keepBase, apply); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: manifest references missing %s", ErrCorrupt, snapName(man.Base))
+		}
+		return err
+	}
+	for i, seq := range man.Incrs {
+		idx := i + 1
+		keep := func(id string) bool { return winner[store.SnapshotBucket(id)] == idx }
+		if err := replayIncrFile(dir, seq, keep, apply); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IncrementOK implements store.IncrementalSnapshotter: an incremental cut is
+// possible once a manifest-described base exists and the chain has room.
+func (l *Log) IncrementOK() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayed && !l.closed && l.failed == nil &&
+		l.hasMan && len(l.man.Incrs) < maxChainIncrs
+}
+
+// WriteIncrement implements store.IncrementalSnapshotter: it persists the
+// dirtied buckets' records as an increment chained onto the current
+// manifest, commits the extended chain, and purges the WAL segments the new
+// cut subsumes. Like WriteSnapshot it runs concurrently with appends but
+// not with itself.
+func (l *Log) WriteIncrement(seq uint64, buckets []uint32, recs []*store.Record) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if !l.replayed {
+		l.mu.Unlock()
+		return ErrNotRecovered
+	}
+	if l.failed != nil {
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	if !l.hasMan {
+		l.mu.Unlock()
+		return fmt.Errorf("persist: increment without a base snapshot")
+	}
+	man := l.man
+	l.mu.Unlock()
+	start := time.Now()
+	if err := writeIncrFile(l.dir, seq, buckets, recs); err != nil {
+		return err
+	}
+	man.Incrs = append(append([]uint64(nil), man.Incrs...), seq)
+	if err := writeManifest(l.dir, man); err != nil {
+		// The orphan incr file is invisible (not in the manifest); the next
+		// boot removes it as stale.
+		return err
+	}
+	l.mu.Lock()
+	l.man = man
+	l.mu.Unlock()
+	if err := l.purge(seq); err != nil {
+		return err
+	}
+	l.m.snapshots.Inc()
+	l.m.incSnaps.Inc()
+	l.m.snapDur.Observe(time.Since(start))
+	return nil
+}
+
+// TailDirty returns the sorted buckets of every mutation Replay recovered
+// from the WAL tail — the mutations newer than the snapshot chain. Seeding
+// them into the store's dirty set (store.Journaled.SeedDirty) makes the
+// first post-recovery cut eligible to be incremental.
+func (l *Log) TailDirty() []uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buckets := make([]uint32, 0, len(l.tailDirty))
+	for b := range l.tailDirty {
+		buckets = append(buckets, b)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+	return buckets
+}

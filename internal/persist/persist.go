@@ -10,17 +10,26 @@
 // active WAL segment, and a snapshot captures the full record set so the
 // segments it subsumes can be deleted.
 //
-// Recovery (Open + Replay) is: newest snapshot, then the WAL segments at or
-// after it, in order. A frame cut short by a crash mid-write — a torn final
-// record — is tolerated at the tail of the newest segment: replay stops
-// there and the segment is truncated to the last intact frame, exactly the
-// prefix of mutations that were ever acknowledged. Corruption anywhere else
-// is reported as ErrCorrupt rather than silently skipped.
+// Snapshots may be incremental: once a MANIFEST-described base exists, a
+// cut can rewrite only the buckets dirtied since the previous cut (see
+// incremental.go), chaining increments onto the base instead of rewriting
+// the whole store.
+//
+// Recovery (Open + Replay) is: the snapshot chain (base + increments,
+// newest-wins per bucket; or the newest monolithic snapshot in a
+// pre-manifest directory), then the WAL segments at or after its cut, in
+// order. A frame cut short by a crash mid-write — a torn final record — is
+// tolerated at the tail of the newest segment: replay stops there and the
+// segment is truncated to the last intact frame, exactly the prefix of
+// mutations that were ever acknowledged. Corruption anywhere else is
+// reported as ErrCorrupt rather than silently skipped.
 //
 // Durability is governed by the sync policy: SyncAlways (default) fsyncs
-// after every append, so an acknowledged enrollment survives power loss;
-// SyncOS flushes to the kernel per append — surviving process death
-// (SIGKILL) but not a machine crash — and fsyncs on rotation and close.
+// before acknowledging every append, so an acknowledged enrollment survives
+// power loss — with group commit (group.go) amortizing one fsync across all
+// concurrently committing writers; SyncOS flushes to the kernel per append
+// — surviving process death (SIGKILL) but not a machine crash — and fsyncs
+// on rotation and close.
 //
 // Multi-tenant deployments partition one data dir per tenant: the default
 // tenant owns the root (the exact layout pre-tenant deployments wrote, so
@@ -95,7 +104,10 @@ type logMetrics struct {
 	appends     *telemetry.Counter   // mutations appended to the WAL
 	appendBytes *telemetry.Counter   // framed bytes appended
 	fsyncs      *telemetry.Counter   // fsyncs on the active segment
-	snapshots   *telemetry.Counter   // snapshots written
+	fsyncDur    *telemetry.Histogram // latency of each fsync on the append path
+	groupSize   *telemetry.Histogram // appends acknowledged per group-commit fsync
+	snapshots   *telemetry.Counter   // snapshots written (full and incremental)
+	incSnaps    *telemetry.Counter   // incremental snapshots among them
 	snapDur     *telemetry.Histogram // snapshot write+purge duration
 }
 
@@ -103,7 +115,10 @@ func (m *logMetrics) bind(reg *telemetry.Registry) {
 	m.appends = reg.Counter("persist.wal.appends")
 	m.appendBytes = reg.Counter("persist.wal.append_bytes")
 	m.fsyncs = reg.Counter("persist.wal.fsyncs")
+	m.fsyncDur = reg.Histogram("persist.wal.fsync_latency")
+	m.groupSize = reg.Histogram("persist.wal.group_size")
 	m.snapshots = reg.Counter("persist.snapshots")
+	m.incSnaps = reg.Counter("persist.snapshots.incremental")
 	m.snapDur = reg.Histogram("persist.snapshot.duration")
 }
 
@@ -113,9 +128,11 @@ func (m *logMetrics) bind(reg *telemetry.Registry) {
 // concurrent use, WriteSnapshot runs concurrently with appends but not with
 // itself.
 type Log struct {
-	dir  string
-	sync SyncPolicy
-	m    logMetrics
+	dir         string
+	sync        SyncPolicy
+	groupWindow time.Duration // leader linger bound; see group.go
+	groupOff    bool          // disable group commit (inline fsyncs)
+	m           logMetrics
 
 	mu       sync.Mutex
 	replayed bool
@@ -123,16 +140,35 @@ type Log struct {
 	failed   error         // sticky first I/O failure; poisons the log
 	f        *os.File      // active WAL segment
 	w        *bufio.Writer // buffers appendFrame output into f
-	size     int64         // bytes of durable content in the active segment
+	size     int64         // bytes written (kernel-flushed) in the active segment
 	seq      uint64        // active segment sequence number
 	appends  uint64        // appends since the segment was opened
 	scratch  []byte        // reusable frame buffer
 	lay      layout        // recovery plan captured at Open
+
+	// Group-commit state (see group.go). appendSeq counts appends across
+	// the log's lifetime; durableSeq trails it at the last fsynced append.
+	// syncedSize is the durable byte prefix of the active segment — where
+	// poison truncates to, so no unacknowledged frame survives a failure.
+	appendSeq  uint64
+	durableSeq uint64
+	syncedSize int64
+	waiters    int           // writers parked in waitDurable
+	syncing    bool          // a commit leader's fsync is in flight
+	synced     chan struct{} // closed (and replaced) after each group sync
+
+	// Snapshot-chain state (see incremental.go): the committed manifest,
+	// if any, and the dirty buckets replayed from the WAL tail.
+	man       manifest
+	hasMan    bool
+	tailDirty map[uint32]struct{}
 }
 
 var (
-	_ store.Journal     = (*Log)(nil)
-	_ store.Snapshotter = (*Log)(nil)
+	_ store.Journal                = (*Log)(nil)
+	_ store.GroupJournal           = (*Log)(nil)
+	_ store.Snapshotter            = (*Log)(nil)
+	_ store.IncrementalSnapshotter = (*Log)(nil)
 )
 
 // TenantsSubdir is the directory under a data dir that holds the named
@@ -199,7 +235,12 @@ func Open(dir string, opts ...Option) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, sync: SyncAlways, lay: lay}
+	l := &Log{
+		dir: dir, sync: SyncAlways,
+		groupWindow: DefaultGroupWindow,
+		lay:         lay,
+		synced:      make(chan struct{}),
+	}
 	for _, o := range opts {
 		o.apply(l)
 	}
@@ -236,13 +277,16 @@ func (l *Log) Replay(apply func(store.Mutation) error) error {
 		apply = func(store.Mutation) error { return nil }
 	}
 	// Segments are created with strictly consecutive sequence numbers
-	// starting at the newest snapshot (or 0), so any gap means a segment
-	// vanished — replaying around it would silently drop its mutations.
+	// starting at the snapshot chain's cut (or 0), so any gap means a
+	// segment vanished — replaying around it would silently drop its
+	// mutations.
 	for i, seq := range l.lay.walSeqs {
 		want := seq
 		switch {
 		case i > 0:
 			want = l.lay.walSeqs[i-1] + 1
+		case l.lay.hasMan:
+			want = l.lay.man.cut()
 		case l.lay.hasSnap:
 			want = l.lay.snapSeq
 		default:
@@ -252,15 +296,30 @@ func (l *Log) Replay(apply func(store.Mutation) error) error {
 			return fmt.Errorf("%w: missing segment %s", ErrCorrupt, walName(want))
 		}
 	}
-	if l.lay.hasSnap {
+	switch {
+	case l.lay.hasMan:
+		if err := replayChain(l.dir, l.lay.man, apply); err != nil {
+			return err
+		}
+	case l.lay.hasSnap:
 		if err := replaySnapshotFile(l.dir, l.lay.snapSeq, apply); err != nil {
 			return err
 		}
 	}
+	// WAL-tail mutations are newer than the snapshot chain: remember their
+	// buckets so the store's dirty set can be seeded (TailDirty) and the
+	// first post-recovery cut may be incremental.
+	walApply := func(m store.Mutation) error {
+		if l.tailDirty == nil {
+			l.tailDirty = make(map[uint32]struct{})
+		}
+		l.tailDirty[store.SnapshotBucket(m.ID)] = struct{}{}
+		return apply(m)
+	}
 	tailFrames := 0
 	for i, seq := range l.lay.walSeqs {
 		last := i == len(l.lay.walSeqs)-1
-		frames, err := l.replayWAL(seq, last, apply)
+		frames, err := l.replayWAL(seq, last, walApply)
 		if err != nil {
 			return err
 		}
@@ -284,6 +343,8 @@ func (l *Log) Replay(apply func(store.Mutation) error) error {
 	case len(l.lay.walSeqs) > 0:
 		seq = l.lay.walSeqs[len(l.lay.walSeqs)-1]
 		create = false
+	case l.lay.hasMan:
+		seq = l.lay.man.cut()
 	case l.lay.hasSnap:
 		seq = l.lay.snapSeq
 	}
@@ -296,6 +357,7 @@ func (l *Log) Replay(apply func(store.Mutation) error) error {
 	if !create {
 		l.appends = uint64(tailFrames)
 	}
+	l.man, l.hasMan = l.lay.man, l.lay.hasMan
 	l.replayed = true
 	return nil
 }
@@ -424,17 +486,27 @@ func (l *Log) openSegment(seq uint64, create bool) error {
 		size = fi.Size()
 	}
 	l.f, l.w, l.seq, l.appends, l.size = f, w, seq, 0, size
+	// Whatever the segment already holds predates this session's appends and
+	// was acknowledged before: it is the durable baseline.
+	l.syncedSize = size
 	return nil
 }
 
 // poison marks the log permanently failed after an I/O error mid-append: a
 // frame may have partially (or, worse, fully) reached the file even though
-// the caller will be told the mutation failed, so the half-born frame is
-// cut back off best-effort and every later mutation is refused — after a
-// failed write or fsync the device cannot be trusted with acknowledgements.
+// the caller will be told the mutation failed, so the file is cut back to
+// its acknowledged prefix best-effort and every later mutation is refused —
+// after a failed write or fsync the device cannot be trusted with
+// acknowledgements. Under group commit the acknowledged prefix is the last
+// fsynced byte (frames written but awaiting the group's sync were never
+// acknowledged); under SyncOS it is everything kernel-flushed.
 func (l *Log) poison(err error) error {
 	if l.f != nil {
-		_ = l.f.Truncate(l.size)
+		acked := l.size
+		if l.sync == SyncAlways && !l.groupOff {
+			acked = l.syncedSize
+		}
+		_ = l.f.Truncate(acked)
 	}
 	l.failed = fmt.Errorf("persist: log failed: %w", err)
 	return err
@@ -442,39 +514,16 @@ func (l *Log) poison(err error) error {
 
 // Append implements store.Journal: one mutation becomes one CRC-framed
 // record in the active segment, durable per the sync policy before Append
-// returns.
+// returns. It is Begin followed by Wait — a concurrent Append shares its
+// fsync with every other append in the same commit group.
 func (l *Log) Append(m store.Mutation) error {
-	payload, err := encodeMutation(m)
+	c, err := l.Begin(m)
 	if err != nil {
 		return err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return ErrClosed
+	if c != nil {
+		return c.Wait()
 	}
-	if !l.replayed {
-		return ErrNotRecovered
-	}
-	if l.failed != nil {
-		return l.failed
-	}
-	l.scratch = appendFrame(l.scratch[:0], payload)
-	if _, err := l.w.Write(l.scratch); err != nil {
-		return l.poison(fmt.Errorf("persist: append: %w", err))
-	}
-	if err := l.w.Flush(); err != nil {
-		return l.poison(fmt.Errorf("persist: append flush: %w", err))
-	}
-	if l.sync == SyncAlways {
-		if err := l.fsync(); err != nil {
-			return l.poison(fmt.Errorf("persist: append sync: %w", err))
-		}
-	}
-	l.size += int64(len(l.scratch))
-	l.appends++
-	l.m.appends.Inc()
-	l.m.appendBytes.Add(uint64(len(l.scratch)))
 	return nil
 }
 
@@ -501,12 +550,25 @@ func (l *Log) Rotate() (uint64, error) {
 	if l.failed != nil {
 		return 0, l.failed
 	}
+	// An in-flight group commit holds a reference to the active segment;
+	// let it finish before the segment is swapped out.
+	l.awaitNoLeader()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
 	if err := l.w.Flush(); err != nil {
 		return 0, fmt.Errorf("persist: rotate flush: %w", err)
 	}
 	if err := l.fsync(); err != nil {
 		return 0, fmt.Errorf("persist: rotate sync: %w", err)
 	}
+	// The rotation fsync covered every append so far: release any parked
+	// group-commit waiters.
+	l.durableSeq = l.appendSeq
+	l.broadcastSynced()
 	old := l.f
 	if err := l.openSegment(l.seq+1, true); err != nil {
 		// The old segment stays active; the rotation simply failed.
@@ -518,10 +580,11 @@ func (l *Log) Rotate() (uint64, error) {
 	return l.seq, nil
 }
 
-// WriteSnapshot implements store.Snapshotter: it persists recs as the state
-// preceding segment seq and deletes the snapshots and segments that the new
-// snapshot subsumes, bounding the directory to one snapshot plus the WAL
-// tail written since it.
+// WriteSnapshot implements store.Snapshotter: it persists recs as the full
+// state preceding segment seq, commits a manifest naming it the new chain
+// base (collapsing any increment chain), and deletes the snapshots,
+// increments and segments the new base subsumes — bounding the directory to
+// one chain plus the WAL tail written since its cut.
 func (l *Log) WriteSnapshot(seq uint64, recs []*store.Record) error {
 	l.mu.Lock()
 	if l.closed {
@@ -544,6 +607,15 @@ func (l *Log) WriteSnapshot(seq uint64, recs []*store.Record) error {
 	if err := writeSnapshotFile(l.dir, seq, recs); err != nil {
 		return err
 	}
+	man := manifest{Version: manifestVersion, Base: seq}
+	if err := writeManifest(l.dir, man); err != nil {
+		// The orphan snapshot is invisible (the old manifest still rules);
+		// the next boot removes it as stale.
+		return err
+	}
+	l.mu.Lock()
+	l.man, l.hasMan = man, true
+	l.mu.Unlock()
 	if err := l.purge(seq); err != nil {
 		return err
 	}
@@ -552,7 +624,9 @@ func (l *Log) WriteSnapshot(seq uint64, recs []*store.Record) error {
 	return nil
 }
 
-// purge removes snapshots and WAL segments strictly older than seq.
+// purge removes the files subsumed by a cut at seq: WAL segments strictly
+// older than it, plus everything the committed snapshot chain (or, absent a
+// manifest, the newest snapshot at seq) marks stale.
 func (l *Log) purge(seq uint64) error {
 	lay, err := scanDir(l.dir)
 	if err != nil {
@@ -563,7 +637,7 @@ func (l *Log) purge(seq uint64) error {
 			_ = os.Remove(filepath.Join(l.dir, walName(s)))
 		}
 	}
-	if lay.hasSnap && lay.snapSeq == seq {
+	if lay.hasMan || (lay.hasSnap && lay.snapSeq == seq) {
 		for _, name := range lay.stale {
 			_ = os.Remove(filepath.Join(l.dir, name))
 		}
@@ -580,8 +654,14 @@ func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
+	// Let an in-flight group commit finish before the file handle goes away.
+	l.awaitNoLeader()
+	if l.closed {
+		return nil
+	}
 	l.closed = true
 	if l.f == nil {
+		l.broadcastSynced()
 		return nil
 	}
 	var errs []error
@@ -591,6 +671,15 @@ func (l *Log) Close() error {
 	if err := l.fsync(); err != nil {
 		errs = append(errs, fmt.Errorf("persist: close sync: %w", err))
 	}
+	if len(errs) == 0 {
+		// The final fsync covered every append: release parked waiters with
+		// success before the handle closes.
+		l.durableSeq = l.appendSeq
+		l.syncedSize = l.size
+	} else {
+		l.failed = fmt.Errorf("persist: log failed: %w", errors.Join(errs...))
+	}
+	l.broadcastSynced()
 	if err := l.f.Close(); err != nil {
 		errs = append(errs, fmt.Errorf("persist: close: %w", err))
 	}

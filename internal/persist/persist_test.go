@@ -693,8 +693,13 @@ func TestStaleFallbacksSurviveFailedReplay(t *testing.T) {
 			t.Fatalf("fallback %s deleted despite failed replay: %v", name, err)
 		}
 	}
-	// Removing the rotten snapshot makes the directory recoverable again.
+	// Removing the rotten snapshot — and the MANIFEST, whose chain names it
+	// as base — makes the directory recoverable again through the legacy
+	// newest-snapshot path (the documented manual-recovery procedure).
 	if err := os.Remove(filepath.Join(dir, snapName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
 		t.Fatal(err)
 	}
 	l4, err := Open(dir)

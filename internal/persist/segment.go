@@ -139,20 +139,26 @@ func decodeMutation(payload []byte) (store.Mutation, error) {
 
 // layout is the set of on-disk artefacts found when opening a directory.
 type layout struct {
-	snapSeq uint64 // newest snapshot, meaningful iff hasSnap
+	man     manifest // the committed snapshot chain, meaningful iff hasMan
+	hasMan  bool
+	snapSeq uint64 // newest snapshot (the chain base when hasMan), iff hasSnap
 	hasSnap bool
-	walSeqs []uint64 // ascending; all segments present in the directory
-	stale   []string // files subsumed by the newest snapshot, or tmp litter
+	walSeqs []uint64 // ascending; the segments the recovery chain replays
+	stale   []string // files subsumed by the snapshot chain, or tmp litter
 }
 
-// scanDir classifies the persistence directory's contents.
+// scanDir classifies the persistence directory's contents. With a MANIFEST
+// the chain it names is authoritative: any snapshot, increment or WAL
+// segment outside it is a crash orphan and goes on the stale list. Without
+// one (a legacy or fresh directory) the newest snapshot wins, as before the
+// manifest existed.
 func scanDir(dir string) (layout, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return layout{}, fmt.Errorf("persist: scan %s: %w", dir, err)
 	}
 	var l layout
-	var snapSeqs []uint64
+	var snapSeqs, incrSeqs []uint64
 	for _, ent := range entries {
 		name := ent.Name()
 		if ent.IsDir() {
@@ -166,20 +172,60 @@ func scanDir(dir string) (layout, error) {
 			l.walSeqs = append(l.walSeqs, seq)
 			continue
 		}
+		if seq, ok := parseSeq(name, "incr-", ".snap"); ok {
+			incrSeqs = append(incrSeqs, seq)
+			continue
+		}
 		if seq, ok := parseSeq(name, "snap-", ".snap"); ok {
 			snapSeqs = append(snapSeqs, seq)
 			continue
 		}
 	}
 	sort.Slice(l.walSeqs, func(i, j int) bool { return l.walSeqs[i] < l.walSeqs[j] })
+	l.man, l.hasMan, err = readManifest(dir)
+	if err != nil {
+		return layout{}, err
+	}
+	if l.hasMan {
+		l.hasSnap, l.snapSeq = true, l.man.Base
+		chained := make(map[uint64]bool, len(l.man.Incrs))
+		for _, s := range l.man.Incrs {
+			chained[s] = true
+		}
+		for _, s := range snapSeqs {
+			if s != l.man.Base {
+				l.stale = append(l.stale, snapName(s))
+			}
+		}
+		for _, s := range incrSeqs {
+			if !chained[s] {
+				l.stale = append(l.stale, incrName(s))
+			}
+		}
+		cut := l.man.cut()
+		live := l.walSeqs[:0]
+		for _, s := range l.walSeqs {
+			if s < cut {
+				l.stale = append(l.stale, walName(s))
+			} else {
+				live = append(live, s)
+			}
+		}
+		l.walSeqs = live
+		return l, nil
+	}
+	// No manifest: increments are unreachable orphans, and everything
+	// strictly older than the newest snapshot is subsumed by it — dead
+	// weight from a crash between snapshot rename and purge.
+	for _, s := range incrSeqs {
+		l.stale = append(l.stale, incrName(s))
+	}
 	for _, s := range snapSeqs {
 		if !l.hasSnap || s > l.snapSeq {
 			l.hasSnap = true
 			l.snapSeq = s
 		}
 	}
-	// Everything strictly older than the newest snapshot is subsumed by it:
-	// dead weight from a crash between snapshot rename and purge.
 	if l.hasSnap {
 		for _, s := range snapSeqs {
 			if s < l.snapSeq {
@@ -246,6 +292,13 @@ func writeSnapshotFile(dir string, seq uint64, recs []*store.Record) error {
 // insert mutation. A snapshot is complete by construction (atomic rename),
 // so any decode failure is corruption, not a crash artefact.
 func replaySnapshotFile(dir string, seq uint64, apply func(store.Mutation) error) error {
+	return replaySnapshotFiltered(dir, seq, nil, apply)
+}
+
+// replaySnapshotFiltered is replaySnapshotFile restricted to records whose
+// ID passes keep (nil keeps all) — chain replay uses it to drop base records
+// superseded by an increment.
+func replaySnapshotFiltered(dir string, seq uint64, keep func(id string) bool, apply func(store.Mutation) error) error {
 	path := filepath.Join(dir, snapName(seq))
 	f, err := os.Open(path)
 	if err != nil {
@@ -273,6 +326,9 @@ func replaySnapshotFile(dir string, seq uint64, apply func(store.Mutation) error
 		}
 		if err != nil {
 			return fmt.Errorf("%w: snapshot %s record %d: %v", ErrCorrupt, snapName(seq), i, err)
+		}
+		if keep != nil && !keep(rec.ID) {
+			continue
 		}
 		if err := apply(store.InsertMutation(rec)); err != nil {
 			return err

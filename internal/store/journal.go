@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"fuzzyid/internal/numberline"
@@ -64,29 +65,108 @@ func DeleteMutation(id string) Mutation { return Mutation{Op: OpDelete, ID: id} 
 
 // Journal persists committed mutations. Append must make the mutation
 // durable (to the backend's configured guarantee) before returning; the
-// Journaled wrapper acknowledges a mutation to its caller only after Append
-// succeeds.
+// Journaled wrapper acknowledges a mutation to its caller only after its
+// journal accepted it and any pending Commit completed.
 type Journal interface {
 	Append(Mutation) error
 }
 
+// Commit is the pending half of a staged journal append: Wait blocks until
+// the mutation is durable to the backend's guarantee (or the backend
+// failed). A group-committing WAL hands the same fsync to every Commit in a
+// batch, so N concurrent writers share one sync.
+type Commit interface {
+	Wait() error
+}
+
+// GroupJournal is a Journal whose append splits into a cheap ordering phase
+// and a shared durability wait. Begin must fix the mutation's position in
+// the journal (subsequent Begins order after it) before returning; the
+// returned Commit completes the append. A nil Commit (with nil error) means
+// the append is already durable. The Journaled wrapper calls Begin under
+// its mutation lock — fixing journal order — and Wait outside it, so
+// concurrent writers batch instead of serialising on the backend's fsync.
+type GroupJournal interface {
+	Journal
+	Begin(Mutation) (Commit, error)
+}
+
 // MultiJournal fans one mutation out to several journals in order — e.g.
 // the durable WAL first, then the replication hub — failing fast on the
-// first error. Durability therefore precedes shipping: a mutation is never
-// offered to a later journal (and so never reaches a replica) unless every
-// earlier journal accepted it.
+// first error. A mutation is never offered to a later journal (and so never
+// reaches a replica) unless every earlier journal accepted it; group-capable
+// members stage with Begin, so under group commit a mutation may reach the
+// replication hub before its WAL fsync lands (asynchronous-replication
+// semantics within the group window — see DESIGN.md §11).
 type MultiJournal []Journal
 
-var _ Journal = (MultiJournal)(nil)
+var (
+	_ Journal      = (MultiJournal)(nil)
+	_ GroupJournal = (MultiJournal)(nil)
+)
 
-// Append implements Journal.
+// Append implements Journal: Begin on every member, then wait.
 func (j MultiJournal) Append(m Mutation) error {
+	c, err := j.Begin(m)
+	if err != nil {
+		return err
+	}
+	if c != nil {
+		return c.Wait()
+	}
+	return nil
+}
+
+// Begin implements GroupJournal: group-capable members stage the mutation,
+// plain members append inline, in order, failing fast. The returned Commit
+// waits on every staged member.
+func (j MultiJournal) Begin(m Mutation) (Commit, error) {
+	var cs multiCommit
 	for _, inner := range j {
+		if g, ok := inner.(GroupJournal); ok {
+			c, err := g.Begin(m)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				cs = append(cs, c)
+			}
+			continue
+		}
 		if err := inner.Append(m); err != nil {
+			return nil, err
+		}
+	}
+	switch len(cs) {
+	case 0:
+		return nil, nil
+	case 1:
+		return cs[0], nil
+	default:
+		return cs, nil
+	}
+}
+
+// multiCommit waits on several staged appends in order.
+type multiCommit []Commit
+
+// Wait implements Commit.
+func (cs multiCommit) Wait() error {
+	for _, c := range cs {
+		if err := c.Wait(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// beginJournal stages m on j: via Begin when j is group-capable, else via a
+// plain (synchronous) Append with no pending Commit.
+func beginJournal(j Journal, m Mutation) (Commit, error) {
+	if g, ok := j.(GroupJournal); ok {
+		return g.Begin(m)
+	}
+	return nil, j.Append(m)
 }
 
 // Snapshotter is a Journal backend that supports log compaction. Rotate
@@ -96,6 +176,40 @@ func (j MultiJournal) Append(m Mutation) error {
 type Snapshotter interface {
 	Rotate() (seq uint64, err error)
 	WriteSnapshot(seq uint64, recs []*Record) error
+}
+
+// SnapshotBuckets is the size of the dirty-tracking bucket space: record IDs
+// hash onto [0, SnapshotBuckets) and an incremental snapshot rewrites whole
+// buckets. 2^20 buckets keep bucket occupancy near one record each up to
+// roughly a million users, so a 1%-dirtied store rewrites about 1% of its
+// bytes instead of all of them.
+const SnapshotBuckets = 1 << 20
+
+// SnapshotBucket maps a record ID to its dirty-tracking bucket (FNV-1a).
+func SnapshotBucket(id string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return h % SnapshotBuckets
+}
+
+// IncrementalSnapshotter is a Snapshotter that can extend an existing
+// snapshot with incremental cuts. IncrementOK reports whether an
+// incremental cut is currently possible (a base snapshot exists and the
+// chain is short enough to stay worth replaying); WriteIncrement persists
+// recs as the complete record set of the given buckets at segment cut seq —
+// a bucket listed with no record in recs is an emptied bucket, and recovery
+// drops its previously snapshot records.
+type IncrementalSnapshotter interface {
+	Snapshotter
+	IncrementOK() bool
+	WriteIncrement(seq uint64, buckets []uint32, recs []*Record) error
 }
 
 // ReplayFunc streams a recovered mutation sequence into apply, stopping at
@@ -158,9 +272,18 @@ func Open(name string, line *numberline.Line, shards int, replay ReplayFunc) (St
 // unchanged and stay as concurrent as the underlying strategy allows;
 // mutations are serialised by one mutex so the journal order always equals
 // the apply order. A mutation is validated up front (so the journal only
-// ever records mutations that apply cleanly), made durable, and only then
-// applied: concurrent readers never observe state that is not durable, and
-// a journal failure leaves the in-memory store untouched.
+// ever records mutations that apply cleanly), staged in the journal, and
+// applied — but acknowledged to the caller only once the journal's pending
+// Commit (the group fsync, for a group-committing WAL) has landed. The
+// mutex is not held across that wait, so concurrent writers share fsyncs.
+//
+// Two visibility consequences, accepted for write throughput (DESIGN.md
+// §11): a concurrent reader may observe a mutation inside its commit window
+// — applied but not yet durable, its caller still unacknowledged — and if
+// the journal fails at the durability step (fsync failure poisons the WAL)
+// the in-memory store can be ahead of disk until restart, with all further
+// mutations refused. A failure at the staging step still leaves memory
+// untouched, exactly as before.
 type Journaled struct {
 	Store
 	j      Journal
@@ -171,6 +294,12 @@ type Journaled struct {
 	// can never journal a mutation after the drop op shipped (which would
 	// resurrect the tenant on followers).
 	dropped bool
+	// dirty tracks the snapshot buckets touched since the last snapshot
+	// cut; dirtyValid reports the set is complete (it is not after a
+	// recovery whose WAL tail was never seeded — see SeedDirty). Both are
+	// guarded by mu.
+	dirty      map[uint32]struct{}
+	dirtyValid bool
 }
 
 var _ Store = (*Journaled)(nil)
@@ -195,59 +324,112 @@ func NewJournaledTenant(inner Store, j Journal, tenant string) *Journaled {
 // Unwrap returns the wrapped in-memory store.
 func (s *Journaled) Unwrap() Store { return s.Store }
 
-// Insert implements Store: validate, journal, then apply.
-func (s *Journaled) Insert(rec *Record) error {
+// markDirty records a mutated ID's snapshot bucket. Caller holds s.mu.
+func (s *Journaled) markDirty(id string) {
+	if s.dirty == nil {
+		s.dirty = make(map[uint32]struct{})
+	}
+	s.dirty[SnapshotBucket(id)] = struct{}{}
+}
+
+// SeedDirty marks the snapshot buckets of mutations that reached the store
+// outside this wrapper — the WAL tail a recovery replayed directly — and
+// declares the dirty set complete, arming incremental snapshots. Call it
+// once, right after recovery, with the backend's replayed-tail buckets
+// (persist.(*Log).TailDirty); a Journaled that is never seeded keeps taking
+// full snapshots, which is always safe.
+func (s *Journaled) SeedDirty(buckets []uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, b := range buckets {
+		if s.dirty == nil {
+			s.dirty = make(map[uint32]struct{})
+		}
+		s.dirty[b] = struct{}{}
+	}
+	s.dirtyValid = true
+}
+
+// Insert implements Store: validate, stage in the journal, apply, then wait
+// for the journal's commit (the group fsync) before acknowledging.
+func (s *Journaled) Insert(rec *Record) error {
+	s.mu.Lock()
 	if s.dropped {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
 	}
 	if err := validateRecord(rec); err != nil {
+		s.mu.Unlock()
 		return err
 	}
 	if _, ok := s.Store.Get(rec.ID); ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicateID, rec.ID)
 	}
 	if d := s.Store.Dimension(); d != 0 && rec.Helper.Dimension() != d {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), d)
 	}
 	m := InsertMutation(rec)
 	m.Tenant = s.tenant
-	if err := s.j.Append(m); err != nil {
+	c, err := beginJournal(s.j, m)
+	if err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: journal insert: %w", err)
 	}
 	if err := s.Store.Insert(rec); err != nil {
 		// Unreachable after the pre-checks under s.mu; if it happens the
 		// journal and memory have diverged — fail loudly, do not ack.
+		s.mu.Unlock()
 		return fmt.Errorf("store: insert diverged from journal: %w", err)
+	}
+	s.markDirty(rec.ID)
+	s.mu.Unlock()
+	if c != nil {
+		if err := c.Wait(); err != nil {
+			return fmt.Errorf("store: journal insert: %w", err)
+		}
 	}
 	return nil
 }
 
-// Delete implements Store: validate, journal, then apply.
+// Delete implements Store: validate, stage in the journal, apply, then wait
+// for the journal's commit before acknowledging.
 func (s *Journaled) Delete(id string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.dropped {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
 	}
 	if _, ok := s.Store.Get(id); !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownID, id)
 	}
 	m := DeleteMutation(id)
 	m.Tenant = s.tenant
-	if err := s.j.Append(m); err != nil {
+	c, err := beginJournal(s.j, m)
+	if err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: journal delete: %w", err)
 	}
 	if err := s.Store.Delete(id); err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: delete diverged from journal: %w", err)
+	}
+	s.markDirty(id)
+	s.mu.Unlock()
+	if c != nil {
+		if err := c.Wait(); err != nil {
+			return fmt.Errorf("store: journal delete: %w", err)
+		}
 	}
 	return nil
 }
 
 // View runs fn on the full record set with mutations blocked, so fn sees a
 // cut of the store that is exactly consistent with everything the journal
-// has recorded so far — no mutation is in flight while fn runs. The
+// has staged so far — no mutation is in flight while fn runs (though the
+// newest staged mutations may still be awaiting their group fsync). The
 // replication hub uses it to pair a snapshot with its log offset. fn must
 // not mutate the store (it would deadlock).
 func (s *Journaled) View(fn func(recs []*Record)) {
@@ -257,21 +439,75 @@ func (s *Journaled) View(fn func(recs []*Record)) {
 }
 
 // Snapshot captures a compaction point: while mutations are briefly blocked
-// it snapshots the full record set and rotates the journal to a fresh
-// segment, then — with mutations flowing again — persists the snapshot and
-// lets the backend drop the subsumed segments. Mutations appended after the
-// rotation land in the new segment and replay on top of the snapshot, so
-// the pair is always consistent.
+// it captures the record set, the dirty-bucket set, and a journal rotation,
+// then — with mutations flowing again — persists the cut and lets the
+// backend drop the subsumed segments. Mutations appended after the rotation
+// land in the new segment and replay on top of the cut, so the pair is
+// always consistent.
+//
+// When the backend is an IncrementalSnapshotter with a usable base and the
+// dirty set is complete (see SeedDirty), only the records of dirtied
+// buckets are written, as an incremental cut chained onto the base;
+// otherwise the full record set is written, which (re)establishes the base
+// and the dirty baseline.
 func (s *Journaled) Snapshot(snap Snapshotter) error {
+	inc, incremental := snap.(IncrementalSnapshotter)
+	incremental = incremental && inc.IncrementOK()
 	s.mu.Lock()
+	incremental = incremental && s.dirtyValid
+	var dirty map[uint32]struct{}
 	recs := s.Store.All()
 	seq, err := snap.Rotate()
-	s.mu.Unlock()
 	if err != nil {
+		s.mu.Unlock()
 		return fmt.Errorf("store: snapshot rotate: %w", err)
 	}
+	// The cut is fixed: mutations from here on dirty buckets for the NEXT
+	// snapshot. A full cut resets the baseline outright.
+	dirty, s.dirty = s.dirty, nil
+	s.mu.Unlock()
+	if incremental {
+		buckets := make([]uint32, 0, len(dirty))
+		for b := range dirty {
+			buckets = append(buckets, b)
+		}
+		sort.Slice(buckets, func(i, j int) bool { return buckets[i] < buckets[j] })
+		sub := make([]*Record, 0, len(dirty))
+		for _, r := range recs {
+			if _, d := dirty[SnapshotBucket(r.ID)]; d {
+				sub = append(sub, r)
+			}
+		}
+		if err := inc.WriteIncrement(seq, buckets, sub); err != nil {
+			// The cut did not commit: its buckets are still pending and must
+			// ride along in the next attempt.
+			s.remergeDirty(dirty)
+			return fmt.Errorf("store: snapshot increment: %w", err)
+		}
+		return nil
+	}
 	if err := snap.WriteSnapshot(seq, recs); err != nil {
+		// No base was established; the dirty set cleared at the cut cannot
+		// be trusted to describe the distance to the (older) on-disk state.
+		s.mu.Lock()
+		s.dirtyValid = false
+		s.mu.Unlock()
 		return fmt.Errorf("store: snapshot write: %w", err)
 	}
+	s.mu.Lock()
+	s.dirtyValid = true
+	s.mu.Unlock()
 	return nil
+}
+
+// remergeDirty folds a captured-but-uncommitted dirty set back in.
+func (s *Journaled) remergeDirty(dirty map[uint32]struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for b := range dirty {
+		if s.dirty == nil {
+			s.dirty = make(map[uint32]struct{})
+		}
+		s.dirty[b] = struct{}{}
+	}
 }

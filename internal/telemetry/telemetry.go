@@ -151,6 +151,14 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.count.Add(1)
 }
 
+// ObserveValue records one dimensionless value (a batch size, a byte count)
+// by mapping value v onto the duration scale as v milliseconds. The
+// snapshot's MeanMS/P50MS/... fields then read back as plain values — the
+// same bucketed-distribution machinery, reused for non-latency quantities.
+func (h *Histogram) ObserveValue(v uint64) {
+	h.Observe(time.Duration(v) * time.Millisecond)
+}
+
 // Count returns the number of observations (0 for a nil Histogram).
 func (h *Histogram) Count() uint64 {
 	if h == nil {

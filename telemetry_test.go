@@ -106,6 +106,18 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		if got := snap.Counter("persist.wal.fsyncs"); got < 4 {
 			t.Errorf("persist.wal.fsyncs = %d, want >= 4", got)
 		}
+		// The group-commit instruments are part of the wire contract: every
+		// durable append lands in a commit group (size >= 1), and every
+		// group fsync records its latency. Operators and the load harness
+		// read these by name — see OPERATIONS.md.
+		gs, ok := snap.Histograms["persist.wal.group_size"]
+		if !ok || gs.Count < 4 {
+			t.Errorf("persist.wal.group_size: present=%v count=%d, want >= 4 observations", ok, gs.Count)
+		}
+		fl, ok := snap.Histograms["persist.wal.fsync_latency"]
+		if !ok || fl.Count < 4 {
+			t.Errorf("persist.wal.fsync_latency: present=%v count=%d, want >= 4 observations", ok, fl.Count)
+		}
 	}
 	for _, name := range []string{"transport.bytes.in", "transport.bytes.out"} {
 		if got := snap.Counter(name); got == 0 {
