@@ -212,6 +212,14 @@ func (l *Log) leaderSync() {
 	switch {
 	case err != nil:
 		_ = l.poison(fmt.Errorf("persist: group sync: %w", err))
+	case l.failed != nil:
+		// The log was poisoned while l.mu was dropped: a concurrent Begin
+		// failed and truncated the segment back to the durable prefix,
+		// discarding the very frames this fsync was meant to cover. The sync
+		// of the truncated file proves nothing about them — advancing
+		// durableSeq here would release the parked waiters with a false ack
+		// (and set syncedSize past EOF). Leave both untouched so every
+		// waiter falls through to the failed check in waitDurable.
 	case target > l.durableSeq:
 		l.durableSeq = target
 		l.syncedSize = targetSize

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"fuzzyid/internal/store"
 	"fuzzyid/internal/telemetry"
@@ -221,6 +222,71 @@ func TestGroupCommitCloseReleasesWriters(t *testing.T) {
 		if err != nil {
 			t.Fatalf("writer %d: unexpected error %v (want success or ErrClosed)", w, err)
 		}
+	}
+}
+
+// TestGroupCommitPoisonDuringLeaderWindow pins the ack-after-truncate race:
+// while the elected leader lingers with l.mu dropped, a concurrent failed
+// Begin poisons the log, truncating the active segment back to the durable
+// prefix — discarding the parked waiters' un-fsynced frames. The leader's
+// subsequent fsync of the truncated file succeeds, but it must NOT release
+// the waiters with success: an acknowledged mutation would no longer exist
+// on disk.
+func TestGroupCommitPoisonDuringLeaderWindow(t *testing.T) {
+	f := newFixture(t, 16, 77)
+	dir := t.TempDir()
+	l, _ := openStore(t, f, dir, WithGroupWindow(500*time.Millisecond))
+	defer l.Close()
+
+	c1, err := l.Begin(store.InsertMutation(f.record(t, "parked")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := l.Begin(store.InsertMutation(f.record(t, "straggler")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// c1's waiter is elected leader; c2's unparked frame keeps stragglers()
+	// positive, so the leader lingers out the window with l.mu dropped.
+	res1 := make(chan error, 1)
+	go func() { res1 <- c1.Wait() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		syncing := l.syncing
+		l.mu.Unlock()
+		if syncing {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no commit leader elected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Poison mid-window, exactly as a concurrent Begin whose write failed
+	// would (persist.go poison truncates to the durable prefix).
+	l.mu.Lock()
+	_ = l.poison(errors.New("injected device failure"))
+	l.mu.Unlock()
+
+	if err := <-res1; err == nil {
+		t.Fatal("parked waiter acknowledged after its frame was truncated away")
+	}
+	if err := c2.Wait(); err == nil {
+		t.Fatal("straggler acknowledged after its frame was truncated away")
+	}
+
+	// The durable prefix must not point past EOF — a later poison would
+	// otherwise Truncate the segment longer, appending a zero-filled tail.
+	l.mu.Lock()
+	synced := l.syncedSize
+	l.mu.Unlock()
+	if st, err := os.Stat(activeWAL(t, dir)); err != nil {
+		t.Fatal(err)
+	} else if synced > st.Size() {
+		t.Fatalf("syncedSize %d points past EOF %d", synced, st.Size())
 	}
 }
 

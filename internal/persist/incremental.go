@@ -366,9 +366,12 @@ func (l *Log) WriteIncrement(seq uint64, buckets []uint32, recs []*store.Record)
 	l.mu.Lock()
 	l.man = man
 	l.mu.Unlock()
-	if err := l.purge(seq); err != nil {
-		return err
-	}
+	// The manifest was the commit point: the cut exists no matter what
+	// happens below. Purge is post-commit cleanup — a failure merely leaves
+	// stale files that the next boot removes, so it must not make the
+	// committed cut look failed to the caller (which would remerge the
+	// dirty set and skip recording a snapshot that did happen).
+	_ = l.purge(seq)
 	l.m.snapshots.Inc()
 	l.m.incSnaps.Inc()
 	l.m.snapDur.Observe(time.Since(start))

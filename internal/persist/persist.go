@@ -616,9 +616,11 @@ func (l *Log) WriteSnapshot(seq uint64, recs []*store.Record) error {
 	l.mu.Lock()
 	l.man, l.hasMan = man, true
 	l.mu.Unlock()
-	if err := l.purge(seq); err != nil {
-		return err
-	}
+	// The manifest was the commit point: the snapshot exists no matter what
+	// happens below. Purge is post-commit cleanup — a failure merely leaves
+	// stale files that the next boot removes, so it must not make the
+	// committed cut look failed to the caller.
+	_ = l.purge(seq)
 	l.m.snapshots.Inc()
 	l.m.snapDur.Observe(time.Since(start))
 	return nil
