@@ -13,6 +13,8 @@
 //	fuzzyid-client -addr HOST:PORT tenant list
 //	fuzzyid-client -addr HOST:PORT tenant create -name myapp
 //	fuzzyid-client -addr HOST:PORT tenant drop -name myapp
+//	fuzzyid-client -addr HOST:PORT tenant limits -name myapp
+//	fuzzyid-client -addr HOST:PORT tenant limits -name myapp -set -rate 50 -burst 25 -weight 2
 //
 // Protocol subcommands accept -tenant NAME to address a tenant namespace
 // other than the default (enroll/verify/identify/identify-batch/revoke);
@@ -77,14 +79,22 @@ func run(args []string) error {
 }
 
 // cmdTenant manages tenant namespaces: list the hosted ones, create a new
-// one, or drop one (irreversibly, with every record in it).
+// one, drop one (irreversibly, with every record in it), or inspect and
+// override a namespace's QoS envelope.
 func cmdTenant(args []string, addr, scheme, ext string) error {
 	if len(args) == 0 {
-		return errors.New("tenant: missing action (list, create or drop)")
+		return errors.New("tenant: missing action (list, create, drop or limits)")
 	}
 	action, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("tenant "+action, flag.ContinueOnError)
-	name := fs.String("name", "", "tenant name (create/drop)")
+	var (
+		name   = fs.String("name", "", "tenant name (create/drop/limits; empty = default for limits)")
+		set    = fs.Bool("set", false, "limits: install an override instead of printing the envelope")
+		rate   = fs.Float64("rate", 0, "limits -set: sustained sessions/second (0 = unlimited)")
+		burst  = fs.Int("burst", 0, "limits -set: back-to-back session allowance (0 = one second of credit)")
+		conc   = fs.Int("concurrency", 0, "limits -set: in-flight session cap (0 = unlimited)")
+		weight = fs.Int("weight", 1, "limits -set: share of the identification scan pool")
+	)
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -132,8 +142,38 @@ func cmdTenant(args []string, addr, scheme, ext string) error {
 		}
 		fmt.Printf("dropped tenant %q\n", *name)
 		return nil
+	case "limits":
+		if *set {
+			l := fuzzyid.QoSLimits{Rate: *rate, Burst: *burst, MaxConcurrent: *conc, Weight: *weight}
+			if err := client.SetTenantLimits(*name, l); err != nil {
+				if tenant, ok := fuzzyid.IsUnknownTenant(err); ok {
+					return fmt.Errorf("tenant %q does not exist", tenant)
+				}
+				return err
+			}
+			fmt.Printf("limits set: rate=%g/s burst=%d concurrency=%d weight=%d\n",
+				l.Rate, l.Burst, l.MaxConcurrent, l.Weight)
+			return nil
+		}
+		l, overridden, err := client.TenantLimits(*name)
+		if err != nil {
+			if tenant, ok := fuzzyid.IsUnknownTenant(err); ok {
+				return fmt.Errorf("tenant %q does not exist", tenant)
+			}
+			if fuzzyid.IsRejected(err) {
+				return fmt.Errorf("admission control disabled on the server: %w", err)
+			}
+			return err
+		}
+		source := "defaults"
+		if overridden {
+			source = "override"
+		}
+		fmt.Printf("rate: %g/s\nburst: %d\nconcurrency: %d\nweight: %d\nsource: %s\n",
+			l.Rate, l.Burst, l.MaxConcurrent, l.Weight, source)
+		return nil
 	default:
-		return fmt.Errorf("tenant: unknown action %q (want list, create or drop)", action)
+		return fmt.Errorf("tenant: unknown action %q (want list, create, drop or limits)", action)
 	}
 }
 

@@ -106,3 +106,45 @@ func TestClientValidation(t *testing.T) {
 		t.Error("revoke without -id accepted")
 	}
 }
+
+// startQoSServer runs an in-process server with admission control on, so
+// the tenant-limits subcommand has something to talk to.
+func startQoSServer(t *testing.T, dim int) string {
+	t.Helper()
+	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim},
+		fuzzyid.WithQoS(fuzzyid.QoSLimits{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String()
+}
+
+func TestClientTenantLimits(t *testing.T) {
+	addr := startQoSServer(t, 64)
+	if err := run([]string{"-addr", addr, "tenant", "create", "-name", "acme"}); err != nil {
+		t.Fatalf("tenant create: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "tenant", "limits", "-name", "acme"}); err != nil {
+		t.Fatalf("tenant limits (defaults): %v", err)
+	}
+	if err := run([]string{"-addr", addr, "tenant", "limits", "-name", "acme",
+		"-set", "-rate", "50", "-burst", "25", "-concurrency", "8", "-weight", "2"}); err != nil {
+		t.Fatalf("tenant limits -set: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "tenant", "limits", "-name", "acme"}); err != nil {
+		t.Fatalf("tenant limits (override): %v", err)
+	}
+	if err := run([]string{"-addr", addr, "tenant", "limits", "-name", "ghost"}); err == nil {
+		t.Fatal("tenant limits on unknown tenant accepted")
+	}
+	// A server without admission control refuses limits operations.
+	plain := startServer(t, 64)
+	if err := run([]string{"-addr", plain, "tenant", "limits"}); err == nil {
+		t.Fatal("tenant limits accepted by a server without QoS")
+	}
+}

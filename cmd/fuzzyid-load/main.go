@@ -43,6 +43,21 @@
 //	             throughput down per tenant, and the namespaces are dropped
 //	             again when the run ends (requires -tenants >= 2; not part
 //	             of "all")
+//	noisy-neighbor — the adversarial QoS scenario: -tenants well-behaved
+//	             victim namespaces run closed-loop identify traffic at
+//	             -workers each, while one flood namespace hammers the server
+//	             with -flood-workers spinning clients under a deliberately
+//	             tight per-tenant rate override (-flood-rate/-flood-burst,
+//	             installed over the wire after its population enrolls). The
+//	             report carries per-tenant rows under stable labels
+//	             ("victim-0".., "flood") with ops, sheds (typed overload
+//	             refusals) and full latency histograms, so CI can gate the
+//	             victims' p99 against bench/noisy-baseline.json while
+//	             requiring the flood to actually shed. Against a server
+//	             running -qos=false the override is skipped (with a warning)
+//	             and nothing sheds — the A/B half of the CI degradation
+//	             check. Namespaces are run-scoped and dropped at the end.
+//	             (Not part of "all".)
 //
 // With -replicas addr1,addr2 every worker's reads fan out round-robin
 // across those follower servers (mutations stay pinned to -addr, which must
@@ -119,6 +134,11 @@ type config struct {
 	seed     int64
 	scheme   string
 	ext      string
+
+	// Noisy-neighbor scenario knobs.
+	floodWorkers int
+	floodRate    float64
+	floodBurst   int
 }
 
 // report is the machine-readable output contract (-format json); append
@@ -166,11 +186,23 @@ type scenarioResult struct {
 	Tenants []tenantResult `json:"tenants,omitempty"`
 }
 
-// tenantResult is one namespace's share of a multitenant scenario.
+// tenantResult is one namespace's share of a multitenant or noisy-neighbor
+// scenario. For noisy-neighbor, Tenant is the stable role label
+// ("victim-0".., "flood") so CI baselines stay comparable across runs while
+// Namespace carries the run-scoped name actually created on the server.
 type tenantResult struct {
 	Tenant         string  `json:"tenant"`
 	Ops            uint64  `json:"ops"`
 	ThroughputOpsS float64 `json:"throughput_ops_s"`
+	// Namespace is the run-scoped namespace behind the stable label
+	// (noisy-neighbor only).
+	Namespace string `json:"namespace,omitempty"`
+	// Shed counts sessions the server refused with a typed overload error
+	// (noisy-neighbor only).
+	Shed uint64 `json:"shed,omitempty"`
+	// Latency is this tenant's own client-side latency histogram
+	// (noisy-neighbor only) — the per-tenant p99 the CI gate reads.
+	Latency *telemetry.HistogramSnapshot `json:"latency,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -188,6 +220,9 @@ func run(args []string, stdout io.Writer) error {
 		seed        = fs.Int64("seed", 1, "workload seed (templates and noise); use a distinct seed per run against a live server, or re-enrolled twin templates make identify ambiguous")
 		scheme      = fs.String("scheme", "ed25519", "signature scheme (must match the server)")
 		ext         = fs.String("extractor", "hmac-sha256", "strong extractor (must match the server)")
+		floodW      = fs.Int("flood-workers", 32, "noisy-neighbor: spinning clients in the flood namespace")
+		floodRate   = fs.Float64("flood-rate", 50, "noisy-neighbor: rate override (sessions/s) installed on the flood namespace (0 = no override)")
+		floodBurst  = fs.Int("flood-burst", 25, "noisy-neighbor: burst override installed on the flood namespace")
 		format      = fs.String("format", "text", "output format: text or json")
 		serverStats = fs.Bool("server-stats", false, "embed the server's telemetry snapshot (native stats session) in the report")
 		spawnServer = fs.String("spawn-server", "", "launch this fuzzyid-server binary as a measured subprocess (macro-bench mode)")
@@ -234,11 +269,15 @@ func run(args []string, stdout io.Writer) error {
 		if name == "multitenant" && *tenants < 2 {
 			return errors.New("the multitenant scenario needs -tenants >= 2")
 		}
+		if name == "noisy-neighbor" && (*floodW <= 0 || *tenants < 1) {
+			return errors.New("the noisy-neighbor scenario needs -flood-workers > 0 and -tenants >= 1")
+		}
 	}
 	cfg := config{
 		addr: *addr, replicas: replicaAddrs, dim: *dim, workers: *workers,
 		duration: *duration, users: *users, batch: *batch, tenants: *tenants,
 		seed: *seed, scheme: *scheme, ext: *ext,
+		floodWorkers: *floodW, floodRate: *floodRate, floodBurst: *floodBurst,
 	}
 	switch *syncPol {
 	case "", "always", "os":
@@ -292,11 +331,12 @@ func parseScenarios(s string) ([]string, error) {
 	if s == "all" {
 		return scenarioOrder, nil
 	}
-	// "replicated", "multitenant" and "mass-enroll" are requested
-	// explicitly, never part of "all": the first two only make sense with
-	// -replicas / -tenants configured, and mass-enroll grows the database
-	// without bound (and would skew the read scenarios behind it).
-	known := map[string]bool{"replicated": true, "multitenant": true, "mass-enroll": true}
+	// "replicated", "multitenant", "mass-enroll" and "noisy-neighbor" are
+	// requested explicitly, never part of "all": the first two only make
+	// sense with -replicas / -tenants configured, mass-enroll grows the
+	// database without bound (and would skew the read scenarios behind it),
+	// and noisy-neighbor deliberately floods the server.
+	known := map[string]bool{"replicated": true, "multitenant": true, "mass-enroll": true, "noisy-neighbor": true}
 	for _, name := range scenarioOrder {
 		known[name] = true
 	}
@@ -598,7 +638,15 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 		DurationS: cfg.duration.Seconds(), Users: cfg.users, Seed: cfg.seed,
 	}
 	for _, name := range scenarios {
-		res, err := runScenario(name, workers, cfg.duration)
+		var (
+			res scenarioResult
+			err error
+		)
+		if name == "noisy-neighbor" {
+			res, err = runNoisyNeighbor(sys, cfg, clientOpts, workers[0].client, nonce)
+		} else {
+			res, err = runScenario(name, workers, cfg.duration)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -694,6 +742,186 @@ func setupMultitenant(sys *fuzzyid.System, cfg config, workers []*worker, client
 		mt.pops[ti] = pop
 	}
 	return mt, nil
+}
+
+// nnTenant is one namespace of the noisy-neighbor scenario: a stable role
+// label for the report, the run-scoped namespace on the server, its
+// population, one client per worker, and the per-tenant measurements.
+type nnTenant struct {
+	label   string // "victim-<i>" or "flood" — stable across runs
+	name    string // run-scoped namespace actually created
+	clients []*fuzzyid.Client
+	srcs    []*biometric.Source
+	rngs    []*rand.Rand
+	pop     []*biometric.User
+
+	hist   telemetry.Histogram
+	ops    atomic.Uint64
+	shed   atomic.Uint64
+	misses atomic.Uint64
+	fails  atomic.Uint64
+}
+
+// runNoisyNeighbor is the adversarial QoS scenario: cfg.tenants victim
+// namespaces serving well-behaved closed-loop identify traffic while a
+// flood namespace — throttled by a per-tenant override installed over the
+// wire — hammers the server with cfg.floodWorkers spinning clients. Victim
+// latency lands in per-tenant histograms, flood refusals are counted as
+// sheds, and the namespaces are dropped when the run ends.
+func runNoisyNeighbor(sys *fuzzyid.System, cfg config, clientOpts []fuzzyid.ClientOption, admin *fuzzyid.Client, nonce int64) (scenarioResult, error) {
+	tenants := make([]*nnTenant, 0, cfg.tenants+1)
+	for i := 0; i < cfg.tenants; i++ {
+		tenants = append(tenants, &nnTenant{
+			label: fmt.Sprintf("victim-%d", i),
+			name:  fmt.Sprintf("nn%x-victim-%d", nonce, i),
+		})
+	}
+	flood := &nnTenant{label: "flood", name: fmt.Sprintf("nn%x-flood", nonce)}
+	tenants = append(tenants, flood)
+	defer func() {
+		// Run-scoped namespaces: drop them (best-effort) so repeated runs
+		// against a live server do not accumulate tenants.
+		for _, tn := range tenants {
+			for _, c := range tn.clients {
+				c.Close()
+			}
+			if err := admin.DropTenant(tn.name); err != nil {
+				fmt.Fprintf(os.Stderr, "fuzzyid-load: drop tenant %s: %v\n", tn.name, err)
+			}
+		}
+	}()
+	for ti, tn := range tenants {
+		if err := admin.CreateTenant(tn.name); err != nil {
+			return scenarioResult{}, fmt.Errorf("create tenant %s: %w", tn.name, err)
+		}
+		n := cfg.workers
+		if tn == flood {
+			n = cfg.floodWorkers
+		}
+		for wi := 0; wi < n; wi++ {
+			opts := append(append([]fuzzyid.ClientOption{}, clientOpts...), fuzzyid.WithTenant(tn.name))
+			client, err := sys.Dial(cfg.addr, opts...)
+			if err != nil {
+				return scenarioResult{}, fmt.Errorf("tenant %s worker %d: %w", tn.label, wi, err)
+			}
+			tn.clients = append(tn.clients, client)
+			// Distinct seed stream per (tenant, worker), spaced like the
+			// main harness so reruns never regenerate twin templates.
+			src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(cfg.dim),
+				cfg.seed<<16+int64(ti)<<8+int64(wi)+7777)
+			if err != nil {
+				return scenarioResult{}, err
+			}
+			tn.srcs = append(tn.srcs, src)
+			tn.rngs = append(tn.rngs, rand.New(rand.NewSource(cfg.seed^int64(ti)<<24^int64(wi)<<32)))
+		}
+		// Enroll this namespace's population BEFORE any override lands, so
+		// setup is never throttled.
+		tn.pop = make([]*biometric.User, cfg.users)
+		for i := range tn.pop {
+			wi := i % len(tn.clients)
+			u := tn.srcs[wi].NewUser(fmt.Sprintf("nn-%x-%s-%04d", nonce, tn.label, i))
+			if err := tn.clients[wi].Enroll(u.ID, u.Template); err != nil {
+				return scenarioResult{}, fmt.Errorf("enroll %s population: %w", tn.label, err)
+			}
+			tn.pop[i] = u
+		}
+	}
+	if cfg.floodRate > 0 {
+		limits := fuzzyid.QoSLimits{Rate: cfg.floodRate, Burst: cfg.floodBurst}
+		if err := admin.SetTenantLimits(flood.name, limits); err != nil {
+			if fuzzyid.IsRejected(err) {
+				// The server runs without admission control (-qos=false):
+				// the A/B half of the CI degradation check. The flood runs
+				// unthrottled and nothing sheds.
+				fmt.Fprintln(os.Stderr, "fuzzyid-load: admission control disabled on the server; flood runs unthrottled")
+			} else {
+				return scenarioResult{}, fmt.Errorf("set flood limits: %w", err)
+			}
+		}
+	}
+	var (
+		victimHist telemetry.Histogram // scenario-level latency = victims only
+		errMu      sync.Mutex
+		firstErr   error
+	)
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for _, tn := range tenants {
+		for wi := range tn.clients {
+			wg.Add(1)
+			go func(tn *nnTenant, wi int) {
+				defer wg.Done()
+				client, src, rng := tn.clients[wi], tn.srcs[wi], tn.rngs[wi]
+				for time.Now().Before(deadline) {
+					u := tn.pop[rng.Intn(len(tn.pop))]
+					reading, err := src.GenuineReading(u)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						tn.fails.Add(1)
+						return
+					}
+					opStart := time.Now()
+					id, err := client.Identify(reading)
+					elapsed := time.Since(opStart)
+					tn.hist.Observe(elapsed)
+					if tn.label != "flood" {
+						victimHist.Observe(elapsed)
+					}
+					tn.ops.Add(1)
+					switch {
+					case err == nil:
+						if id != u.ID {
+							tn.misses.Add(1)
+						}
+					case protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch):
+						tn.misses.Add(1)
+					default:
+						if _, overloaded := fuzzyid.IsOverloaded(err); overloaded {
+							tn.shed.Add(1)
+							continue // the expected outcome for the flood
+						}
+						tn.fails.Add(1)
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(tn, wi)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := scenarioResult{Scenario: "noisy-neighbor", Seconds: elapsed.Seconds(), Latency: victimHist.Snapshot()}
+	for _, tn := range tenants {
+		res.Ops += tn.ops.Load()
+		res.Errors += tn.fails.Load()
+		res.Misses += tn.misses.Load()
+		snap := tn.hist.Snapshot()
+		tr := tenantResult{
+			Tenant: tn.label, Namespace: tn.name,
+			Ops: tn.ops.Load(), Shed: tn.shed.Load(), Latency: &snap,
+		}
+		if res.Seconds > 0 {
+			tr.ThroughputOpsS = float64(tr.Ops) / res.Seconds
+		}
+		res.Tenants = append(res.Tenants, tr)
+	}
+	if res.Seconds > 0 {
+		res.ThroughputOpsS = float64(res.Ops) / res.Seconds
+	}
+	if firstErr != nil {
+		return res, fmt.Errorf("scenario noisy-neighbor: %w", firstErr)
+	}
+	return res, nil
 }
 
 // waitReplicasSynced polls every replica's replication status until it
@@ -879,8 +1107,15 @@ func writeText(w io.Writer, rep *report) error {
 			s.Scenario, s.Ops, s.Errors, s.Misses, s.ThroughputOpsS,
 			s.Latency.P50MS, s.Latency.P95MS, s.Latency.P99MS)
 		for _, tr := range s.Tenants {
-			fmt.Fprintf(w, "  tenant %-20s %10d ops %12.1f ops/s\n",
+			fmt.Fprintf(w, "  tenant %-20s %10d ops %12.1f ops/s",
 				tr.Tenant, tr.Ops, tr.ThroughputOpsS)
+			if tr.Shed > 0 {
+				fmt.Fprintf(w, " %10d shed", tr.Shed)
+			}
+			if tr.Latency != nil {
+				fmt.Fprintf(w, "   p99 %.3fms", tr.Latency.P99MS)
+			}
+			fmt.Fprintln(w)
 		}
 		if len(s.PerWorkerOpsS) > 0 {
 			lo, hi := s.PerWorkerOpsS[0], s.PerWorkerOpsS[0]

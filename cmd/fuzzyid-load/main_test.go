@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"fuzzyid"
 )
@@ -364,5 +365,133 @@ func TestLoadMultitenantNeedsTenants(t *testing.T) {
 	err := run([]string{"-scenario", "multitenant"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "-tenants") {
 		t.Fatalf("run = %v, want -tenants guidance", err)
+	}
+}
+
+// startQoSServer boots an in-process server with admission control on —
+// permissive defaults, a small scan pool and a tight queue budget, the
+// shape the CI qos-smoke job runs.
+func startQoSServer(t *testing.T, dim int) (*fuzzyid.System, string, func()) {
+	t.Helper()
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim},
+		fuzzyid.WithTelemetry(),
+		fuzzyid.WithQoS(fuzzyid.QoSLimits{}),
+		fuzzyid.WithQoSBudget(250*time.Millisecond),
+		fuzzyid.WithScanSlots(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, srv.Addr().String(), func() { srv.Close() }
+}
+
+// TestLoadNoisyNeighborScenario is the harness half of the QoS gate: the
+// flood tenant must be shed by its rate override while the victim rows
+// report their own latency histograms, and the run-scoped namespaces are
+// dropped again on teardown.
+func TestLoadNoisyNeighborScenario(t *testing.T) {
+	sys, addr, stop := startQoSServer(t, 32)
+	defer stop()
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-dim", "32",
+		"-workers", "2",
+		"-users", "4",
+		"-tenants", "2",
+		"-duration", "400ms",
+		"-flood-workers", "8",
+		"-flood-rate", "20",
+		"-flood-burst", "5",
+		"-scenario", "noisy-neighbor",
+		"-format", "json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(rep.Scenarios))
+	}
+	s := rep.Scenarios[0]
+	if s.Errors != 0 {
+		t.Fatalf("scenario had %d hard errors", s.Errors)
+	}
+	if len(s.Tenants) != 3 {
+		t.Fatalf("got %d tenant rows, want 2 victims + flood", len(s.Tenants))
+	}
+	rows := map[string]tenantResult{}
+	for _, tr := range s.Tenants {
+		rows[tr.Tenant] = tr
+		if tr.Latency == nil {
+			t.Errorf("tenant %s: no latency histogram", tr.Tenant)
+		}
+		if tr.Ops == 0 {
+			t.Errorf("tenant %s: 0 ops", tr.Tenant)
+		}
+	}
+	flood, ok := rows["flood"]
+	if !ok {
+		t.Fatal("no flood row")
+	}
+	// 8 spinning workers against a 20/s budget must shed.
+	if flood.Shed == 0 {
+		t.Error("flood.shed = 0: the rate override never bit")
+	}
+	for _, label := range []string{"victim-0", "victim-1"} {
+		v, ok := rows[label]
+		if !ok {
+			t.Fatalf("no %s row", label)
+		}
+		if v.Shed != 0 {
+			t.Errorf("%s shed %d sessions, want 0 (victims are under quota)", label, v.Shed)
+		}
+		if v.Latency.Count != v.Ops {
+			t.Errorf("%s latency count %d != ops %d", label, v.Latency.Count, v.Ops)
+		}
+	}
+	// The scenario-level histogram is the victims' merged view.
+	wantCount := rows["victim-0"].Ops + rows["victim-1"].Ops
+	if s.Latency.Count != wantCount {
+		t.Errorf("scenario latency count %d != victim ops %d", s.Latency.Count, wantCount)
+	}
+	// The server-side telemetry agrees that only the flood was shed.
+	snap := sys.Stats()
+	var floodShed, victimShed uint64
+	for _, tr := range s.Tenants {
+		shed := snap.Counter("tenant." + tr.Namespace + ".shed")
+		if tr.Tenant == "flood" {
+			floodShed = shed
+		} else {
+			victimShed += shed
+		}
+	}
+	if floodShed != flood.Shed {
+		t.Errorf("server flood shed %d != client view %d", floodShed, flood.Shed)
+	}
+	if victimShed != 0 {
+		t.Errorf("server shed %d victim sessions", victimShed)
+	}
+	// Teardown: only the default tenant remains.
+	if tenants := sys.Tenants(); len(tenants) != 1 {
+		t.Errorf("tenants after run = %v, want only default", tenants)
+	}
+}
+
+// TestLoadNoisyNeighborValidation pins the flag contract.
+func TestLoadNoisyNeighborValidation(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "noisy-neighbor", "-flood-workers", "0"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "flood-workers") {
+		t.Errorf("flood-workers=0 err = %v", err)
 	}
 }

@@ -37,6 +37,15 @@
 // partitions under <data>/tenants/ on boot. Clients select a namespace per
 // connection (-tenant on fuzzyid-client), and a replicating primary
 // streams every tenant to its followers.
+//
+// Overload protection (DESIGN.md §12, OPERATIONS.md §8): per-tenant
+// admission control is on by default — identification scans are scheduled
+// weighted-fair across tenants and sessions beyond a tenant's envelope are
+// shed with a typed, retryable overload error instead of degrading
+// everyone. Tune the default envelope with -qos-rate/-qos-burst/
+// -qos-concurrency/-qos-weight, the queueing bound with -qos-budget, the
+// scan pool with -qos-scan-slots, and install per-tenant overrides at
+// runtime with "fuzzyid-client tenant limits". -qos=false disables it all.
 package main
 
 import (
@@ -162,6 +171,14 @@ func setup(args []string) (*proc, error) {
 		statsAddr = fs.String("stats-addr", "", "serve the telemetry JSON snapshot over HTTP on this address (requires -telemetry)")
 		serveRepl = fs.Bool("serve-replication", false, "act as a replication primary: stream the mutation log to followers")
 		replicaOf = fs.String("replica-of", "", "act as a read-only follower of the primary at this address")
+
+		qosOn     = fs.Bool("qos", true, "per-tenant admission control: fair scan scheduling, bounded queues, typed retryable overload sheds")
+		qosRate   = fs.Float64("qos-rate", 0, "default sustained sessions/second per tenant (0 = unlimited)")
+		qosBurst  = fs.Int("qos-burst", 0, "default back-to-back session allowance before -qos-rate bites (0 = one second of credit)")
+		qosConc   = fs.Int("qos-concurrency", 0, "default cap on in-flight sessions per tenant (0 = unlimited)")
+		qosWeight = fs.Int("qos-weight", 1, "default tenant weight in the identification scan pool")
+		qosBudget = fs.Duration("qos-budget", 0, "how long an admitted-but-queued session may wait before it is shed (0 = default 500ms)")
+		qosSlots  = fs.Int("qos-scan-slots", 0, "identification scan pool size scheduled weighted-fair across tenants (0 = 2x parallelism, negative = ungated)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -212,6 +229,20 @@ func setup(args []string) (*proc, error) {
 	if *replicaOf != "" {
 		opts = append(opts, fuzzyid.WithReplicaOf(*replicaOf))
 	}
+	if *qosOn {
+		opts = append(opts, fuzzyid.WithQoS(fuzzyid.QoSLimits{
+			Rate:          *qosRate,
+			Burst:         *qosBurst,
+			MaxConcurrent: *qosConc,
+			Weight:        *qosWeight,
+		}))
+		if *qosBudget > 0 {
+			opts = append(opts, fuzzyid.WithQoSBudget(*qosBudget))
+		}
+		if *qosSlots != 0 {
+			opts = append(opts, fuzzyid.WithScanSlots(*qosSlots))
+		}
+	}
 	sys, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: *dim}, opts...)
 	if err != nil {
 		return nil, err
@@ -239,6 +270,12 @@ func setup(args []string) (*proc, error) {
 	}
 	if tenants := sys.Tenants(); len(tenants) > 1 {
 		fmt.Printf("tenants: %d (%s)\n", len(tenants), strings.Join(tenants, ", "))
+	}
+	if *qosOn {
+		fmt.Printf("qos: admission control on (rate=%g/s burst=%d concurrency=%d weight=%d)\n",
+			*qosRate, *qosBurst, *qosConc, *qosWeight)
+	} else {
+		fmt.Println("qos: admission control off (-qos=false; no overload protection)")
 	}
 	if sys.Replicating() {
 		fmt.Println("replication: primary (streaming the mutation log to followers)")

@@ -40,6 +40,7 @@ import (
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/persist"
 	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/qos"
 	"fuzzyid/internal/replica"
 	"fuzzyid/internal/sigscheme"
 	"fuzzyid/internal/store"
@@ -85,6 +86,10 @@ type (
 	Metrics = telemetry.Registry
 	// StatsSnapshot is one exported view of a Metrics registry.
 	StatsSnapshot = telemetry.Snapshot
+	// QoSLimits is one tenant's admission-control envelope: sustained
+	// session rate, burst allowance, concurrency cap and scan-pool weight.
+	// A zero field means "no limit" (weight 0 is treated as 1).
+	QoSLimits = qos.Limits
 )
 
 // ParseStats decodes a stats JSON document (from Client.Stats or the
@@ -153,6 +158,21 @@ func NewExtractor(p Params) (*Extractor, error) { return core.New(p) }
 // outcome) rather than a transport failure.
 func IsRejected(err error) bool { return protocol.IsRejected(err) }
 
+// IsOverloaded reports whether err is an admission-control shed — the
+// server refused to run the session because the tenant's rate, concurrency
+// or scan-queue budget was exhausted. The condition is transient: retryAfter
+// is the server's hint for when a retry is worth attempting (see
+// WithOverloadRetry for clients that should retry automatically).
+func IsOverloaded(err error) (retryAfter time.Duration, ok bool) {
+	return protocol.IsOverloaded(err)
+}
+
+// WithOverloadRetry makes a dialed Client (or LocalClient) retry sessions
+// shed by the server's admission controller up to n extra times with
+// exponential backoff seeded by the server's retry-after hint. Only
+// overload sheds are retried; every other outcome surfaces immediately.
+func WithOverloadRetry(n int) ClientOption { return transport.WithOverloadRetry(n) }
+
 // System bundles everything needed to run the paper's protocols: the fuzzy
 // extractor, the signature scheme, the server-side record stores (one per
 // tenant namespace), and the protocol engines for both the authentication
@@ -180,6 +200,10 @@ type System struct {
 	// WithReplication, follower on a replica built WithReplicaOf.
 	hub      *replica.Hub
 	follower *replica.Follower
+
+	// Admission control; nil unless WithQoS (or a QoS tuning option) was
+	// configured.
+	qos *qos.Controller
 }
 
 // Option configures a System.
@@ -207,6 +231,10 @@ type config struct {
 	telemetry    bool
 	serveRepl    bool
 	replicaOf    string
+	qos          bool
+	qosDefaults  qos.Limits
+	qosBudget    time.Duration
+	qosScanSlots int
 }
 
 // WithStoreStrategy selects the identification lookup strategy: "bucket"
@@ -394,6 +422,49 @@ func WithReplicaOf(addr string) Option {
 	})
 }
 
+// WithQoS turns on per-tenant admission control with the given default
+// envelope (applied to every tenant without an override): sessions beyond a
+// tenant's rate or burst wait up to the queue budget and are then shed with
+// a typed, retryable overload error (IsOverloaded); concurrency past the cap
+// queues the same way; and identification scans are scheduled weighted-fair
+// across tenants so one noisy neighbor cannot starve the rest. The zero
+// QoSLimits enables overload protection (fair scan scheduling, bounded
+// queues) without rate-limiting anyone. Per-tenant overrides are installed
+// at runtime via SetTenantLimits or the tenant-admin protocol.
+func WithQoS(defaults QoSLimits) Option {
+	return optionFunc(func(c *config) error {
+		c.qos = true
+		c.qosDefaults = defaults
+		return nil
+	})
+}
+
+// WithQoSBudget bounds how long an admission-controlled session may queue
+// (for a rate slot, a concurrency slot or a scan slot) before it is shed
+// (default qos.DefaultBudget, 500ms). Implies WithQoS.
+func WithQoSBudget(d time.Duration) Option {
+	return optionFunc(func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("fuzzyid: negative qos budget %v", d)
+		}
+		c.qos = true
+		c.qosBudget = d
+		return nil
+	})
+}
+
+// WithScanSlots sets the size of the shared identification scan pool that
+// admission control schedules weighted-fair across tenants: at most n
+// database scans run concurrently (0 = twice the scheduler's parallelism,
+// negative = no scan gating). Implies WithQoS.
+func WithScanSlots(n int) Option {
+	return optionFunc(func(c *config) error {
+		c.qos = true
+		c.qosScanSlots = n
+		return nil
+	})
+}
+
 // NewSystem validates p and assembles a complete deployment. The system
 // always hosts the "default" tenant; named tenants are recovered from the
 // persistence directory's per-tenant partitions and managed at runtime via
@@ -522,12 +593,33 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 				return nil, err
 			}
 		}
+	}
+	if cfg.qos {
+		sys.qos = qos.New(qos.Config{
+			Defaults:  cfg.qosDefaults,
+			Budget:    cfg.qosBudget,
+			ScanSlots: cfg.qosScanSlots,
+		})
+		sys.qos.Instrument(sys.metrics)
+	}
+	if cfg.dataDir != "" || sys.qos != nil {
+		// One drop hook covers both concerns: forget the tenant's QoS
+		// state (never fails), then delete its persistence partition.
 		reg.OnDrop(func(name string) error {
-			return persist.RemoveTenant(cfg.dataDir, name)
+			if sys.qos != nil {
+				sys.qos.DropTenant(name)
+			}
+			if cfg.dataDir != "" {
+				return persist.RemoveTenant(cfg.dataDir, name)
+			}
+			return nil
 		})
 	}
 	sys.server = protocol.NewServer(fe, scheme, reg.Default())
 	sys.server.SetTenants(reg)
+	if sys.qos != nil {
+		sys.server.SetQoS(sys.qos)
+	}
 	if sys.metrics != nil {
 		sys.server.Instrument(sys.metrics)
 	}
@@ -608,6 +700,33 @@ func (s *System) CreateTenant(name string) error { return s.tenants.Create(name)
 // its persistence partition and shipping the drop to followers.
 // Irreversible; the default tenant cannot be dropped.
 func (s *System) DropTenant(name string) error { return s.tenants.Drop(name) }
+
+// SetTenantLimits installs a per-tenant QoS override (replacing the
+// WithQoS defaults for that tenant from the next admission on). Overrides
+// are per-process and runtime-only: they are not persisted or replicated.
+// Fails when the system runs without admission control or the tenant does
+// not exist.
+func (s *System) SetTenantLimits(name string, l QoSLimits) error {
+	if s.qos == nil {
+		return errors.New("fuzzyid: admission control disabled (build the system WithQoS)")
+	}
+	canonical := store.CanonicalTenant(name)
+	if !s.tenants.Has(canonical) {
+		return fmt.Errorf("fuzzyid: unknown tenant %q", canonical)
+	}
+	s.qos.SetLimits(canonical, l)
+	return nil
+}
+
+// TenantLimits returns a tenant's effective QoS envelope and whether it
+// comes from a per-tenant override (false = the WithQoS defaults). The zero
+// envelope with overridden=false on a system without admission control.
+func (s *System) TenantLimits(name string) (limits QoSLimits, overridden bool) {
+	if s.qos == nil {
+		return QoSLimits{}, false
+	}
+	return s.qos.LimitsFor(store.CanonicalTenant(name))
+}
 
 // Replicating reports whether the system serves a replication stream to
 // followers (built WithReplication).

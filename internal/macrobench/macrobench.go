@@ -279,6 +279,17 @@ type LoadScenario struct {
 	Ops            uint64                      `json:"ops"`
 	ThroughputOpsS float64                     `json:"throughput_ops_s"`
 	Latency        telemetry.HistogramSnapshot `json:"latency"`
+	Tenants        []LoadTenant                `json:"tenants,omitempty"`
+}
+
+// LoadTenant mirrors one per-tenant row of a scenario (the noisy-neighbor
+// QoS scenario emits them): the stable role label, the shed count and the
+// tenant's own latency histogram.
+type LoadTenant struct {
+	Tenant  string                       `json:"tenant"`
+	Ops     uint64                       `json:"ops"`
+	Shed    uint64                       `json:"shed,omitempty"`
+	Latency *telemetry.HistogramSnapshot `json:"latency,omitempty"`
 }
 
 // LoadReport mirrors the load-report envelope the gate reads.
@@ -326,12 +337,44 @@ func Compare(base, cand *LoadReport, threshold, minMS float64) []string {
 				"scenario %s: p99 %.3fms exceeds baseline %.3fms by more than %.0f%%",
 				c.Scenario, c.Latency.P99MS, b.Latency.P99MS, threshold*100))
 		}
+		violations = append(violations, compareTenants(b, c, threshold, minMS)...)
 	}
 	if base.Macro != nil && cand.Macro != nil && base.Macro.PeakRSSBytes > 0 {
 		if limit := float64(base.Macro.PeakRSSBytes) * (1 + threshold); float64(cand.Macro.PeakRSSBytes) > limit {
 			violations = append(violations, fmt.Sprintf(
 				"peak RSS %d bytes exceeds baseline %d by more than %.0f%%",
 				cand.Macro.PeakRSSBytes, base.Macro.PeakRSSBytes, threshold*100))
+		}
+	}
+	return violations
+}
+
+// compareTenants gates the per-tenant latency rows of one scenario pair —
+// the victims' p99 under the noisy-neighbor flood. The "flood" row is
+// skipped: a throttled aggressor's latency is dominated by shed round
+// trips, which is the intended behaviour, not a regression. Rows present on
+// only one side are ignored, like scenarios.
+func compareTenants(base, cand LoadScenario, threshold, minMS float64) []string {
+	var violations []string
+	byTenant := make(map[string]LoadTenant, len(base.Tenants))
+	for _, t := range base.Tenants {
+		byTenant[t.Tenant] = t
+	}
+	for _, c := range cand.Tenants {
+		if c.Tenant == "flood" || c.Latency == nil {
+			continue
+		}
+		b, ok := byTenant[c.Tenant]
+		if !ok || b.Latency == nil {
+			continue
+		}
+		if b.Latency.P99MS < minMS && c.Latency.P99MS < minMS {
+			continue
+		}
+		if limit := b.Latency.P99MS * (1 + threshold); c.Latency.P99MS > limit {
+			violations = append(violations, fmt.Sprintf(
+				"scenario %s tenant %s: p99 %.3fms exceeds baseline %.3fms by more than %.0f%%",
+				cand.Scenario, c.Tenant, c.Latency.P99MS, b.Latency.P99MS, threshold*100))
 		}
 	}
 	return violations

@@ -29,6 +29,7 @@ import (
 
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/qos"
 	"fuzzyid/internal/sigscheme"
 	"fuzzyid/internal/sketch"
 	"fuzzyid/internal/store"
@@ -115,6 +116,42 @@ func IsUnknownTenant(err error) (string, bool) {
 	return "", false
 }
 
+// OverloadedError is returned when the server's admission controller shed
+// the session: the tenant's rate, concurrency or scan-queue budget was
+// exhausted. The condition is transient — RetryAfter is the server's hint
+// for when a retry is worth attempting.
+type OverloadedError struct {
+	// RetryAfter is the server-suggested backoff before retrying.
+	RetryAfter time.Duration
+	// Reason names the limit that shed the session: "rate",
+	// "concurrency" or "scan".
+	Reason string
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("protocol: overloaded (%s limit): retry after %v", e.Reason, e.RetryAfter)
+}
+
+// IsOverloaded reports whether err is a server's load-shedding verdict; if
+// so it also returns the retry-after hint.
+func IsOverloaded(err error) (time.Duration, bool) {
+	var o *OverloadedError
+	if errors.As(err, &o) {
+		return o.RetryAfter, true
+	}
+	return 0, false
+}
+
+// overloadedError maps the wire form of a shed to the typed client error.
+func overloadedError(m *wire.Overloaded) *OverloadedError {
+	retry := time.Duration(m.RetryAfterMS) * time.Millisecond
+	if retry <= 0 {
+		retry = time.Millisecond
+	}
+	return &OverloadedError{RetryAfter: retry, Reason: m.Reason}
+}
+
 // Device is the biometric device (BioD) engine. It is safe for concurrent
 // use; every method call runs one complete protocol session on rw. A device
 // addresses the default tenant unless rebound with ForTenant.
@@ -169,6 +206,8 @@ func (d *Device) Enroll(rw io.ReadWriter, id string, bio numberline.Vector) erro
 		return &NotPrimaryError{Primary: m.Primary}
 	case *wire.UnknownTenant:
 		return &UnknownTenantError{Tenant: m.Tenant}
+	case *wire.Overloaded:
+		return overloadedError(m)
 	default:
 		return fmt.Errorf("%w: %T during enroll", ErrProtocol, msg)
 	}
@@ -236,6 +275,8 @@ func (d *Device) IdentifyBatch(rw io.ReadWriter, bios []numberline.Vector) ([]st
 		return nil, &RejectedError{Reason: m.Reason}
 	case *wire.UnknownTenant:
 		return nil, &UnknownTenantError{Tenant: m.Tenant}
+	case *wire.Overloaded:
+		return nil, overloadedError(m)
 	default:
 		return nil, fmt.Errorf("%w: %T awaiting batch challenge", ErrProtocol, msg)
 	}
@@ -400,6 +441,65 @@ func (d *Device) tenantAdmin(rw io.ReadWriter, action wire.TenantAction, name st
 	return err
 }
 
+// SetTenantLimits runs a tenant administration session installing a QoS
+// override for the named namespace. Overrides are per-process and
+// runtime-only: set them on each node, and again after a restart.
+func (d *Device) SetTenantLimits(rw io.ReadWriter, name string, l qos.Limits) error {
+	spec := SpecFromLimits(l)
+	if err := wire.Send(rw, &wire.TenantAdmin{
+		Action: wire.TenantActionSetLimits, Tenant: name, Limits: &spec,
+	}); err != nil {
+		return err
+	}
+	_, err := awaitAccept(rw)
+	return err
+}
+
+// TenantLimits runs a tenant administration session asking for the named
+// namespace's effective QoS envelope.
+func (d *Device) TenantLimits(rw io.ReadWriter, name string) (qos.Limits, bool, error) {
+	if err := wire.Send(rw, &wire.TenantAdmin{
+		Action: wire.TenantActionGetLimits, Tenant: name,
+	}); err != nil {
+		return qos.Limits{}, false, err
+	}
+	msg, err := wire.Receive(rw)
+	if err != nil {
+		return qos.Limits{}, false, err
+	}
+	switch m := msg.(type) {
+	case *wire.TenantLimits:
+		return LimitsFromSpec(m.Spec), m.Overridden, nil
+	case *wire.Reject:
+		return qos.Limits{}, false, &RejectedError{Reason: m.Reason}
+	case *wire.UnknownTenant:
+		return qos.Limits{}, false, &UnknownTenantError{Tenant: m.Tenant}
+	default:
+		return qos.Limits{}, false, fmt.Errorf("%w: %T awaiting tenant limits", ErrProtocol, msg)
+	}
+}
+
+// SpecFromLimits converts a QoS envelope to its wire form.
+func SpecFromLimits(l qos.Limits) wire.LimitsSpec {
+	return wire.LimitsSpec{
+		RateMilli:     uint64(l.Rate*1000 + 0.5),
+		Burst:         uint32(max(l.Burst, 0)),
+		MaxConcurrent: uint32(max(l.MaxConcurrent, 0)),
+		Weight:        uint32(max(l.Weight, 0)),
+	}
+}
+
+// LimitsFromSpec converts the wire form of a QoS envelope back to the
+// controller's type.
+func LimitsFromSpec(s wire.LimitsSpec) qos.Limits {
+	return qos.Limits{
+		Rate:          float64(s.RateMilli) / 1000,
+		Burst:         int(s.Burst),
+		MaxConcurrent: int(s.MaxConcurrent),
+		Weight:        int(s.Weight),
+	}
+}
+
 // ReplStatus runs a replication-status probe: any server answers with its
 // role (primary / replica / standalone) and log progress. The client's
 // replica fan-out uses it as a cheap health and lag check.
@@ -449,6 +549,8 @@ func (d *Device) finishChallenge(rw io.ReadWriter, bio numberline.Vector) (strin
 		return "", &NotPrimaryError{Primary: m.Primary}
 	case *wire.UnknownTenant:
 		return "", &UnknownTenantError{Tenant: m.Tenant}
+	case *wire.Overloaded:
+		return "", overloadedError(m)
 	default:
 		return "", fmt.Errorf("%w: %T awaiting challenge", ErrProtocol, msg)
 	}
@@ -496,6 +598,8 @@ func awaitAccept(rw io.ReadWriter) (string, error) {
 		return "", &NotPrimaryError{Primary: m.Primary}
 	case *wire.UnknownTenant:
 		return "", &UnknownTenantError{Tenant: m.Tenant}
+	case *wire.Overloaded:
+		return "", overloadedError(m)
 	default:
 		return "", fmt.Errorf("%w: %T awaiting verdict", ErrProtocol, msg)
 	}
@@ -509,6 +613,8 @@ func expectBatch(msg wire.Message) (*wire.ChallengeBatch, error) {
 		return nil, &RejectedError{Reason: m.Reason}
 	case *wire.UnknownTenant:
 		return nil, &UnknownTenantError{Tenant: m.Tenant}
+	case *wire.Overloaded:
+		return nil, overloadedError(m)
 	default:
 		return nil, fmt.Errorf("%w: %T awaiting challenge batch", ErrProtocol, msg)
 	}
@@ -543,6 +649,10 @@ type Server struct {
 	repl ReplicationHandler
 	// statusFn answers ReplStatus probes; nil means standalone.
 	statusFn func() wire.ReplStatusInfo
+
+	// qos, when non-nil, gates every tenant-scoped session through the
+	// admission controller before work is scheduled (DESIGN.md §12).
+	qos *qos.Controller
 }
 
 // ReplicationHandler serves replication subscriptions on a primary: the
@@ -597,6 +707,16 @@ func (s *Server) resolve(tenant string) (store.Store, string, error) {
 func (s *Server) refuseTenant(rw io.ReadWriter, name string) error {
 	return wire.Send(rw, &wire.UnknownTenant{Tenant: name})
 }
+
+// SetQoS installs an admission controller: tenant-scoped sessions are
+// gated through it (rate limit and concurrency quota at session open,
+// weighted-fair scan slots around the store scan), and shed sessions are
+// answered with the Overloaded message. A nil controller disables
+// admission control. Call before serving traffic.
+func (s *Server) SetQoS(ctl *qos.Controller) { s.qos = ctl }
+
+// QoS returns the installed admission controller (nil when disabled).
+func (s *Server) QoS() *qos.Controller { return s.qos }
 
 // SetReadOnly puts the server in replica mode: enroll and revoke sessions
 // are refused with a NotPrimary message naming primary, so clients can
@@ -684,19 +804,19 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 	var run func() error
 	switch m := msg.(type) {
 	case *wire.EnrollRequest:
-		om, run = &s.m.enroll, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store) error { return s.handleEnroll(rw, db, m) })
+		om, run = &s.m.enroll, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store, _ string) error { return s.handleEnroll(rw, db, m) })
 	case *wire.VerifyRequest:
-		om, run = &s.m.verify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleVerify(rw, db, m) })
+		om, run = &s.m.verify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, _ string) error { return s.handleVerify(rw, db, m) })
 	case *wire.IdentifyRequest:
 		if m.Normal {
-			om, run = &s.m.identifyNormal, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleIdentifyNormal(rw, db) })
+			om, run = &s.m.identifyNormal, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, name string) error { return s.handleIdentifyNormal(rw, db, name) })
 		} else {
-			om, run = &s.m.identify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleIdentify(rw, db, m) })
+			om, run = &s.m.identify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, name string) error { return s.handleIdentify(rw, db, name, m) })
 		}
 	case *wire.RevokeRequest:
-		om, run = &s.m.revoke, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store) error { return s.handleRevoke(rw, db, m) })
+		om, run = &s.m.revoke, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store, _ string) error { return s.handleRevoke(rw, db, m) })
 	case *wire.IdentifyBatchRequest:
-		om, run = &s.m.identifyBatch, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store) error { return s.handleIdentifyBatch(rw, db, m) })
+		om, run = &s.m.identifyBatch, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, name string) error { return s.handleIdentifyBatch(rw, db, name, m) })
 	case *wire.StatsRequest:
 		om, run = &s.m.statsQ, func() error { return s.handleStats(rw) }
 	case *wire.ReplSubscribe:
@@ -730,11 +850,14 @@ const (
 // lagging follower may not know a freshly created tenant yet, and the
 // right answer is still "go to the primary", not "no such tenant"); then
 // the session's tenant is resolved once, unknown tenants are answered with
-// the typed UnknownTenant message (a completed run), and the session is
-// counted against its namespace. Unknown names are deliberately not
-// counted — the label set must stay bounded by the hosted tenants, not by
-// what peers send.
-func (s *Server) tenantRun(rw io.ReadWriter, tenant string, mutating bool, fn func(store.Store) error) func() error {
+// the typed UnknownTenant message (a completed run), admission control is
+// applied (a shed session is answered with Overloaded — a completed run,
+// counted as a request but not an error), and the session is counted
+// against its namespace. Unknown names are deliberately not counted — the
+// label set must stay bounded by the hosted tenants, not by what peers
+// send. Admission runs after resolution for the same reason: only hosted
+// tenants can occupy admission state.
+func (s *Server) tenantRun(rw io.ReadWriter, tenant string, mutating bool, fn func(store.Store, string) error) func() error {
 	return func() error {
 		if mutating && s.primary != "" {
 			return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
@@ -743,10 +866,48 @@ func (s *Server) tenantRun(rw io.ReadWriter, tenant string, mutating bool, fn fu
 		if err != nil {
 			return s.refuseTenant(rw, name)
 		}
-		err = fn(db)
+		if s.qos != nil {
+			release, admitErr := s.qos.Admit(name)
+			if admitErr != nil {
+				s.countTenant(name, false)
+				return s.shed(rw, admitErr)
+			}
+			defer release()
+		}
+		err = fn(db, name)
 		s.countTenant(name, err != nil)
 		return err
 	}
+}
+
+// shed answers a session the admission controller refused with the typed
+// Overloaded message; a non-overload admission failure is surfaced as a
+// session error.
+func (s *Server) shed(rw io.ReadWriter, admitErr error) error {
+	var ov *qos.OverloadError
+	if !errors.As(admitErr, &ov) {
+		return admitErr
+	}
+	ms := ov.RetryAfter.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	return wire.Send(rw, &wire.Overloaded{RetryAfterMS: uint32(min(ms, 1<<31)), Reason: ov.Reason})
+}
+
+// scanGate takes a weighted-fair slot of the shared scan pool for the
+// session's tenant before an identification store scan. ok=true means the
+// scan may run and release must be called when it finishes; ok=false means
+// the session was shed (err carries the result of sending Overloaded).
+func (s *Server) scanGate(rw io.ReadWriter, name string) (release func(), ok bool, err error) {
+	if s.qos == nil {
+		return func() {}, true, nil
+	}
+	release, acquireErr := s.qos.AcquireScan(name)
+	if acquireErr != nil {
+		return nil, false, s.shed(rw, acquireErr)
+	}
+	return release, true, nil
 }
 
 // handleStats serves the operational stats session: the registry snapshot as
@@ -793,7 +954,10 @@ func (s *Server) handleReplStatus(rw io.ReadWriter) error {
 // handleTenantAdmin serves the tenant administration session: list answers
 // with the hosted namespace names; create and drop mutate the registry (and
 // so are refused with a redirect on a read-only replica) and acknowledge
-// with an Accept echoing the canonical name.
+// with an Accept echoing the canonical name. Set-limits and get-limits
+// manage per-process QoS overrides and are served on any node — including
+// read-only replicas, which run their own admission control — so they do
+// not redirect to the primary.
 func (s *Server) handleTenantAdmin(rw io.ReadWriter, m *wire.TenantAdmin) error {
 	if m.Action == wire.TenantActionList {
 		names := []string{store.DefaultTenant}
@@ -801,6 +965,9 @@ func (s *Server) handleTenantAdmin(rw io.ReadWriter, m *wire.TenantAdmin) error 
 			names = s.tenants.Names()
 		}
 		return wire.Send(rw, &wire.TenantInfo{Tenants: names})
+	}
+	if m.Action == wire.TenantActionSetLimits || m.Action == wire.TenantActionGetLimits {
+		return s.handleTenantLimits(rw, m)
 	}
 	if s.primary != "" {
 		return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
@@ -827,6 +994,32 @@ func (s *Server) handleTenantAdmin(rw io.ReadWriter, m *wire.TenantAdmin) error 
 	return wire.Send(rw, &wire.Accept{ID: name})
 }
 
+// handleTenantLimits serves the QoS half of the tenant admin session:
+// set-limits installs a per-tenant override on this node's controller,
+// get-limits reports the effective envelope. Both require admission
+// control to be enabled and the namespace to exist.
+func (s *Server) handleTenantLimits(rw io.ReadWriter, m *wire.TenantAdmin) error {
+	if s.qos == nil {
+		return wire.Send(rw, &wire.Reject{Reason: "admission control disabled"})
+	}
+	_, name, err := s.resolve(m.Tenant)
+	if err != nil {
+		return s.refuseTenant(rw, name)
+	}
+	if m.Action == wire.TenantActionSetLimits {
+		var spec wire.LimitsSpec
+		if m.Limits != nil {
+			spec = *m.Limits
+		}
+		s.qos.SetLimits(name, LimitsFromSpec(spec))
+		return wire.Send(rw, &wire.Accept{ID: name})
+	}
+	limits, overridden := s.qos.LimitsFor(name)
+	return wire.Send(rw, &wire.TenantLimits{
+		Tenant: name, Spec: SpecFromLimits(limits), Overridden: overridden,
+	})
+}
+
 func (s *Server) handleEnroll(rw io.ReadWriter, db store.Store, m *wire.EnrollRequest) error {
 	rec := &store.Record{ID: m.ID, PublicKey: m.PublicKey, Helper: m.Helper}
 	if err := db.Insert(rec); err != nil {
@@ -847,11 +1040,18 @@ func (s *Server) handleVerify(rw io.ReadWriter, db store.Store, m *wire.VerifyRe
 	return s.challengeResponse(rw, rec)
 }
 
-func (s *Server) handleIdentify(rw io.ReadWriter, db store.Store, m *wire.IdentifyRequest) error {
+func (s *Server) handleIdentify(rw io.ReadWriter, db store.Store, name string, m *wire.IdentifyRequest) error {
 	if m.Probe == nil {
 		return wire.Send(rw, &wire.Reject{Reason: "missing probe sketch"})
 	}
+	// The scan slot covers only the database scan — not the challenge
+	// round trip, where a slow device would otherwise pin a slot.
+	release, ok, err := s.scanGate(rw, name)
+	if !ok {
+		return err
+	}
 	rec, err := db.Identify(m.Probe)
+	release()
 	if err != nil {
 		return wire.Send(rw, &wire.Reject{Reason: "no matching record"})
 	}
@@ -925,7 +1125,7 @@ func (s *Server) handleRevoke(rw io.ReadWriter, db store.Store, m *wire.RevokeRe
 // Store.IdentifyBatch pass resolves every probe, then a single challenge
 // round covers all matched probes and a single result message reports every
 // verdict.
-func (s *Server) handleIdentifyBatch(rw io.ReadWriter, db store.Store, m *wire.IdentifyBatchRequest) error {
+func (s *Server) handleIdentifyBatch(rw io.ReadWriter, db store.Store, name string, m *wire.IdentifyBatchRequest) error {
 	if len(m.Probes) == 0 {
 		return wire.Send(rw, &wire.Reject{Reason: "empty probe batch"})
 	}
@@ -934,7 +1134,15 @@ func (s *Server) handleIdentifyBatch(rw io.ReadWriter, db store.Store, m *wire.I
 			return wire.Send(rw, &wire.Reject{Reason: "missing probe sketch"})
 		}
 	}
+	// One scan slot covers the whole batched pass: the batch already
+	// amortises the scan, and slot-per-probe would let a single session
+	// drain the pool.
+	release, ok, err := s.scanGate(rw, name)
+	if !ok {
+		return err
+	}
 	recs, err := db.IdentifyBatch(m.Probes)
+	release()
 	if err != nil {
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("identify batch: %v", err)})
 	}
@@ -987,8 +1195,15 @@ func (s *Server) handleIdentifyBatch(rw io.ReadWriter, db store.Store, m *wire.I
 
 // handleIdentifyNormal implements the server side of Fig. 2: ship all
 // (P_i, c_i), then verify the indexed response.
-func (s *Server) handleIdentifyNormal(rw io.ReadWriter, db store.Store) error {
+func (s *Server) handleIdentifyNormal(rw io.ReadWriter, db store.Store, name string) error {
+	// The O(N) normal approach ships the whole table; gating the copy
+	// keeps a flood of Fig. 2 runs from monopolizing the store.
+	release, ok, err := s.scanGate(rw, name)
+	if !ok {
+		return err
+	}
 	records := db.All()
+	release()
 	challenges := make([][]byte, len(records))
 	batch := &wire.ChallengeBatch{Entries: make([]wire.ChallengeEntry, len(records))}
 	for i, rec := range records {

@@ -1,0 +1,152 @@
+package protocol
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"fuzzyid/internal/qos"
+	"fuzzyid/internal/store"
+	"fuzzyid/internal/telemetry"
+)
+
+// TestQoSOverloadedMapsToTypedError is the e2e contract of the overload
+// path: a session shed by the admission controller reaches the device as
+// the typed OverloadedError with a positive retry-after hint, and the
+// decision lands in the per-tenant telemetry.
+func TestQoSOverloadedMapsToTypedError(t *testing.T) {
+	e := newEnv(t, 64, 501)
+	u := e.src.NewUser("alice")
+	e.enroll(t, u)
+
+	reg := telemetry.NewRegistry()
+	e.server.Instrument(reg)
+	ctl := qos.New(qos.Config{
+		Defaults: qos.Limits{Rate: 0.001, Burst: 1},
+		Budget:   5 * time.Millisecond,
+	})
+	ctl.Instrument(reg)
+	e.server.SetQoS(ctl)
+
+	reading, err := e.src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The burst admits the first identify; the second is ~1000s of rate
+	// debt away and must shed.
+	if err := e.session(t, func(rw io.ReadWriter) error {
+		_, err := e.device.Identify(rw, reading)
+		return err
+	}); err != nil {
+		t.Fatalf("first identify: %v", err)
+	}
+	err = e.session(t, func(rw io.ReadWriter) error {
+		_, err := e.device.Identify(rw, reading)
+		return err
+	})
+	retry, ok := IsOverloaded(err)
+	if !ok {
+		t.Fatalf("second identify err = %v, want OverloadedError", err)
+	}
+	if retry <= 0 {
+		t.Fatalf("retry-after hint = %v, want > 0", retry)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("tenant.default.shed"); got != 1 {
+		t.Errorf("tenant.default.shed = %d, want 1", got)
+	}
+	// A shed is a completed run: counted as a request, not an error.
+	// (The enroll predates Instrument, so only the identifies count.)
+	if got := snap.Counter("tenant.default.requests"); got != 2 {
+		t.Errorf("tenant.default.requests = %d, want 2 identifies", got)
+	}
+	if got := snap.Counter("tenant.default.errors"); got != 0 {
+		t.Errorf("tenant.default.errors = %d, want 0", got)
+	}
+}
+
+// TestQoSScanPoolShedsTyped pins the weighted-fair scan gate: with the
+// pool held, an identify sheds with the "scan" reason and the typed error.
+func TestQoSScanPoolShedsTyped(t *testing.T) {
+	e := newEnv(t, 64, 502)
+	u := e.src.NewUser("alice")
+	e.enroll(t, u)
+	ctl := qos.New(qos.Config{ScanSlots: 1, Budget: 20 * time.Millisecond})
+	e.server.SetQoS(ctl)
+
+	release, err := ctl.AcquireScan(store.DefaultTenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reading, err := e.src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessionErr := e.session(t, func(rw io.ReadWriter) error {
+		_, err := e.device.Identify(rw, reading)
+		return err
+	})
+	release()
+	var ov *OverloadedError
+	if !errors.As(sessionErr, &ov) {
+		t.Fatalf("identify err = %v, want OverloadedError", sessionErr)
+	}
+	if ov.Reason != "scan" {
+		t.Fatalf("shed reason = %q, want scan", ov.Reason)
+	}
+	// With the slot free the same session succeeds.
+	if err := e.session(t, func(rw io.ReadWriter) error {
+		_, err := e.device.Identify(rw, reading)
+		return err
+	}); err != nil {
+		t.Fatalf("identify after release: %v", err)
+	}
+}
+
+// TestQoSTenantLimitsAdminOp pins the per-tenant override wire op: set
+// limits on the default namespace, read them back, and the envelope
+// round-trips (including the milli-rate encoding).
+func TestQoSTenantLimitsAdminOp(t *testing.T) {
+	e := newEnv(t, 64, 503)
+	ctl := qos.New(qos.Config{Defaults: qos.Limits{Weight: 1}})
+	e.server.SetQoS(ctl)
+
+	want := qos.Limits{Rate: 12.5, Burst: 4, MaxConcurrent: 9, Weight: 3}
+	if err := e.session(t, func(rw io.ReadWriter) error {
+		return e.device.SetTenantLimits(rw, "", want)
+	}); err != nil {
+		t.Fatalf("set limits: %v", err)
+	}
+	var got qos.Limits
+	var overridden bool
+	if err := e.session(t, func(rw io.ReadWriter) error {
+		var err error
+		got, overridden, err = e.device.TenantLimits(rw, "")
+		return err
+	}); err != nil {
+		t.Fatalf("get limits: %v", err)
+	}
+	if !overridden || got != want {
+		t.Fatalf("limits = %+v overridden=%v, want %+v", got, overridden, want)
+	}
+	// Unknown namespaces answer the typed UnknownTenant.
+	err := e.session(t, func(rw io.ReadWriter) error {
+		return e.device.SetTenantLimits(rw, "ghost", want)
+	})
+	if _, ok := IsUnknownTenant(err); !ok {
+		t.Fatalf("set limits on ghost: %v, want UnknownTenantError", err)
+	}
+}
+
+// TestQoSLimitsRejectedWhenDisabled pins the answer on a server running
+// without admission control.
+func TestQoSLimitsRejectedWhenDisabled(t *testing.T) {
+	e := newEnv(t, 64, 504)
+	err := e.session(t, func(rw io.ReadWriter) error {
+		return e.device.SetTenantLimits(rw, "", qos.Limits{Rate: 1})
+	})
+	if !IsRejected(err) {
+		t.Fatalf("set limits without qos: %v, want rejection", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/qos"
 	"fuzzyid/internal/telemetry"
 )
 
@@ -26,6 +27,15 @@ var (
 
 // DefaultTimeout bounds a single protocol session on the client side.
 const DefaultTimeout = 30 * time.Second
+
+// Overload retry backoff bounds; see WithOverloadRetry.
+const (
+	// MinOverloadBackoff floors the first retry delay when the server's
+	// retry-after hint is smaller.
+	MinOverloadBackoff = 5 * time.Millisecond
+	// MaxOverloadBackoff caps the exponential backoff between retries.
+	MaxOverloadBackoff = time.Second
+)
 
 // Server accepts connections and serves protocol sessions concurrently.
 type Server struct {
@@ -286,6 +296,7 @@ type Client struct {
 	device  *protocol.Device
 	timeout time.Duration
 	tenant  string // namespace every session addresses; "" = default
+	retries int    // extra attempts after an Overloaded shed; see WithOverloadRetry
 
 	// Read fan-out state (empty without WithReplicas).
 	replicas []*replicaConn
@@ -353,6 +364,17 @@ func WithTimeout(d time.Duration) ClientOption {
 // protocol.IsUnknownTenant). Tenant administration sessions are unaffected.
 func WithTenant(name string) ClientOption {
 	return clientOptionFunc(func(c *Client) { c.tenant = name })
+}
+
+// WithOverloadRetry makes the client retry a session shed by the server's
+// admission controller (protocol.IsOverloaded) up to n extra times, sleeping
+// between attempts: the first delay is the server's retry-after hint floored
+// at MinOverloadBackoff, then doubled per attempt and capped at
+// MaxOverloadBackoff. n <= 0 (the default) surfaces the typed overload error
+// to the caller on the first shed. Only overload sheds are retried —
+// rejections, no-match outcomes and transport failures are never masked.
+func WithOverloadRetry(n int) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.retries = n })
 }
 
 // WithReplicas gives the client follower addresses to fan read sessions out
@@ -540,6 +562,31 @@ func (c *Client) DropTenant(name string) error {
 	})
 }
 
+// SetTenantLimits installs a per-tenant QoS override on the connected
+// server ("" names the default tenant). Overrides are per-process and
+// runtime-only; servers without admission control reject the request.
+func (c *Client) SetTenantLimits(name string, l qos.Limits) error {
+	return c.withSession(func(rw io.ReadWriter) error {
+		return c.device.SetTenantLimits(rw, name, l)
+	})
+}
+
+// TenantLimits asks the connected server for a tenant's effective QoS
+// envelope and whether it comes from a per-tenant override (false = the
+// server's configured defaults).
+func (c *Client) TenantLimits(name string) (qos.Limits, bool, error) {
+	var (
+		l          qos.Limits
+		overridden bool
+	)
+	err := c.withSession(func(rw io.ReadWriter) error {
+		var err error
+		l, overridden, err = c.device.TenantLimits(rw, name)
+		return err
+	})
+	return l, overridden, err
+}
+
 // IdentifyNormal runs the O(N) normal-approach identification.
 func (c *Client) IdentifyNormal(bio numberline.Vector) (string, error) {
 	var id string
@@ -551,7 +598,30 @@ func (c *Client) IdentifyNormal(bio numberline.Vector) (string, error) {
 	return id, err
 }
 
+// retrying runs one session attempt, then — when configured with
+// WithOverloadRetry — sleeps and re-runs it for each overload shed, backing
+// off exponentially from the server's retry-after hint. Every other outcome
+// (including success) returns immediately.
+func (c *Client) retrying(run func() error) error {
+	err := run()
+	for attempt := 0; attempt < c.retries; attempt++ {
+		hint, overloaded := protocol.IsOverloaded(err)
+		if !overloaded {
+			return err
+		}
+		delay := max(hint, MinOverloadBackoff) << attempt
+		time.Sleep(min(delay, MaxOverloadBackoff))
+		err = run()
+	}
+	return err
+}
+
 func (c *Client) withSession(fn func(io.ReadWriter) error) error {
+	return c.retrying(func() error { return c.primarySession(fn) })
+}
+
+// primarySession runs one session attempt on the primary connection.
+func (c *Client) primarySession(fn func(io.ReadWriter) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -568,11 +638,18 @@ func (c *Client) withSession(fn func(io.ReadWriter) error) error {
 // readSession runs a read-only protocol session, preferring a healthy
 // replica (round-robin) and falling back to the primary when none is
 // usable. Read sessions are idempotent, so a replica whose connection fails
-// mid-session is benched and the session retried elsewhere.
+// mid-session is benched and the session retried elsewhere; likewise an
+// overload shed retried under WithOverloadRetry re-enters the rotation, so
+// the retry can land on a less loaded server.
 func (c *Client) readSession(fn func(io.ReadWriter) error) error {
+	return c.retrying(func() error { return c.readOnce(fn) })
+}
+
+// readOnce runs one read-session attempt across the replica rotation.
+func (c *Client) readOnce(fn func(io.ReadWriter) error) error {
 	n := len(c.replicas)
 	if n == 0 {
-		return c.withSession(fn)
+		return c.primarySession(fn)
 	}
 	// Reduce modulo n in uint32 before converting: a plain int conversion
 	// would go negative once the counter wraps past 2^31 on 32-bit
@@ -586,7 +663,7 @@ func (c *Client) readSession(fn func(io.ReadWriter) error) error {
 		}
 	}
 	c.m.failovers.Inc()
-	return c.withSession(fn)
+	return c.primarySession(fn)
 }
 
 // tryReplica attempts one read session on rc. done is false when the
@@ -650,6 +727,14 @@ func (c *Client) tryReplica(rc *replicaConn, fn func(io.ReadWriter) error) (done
 	}
 	err = fn(rc.conn)
 	if err != nil && !protocol.IsRejected(err) && !errors.Is(err, protocol.ErrNoMatch) {
+		if _, overloaded := protocol.IsOverloaded(err); overloaded {
+			// An admission-control shed is a protocol outcome, not a broken
+			// replica: the server is healthy, just protecting itself. Leave
+			// it in rotation and surface the typed error (a client built
+			// WithOverloadRetry will back off and try again).
+			rc.upGauge.Set(1)
+			return true, err
+		}
 		if _, unknown := protocol.IsUnknownTenant(err); unknown {
 			// A lagging follower may not have learned a freshly created
 			// tenant yet. The replica is healthy — leave it in rotation and

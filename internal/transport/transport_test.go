@@ -11,6 +11,7 @@ import (
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/qos"
 	"fuzzyid/internal/sigscheme"
 	"fuzzyid/internal/store"
 )
@@ -420,5 +421,116 @@ func TestWithCloserRunsAfterDrain(t *testing.T) {
 	}
 	if rec.closed != 1 {
 		t.Fatalf("closer ran %d times after double close", rec.closed)
+	}
+}
+
+// TestOverloadShedTypedAndRetried pins the transport half of the overload
+// contract: a shed surfaces as protocol.IsOverloaded with a retry hint on a
+// plain client, and a client built WithOverloadRetry absorbs the same shed
+// by backing off and retrying inside the call.
+func TestOverloadShedTypedAndRetried(t *testing.T) {
+	w := newWorld(t, 64, 301)
+	w.proto.SetQoS(qos.New(qos.Config{
+		Defaults: qos.Limits{Rate: 20, Burst: 1},
+		Budget:   time.Millisecond,
+	}))
+	srv, err := Listen("127.0.0.1:0", w.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	plain, err := Dial(srv.Addr().String(), w.device, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	u := w.src.NewUser("alice")
+	if err := plain.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	reading, err := w.src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The enroll spent the 1-token burst; an identify inside the 50ms
+	// refill window must shed with the typed error and a positive hint.
+	var hint time.Duration
+	sawShed := false
+	for i := 0; i < 3 && !sawShed; i++ {
+		_, err = plain.Identify(reading)
+		hint, sawShed = protocol.IsOverloaded(err)
+	}
+	if !sawShed {
+		t.Fatalf("rate budget never shed; last err = %v", err)
+	}
+	if hint <= 0 {
+		t.Fatalf("retry hint = %v, want > 0", hint)
+	}
+
+	retrier, err := Dial(srv.Addr().String(), w.device,
+		WithTimeout(5*time.Second), WithOverloadRetry(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer retrier.Close()
+	// Back-to-back sessions overrun the 20/s budget repeatedly; bounded
+	// retry must absorb every shed.
+	for i := 0; i < 6; i++ {
+		if id, err := retrier.Identify(reading); err != nil || id != u.ID {
+			t.Fatalf("identify %d = %q, %v", i, id, err)
+		}
+	}
+}
+
+// TestOverloadLeavesReplicaInRotation pins that an admission-control shed
+// from a fanned-out read replica is treated as a protocol outcome — the
+// typed error surfaces to the caller and the replica is NOT benched the way
+// a transport failure would bench it.
+func TestOverloadLeavesReplicaInRotation(t *testing.T) {
+	w := newWorld(t, 64, 302)
+	// A second server over the same store plays the replica; only it sheds.
+	replicaProto := protocol.NewServer(w.fe, sigscheme.Default(), w.proto.Store())
+	replicaProto.SetQoS(qos.New(qos.Config{
+		Defaults: qos.Limits{Rate: 0.001, Burst: 1},
+		Budget:   time.Millisecond,
+	}))
+	primary, err := Listen("127.0.0.1:0", w.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	replica, err := Listen("127.0.0.1:0", replicaProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	client, err := Dial(primary.Addr().String(), w.device,
+		WithTimeout(5*time.Second), WithReplicas(replica.Addr().String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	u := w.src.NewUser("alice")
+	if err := client.Enroll(u.ID, u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	reading, err := w.src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First fanned read spends the replica's burst; the second must come
+	// back as the typed overload error, not a failover to the primary.
+	sawShed := false
+	for i := 0; i < 3 && !sawShed; i++ {
+		_, err = client.Identify(reading)
+		_, sawShed = protocol.IsOverloaded(err)
+	}
+	if !sawShed {
+		t.Fatalf("replica never shed; last err = %v", err)
+	}
+	if client.replicas[0].benched(time.Now()) {
+		t.Fatal("shed benched the replica; it must stay in rotation")
 	}
 }

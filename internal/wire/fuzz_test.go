@@ -36,6 +36,11 @@ func FuzzUnmarshal(f *testing.F) {
 		&TenantAdmin{Action: TenantActionList},
 		&TenantInfo{Tenants: []string{"default", "acme"}},
 		&UnknownTenant{Tenant: "ghost"},
+		&TenantAdmin{Action: TenantActionSetLimits, Tenant: "acme",
+			Limits: &LimitsSpec{RateMilli: 1000, Burst: 5, MaxConcurrent: 4, Weight: 2}},
+		&TenantAdmin{Action: TenantActionGetLimits, Tenant: "acme"},
+		&TenantLimits{Tenant: "acme", Spec: LimitsSpec{Weight: 1}},
+		&Overloaded{RetryAfterMS: 50, Reason: "scan"},
 	}
 	for _, m := range seeds {
 		buf, err := Marshal(m)

@@ -80,6 +80,12 @@ const (
 	// TypeTenantInfo answers a tenant list request with the hosted
 	// namespace names (see tenant.go).
 	TypeTenantInfo
+	// TypeOverloaded sheds a session the admission controller refused to
+	// run, carrying a retry-after hint (see tenant.go).
+	TypeOverloaded
+	// TypeTenantLimits answers a get-limits tenant-admin request with the
+	// namespace's effective QoS envelope (see tenant.go).
+	TypeTenantLimits
 )
 
 // MaxIdentifyBatch bounds the probes of one batched identification run.
@@ -744,6 +750,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &TenantAdmin{}, nil
 	case TypeTenantInfo:
 		return &TenantInfo{}, nil
+	case TypeOverloaded:
+		return &Overloaded{}, nil
+	case TypeTenantLimits:
+		return &TenantLimits{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
 	}

@@ -22,17 +22,67 @@ const (
 	TenantActionCreate TenantAction = 2
 	// TenantActionDrop removes a namespace and every record in it.
 	TenantActionDrop TenantAction = 3
+	// TenantActionSetLimits installs a per-tenant QoS override (the
+	// LimitsSpec carried alongside). Overrides are per-process and
+	// runtime-only: they are not persisted or replicated.
+	TenantActionSetLimits TenantAction = 4
+	// TenantActionGetLimits asks for the namespace's effective QoS
+	// envelope; answered with a TenantLimits.
+	TenantActionGetLimits TenantAction = 5
 )
+
+// LimitsSpec is the wire form of one tenant's QoS envelope. A zero field
+// means "no limit" (weight 0 is treated as 1).
+type LimitsSpec struct {
+	// RateMilli is the sustained session-admission rate in
+	// millisessions/second (0 = unlimited).
+	RateMilli uint64
+	// Burst is the back-to-back admission allowance before the rate
+	// limit bites (0 = one second of credit).
+	Burst uint32
+	// MaxConcurrent caps in-flight sessions (0 = unlimited).
+	MaxConcurrent uint32
+	// Weight is the tenant's share of the identification scan pool.
+	Weight uint32
+}
+
+func (s *LimitsSpec) encode(e *Encoder) {
+	e.Uint64(s.RateMilli)
+	e.Uint32(s.Burst)
+	e.Uint32(s.MaxConcurrent)
+	e.Uint32(s.Weight)
+}
+
+func (s *LimitsSpec) decode(d *Decoder) error {
+	var err error
+	if s.RateMilli, err = d.Uint64(); err != nil {
+		return err
+	}
+	if s.Burst, err = d.Uint32(); err != nil {
+		return err
+	}
+	if s.MaxConcurrent, err = d.Uint32(); err != nil {
+		return err
+	}
+	s.Weight, err = d.Uint32()
+	return err
+}
 
 // TenantAdmin opens a tenant administration session. List is answered with
 // a TenantInfo; create and drop are answered with an Accept echoing the
 // canonical tenant name, an UnknownTenant (drop of an absent namespace), a
 // NotPrimary (mutating admin ops on a read-only replica), or a Reject.
+// Set-limits is answered with an Accept, get-limits with a TenantLimits;
+// both answer UnknownTenant for absent namespaces and Reject when the
+// server runs without admission control.
 type TenantAdmin struct {
 	// Action is the operation to perform.
 	Action TenantAction
-	// Tenant is the namespace to create or drop (ignored for list).
+	// Tenant is the namespace to operate on (ignored for list).
 	Tenant string
+	// Limits is the QoS envelope of a set-limits action (nil — and not
+	// encoded — for every other action, keeping the pre-QoS byte layout).
+	Limits *LimitsSpec
 }
 
 // Type implements Message.
@@ -41,6 +91,13 @@ func (*TenantAdmin) Type() MsgType { return TypeTenantAdmin }
 func (m *TenantAdmin) encode(e *Encoder) {
 	e.Byte(byte(m.Action))
 	e.String(m.Tenant)
+	if m.Action == TenantActionSetLimits {
+		var spec LimitsSpec
+		if m.Limits != nil {
+			spec = *m.Limits
+		}
+		spec.encode(e)
+	}
 }
 
 func (m *TenantAdmin) decode(d *Decoder) error {
@@ -49,13 +106,21 @@ func (m *TenantAdmin) decode(d *Decoder) error {
 		return err
 	}
 	switch TenantAction(b) {
-	case TenantActionList, TenantActionCreate, TenantActionDrop:
+	case TenantActionList, TenantActionCreate, TenantActionDrop,
+		TenantActionSetLimits, TenantActionGetLimits:
 		m.Action = TenantAction(b)
 	default:
 		return fmt.Errorf("%w: tenant action %d", ErrBadFrame, b)
 	}
-	m.Tenant, err = d.String(MaxTenantLen)
-	return err
+	if m.Tenant, err = d.String(MaxTenantLen); err != nil {
+		return err
+	}
+	m.Limits = nil
+	if m.Action == TenantActionSetLimits {
+		m.Limits = &LimitsSpec{}
+		return m.Limits.decode(d)
+	}
+	return nil
 }
 
 // TenantInfo answers a tenant list request.
@@ -109,5 +174,68 @@ func (m *UnknownTenant) encode(e *Encoder) { e.String(m.Tenant) }
 func (m *UnknownTenant) decode(d *Decoder) error {
 	var err error
 	m.Tenant, err = d.String(MaxTenantLen)
+	return err
+}
+
+// TenantLimits answers a get-limits tenant-admin request: the namespace's
+// effective QoS envelope and whether it comes from a per-tenant override.
+type TenantLimits struct {
+	// Tenant is the canonical namespace name.
+	Tenant string
+	// Spec is the effective envelope.
+	Spec LimitsSpec
+	// Overridden reports whether Spec is a per-tenant override (false =
+	// the server's configured defaults).
+	Overridden bool
+}
+
+// Type implements Message.
+func (*TenantLimits) Type() MsgType { return TypeTenantLimits }
+
+func (m *TenantLimits) encode(e *Encoder) {
+	e.String(m.Tenant)
+	m.Spec.encode(e)
+	e.Bool(m.Overridden)
+}
+
+func (m *TenantLimits) decode(d *Decoder) error {
+	var err error
+	if m.Tenant, err = d.String(MaxTenantLen); err != nil {
+		return err
+	}
+	if err = m.Spec.decode(d); err != nil {
+		return err
+	}
+	m.Overridden, err = d.Bool()
+	return err
+}
+
+// Overloaded sheds a session: the admission controller refused to run it
+// because the tenant's rate, concurrency or scan-queue budget was
+// exhausted. Distinct from Reject — the condition is transient, and the
+// message carries when a retry is worth attempting.
+type Overloaded struct {
+	// RetryAfterMS hints when the client should retry, in milliseconds
+	// (minimum 1).
+	RetryAfterMS uint32
+	// Reason names the limit that shed the session: "rate",
+	// "concurrency" or "scan".
+	Reason string
+}
+
+// Type implements Message.
+func (*Overloaded) Type() MsgType { return TypeOverloaded }
+
+func (m *Overloaded) encode(e *Encoder) {
+	e.Uint32(m.RetryAfterMS)
+	e.String(m.Reason)
+}
+
+func (m *Overloaded) decode(d *Decoder) error {
+	var err error
+	if m.RetryAfterMS, err = d.Uint32(); err != nil {
+		return err
+	}
+	m.Reason, err = d.String(MaxBytesLen)
 	return err
 }

@@ -73,6 +73,13 @@ func TestMessageRoundTrips(t *testing.T) {
 			{Probe: 3, Signature: []byte("sig"), Nonce: []byte("nonce")},
 		}},
 		&IdentifyBatchResult{IDs: []string{"alice", "", "carol"}},
+		&TenantAdmin{Action: TenantActionCreate, Tenant: "acme"},
+		&TenantAdmin{Action: TenantActionSetLimits, Tenant: "acme",
+			Limits: &LimitsSpec{RateMilli: 1500, Burst: 10, MaxConcurrent: 8, Weight: 3}},
+		&TenantAdmin{Action: TenantActionGetLimits, Tenant: "acme"},
+		&TenantLimits{Tenant: "acme",
+			Spec: LimitsSpec{RateMilli: 250, Weight: 1}, Overridden: true},
+		&Overloaded{RetryAfterMS: 120, Reason: "rate"},
 	}
 	for _, m := range msgs {
 		t.Run(reflect.TypeOf(m).Elem().Name(), func(t *testing.T) {

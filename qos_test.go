@@ -1,0 +1,178 @@
+package fuzzyid
+
+// Facade-level QoS tests: the WithQoS admission path over a real client,
+// the typed IsOverloaded contract, per-tenant overrides via both the System
+// API and the wire protocol, bounded overload retry, and the guarantee that
+// a lone tenant under quota is never penalised by admission control.
+
+import (
+	"testing"
+	"time"
+
+	"fuzzyid/internal/biometric"
+)
+
+const qosTestDim = 64
+
+// qosSystem builds a telemetry-instrumented system with the given QoS
+// options, a listening server and a biometric source.
+func qosSystem(t *testing.T, opts ...Option) (*System, string, *biometric.Source) {
+	t.Helper()
+	opts = append([]Option{WithTelemetry()}, opts...)
+	sys, err := NewSystem(Params{Line: PaperLine(), Dimension: qosTestDim}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	src, err := biometric.NewSource(sys.Extractor().Line(), biometric.Paper(qosTestDim), 901)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, srv.Addr().String(), src
+}
+
+// TestQoSOverloadSurfacesTypedError drains a tiny rate budget and checks
+// the shed surfaces as IsOverloaded with a retry hint, then that waiting
+// out the hint admits the next session.
+func TestQoSOverloadSurfacesTypedError(t *testing.T) {
+	sys, addr, src := qosSystem(t,
+		WithQoS(QoSLimits{Rate: 5, Burst: 1}),
+		WithQoSBudget(time.Millisecond))
+	client, err := sys.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	u := src.NewUser("alice")
+	if err := client.Enroll("alice", u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The burst is spent; the next session inside the 200ms refill window
+	// must shed with the typed error.
+	var hint time.Duration
+	sawShed := false
+	for i := 0; i < 3 && !sawShed; i++ {
+		_, err = client.Identify(reading)
+		hint, sawShed = IsOverloaded(err)
+	}
+	if !sawShed {
+		t.Fatalf("rate budget never shed; last err = %v", err)
+	}
+	if hint <= 0 {
+		t.Fatalf("retry hint = %v, want > 0", hint)
+	}
+	time.Sleep(hint + 50*time.Millisecond)
+	if id, err := client.Identify(reading); err != nil || id != "alice" {
+		t.Fatalf("identify after backoff = %q, %v", id, err)
+	}
+	// The sheds are visible in the per-tenant telemetry.
+	if sys.Stats().Counter("tenant.default.shed") == 0 {
+		t.Error("tenant.default.shed = 0 after an overload")
+	}
+}
+
+// TestQoSOverloadRetryMasksShed pins WithOverloadRetry: the same overload
+// that surfaces to a plain client is absorbed by a retrying one.
+func TestQoSOverloadRetryMasksShed(t *testing.T) {
+	sys, addr, src := qosSystem(t,
+		WithQoS(QoSLimits{Rate: 20, Burst: 1}),
+		WithQoSBudget(time.Millisecond))
+	client, err := sys.Dial(addr, WithOverloadRetry(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	u := src.NewUser("alice")
+	if err := client.Enroll("alice", u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Back-to-back sessions overrun the 20/s budget repeatedly; with
+	// bounded retry every one of them must still succeed.
+	for i := 0; i < 6; i++ {
+		if id, err := client.Identify(reading); err != nil || id != "alice" {
+			t.Fatalf("identify %d = %q, %v", i, id, err)
+		}
+	}
+	if sys.Stats().Counter("tenant.default.shed") == 0 {
+		t.Error("tenant.default.shed = 0: the retry option masked nothing")
+	}
+}
+
+// TestQoSTenantOverrideRoundTrip sets a per-tenant override through the
+// wire protocol and reads it back through both the wire and the System API.
+func TestQoSTenantOverrideRoundTrip(t *testing.T) {
+	sys, addr, _ := qosSystem(t, WithQoS(QoSLimits{}))
+	if err := sys.CreateTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	want := QoSLimits{Rate: 2.5, Burst: 2, MaxConcurrent: 3, Weight: 4}
+	if err := client.SetTenantLimits("acme", want); err != nil {
+		t.Fatalf("set limits: %v", err)
+	}
+	got, overridden, err := client.TenantLimits("acme")
+	if err != nil || !overridden || got != want {
+		t.Fatalf("wire limits = %+v overridden=%v err=%v, want %+v", got, overridden, err, want)
+	}
+	if got, overridden := sys.TenantLimits("acme"); !overridden || got != want {
+		t.Fatalf("system limits = %+v overridden=%v, want %+v", got, overridden, want)
+	}
+	// The default tenant still answers the defaults.
+	if _, overridden, err := client.TenantLimits(""); err != nil || overridden {
+		t.Fatalf("default tenant overridden=%v err=%v, want false", overridden, err)
+	}
+	// Dropping the tenant forgets its override state.
+	if err := sys.DropTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SetTenantLimits("acme", want); err == nil {
+		t.Fatal("set limits on dropped tenant succeeded")
+	}
+}
+
+// TestQoSLoneTenantUnderQuotaUnimpeded is the "no collateral damage"
+// guarantee: with QoS on at permissive defaults, a single tenant inside its
+// envelope never sees a shed or a throttle.
+func TestQoSLoneTenantUnderQuotaUnimpeded(t *testing.T) {
+	sys, addr, src := qosSystem(t, WithQoS(QoSLimits{}))
+	client, err := sys.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	u := src.NewUser("alice")
+	if err := client.Enroll("alice", u.Template); err != nil {
+		t.Fatalf("enroll: %v", err)
+	}
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if id, err := client.Identify(reading); err != nil || id != "alice" {
+			t.Fatalf("identify %d = %q, %v", i, id, err)
+		}
+	}
+	snap := sys.Stats()
+	for _, name := range []string{"tenant.default.shed", "tenant.default.throttled"} {
+		if got := snap.Counter(name); got != 0 {
+			t.Errorf("%s = %d, want 0", name, got)
+		}
+	}
+}
