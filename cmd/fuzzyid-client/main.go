@@ -8,6 +8,7 @@
 //	fuzzyid-client -addr HOST:PORT identify -vec probe.vec [-normal]
 //	fuzzyid-client -addr HOST:PORT identify-batch probe1.vec probe2.vec ...
 //	fuzzyid-client -addr HOST:PORT revoke  -id alice -vec probe.vec
+//	fuzzyid-client -addr HOST:PORT re-enroll -id alice -old probe.vec -vec alice2.vec
 //	fuzzyid-client -addr HOST:PORT stats
 //	fuzzyid-client -addr HOST:PORT repl-status
 //	fuzzyid-client -addr HOST:PORT tenant list
@@ -55,7 +56,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke, stats, repl-status or tenant")
+		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke, re-enroll, stats, repl-status or tenant")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	switch cmd {
@@ -65,6 +66,8 @@ func run(args []string) error {
 		return cmdReading(cmdArgs)
 	case "enroll", "verify", "identify", "revoke":
 		return cmdProtocol(cmd, cmdArgs, *addr, *scheme, *ext)
+	case "re-enroll":
+		return cmdReEnroll(cmdArgs, *addr, *scheme, *ext)
 	case "identify-batch":
 		return cmdIdentifyBatch(cmdArgs, *addr, *scheme, *ext)
 	case "stats":
@@ -283,6 +286,60 @@ func cmdIdentifyBatch(args []string, addr, scheme, ext string) error {
 		}
 	}
 	fmt.Printf("%d probes in %v (one session)\n", len(readings), elapsed)
+	return nil
+}
+
+// cmdReEnroll replaces an enrollment's template online: -old is a reading
+// that still matches the currently enrolled template (it answers the
+// server's challenge, authorising the swap), -vec is the new template to
+// install. One atomic mutation on the server — there is no window with no
+// enrolled template, unlike revoke followed by enroll.
+func cmdReEnroll(args []string, addr, scheme, ext string) error {
+	fs := flag.NewFlagSet("re-enroll", flag.ContinueOnError)
+	var (
+		id     = fs.String("id", "", "user identity (required)")
+		old    = fs.String("old", "", "reading matching the current template (required)")
+		vec    = fs.String("vec", "", "replacement template vector file (required)")
+		tenant = fs.String("tenant", "", "tenant namespace (empty = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" || *old == "" || *vec == "" {
+		return errors.New("re-enroll: -id, -old and -vec are required")
+	}
+	oldBio, err := vecfile.ReadFile(*old)
+	if err != nil {
+		return err
+	}
+	newBio, err := vecfile.ReadFile(*vec)
+	if err != nil {
+		return err
+	}
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine()}, // dimension taken from the vectors
+		fuzzyid.WithSignatureScheme(scheme),
+		fuzzyid.WithExtractor(ext),
+	)
+	if err != nil {
+		return err
+	}
+	client, err := sys.Dial(addr, fuzzyid.WithTenant(*tenant))
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	start := time.Now()
+	if err := client.ReEnroll(*id, oldBio, newBio); err != nil {
+		if fuzzyid.IsRejected(err) {
+			return fmt.Errorf("re-enrollment REJECTED: %w", err)
+		}
+		if name, ok := fuzzyid.IsUnknownTenant(err); ok {
+			return fmt.Errorf("tenant %q does not exist", name)
+		}
+		return err
+	}
+	fmt.Printf("re-enrolled %q in %v\n", *id, time.Since(start).Round(time.Microsecond))
 	return nil
 }
 

@@ -21,11 +21,32 @@
 //	mixed      — 80% identify / 10% verify / 10% enroll
 //	batch      — batched identification: -batch readings per session
 //	churn      — revoke/re-enroll cycles over a worker-owned user slice
+//	aging      — template lifecycle: each worker's owned users age (their
+//	             biometric drifts by -drift-step per op, a bounded random
+//	             walk), verify degrades as readings leave the enrolled
+//	             template's acceptance ball, and the worker re-enrolls the
+//	             user online through the atomic re-enroll protocol, then
+//	             confirms verification recovered. The report carries drift
+//	             steps, degraded verifies, re-enrolls, recoveries and
+//	             recovery failures (CI gates on zero failures).
 //	noise      — impostor probes that should miss (server-side reject path)
 //	nomatch    — open-set worst case: genuine-looking readings of users who
 //	             were never enrolled, so every probe forces a full scan and a
 //	             reject — the path the packed residue matrix and coarse
 //	             pre-filter exist for (see DESIGN.md §10)
+//	open-set   — mixed open-set identification: an -open-frac fraction of
+//	             probes are genuine-quality readings of never-enrolled users
+//	             (they must be rejected; any identification is a false
+//	             accept), the rest are genuine readings of enrolled users
+//	             (they must hit). The report carries ghost/genuine probe
+//	             counts, rejects, hits and false accepts — the workload a
+//	             deployment actually sees, rather than nomatch's 100% ghost
+//	             worst case.
+//	imposter   — empirical false-accept measurement: every op verifies a
+//	             claimed enrolled identity against a genuine-quality reading
+//	             of a *different* enrolled user. Every accept is a false
+//	             accept; §V bounds the rate by ((2t+1)/ka)^n, so at any
+//	             realistic dimension the expected count is zero.
 //	mass-enroll — write-only durable-ingest storm: every worker enrolls
 //	             fresh users flat out, nothing is read back. The report adds
 //	             per-worker throughput and — when the server runs with
@@ -120,7 +141,10 @@ func main() {
 // scenarioOrder is the "all" sequence. Write-heavy scenarios run first so
 // the read scenarios see a database grown by them — the realistic ordering
 // for a system whose store only grows.
-var scenarioOrder = []string{"enroll", "identify", "mixed", "batch", "churn", "noise", "nomatch"}
+// The lifecycle scenarios run after churn (aging mutates templates through
+// re-enrollment, and the read scenarios behind it must see the re-anchored
+// population) with the pure reject-path scenarios last.
+var scenarioOrder = []string{"enroll", "identify", "mixed", "batch", "churn", "aging", "noise", "nomatch", "open-set", "imposter"}
 
 type config struct {
 	addr     string
@@ -139,6 +163,10 @@ type config struct {
 	floodWorkers int
 	floodRate    float64
 	floodBurst   int
+
+	// Lifecycle scenario knobs.
+	openFrac  float64 // open-set: fraction of never-enrolled probes
+	driftStep int64   // aging: per-op random-walk bound (0 = threshold/4)
 }
 
 // report is the machine-readable output contract (-format json); append
@@ -184,6 +212,43 @@ type scenarioResult struct {
 	// Tenants breaks the multitenant scenario's throughput down per
 	// namespace (absent for single-tenant scenarios).
 	Tenants []tenantResult `json:"tenants,omitempty"`
+	// OpenSet, Aging and Imposter carry the lifecycle scenarios'
+	// accuracy accounting (absent for other scenarios).
+	OpenSet  *openSetStats  `json:"open_set,omitempty"`
+	Aging    *agingStats    `json:"aging,omitempty"`
+	Imposter *imposterStats `json:"imposter,omitempty"`
+}
+
+// openSetStats is the open-set scenario's accuracy account. FalseAccepts
+// must be zero on a correct system (a ghost probe identified as someone);
+// GhostRejects + FalseAccepts = GhostProbes, GenuineHits <= GenuineProbes.
+type openSetStats struct {
+	GhostProbes   uint64 `json:"ghost_probes"`
+	GhostRejects  uint64 `json:"ghost_rejects"`
+	FalseAccepts  uint64 `json:"false_accepts"`
+	GenuineProbes uint64 `json:"genuine_probes"`
+	GenuineHits   uint64 `json:"genuine_hits"`
+}
+
+// agingStats is the aging scenario's lifecycle account. RecoveryFailures
+// (a verify that still failed immediately after a successful re-enroll)
+// must be zero: the re-enroll anchored the stored template at the current
+// drifted biometric, so the next genuine reading is within threshold by
+// construction.
+type agingStats struct {
+	DriftSteps        uint64 `json:"drift_steps"`
+	DegradedVerifies  uint64 `json:"degraded_verifies"`
+	ReEnrolls         uint64 `json:"reenrolls"`
+	RecoveredVerifies uint64 `json:"recovered_verifies"`
+	RecoveryFailures  uint64 `json:"recovery_failures"`
+}
+
+// imposterStats is the imposter scenario's false-accept account. Every
+// attempt claims an enrolled identity with a genuine-quality reading of a
+// different user; §V bounds the accept rate by ((2t+1)/ka)^n.
+type imposterStats struct {
+	Attempts     uint64 `json:"attempts"`
+	FalseAccepts uint64 `json:"false_accepts"`
 }
 
 // tenantResult is one namespace's share of a multitenant or noisy-neighbor
@@ -220,6 +285,8 @@ func run(args []string, stdout io.Writer) error {
 		seed        = fs.Int64("seed", 1, "workload seed (templates and noise); use a distinct seed per run against a live server, or re-enrolled twin templates make identify ambiguous")
 		scheme      = fs.String("scheme", "ed25519", "signature scheme (must match the server)")
 		ext         = fs.String("extractor", "hmac-sha256", "strong extractor (must match the server)")
+		openFrac    = fs.Float64("open-frac", 0.5, "open-set: fraction of probes from never-enrolled users")
+		driftStep   = fs.Int64("drift-step", 0, "aging: per-op drift random-walk bound (0 = threshold/4)")
 		floodW      = fs.Int("flood-workers", 32, "noisy-neighbor: spinning clients in the flood namespace")
 		floodRate   = fs.Float64("flood-rate", 50, "noisy-neighbor: rate override (sessions/s) installed on the flood namespace (0 = no override)")
 		floodBurst  = fs.Int("flood-burst", 25, "noisy-neighbor: burst override installed on the flood namespace")
@@ -257,11 +324,20 @@ func run(args []string, stdout io.Writer) error {
 			replicaAddrs = append(replicaAddrs, a)
 		}
 	}
+	if *openFrac < 0 || *openFrac > 1 {
+		return fmt.Errorf("-open-frac=%g: want a fraction in [0, 1]", *openFrac)
+	}
+	if *driftStep < 0 {
+		return fmt.Errorf("-drift-step=%d: want >= 0 (0 = automatic)", *driftStep)
+	}
 	for _, name := range scenarios {
-		// Churn stripes the population across the workers; every worker
-		// needs at least one user to own.
-		if name == "churn" && *users < *workers {
-			return fmt.Errorf("churn needs -users >= -workers (got %d users for %d workers)", *users, *workers)
+		// Churn and aging stripe the population across the workers; every
+		// worker needs at least one user to own.
+		if (name == "churn" || name == "aging") && *users < *workers {
+			return fmt.Errorf("%s needs -users >= -workers (got %d users for %d workers)", name, *users, *workers)
+		}
+		if name == "imposter" && *users < 2 {
+			return errors.New("the imposter scenario needs -users >= 2 (it claims one user with another's reading)")
 		}
 		if name == "replicated" && len(replicaAddrs) == 0 {
 			return errors.New("the replicated scenario needs -replicas (follower addresses)")
@@ -278,6 +354,7 @@ func run(args []string, stdout io.Writer) error {
 		duration: *duration, users: *users, batch: *batch, tenants: *tenants,
 		seed: *seed, scheme: *scheme, ext: *ext,
 		floodWorkers: *floodW, floodRate: *floodRate, floodBurst: *floodBurst,
+		openFrac: *openFrac, driftStep: *driftStep,
 	}
 	switch *syncPol {
 	case "", "always", "os":
@@ -376,6 +453,34 @@ type worker struct {
 	// plus the shared skew table and counters (nil outside multitenant).
 	mt        *mtState
 	mtClients []*fuzzyid.Client
+
+	// Lifecycle scenario state: the shared accuracy counters (reset per
+	// scenario), the per-worker aging population (lazily built over the
+	// worker's churn slice), and the drift/open-set knobs.
+	lc        *lifecycleState
+	aging     []*agingUser
+	driftStep int64
+	openFrac  float64
+}
+
+// lifecycleState accumulates the open-set / aging / imposter accuracy
+// counters across every worker of one scenario run.
+type lifecycleState struct {
+	ghostProbes, ghostRejects, falseAccepts atomic.Uint64
+	genuineProbes, genuineHits              atomic.Uint64
+
+	driftSteps, degraded, reenrolls   atomic.Uint64
+	recovered, recoveryFailures       atomic.Uint64
+	imposterAttempts, imposterAccepts atomic.Uint64
+}
+
+// agingUser tracks one worker-owned user through the aging scenario: u is
+// the population entry (u.Template always mirrors what the server has
+// enrolled), current is the user's drifted biometric — what their finger or
+// iris actually looks like now.
+type agingUser struct {
+	u       *biometric.User
+	current fuzzyid.Vector
 }
 
 // mtState is the multitenant scenario's shared state: the created
@@ -492,6 +597,12 @@ func (w *worker) op(scenario string) error {
 			return err
 		}
 		return w.client.Enroll(u.ID, u.Template)
+	case "aging":
+		return w.opAging()
+	case "open-set":
+		return w.opOpenSet()
+	case "imposter":
+		return w.opImposter()
 	case "multitenant":
 		ti := mtPick(w)
 		w.mt.ops[ti].Add(1)
@@ -543,6 +654,123 @@ func (w *worker) op(scenario string) error {
 // mtPick draws the next tenant index from the worker's RNG.
 func mtPick(w *worker) int { return w.mt.pick(w.rng.Float64()) }
 
+// opAging runs one step of the template-lifecycle loop on a worker-owned
+// user: drift the user's biometric, attempt a verify with a genuine reading
+// of the *drifted* biometric, and — when the drift has carried the reading
+// out of the enrolled template's acceptance ball — re-enroll online through
+// the atomic re-enroll protocol (the challenge is answered with the
+// still-enrolled template; the harness plays the enrollment-grade recapture
+// a real device would take) and confirm verification recovers against the
+// freshly anchored template.
+func (w *worker) opAging() error {
+	if len(w.aging) == 0 {
+		if len(w.churn) == 0 {
+			return fmt.Errorf("load: worker %d owns no aging users (need users >= workers)", w.id)
+		}
+		for _, u := range w.churn {
+			w.aging = append(w.aging, &agingUser{u: u, current: append(fuzzyid.Vector(nil), u.Template...)})
+		}
+	}
+	au := w.aging[w.rng.Intn(len(w.aging))]
+	drifted, err := w.src.Drift(au.current, w.driftStep)
+	if err != nil {
+		return err
+	}
+	au.current = drifted
+	w.lc.driftSteps.Add(1)
+	reading, err := w.src.GenuineReading(&biometric.User{ID: au.u.ID, Template: au.current})
+	if err != nil {
+		return err
+	}
+	err = w.client.Verify(au.u.ID, reading)
+	if err == nil {
+		return nil // not yet degraded
+	}
+	if !protocol.IsRejected(err) && !errors.Is(err, protocol.ErrNoMatch) {
+		return err
+	}
+	// Degraded: the drifted reading no longer verifies against the enrolled
+	// template. Re-enroll online, anchoring the stored template at the
+	// current biometric, and confirm the very next reading verifies.
+	w.lc.degraded.Add(1)
+	if err := w.client.ReEnroll(au.u.ID, au.u.Template, au.current); err != nil {
+		return fmt.Errorf("re-enroll %s: %w", au.u.ID, err)
+	}
+	w.lc.reenrolls.Add(1)
+	au.u.Template = append(fuzzyid.Vector(nil), au.current...)
+	recheck, err := w.src.GenuineReading(au.u)
+	if err != nil {
+		return err
+	}
+	if err := w.client.Verify(au.u.ID, recheck); err != nil {
+		if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
+			w.lc.recoveryFailures.Add(1)
+			return errMiss
+		}
+		return err
+	}
+	w.lc.recovered.Add(1)
+	return nil
+}
+
+// opOpenSet runs one probe of the mixed open-set workload: with probability
+// openFrac a genuine-quality reading of a never-enrolled ghost (must be
+// rejected; an identification is a false accept), otherwise a genuine
+// reading of an enrolled user (must hit).
+func (w *worker) opOpenSet() error {
+	if w.rng.Float64() < w.openFrac {
+		w.lc.ghostProbes.Add(1)
+		w.seq++
+		ghost := w.src.NewUser(fmt.Sprintf("ghost-%x-w%d-%d", w.nonce, w.id, w.seq))
+		reading, err := w.src.GenuineReading(ghost)
+		if err != nil {
+			return err
+		}
+		_, err = w.client.Identify(reading)
+		if err == nil {
+			w.lc.falseAccepts.Add(1)
+			return nil // counted in the report; the CI gate reads it
+		}
+		if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
+			w.lc.ghostRejects.Add(1)
+			return errMiss
+		}
+		return err
+	}
+	w.lc.genuineProbes.Add(1)
+	u := w.pop[w.rng.Intn(len(w.pop))]
+	err := w.identify(u)
+	if err == nil {
+		w.lc.genuineHits.Add(1)
+	}
+	return err
+}
+
+// opImposter runs one wrong-user verification: claim one enrolled identity
+// with a genuine-quality reading of a different enrolled user. An accept is
+// a false accept — §V bounds its probability by ((2t+1)/ka)^n per attempt.
+func (w *worker) opImposter() error {
+	a := w.pop[w.rng.Intn(len(w.pop))]
+	b := w.pop[w.rng.Intn(len(w.pop))]
+	for b == a {
+		b = w.pop[w.rng.Intn(len(w.pop))]
+	}
+	reading, err := w.src.GenuineReading(a)
+	if err != nil {
+		return err
+	}
+	w.lc.imposterAttempts.Add(1)
+	err = w.client.Verify(b.ID, reading)
+	if err == nil {
+		w.lc.imposterAccepts.Add(1)
+		return nil // false accept; counted in the report
+	}
+	if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
+		return errMiss
+	}
+	return err
+}
+
 func (w *worker) identify(u *biometric.User) error {
 	return w.identifyWith(w.client, u)
 }
@@ -583,6 +811,14 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 		clientOpts = append(clientOpts, fuzzyid.WithReplicas(cfg.replicas...))
 	}
 	nonce := time.Now().UnixNano()
+	driftStep := cfg.driftStep
+	if driftStep == 0 {
+		// A quarter-threshold walk degrades verification within a handful of
+		// ops at any realistic dimension without teleporting the biometric.
+		if driftStep = sys.Extractor().Line().Threshold() / 4; driftStep < 1 {
+			driftStep = 1
+		}
+	}
 	workers := make([]*worker, cfg.workers)
 	for i := range workers {
 		client, err := sys.Dial(cfg.addr, clientOpts...)
@@ -603,6 +839,7 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 			id: i, client: client, src: src,
 			rng:   rand.New(rand.NewSource(cfg.seed ^ int64(i)<<32)),
 			nonce: nonce, batch: cfg.batch,
+			driftStep: driftStep, openFrac: cfg.openFrac,
 		}
 	}
 	pop, err := enrollPopulation(workers, cfg.users, nonce)
@@ -1007,6 +1244,17 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 	if name == "mass-enroll" && len(workers) > 0 {
 		preAppends, preFsyncs, statsOK = walStats(workers[0].client)
 	}
+	// The lifecycle scenarios share one fresh counter block per run, so
+	// repeating a scenario in one invocation never double-counts, and aging
+	// re-derives its drifted population from the current templates.
+	var lc *lifecycleState
+	if name == "open-set" || name == "aging" || name == "imposter" {
+		lc = &lifecycleState{}
+		for _, w := range workers {
+			w.lc = lc
+			w.aging = nil
+		}
+	}
 	start := time.Now()
 	deadline := start.Add(d)
 	var wg sync.WaitGroup
@@ -1060,6 +1308,29 @@ func runScenario(name string, workers []*worker, d time.Duration) (scenarioResul
 			if appends, fsyncs, ok := walStats(workers[0].client); ok && fsyncs > preFsyncs {
 				res.FsyncAmortization = float64(appends-preAppends) / float64(fsyncs-preFsyncs)
 			}
+		}
+	}
+	switch name {
+	case "open-set":
+		res.OpenSet = &openSetStats{
+			GhostProbes:   lc.ghostProbes.Load(),
+			GhostRejects:  lc.ghostRejects.Load(),
+			FalseAccepts:  lc.falseAccepts.Load(),
+			GenuineProbes: lc.genuineProbes.Load(),
+			GenuineHits:   lc.genuineHits.Load(),
+		}
+	case "aging":
+		res.Aging = &agingStats{
+			DriftSteps:        lc.driftSteps.Load(),
+			DegradedVerifies:  lc.degraded.Load(),
+			ReEnrolls:         lc.reenrolls.Load(),
+			RecoveredVerifies: lc.recovered.Load(),
+			RecoveryFailures:  lc.recoveryFailures.Load(),
+		}
+	case "imposter":
+		res.Imposter = &imposterStats{
+			Attempts:     lc.imposterAttempts.Load(),
+			FalseAccepts: lc.imposterAccepts.Load(),
 		}
 	}
 	if name == "multitenant" && len(workers) > 0 && workers[0].mt != nil {
@@ -1126,6 +1397,20 @@ func writeText(w io.Writer, rep *report) error {
 		}
 		if s.FsyncAmortization > 0 {
 			fmt.Fprintf(w, "  fsync amortization: %.1f appends/fsync\n", s.FsyncAmortization)
+		}
+		if s.OpenSet != nil {
+			fmt.Fprintf(w, "  open-set: %d ghost probes (%d rejected, %d FALSE ACCEPTS), %d genuine probes (%d hits)\n",
+				s.OpenSet.GhostProbes, s.OpenSet.GhostRejects, s.OpenSet.FalseAccepts,
+				s.OpenSet.GenuineProbes, s.OpenSet.GenuineHits)
+		}
+		if s.Aging != nil {
+			fmt.Fprintf(w, "  aging: %d drift steps, %d degraded verifies, %d re-enrolls, %d recovered, %d RECOVERY FAILURES\n",
+				s.Aging.DriftSteps, s.Aging.DegradedVerifies, s.Aging.ReEnrolls,
+				s.Aging.RecoveredVerifies, s.Aging.RecoveryFailures)
+		}
+		if s.Imposter != nil {
+			fmt.Fprintf(w, "  imposter: %d wrong-user attempts, %d FALSE ACCEPTS\n",
+				s.Imposter.Attempts, s.Imposter.FalseAccepts)
 		}
 	}
 	if rep.ServerStats != nil {

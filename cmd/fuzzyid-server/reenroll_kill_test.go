@@ -1,0 +1,254 @@
+package main
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/protocol"
+)
+
+// verifyRejected reports whether err is an expected verification refusal
+// (server-side reject or device-side recovery failure) rather than an
+// infrastructure error.
+func verifyRejected(err error) bool {
+	return fuzzyid.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch)
+}
+
+// TestSIGKILLMidReEnrollStorm is the re-enrollment crash acceptance
+// scenario against the real binary: workers continuously re-enroll their
+// users to fresh templates (each swap challenge-authenticated against the
+// template it replaces), and the server is SIGKILLed in full flight, so the
+// WAL tail holds torn and unacknowledged OpReplace frames. After restart
+// every user must resolve to exactly one template — the last acknowledged
+// swap, or the one in flight at the kill if its frame committed — never a
+// lost acked swap and never two templates answering for one ID. A follower
+// bootstrapped from the recovered primary must converge to the same choice
+// for every user, and the recovered log must keep accepting re-enrolls.
+func TestSIGKILLMidReEnrollStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess test")
+	}
+	bin := buildServerBinary(t)
+
+	const (
+		dim     = 32
+		workers = 8
+		perW    = 5
+	)
+	dir := t.TempDir()
+	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(dialer.Extractor().Line(), biometric.Paper(dim), 397)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// userState tracks what the storm knows about one ID: the template of
+	// the last acknowledged swap (cur) and, at the kill, the template whose
+	// swap was in flight (pending). The swap count is the kill trigger.
+	type userState struct {
+		u       *biometric.User
+		cur     numberline.Vector
+		pending numberline.Vector
+	}
+	users := make([]*userState, workers*perW)
+	proc, addr := startServerProc(t, bin, "-data", dir)
+	enrollCli, err := dialer.Dial(addr)
+	if err != nil {
+		proc.Process.Kill()
+		t.Fatal(err)
+	}
+	for i := range users {
+		u := src.NewUser(userID(i))
+		users[i] = &userState{u: u, cur: u.Template}
+		if err := enrollCli.Enroll(u.ID, u.Template); err != nil {
+			proc.Process.Kill()
+			t.Fatal(err)
+		}
+	}
+	enrollCli.Close()
+
+	var (
+		mu    sync.Mutex
+		swaps int
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		client, err := dialer.Dial(addr)
+		if err != nil {
+			proc.Process.Kill()
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, client *fuzzyid.Client) {
+			defer wg.Done()
+			defer client.Close()
+			for round := 0; ; round++ {
+				for _, st := range users[w*perW : (w+1)*perW] {
+					next := src.NewUser(st.u.ID).Template
+					mu.Lock()
+					st.pending = next
+					old := st.cur
+					mu.Unlock()
+					if err := client.ReEnroll(st.u.ID, old, next); err != nil {
+						return // the kill severed the connection
+					}
+					mu.Lock()
+					st.cur = next
+					st.pending = nil
+					swaps++
+					mu.Unlock()
+				}
+			}
+		}(w, client)
+	}
+	// Kill once the storm is in full flight: every user swapped at least
+	// once on average, all workers still writing.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		n := swaps
+		mu.Unlock()
+		if n >= workers*perW*2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			proc.Process.Kill()
+			t.Fatalf("only %d re-enrolls acknowledged before deadline", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := proc.Process.Kill(); err != nil { // SIGKILL: no flush, no goodbye
+		t.Fatal(err)
+	}
+	wg.Wait()
+	proc.Wait()
+	mu.Lock()
+	t.Logf("killed after %d acknowledged re-enrolls across %d users", swaps, len(users))
+	mu.Unlock()
+
+	// Restart from the same directory, with replication served so a fresh
+	// follower can bootstrap from the recovered state.
+	proc2, addr2 := startServerProc(t, bin, "-data", dir, "-serve-replication")
+	defer func() {
+		proc2.Process.Kill()
+		proc2.Wait()
+	}()
+	client2, err := dialer.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client2.Close()
+
+	// Each user must verify against exactly one of (last acked, in flight
+	// at kill) — acked swaps are never lost, unacked ones either landed
+	// whole or not at all.
+	accepted := make([]numberline.Vector, len(users))
+	for i, st := range users {
+		candidates := []numberline.Vector{st.cur}
+		if st.pending != nil {
+			candidates = append(candidates, st.pending)
+		}
+		var live []numberline.Vector
+		for _, tpl := range candidates {
+			reading, err := src.GenuineReading(&biometric.User{ID: st.u.ID, Template: tpl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client2.Verify(st.u.ID, reading); err == nil {
+				live = append(live, tpl)
+			} else if !verifyRejected(err) {
+				t.Fatalf("verify %s after recovery: %v", st.u.ID, err)
+			}
+		}
+		if len(live) != 1 {
+			t.Fatalf("user %s resolves to %d templates after SIGKILL (want exactly 1; acked swap lost or torn replace)",
+				st.u.ID, len(live))
+		}
+		accepted[i] = live[0]
+	}
+
+	// The recovered log keeps accepting re-enrolls, challenge-authenticated
+	// against the recovered template.
+	fresh := src.NewUser(users[0].u.ID).Template
+	if err := client2.ReEnroll(users[0].u.ID, accepted[0], fresh); err != nil {
+		t.Fatalf("post-recovery re-enroll: %v", err)
+	}
+	accepted[0] = fresh
+	reading, err := src.GenuineReading(&biometric.User{ID: users[0].u.ID, Template: fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client2.Verify(users[0].u.ID, reading); err != nil {
+		t.Fatalf("verify after post-recovery re-enroll: %v", err)
+	}
+
+	// A fresh follower must converge to the primary's choice for every
+	// user: the accepted template verifies, any rejected candidate stays
+	// rejected.
+	follower, folAddr := startServerProc(t, bin, "-replica-of", addr2)
+	defer func() {
+		follower.Process.Kill()
+		follower.Wait()
+	}()
+	folCli, err := dialer.Dial(folAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer folCli.Close()
+	syncDeadline := time.Now().Add(20 * time.Second)
+	for i, st := range users {
+		reading, err := src.GenuineReading(&biometric.User{ID: st.u.ID, Template: accepted[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			verr := folCli.Verify(st.u.ID, reading)
+			if verr == nil {
+				break
+			}
+			if !verifyRejected(verr) {
+				t.Fatalf("follower verify %s: %v", st.u.ID, verr)
+			}
+			if time.Now().After(syncDeadline) {
+				t.Fatalf("follower never converged to %s's accepted template", st.u.ID)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if st.pending != nil && !vectorEqual(st.pending, accepted[i]) {
+			rejReading, err := src.GenuineReading(&biometric.User{ID: st.u.ID, Template: st.pending})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := folCli.Verify(st.u.ID, rejReading); err == nil {
+				t.Fatalf("follower accepts %s's discarded in-flight template — diverged from primary", st.u.ID)
+			} else if !verifyRejected(err) {
+				t.Fatalf("follower verify discarded template: %v", err)
+			}
+		}
+	}
+}
+
+func userID(i int) string {
+	const digits = "0123456789"
+	return "storm-" + string([]byte{digits[i/10%10], digits[i%10]})
+}
+
+func vectorEqual(a, b numberline.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

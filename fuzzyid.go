@@ -843,6 +843,15 @@ func (s *System) Enrolled() int { return s.tenants.Enrolled() }
 // follower's snapshot re-bootstraps (which rebuild the stores).
 func (s *System) StoreRecord(id string) (*Record, bool) { return s.tenants.Default().Get(id) }
 
+// ReEnroll atomically replaces an enrolled identity's record in the default
+// tenant — the direct administrative path through the journal seam, without
+// the challenge-response authentication the protocol-level re-enroll
+// performs (Client.ReEnroll). The swap is one journalled mutation, so WAL
+// replay, incremental snapshots and replication followers all converge on
+// it, and concurrent identifications observe either the old template or the
+// new one in full.
+func (s *System) ReEnroll(rec *Record) error { return s.tenants.Default().Replace(rec) }
+
 // Report returns the Theorem 3 security accounting for dimension n (or the
 // configured dimension when fixed).
 func (s *System) Report(n int) SecurityReport { return s.extractor.Report(n) }

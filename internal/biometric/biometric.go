@@ -185,6 +185,31 @@ func (s *Source) ReadingWithNoise(u *User, maxNoise int64) (numberline.Vector, e
 	return out, nil
 }
 
+// Drift ages a biometric one step: every coordinate of v takes one move of
+// a bounded random walk, uniform in [-step, step], and the drifted copy is
+// returned (v is not modified). Repeated application models slow template
+// aging — the drifted biometric wanders away from the template it was
+// enrolled as, readings around it degrade from always-accepted to
+// always-rejected, and only a re-enrollment (anchoring the stored template
+// at the current drifted vector) restores verification. A step of 0 returns
+// an unaged copy.
+func (s *Source) Drift(v numberline.Vector, step int64) (numberline.Vector, error) {
+	if step < 0 {
+		return nil, fmt.Errorf("%w: drift step %d", ErrBadNoise, step)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(numberline.Vector, len(v))
+	for i, p := range v {
+		var d int64
+		if step > 0 {
+			d = s.rng.Int63n(2*step+1) - step
+		}
+		out[i] = s.line.Add(p, d)
+	}
+	return out, nil
+}
+
 // ImpostorReading produces a reading unrelated to any enrolled user: a fresh
 // uniform vector. With the paper's parameters the probability that it is
 // within threshold of an enrolled template is below ((2t+1)/(ka))^n.

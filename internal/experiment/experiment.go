@@ -16,6 +16,10 @@
 //	comm       — extension: wire sizes per protocol message (§I motivation)
 //	durable    — extension: durable enroll latency vs concurrent writers,
 //	             group-commit WAL on vs off (DESIGN.md §11)
+//	openset    — extension: open-set identification; ghost false-accept
+//	             rate vs the population bound 1-(1-p)^N from §V
+//	aging      — extension: template aging under a drift random walk and
+//	             recovery via atomic re-enroll (DESIGN.md §13)
 //
 // Each experiment returns a Table that renders as aligned text or CSV; the
 // cmd/fuzzyid-bench binary is a thin wrapper around this package.
@@ -180,6 +184,8 @@ func Registry() map[string]Runner {
 		"accuracy":   Accuracy,
 		"comm":       Comm,
 		"durable":    DurableEnroll,
+		"openset":    OpenSet,
+		"aging":      Aging,
 	}
 }
 

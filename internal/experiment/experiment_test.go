@@ -15,7 +15,7 @@ func TestRegistryAndIDs(t *testing.T) {
 	if len(reg) != len(ids) {
 		t.Fatalf("registry %d vs ids %d", len(reg), len(ids))
 	}
-	for _, want := range []string{"table2", "verify", "fig4", "falseclose", "entropy", "robust", "ablate", "reuse", "codeoffset", "accuracy", "comm"} {
+	for _, want := range []string{"table2", "verify", "fig4", "falseclose", "entropy", "robust", "ablate", "reuse", "codeoffset", "accuracy", "comm", "openset", "aging"} {
 		if _, ok := reg[want]; !ok {
 			t.Errorf("experiment %q missing from registry", want)
 		}
@@ -318,6 +318,83 @@ func TestCommQuick(t *testing.T) {
 	}
 	if batchBytes < 50*probeBytes {
 		t.Errorf("batch %v bytes not >> probe %v bytes", batchBytes, probeBytes)
+	}
+}
+
+func TestOpenSetQuick(t *testing.T) {
+	tbl, err := OpenSet(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 { // dims {8,12} + working scale
+		t.Fatalf("rows = %d, want 3 in quick mode", len(tbl.Rows))
+	}
+	// Ghost acceptance must decrease with n, and every row must sit under
+	// its population bound (OpenSet itself errors otherwise; recheck the
+	// rendered cells so the table contract stays load-bearing).
+	prev := 2.0
+	for _, row := range tbl.Rows[:2] {
+		rate, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rate >= prev {
+			t.Errorf("ghost accept rate not decreasing: %v then %v", prev, rate)
+		}
+		if rate > bound*1.2+0.01 {
+			t.Errorf("n=%s: rendered rate %v above bound %v", row[0], rate, bound)
+		}
+		prev = rate
+	}
+	// Zero ghost accepts at the working scale.
+	if got := tbl.Rows[2][2]; got != "0" {
+		t.Errorf("working-scale ghost accept rate = %s, want 0", got)
+	}
+}
+
+func TestAgingQuick(t *testing.T) {
+	tbl, err := Aging(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// epochs 0..5 in quick mode plus the re-enroll recovery row.
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 in quick mode", len(tbl.Rows))
+	}
+	// Epoch 0 (undrifted) and the post-re-enroll row must both sit at
+	// acceptance 1 (Theorem 1); the deepest drift epoch must show real
+	// degradation.
+	if got := tbl.Rows[0][2]; got != "1.000" {
+		t.Errorf("epoch-0 accept rate = %s, want 1.000", got)
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "re-enroll" || last[2] != "1.000" {
+		t.Errorf("recovery row = %v, want re-enroll at accept rate 1.000", last)
+	}
+	deepest, err := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-2][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deepest > 0.5 {
+		t.Errorf("deepest-drift accept rate = %v, want well below 1", deepest)
+	}
+	// Measured and analytic columns must agree within sampling noise.
+	for _, row := range tbl.Rows[:len(tbl.Rows)-1] {
+		measured, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := measured - analytic; diff < -0.2 || diff > 0.2 {
+			t.Errorf("epoch %s: measured %v vs analytic %v", row[0], measured, analytic)
+		}
 	}
 }
 

@@ -139,6 +139,73 @@ func TestDefaultTenantEncodingIsLegacyBytes(t *testing.T) {
 	}
 }
 
+// TestMutationTagBytesArePinned freezes the complete mutation tag space,
+// byte for byte: legacy tags 1-2, the tenant-qualified tags 3-6, and the
+// replace tag 7 introduced with re-enrollment. Tag 7 postdates namespaces so
+// it has no legacy twin — it always carries the tenant string, with ""
+// meaning the default tenant. Any diff here is a WAL/replication format
+// break, not a refactor.
+func TestMutationTagBytesArePinned(t *testing.T) {
+	rec := compatRecord("pin")
+	str := func(s string) []byte {
+		e := wire.NewEncoder(16)
+		e.String(s)
+		return e.Bytes()
+	}
+	cat := func(parts ...[]byte) []byte {
+		var out []byte
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		return out
+	}
+	withTenant := func(m store.Mutation, tenant string) store.Mutation {
+		m.Tenant = tenant
+		return m
+	}
+	cases := []struct {
+		name string
+		mut  store.Mutation
+		want []byte
+	}{
+		{"tag1 insert default", store.InsertMutation(rec),
+			cat([]byte{1}, legacyRecordBytes(rec))},
+		{"tag2 delete default", store.DeleteMutation("pin"),
+			cat([]byte{2}, str("pin"))},
+		{"tag3 insert tenant", withTenant(store.InsertMutation(rec), "acme"),
+			cat([]byte{3}, str("acme"), legacyRecordBytes(rec))},
+		{"tag4 delete tenant", withTenant(store.DeleteMutation("pin"), "acme"),
+			cat([]byte{4}, str("acme"), str("pin"))},
+		{"tag5 tenant create", store.Mutation{Op: store.OpTenantCreate, Tenant: "acme"},
+			cat([]byte{5}, str("acme"))},
+		{"tag6 tenant drop", store.Mutation{Op: store.OpTenantDrop, Tenant: "acme"},
+			cat([]byte{6}, str("acme"))},
+		{"tag7 replace default", store.ReplaceMutation(rec),
+			cat([]byte{7}, str(""), legacyRecordBytes(rec))},
+		{"tag7 replace tenant", withTenant(store.ReplaceMutation(rec), "acme"),
+			cat([]byte{7}, str("acme"), legacyRecordBytes(rec))},
+	}
+	for _, tc := range cases {
+		e := wire.NewEncoder(256)
+		if err := wire.EncodeMutation(e, tc.mut); err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		if !bytes.Equal(e.Bytes(), tc.want) {
+			t.Errorf("%s: encoding diverged from the frozen byte layout\n got %x\nwant %x",
+				tc.name, e.Bytes(), tc.want)
+		}
+		// And the frozen bytes must decode back to the same mutation.
+		got, err := wire.DecodeMutation(wire.NewDecoder(tc.want))
+		if err != nil {
+			t.Fatalf("%s: decode of frozen bytes: %v", tc.name, err)
+		}
+		if got.Op != tc.mut.Op || got.ID != tc.mut.ID || got.Tenant != tc.mut.Tenant {
+			t.Errorf("%s: frozen bytes decoded to (%d, %q, %q), want (%d, %q, %q)",
+				tc.name, got.Op, got.ID, got.Tenant, tc.mut.Op, tc.mut.ID, tc.mut.Tenant)
+		}
+	}
+}
+
 // TestTenantDirHelpers covers the partition layout helpers: default maps to
 // the root, named tenants under tenants/<name>, listing and removal.
 func TestTenantDirHelpers(t *testing.T) {

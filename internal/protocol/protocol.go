@@ -233,6 +233,32 @@ func (d *Device) Revoke(rw io.ReadWriter, id string, bio numberline.Vector) erro
 	return d.answerChallenge(rw, bio, id)
 }
 
+// ReEnroll replaces the enrollment for id with fresh helper data and a
+// fresh key pair generated from newBio, after proving possession of the
+// currently enrolled biometric (oldBio) through a challenge-response run.
+// Where Revoke + Enroll leaves a window with no enrolled template — during
+// which the user cannot authenticate and an attacker could squat the ID —
+// ReEnroll swaps the template in one atomic mutation: every concurrent
+// session observes either the old template or the new one, never neither.
+// This is the online answer to template aging (a drifting biometric is
+// re-anchored at its current reading) and to helper-data rotation.
+func (d *Device) ReEnroll(rw io.ReadWriter, id string, oldBio, newBio numberline.Vector) error {
+	key, helper, err := d.fe.Gen(newBio)
+	if err != nil {
+		return fmt.Errorf("protocol: re-enroll gen: %w", err)
+	}
+	_, pub, err := d.scheme.DeriveKeyPair(key)
+	if err != nil {
+		return fmt.Errorf("protocol: re-enroll keygen: %w", err)
+	}
+	if err := wire.Send(rw, &wire.ReEnrollRequest{ID: id, PublicKey: pub, Helper: helper, Tenant: d.tenant}); err != nil {
+		return err
+	}
+	// The challenge is built from the *old* helper data: possession of the
+	// currently enrolled biometric authorises the replacement.
+	return d.answerChallenge(rw, oldBio, id)
+}
+
 // Identify runs the proposed BioIden (Fig. 3) and returns the identity the
 // server established.
 func (d *Device) Identify(rw io.ReadWriter, bio numberline.Vector) (string, error) {
@@ -754,7 +780,7 @@ func (o *opStats) bind(reg *telemetry.Registry, op string) {
 type serverMetrics struct {
 	reg                                                                     *telemetry.Registry
 	enroll, verify, identify, identifyNormal, identifyBatch, revoke, statsQ opStats
-	replSub, replStatus, tenantAdmin                                        opStats
+	reenroll, replSub, replStatus, tenantAdmin                              opStats
 	tenantReqs, tenantErrs                                                  *telemetry.LabelledCounters
 }
 
@@ -769,6 +795,7 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.m.identifyNormal.bind(reg, "identify_normal")
 	s.m.identifyBatch.bind(reg, "identify_batch")
 	s.m.revoke.bind(reg, "revoke")
+	s.m.reenroll.bind(reg, "reenroll")
 	s.m.statsQ.bind(reg, "stats")
 	s.m.replSub.bind(reg, "repl_subscribe")
 	s.m.replStatus.bind(reg, "repl_status")
@@ -815,6 +842,8 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 		}
 	case *wire.RevokeRequest:
 		om, run = &s.m.revoke, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store, _ string) error { return s.handleRevoke(rw, db, m) })
+	case *wire.ReEnrollRequest:
+		om, run = &s.m.reenroll, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store, _ string) error { return s.handleReEnroll(rw, db, m) })
 	case *wire.IdentifyBatchRequest:
 		om, run = &s.m.identifyBatch, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, name string) error { return s.handleIdentifyBatch(rw, db, name, m) })
 	case *wire.StatsRequest:
@@ -1117,6 +1146,34 @@ func (s *Server) handleRevoke(rw io.ReadWriter, db store.Store, m *wire.RevokeRe
 			return s.refuseTenant(rw, store.CanonicalTenant(m.Tenant))
 		}
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("revoke: %v", err)})
+	}
+	return wire.Send(rw, &wire.Accept{ID: rec.ID})
+}
+
+// handleReEnroll replaces an enrollment's template after the device proves
+// possession of the *currently enrolled* biometric: the challenge is built
+// from the old record's helper data and verified against the old public
+// key, so installing fresh helper data is as strongly authenticated as
+// verification itself. The swap goes through Store.Replace — one journalled
+// mutation — so concurrent identify/verify sessions observe either the old
+// template or the new one in full.
+func (s *Server) handleReEnroll(rw io.ReadWriter, db store.Store, m *wire.ReEnrollRequest) error {
+	rec, ok := db.Get(m.ID)
+	if !ok {
+		return wire.Send(rw, &wire.Reject{Reason: "unknown identity"})
+	}
+	passed, err := s.runChallenge(rw, rec)
+	if err != nil {
+		return err
+	}
+	if !passed {
+		return wire.Send(rw, &wire.Reject{Reason: "signature verification failed"})
+	}
+	if err := db.Replace(&store.Record{ID: m.ID, PublicKey: m.PublicKey, Helper: m.Helper}); err != nil {
+		if errors.Is(err, store.ErrUnknownTenant) {
+			return s.refuseTenant(rw, store.CanonicalTenant(m.Tenant))
+		}
+		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("re-enroll: %v", err)})
 	}
 	return wire.Send(rw, &wire.Accept{ID: rec.ID})
 }

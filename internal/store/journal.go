@@ -12,7 +12,7 @@ import (
 // strategies and any durability backend (internal/persist today; a remote KV
 // or replication stream tomorrow). All state changes are expressed as
 // Mutation values; the Journaled wrapper is the single interception point
-// through which every Insert and Delete flows, and Open/Replay rebuild any
+// through which every Insert, Replace and Delete flows, and Open/Replay rebuild any
 // strategy from a recovered mutation stream through the very same path the
 // live system uses.
 
@@ -36,11 +36,18 @@ const (
 	// OpTenantDrop records the removal of a tenant namespace and all its
 	// records. Registry-level, like OpTenantCreate.
 	OpTenantDrop Op = 6
+	// OpReplace records an online re-enrollment: the record for an already
+	// enrolled ID is atomically swapped for one carrying fresh helper data.
+	// Unlike insert/delete there is no legacy untenanted encoding to stay
+	// byte-compatible with — the wire tag always carries the tenant name,
+	// with "" meaning the default tenant.
+	OpReplace Op = 7
 )
 
 // Mutation is one committed store mutation — the unit a Journal records and
-// recovery replays. Exactly one of Record (OpInsert) and ID (OpDelete) is
-// meaningful; ID is also set for inserts as a convenience. Tenant names the
+// recovery replays. Record is meaningful for OpInsert and OpReplace, ID for
+// OpDelete; ID is also set for record-carrying ops as a convenience. Tenant
+// names the
 // namespace the mutation belongs to, with "" meaning the default tenant —
 // the encoding mutations had before namespaces existed, so legacy journals
 // replay unchanged into the default tenant.
@@ -62,6 +69,15 @@ func InsertMutation(rec *Record) Mutation {
 
 // DeleteMutation builds the journal entry for a revocation.
 func DeleteMutation(id string) Mutation { return Mutation{Op: OpDelete, ID: id} }
+
+// ReplaceMutation builds the journal entry for an online re-enrollment.
+func ReplaceMutation(rec *Record) Mutation {
+	m := Mutation{Op: OpReplace, Record: rec}
+	if rec != nil {
+		m.ID = rec.ID
+	}
+	return m
+}
 
 // Journal persists committed mutations. Append must make the mutation
 // durable (to the backend's configured guarantee) before returning; the
@@ -227,6 +243,8 @@ func Apply(s Store, m Mutation) error {
 		return s.Insert(m.Record)
 	case OpDelete:
 		return s.Delete(m.ID)
+	case OpReplace:
+		return s.Replace(m.Record)
 	case OpTenantCreate, OpTenantDrop:
 		return fmt.Errorf("store: tenant op %d outside a registry", m.Op)
 	default:
@@ -388,6 +406,52 @@ func (s *Journaled) Insert(rec *Record) error {
 	if c != nil {
 		if err := c.Wait(); err != nil {
 			return fmt.Errorf("store: journal insert: %w", err)
+		}
+	}
+	return nil
+}
+
+// Replace implements Store: validate (the ID must already be enrolled, the
+// new helper data must match the store dimension), stage in the journal,
+// apply, then wait for the journal's commit before acknowledging — exactly
+// the write-ahead discipline of Insert, so WAL replay, incremental
+// snapshots and the replication stream all carry re-enrollments for free.
+func (s *Journaled) Replace(rec *Record) error {
+	s.mu.Lock()
+	if s.dropped {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
+	}
+	if err := validateRecord(rec); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if _, ok := s.Store.Get(rec.ID); !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownID, rec.ID)
+	}
+	if d := s.Store.Dimension(); d != 0 && rec.Helper.Dimension() != d {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), d)
+	}
+	m := ReplaceMutation(rec)
+	m.Tenant = s.tenant
+	c, err := beginJournal(s.j, m)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("store: journal replace: %w", err)
+	}
+	if err := s.Store.Replace(rec); err != nil {
+		// Unreachable after the pre-checks under s.mu; if it happens the
+		// journal and memory have diverged — fail loudly, do not ack.
+		s.mu.Unlock()
+		return fmt.Errorf("store: replace diverged from journal: %w", err)
+	}
+	s.markDirty(rec.ID)
+	s.mu.Unlock()
+	if c != nil {
+		if err := c.Wait(); err != nil {
+			return fmt.Errorf("store: journal replace: %w", err)
 		}
 	}
 	return nil

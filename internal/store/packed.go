@@ -134,6 +134,8 @@ type resMatrix interface {
 	copyRow(dst []int64, row, dim int)
 	// moveRow overwrites row dst with row src (swap-delete relocation).
 	moveRow(dst, src, dim int)
+	// setRow overwrites row in place with res (re-enroll replacement).
+	setRow(row int, res []int64)
 	// truncate shrinks the matrix to the given row count.
 	truncate(rows, dim int)
 	// matchOne checks the probe against a single row.
@@ -185,6 +187,13 @@ func (m *matrix[T]) copyRow(dst []int64, row, dim int) {
 
 func (m *matrix[T]) moveRow(dst, src, dim int) {
 	copy(m.data[dst*dim:(dst+1)*dim], m.data[src*dim:(src+1)*dim])
+}
+
+func (m *matrix[T]) setRow(row int, res []int64) {
+	dst := m.data[row*len(res) : (row+1)*len(res)]
+	for j, r := range res {
+		dst[j] = T(r)
+	}
 }
 
 func (m *matrix[T]) truncate(rows, dim int) {

@@ -112,6 +112,43 @@ func (s *Sorted) Delete(id string) error {
 	return nil
 }
 
+// Replace implements Store. The single write mutex makes the remove +
+// re-insert atomic to every reader; insertion order is preserved so All()
+// reflects the original enrollment sequence.
+func (s *Sorted) Replace(rec *Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.byID[rec.ID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownID, rec.ID)
+	}
+	if rec.Helper.Dimension() != s.dim {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadDimension, rec.Helper.Dimension(), s.dim)
+	}
+	e := &entry{rec: rec, res: residues(s.line, rec.Helper.Sketch.Sketch)}
+	for i, cand := range s.entries {
+		if cand == old {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			break
+		}
+	}
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].res[0] >= e.res[0] })
+	s.entries = append(s.entries, nil)
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+	for i, cand := range s.order {
+		if cand == old {
+			s.order[i] = e
+			break
+		}
+	}
+	s.byID[rec.ID] = e
+	return nil
+}
+
 // All implements Store.
 func (s *Sorted) All() []*Record {
 	s.mu.RLock()

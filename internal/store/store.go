@@ -84,6 +84,11 @@ type Store interface {
 	Get(id string) (*Record, bool)
 	// Delete removes an enrolled record (revocation / re-enrollment).
 	Delete(id string) error
+	// Replace atomically swaps the enrolled record for rec.ID with rec
+	// (online re-enrollment with fresh helper data). The ID must already be
+	// enrolled. Concurrent readers observe either the old template or the
+	// new one in full — never a mix of the two.
+	Replace(*Record) error
 	// Identify returns a record whose enrolled sketch matches the probe
 	// under conditions (1)-(4), or ErrNotFound. When several records match
 	// (a false-close collision, bounded by the paper's FAR analysis), any
@@ -235,6 +240,21 @@ func (s *Scan) Get(id string) (*Record, bool) { return s.tab.get(id) }
 // Delete implements Store.
 func (s *Scan) Delete(id string) error {
 	_, _, err := s.tab.delete(id)
+	return err
+}
+
+// Replace implements Store. The row is overwritten in place under its
+// shard's write lock, so a concurrent Identify or Get sees the old template
+// or the new one, never a mix.
+func (s *Scan) Replace(rec *Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	bufp := getResBuf()
+	res := residuesInto(*bufp, s.line, rec.Helper.Sketch.Sketch)
+	*bufp = res
+	_, _, err := s.tab.replace(rec, res)
+	putResBuf(bufp)
 	return err
 }
 
@@ -565,11 +585,7 @@ func (b *Bucket) Insert(rec *Record) error {
 		return err
 	}
 	b.clampDims(len(res))
-	key := b.cellKey(res, int(b.effDims.Load()))
-	cs := b.cellShardFor(key)
-	cs.mu.Lock()
-	cs.cells[key] = append(cs.cells[key], ref)
-	cs.mu.Unlock()
+	b.addCellRef(b.cellKey(res, int(b.effDims.Load())), ref)
 	return nil
 }
 
@@ -579,7 +595,67 @@ func (b *Bucket) Delete(id string) error {
 	if err != nil {
 		return err
 	}
-	key := b.cellKey(res, int(b.effDims.Load()))
+	b.removeCellRef(b.cellKey(res, int(b.effDims.Load())), ref)
+	return nil
+}
+
+// Replace implements Store. Ordering matters for lock safety and lookup
+// visibility: the row handle is published to the new template's cell first,
+// then the row is swapped in place under its table-shard write lock, and
+// only then is the handle removed from the old cell. probeCell acquires the
+// cell-shard lock before the table-shard lock, so Replace never holds a
+// table-shard lock while touching a cell; and because the handle is in both
+// cells across the swap, a concurrent Identify always finds whichever
+// template is live (a stale or duplicate cell entry is harmless — every
+// candidate is fully verified against the live residues under the
+// table-shard lock).
+func (b *Bucket) Replace(rec *Record) error {
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	bufp := getResBuf()
+	defer putResBuf(bufp)
+	res := residuesInto(*bufp, b.line, rec.Helper.Sketch.Sketch)
+	*bufp = res
+	ref, ok := b.tab.refOf(rec.ID)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownID, rec.ID)
+	}
+	b.clampDims(len(res))
+	newKey := b.cellKey(res, int(b.effDims.Load()))
+	b.addCellRef(newKey, ref)
+	newRef, oldRes, err := b.tab.replace(rec, res)
+	if err != nil {
+		b.removeCellRef(newKey, ref)
+		return err
+	}
+	if newRef != ref {
+		// The row was deleted and re-inserted between refOf and replace
+		// (impossible under the journal seam, which serialises mutations,
+		// but raw stores make no such promise): drop the stale handle and
+		// index the live one.
+		b.removeCellRef(newKey, ref)
+		b.addCellRef(newKey, newRef)
+	}
+	oldKey := b.cellKey(oldRes, int(b.effDims.Load()))
+	// Remove exactly one occurrence of the handle from the old cell: the one
+	// the original insert (or a prior replace) published. When the key is
+	// unchanged this removes the duplicate just added, leaving one entry.
+	b.removeCellRef(oldKey, newRef)
+	return nil
+}
+
+// addCellRef publishes a row handle under the given cell key.
+func (b *Bucket) addCellRef(key uint64, ref *rowRef) {
+	cs := b.cellShardFor(key)
+	cs.mu.Lock()
+	cs.cells[key] = append(cs.cells[key], ref)
+	cs.mu.Unlock()
+}
+
+// removeCellRef removes one occurrence of ref from the given cell (no-op
+// when absent).
+func (b *Bucket) removeCellRef(key uint64, ref *rowRef) {
 	cs := b.cellShardFor(key)
 	cs.mu.Lock()
 	cell := cs.cells[key]
@@ -595,7 +671,6 @@ func (b *Bucket) Delete(id string) error {
 		delete(cs.cells, key)
 	}
 	cs.mu.Unlock()
-	return nil
 }
 
 // All implements Store.

@@ -216,6 +216,43 @@ func (t *resTable) get(id string) (*Record, bool) {
 	return sh.recs[ref.row.Load()], true
 }
 
+// refOf returns the stable row handle for id, for an index layered on top
+// that must publish the handle before mutating the row (Bucket.Replace).
+func (t *resTable) refOf(id string) (*rowRef, bool) {
+	sh := &t.shards[t.shardFor(id)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ref, ok := sh.byID[id]
+	return ref, ok
+}
+
+// replace overwrites id's record and residues in place under the owning
+// shard's write lock, keeping the row's handle, position and insertion
+// sequence. Readers therefore always observe a consistent (residues, record)
+// pair — entirely the old template or entirely the new one, never a mix. It
+// returns the row's stable handle and a copy of the old residues so an index
+// layered on top (Bucket) can migrate its references.
+func (t *resTable) replace(rec *Record, res []int64) (*rowRef, []int64, error) {
+	if err := t.adoptDimension(len(res)); err != nil {
+		return nil, nil, err
+	}
+	key := t.coarse.keyOf(res)
+	sh := &t.shards[t.shardFor(rec.ID)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ref, ok := sh.byID[rec.ID]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownID, rec.ID)
+	}
+	row := int(ref.row.Load())
+	old := make([]int64, len(res))
+	sh.mat.copyRow(old, row, len(res))
+	sh.mat.setRow(row, res)
+	sh.coarse[row] = key
+	sh.recs[row] = rec
+	return ref, old, nil
+}
+
 // delete removes id, swap-filling the hole with the shard's last row. It
 // returns the removed row's handle and a copy of its residues so an index
 // layered on top (Bucket) can clean up its references.

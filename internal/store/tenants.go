@@ -303,7 +303,9 @@ func (r *Registry) Apply(m Mutation) error {
 			return err
 		}
 		return Apply(s, m)
-	case OpDelete:
+	case OpDelete, OpReplace:
+		// Both operate on an already-enrolled ID, so the tenant must already
+		// exist on the follower; materialising it here would mask corruption.
 		s, err := r.Tenant(m.Tenant)
 		if err != nil {
 			return err

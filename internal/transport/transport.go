@@ -508,6 +508,16 @@ func (c *Client) Revoke(id string, bio numberline.Vector) error {
 	})
 }
 
+// ReEnroll atomically replaces id's enrolled template with fresh helper
+// data generated from newBio, after proving possession of the currently
+// enrolled biometric (oldBio). A mutation, so it is always served by the
+// primary.
+func (c *Client) ReEnroll(id string, oldBio, newBio numberline.Vector) error {
+	return c.withSession(func(rw io.ReadWriter) error {
+		return c.device.ReEnroll(rw, id, oldBio, newBio)
+	})
+}
+
 // IdentifyBatch runs the batched identification protocol for several
 // readings in one session. The result is aligned with readings; "" marks
 // readings that were not identified.

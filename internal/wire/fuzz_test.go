@@ -26,6 +26,8 @@ func FuzzUnmarshal(f *testing.F) {
 		&Accept{ID: "z"},
 		&Reject{Reason: "r"},
 		&RevokeRequest{ID: "w"},
+		&ReEnrollRequest{ID: "w", PublicKey: []byte{7}},
+		&ReEnrollRequest{ID: "t", PublicKey: []byte{8}, Tenant: "acme"},
 		&IdentifyBatchRequest{},
 		&IdentifyBatchChallenge{Entries: []IndexedChallenge{{Probe: 1, Challenge: []byte("c")}}},
 		&IdentifyBatchSignature{Entries: []IndexedSignature{{Probe: 1, Signature: []byte("s"), Nonce: []byte("n")}}},
@@ -130,6 +132,10 @@ func FuzzDecodeMutation(f *testing.F) {
 	seed(tenantDel)
 	seed(store.Mutation{Op: store.OpTenantCreate, Tenant: "acme"})
 	seed(store.Mutation{Op: store.OpTenantDrop, Tenant: "acme"})
+	seed(store.ReplaceMutation(rec)) // tag 7, "" = default tenant
+	tenantRepl := store.ReplaceMutation(rec)
+	tenantRepl.Tenant = "acme"
+	seed(tenantRepl)
 	f.Add([]byte{})
 	f.Add([]byte{3, 0, 0, 0, 0}) // tenant tag with empty tenant: must reject
 	f.Add([]byte{99, 1, 2, 3})

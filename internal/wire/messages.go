@@ -86,6 +86,10 @@ const (
 	// TypeTenantLimits answers a get-limits tenant-admin request with the
 	// namespace's effective QoS envelope (see tenant.go).
 	TypeTenantLimits
+	// TypeReEnrollRequest asks to replace an enrollment's template (fresh
+	// pk and helper data) after proving possession of the currently
+	// enrolled biometric (challenge-response follows).
+	TypeReEnrollRequest
 )
 
 // MaxIdentifyBatch bounds the probes of one batched identification run.
@@ -400,6 +404,49 @@ func (m *RevokeRequest) encode(e *Encoder) {
 func (m *RevokeRequest) decode(d *Decoder) error {
 	var err error
 	if m.ID, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	m.Tenant, err = decodeTenantTail(d)
+	return err
+}
+
+// ReEnrollRequest opens a re-enrollment run: replace the identity's
+// enrolled template with a fresh (pk, P) pair generated from a new reading.
+// The server answers with a Challenge built from the *currently enrolled*
+// helper data; only a device that can still reproduce the old key — i.e.
+// that possesses the enrolled biometric — may install the replacement
+// (biometric-authenticated template rotation, the online answer to
+// template aging).
+type ReEnrollRequest struct {
+	// ID is the identity whose template should be replaced.
+	ID string
+	// PublicKey is the replacement signature-verification key pk'.
+	PublicKey []byte
+	// Helper is the replacement helper data P' = (s', r').
+	Helper *core.HelperData
+	// Tenant is the namespace the identity lives in ("" = default tenant).
+	Tenant string
+}
+
+// Type implements Message.
+func (*ReEnrollRequest) Type() MsgType { return TypeReEnrollRequest }
+
+func (m *ReEnrollRequest) encode(e *Encoder) {
+	e.String(m.ID)
+	e.VarBytes(m.PublicKey)
+	encodeHelper(e, m.Helper)
+	e.String(m.Tenant)
+}
+
+func (m *ReEnrollRequest) decode(d *Decoder) error {
+	var err error
+	if m.ID, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	if m.PublicKey, err = d.VarBytes(MaxBytesLen); err != nil {
+		return err
+	}
+	if m.Helper, err = decodeHelper(d); err != nil {
 		return err
 	}
 	m.Tenant, err = decodeTenantTail(d)
@@ -754,6 +801,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &Overloaded{}, nil
 	case TypeTenantLimits:
 		return &TenantLimits{}, nil
+	case TypeReEnrollRequest:
+		return &ReEnrollRequest{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
 	}

@@ -23,7 +23,9 @@ const MaxReplChunk = 1 << 10
 // namespaces existed replays unchanged (into the default tenant), and so
 // default-tenant frames stay byte-identical to what PR 2-4 deployments
 // wrote. Tags 3-6 are the tenant-qualified forms; 5 and 6 double as the
-// store.Op values of the registry-level ops. Append only.
+// store.Op values of the registry-level ops. Tag 7 (replace) postdates
+// namespaces, so it has no legacy untenanted twin: it always carries the
+// tenant name, with "" meaning the default tenant. Append only.
 const (
 	mutInsert       = byte(store.OpInsert)
 	mutDelete       = byte(store.OpDelete)
@@ -31,6 +33,7 @@ const (
 	mutTenantDelete = 4
 	mutTenantCreate = byte(store.OpTenantCreate)
 	mutTenantDrop   = byte(store.OpTenantDrop)
+	mutReplace      = byte(store.OpReplace)
 )
 
 // EncodeMutation appends one store mutation: a tag byte, then the tenant
@@ -61,6 +64,13 @@ func EncodeMutation(e *Encoder, m store.Mutation) error {
 			e.String(m.Tenant)
 		}
 		e.String(m.ID)
+	case store.OpReplace:
+		if m.Record == nil {
+			return fmt.Errorf("%w: replace mutation without record", ErrBadFrame)
+		}
+		e.Byte(mutReplace)
+		e.String(m.Tenant)
+		EncodeRecord(e, m.Record)
 	case store.OpTenantCreate, store.OpTenantDrop:
 		if m.Tenant == "" {
 			return fmt.Errorf("%w: tenant op %d without tenant", ErrBadFrame, m.Op)
@@ -92,6 +102,12 @@ func DecodeMutation(d *Decoder) (store.Mutation, error) {
 			// tag; an empty tenant here is a malformed frame, not a choice.
 			return store.Mutation{}, fmt.Errorf("%w: empty tenant in mutation tag %d", ErrBadFrame, tag)
 		}
+	case mutReplace:
+		// Replace has no legacy untenanted tag, so "" is its canonical
+		// encoding of the default tenant.
+		if tenant, err = d.String(MaxTenantLen); err != nil {
+			return store.Mutation{}, err
+		}
 	}
 	switch tag {
 	case mutInsert, mutTenantInsert:
@@ -108,6 +124,14 @@ func DecodeMutation(d *Decoder) (store.Mutation, error) {
 			return store.Mutation{}, err
 		}
 		m := store.DeleteMutation(id)
+		m.Tenant = tenant
+		return m, nil
+	case mutReplace:
+		rec, err := DecodeRecord(d)
+		if err != nil {
+			return store.Mutation{}, err
+		}
+		m := store.ReplaceMutation(rec)
 		m.Tenant = tenant
 		return m, nil
 	case mutTenantCreate:

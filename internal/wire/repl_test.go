@@ -13,6 +13,12 @@ func TestMutationCodecRoundTrip(t *testing.T) {
 			ID: "alice", PublicKey: []byte("pk"), Helper: testHelper([]int64{1, -2, 3}),
 		}),
 		store.DeleteMutation("bob"),
+		store.ReplaceMutation(&store.Record{
+			ID: "alice", PublicKey: []byte("pk2"), Helper: testHelper([]int64{4, 5}),
+		}),
+		tenantQualified(store.ReplaceMutation(&store.Record{
+			ID: "alice", PublicKey: []byte("pk3"), Helper: testHelper([]int64{6}),
+		}), "acme"),
 	}
 	for _, m := range cases {
 		e := NewEncoder(64)
@@ -27,13 +33,19 @@ func TestMutationCodecRoundTrip(t *testing.T) {
 		if err := d.Done(); err != nil {
 			t.Fatalf("trailing bytes: %v", err)
 		}
-		if got.Op != m.Op || got.ID != m.ID {
-			t.Fatalf("decoded (%d, %q), want (%d, %q)", got.Op, got.ID, m.Op, m.ID)
+		if got.Op != m.Op || got.ID != m.ID || got.Tenant != m.Tenant {
+			t.Fatalf("decoded (%d, %q, %q), want (%d, %q, %q)",
+				got.Op, got.ID, got.Tenant, m.Op, m.ID, m.Tenant)
 		}
-		if m.Op == store.OpInsert && got.Record.ID != m.Record.ID {
+		if m.Record != nil && got.Record.ID != m.Record.ID {
 			t.Fatalf("decoded record %q, want %q", got.Record.ID, m.Record.ID)
 		}
 	}
+}
+
+func tenantQualified(m store.Mutation, tenant string) store.Mutation {
+	m.Tenant = tenant
+	return m
 }
 
 func TestMutationCodecRejectsBadOp(t *testing.T) {
@@ -42,6 +54,9 @@ func TestMutationCodecRejectsBadOp(t *testing.T) {
 	}
 	if err := EncodeMutation(NewEncoder(8), store.Mutation{Op: store.OpInsert}); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("encode insert without record: %v", err)
+	}
+	if err := EncodeMutation(NewEncoder(8), store.Mutation{Op: store.OpReplace}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("encode replace without record: %v", err)
 	}
 	d := NewDecoder([]byte{99})
 	if _, err := DecodeMutation(d); !errors.Is(err, ErrBadFrame) {
@@ -57,6 +72,7 @@ func TestReplMessagesRoundTrip(t *testing.T) {
 		&ReplSnapshot{Epoch: 1, Next: 10, First: true, Done: true, Records: []*store.Record{rec}},
 		&ReplFrame{Epoch: 2, Offset: 7, Mut: store.InsertMutation(rec)},
 		&ReplFrame{Epoch: 2, Offset: 8, Mut: store.DeleteMutation("carol")},
+		&ReplFrame{Epoch: 2, Offset: 9, Mut: store.ReplaceMutation(rec)},
 		&ReplAck{Offset: 8},
 		&ReplHeartbeat{Epoch: 2, Latest: 9},
 		&ReplStatus{},
