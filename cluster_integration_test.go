@@ -1,0 +1,334 @@
+package fuzzyid
+
+// End-to-end tests of keyspace-sharded clustering (DESIGN.md §14): several
+// partition primaries over real TCP, a WithCluster client routing keyed
+// sessions and scatter-gathering identification, and a live split handing
+// slots to a joining node while enrollment traffic keeps flowing.
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/cluster"
+	"fuzzyid/internal/numberline"
+)
+
+const clusterTestDim = 64
+
+// reserveAddrs grabs n listen addresses so a cluster spec can name every
+// node before any of them is started. The listeners are closed immediately;
+// the tiny reuse race is acceptable in tests.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// startClusterNode builds and listens one partition primary.
+func startClusterNode(t *testing.T, advertise, spec string) (*System, *Server) {
+	t.Helper()
+	sys, err := NewSystem(Params{Line: PaperLine(), Dimension: clusterTestDim},
+		WithClusterNode(advertise, spec), WithTelemetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := sys.Listen(advertise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); sys.Close() })
+	return sys, srv
+}
+
+func clusterPopulation(t *testing.T, line *numberline.Line, n int, seed int64) (*biometric.Source, []*biometric.User) {
+	t.Helper()
+	src, err := biometric.NewSource(line, biometric.Paper(clusterTestDim), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := make([]*biometric.User, n)
+	for i := range pop {
+		pop[i] = src.NewUser(fmt.Sprintf("cuser-%d-%03d", seed, i))
+	}
+	return src, pop
+}
+
+// TestClusterEndToEnd: three partitions, keyed sessions land on their
+// owners, identification scatter-gathers with zero cross-partition misses,
+// and a cluster-unaware client gets a typed WrongPartition redirect.
+func TestClusterEndToEnd(t *testing.T) {
+	addrs := reserveAddrs(t, 3)
+	spec := strings.Join(addrs, ";")
+	systems := make([]*System, len(addrs))
+	for i, addr := range addrs {
+		systems[i], _ = startClusterNode(t, addr, spec)
+	}
+
+	client, err := systems[0].Dial(addrs[0], WithCluster(), WithOverloadRetry(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	src, pop := clusterPopulation(t, systems[0].Extractor().Line(), 30, 71)
+	for _, u := range pop {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll %s: %v", u.ID, err)
+		}
+	}
+
+	// The population spread across partitions, and nothing was lost.
+	total, populated := 0, 0
+	for _, sys := range systems {
+		n := sys.Enrolled()
+		total += n
+		if n > 0 {
+			populated++
+		}
+	}
+	if total != len(pop) {
+		t.Fatalf("cluster holds %d records, want %d", total, len(pop))
+	}
+	if populated < 2 {
+		t.Fatalf("population landed on %d partition(s); the hash should spread it", populated)
+	}
+
+	// Every user identifies cluster-wide, zero misses, and verification
+	// routes by key.
+	for _, u := range pop {
+		reading, err := src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.Identify(reading)
+		if err != nil {
+			t.Fatalf("identify %s: %v", u.ID, err)
+		}
+		if got != u.ID {
+			t.Fatalf("identified %q as %q", u.ID, got)
+		}
+		if err := client.Verify(u.ID, reading); err != nil {
+			t.Fatalf("verify %s: %v", u.ID, err)
+		}
+	}
+
+	// Batched identification merges verdicts across partitions.
+	readings := make([]Vector, 10)
+	for i := range readings {
+		r, err := src.GenuineReading(pop[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		readings[i] = r
+	}
+	ids, err := client.IdentifyBatch(readings)
+	if err != nil {
+		t.Fatalf("identify batch: %v", err)
+	}
+	for i, id := range ids {
+		if id != pop[i].ID {
+			t.Fatalf("batch position %d identified as %q, want %q", i, id, pop[i].ID)
+		}
+	}
+
+	// A cluster-unaware client asking the wrong partition gets the typed
+	// redirect, not a silent failure.
+	m, ok := systems[0].ClusterMap()
+	if !ok {
+		t.Fatal("node 0 reports no cluster map")
+	}
+	var foreign *biometric.User
+	for _, u := range pop {
+		if m.PrimaryOf(cluster.SlotOf("", u.ID)) != addrs[0] {
+			foreign = u
+			break
+		}
+	}
+	if foreign == nil {
+		t.Fatal("no user owned by another partition")
+	}
+	plain, err := systems[0].Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	reading, err := src.GenuineReading(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Verify(foreign.ID, reading); !IsWrongPartition(err) {
+		t.Fatalf("plain verify on wrong partition: err = %v, want WrongPartition", err)
+	}
+}
+
+// TestClusterLiveSplit: a joining node receives half of partition 0's slots
+// via a live handoff while enrollment traffic flows. No acked write is
+// lost, the moved identities stay identifiable cluster-wide (the client
+// refreshes its map on a miss), and a stale client converges in one
+// redirect round.
+func TestClusterLiveSplit(t *testing.T) {
+	addrs := reserveAddrs(t, 4)
+	spec := strings.Join(addrs[:3], ";")
+	systems := make([]*System, len(addrs))
+	for i, addr := range addrs {
+		// Node 3 starts with the same spec but is absent from it: it joins
+		// owning nothing, the target posture for a split.
+		systems[i], _ = startClusterNode(t, addr, spec)
+	}
+
+	client, err := systems[0].Dial(addrs[0], WithCluster(), WithOverloadRetry(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	src, pop := clusterPopulation(t, systems[0].Extractor().Line(), 40, 73)
+	for _, u := range pop {
+		if err := client.Enroll(u.ID, u.Template); err != nil {
+			t.Fatalf("enroll %s: %v", u.ID, err)
+		}
+	}
+
+	// Enrollment storm concurrent with the split: every ack must survive.
+	_, storm := clusterPopulation(t, systems[0].Extractor().Line(), 30, 74)
+	var (
+		wg    sync.WaitGroup
+		ackMu sync.Mutex
+		acked []*biometric.User
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc, err := systems[0].Dial(addrs[1], WithCluster(), WithOverloadRetry(8))
+		if err != nil {
+			t.Errorf("storm dial: %v", err)
+			return
+		}
+		defer sc.Close()
+		for _, u := range storm {
+			if err := sc.Enroll(u.ID, u.Template); err != nil {
+				t.Errorf("storm enroll %s: %v", u.ID, err)
+				continue
+			}
+			ackMu.Lock()
+			acked = append(acked, u)
+			ackMu.Unlock()
+		}
+	}()
+
+	// A client that caches the pre-split map now, and routes with it after
+	// the split, must converge through one WrongPartition redirect round.
+	stale, err := systems[0].Dial(addrs[1], WithCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+	if err := stale.Verify(pop[0].ID, mustReading(t, src, pop[0])); err != nil {
+		t.Fatalf("pre-split verify (caches the map): %v", err)
+	}
+
+	// Split: hand half of node 0's slots to the joining node, through a
+	// plain admin client dialed at the source primary.
+	m, ok := systems[0].ClusterMap()
+	if !ok {
+		t.Fatal("node 0 reports no cluster map")
+	}
+	owned := m.SlotsOwnedBy(m.GroupIndexOf(addrs[0]))
+	moving := owned[:len(owned)/2]
+	admin, err := systems[0].Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer admin.Close()
+	version, err := admin.PartitionHandoff(PartitionSplit, moving, addrs[3], nil)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if version != m.Version+1 {
+		t.Fatalf("split installed map version %d, want %d", version, m.Version+1)
+	}
+	wg.Wait()
+
+	// The joining node now owns the moved slots and some records landed.
+	_, slots, ok := systems[3].ClusterSelf()
+	if !ok || len(slots) != len(moving) {
+		t.Fatalf("joining node owns %d slots, want %d", len(slots), len(moving))
+	}
+
+	// The non-participating primaries learned the new map through the
+	// source's best-effort gossip — any node answers `cluster map` with the
+	// current topology, not just the handoff participants.
+	for _, i := range []int{1, 2} {
+		if pm, ok := systems[i].ClusterMap(); !ok || pm.Version != version {
+			t.Fatalf("non-participant node %d has map version %d, want %d (gossip)", i, pm.Version, version)
+		}
+	}
+
+	// Zero acked-write loss and zero misses, including the moved records:
+	// the original population plus every acked storm enrollment.
+	ackMu.Lock()
+	all := append(append([]*biometric.User{}, pop...), acked...)
+	ackMu.Unlock()
+	totalBefore := 0
+	for _, sys := range systems {
+		totalBefore += sys.Enrolled()
+	}
+	if totalBefore != len(all) {
+		t.Fatalf("cluster holds %d records after split, want %d", totalBefore, len(all))
+	}
+	for _, u := range all {
+		reading, err := src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := client.Identify(reading)
+		if err != nil {
+			t.Fatalf("post-split identify %s: %v", u.ID, err)
+		}
+		if got != u.ID {
+			t.Fatalf("post-split identified %q as %q", u.ID, got)
+		}
+	}
+
+	// The client holding the pre-split map converges in one redirect round:
+	// it routes a moved key to node 0 and follows the WrongPartition
+	// redirect (carrying the new map) to the joining node.
+	var movedUser *biometric.User
+	movingSet := make(map[uint32]bool, len(moving))
+	for _, s := range moving {
+		movingSet[s] = true
+	}
+	for _, u := range pop {
+		if movingSet[cluster.SlotOf("", u.ID)] {
+			movedUser = u
+			break
+		}
+	}
+	if movedUser == nil {
+		t.Fatal("no user on a moved slot")
+	}
+	if err := stale.Verify(movedUser.ID, mustReading(t, src, movedUser)); err != nil {
+		t.Fatalf("stale-map verify of moved user: %v", err)
+	}
+}
+
+func mustReading(t *testing.T, src *biometric.Source, u *biometric.User) Vector {
+	t.Helper()
+	reading, err := src.GenuineReading(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reading
+}

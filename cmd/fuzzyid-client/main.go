@@ -15,11 +15,18 @@
 //	fuzzyid-client -addr HOST:PORT tenant create -name myapp
 //	fuzzyid-client -addr HOST:PORT tenant drop -name myapp
 //	fuzzyid-client -addr HOST:PORT tenant limits -name myapp
-//	fuzzyid-client -addr HOST:PORT tenant limits -name myapp -set -rate 50 -burst 25 -weight 2
+//	fuzzyid-client -addr HOST:PORT tenant limits -name myapp -set -rate 50 -burst 25 -weight 2 -bytes-per-session 4096
+//	fuzzyid-client -addr HOST:PORT cluster map
+//	fuzzyid-client -addr HOST:PORT cluster split -target HOST:PORT [-slots 0-15]
+//	fuzzyid-client -addr HOST:PORT cluster move  -target HOST:PORT -slots 7,9
 //
 // Protocol subcommands accept -tenant NAME to address a tenant namespace
 // other than the default (enroll/verify/identify/identify-batch/revoke);
-// the tenant subcommand manages the namespaces themselves.
+// the tenant subcommand manages the namespaces themselves. Against a
+// keyspace-sharded cluster (DESIGN.md §14), add -cluster to the protocol
+// subcommands to route sessions to the owning partition and scatter-gather
+// identification; the cluster subcommand prints the versioned slot map and
+// drives live split/move handoffs (-addr must be the source primary).
 //
 // newuser and reading are local conveniences backed by the synthetic
 // biometric source, so a full demo needs no external data.
@@ -30,10 +37,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fuzzyid"
 	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/cluster"
 	"fuzzyid/internal/vecfile"
 )
 
@@ -56,7 +65,7 @@ func run(args []string) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke, re-enroll, stats, repl-status or tenant")
+		return errors.New("missing subcommand: newuser, reading, enroll, verify, identify, identify-batch, revoke, re-enroll, stats, repl-status, tenant or cluster")
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 	switch cmd {
@@ -76,8 +85,98 @@ func run(args []string) error {
 		return cmdReplStatus(*addr, *scheme, *ext)
 	case "tenant":
 		return cmdTenant(cmdArgs, *addr, *scheme, *ext)
+	case "cluster":
+		return cmdCluster(cmdArgs, *addr, *scheme, *ext)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// cmdCluster inspects and reshapes a keyspace-sharded cluster: print the
+// versioned map, or hand slots to another primary with a live split/move
+// (OPERATIONS.md has the runbook).
+func cmdCluster(args []string, addr, scheme, ext string) error {
+	if len(args) == 0 {
+		return errors.New("cluster: missing action (map, split or move)")
+	}
+	action, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("cluster "+action, flag.ContinueOnError)
+	var (
+		target    = fs.String("target", "", "split/move: the receiving primary's advertised address")
+		slotsSpec = fs.String("slots", "", "split/move: slots to hand off, e.g. '0-7,12' (split default: half of the source's slots)")
+		replicas  = fs.String("target-replicas", "", "split: comma-separated replica addresses of the new partition")
+	)
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	sys, err := fuzzyid.NewSystem(
+		fuzzyid.Params{Line: fuzzyid.PaperLine()},
+		fuzzyid.WithSignatureScheme(scheme),
+		fuzzyid.WithExtractor(ext),
+	)
+	if err != nil {
+		return err
+	}
+	client, err := sys.Dial(addr, fuzzyid.WithCluster())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	m, err := client.ClusterMap()
+	if err != nil {
+		if fuzzyid.IsRejected(err) {
+			return fmt.Errorf("%s is not a cluster node: %w", addr, err)
+		}
+		return err
+	}
+	switch action {
+	case "map":
+		fmt.Printf("version: %d\npartitions: %d\n", m.Version, len(m.Groups))
+		for i, g := range m.Groups {
+			line := fmt.Sprintf("  [%d] primary %s", i, g.Primary)
+			if len(g.Replicas) > 0 {
+				line += fmt.Sprintf(" replicas %s", strings.Join(g.Replicas, ","))
+			}
+			fmt.Printf("%s slots %s\n", line, cluster.FormatSlots(m.SlotsOwnedBy(i)))
+		}
+		return nil
+	case "split", "move":
+		if *target == "" {
+			return fmt.Errorf("cluster %s: -target is required", action)
+		}
+		gi := m.GroupIndexOf(addr)
+		if gi < 0 {
+			return fmt.Errorf("cluster %s: -addr must be the source primary (%s leads no partition)", action, addr)
+		}
+		var slots []uint32
+		if *slotsSpec != "" {
+			slots, err = cluster.ParseSlots(*slotsSpec)
+			if err != nil {
+				return err
+			}
+		} else if action == "split" {
+			owned := m.SlotsOwnedBy(gi)
+			slots = owned[:len(owned)/2]
+		} else {
+			return errors.New("cluster move: -slots is required")
+		}
+		act := fuzzyid.PartitionSplit
+		if action == "move" {
+			act = fuzzyid.PartitionMove
+		}
+		var reps []string
+		if *replicas != "" {
+			reps = strings.Split(*replicas, ",")
+		}
+		version, err := client.PartitionHandoff(act, slots, *target, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s complete: slots %s now owned by %s (map version %d)\n",
+			action, cluster.FormatSlots(slots), *target, version)
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown action %q (want map, split or move)", action)
 	}
 }
 
@@ -97,6 +196,7 @@ func cmdTenant(args []string, addr, scheme, ext string) error {
 		burst  = fs.Int("burst", 0, "limits -set: back-to-back session allowance (0 = one second of credit)")
 		conc   = fs.Int("concurrency", 0, "limits -set: in-flight session cap (0 = unlimited)")
 		weight = fs.Int("weight", 1, "limits -set: share of the identification scan pool")
+		bytes  = fs.Int("bytes-per-session", 0, "limits -set: payload bytes one rate credit buys (0 = bytes uncharged)")
 	)
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -147,15 +247,15 @@ func cmdTenant(args []string, addr, scheme, ext string) error {
 		return nil
 	case "limits":
 		if *set {
-			l := fuzzyid.QoSLimits{Rate: *rate, Burst: *burst, MaxConcurrent: *conc, Weight: *weight}
+			l := fuzzyid.QoSLimits{Rate: *rate, Burst: *burst, MaxConcurrent: *conc, Weight: *weight, BytesPerSession: *bytes}
 			if err := client.SetTenantLimits(*name, l); err != nil {
 				if tenant, ok := fuzzyid.IsUnknownTenant(err); ok {
 					return fmt.Errorf("tenant %q does not exist", tenant)
 				}
 				return err
 			}
-			fmt.Printf("limits set: rate=%g/s burst=%d concurrency=%d weight=%d\n",
-				l.Rate, l.Burst, l.MaxConcurrent, l.Weight)
+			fmt.Printf("limits set: rate=%g/s burst=%d concurrency=%d weight=%d bytes-per-session=%d\n",
+				l.Rate, l.Burst, l.MaxConcurrent, l.Weight, l.BytesPerSession)
 			return nil
 		}
 		l, overridden, err := client.TenantLimits(*name)
@@ -172,8 +272,8 @@ func cmdTenant(args []string, addr, scheme, ext string) error {
 		if overridden {
 			source = "override"
 		}
-		fmt.Printf("rate: %g/s\nburst: %d\nconcurrency: %d\nweight: %d\nsource: %s\n",
-			l.Rate, l.Burst, l.MaxConcurrent, l.Weight, source)
+		fmt.Printf("rate: %g/s\nburst: %d\nconcurrency: %d\nweight: %d\nbytes-per-session: %d\nsource: %s\n",
+			l.Rate, l.Burst, l.MaxConcurrent, l.Weight, l.BytesPerSession, source)
 		return nil
 	default:
 		return fmt.Errorf("tenant: unknown action %q (want list, create, drop or limits)", action)
@@ -241,6 +341,7 @@ func cmdReplStatus(addr, scheme, ext string) error {
 func cmdIdentifyBatch(args []string, addr, scheme, ext string) error {
 	fs := flag.NewFlagSet("identify-batch", flag.ContinueOnError)
 	tenant := fs.String("tenant", "", "tenant namespace (empty = default)")
+	sharded := fs.Bool("cluster", false, "route across a sharded cluster (-addr is any member)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,7 +365,11 @@ func cmdIdentifyBatch(args []string, addr, scheme, ext string) error {
 	if err != nil {
 		return err
 	}
-	client, err := sys.Dial(addr, fuzzyid.WithTenant(*tenant))
+	opts := []fuzzyid.ClientOption{fuzzyid.WithTenant(*tenant)}
+	if *sharded {
+		opts = append(opts, fuzzyid.WithCluster())
+	}
+	client, err := sys.Dial(addr, opts...)
 	if err != nil {
 		return err
 	}
@@ -297,10 +402,11 @@ func cmdIdentifyBatch(args []string, addr, scheme, ext string) error {
 func cmdReEnroll(args []string, addr, scheme, ext string) error {
 	fs := flag.NewFlagSet("re-enroll", flag.ContinueOnError)
 	var (
-		id     = fs.String("id", "", "user identity (required)")
-		old    = fs.String("old", "", "reading matching the current template (required)")
-		vec    = fs.String("vec", "", "replacement template vector file (required)")
-		tenant = fs.String("tenant", "", "tenant namespace (empty = default)")
+		id      = fs.String("id", "", "user identity (required)")
+		old     = fs.String("old", "", "reading matching the current template (required)")
+		vec     = fs.String("vec", "", "replacement template vector file (required)")
+		tenant  = fs.String("tenant", "", "tenant namespace (empty = default)")
+		sharded = fs.Bool("cluster", false, "route across a sharded cluster (-addr is any member)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -324,7 +430,11 @@ func cmdReEnroll(args []string, addr, scheme, ext string) error {
 	if err != nil {
 		return err
 	}
-	client, err := sys.Dial(addr, fuzzyid.WithTenant(*tenant))
+	opts := []fuzzyid.ClientOption{fuzzyid.WithTenant(*tenant)}
+	if *sharded {
+		opts = append(opts, fuzzyid.WithCluster())
+	}
+	client, err := sys.Dial(addr, opts...)
 	if err != nil {
 		return err
 	}
@@ -405,10 +515,11 @@ func cmdReading(args []string) error {
 func cmdProtocol(cmd string, args []string, addr, scheme, ext string) error {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	var (
-		id     = fs.String("id", "", "user identity (enroll/verify)")
-		vec    = fs.String("vec", "", "vector file (required)")
-		normal = fs.Bool("normal", false, "identify: use the O(N) normal approach of Fig. 2")
-		tenant = fs.String("tenant", "", "tenant namespace (empty = default)")
+		id      = fs.String("id", "", "user identity (enroll/verify)")
+		vec     = fs.String("vec", "", "vector file (required)")
+		normal  = fs.Bool("normal", false, "identify: use the O(N) normal approach of Fig. 2")
+		tenant  = fs.String("tenant", "", "tenant namespace (empty = default)")
+		sharded = fs.Bool("cluster", false, "route across a sharded cluster (-addr is any member)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -428,7 +539,11 @@ func cmdProtocol(cmd string, args []string, addr, scheme, ext string) error {
 	if err != nil {
 		return err
 	}
-	client, err := sys.Dial(addr, fuzzyid.WithTenant(*tenant))
+	opts := []fuzzyid.ClientOption{fuzzyid.WithTenant(*tenant)}
+	if *sharded {
+		opts = append(opts, fuzzyid.WithCluster())
+	}
+	client, err := sys.Dial(addr, opts...)
 	if err != nil {
 		return err
 	}

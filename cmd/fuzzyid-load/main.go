@@ -158,6 +158,7 @@ type config struct {
 	seed     int64
 	scheme   string
 	ext      string
+	cluster  bool // route across a keyspace-sharded cluster
 
 	// Noisy-neighbor scenario knobs.
 	floodWorkers int
@@ -275,6 +276,7 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		addr        = fs.String("addr", "127.0.0.1:7700", "server address (the primary when -replicas is set)")
 		replicas    = fs.String("replicas", "", "comma-separated follower addresses for read fan-out")
+		clustered   = fs.Bool("cluster", false, "route across a keyspace-sharded cluster (-addr is any member)")
 		scenario    = fs.String("scenario", "all", "comma-separated scenario list: "+strings.Join(scenarioOrder, ", ")+", 'replicated', 'multitenant', 'mass-enroll', or 'all'")
 		workers     = fs.Int("workers", 8, "concurrent closed-loop workers (one connection each)")
 		duration    = fs.Duration("duration", 5*time.Second, "wall-clock budget per scenario")
@@ -324,6 +326,9 @@ func run(args []string, stdout io.Writer) error {
 			replicaAddrs = append(replicaAddrs, a)
 		}
 	}
+	if *clustered && len(replicaAddrs) > 0 {
+		return errors.New("-cluster and -replicas are mutually exclusive (the cluster map names each partition's replicas)")
+	}
 	if *openFrac < 0 || *openFrac > 1 {
 		return fmt.Errorf("-open-frac=%g: want a fraction in [0, 1]", *openFrac)
 	}
@@ -352,7 +357,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := config{
 		addr: *addr, replicas: replicaAddrs, dim: *dim, workers: *workers,
 		duration: *duration, users: *users, batch: *batch, tenants: *tenants,
-		seed: *seed, scheme: *scheme, ext: *ext,
+		seed: *seed, scheme: *scheme, ext: *ext, cluster: *clustered,
 		floodWorkers: *floodW, floodRate: *floodRate, floodBurst: *floodBurst,
 		openFrac: *openFrac, driftStep: *driftStep,
 	}
@@ -809,6 +814,11 @@ func drive(cfg config, scenarios []string, wantServerStats bool) (*report, error
 	var clientOpts []fuzzyid.ClientOption
 	if len(cfg.replicas) > 0 {
 		clientOpts = append(clientOpts, fuzzyid.WithReplicas(cfg.replicas...))
+	}
+	if cfg.cluster {
+		// Cluster routing, plus retries so the brief per-slot freeze during a
+		// live split/move reads as latency, not errors.
+		clientOpts = append(clientOpts, fuzzyid.WithCluster(), fuzzyid.WithOverloadRetry(8))
 	}
 	nonce := time.Now().UnixNano()
 	driftStep := cfg.driftStep

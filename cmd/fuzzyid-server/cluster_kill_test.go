@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fuzzyid"
+	"fuzzyid/internal/biometric"
+	"fuzzyid/internal/cluster"
+)
+
+// TestClusterSIGKILLCrashMatrix is the crash acceptance scenario for
+// keyspace-sharded clustering, against real server processes: three
+// partition primaries with -data, one SIGKILLed mid-enrollment-storm. The
+// surviving partitions must keep serving their keys, a cluster-wide
+// identification that cannot rule out the dead partition must fail with the
+// typed partial-failure error (never a silent false reject), and after the
+// killed primary restarts from its data directory every acknowledged
+// enrollment — including those on the killed partition — must identify.
+func TestClusterSIGKILLCrashMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping subprocess test")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "fuzzyid-server")
+	if out, err := exec.Command(goTool, "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// Reserve fixed addresses so the spec can name every primary up front
+	// and a killed node can rebind its advertised address on restart.
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	spec := strings.Join(addrs, ";")
+	m, err := cluster.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const dim = 32
+	dirs := make([]string, len(addrs))
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	start := func(i int) *exec.Cmd {
+		t.Helper()
+		proc := exec.Command(bin, "-addr", addrs[i], "-dim", "32", "-data", dirs[i], "-cluster", spec)
+		stdout, err := proc.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := proc.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// The first stdout line confirms the node recovered its store and is
+		// accepting connections.
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			proc.Process.Kill()
+			t.Fatalf("node %d: no startup line: %v", i, sc.Err())
+		}
+		go func() { // drain so the child never blocks on a full pipe
+			for sc.Scan() {
+			}
+		}()
+		return proc
+	}
+
+	procs := make([]*exec.Cmd, len(addrs))
+	for i := range addrs {
+		procs[i] = start(i)
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+
+	dialer, err := fuzzyid.NewSystem(fuzzyid.Params{Line: fuzzyid.PaperLine(), Dimension: dim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := biometric.NewSource(dialer.Extractor().Line(), biometric.Paper(dim), 193)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := src.Population(150)
+
+	client, err := dialer.Dial(addrs[0], fuzzyid.WithCluster(), fuzzyid.WithOverloadRetry(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Enrollment storm: enroll continuously, recording every acknowledged
+	// write. The kill lands mid-storm; enrollments routed to the dead
+	// partition fail and are simply not recorded.
+	var mu sync.Mutex
+	var acked []*biometric.User
+	enrollDone := make(chan struct{})
+	go func() {
+		defer close(enrollDone)
+		for _, u := range users {
+			if err := client.Enroll(u.ID, u.Template); err != nil {
+				continue // the kill severed this key's partition
+			}
+			mu.Lock()
+			acked = append(acked, u)
+			mu.Unlock()
+		}
+	}()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		mu.Lock()
+		n := len(acked)
+		mu.Unlock()
+		if n >= 40 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d enrollments acknowledged before deadline", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// SIGKILL partition 1's primary mid-storm: no flush, no goodbye.
+	const victim = 1
+	if err := procs[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[victim].Wait()
+	<-enrollDone
+
+	mu.Lock()
+	final := append([]*biometric.User(nil), acked...)
+	mu.Unlock()
+	var liveUser, deadUser *biometric.User
+	for _, u := range final {
+		if m.PrimaryOf(cluster.SlotOf("", u.ID)) == addrs[victim] {
+			if deadUser == nil {
+				deadUser = u
+			}
+		} else if liveUser == nil {
+			liveUser = u
+		}
+	}
+	if liveUser == nil || deadUser == nil {
+		t.Fatalf("acked population (%d users) did not span the victim and a survivor", len(final))
+	}
+
+	// Surviving partitions keep serving their keys during the outage, both
+	// keyed verification and cluster-wide identification (first match wins,
+	// so a dead partition cannot block a hit on a live one).
+	liveReading, err := src.GenuineReading(liveUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Verify(liveUser.ID, liveReading); err != nil {
+		t.Fatalf("verify on a surviving partition during the outage: %v", err)
+	}
+	if id, err := client.Identify(liveReading); err != nil || id != liveUser.ID {
+		t.Fatalf("identify on a surviving partition during the outage: (%q, %v), want %q", id, err, liveUser.ID)
+	}
+
+	// Identification of a user on the dead partition must surface the typed
+	// partial failure naming the unreachable primary — a silent false reject
+	// here would report an enrolled identity as unknown.
+	deadReading, err := src.GenuineReading(deadUser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Identify(deadReading)
+	failed, ok := fuzzyid.IsPartialIdentify(err)
+	if !ok {
+		t.Fatalf("identify with a dead partition: err = %v, want a partial-identify error", err)
+	}
+	if len(failed) != 1 || failed[0] != addrs[victim] {
+		t.Fatalf("partial-identify names partitions %v, want [%s]", failed, addrs[victim])
+	}
+
+	// Restart the killed primary from its data directory: zero acked-write
+	// loss, cluster-wide.
+	procs[victim] = start(victim)
+	t.Logf("killed primary %s after %d acknowledged enrollments (%s on the victim)",
+		addrs[victim], len(final), deadUser.ID)
+	for _, u := range final {
+		reading, err := src.GenuineReading(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := client.Identify(reading)
+		if err != nil || id != u.ID {
+			t.Fatalf("durably-acknowledged user %s lost after SIGKILL: identify = (%q, %v)", u.ID, id, err)
+		}
+	}
+}

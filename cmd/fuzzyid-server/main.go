@@ -38,6 +38,16 @@
 // connection (-tenant on fuzzyid-client), and a replicating primary
 // streams every tenant to its followers.
 //
+// Clustering (DESIGN.md §14, OPERATIONS.md): -cluster shards the user
+// keyspace across several partition primaries; every node of the cluster is
+// started with the same spec and -advertise names this node within it.
+// Keyed sessions for other partitions are redirected with a versioned
+// cluster map; fuzzyid-client/fuzzyid-load route automatically with
+// -cluster.
+//
+//	fuzzyid-server -addr 127.0.0.1:7700 -cluster '127.0.0.1:7700;127.0.0.1:7710'
+//	fuzzyid-server -addr 127.0.0.1:7710 -cluster '127.0.0.1:7700;127.0.0.1:7710'
+//
 // Overload protection (DESIGN.md §12, OPERATIONS.md §8): per-tenant
 // admission control is on by default — identification scans are scheduled
 // weighted-fair across tenants and sessions beyond a tenant's envelope are
@@ -171,6 +181,8 @@ func setup(args []string) (*proc, error) {
 		statsAddr = fs.String("stats-addr", "", "serve the telemetry JSON snapshot over HTTP on this address (requires -telemetry)")
 		serveRepl = fs.Bool("serve-replication", false, "act as a replication primary: stream the mutation log to followers")
 		replicaOf = fs.String("replica-of", "", "act as a read-only follower of the primary at this address")
+		clSpec    = fs.String("cluster", "", "keyspace-sharded cluster spec: partition groups separated by ';', each 'primary,replica,...' (requires -advertise)")
+		advertise = fs.String("advertise", "", "this node's address as it appears in -cluster (defaults to -addr)")
 
 		qosOn     = fs.Bool("qos", true, "per-tenant admission control: fair scan scheduling, bounded queues, typed retryable overload sheds")
 		qosRate   = fs.Float64("qos-rate", 0, "default sustained sessions/second per tenant (0 = unlimited)")
@@ -229,6 +241,13 @@ func setup(args []string) (*proc, error) {
 	if *replicaOf != "" {
 		opts = append(opts, fuzzyid.WithReplicaOf(*replicaOf))
 	}
+	if *clSpec != "" {
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		opts = append(opts, fuzzyid.WithClusterNode(self, *clSpec))
+	}
 	if *qosOn {
 		opts = append(opts, fuzzyid.WithQoS(fuzzyid.QoSLimits{
 			Rate:          *qosRate,
@@ -279,6 +298,9 @@ func setup(args []string) (*proc, error) {
 	}
 	if sys.Replicating() {
 		fmt.Println("replication: primary (streaming the mutation log to followers)")
+	}
+	if self, slots, ok := sys.ClusterSelf(); ok {
+		fmt.Printf("cluster: partition primary %s owning %d slot(s)\n", self, len(slots))
 	}
 	if primary, ok := sys.Replica(); ok {
 		fmt.Printf("replication: read-only follower of %s (enroll/revoke redirect there)\n", primary)

@@ -32,9 +32,12 @@ package fuzzyid
 import (
 	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"time"
 
+	"fuzzyid/internal/cluster"
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/extract"
 	"fuzzyid/internal/numberline"
@@ -46,6 +49,7 @@ import (
 	"fuzzyid/internal/store"
 	"fuzzyid/internal/telemetry"
 	"fuzzyid/internal/transport"
+	"fuzzyid/internal/wire"
 )
 
 // Re-exported core types. The aliases make the public API self-contained
@@ -173,6 +177,63 @@ func IsOverloaded(err error) (retryAfter time.Duration, ok bool) {
 // overload sheds are retried; every other outcome surfaces immediately.
 func WithOverloadRetry(n int) ClientOption { return transport.WithOverloadRetry(n) }
 
+// ClusterMap is a versioned assignment of the keyspace's hash slots to
+// partition groups (DESIGN.md §14).
+type ClusterMap = cluster.Map
+
+// Partition admin actions for Client.PartitionHandoff.
+const (
+	// PartitionSplit moves slots to a node that leads no group yet; the new
+	// map gains a group led by the target.
+	PartitionSplit = wire.PartitionSplit
+	// PartitionMove moves slots to a primary that already leads a group.
+	PartitionMove = wire.PartitionMove
+)
+
+// WithClusterNode makes the system one partition primary of a keyspace-
+// sharded cluster: advertise is this node's address as it appears in the
+// cluster spec, and spec describes the initial topology — partition groups
+// separated by ';', each group "primary,replica,replica..." (see
+// OPERATIONS.md). Every node of a cluster must be started with the same
+// spec. Keyed sessions for slots owned by other partitions are redirected
+// with a versioned WrongPartition answer; identification serves this
+// partition's local slice, with cluster-wide scatter-gather done by clients
+// built WithCluster. A node whose advertise address is absent from the spec
+// joins owning nothing — the target posture for a split.
+func WithClusterNode(advertise, spec string) Option {
+	return optionFunc(func(c *config) error {
+		if advertise == "" || spec == "" {
+			return errors.New("fuzzyid: WithClusterNode requires an advertise address and a cluster spec")
+		}
+		c.clusterSelf, c.clusterSpec = advertise, spec
+		return nil
+	})
+}
+
+// WithCluster puts a dialed Client in cluster-routing mode: it fetches the
+// server's versioned cluster map, routes keyed sessions (enroll, verify,
+// revoke, re-enroll) to the owning partition's primary following
+// WrongPartition redirects, and scatter-gathers identification across every
+// partition. The dialed address can be any cluster node.
+func WithCluster() ClientOption { return transport.WithCluster() }
+
+// IsWrongPartition reports whether err is a cluster node's redirect of a
+// keyed operation whose slot it does not own. Clients built WithCluster
+// follow these automatically; seeing one here means the client is talking
+// to a cluster without WithCluster.
+func IsWrongPartition(err error) bool {
+	_, ok := protocol.IsWrongPartition(err)
+	return ok
+}
+
+// IsPartialIdentify reports whether err is a cluster identification miss
+// that is unreliable because one or more partitions were unreachable; if so
+// it also returns the unreachable partitions' primary addresses. A caller
+// must treat it as "unknown", never as a confirmed reject.
+func IsPartialIdentify(err error) (failed []string, ok bool) {
+	return transport.IsPartialIdentify(err)
+}
+
 // System bundles everything needed to run the paper's protocols: the fuzzy
 // extractor, the signature scheme, the server-side record stores (one per
 // tenant namespace), and the protocol engines for both the authentication
@@ -204,6 +265,9 @@ type System struct {
 	// Admission control; nil unless WithQoS (or a QoS tuning option) was
 	// configured.
 	qos *qos.Controller
+
+	// Cluster identity; nil unless WithClusterNode was configured.
+	node *cluster.Node
 }
 
 // Option configures a System.
@@ -235,6 +299,8 @@ type config struct {
 	qosDefaults  qos.Limits
 	qosBudget    time.Duration
 	qosScanSlots int
+	clusterSelf  string
+	clusterSpec  string
 }
 
 // WithStoreStrategy selects the identification lookup strategy: "bucket"
@@ -496,6 +562,20 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 		if cfg.serveRepl {
 			return nil, errors.New("fuzzyid: chained replication (WithReplicaOf + WithReplication) is not supported")
 		}
+		if cfg.clusterSpec != "" {
+			return nil, errors.New("fuzzyid: a partition follower replicates its primary; start it with WithReplicaOf only (clients learn it from the cluster spec)")
+		}
+	}
+	var node *cluster.Node
+	if cfg.clusterSpec != "" {
+		m, err := cluster.ParseSpec(cfg.clusterSpec)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzyid: cluster spec: %w", err)
+		}
+		node, err = cluster.NewNode(cfg.clusterSelf, m)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzyid: cluster node: %w", err)
+		}
 	}
 	sys := &System{
 		extractor: fe, scheme: scheme,
@@ -561,7 +641,10 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 		if sys.hub != nil {
 			journals = append(journals, sys.hub)
 		}
-		if len(journals) > 0 {
+		// A cluster node wraps even journal-less stores: the Journaled
+		// layer's mutex is where the partition write gate runs, making a
+		// handoff freeze authoritative against in-flight sessions.
+		if len(journals) > 0 || node != nil {
 			jdb := store.NewJournaledTenant(db, journals, name)
 			if log != nil {
 				// The WAL-tail mutations are the distance between the store
@@ -635,8 +718,37 @@ func NewSystem(p Params, opts ...Option) (*System, error) {
 		sys.server.SetReadOnly(cfg.replicaOf)
 		sys.server.SetStatus(sys.follower.Status)
 	}
+	if node != nil {
+		sys.node = node
+		sys.server.SetCluster(node, func(addr string) (io.ReadWriteCloser, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		})
+	}
 	sys.device = protocol.NewDevice(fe, scheme)
 	return sys, nil
+}
+
+// ClusterSelf reports the node's advertised address and the slots it
+// currently owns; ok is false on a system built without WithClusterNode.
+func (s *System) ClusterSelf() (advertise string, slots []uint32, ok bool) {
+	if s.node == nil {
+		return "", nil, false
+	}
+	m := s.node.Map()
+	gi := m.GroupIndexOf(s.node.Self())
+	if gi >= 0 {
+		slots = m.SlotsOwnedBy(gi)
+	}
+	return s.node.Self(), slots, true
+}
+
+// ClusterMap returns the node's current cluster map; ok is false on a
+// system built without WithClusterNode.
+func (s *System) ClusterMap() (m *ClusterMap, ok bool) {
+	if s.node == nil {
+		return nil, false
+	}
+	return s.node.Map(), true
 }
 
 // trackLog records a tenant's WAL for the snapshot and shutdown paths.

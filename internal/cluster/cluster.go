@@ -1,0 +1,401 @@
+// Package cluster defines the keyspace-sharded topology shared by every
+// layer of the multi-primary deployment: a fixed hash-slot space over
+// (tenant, user ID), a versioned map assigning slots to primary groups, and
+// the per-process Node state (which slots this process owns, which are
+// frozen mid-handoff).
+//
+// The design mirrors the store's own sharding one level up: just as records
+// spread across in-process shards by ID hash, they spread across processes
+// by slot. NumSlots is deliberately small (64) — a cluster map is a few
+// hundred bytes and travels inside WrongPartition redirects — while still
+// allowing fine-grained rebalancing (a 4-group cluster moves 1/64 of the
+// keyspace at minimum granularity).
+//
+// Maps are immutable once built and advance by version: every topology
+// change (split, move) produces a new map with Version+1, and installers
+// accept only strictly newer versions. That single rule makes redirect
+// convergence provable: a client that honours a WrongPartition redirect
+// either learns a strictly newer map (progress) or detects a non-advancing
+// redirect and fails fast instead of looping.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"fuzzyid/internal/store"
+)
+
+// Write-gate verdicts (see store.Journaled.SetWriteGate): the authoritative
+// refusals a cluster node's journal seam returns for mutations of slots the
+// node must not change. They back the polite protocol-level checks — a
+// session admitted just before a freeze still cannot land a mutation after
+// the handoff cut, because the gate runs under the same mutex the cut
+// holds.
+var (
+	// ErrSlotFrozen refuses a mutation of a slot mid-handoff; the
+	// condition is transient and the client should retry.
+	ErrSlotFrozen = errors.New("cluster: slot frozen mid-handoff")
+	// ErrSlotNotOwned refuses a mutation of a slot this node's group does
+	// not own; the client holds a stale map and must re-route.
+	ErrSlotNotOwned = errors.New("cluster: slot not owned by this partition")
+)
+
+// NumSlots is the fixed size of the hash-slot space. Every (tenant, user ID)
+// pair maps to exactly one slot; every slot is owned by exactly one group.
+const NumSlots = 64
+
+// MaxGroups bounds the number of primary groups a map may carry; it keeps
+// wire decoding of hostile maps cheap.
+const MaxGroups = 256
+
+// SlotOf returns the slot owning the given (tenant, user ID) pair: FNV-64a
+// over the canonical tenant name, a NUL separator, and the ID, reduced mod
+// NumSlots. The NUL keeps ("ab","c") and ("a","bc") in independent slots.
+func SlotOf(tenant, id string) uint32 {
+	h := fnv.New64a()
+	h.Write([]byte(store.CanonicalTenant(tenant)))
+	h.Write([]byte{0})
+	h.Write([]byte(id))
+	return uint32(h.Sum64() % NumSlots)
+}
+
+// Group is one primary and its read replicas.
+type Group struct {
+	// Primary is the advertised address of the group's primary.
+	Primary string
+	// Replicas are the advertised addresses of the group's read-only
+	// followers (may be empty).
+	Replicas []string
+}
+
+// Map is one immutable version of the cluster topology: which group owns
+// each slot, and each group's member addresses. Treat a *Map as read-only
+// after construction — Nodes and clients share pointers freely.
+type Map struct {
+	// Version orders maps; installers accept only strictly larger versions.
+	Version uint64
+	// Slots maps slot number → index into Groups. len(Slots) == NumSlots.
+	Slots []uint32
+	// Groups lists the primary groups.
+	Groups []Group
+}
+
+// Validate checks structural invariants: a version, exactly NumSlots slot
+// assignments, at least one group, every slot pointing at a real group, and
+// non-empty primary addresses.
+func (m *Map) Validate() error {
+	if m == nil {
+		return fmt.Errorf("cluster: nil map")
+	}
+	if m.Version == 0 {
+		return fmt.Errorf("cluster: map version 0")
+	}
+	if len(m.Slots) != NumSlots {
+		return fmt.Errorf("cluster: map has %d slot entries, want %d", len(m.Slots), NumSlots)
+	}
+	if len(m.Groups) == 0 || len(m.Groups) > MaxGroups {
+		return fmt.Errorf("cluster: map has %d groups", len(m.Groups))
+	}
+	for i, g := range m.Groups {
+		if g.Primary == "" {
+			return fmt.Errorf("cluster: group %d has no primary", i)
+		}
+	}
+	for s, gi := range m.Slots {
+		if int(gi) >= len(m.Groups) {
+			return fmt.Errorf("cluster: slot %d assigned to group %d of %d", s, gi, len(m.Groups))
+		}
+	}
+	return nil
+}
+
+// GroupOf returns the group owning the given slot.
+func (m *Map) GroupOf(slot uint32) Group {
+	return m.Groups[m.Slots[slot%NumSlots]]
+}
+
+// PrimaryOf returns the primary address owning the given slot.
+func (m *Map) PrimaryOf(slot uint32) string { return m.GroupOf(slot).Primary }
+
+// GroupIndexOf returns the index of the group whose primary advertises addr,
+// or -1 when no group does.
+func (m *Map) GroupIndexOf(addr string) int {
+	for i, g := range m.Groups {
+		if g.Primary == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// SlotsOwnedBy returns the sorted slots assigned to the given group index.
+func (m *Map) SlotsOwnedBy(group int) []uint32 {
+	var out []uint32
+	for s, gi := range m.Slots {
+		if int(gi) == group {
+			out = append(out, uint32(s))
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy safe to mutate while building a successor map.
+func (m *Map) Clone() *Map {
+	c := &Map{Version: m.Version}
+	c.Slots = append([]uint32(nil), m.Slots...)
+	c.Groups = make([]Group, len(m.Groups))
+	for i, g := range m.Groups {
+		c.Groups[i] = Group{Primary: g.Primary, Replicas: append([]string(nil), g.Replicas...)}
+	}
+	return c
+}
+
+// Moved returns a successor map (Version+1) with the given slots reassigned
+// to the group whose primary is target, appending a new group when target is
+// not yet in the map. It fails if any slot is out of range or target is
+// empty.
+func (m *Map) Moved(slots []uint32, target string, targetReplicas []string) (*Map, error) {
+	if target == "" {
+		return nil, fmt.Errorf("cluster: move without a target primary")
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("cluster: move without slots")
+	}
+	next := m.Clone()
+	next.Version = m.Version + 1
+	gi := next.GroupIndexOf(target)
+	if gi < 0 {
+		if len(next.Groups) >= MaxGroups {
+			return nil, fmt.Errorf("cluster: map already has %d groups", MaxGroups)
+		}
+		next.Groups = append(next.Groups, Group{Primary: target, Replicas: append([]string(nil), targetReplicas...)})
+		gi = len(next.Groups) - 1
+	}
+	for _, s := range slots {
+		if s >= NumSlots {
+			return nil, fmt.Errorf("cluster: slot %d out of range", s)
+		}
+		next.Slots[s] = uint32(gi)
+	}
+	return next, nil
+}
+
+// ParseSpec builds the deterministic version-1 map from a topology spec:
+// groups separated by ';', members within a group by ',', the first member
+// being the group's primary and the rest its replicas. Slots are assigned
+// round-robin across groups, so every process given the same spec computes
+// the same map.
+func ParseSpec(spec string) (*Map, error) {
+	var groups []Group
+	for _, gs := range strings.Split(spec, ";") {
+		gs = strings.TrimSpace(gs)
+		if gs == "" {
+			continue
+		}
+		var g Group
+		for i, member := range strings.Split(gs, ",") {
+			member = strings.TrimSpace(member)
+			if member == "" {
+				return nil, fmt.Errorf("cluster: empty member in group spec %q", gs)
+			}
+			if i == 0 {
+				g.Primary = member
+			} else {
+				g.Replicas = append(g.Replicas, member)
+			}
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("cluster: empty cluster spec")
+	}
+	if len(groups) > MaxGroups {
+		return nil, fmt.Errorf("cluster: spec names %d groups (max %d)", len(groups), MaxGroups)
+	}
+	seen := make(map[string]bool)
+	for _, g := range groups {
+		if seen[g.Primary] {
+			return nil, fmt.Errorf("cluster: duplicate primary %q in spec", g.Primary)
+		}
+		seen[g.Primary] = true
+	}
+	m := &Map{Version: 1, Slots: make([]uint32, NumSlots), Groups: groups}
+	for s := range m.Slots {
+		m.Slots[s] = uint32(s % len(groups))
+	}
+	return m, nil
+}
+
+// Node is one process's view of the cluster: its advertised address, the
+// current map, and the set of slots frozen mid-handoff. A node whose
+// address appears in no group is "joining" — it owns nothing and serves
+// only as a handoff target until a map flip brings it in.
+type Node struct {
+	self string
+
+	mu     sync.RWMutex
+	m      *Map
+	frozen map[uint32]bool
+}
+
+// NewNode builds a node advertising self under the given initial map.
+func NewNode(self string, m *Map) (*Node, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if self == "" {
+		return nil, fmt.Errorf("cluster: node without an advertised address")
+	}
+	return &Node{self: self, m: m, frozen: make(map[uint32]bool)}, nil
+}
+
+// Self returns the node's advertised address.
+func (n *Node) Self() string { return n.self }
+
+// Map returns the current map (immutable; safe to share).
+func (n *Node) Map() *Map {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.m
+}
+
+// GroupIndex returns the index of the group this node leads, or -1 when the
+// node is joining (its address appears as no group's primary).
+func (n *Node) GroupIndex() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.m.GroupIndexOf(n.self)
+}
+
+// Owns reports whether this node's group owns the given slot under the
+// current map. A joining node owns nothing.
+func (n *Node) Owns(slot uint32) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	gi := n.m.GroupIndexOf(n.self)
+	return gi >= 0 && int(n.m.Slots[slot%NumSlots]) == gi
+}
+
+// Frozen reports whether the given slot is frozen mid-handoff: mutations
+// must shed (retryable) rather than land in a record set already cut.
+func (n *Node) Frozen(slot uint32) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.frozen[slot%NumSlots]
+}
+
+// Freeze marks slots as mid-handoff.
+func (n *Node) Freeze(slots []uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range slots {
+		n.frozen[s%NumSlots] = true
+	}
+}
+
+// Unfreeze clears the handoff mark.
+func (n *Node) Unfreeze(slots []uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range slots {
+		delete(n.frozen, s%NumSlots)
+	}
+}
+
+// Gate is the write-gate verdict for a mutation of (tenant, id): frozen
+// slots refuse with ErrSlotFrozen (retryable), slots owned by another group
+// with ErrSlotNotOwned (re-route). Install it on the journal seam via
+// store.Registry.SetWriteGate.
+func (n *Node) Gate(tenant, id string) error {
+	slot := SlotOf(tenant, id)
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.frozen[slot] {
+		return ErrSlotFrozen
+	}
+	gi := n.m.GroupIndexOf(n.self)
+	if gi < 0 || int(n.m.Slots[slot]) != gi {
+		return ErrSlotNotOwned
+	}
+	return nil
+}
+
+// Install adopts m if it is structurally valid and strictly newer than the
+// current map, reporting whether it was adopted. The strict ordering is the
+// redirect-convergence invariant: topology only moves forward.
+func (n *Node) Install(m *Map) bool {
+	if m.Validate() != nil {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m.Version <= n.m.Version {
+		return false
+	}
+	n.m = m
+	return true
+}
+
+// FormatSlots renders a slot list compactly ("0-4,7,9-12") for logs and CLI
+// output.
+func FormatSlots(slots []uint32) string {
+	if len(slots) == 0 {
+		return ""
+	}
+	s := append([]uint32(nil), slots...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		j := i
+		for j+1 < len(s) && s[j+1] == s[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", s[i], s[j])
+		} else {
+			fmt.Fprintf(&b, "%d", s[i])
+		}
+		i = j + 1
+	}
+	return b.String()
+}
+
+// ParseSlots parses the FormatSlots syntax back into a slot list.
+func ParseSlots(s string) ([]uint32, error) {
+	var out []uint32
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		lo, hi := part, part
+		if i := strings.IndexByte(part, '-'); i >= 0 {
+			lo, hi = part[:i], part[i+1:]
+		}
+		var a, b uint32
+		if _, err := fmt.Sscanf(lo, "%d", &a); err != nil {
+			return nil, fmt.Errorf("cluster: bad slot %q", part)
+		}
+		if _, err := fmt.Sscanf(hi, "%d", &b); err != nil {
+			return nil, fmt.Errorf("cluster: bad slot %q", part)
+		}
+		if a > b || b >= NumSlots {
+			return nil, fmt.Errorf("cluster: bad slot range %q", part)
+		}
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty slot list %q", s)
+	}
+	return out, nil
+}

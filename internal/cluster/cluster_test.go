@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSlotOfDeterministicAndBounded(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("user-%04d", i)
+		s := SlotOf("", id)
+		if s >= NumSlots {
+			t.Fatalf("SlotOf(%q) = %d out of range", id, s)
+		}
+		if s != SlotOf("default", id) {
+			t.Fatalf("empty tenant and default tenant disagree for %q", id)
+		}
+		if s != SlotOf("", id) {
+			t.Fatalf("SlotOf(%q) not deterministic", id)
+		}
+	}
+}
+
+func TestSlotOfTenantSeparator(t *testing.T) {
+	// The NUL separator must keep ("ab","c") and ("a","bc") independent:
+	// with plain concatenation they would always collide.
+	collisions := 0
+	for i := 0; i < 200; i++ {
+		a := SlotOf(fmt.Sprintf("t%d", i), "x")
+		b := SlotOf(fmt.Sprintf("t%dx", i), "")
+		if a == b {
+			collisions++
+		}
+	}
+	if collisions > 50 {
+		t.Fatalf("tenant/id boundary not separated: %d/200 forced collisions", collisions)
+	}
+}
+
+func TestSlotOfSpreads(t *testing.T) {
+	counts := make([]int, NumSlots)
+	const n = 6400
+	for i := 0; i < n; i++ {
+		counts[SlotOf("", fmt.Sprintf("user-%05d", i))]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("slot %d received none of %d uniform IDs", s, n)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	m, err := ParseSpec("p0,r0a,r0b; p1 ;p2,r2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("version %d, want 1", m.Version)
+	}
+	if len(m.Groups) != 3 {
+		t.Fatalf("groups %d, want 3", len(m.Groups))
+	}
+	if m.Groups[0].Primary != "p0" || len(m.Groups[0].Replicas) != 2 {
+		t.Fatalf("group 0 = %+v", m.Groups[0])
+	}
+	if m.Groups[1].Primary != "p1" || len(m.Groups[1].Replicas) != 0 {
+		t.Fatalf("group 1 = %+v", m.Groups[1])
+	}
+	// Round-robin slot assignment: every group owns NumSlots/3 ± 1.
+	for gi := range m.Groups {
+		owned := len(m.SlotsOwnedBy(gi))
+		if owned < NumSlots/3 || owned > NumSlots/3+1 {
+			t.Fatalf("group %d owns %d slots", gi, owned)
+		}
+	}
+	if _, err := ParseSpec(""); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := ParseSpec("p0;p0"); err == nil {
+		t.Fatal("duplicate primary accepted")
+	}
+	if _, err := ParseSpec("p0,,r"); err == nil {
+		t.Fatal("empty member accepted")
+	}
+}
+
+func TestMovedAppendsAndReassigns(t *testing.T) {
+	m, _ := ParseSpec("p0;p1")
+	slots := m.SlotsOwnedBy(0)[:4]
+	next, err := m.Moved(slots, "p2", []string{"r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Version != m.Version+1 {
+		t.Fatalf("version %d, want %d", next.Version, m.Version+1)
+	}
+	if len(next.Groups) != 3 || next.Groups[2].Primary != "p2" {
+		t.Fatalf("target group not appended: %+v", next.Groups)
+	}
+	for _, s := range slots {
+		if next.PrimaryOf(s) != "p2" {
+			t.Fatalf("slot %d still owned by %s", s, next.PrimaryOf(s))
+		}
+		if m.PrimaryOf(s) != "p0" {
+			t.Fatal("Moved mutated the source map")
+		}
+	}
+	// Moving to an existing primary reuses its group.
+	next2, err := next.Moved(slots[:1], "p1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next2.Groups) != 3 {
+		t.Fatalf("move to existing group appended a group: %+v", next2.Groups)
+	}
+	if next2.PrimaryOf(slots[0]) != "p1" {
+		t.Fatal("slot not reassigned to existing group")
+	}
+}
+
+func TestNodeOwnershipFreezeInstall(t *testing.T) {
+	m, _ := ParseSpec("p0;p1")
+	n, err := NewNode("p0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := m.SlotsOwnedBy(0)
+	other := m.SlotsOwnedBy(1)
+	if !n.Owns(owned[0]) || n.Owns(other[0]) {
+		t.Fatal("ownership wrong")
+	}
+	if n.Frozen(owned[0]) {
+		t.Fatal("fresh node has frozen slots")
+	}
+	n.Freeze(owned[:2])
+	if !n.Frozen(owned[0]) || !n.Frozen(owned[1]) || n.Frozen(owned[2]) {
+		t.Fatal("freeze wrong")
+	}
+	n.Unfreeze(owned[:2])
+	if n.Frozen(owned[0]) {
+		t.Fatal("unfreeze wrong")
+	}
+
+	// Install: strictly newer only.
+	stale := m.Clone()
+	if n.Install(stale) {
+		t.Fatal("same-version map installed")
+	}
+	next, _ := m.Moved(owned[:2], "p1", nil)
+	if !n.Install(next) {
+		t.Fatal("newer map refused")
+	}
+	if n.Owns(owned[0]) {
+		t.Fatal("node still owns a moved slot")
+	}
+	if n.Install(m) {
+		t.Fatal("older map installed")
+	}
+	bad := next.Clone()
+	bad.Version++
+	bad.Slots = bad.Slots[:1]
+	if n.Install(bad) {
+		t.Fatal("invalid map installed")
+	}
+
+	// A joining node (address in no group) owns nothing.
+	j, _ := NewNode("p9", m)
+	if j.GroupIndex() != -1 {
+		t.Fatalf("joining node group %d", j.GroupIndex())
+	}
+	for s := uint32(0); s < NumSlots; s++ {
+		if j.Owns(s) {
+			t.Fatalf("joining node owns slot %d", s)
+		}
+	}
+}
+
+func TestFormatParseSlots(t *testing.T) {
+	in := []uint32{9, 0, 1, 2, 4, 12, 10, 11}
+	s := FormatSlots(in)
+	if s != "0-2,4,9-12" {
+		t.Fatalf("FormatSlots = %q", s)
+	}
+	back, err := ParseSlots(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(in) {
+		t.Fatalf("roundtrip %v -> %q -> %v", in, s, back)
+	}
+	if _, err := ParseSlots("70"); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := ParseSlots("5-3"); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := ParseSlots(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+}

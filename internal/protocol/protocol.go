@@ -27,6 +27,7 @@ import (
 	"io"
 	"time"
 
+	"fuzzyid/internal/cluster"
 	"fuzzyid/internal/core"
 	"fuzzyid/internal/numberline"
 	"fuzzyid/internal/qos"
@@ -208,6 +209,8 @@ func (d *Device) Enroll(rw io.ReadWriter, id string, bio numberline.Vector) erro
 		return &UnknownTenantError{Tenant: m.Tenant}
 	case *wire.Overloaded:
 		return overloadedError(m)
+	case *wire.WrongPartition:
+		return &WrongPartitionError{Map: m.Map}
 	default:
 		return fmt.Errorf("%w: %T during enroll", ErrProtocol, msg)
 	}
@@ -303,6 +306,8 @@ func (d *Device) IdentifyBatch(rw io.ReadWriter, bios []numberline.Vector) ([]st
 		return nil, &UnknownTenantError{Tenant: m.Tenant}
 	case *wire.Overloaded:
 		return nil, overloadedError(m)
+	case *wire.WrongPartition:
+		return nil, &WrongPartitionError{Map: m.Map}
 	default:
 		return nil, fmt.Errorf("%w: %T awaiting batch challenge", ErrProtocol, msg)
 	}
@@ -508,22 +513,29 @@ func (d *Device) TenantLimits(rw io.ReadWriter, name string) (qos.Limits, bool, 
 // SpecFromLimits converts a QoS envelope to its wire form.
 func SpecFromLimits(l qos.Limits) wire.LimitsSpec {
 	return wire.LimitsSpec{
-		RateMilli:     uint64(l.Rate*1000 + 0.5),
-		Burst:         uint32(max(l.Burst, 0)),
-		MaxConcurrent: uint32(max(l.MaxConcurrent, 0)),
-		Weight:        uint32(max(l.Weight, 0)),
+		RateMilli:       uint64(l.Rate*1000 + 0.5),
+		Burst:           uint32(max(l.Burst, 0)),
+		MaxConcurrent:   uint32(max(l.MaxConcurrent, 0)),
+		Weight:          uint32(max(l.Weight, 0)),
+		BytesPerSession: uint64(max(l.BytesPerSession, 0)),
 	}
 }
 
 // LimitsFromSpec converts the wire form of a QoS envelope back to the
 // controller's type.
 func LimitsFromSpec(s wire.LimitsSpec) qos.Limits {
-	return qos.Limits{
+	l := qos.Limits{
 		Rate:          float64(s.RateMilli) / 1000,
 		Burst:         int(s.Burst),
 		MaxConcurrent: int(s.MaxConcurrent),
 		Weight:        int(s.Weight),
 	}
+	// Compare in uint64 before narrowing: a hostile spec must not wrap to a
+	// negative (or giant) int on 32-bit builds.
+	if s.BytesPerSession > 0 && s.BytesPerSession <= uint64(int64(^uint(0)>>1)) {
+		l.BytesPerSession = int(s.BytesPerSession)
+	}
+	return l
 }
 
 // ReplStatus runs a replication-status probe: any server answers with its
@@ -577,6 +589,8 @@ func (d *Device) finishChallenge(rw io.ReadWriter, bio numberline.Vector) (strin
 		return "", &UnknownTenantError{Tenant: m.Tenant}
 	case *wire.Overloaded:
 		return "", overloadedError(m)
+	case *wire.WrongPartition:
+		return "", &WrongPartitionError{Map: m.Map}
 	default:
 		return "", fmt.Errorf("%w: %T awaiting challenge", ErrProtocol, msg)
 	}
@@ -626,6 +640,8 @@ func awaitAccept(rw io.ReadWriter) (string, error) {
 		return "", &UnknownTenantError{Tenant: m.Tenant}
 	case *wire.Overloaded:
 		return "", overloadedError(m)
+	case *wire.WrongPartition:
+		return "", &WrongPartitionError{Map: m.Map}
 	default:
 		return "", fmt.Errorf("%w: %T awaiting verdict", ErrProtocol, msg)
 	}
@@ -641,6 +657,8 @@ func expectBatch(msg wire.Message) (*wire.ChallengeBatch, error) {
 		return nil, &UnknownTenantError{Tenant: m.Tenant}
 	case *wire.Overloaded:
 		return nil, overloadedError(m)
+	case *wire.WrongPartition:
+		return nil, &WrongPartitionError{Map: m.Map}
 	default:
 		return nil, fmt.Errorf("%w: %T awaiting challenge batch", ErrProtocol, msg)
 	}
@@ -679,6 +697,11 @@ type Server struct {
 	// qos, when non-nil, gates every tenant-scoped session through the
 	// admission controller before work is scheduled (DESIGN.md §12).
 	qos *qos.Controller
+
+	// cl, when non-nil, makes this server a cluster node: keyed operations
+	// are checked against the versioned cluster map and partition handoffs
+	// are accepted (DESIGN.md §14).
+	cl *clusterState
 }
 
 // ReplicationHandler serves replication subscriptions on a primary: the
@@ -781,6 +804,7 @@ type serverMetrics struct {
 	reg                                                                     *telemetry.Registry
 	enroll, verify, identify, identifyNormal, identifyBatch, revoke, statsQ opStats
 	reenroll, replSub, replStatus, tenantAdmin                              opStats
+	clusterMap, partAdmin, partIngest                                       opStats
 	tenantReqs, tenantErrs                                                  *telemetry.LabelledCounters
 }
 
@@ -800,6 +824,9 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 	s.m.replSub.bind(reg, "repl_subscribe")
 	s.m.replStatus.bind(reg, "repl_status")
 	s.m.tenantAdmin.bind(reg, "tenant_admin")
+	s.m.clusterMap.bind(reg, "cluster_map")
+	s.m.partAdmin.bind(reg, "partition_admin")
+	s.m.partIngest.bind(reg, "partition_ingest")
 	s.m.tenantReqs = reg.LabelledCounters("tenant", "requests")
 	s.m.tenantErrs = reg.LabelledCounters("tenant", "errors")
 }
@@ -831,9 +858,9 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 	var run func() error
 	switch m := msg.(type) {
 	case *wire.EnrollRequest:
-		om, run = &s.m.enroll, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store, _ string) error { return s.handleEnroll(rw, db, m) })
+		om, run = &s.m.enroll, s.keyedRun(rw, m.Tenant, m.ID, mutatingOp, enrollPayloadBytes(m.PublicKey, m.Helper), func(db store.Store, _ string) error { return s.handleEnroll(rw, db, m) })
 	case *wire.VerifyRequest:
-		om, run = &s.m.verify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, _ string) error { return s.handleVerify(rw, db, m) })
+		om, run = &s.m.verify, s.keyedRun(rw, m.Tenant, m.ID, readOp, 0, func(db store.Store, _ string) error { return s.handleVerify(rw, db, m) })
 	case *wire.IdentifyRequest:
 		if m.Normal {
 			om, run = &s.m.identifyNormal, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, name string) error { return s.handleIdentifyNormal(rw, db, name) })
@@ -841,9 +868,9 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 			om, run = &s.m.identify, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, name string) error { return s.handleIdentify(rw, db, name, m) })
 		}
 	case *wire.RevokeRequest:
-		om, run = &s.m.revoke, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store, _ string) error { return s.handleRevoke(rw, db, m) })
+		om, run = &s.m.revoke, s.keyedRun(rw, m.Tenant, m.ID, mutatingOp, 0, func(db store.Store, _ string) error { return s.handleRevoke(rw, db, m) })
 	case *wire.ReEnrollRequest:
-		om, run = &s.m.reenroll, s.tenantRun(rw, m.Tenant, mutatingOp, func(db store.Store, _ string) error { return s.handleReEnroll(rw, db, m) })
+		om, run = &s.m.reenroll, s.keyedRun(rw, m.Tenant, m.ID, mutatingOp, enrollPayloadBytes(m.PublicKey, m.Helper), func(db store.Store, _ string) error { return s.handleReEnroll(rw, db, m) })
 	case *wire.IdentifyBatchRequest:
 		om, run = &s.m.identifyBatch, s.tenantRun(rw, m.Tenant, readOp, func(db store.Store, name string) error { return s.handleIdentifyBatch(rw, db, name, m) })
 	case *wire.StatsRequest:
@@ -854,6 +881,14 @@ func (s *Server) HandleSession(rw io.ReadWriter) error {
 		om, run = &s.m.replStatus, func() error { return s.handleReplStatus(rw) }
 	case *wire.TenantAdmin:
 		om, run = &s.m.tenantAdmin, func() error { return s.handleTenantAdmin(rw, m) }
+	case *wire.ClusterMapRequest:
+		om, run = &s.m.clusterMap, func() error { return s.handleClusterMap(rw) }
+	case *wire.ClusterMapInfo:
+		om, run = &s.m.clusterMap, func() error { return s.handleClusterMapGossip(rw, m) }
+	case *wire.PartitionAdmin:
+		om, run = &s.m.partAdmin, func() error { return s.handlePartitionAdmin(rw, m) }
+	case *wire.PartitionIngest:
+		om, run = &s.m.partIngest, func() error { return s.handlePartitionIngest(rw, m) }
 	default:
 		_ = wire.Send(rw, &wire.Reject{Reason: "unexpected message"})
 		return fmt.Errorf("%w: %T as session opener", ErrProtocol, msg)
@@ -887,16 +922,38 @@ const (
 // send. Admission runs after resolution for the same reason: only hosted
 // tenants can occupy admission state.
 func (s *Server) tenantRun(rw io.ReadWriter, tenant string, mutating bool, fn func(store.Store, string) error) func() error {
+	return s.keyedRun(rw, tenant, "", mutating, 0, fn)
+}
+
+// keyedRun is tenantRun for operations addressing one user ID: on a cluster
+// node the (tenant, ID) slot is checked against the node's map before any
+// work runs — a slot the node's group does not own is answered with the
+// typed WrongPartition redirect carrying the current map, and a mutation of
+// a slot frozen mid-handoff is shed with a retryable Overloaded (the client
+// retries into the post-flip redirect). payloadBytes is the session's
+// write-payload size, charged against the tenant's rate bucket when its
+// envelope prices bytes. An empty id skips the cluster checks (identify
+// scans serve the local slice of every scatter-gather fan-out).
+func (s *Server) keyedRun(rw io.ReadWriter, tenant, id string, mutating bool, payloadBytes int, fn func(store.Store, string) error) func() error {
 	return func() error {
 		if mutating && s.primary != "" {
 			return wire.Send(rw, &wire.NotPrimary{Primary: s.primary})
+		}
+		if s.cl != nil && id != "" {
+			slot := cluster.SlotOf(tenant, id)
+			if !s.cl.node.Owns(slot) {
+				return wire.Send(rw, &wire.WrongPartition{Map: s.cl.node.Map()})
+			}
+			if mutating && s.cl.node.Frozen(slot) {
+				return wire.Send(rw, &wire.Overloaded{RetryAfterMS: handoffRetryMS, Reason: "handoff"})
+			}
 		}
 		db, name, err := s.resolve(tenant)
 		if err != nil {
 			return s.refuseTenant(rw, name)
 		}
 		if s.qos != nil {
-			release, admitErr := s.qos.Admit(name)
+			release, admitErr := s.qos.Admit(name, payloadBytes)
 			if admitErr != nil {
 				s.countTenant(name, false)
 				return s.shed(rw, admitErr)
@@ -907,6 +964,16 @@ func (s *Server) tenantRun(rw io.ReadWriter, tenant string, mutating bool, fn fu
 		s.countTenant(name, err != nil)
 		return err
 	}
+}
+
+// enrollPayloadBytes approximates the durable size of an enrollment payload
+// (public key plus helper data) for byte-priced admission control.
+func enrollPayloadBytes(pk []byte, h *core.HelperData) int {
+	n := len(pk)
+	if h != nil && h.Sketch != nil && h.Sketch.Sketch != nil {
+		n += 8*len(h.Sketch.Sketch.Movements) + 32 + len(h.Seed)
+	}
+	return n
 }
 
 // shed answers a session the admission controller refused with the typed
@@ -1056,6 +1123,9 @@ func (s *Server) handleEnroll(rw io.ReadWriter, db store.Store, m *wire.EnrollRe
 			// The tenant was dropped between resolution and the insert.
 			return s.refuseTenant(rw, store.CanonicalTenant(m.Tenant))
 		}
+		if handled, sendErr := s.clusterRefusal(rw, err); handled {
+			return sendErr
+		}
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("enroll: %v", err)})
 	}
 	return wire.Send(rw, &wire.EnrollOK{ID: m.ID})
@@ -1145,6 +1215,9 @@ func (s *Server) handleRevoke(rw io.ReadWriter, db store.Store, m *wire.RevokeRe
 		if errors.Is(err, store.ErrUnknownTenant) {
 			return s.refuseTenant(rw, store.CanonicalTenant(m.Tenant))
 		}
+		if handled, sendErr := s.clusterRefusal(rw, err); handled {
+			return sendErr
+		}
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("revoke: %v", err)})
 	}
 	return wire.Send(rw, &wire.Accept{ID: rec.ID})
@@ -1172,6 +1245,9 @@ func (s *Server) handleReEnroll(rw io.ReadWriter, db store.Store, m *wire.ReEnro
 	if err := db.Replace(&store.Record{ID: m.ID, PublicKey: m.PublicKey, Helper: m.Helper}); err != nil {
 		if errors.Is(err, store.ErrUnknownTenant) {
 			return s.refuseTenant(rw, store.CanonicalTenant(m.Tenant))
+		}
+		if handled, sendErr := s.clusterRefusal(rw, err); handled {
+			return sendErr
 		}
 		return wire.Send(rw, &wire.Reject{Reason: fmt.Sprintf("re-enroll: %v", err)})
 	}

@@ -1,0 +1,95 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSessionCostMilli pins the fixed-point payload pricing: 1000 for the
+// session plus 1000 per BytesPerSession payload bytes, rounded up.
+func TestSessionCostMilli(t *testing.T) {
+	lim := Limits{BytesPerSession: 1000}
+	cases := []struct {
+		bytes int
+		want  int64
+	}{
+		{0, 1000},
+		{1, 1001},
+		{500, 1500},
+		{1000, 2000},
+		{1500, 2500},
+		{64_000, 65_000},
+	}
+	for _, c := range cases {
+		if got := sessionCostMilli(lim, c.bytes); got != c.want {
+			t.Fatalf("sessionCostMilli(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+	// An envelope without byte pricing charges every payload one session.
+	if got := sessionCostMilli(Limits{}, 1<<20); got != 1000 {
+		t.Fatalf("unpriced payload cost %d, want 1000", got)
+	}
+}
+
+// TestByteHeavyTenantThrottled is the byte-quota regression test: two
+// tenants under identical envelopes run the same number of sessions, but
+// the tenant shipping large enrollment payloads must be shed where the
+// light tenant is not — before this fix, QoS charged one token per session
+// regardless of payload size, so a rate-capped tenant could ship
+// arbitrarily large enrollments.
+func TestByteHeavyTenantThrottled(t *testing.T) {
+	c := New(Config{
+		Defaults: Limits{Rate: 100, Burst: 2, BytesPerSession: 1000},
+		Budget:   time.Millisecond,
+	})
+
+	// Light tenant: two back-to-back zero-payload sessions fit the burst.
+	for i := 0; i < 2; i++ {
+		release, err := c.Admit("light", 0)
+		if err != nil {
+			t.Fatalf("light session %d shed: %v", i, err)
+		}
+		release()
+	}
+
+	// Heavy tenant: same session count, but the first session carries a
+	// 50 kB payload — 51 sessions of rate credit — so the second is shed.
+	release, err := c.Admit("heavy", 50_000)
+	if err != nil {
+		t.Fatalf("heavy session 0 shed: %v", err)
+	}
+	release()
+	_, err = c.Admit("heavy", 0)
+	var ov *OverloadError
+	if !errors.As(err, &ov) {
+		t.Fatalf("heavy session 1 admitted despite 50kB of spent credit (err=%v)", err)
+	}
+	if ov.Reason != "rate" {
+		t.Fatalf("shed reason %q, want rate", ov.Reason)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatalf("retry-after hint %v", ov.RetryAfter)
+	}
+}
+
+// TestShedAdvancesNoTAT pins that a shed byte-heavy session consumes no
+// credit: after the shed, a zero-payload session under a fresh bucket
+// window is admitted as if the shed never happened.
+func TestShedAdvancesNoTAT(t *testing.T) {
+	lim := Limits{Rate: 10, Burst: 1, BytesPerSession: 1}
+	var b bucket
+	now := time.Now()
+	// First reservation consumes the burst and pushes tat far out.
+	if _, ok := b.reserve(now, lim, time.Second, sessionCostMilli(lim, 1000)); !ok {
+		t.Fatal("first reservation shed")
+	}
+	tat := b.tat
+	// A byte-heavy arrival over budget is shed and must not move tat.
+	if _, ok := b.reserve(now, lim, 0, sessionCostMilli(lim, 1<<20)); ok {
+		t.Fatal("over-budget reservation admitted")
+	}
+	if !b.tat.Equal(tat) {
+		t.Fatalf("shed advanced tat by %v", b.tat.Sub(tat))
+	}
+}

@@ -38,6 +38,12 @@ type Limits struct {
 	// tenants contend: a weight-3 tenant is granted three scan slots for
 	// every one a weight-1 tenant gets (0 or negative = 1).
 	Weight int
+	// BytesPerSession prices payload bytes into the rate bucket: a session
+	// carrying B payload bytes costs 1 + B/BytesPerSession sessions of rate
+	// credit (fixed-point, milli-session resolution), so a tenant cannot
+	// stay under a session rate while shipping arbitrarily large
+	// enrollment payloads. 0 = payload size is not charged.
+	BytesPerSession int
 }
 
 // weight returns the effective scan weight (always >= 1).
@@ -210,11 +216,14 @@ func (c *Controller) effective(st *tenantState) Limits {
 }
 
 // Admit gates one session for tenant against its rate limit and
-// concurrency quota. On admission it returns a release func that MUST be
-// called when the session ends. On shed it returns a *OverloadError.
-// Sessions delayed by the rate limiter sleep here (counted as throttled);
-// sessions that wait for a concurrency slot are counted as queued.
-func (c *Controller) Admit(tenant string) (func(), error) {
+// concurrency quota. payloadBytes is the session's write-payload size (0
+// for reads); when the tenant's envelope prices bytes (BytesPerSession),
+// the payload costs additional rate credit in milli-session resolution. On
+// admission it returns a release func that MUST be called when the session
+// ends. On shed it returns a *OverloadError. Sessions delayed by the rate
+// limiter sleep here (counted as throttled); sessions that wait for a
+// concurrency slot are counted as queued.
+func (c *Controller) Admit(tenant string, payloadBytes int) (func(), error) {
 	st := c.state(tenant)
 
 	st.mu.Lock()
@@ -222,7 +231,7 @@ func (c *Controller) Admit(tenant string) (func(), error) {
 	// Rate first: a session that will be shed must not consume a slot.
 	var delay time.Duration
 	if lim.Rate > 0 {
-		wait, ok := st.bucket.reserve(time.Now(), lim, c.budget)
+		wait, ok := st.bucket.reserve(time.Now(), lim, c.budget, sessionCostMilli(lim, payloadBytes))
 		if !ok {
 			st.mu.Unlock()
 			c.shed.Get(tenant).Inc()
@@ -350,10 +359,25 @@ type bucket struct {
 	tat time.Time
 }
 
-// reserve admits one session at time now under lim, or reports how long
-// the caller must wait. ok=false means the wait exceeds budget (shed; tat
-// is not advanced, and the returned wait is the retry-after hint).
-func (b *bucket) reserve(now time.Time, lim Limits, budget time.Duration) (time.Duration, bool) {
+// sessionCostMilli prices one session in milli-sessions of rate credit:
+// 1000 for the session itself plus, when the envelope charges payload
+// bytes, 1000 per BytesPerSession payload bytes (rounded up, fixed-point
+// like the wire's RateMilli).
+func sessionCostMilli(lim Limits, payloadBytes int) int64 {
+	cost := int64(1000)
+	if lim.BytesPerSession > 0 && payloadBytes > 0 {
+		bps := int64(lim.BytesPerSession)
+		cost += (int64(payloadBytes)*1000 + bps - 1) / bps
+	}
+	return cost
+}
+
+// reserve admits one session of cost costMilli milli-sessions at time now
+// under lim, or reports how long the caller must wait. ok=false means the
+// wait exceeds budget (shed; tat is not advanced — a shed session consumes
+// no credit regardless of its payload — and the returned wait is the
+// retry-after hint).
+func (b *bucket) reserve(now time.Time, lim Limits, budget time.Duration, costMilli int64) (time.Duration, bool) {
 	interval := time.Duration(float64(time.Second) / lim.Rate)
 	burst := lim.Burst
 	if burst <= 0 {
@@ -372,7 +396,10 @@ func (b *bucket) reserve(now time.Time, lim Limits, budget time.Duration) (time.
 	if wait > budget {
 		return wait, false
 	}
-	b.tat = b.tat.Add(interval)
+	// Advance the theoretical arrival time by the session's full cost: a
+	// byte-heavy enrollment pushes tat further than a light session, so the
+	// next arrival pays for this one's payload.
+	b.tat = b.tat.Add(time.Duration(float64(interval) * float64(costMilli) / 1000))
 	if wait < 0 {
 		wait = 0
 	}

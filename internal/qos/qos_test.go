@@ -19,18 +19,18 @@ func TestBucketBurstThenRate(t *testing.T) {
 	var b bucket
 	now := time.Unix(1000, 0)
 	for i := 0; i < 5; i++ {
-		wait, ok := b.reserve(now, lim, time.Second)
+		wait, ok := b.reserve(now, lim, time.Second, 1000)
 		if !ok || wait != 0 {
 			t.Fatalf("burst admission %d: wait=%v ok=%v", i, wait, ok)
 		}
 	}
-	wait, ok := b.reserve(now, lim, time.Second)
+	wait, ok := b.reserve(now, lim, time.Second, 1000)
 	if !ok || wait != 10*time.Millisecond {
 		t.Fatalf("post-burst admission: wait=%v ok=%v, want 10ms", wait, ok)
 	}
 	// Budget exhausted: shed, and the rejected session leaves no trace.
 	before := b.tat
-	wait, ok = b.reserve(now, lim, 15*time.Millisecond)
+	wait, ok = b.reserve(now, lim, 15*time.Millisecond, 1000)
 	if ok {
 		t.Fatal("admission past the budget not shed")
 	}
@@ -49,16 +49,16 @@ func TestBucketNoIdleCredit(t *testing.T) {
 	var b bucket
 	now := time.Unix(1000, 0)
 	for i := 0; i < 2; i++ {
-		b.reserve(now, lim, 0)
+		b.reserve(now, lim, 0, 1000)
 	}
 	// A minute later the tenant gets its burst of 2 back — and no more.
 	later := now.Add(time.Minute)
 	for i := 0; i < 2; i++ {
-		if wait, ok := b.reserve(later, lim, time.Second); !ok || wait != 0 {
+		if wait, ok := b.reserve(later, lim, time.Second, 1000); !ok || wait != 0 {
 			t.Fatalf("re-entry admission %d: wait=%v ok=%v", i, wait, ok)
 		}
 	}
-	if wait, _ := b.reserve(later, lim, time.Second); wait == 0 {
+	if wait, _ := b.reserve(later, lim, time.Second, 1000); wait == 0 {
 		t.Fatal("idle period banked extra credit")
 	}
 }
@@ -70,7 +70,7 @@ func TestAdmitDefaultsAreFree(t *testing.T) {
 	c := New(Config{})
 	c.Instrument(reg)
 	for i := 0; i < 100; i++ {
-		release, err := c.Admit("solo")
+		release, err := c.Admit("solo", 0)
 		if err != nil {
 			t.Fatalf("admit %d: %v", i, err)
 		}
@@ -90,12 +90,12 @@ func TestAdmitRateShed(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	c := New(Config{Defaults: Limits{Rate: 1, Burst: 1}, Budget: time.Millisecond})
 	c.Instrument(reg)
-	release, err := c.Admit("t")
+	release, err := c.Admit("t", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	release()
-	_, err = c.Admit("t")
+	_, err = c.Admit("t", 0)
 	var ov *OverloadError
 	if !errors.As(err, &ov) {
 		t.Fatalf("second admit: %v, want *OverloadError", err)
@@ -116,13 +116,13 @@ func TestAdmitConcurrencyQuota(t *testing.T) {
 	c.Instrument(reg)
 	var held []func()
 	for i := 0; i < 2; i++ {
-		release, err := c.Admit("t")
+		release, err := c.Admit("t", 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		held = append(held, release)
 	}
-	_, err := c.Admit("t")
+	_, err := c.Admit("t", 0)
 	var ov *OverloadError
 	if !errors.As(err, &ov) || ov.Reason != "concurrency" {
 		t.Fatalf("over-quota admit: %v, want concurrency overload", err)
@@ -135,7 +135,7 @@ func TestAdmitConcurrencyQuota(t *testing.T) {
 		t.Errorf("shed counter = %d, want 1", got)
 	}
 	held[0]()
-	release, err := c.Admit("t")
+	release, err := c.Admit("t", 0)
 	if err != nil {
 		t.Fatalf("admit after release: %v", err)
 	}
@@ -147,13 +147,13 @@ func TestAdmitConcurrencyQuota(t *testing.T) {
 // queued waiter rather than racing new arrivals.
 func TestAdmitConcurrencyHandoff(t *testing.T) {
 	c := New(Config{Defaults: Limits{MaxConcurrent: 1}, Budget: time.Second})
-	release, err := c.Admit("t")
+	release, err := c.Admit("t", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
 	go func() {
-		r2, err := c.Admit("t")
+		r2, err := c.Admit("t", 0)
 		if err == nil {
 			r2()
 		}
@@ -307,7 +307,7 @@ func TestThrottledCounter(t *testing.T) {
 	c := New(Config{Defaults: Limits{Rate: 200, Burst: 1}, Budget: time.Second})
 	c.Instrument(reg)
 	for i := 0; i < 3; i++ {
-		release, err := c.Admit("t")
+		release, err := c.Admit("t", 0)
 		if err != nil {
 			t.Fatalf("admit %d: %v", i, err)
 		}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -179,6 +180,12 @@ func (cs multiCommit) Wait() error {
 // beginJournal stages m on j: via Begin when j is group-capable, else via a
 // plain (synchronous) Append with no pending Commit.
 func beginJournal(j Journal, m Mutation) (Commit, error) {
+	if j == nil {
+		// A journal-less wrapper (cluster node without WAL or replication)
+		// still provides the mutation mutex and write gate; there is
+		// nothing to stage.
+		return nil, nil
+	}
 	if g, ok := j.(GroupJournal); ok {
 		return g.Begin(m)
 	}
@@ -318,6 +325,13 @@ type Journaled struct {
 	// guarded by mu.
 	dirty      map[uint32]struct{}
 	dirtyValid bool
+	// gate, when installed, is consulted under mu before any mutation is
+	// staged; a non-nil verdict refuses the mutation without journalling
+	// it. The cluster layer uses it as the handoff barrier: because the
+	// check runs under the same mutex View holds for a consistent cut, no
+	// mutation admitted before a slot freeze can land after the cut that
+	// ships the slot's records away (guarded by mu).
+	gate func(tenant, id string) error
 }
 
 var _ Store = (*Journaled)(nil)
@@ -341,6 +355,25 @@ func NewJournaledTenant(inner Store, j Journal, tenant string) *Journaled {
 
 // Unwrap returns the wrapped in-memory store.
 func (s *Journaled) Unwrap() Store { return s.Store }
+
+// SetWriteGate installs (or clears, with nil) the mutation gate: a check
+// run under the mutation mutex before any mutation is staged, refusing it
+// with the gate's error. The gate must be fast and must not touch the
+// store.
+func (s *Journaled) SetWriteGate(gate func(tenant, id string) error) {
+	s.mu.Lock()
+	s.gate = gate
+	s.mu.Unlock()
+}
+
+// checkGate consults the write gate for a mutation of id; caller holds
+// s.mu.
+func (s *Journaled) checkGate(id string) error {
+	if s.gate == nil {
+		return nil
+	}
+	return s.gate(CanonicalTenant(s.tenant), id)
+}
 
 // markDirty records a mutated ID's snapshot bucket. Caller holds s.mu.
 func (s *Journaled) markDirty(id string) {
@@ -370,11 +403,37 @@ func (s *Journaled) SeedDirty(buckets []uint32) {
 
 // Insert implements Store: validate, stage in the journal, apply, then wait
 // for the journal's commit (the group fsync) before acknowledging.
-func (s *Journaled) Insert(rec *Record) error {
+func (s *Journaled) Insert(rec *Record) error { return s.insert(rec, true) }
+
+// IngestHandoff applies one record arriving from a partition handoff,
+// bypassing the write gate — the target does not own the moving slots until
+// the closing map flip, so gated inserts would refuse them. A record already
+// present is replaced, making chunk retries idempotent.
+func (s *Journaled) IngestHandoff(rec *Record) error {
+	if _, ok := s.Store.Get(rec.ID); ok {
+		return s.replace(rec, false)
+	}
+	err := s.insert(rec, false)
+	if errors.Is(err, ErrDuplicateID) {
+		// Raced an identical retry; the other writer's copy stands.
+		return s.replace(rec, false)
+	}
+	return err
+}
+
+// insert is the shared Insert body; gated selects whether the write gate is
+// consulted.
+func (s *Journaled) insert(rec *Record, gated bool) error {
 	s.mu.Lock()
 	if s.dropped {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
+	}
+	if gated {
+		if err := s.checkGate(rec.ID); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	if err := validateRecord(rec); err != nil {
 		s.mu.Unlock()
@@ -416,11 +475,21 @@ func (s *Journaled) Insert(rec *Record) error {
 // apply, then wait for the journal's commit before acknowledging — exactly
 // the write-ahead discipline of Insert, so WAL replay, incremental
 // snapshots and the replication stream all carry re-enrollments for free.
-func (s *Journaled) Replace(rec *Record) error {
+func (s *Journaled) Replace(rec *Record) error { return s.replace(rec, true) }
+
+// replace is the shared Replace body; gated selects whether the write gate
+// is consulted.
+func (s *Journaled) replace(rec *Record, gated bool) error {
 	s.mu.Lock()
 	if s.dropped {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
+	}
+	if gated {
+		if err := s.checkGate(rec.ID); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	if err := validateRecord(rec); err != nil {
 		s.mu.Unlock()
@@ -459,11 +528,38 @@ func (s *Journaled) Replace(rec *Record) error {
 
 // Delete implements Store: validate, stage in the journal, apply, then wait
 // for the journal's commit before acknowledging.
-func (s *Journaled) Delete(id string) error {
+func (s *Journaled) Delete(id string) error { return s.delete(id, true) }
+
+// PurgeMoved journals and applies deletes for records a partition handoff
+// shipped to another primary, bypassing the write gate — the handoff keeps
+// the moved slots gated for regular traffic while the purge runs, and this
+// is the one caller that must still mutate them. IDs no longer present are
+// skipped (an earlier, interrupted purge may have removed them).
+func (s *Journaled) PurgeMoved(ids []string) error {
+	for _, id := range ids {
+		if err := s.delete(id, false); err != nil {
+			if errors.Is(err, ErrUnknownID) {
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// delete is the shared Delete body; gated selects whether the write gate is
+// consulted.
+func (s *Journaled) delete(id string, gated bool) error {
 	s.mu.Lock()
 	if s.dropped {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, CanonicalTenant(s.tenant))
+	}
+	if gated {
+		if err := s.checkGate(id); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	if _, ok := s.Store.Get(id); !ok {
 		s.mu.Unlock()

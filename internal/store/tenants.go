@@ -98,6 +98,7 @@ type Registry struct {
 	mu      sync.RWMutex
 	tenants map[string]Store
 	closers map[string]func() error
+	gate    func(tenant, id string) error // write gate for journaled tenants
 }
 
 // NewTenantRegistry builds a registry and eagerly creates the default
@@ -123,6 +124,20 @@ func (r *Registry) ShipAdminOps(j Journal) { r.journal = j }
 // (its persistence partition), called after the tenant's store is closed.
 // Call before serving traffic.
 func (r *Registry) OnDrop(purge func(name string) error) { r.purge = purge }
+
+// SetWriteGate installs a mutation gate on every journaled tenant, current
+// and future (see Journaled.SetWriteGate). The cluster layer uses it as
+// the partition-handoff barrier.
+func (r *Registry) SetWriteGate(gate func(tenant, id string) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gate = gate
+	for _, s := range r.tenants {
+		if j, ok := s.(*Journaled); ok {
+			j.SetWriteGate(gate)
+		}
+	}
+}
 
 // Tenant returns the named tenant's store ("" selects the default tenant),
 // or ErrUnknownTenant.
@@ -174,6 +189,9 @@ func (r *Registry) createLocked(name string) (Store, error) {
 	s, closer, err := r.factory(name)
 	if err != nil {
 		return nil, fmt.Errorf("store: create tenant %q: %w", name, err)
+	}
+	if j, ok := s.(*Journaled); ok && r.gate != nil {
+		j.SetWriteGate(r.gate)
 	}
 	r.tenants[name] = s
 	if closer != nil {

@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadDelayNeverOverflows is the regression test for the
+// exponential-backoff overflow: the old expression
+//
+//	delay := max(hint, MinOverloadBackoff) << attempt
+//	time.Sleep(min(delay, MaxOverloadBackoff))
+//
+// shifts a 1s hint negative once attempt >= 34 (int64 wraparound), and the
+// min() then selects the negative value — time.Sleep returns immediately and
+// the client hammers an already-overloaded server. The fixed overloadDelay
+// must stay inside [MinOverloadBackoff, MaxOverloadBackoff] for every
+// attempt number.
+func TestOverloadDelayNeverOverflows(t *testing.T) {
+	// Demonstrate that the old expression actually went negative where the
+	// new one is exercised below — this documents what the test guards.
+	old := func(hint time.Duration, attempt int) time.Duration {
+		return min(max(hint, MinOverloadBackoff)<<attempt, MaxOverloadBackoff)
+	}
+	if old(time.Second, 34) > 0 {
+		t.Fatalf("expected the pre-fix expression to overflow negative at attempt 34, got %v", old(time.Second, 34))
+	}
+
+	for _, hint := range []time.Duration{0, time.Millisecond, MinOverloadBackoff, 100 * time.Millisecond, time.Second, 10 * time.Second} {
+		for attempt := 0; attempt < 128; attempt++ {
+			got := overloadDelay(hint, attempt)
+			if got < MinOverloadBackoff || got > MaxOverloadBackoff {
+				t.Fatalf("overloadDelay(%v, %d) = %v, want within [%v, %v]",
+					hint, attempt, got, MinOverloadBackoff, MaxOverloadBackoff)
+			}
+		}
+	}
+}
+
+// TestOverloadDelayDoubles pins the intended schedule: hint-seeded, doubling
+// per attempt, monotonic, saturating at the cap.
+func TestOverloadDelayDoubles(t *testing.T) {
+	hint := 10 * time.Millisecond
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		160 * time.Millisecond,
+		320 * time.Millisecond,
+		640 * time.Millisecond,
+		MaxOverloadBackoff, // 1.28s clamped
+		MaxOverloadBackoff,
+	}
+	for attempt, w := range want {
+		if got := overloadDelay(hint, attempt); got != w {
+			t.Fatalf("overloadDelay(%v, %d) = %v, want %v", hint, attempt, got, w)
+		}
+	}
+	// A hint below the floor seeds from MinOverloadBackoff.
+	if got := overloadDelay(0, 0); got != MinOverloadBackoff {
+		t.Fatalf("overloadDelay(0, 0) = %v, want %v", got, MinOverloadBackoff)
+	}
+	// A hint above the cap is clamped even at attempt 0.
+	if got := overloadDelay(time.Minute, 0); got != MaxOverloadBackoff {
+		t.Fatalf("overloadDelay(1m, 0) = %v, want %v", got, MaxOverloadBackoff)
+	}
+}

@@ -1,0 +1,491 @@
+package transport
+
+// Cluster-aware client routing (DESIGN.md §14). A clustered client caches
+// the server's versioned cluster map and keeps one lazily-dialed connection
+// per primary it talks to. Keyed sessions (enroll, verify, revoke,
+// re-enroll) hash their key to a slot and go straight to the owning group's
+// primary; a WrongPartition redirect carries the refusing node's newer map,
+// which the client installs (strictly-newer-only, so a malicious or buggy
+// redirect cannot loop it) and retries — convergence after a split is one
+// redirect round. Identification has no key to route by, so it
+// scatter-gathers across every group in parallel, first match wins; when a
+// group cannot be reached and no other group matched, the client returns a
+// typed PartialIdentifyError instead of a silent false reject.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fuzzyid/internal/cluster"
+	"fuzzyid/internal/numberline"
+	"fuzzyid/internal/protocol"
+)
+
+// ErrMapNotAdvancing is wrapped into the error returned when a
+// WrongPartition redirect carries a map that is not strictly newer than the
+// client's cached one. Following such a redirect could loop forever (two
+// nodes bouncing a key between them, or a malicious node replaying an old
+// map), so the client surfaces it instead of retrying.
+var ErrMapNotAdvancing = errors.New("transport: redirect does not advance the cluster map")
+
+// maxClusterRedirects bounds how many WrongPartition redirects a keyed
+// session follows. Each redirect must install a strictly newer map, so in a
+// healthy cluster one hop suffices; the bound is a backstop against
+// pathological map churn.
+const maxClusterRedirects = 3
+
+// clusterDialTimeout bounds dialing a cluster node when the client has no
+// per-session timeout configured.
+const clusterDialTimeout = 5 * time.Second
+
+// PartialIdentifyError reports a scatter-gather identification that found
+// no match but could not reach every partition: the identity may be
+// enrolled on one of the failed groups, so the miss is unreliable.
+type PartialIdentifyError struct {
+	// Failed lists the primary address of each group whose read could not
+	// be served by any member.
+	Failed []string
+	// Err is the first transport failure observed.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialIdentifyError) Error() string {
+	return fmt.Sprintf("transport: identify incomplete: %d partition(s) unreachable (%v): %v", len(e.Failed), e.Failed, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *PartialIdentifyError) Unwrap() error { return e.Err }
+
+// IsPartialIdentify reports whether err is an identification verdict that
+// is unreliable because one or more partitions were unreachable; if so it
+// also returns the unreachable groups' primary addresses.
+func IsPartialIdentify(err error) ([]string, bool) {
+	var pe *PartialIdentifyError
+	if errors.As(err, &pe) {
+		return pe.Failed, true
+	}
+	return nil, false
+}
+
+// clusterRouter is the client's cluster-mode state: the cached map and one
+// connection slot per node address.
+type clusterRouter struct {
+	mu    sync.Mutex
+	m     *cluster.Map
+	conns map[string]*nodeConn
+}
+
+// nodeConn is one lazily-dialed connection to a cluster node; its mutex
+// serialises sessions on the connection.
+type nodeConn struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// WithCluster puts the client in cluster-routing mode: the cluster map is
+// fetched from the seed connection on first use, keyed sessions route to
+// the owning partition's primary (following WrongPartition redirects), and
+// identification scatter-gathers across all partitions. The seed connection
+// (Dial's addr) can be any cluster node.
+func WithCluster() ClientOption {
+	return clientOptionFunc(func(c *Client) {
+		c.cluster = &clusterRouter{conns: make(map[string]*nodeConn)}
+	})
+}
+
+// ClusterMap returns the client's current view of the cluster map, fetching
+// it from the seed connection if none is cached yet.
+func (c *Client) ClusterMap() (*cluster.Map, error) {
+	if c.cluster == nil {
+		return nil, errors.New("transport: client is not in cluster mode")
+	}
+	return c.clusterMap()
+}
+
+func (c *Client) clusterMap() (*cluster.Map, error) {
+	c.cluster.mu.Lock()
+	m := c.cluster.m
+	c.cluster.mu.Unlock()
+	if m != nil {
+		return m, nil
+	}
+	var fetched *cluster.Map
+	err := c.primarySession(func(rw io.ReadWriter) error {
+		var err error
+		fetched, err = c.device.ClusterMap(rw)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.installMap(fetched)
+	return fetched, nil
+}
+
+// installMap caches m if it is strictly newer than the current view.
+func (c *Client) installMap(m *cluster.Map) bool {
+	c.cluster.mu.Lock()
+	defer c.cluster.mu.Unlock()
+	if c.cluster.m == nil || m.Version > c.cluster.m.Version {
+		c.cluster.m = m
+		return true
+	}
+	return false
+}
+
+// node returns the connection slot for addr, creating it if needed.
+func (c *Client) node(addr string) *nodeConn {
+	c.cluster.mu.Lock()
+	defer c.cluster.mu.Unlock()
+	nc, ok := c.cluster.conns[addr]
+	if !ok {
+		nc = &nodeConn{addr: addr}
+		c.cluster.conns[addr] = nc
+	}
+	return nc
+}
+
+// nodeSession runs one protocol session on the connection to addr, dialing
+// it if needed. A transport-level failure closes the connection so the next
+// session redials; protocol outcomes (rejects, redirects, sheds, misses)
+// leave it open.
+func (c *Client) nodeSession(addr string, fn func(io.ReadWriter) error) error {
+	nc := c.node(addr)
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if nc.conn == nil {
+		dialTO := c.timeout
+		if dialTO <= 0 {
+			dialTO = clusterDialTimeout
+		}
+		conn, err := net.DialTimeout("tcp", addr, dialTO)
+		if err != nil {
+			return fmt.Errorf("transport: dial cluster node %s: %w", addr, err)
+		}
+		nc.conn = conn
+	}
+	if c.timeout > 0 {
+		if err := nc.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			nc.conn.Close()
+			nc.conn = nil
+			return fmt.Errorf("transport: set deadline: %w", err)
+		}
+	}
+	err := fn(nc.conn)
+	if err != nil && !isProtocolOutcome(err) {
+		nc.conn.Close()
+		nc.conn = nil
+	}
+	return err
+}
+
+// isProtocolOutcome reports whether err is a typed in-protocol verdict (the
+// connection is still synchronised and reusable) as opposed to a
+// transport-level failure.
+func isProtocolOutcome(err error) bool {
+	if protocol.IsRejected(err) || errors.Is(err, protocol.ErrNoMatch) {
+		return true
+	}
+	if _, ok := protocol.IsOverloaded(err); ok {
+		return true
+	}
+	if _, ok := protocol.IsUnknownTenant(err); ok {
+		return true
+	}
+	if _, ok := protocol.IsNotPrimary(err); ok {
+		return true
+	}
+	if _, ok := protocol.IsWrongPartition(err); ok {
+		return true
+	}
+	return false
+}
+
+// keyedSession routes one keyed session by the client's tenant and id,
+// retrying overload sheds per WithOverloadRetry.
+func (c *Client) keyedSession(id string, fn func(io.ReadWriter) error) error {
+	return c.retrying(func() error { return c.routeKeyed(id, fn) })
+}
+
+// routeKeyed runs fn against the primary owning id's slot, following
+// WrongPartition redirects. Every followed redirect must install a strictly
+// newer map; a redirect that does not advance the map is surfaced as
+// ErrMapNotAdvancing rather than followed (it could only loop).
+func (c *Client) routeKeyed(id string, fn func(io.ReadWriter) error) error {
+	m, err := c.clusterMap()
+	if err != nil {
+		return err
+	}
+	slot := cluster.SlotOf(c.tenant, id)
+	for hop := 0; ; hop++ {
+		addr := m.PrimaryOf(slot)
+		err := c.nodeSession(addr, fn)
+		newMap, wrong := protocol.IsWrongPartition(err)
+		if !wrong {
+			return err
+		}
+		if hop >= maxClusterRedirects {
+			return fmt.Errorf("transport: key %q still misrouted after %d redirects: %w", id, hop, ErrMapNotAdvancing)
+		}
+		if !c.installMap(newMap) {
+			return fmt.Errorf("transport: node %s redirected with map version %d: %w", addr, newMap.Version, ErrMapNotAdvancing)
+		}
+		m = newMap
+	}
+}
+
+// groupRead serves one read session on group g, preferring replicas
+// (rotated round-robin) and falling back to the primary. A member that
+// fails at the transport level — or answers unknown-tenant, which a lagging
+// follower legitimately can — is skipped for the next member; the last
+// error is returned when every member failed.
+func (c *Client) groupRead(g cluster.Group, fn func(io.ReadWriter) error) error {
+	addrs := make([]string, 0, len(g.Replicas)+1)
+	if n := len(g.Replicas); n > 0 {
+		start := int((c.rr.Add(1) - 1) % uint32(n))
+		for i := 0; i < n; i++ {
+			addrs = append(addrs, g.Replicas[(start+i)%n])
+		}
+	}
+	addrs = append(addrs, g.Primary)
+	var lastErr error
+	for i, addr := range addrs {
+		err := c.nodeSession(addr, fn)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, ErrClosed) {
+			return err
+		}
+		if _, unknown := protocol.IsUnknownTenant(err); unknown && i < len(addrs)-1 {
+			continue // a lagging follower; the primary is authoritative
+		}
+		if isProtocolOutcome(err) {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// scatterResult carries one group's answer back to the gather loop.
+type scatterResult struct {
+	ids  []string
+	err  error
+	addr string // the group's primary, naming the partition in errors
+}
+
+// scatter fans fn out to every group in parallel and streams the results.
+// The channel is buffered to the group count, so a gather loop that returns
+// early (first match wins) never blocks the straggler goroutines.
+func (c *Client) scatter(m *cluster.Map, fn func(io.ReadWriter) ([]string, error)) <-chan scatterResult {
+	ch := make(chan scatterResult, len(m.Groups))
+	for _, g := range m.Groups {
+		go func(g cluster.Group) {
+			var ids []string
+			err := c.groupRead(g, func(rw io.ReadWriter) error {
+				var err error
+				ids, err = fn(rw)
+				return err
+			})
+			ch <- scatterResult{ids: ids, err: err, addr: g.Primary}
+		}(g)
+	}
+	return ch
+}
+
+// refreshMap refetches the cluster map from the seed connection and reports
+// whether it advanced past prev. A scatter miss consults it before trusting
+// the verdict: a split that completed after the map was cached would
+// otherwise turn the moved identities into silent false rejects.
+func (c *Client) refreshMap(prev *cluster.Map) (*cluster.Map, bool) {
+	var fetched *cluster.Map
+	err := c.primarySession(func(rw io.ReadWriter) error {
+		var err error
+		fetched, err = c.device.ClusterMap(rw)
+		return err
+	})
+	if err != nil || fetched.Version <= prev.Version {
+		return prev, false
+	}
+	c.installMap(fetched)
+	return fetched, true
+}
+
+// scatterIdentify runs a single-probe identification against every
+// partition: the first match wins; a clean miss everywhere returns the
+// protocol's typed miss; a miss with unreachable partitions returns
+// PartialIdentifyError, because the identity may live on a failed group. A
+// miss re-checks the map version once — a concurrent split may have moved
+// the identity to a partition the cached map does not know.
+func (c *Client) scatterIdentify(run func(io.ReadWriter) (string, error)) (string, error) {
+	m, err := c.clusterMap()
+	if err != nil {
+		return "", err
+	}
+	for round := 0; ; round++ {
+		ch := c.scatter(m, func(rw io.ReadWriter) ([]string, error) {
+			id, err := run(rw)
+			return []string{id}, err
+		})
+		var (
+			missErr error
+			failed  []string
+			failErr error
+		)
+		for range m.Groups {
+			r := <-ch
+			switch {
+			case r.err == nil && r.ids[0] != "":
+				return r.ids[0], nil
+			case r.err == nil || protocol.IsRejected(r.err) || errors.Is(r.err, protocol.ErrNoMatch):
+				if missErr == nil {
+					missErr = r.err
+				}
+			default:
+				failed = append(failed, r.addr)
+				if failErr == nil {
+					failErr = r.err
+				}
+			}
+		}
+		if round == 0 {
+			if nm, newer := c.refreshMap(m); newer {
+				m = nm
+				continue
+			}
+		}
+		if len(failed) > 0 {
+			return "", &PartialIdentifyError{Failed: failed, Err: failErr}
+		}
+		if missErr != nil {
+			return "", missErr
+		}
+		return "", protocol.ErrNoMatch
+	}
+}
+
+// scatterIdentifyBatch runs a batched identification against every
+// partition and merges the verdicts position-wise (IDs are unique across
+// partitions, so at most one group matches each reading). When a partition
+// was unreachable and at least one reading stayed unmatched, the merged
+// result rides along a PartialIdentifyError — those misses are unreliable.
+func (c *Client) scatterIdentifyBatch(readings []numberline.Vector) ([]string, error) {
+	m, err := c.clusterMap()
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; ; round++ {
+		ch := c.scatter(m, func(rw io.ReadWriter) ([]string, error) {
+			return c.device.IdentifyBatch(rw, readings)
+		})
+		merged := make([]string, len(readings))
+		var (
+			failed  []string
+			failErr error
+		)
+		for range m.Groups {
+			r := <-ch
+			if r.err != nil {
+				failed = append(failed, r.addr)
+				if failErr == nil {
+					failErr = r.err
+				}
+				continue
+			}
+			for i, id := range r.ids {
+				if i < len(merged) && merged[i] == "" {
+					merged[i] = id
+				}
+			}
+		}
+		unmatched := false
+		for _, id := range merged {
+			if id == "" {
+				unmatched = true
+				break
+			}
+		}
+		// Unmatched readings may live on a partition the cached map does not
+		// know yet; re-check the map version once before trusting them.
+		if unmatched && round == 0 {
+			if nm, newer := c.refreshMap(m); newer {
+				m = nm
+				continue
+			}
+		}
+		if unmatched && len(failed) > 0 {
+			return merged, &PartialIdentifyError{Failed: failed, Err: failErr}
+		}
+		return merged, nil
+	}
+}
+
+// fanoutAdmin runs one admin session against every partition primary and
+// joins the failures, so tenant administration converges cluster-wide.
+func (c *Client) fanoutAdmin(fn func(io.ReadWriter) error) error {
+	m, err := c.clusterMap()
+	if err != nil {
+		return err
+	}
+	var errs []error
+	for _, g := range m.Groups {
+		if err := c.nodeSession(g.Primary, fn); err != nil {
+			errs = append(errs, fmt.Errorf("partition %s: %w", g.Primary, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// closeClusterConns tears down every per-node connection; called from
+// Close after the client is marked closed.
+func (c *Client) closeClusterConns() {
+	if c.cluster == nil {
+		return
+	}
+	c.cluster.mu.Lock()
+	conns := make([]*nodeConn, 0, len(c.cluster.conns))
+	for _, nc := range c.cluster.conns {
+		conns = append(conns, nc)
+	}
+	c.cluster.mu.Unlock()
+	for _, nc := range conns {
+		nc.mu.Lock()
+		if nc.conn != nil {
+			nc.conn.Close()
+			nc.conn = nil
+		}
+		nc.mu.Unlock()
+	}
+}
+
+// PartitionHandoff runs a partition split/move admin session on the seed
+// connection, which must be the primary currently owning the slots. It
+// returns the cluster map version in force after the handoff and refreshes
+// the client's cached map.
+func (c *Client) PartitionHandoff(action byte, slots []uint32, target string, targetReplicas []string) (uint64, error) {
+	var version uint64
+	err := c.primarySession(func(rw io.ReadWriter) error {
+		var err error
+		version, err = c.device.PartitionHandoff(rw, action, slots, target, targetReplicas)
+		return err
+	})
+	if err == nil && c.cluster != nil {
+		c.cluster.mu.Lock()
+		c.cluster.m = nil // force a refetch: the map changed under us
+		c.cluster.mu.Unlock()
+	}
+	return version, err
+}

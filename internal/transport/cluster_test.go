@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fuzzyid/internal/cluster"
+	"fuzzyid/internal/protocol"
+	"fuzzyid/internal/wire"
+)
+
+// fakeClusterNode is a raw-wire server that answers map fetches with its
+// configured map and bounces every enrollment with a WrongPartition
+// redirect. bumpVersion controls whether each redirect advances the map
+// version (a pathological but protocol-legal server) or replays the same
+// version (a buggy or malicious one).
+type fakeClusterNode struct {
+	ln          net.Listener
+	bumpVersion bool
+	version     atomic.Uint64
+	redirects   atomic.Int64
+}
+
+func startFakeClusterNode(t *testing.T, bumpVersion bool) *fakeClusterNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeClusterNode{ln: ln, bumpVersion: bumpVersion}
+	f.version.Store(1)
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go f.serve(conn)
+		}
+	}()
+	return f
+}
+
+// selfMap is a single-group map owning every slot, led by the fake node.
+func (f *fakeClusterNode) selfMap(version uint64) *cluster.Map {
+	return &cluster.Map{
+		Version: version,
+		Slots:   make([]uint32, cluster.NumSlots),
+		Groups:  []cluster.Group{{Primary: f.ln.Addr().String()}},
+	}
+}
+
+func (f *fakeClusterNode) serve(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := wire.Receive(conn)
+		if err != nil {
+			return
+		}
+		switch msg.(type) {
+		case *wire.ClusterMapRequest:
+			err = wire.Send(conn, &wire.ClusterMapInfo{Map: f.selfMap(f.version.Load())})
+		default:
+			// Any keyed session opener: bounce it. A malicious node replays
+			// its current map; a churning one advances the version first.
+			f.redirects.Add(1)
+			v := f.version.Load()
+			if f.bumpVersion {
+				v = f.version.Add(1)
+			}
+			err = wire.Send(conn, &wire.WrongPartition{Map: f.selfMap(v)})
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestClusterRedirectNotAdvancing is the stale-map regression test: a node
+// that answers a keyed session with a WrongPartition carrying a map version
+// that does not advance the client's cached map must produce a typed error
+// after one redirect — never a retry loop. Before the strictly-newer
+// install guard, the client would re-route to the same node forever.
+func TestClusterRedirectNotAdvancing(t *testing.T) {
+	f := startFakeClusterNode(t, false)
+	w := newWorld(t, 16, 301)
+	client, err := Dial(f.ln.Addr().String(), w.device, WithCluster(), WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	u := w.src.NewUser("bounced")
+	err = client.Enroll(u.ID, u.Template)
+	if !errors.Is(err, ErrMapNotAdvancing) {
+		t.Fatalf("enroll against a non-advancing redirect: err = %v, want ErrMapNotAdvancing", err)
+	}
+	if n := f.redirects.Load(); n != 1 {
+		t.Fatalf("client followed %d redirects before giving up, want exactly 1", n)
+	}
+}
+
+// TestClusterRedirectHopBound: a node whose redirects do advance the map
+// version (so each one is individually legal) but never resolve the key is
+// cut off by the hop bound instead of looping.
+func TestClusterRedirectHopBound(t *testing.T) {
+	f := startFakeClusterNode(t, true)
+	w := newWorld(t, 16, 302)
+	client, err := Dial(f.ln.Addr().String(), w.device, WithCluster(), WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	u := w.src.NewUser("hopper")
+	err = client.Enroll(u.ID, u.Template)
+	if !errors.Is(err, ErrMapNotAdvancing) {
+		t.Fatalf("enroll against churning redirects: err = %v, want ErrMapNotAdvancing", err)
+	}
+	if n := f.redirects.Load(); n != maxClusterRedirects+1 {
+		t.Fatalf("client followed %d redirects, want %d (the hop bound)", n, maxClusterRedirects+1)
+	}
+}
+
+// TestClusterVerifyNotClusterNode: a WithCluster client pointed at a
+// standalone server fails loudly on the map fetch instead of guessing.
+func TestClusterVerifyNotClusterNode(t *testing.T) {
+	w := newWorld(t, 16, 303)
+	srv, err := Listen("127.0.0.1:0", w.proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr().String(), w.device, WithCluster(), WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	u := w.src.NewUser("lost")
+	if err := client.Enroll(u.ID, u.Template); !protocol.IsRejected(err) {
+		t.Fatalf("cluster client against standalone server: err = %v, want rejection", err)
+	}
+}

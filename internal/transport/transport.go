@@ -307,6 +307,10 @@ type Client struct {
 	reg      *telemetry.Registry
 	m        clientMetrics
 
+	// cluster, when non-nil, holds the partition-routing state installed by
+	// WithCluster (see cluster.go).
+	cluster *clusterRouter
+
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
@@ -468,29 +472,53 @@ func (c *Client) Close() error {
 		}
 		rc.mu.Unlock()
 	}
+	c.closeClusterConns()
 	return conn.Close()
 }
 
-// Enroll runs UserEnro for (id, bio).
+// Enroll runs UserEnro for (id, bio). In cluster mode the session routes to
+// the primary owning id's slot.
 func (c *Client) Enroll(id string, bio numberline.Vector) error {
-	return c.withSession(func(rw io.ReadWriter) error {
+	fn := func(rw io.ReadWriter) error {
 		return c.device.Enroll(rw, id, bio)
-	})
+	}
+	if c.cluster != nil {
+		return c.keyedSession(id, fn)
+	}
+	return c.withSession(fn)
 }
 
 // Verify runs verification mode for the claimed id. With WithReplicas the
-// session may be served by a follower (verification only reads the record).
+// session may be served by a follower (verification only reads the record);
+// in cluster mode it routes to the partition owning id's slot.
 func (c *Client) Verify(id string, bio numberline.Vector) error {
-	return c.readSession(func(rw io.ReadWriter) error {
+	fn := func(rw io.ReadWriter) error {
 		return c.device.Verify(rw, id, bio)
-	})
+	}
+	if c.cluster != nil {
+		return c.keyedSession(id, fn)
+	}
+	return c.readSession(fn)
 }
 
 // Identify runs the proposed identification protocol and returns the
 // established identity. With WithReplicas the lookup fans out round-robin
 // across healthy followers; a follower may serve a stale view bounded by
-// WithMaxReplicaLag.
+// WithMaxReplicaLag. In cluster mode the probe scatter-gathers across every
+// partition — first match wins; a miss with unreachable partitions is a
+// typed PartialIdentifyError, never a silent false reject.
 func (c *Client) Identify(bio numberline.Vector) (string, error) {
+	if c.cluster != nil {
+		var id string
+		err := c.retrying(func() error {
+			var err error
+			id, err = c.scatterIdentify(func(rw io.ReadWriter) (string, error) {
+				return c.device.Identify(rw, bio)
+			})
+			return err
+		})
+		return id, err
+	}
 	var id string
 	err := c.readSession(func(rw io.ReadWriter) error {
 		var err error
@@ -501,27 +529,46 @@ func (c *Client) Identify(bio numberline.Vector) (string, error) {
 }
 
 // Revoke removes the enrollment for id after a successful biometric
-// challenge-response.
+// challenge-response. In cluster mode the session routes to the primary
+// owning id's slot.
 func (c *Client) Revoke(id string, bio numberline.Vector) error {
-	return c.withSession(func(rw io.ReadWriter) error {
+	fn := func(rw io.ReadWriter) error {
 		return c.device.Revoke(rw, id, bio)
-	})
+	}
+	if c.cluster != nil {
+		return c.keyedSession(id, fn)
+	}
+	return c.withSession(fn)
 }
 
 // ReEnroll atomically replaces id's enrolled template with fresh helper
 // data generated from newBio, after proving possession of the currently
 // enrolled biometric (oldBio). A mutation, so it is always served by the
-// primary.
+// owning primary.
 func (c *Client) ReEnroll(id string, oldBio, newBio numberline.Vector) error {
-	return c.withSession(func(rw io.ReadWriter) error {
+	fn := func(rw io.ReadWriter) error {
 		return c.device.ReEnroll(rw, id, oldBio, newBio)
-	})
+	}
+	if c.cluster != nil {
+		return c.keyedSession(id, fn)
+	}
+	return c.withSession(fn)
 }
 
 // IdentifyBatch runs the batched identification protocol for several
 // readings in one session. The result is aligned with readings; "" marks
-// readings that were not identified.
+// readings that were not identified. In cluster mode every partition runs
+// the batch and the verdicts are merged position-wise.
 func (c *Client) IdentifyBatch(readings []numberline.Vector) ([]string, error) {
+	if c.cluster != nil {
+		var ids []string
+		err := c.retrying(func() error {
+			var err error
+			ids, err = c.scatterIdentifyBatch(readings)
+			return err
+		})
+		return ids, err
+	}
 	var ids []string
 	err := c.readSession(func(rw io.ReadWriter) error {
 		var err error
@@ -557,28 +604,44 @@ func (c *Client) Tenants() ([]string, error) {
 }
 
 // CreateTenant creates a new tenant namespace on the server. Pinned to the
-// primary connection (replicas redirect with a not-primary error).
+// primary connection (replicas redirect with a not-primary error); in
+// cluster mode it fans out to every partition primary, since any partition
+// may own records of the new tenant.
 func (c *Client) CreateTenant(name string) error {
-	return c.withSession(func(rw io.ReadWriter) error {
+	fn := func(rw io.ReadWriter) error {
 		return c.device.CreateTenant(rw, name)
-	})
+	}
+	if c.cluster != nil {
+		return c.fanoutAdmin(fn)
+	}
+	return c.withSession(fn)
 }
 
 // DropTenant removes a tenant namespace and every record in it —
-// irreversible. Pinned to the primary connection.
+// irreversible. Pinned to the primary connection; in cluster mode it fans
+// out to every partition primary.
 func (c *Client) DropTenant(name string) error {
-	return c.withSession(func(rw io.ReadWriter) error {
+	fn := func(rw io.ReadWriter) error {
 		return c.device.DropTenant(rw, name)
-	})
+	}
+	if c.cluster != nil {
+		return c.fanoutAdmin(fn)
+	}
+	return c.withSession(fn)
 }
 
 // SetTenantLimits installs a per-tenant QoS override on the connected
 // server ("" names the default tenant). Overrides are per-process and
-// runtime-only; servers without admission control reject the request.
+// runtime-only; servers without admission control reject the request. In
+// cluster mode the override fans out to every partition primary.
 func (c *Client) SetTenantLimits(name string, l qos.Limits) error {
-	return c.withSession(func(rw io.ReadWriter) error {
+	fn := func(rw io.ReadWriter) error {
 		return c.device.SetTenantLimits(rw, name, l)
-	})
+	}
+	if c.cluster != nil {
+		return c.fanoutAdmin(fn)
+	}
+	return c.withSession(fn)
 }
 
 // TenantLimits asks the connected server for a tenant's effective QoS
@@ -597,8 +660,20 @@ func (c *Client) TenantLimits(name string) (qos.Limits, bool, error) {
 	return l, overridden, err
 }
 
-// IdentifyNormal runs the O(N) normal-approach identification.
+// IdentifyNormal runs the O(N) normal-approach identification. In cluster
+// mode the probe scatter-gathers across every partition, like Identify.
 func (c *Client) IdentifyNormal(bio numberline.Vector) (string, error) {
+	if c.cluster != nil {
+		var id string
+		err := c.retrying(func() error {
+			var err error
+			id, err = c.scatterIdentify(func(rw io.ReadWriter) (string, error) {
+				return c.device.IdentifyNormal(rw, bio)
+			})
+			return err
+		})
+		return id, err
+	}
 	var id string
 	err := c.readSession(func(rw io.ReadWriter) error {
 		var err error
@@ -619,11 +694,25 @@ func (c *Client) retrying(run func() error) error {
 		if !overloaded {
 			return err
 		}
-		delay := max(hint, MinOverloadBackoff) << attempt
-		time.Sleep(min(delay, MaxOverloadBackoff))
+		time.Sleep(overloadDelay(hint, attempt))
 		err = run()
 	}
 	return err
+}
+
+// overloadDelay computes the backoff before retry number attempt (0-based):
+// the server's retry-after hint (floored at MinOverloadBackoff) doubled per
+// attempt, capped at MaxOverloadBackoff. The doubling stops as soon as the
+// cap is reached rather than shifting first and clamping after — a naive
+// `hint << attempt` overflows int64 negative once attempt is large enough
+// (a 1s hint shifted 34 times), and min(negative, cap) would select the
+// negative value, turning backoff into a hot retry loop.
+func overloadDelay(hint time.Duration, attempt int) time.Duration {
+	delay := max(hint, MinOverloadBackoff)
+	for ; attempt > 0 && delay < MaxOverloadBackoff; attempt-- {
+		delay <<= 1
+	}
+	return min(delay, MaxOverloadBackoff)
 }
 
 func (c *Client) withSession(fn func(io.ReadWriter) error) error {

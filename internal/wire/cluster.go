@@ -1,0 +1,330 @@
+package wire
+
+// This file carries the cluster-routing messages: the versioned cluster map
+// (fetched explicitly or piggybacked on a WrongPartition redirect) and the
+// partition split/move handoff stream. All additions are append-only — the
+// tags extend the MsgType enum past TypeReEnrollRequest, so pre-cluster
+// peers simply reject them as unknown.
+
+import (
+	"fmt"
+
+	"fuzzyid/internal/cluster"
+	"fuzzyid/internal/store"
+)
+
+// Limits for cluster message decoding.
+const (
+	// MaxGroupMembers bounds one group's replica list in an encoded map.
+	MaxGroupMembers = 64
+	// MaxIngestChunk bounds the records of one PartitionIngest chunk.
+	MaxIngestChunk = 1 << 10
+)
+
+// Partition admin actions.
+const (
+	// PartitionSplit moves slots from the source group to a target primary
+	// that is not yet in the map (a new group is appended).
+	PartitionSplit byte = 1
+	// PartitionMove moves slots from the source group to a primary already
+	// in the map.
+	PartitionMove byte = 2
+)
+
+// encodeClusterMap appends an optional cluster map (nil encodes as absent).
+func encodeClusterMap(e *Encoder, m *cluster.Map) {
+	if m == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Uint64(m.Version)
+	// One byte per slot: group indices are bounded by cluster.MaxGroups.
+	slots := make([]byte, len(m.Slots))
+	for i, gi := range m.Slots {
+		slots[i] = byte(gi)
+	}
+	e.VarBytes(slots)
+	e.Uint32(uint32(len(m.Groups)))
+	for _, g := range m.Groups {
+		e.String(g.Primary)
+		e.Uint32(uint32(len(g.Replicas)))
+		for _, r := range g.Replicas {
+			e.String(r)
+		}
+	}
+}
+
+// decodeClusterMap reads an optional cluster map and validates its
+// structural invariants, so a hostile map never escapes the codec.
+func decodeClusterMap(d *Decoder) (*cluster.Map, error) {
+	present, err := d.Bool()
+	if err != nil {
+		return nil, err
+	}
+	if !present {
+		return nil, nil
+	}
+	m := &cluster.Map{}
+	if m.Version, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	slots, err := d.VarBytes(cluster.NumSlots)
+	if err != nil {
+		return nil, err
+	}
+	m.Slots = make([]uint32, len(slots))
+	for i, b := range slots {
+		m.Slots[i] = uint32(b)
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > cluster.MaxGroups {
+		return nil, fmt.Errorf("%w: %d cluster groups", ErrTooLarge, n)
+	}
+	m.Groups = make([]cluster.Group, n)
+	for i := range m.Groups {
+		if m.Groups[i].Primary, err = d.String(MaxBytesLen); err != nil {
+			return nil, err
+		}
+		rn, err := d.Uint32()
+		if err != nil {
+			return nil, err
+		}
+		if rn > MaxGroupMembers {
+			return nil, fmt.Errorf("%w: %d group replicas", ErrTooLarge, rn)
+		}
+		for j := uint32(0); j < rn; j++ {
+			r, err := d.String(MaxBytesLen)
+			if err != nil {
+				return nil, err
+			}
+			m.Groups[i].Replicas = append(m.Groups[i].Replicas, r)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return m, nil
+}
+
+// encodeSlotList appends a bounded slot list.
+func encodeSlotList(e *Encoder, slots []uint32) {
+	e.Uint32(uint32(len(slots)))
+	for _, s := range slots {
+		e.Uint32(s)
+	}
+}
+
+// decodeSlotList reads a bounded slot list.
+func decodeSlotList(d *Decoder) ([]uint32, error) {
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > cluster.NumSlots {
+		return nil, fmt.Errorf("%w: %d slots", ErrTooLarge, n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		if out[i], err = d.Uint32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ClusterMapRequest asks a cluster node for its current cluster map.
+type ClusterMapRequest struct{}
+
+// Type implements Message.
+func (*ClusterMapRequest) Type() MsgType { return TypeClusterMapRequest }
+
+func (m *ClusterMapRequest) encode(e *Encoder)       {}
+func (m *ClusterMapRequest) decode(d *Decoder) error { return nil }
+
+// ClusterMapInfo answers a ClusterMapRequest with the node's current map.
+type ClusterMapInfo struct {
+	// Map is the answering node's current cluster map.
+	Map *cluster.Map
+}
+
+// Type implements Message.
+func (*ClusterMapInfo) Type() MsgType { return TypeClusterMapInfo }
+
+func (m *ClusterMapInfo) encode(e *Encoder) { encodeClusterMap(e, m.Map) }
+
+func (m *ClusterMapInfo) decode(d *Decoder) error {
+	var err error
+	m.Map, err = decodeClusterMap(d)
+	if err == nil && m.Map == nil {
+		return fmt.Errorf("%w: ClusterMapInfo without a map", ErrBadFrame)
+	}
+	return err
+}
+
+// WrongPartition refuses a keyed operation whose slot this node's group does
+// not own under the current map. It carries the refusing node's map so the
+// client converges in one redirect round.
+type WrongPartition struct {
+	// Map is the refusing node's current cluster map.
+	Map *cluster.Map
+}
+
+// Type implements Message.
+func (*WrongPartition) Type() MsgType { return TypeWrongPartition }
+
+func (m *WrongPartition) encode(e *Encoder) { encodeClusterMap(e, m.Map) }
+
+func (m *WrongPartition) decode(d *Decoder) error {
+	var err error
+	m.Map, err = decodeClusterMap(d)
+	if err == nil && m.Map == nil {
+		return fmt.Errorf("%w: WrongPartition without a map", ErrBadFrame)
+	}
+	return err
+}
+
+// PartitionAdmin asks the receiving primary to hand a set of its slots to
+// Target: freeze the slots, ship their records, flip the map to Version+1,
+// and redirect traffic. Split and Move share the executor — they differ
+// only in whether Target is already a group in the map.
+type PartitionAdmin struct {
+	// Action is PartitionSplit or PartitionMove.
+	Action byte
+	// Slots are the slots to move; all must be owned by the receiving
+	// primary's group.
+	Slots []uint32
+	// Target is the advertised address of the receiving group's primary.
+	Target string
+	// TargetReplicas optionally advertises the target group's replicas in
+	// the successor map (split only).
+	TargetReplicas []string
+}
+
+// Type implements Message.
+func (*PartitionAdmin) Type() MsgType { return TypePartitionAdmin }
+
+func (m *PartitionAdmin) encode(e *Encoder) {
+	e.Byte(m.Action)
+	encodeSlotList(e, m.Slots)
+	e.String(m.Target)
+	e.Uint32(uint32(len(m.TargetReplicas)))
+	for _, r := range m.TargetReplicas {
+		e.String(r)
+	}
+}
+
+func (m *PartitionAdmin) decode(d *Decoder) error {
+	var err error
+	if m.Action, err = d.Byte(); err != nil {
+		return err
+	}
+	if m.Slots, err = decodeSlotList(d); err != nil {
+		return err
+	}
+	if m.Target, err = d.String(MaxBytesLen); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > MaxGroupMembers {
+		return fmt.Errorf("%w: %d target replicas", ErrTooLarge, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		r, err := d.String(MaxBytesLen)
+		if err != nil {
+			return err
+		}
+		m.TargetReplicas = append(m.TargetReplicas, r)
+	}
+	return nil
+}
+
+// PartitionIngest streams one chunk of a partition handoff from the source
+// primary to the target, mirroring the replication snapshot bootstrap:
+// First marks the stream open, chunks carry one tenant's records, Done
+// carries the successor map the target must install before acknowledging.
+type PartitionIngest struct {
+	// First marks the opening chunk of a handoff stream.
+	First bool
+	// Done marks the closing chunk; NewMap must be present.
+	Done bool
+	// Tenant is the namespace the chunk's records belong to.
+	Tenant string
+	// Records are the chunk's records (nil on First/Done-only chunks).
+	Records []*store.Record
+	// NewMap is the successor cluster map, present only on Done.
+	NewMap *cluster.Map
+}
+
+// Type implements Message.
+func (*PartitionIngest) Type() MsgType { return TypePartitionIngest }
+
+func (m *PartitionIngest) encode(e *Encoder) {
+	e.Bool(m.First)
+	e.Bool(m.Done)
+	e.String(m.Tenant)
+	e.Uint32(uint32(len(m.Records)))
+	for _, rec := range m.Records {
+		EncodeRecord(e, rec)
+	}
+	encodeClusterMap(e, m.NewMap)
+}
+
+func (m *PartitionIngest) decode(d *Decoder) error {
+	var err error
+	if m.First, err = d.Bool(); err != nil {
+		return err
+	}
+	if m.Done, err = d.Bool(); err != nil {
+		return err
+	}
+	if m.Tenant, err = d.String(MaxTenantLen); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > MaxIngestChunk {
+		return fmt.Errorf("%w: %d ingest records", ErrTooLarge, n)
+	}
+	m.Records = make([]*store.Record, 0, n)
+	for i := uint32(0); i < n; i++ {
+		rec, err := DecodeRecord(d)
+		if err != nil {
+			return err
+		}
+		m.Records = append(m.Records, rec)
+	}
+	if m.NewMap, err = decodeClusterMap(d); err != nil {
+		return err
+	}
+	if m.Done && m.NewMap == nil {
+		return fmt.Errorf("%w: ingest Done without a successor map", ErrBadFrame)
+	}
+	return nil
+}
+
+// PartitionOK acknowledges a completed partition admin operation or ingest
+// stream.
+type PartitionOK struct {
+	// Version is the cluster map version in force after the operation.
+	Version uint64
+}
+
+// Type implements Message.
+func (*PartitionOK) Type() MsgType { return TypePartitionOK }
+
+func (m *PartitionOK) encode(e *Encoder) { e.Uint64(m.Version) }
+
+func (m *PartitionOK) decode(d *Decoder) error {
+	var err error
+	m.Version, err = d.Uint64()
+	return err
+}

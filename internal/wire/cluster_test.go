@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"fuzzyid/internal/cluster"
+	"fuzzyid/internal/store"
+)
+
+func testClusterMap(version uint64) *cluster.Map {
+	slots := make([]uint32, cluster.NumSlots)
+	for i := range slots {
+		slots[i] = uint32(i % 2)
+	}
+	return &cluster.Map{
+		Version: version,
+		Slots:   slots,
+		Groups: []cluster.Group{
+			{Primary: "10.0.0.1:7700", Replicas: []string{"10.0.0.2:7700"}},
+			{Primary: "10.0.0.3:7700"},
+		},
+	}
+}
+
+func TestClusterMessagesRoundTrip(t *testing.T) {
+	rec := &store.Record{ID: "dave", PublicKey: []byte("pk"), Helper: testHelper([]int64{7, -3})}
+	m := testClusterMap(9)
+	msgs := []Message{
+		&ClusterMapRequest{},
+		&ClusterMapInfo{Map: m},
+		&WrongPartition{Map: m},
+		&PartitionAdmin{Action: PartitionSplit, Slots: []uint32{0, 2, 4}, Target: "10.0.0.9:7700", TargetReplicas: []string{"10.0.0.10:7700"}},
+		&PartitionAdmin{Action: PartitionMove, Slots: []uint32{63}, Target: "10.0.0.3:7700"},
+		&PartitionIngest{First: true},
+		&PartitionIngest{Tenant: "acme", Records: []*store.Record{rec}},
+		&PartitionIngest{Done: true, NewMap: m},
+		&PartitionOK{Version: 9},
+	}
+	for _, msg := range msgs {
+		buf, err := Marshal(msg)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", msg, err)
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("unmarshal %T: %v", msg, err)
+		}
+		if got.Type() != msg.Type() {
+			t.Fatalf("round-tripped %T into %T", msg, got)
+		}
+	}
+
+	// Field fidelity on the map-carrying message.
+	buf, err := Marshal(&ClusterMapInfo{Map: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decoded.(*ClusterMapInfo).Map
+	if got.Version != m.Version || len(got.Slots) != len(m.Slots) || len(got.Groups) != len(m.Groups) {
+		t.Fatalf("decoded map (v%d, %d slots, %d groups), want (v%d, %d, %d)",
+			got.Version, len(got.Slots), len(got.Groups), m.Version, len(m.Slots), len(m.Groups))
+	}
+	for i, s := range got.Slots {
+		if s != m.Slots[i] {
+			t.Fatalf("slot %d decoded as group %d, want %d", i, s, m.Slots[i])
+		}
+	}
+	if got.Groups[0].Primary != m.Groups[0].Primary || got.Groups[0].Replicas[0] != m.Groups[0].Replicas[0] {
+		t.Fatalf("group 0 decoded as %+v, want %+v", got.Groups[0], m.Groups[0])
+	}
+}
+
+func TestClusterMapDecodeRejectsInvalid(t *testing.T) {
+	// A slot pointing past the group list must not escape the codec.
+	bad := testClusterMap(1)
+	bad.Slots[0] = 7
+	buf, err := Marshal(&ClusterMapInfo{Map: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(buf); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("decoding a map with an out-of-range slot: %v, want ErrBadFrame", err)
+	}
+
+	// A Done chunk without its new map is malformed.
+	e := NewEncoder(64)
+	(&PartitionIngest{Done: true}).encode(e)
+	frame := append([]byte{byte(TypePartitionIngest)}, e.Bytes()...)
+	if _, err := Unmarshal(frame); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("decoding Done without NewMap: %v, want ErrBadFrame", err)
+	}
+}

@@ -90,6 +90,27 @@ const (
 	// pk and helper data) after proving possession of the currently
 	// enrolled biometric (challenge-response follows).
 	TypeReEnrollRequest
+	// TypeClusterMapRequest asks a cluster node for its current versioned
+	// cluster map (see cluster.go).
+	TypeClusterMapRequest
+	// TypeClusterMapInfo answers a ClusterMapRequest with the node's
+	// current cluster map (see cluster.go).
+	TypeClusterMapInfo
+	// TypeWrongPartition refuses a keyed operation routed to a node whose
+	// group does not own the key's slot, carrying the refusing node's map
+	// so the client can re-route in one round (see cluster.go).
+	TypeWrongPartition
+	// TypePartitionAdmin asks a partition primary to split or move a set
+	// of its slots to a target primary via record handoff (see
+	// cluster.go).
+	TypePartitionAdmin
+	// TypePartitionIngest streams one chunk of a partition handoff from
+	// the source primary to the target (see cluster.go).
+	TypePartitionIngest
+	// TypePartitionOK acknowledges a completed partition admin operation
+	// or ingest stream, carrying the resulting map version (see
+	// cluster.go).
+	TypePartitionOK
 )
 
 // MaxIdentifyBatch bounds the probes of one batched identification run.
@@ -803,6 +824,18 @@ func newMessage(t MsgType) (Message, error) {
 		return &TenantLimits{}, nil
 	case TypeReEnrollRequest:
 		return &ReEnrollRequest{}, nil
+	case TypeClusterMapRequest:
+		return &ClusterMapRequest{}, nil
+	case TypeClusterMapInfo:
+		return &ClusterMapInfo{}, nil
+	case TypeWrongPartition:
+		return &WrongPartition{}, nil
+	case TypePartitionAdmin:
+		return &PartitionAdmin{}, nil
+	case TypePartitionIngest:
+		return &PartitionIngest{}, nil
+	case TypePartitionOK:
+		return &PartitionOK{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown message type %d", ErrBadFrame, t)
 	}

@@ -44,6 +44,10 @@ type LimitsSpec struct {
 	MaxConcurrent uint32
 	// Weight is the tenant's share of the identification scan pool.
 	Weight uint32
+	// BytesPerSession prices write-payload bytes into the rate bucket: a
+	// session carrying B payload bytes costs 1 + B/BytesPerSession
+	// sessions of rate credit (0 = payload size uncharged).
+	BytesPerSession uint64
 }
 
 func (s *LimitsSpec) encode(e *Encoder) {
@@ -51,6 +55,7 @@ func (s *LimitsSpec) encode(e *Encoder) {
 	e.Uint32(s.Burst)
 	e.Uint32(s.MaxConcurrent)
 	e.Uint32(s.Weight)
+	e.Uint64(s.BytesPerSession)
 }
 
 func (s *LimitsSpec) decode(d *Decoder) error {
@@ -64,7 +69,10 @@ func (s *LimitsSpec) decode(d *Decoder) error {
 	if s.MaxConcurrent, err = d.Uint32(); err != nil {
 		return err
 	}
-	s.Weight, err = d.Uint32()
+	if s.Weight, err = d.Uint32(); err != nil {
+		return err
+	}
+	s.BytesPerSession, err = d.Uint64()
 	return err
 }
 
